@@ -1,0 +1,38 @@
+//! Criterion bench for the discrete-event simulator: a full Fig. 9-scale
+//! run (50 000 inferences, 16 checkpoints) per iteration, so regressions in
+//! the event queue show up directly in experiment turnaround time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use viper_des::{simulate, Discovery, SimConfig};
+use viper_hw::{price_update, CaptureMode, MachineProfile, Route, TransferStrategy};
+use viper_workloads::WorkloadProfile;
+
+fn bench_des(c: &mut Criterion) {
+    let w = WorkloadProfile::tc1();
+    let profile = MachineProfile::polaris();
+    let strategy = TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async };
+    let costs = price_update(&profile, strategy, w.model_bytes, w.ntensors, 1.0);
+    let s = w.warmup_end();
+    let schedule: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let cfg = SimConfig {
+        t_train: w.t_train,
+        t_infer: w.t_infer,
+        costs,
+        s_iter: s,
+        e_iter: w.run_end(),
+        schedule,
+        total_infers: w.total_infers,
+        discovery: Discovery::Push,
+    };
+
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    group.bench_function("tc1_fig9_run_50k_inferences", |b| {
+        b.iter(|| black_box(simulate(&cfg, &|iter| w.loss_at(iter))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for checkpoint serialization: lean Viper format vs the
+//! h5py-style baseline (the structural half of the Fig. 8 baseline gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use viper_formats::{Checkpoint, CheckpointFormat, H5Lite, ViperFormat};
+use viper_tensor::Tensor;
+
+fn sample(elems: usize) -> Checkpoint {
+    Checkpoint::new(
+        "bench",
+        100,
+        (0..8)
+            .map(|i| (format!("layer{i}/kernel"), Tensor::full(&[elems / 8], i as f32)))
+            .collect(),
+    )
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let ckpt = sample(1 << 20); // 4 MiB of weights
+    let bytes = ckpt.payload_bytes();
+    let mut group = c.benchmark_group("format_serde");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    for f in [&ViperFormat as &dyn CheckpointFormat, &H5Lite] {
+        group.bench_with_input(BenchmarkId::new("encode", f.name()), &f, |b, f| {
+            b.iter(|| black_box(f.encode(&ckpt)))
+        });
+        let encoded = f.encode(&ckpt);
+        group.bench_with_input(BenchmarkId::new("decode", f.name()), &f, |b, f| {
+            b.iter(|| black_box(f.decode(&encoded).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind Fig. 10 / Table 1: the cost of the IPP itself —
+//! curve fitting (TLP), Algorithm 2 (fixed interval), Algorithm 3 (greedy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use viper_hw::{price_update, MachineProfile};
+use viper_predictor::{cilp::CostParams, fit, schedule};
+use viper_workloads::WorkloadProfile;
+
+fn params(w: &WorkloadProfile) -> CostParams {
+    let costs = price_update(
+        &MachineProfile::polaris(),
+        viper_bench::gpu_async(),
+        w.model_bytes,
+        w.ntensors,
+        1.0,
+    );
+    CostParams {
+        t_train: w.t_train,
+        t_infer: w.t_infer,
+        t_stall: costs.stall.as_secs_f64(),
+        t_load: (costs.post_stall + costs.notify).as_secs_f64(),
+    }
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let w = WorkloadProfile::tc1();
+    let warmup = w.warmup_losses(42);
+    let tlp = fit::fit_best(&warmup);
+    let p = params(&w);
+    let (s, e) = (w.warmup_end(), w.run_end());
+
+    let mut group = c.benchmark_group("ipp");
+    group.sample_size(10);
+    group.bench_function("fit_all_curves_216_points", |b| {
+        b.iter(|| black_box(fit::fit_all(black_box(&warmup))))
+    });
+    group.bench_function("algorithm2_fixed_interval_tc1", |b| {
+        b.iter(|| black_box(schedule::fixed_interval(&tlp, &p, s, e, w.total_infers)))
+    });
+    group.bench_function("algorithm3_greedy_tc1", |b| {
+        let thresh = schedule::threshold_from_warmup(&warmup);
+        b.iter(|| black_box(schedule::greedy(&tlp, &p, s, e, w.total_infers, thresh)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the live transfer engine: real save_weights →
+//! load_weights round-trips through the framework (small real payloads;
+//! virtual time carries the modeled hardware, wall time measures the
+//! engine's own overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use viper::{Viper, ViperConfig};
+use viper_formats::Checkpoint;
+use viper_hw::{CaptureMode, Route};
+use viper_tensor::Tensor;
+
+fn roundtrip(route: Route, mode: CaptureMode, elems: usize) {
+    let mut config = ViperConfig::default().with_strategy(route, mode);
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+    let ckpt = Checkpoint::new("m", 1, vec![("w".into(), Tensor::ones(&[elems]))]);
+    producer.save_weights(&ckpt).unwrap();
+    black_box(consumer.load_weights(Duration::from_secs(30)).unwrap());
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_roundtrip");
+    group.sample_size(10);
+    for (label, route, mode) in [
+        ("gpu_sync", Route::GpuToGpu, CaptureMode::Sync),
+        ("gpu_async", Route::GpuToGpu, CaptureMode::Async),
+        ("host_sync", Route::HostToHost, CaptureMode::Sync),
+        ("pfs", Route::PfsStaging, CaptureMode::Sync),
+    ] {
+        group.bench_with_input(BenchmarkId::new("route", label), &(route, mode), |b, &(r, m)| {
+            b.iter(|| roundtrip(r, m, 50_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind Fig. 8: prices one end-to-end model update per
+//! strategy per workload (the same computation the virtual clock charges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use viper_hw::{price_update, MachineProfile};
+use viper_workloads::WorkloadProfile;
+
+fn bench_update_latency(c: &mut Criterion) {
+    let profile = MachineProfile::polaris();
+    let mut group = c.benchmark_group("fig8_update_pricing");
+    group.sample_size(20);
+    for w in WorkloadProfile::fig8_lineup() {
+        for (label, strategy, _h5) in viper_bench::fig8::approaches() {
+            group.bench_with_input(
+                BenchmarkId::new(w.name, label),
+                &(strategy, w.model_bytes, w.ntensors),
+                |b, &(strategy, bytes, ntensors)| {
+                    b.iter(|| {
+                        black_box(price_update(
+                            &profile,
+                            black_box(strategy),
+                            black_box(bytes),
+                            black_box(ntensors),
+                            1.0,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_latency);
+criterion_main!(benches);

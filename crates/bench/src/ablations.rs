@@ -1,0 +1,410 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **sync vs async capture** — per-update latency vs producer stall;
+//! * **push notification vs polling** — discovery latency and its CIL cost;
+//! * **lean format vs h5lite** — encoded size and PFS metadata cost;
+//! * **greedy threshold sensitivity** — checkpoints/CIL vs threshold scale.
+
+use viper_des::{simulate, Discovery, SimConfig};
+use viper_formats::{CheckpointFormat, H5Lite, ViperFormat};
+use viper_hw::{price_update, CaptureMode, MachineProfile, Route, TransferStrategy};
+use viper_predictor::{cilp::CostParams, fit, schedule};
+use viper_workloads::WorkloadProfile;
+
+/// Sync-vs-async per route: (label, stall s, update latency s).
+pub fn sync_vs_async() -> Vec<(String, f64, f64)> {
+    let profile = MachineProfile::polaris();
+    let w = WorkloadProfile::tc1();
+    let mut rows = Vec::new();
+    for route in [Route::GpuToGpu, Route::HostToHost] {
+        for mode in [CaptureMode::Sync, CaptureMode::Async] {
+            let s = TransferStrategy { route, mode };
+            let c = price_update(&profile, s, w.model_bytes, w.ntensors, 1.0);
+            rows.push((
+                s.label(),
+                c.stall.as_secs_f64(),
+                c.update_latency().as_secs_f64(),
+            ));
+        }
+    }
+    rows
+}
+
+/// Push vs polling at several intervals: (label, mean update latency s, CIL).
+pub fn notify_vs_poll() -> Vec<(String, f64, f64)> {
+    let w = WorkloadProfile::tc1();
+    let profile = MachineProfile::polaris();
+    let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
+    let s = w.warmup_end();
+    let sched: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let mk = |discovery| SimConfig {
+        t_train: w.t_train,
+        t_infer: w.t_infer,
+        costs,
+        s_iter: s,
+        e_iter: w.run_end(),
+        schedule: sched.clone(),
+        total_infers: w.total_infers,
+        discovery,
+    };
+    let mut rows = Vec::new();
+    let push = simulate(&mk(Discovery::Push), &|i| w.loss_at(i));
+    rows.push(("push (<1 ms)".to_string(), push.mean_update_latency, push.cil));
+    for interval in [0.001, 0.1, 1.0, 5.0] {
+        let r = simulate(&mk(Discovery::Poll { interval }), &|i| w.loss_at(i));
+        rows.push((format!("poll {interval}s"), r.mean_update_latency, r.cil));
+    }
+    rows
+}
+
+/// Format comparison on the PFS for TC1: (format, encoded GB, PFS update latency s).
+pub fn format_overhead() -> Vec<(String, f64, f64)> {
+    let profile = MachineProfile::polaris();
+    let w = WorkloadProfile::tc1();
+    let strategy = TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync };
+    [&ViperFormat as &dyn CheckpointFormat, &H5Lite]
+        .into_iter()
+        .map(|f| {
+            let bytes = f.encoded_size(w.model_bytes, w.ntensors);
+            let costs = price_update(&profile, strategy, bytes, w.ntensors, f.metadata_ops_factor());
+            (
+                f.name().to_string(),
+                bytes as f64 / 1e9,
+                costs.update_latency().as_secs_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Greedy threshold sensitivity: (multiplier, #checkpoints, simulated CIL).
+pub fn threshold_sensitivity() -> Vec<(f64, usize, f64)> {
+    let w = WorkloadProfile::tc1();
+    let profile = MachineProfile::polaris();
+    let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
+    let params = CostParams {
+        t_train: w.t_train,
+        t_infer: w.t_infer,
+        t_stall: costs.stall.as_secs_f64(),
+        t_load: (costs.post_stall + costs.notify).as_secs_f64(),
+    };
+    let warmup = w.warmup_losses(42);
+    let tlp = fit::fit_best(&warmup);
+    let base_thresh = schedule::threshold_from_warmup(&warmup);
+    let (s, e) = (w.warmup_end(), w.run_end());
+
+    [0.25, 0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|mult| {
+            let plan = schedule::greedy(&tlp, &params, s, e, w.total_infers, base_thresh * mult);
+            let cfg = SimConfig {
+                t_train: w.t_train,
+                t_infer: w.t_infer,
+                costs,
+                s_iter: s,
+                e_iter: e,
+                schedule: plan.checkpoints.clone(),
+                total_infers: w.total_infers,
+                discovery: Discovery::Push,
+            };
+            let r = simulate(&cfg, &|i| w.loss_at(i));
+            (mult, plan.num_checkpoints(), r.cil)
+        })
+        .collect()
+}
+
+/// Data-parallel producer scaling (DeepFreeze-style sharded capture) on
+/// the TC1 epoch schedule: `(ranks, per-rank overhead s, CIL)`.
+pub fn producer_scaling() -> Vec<(usize, f64, f64)> {
+    use viper_des::{simulate_multi, ConsumerSpec, MultiSimConfig};
+    let w = WorkloadProfile::tc1();
+    let profile = MachineProfile::polaris();
+    let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
+    let s = w.warmup_end();
+    let schedule: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|ranks| {
+            let cfg = MultiSimConfig {
+                nproducers: ranks,
+                t_train: w.t_train,
+                costs,
+                s_iter: s,
+                e_iter: w.run_end(),
+                schedule: schedule.clone(),
+                consumers: vec![ConsumerSpec {
+                    t_infer: w.t_infer,
+                    total_infers: w.total_infers,
+                    discovery: Discovery::Push,
+                }],
+            };
+            let r = simulate_multi(&cfg, &|i| w.loss_at(i));
+            (ranks, r.training_overhead_per_rank, r.total_cil())
+        })
+        .collect()
+}
+
+/// Scheduler shoot-out on TC1: the paper's three schedules plus a
+/// CheckFreq-style overhead-bounded baseline (frequency tuned for
+/// resilience, not inference quality). Returns
+/// `(label, #checkpoints, simulated CIL)`.
+pub fn scheduler_comparison() -> Vec<(String, usize, f64)> {
+    let w = WorkloadProfile::tc1();
+    let profile = MachineProfile::polaris();
+    let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
+    let params = CostParams {
+        t_train: w.t_train,
+        t_infer: w.t_infer,
+        t_stall: costs.stall.as_secs_f64(),
+        t_load: (costs.post_stall + costs.notify).as_secs_f64(),
+    };
+    let warmup = w.warmup_losses(42);
+    let tlp = fit::fit_best(&warmup);
+    let (s, e) = (w.warmup_end(), w.run_end());
+
+    let sim = |ckpts: &[u64]| {
+        let cfg = SimConfig {
+            t_train: w.t_train,
+            t_infer: w.t_infer,
+            costs,
+            s_iter: s,
+            e_iter: e,
+            schedule: ckpts.to_vec(),
+            total_infers: w.total_infers,
+            discovery: Discovery::Push,
+        };
+        simulate(&cfg, &|i| w.loss_at(i)).cil
+    };
+
+    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let fixed = schedule::fixed_interval(&tlp, &params, s, e, w.total_infers);
+    let greedy = schedule::greedy(
+        &tlp,
+        &params,
+        s,
+        e,
+        w.total_infers,
+        schedule::threshold_from_warmup(&warmup),
+    );
+    let checkfreq = schedule::overhead_bounded(&tlp, &params, s, e, w.total_infers, 0.01);
+
+    vec![
+        ("epoch-baseline".to_string(), baseline.len(), sim(&baseline)),
+        ("ipp-fixed".to_string(), fixed.num_checkpoints(), sim(&fixed.checkpoints)),
+        ("ipp-greedy".to_string(), greedy.num_checkpoints(), sim(&greedy.checkpoints)),
+        ("checkfreq-style (1%)".to_string(), checkfreq.num_checkpoints(), sim(&checkfreq.checkpoints)),
+    ]
+}
+
+/// Incremental (delta) checkpointing on a transfer-learning trace: NT3's
+/// convolutional backbone is frozen, only the dense head trains. Returns
+/// `(full encoded bytes, delta encoded bytes, changed tensor fraction)`
+/// for a checkpoint pair one fine-tuning epoch apart.
+pub fn delta_savings() -> (u64, u64, f64) {
+    use viper_dnn::{layers, losses, optimizers, FitConfig, Model};
+
+    // Freeze the whole feature extractor (conv backbone + the wide dense
+    // projection); only the small classification head fine-tunes — the
+    // classic transfer-learning split.
+    let mut model = Model::new("nt3-ft", 5)
+        .push(layers::Conv1D::with_seed(5, 1, 8, 1, 1).frozen())
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Conv1D::with_seed(3, 8, 16, 1, 2).frozen())
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Flatten::new())
+        .push(layers::Dense::with_seed(14 * 16, 32, 3).frozen())
+        .push(layers::ReLU::new())
+        .push(layers::Dense::with_seed(32, 2, 4));
+    let (train, _) = viper_workloads::nt3::datasets(0.03, 5);
+    let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
+    let cfg = FitConfig { epochs: 1, batch_size: 8, shuffle: true };
+
+    model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+    let base = viper_formats::Checkpoint::new("nt3-ft", model.iteration(), model.named_weights());
+    model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+    let next = viper_formats::Checkpoint::new("nt3-ft", model.iteration(), model.named_weights());
+
+    let full = ViperFormat.encode(&next).len() as u64;
+    let delta = viper_formats::delta::diff(&base, &next).expect("same architecture");
+    let delta_bytes = delta.encode().len() as u64;
+    (full, delta_bytes, delta.changed_fraction())
+}
+
+/// PFS update latency under concurrent writer load (the §3 argument that
+/// uncoordinated small I/O under concurrency makes the PFS a bottleneck).
+/// Returns `(concurrent streams, modeled TC1 update write time s)`.
+pub fn pfs_contention() -> Vec<(usize, f64)> {
+    let profile = MachineProfile::polaris();
+    let w = WorkloadProfile::tc1();
+    let spec = profile.tier(viper_hw::Tier::Pfs);
+    (0..4)
+        .map(|k| {
+            let load = 1 << k;
+            let t = spec.write_time_loaded(w.model_bytes, w.ntensors, load);
+            (load, t.as_secs_f64())
+        })
+        .collect()
+}
+
+/// Render all ablations as markdown sections.
+pub fn render_all() -> String {
+    let mut out = String::new();
+
+    out.push_str("### Sync vs async capture (TC1, 4.7 GB)\n\n");
+    let rows: Vec<Vec<String>> = sync_vs_async()
+        .into_iter()
+        .map(|(l, stall, lat)| vec![l, format!("{stall:.3}"), format!("{lat:.3}")])
+        .collect();
+    out.push_str(&crate::markdown_table(&["strategy", "producer stall (s)", "update latency (s)"], &rows));
+
+    out.push_str("\n### Push notification vs polling (TC1, epoch schedule)\n\n");
+    let rows: Vec<Vec<String>> = notify_vs_poll()
+        .into_iter()
+        .map(|(l, lat, cil)| vec![l, format!("{lat:.3}"), format!("{cil:.0}")])
+        .collect();
+    out.push_str(&crate::markdown_table(&["discovery", "mean update latency (s)", "CIL"], &rows));
+
+    out.push_str("\n### Checkpoint format overhead on the PFS (TC1)\n\n");
+    let rows: Vec<Vec<String>> = format_overhead()
+        .into_iter()
+        .map(|(f, gb, lat)| vec![f, format!("{gb:.2}"), format!("{lat:.2}")])
+        .collect();
+    out.push_str(&crate::markdown_table(&["format", "encoded size (GB)", "update latency (s)"], &rows));
+
+    out.push_str("\n### Greedy threshold sensitivity (TC1)\n\n");
+    let rows: Vec<Vec<String>> = threshold_sensitivity()
+        .into_iter()
+        .map(|(m, n, cil)| vec![format!("{m}x"), n.to_string(), format!("{cil:.0}")])
+        .collect();
+    out.push_str(&crate::markdown_table(
+        &["threshold multiplier", "#checkpoints", "simulated CIL"],
+        &rows,
+    ));
+
+    out.push_str("\n### Scheduler comparison (TC1, GPU transfer)\n\n");
+    let rows: Vec<Vec<String>> = scheduler_comparison()
+        .into_iter()
+        .map(|(l, n, cil)| vec![l, n.to_string(), format!("{cil:.0}")])
+        .collect();
+    out.push_str(&crate::markdown_table(&["scheduler", "#checkpoints", "simulated CIL"], &rows));
+
+    out.push_str("\n### Incremental (delta) checkpointing (NT3 fine-tune, frozen backbone)\n\n");
+    let (full, delta, frac) = delta_savings();
+    out.push_str(&crate::markdown_table(
+        &["checkpoint", "encoded bytes", "changed tensors"],
+        &[
+            vec!["full".into(), full.to_string(), "100%".into()],
+            vec![
+                "delta".into(),
+                delta.to_string(),
+                format!("{:.0}%", frac * 100.0),
+            ],
+        ],
+    ));
+
+    out.push_str("\n### PFS write contention (TC1 checkpoint, concurrent streams)\n\n");
+    let rows: Vec<Vec<String>> = pfs_contention()
+        .into_iter()
+        .map(|(load, t)| vec![load.to_string(), format!("{t:.2}")])
+        .collect();
+    out.push_str(&crate::markdown_table(&["concurrent writers", "write time (s)"], &rows));
+
+    out.push_str("\n### Data-parallel producer scaling (sharded capture, TC1)\n\n");
+    let rows: Vec<Vec<String>> = producer_scaling()
+        .into_iter()
+        .map(|(r, o, cil)| vec![r.to_string(), format!("{o:.2}"), format!("{cil:.0}")])
+        .collect();
+    out.push_str(&crate::markdown_table(
+        &["producer ranks", "per-rank overhead (s)", "CIL"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_always_trades_stall_for_latency() {
+        let rows = sync_vs_async();
+        // Pairs: (gpu sync, gpu async, host sync, host async).
+        assert!(rows[1].1 < rows[0].1, "gpu async stalls less");
+        assert!(rows[1].2 > rows[0].2, "gpu async latency higher");
+        assert!(rows[3].1 < rows[2].1, "host async stalls less");
+    }
+
+    #[test]
+    fn slower_polling_hurts_latency_and_cil() {
+        let rows = notify_vs_poll();
+        let push = &rows[0];
+        let slow = rows.last().unwrap();
+        assert!(push.1 < slow.1);
+        assert!(push.2 <= slow.2);
+        // CIL is monotone non-decreasing in poll interval.
+        for pair in rows[1..].windows(2) {
+            assert!(pair[0].2 <= pair[1].2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn h5_format_bigger_and_slower() {
+        let rows = format_overhead();
+        let viper = rows.iter().find(|r| r.0 == "viper").unwrap();
+        let h5 = rows.iter().find(|r| r.0 == "h5py").unwrap();
+        assert!(h5.1 > viper.1);
+        assert!(h5.2 > viper.2);
+    }
+
+    #[test]
+    fn producer_scaling_amortizes_overhead() {
+        let rows = producer_scaling();
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 < pair[0].1, "per-rank overhead must shrink: {rows:?}");
+            assert!(pair[1].2 <= pair[0].2 + 1e-6, "CIL must not grow: {rows:?}");
+        }
+        // Halving is exact under sharded capture.
+        assert!((rows[0].1 / rows[3].1 - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ipp_schedules_beat_checkfreq_style_on_cil() {
+        let rows = scheduler_comparison();
+        let cil = |label: &str| rows.iter().find(|r| r.0.starts_with(label)).unwrap().2;
+        assert!(cil("ipp-fixed") <= cil("checkfreq-style") + 1e-9);
+        assert!(cil("ipp-greedy") <= cil("epoch-baseline") + 1e-9);
+    }
+
+    #[test]
+    fn delta_much_smaller_with_frozen_backbone() {
+        let (full, delta, frac) = delta_savings();
+        // The frozen conv backbone is the minority of NT3's bytes, but the
+        // delta must still be strictly smaller and carry < 100% of tensors.
+        assert!(delta < full, "delta {delta} !< full {full}");
+        assert!(frac < 1.0, "changed fraction {frac}");
+        assert!(frac > 0.0, "the head must actually train");
+    }
+
+    #[test]
+    fn pfs_contention_scales_write_time() {
+        let rows = pfs_contention();
+        assert_eq!(rows[0].0, 1);
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "{rows:?}");
+        }
+        // 8 concurrent writers cost ~8x the payload time.
+        let (first, last) = (rows[0].1, rows.last().unwrap().1);
+        assert!(last / first > 5.0, "{rows:?}");
+    }
+
+    #[test]
+    fn raising_threshold_reduces_checkpoints() {
+        let rows = threshold_sensitivity();
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "{rows:?}");
+        }
+        // And some threshold in the sweep actually checkpoints.
+        assert!(rows[0].1 > 0);
+    }
+}

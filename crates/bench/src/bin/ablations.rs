@@ -1,0 +1,5 @@
+//! Runs the ablation studies (sync/async, notify vs poll, format, threshold).
+fn main() {
+    println!("Ablations\n");
+    println!("{}", viper_bench::ablations::render_all());
+}

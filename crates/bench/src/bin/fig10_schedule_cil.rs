@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10a-c: CIL under the three checkpoint schedules.
+fn main() {
+    println!("Fig. 10 — cumulative inference loss per checkpoint schedule\n");
+    let rows = viper_bench::fig10::run(42);
+    println!("{}", viper_bench::fig10::render_fig10(&rows));
+}

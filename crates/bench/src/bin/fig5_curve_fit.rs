@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: learning-curve fitting for TC1 warm-up losses.
+fn main() {
+    println!("Fig. 5 — fitting the TC1 learning curve with four families\n");
+    let rows = viper_bench::fig5::run(42);
+    println!("{}", viper_bench::fig5::render(&rows));
+    println!("(the paper selects Exp3 for TC1 by minimal MSE)");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: constancy of per-iteration and per-request times.
+fn main() {
+    println!("Fig. 6 — TC1 training/inference timing stability (miniature, this machine)\n");
+    let t = viper_bench::fig6::run(200);
+    println!("{}", viper_bench::fig6::render(&t));
+    println!("(low coefficients of variation validate the IPP's constant-time assumption)");
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8a-c: end-to-end model update latency per strategy.
+fn main() {
+    println!("Fig. 8 — end-to-end model update latency across transfer strategies\n");
+    let rows = viper_bench::fig8::run();
+    println!("{}", viper_bench::fig8::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9: CIL + training overhead per transfer strategy.
+fn main() {
+    println!("Fig. 9 — benefit of low-latency updates (TC1, epoch-boundary schedule, 16 ckpts)\n");
+    let rows = viper_bench::fig9::run();
+    println!("{}", viper_bench::fig9::render(&rows));
+}

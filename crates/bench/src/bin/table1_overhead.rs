@@ -1,0 +1,6 @@
+//! Regenerates Table 1: checkpoint counts and training overhead.
+fn main() {
+    println!("Table 1 — checkpoints and training overhead per schedule\n");
+    let rows = viper_bench::fig10::run(42);
+    println!("{}", viper_bench::fig10::render_table1(&rows));
+}

@@ -1,0 +1,82 @@
+//! Fig. 5 — fitting the learning curve for TC1 with warm-up training loss
+//! using four functions; the paper selects Exp3 by minimal MSE.
+
+use viper_predictor::fit;
+use viper_workloads::WorkloadProfile;
+
+/// One fitted family's result.
+#[derive(Debug, Clone)]
+pub struct CurveFitRow {
+    /// Family name (exp2/exp3/lin2/expd3).
+    pub family: &'static str,
+    /// MSE over the warm-up window.
+    pub mse: f64,
+    /// Mean absolute extrapolation error over the post-warm-up run,
+    /// against the ground-truth curve.
+    pub extrapolation_mae: f64,
+    /// Whether this family was selected.
+    pub selected: bool,
+}
+
+/// Fit all four families to TC1's warm-up losses.
+pub fn run(seed: u64) -> Vec<CurveFitRow> {
+    let w = WorkloadProfile::tc1();
+    let warmup = w.warmup_losses(seed);
+    let fits = fit::fit_all(&warmup);
+    let best = fit::fit_best(&warmup);
+
+    fits.into_iter()
+        .map(|f| {
+            let horizon: Vec<u64> = (w.warmup_end()..w.run_end()).step_by(50).collect();
+            let extrapolation_mae = horizon
+                .iter()
+                .map(|&x| (f.loss_pred(x as f64) - w.loss_at(x)).abs())
+                .sum::<f64>()
+                / horizon.len() as f64;
+            CurveFitRow {
+                family: f.model.family(),
+                mse: f.mse,
+                extrapolation_mae,
+                selected: f.model.family() == best.model.family(),
+            }
+        })
+        .collect()
+}
+
+/// Render the figure as a table.
+pub fn render(rows: &[CurveFitRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", r.family, if r.selected { " (selected)" } else { "" }),
+                format!("{:.3e}", r.mse),
+                format!("{:.4}", r.extrapolation_mae),
+            ]
+        })
+        .collect();
+    crate::markdown_table(&["curve family", "warm-up MSE", "extrapolation MAE"], &table_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_family_wins_like_the_paper() {
+        let rows = run(42);
+        assert_eq!(rows.len(), 5);
+        let selected = rows.iter().find(|r| r.selected).unwrap();
+        // TC1 decays to a nonzero asymptote: exp3 or expd3 must win; lin2
+        // and exp2 cannot represent the floor.
+        assert!(
+            selected.family == "exp3" || selected.family == "expd3",
+            "selected {}",
+            selected.family
+        );
+        let lin2 = rows.iter().find(|r| r.family == "lin2").unwrap();
+        assert!(selected.mse < lin2.mse);
+        // The winner must also extrapolate well beyond the warm-up.
+        assert!(selected.extrapolation_mae < 0.05, "{}", selected.extrapolation_mae);
+    }
+}

@@ -1,0 +1,65 @@
+//! # viper-bench
+//!
+//! The benchmark harness: one module per table/figure in the paper's
+//! evaluation (§5), each exposing a `run()` that returns structured rows
+//! and a `render()` that prints the same table the paper reports.
+//!
+//! Regeneration binaries (see `DESIGN.md` for the experiment index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig5_curve_fit` | Fig. 5 — learning-curve fitting for TC1 |
+//! | `fig6_timing_stability` | Fig. 6 — constant per-iteration timings |
+//! | `fig8_update_latency` | Fig. 8a-c — end-to-end update latency |
+//! | `fig9_transfer_benefit` | Fig. 9 — CIL + overhead per strategy |
+//! | `fig10_schedule_cil` | Fig. 10a-c — CIL per schedule |
+//! | `table1_overhead` | Table 1 — checkpoints & training overhead |
+//! | `ablations` | sync/async, notify vs poll, format, threshold |
+//! | `all_experiments` | everything above, as EXPERIMENTS.md content |
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+
+use viper_hw::{CaptureMode, Route, TransferStrategy};
+
+/// The strategy Viper defaults to in the schedule experiments (§5.4 runs
+/// Fig. 10 with the GPU-to-GPU transfer strategy).
+pub fn gpu_async() -> TransferStrategy {
+    TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async }
+}
+
+/// Render a markdown table from a header and rows of equal arity.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len());
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

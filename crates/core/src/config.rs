@@ -1,0 +1,152 @@
+//! Framework configuration.
+
+use std::time::Duration;
+use viper_formats::{CheckpointFormat, H5Lite, ViperFormat};
+use viper_hw::{CaptureMode, MachineProfile, Route, TransferStrategy};
+
+/// How consumers learn about new model versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryMode {
+    /// Viper's push notifications through the pub/sub broker.
+    Push,
+    /// The baseline serving systems' approach (TensorFlow Serving, NVIDIA
+    /// Triton): poll the metadata repository at a fixed interval. The
+    /// interval is charged to the virtual clock as discovery delay.
+    Poll {
+        /// Poll interval (the paper cites a >= 1 ms floor for Triton).
+        interval: Duration,
+    },
+}
+
+/// Which serialization format checkpoints use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatKind {
+    /// The lean Viper binary format.
+    Viper,
+    /// The h5py-style baseline format (for baseline measurements).
+    H5,
+}
+
+impl FormatKind {
+    /// Instantiate the format.
+    pub fn build(self) -> Box<dyn CheckpointFormat> {
+        match self {
+            FormatKind::Viper => Box::new(ViperFormat),
+            FormatKind::H5 => Box::new(H5Lite),
+        }
+    }
+}
+
+/// Configuration of a Viper deployment.
+#[derive(Debug, Clone)]
+pub struct ViperConfig {
+    /// Simulated machine characteristics.
+    pub profile: MachineProfile,
+    /// How checkpoints travel from producer to consumer.
+    pub strategy: TransferStrategy,
+    /// Checkpoint serialization format.
+    pub format: FormatKind,
+    /// Flush every checkpoint to the PFS in the background for fault
+    /// tolerance (§4.4). Memory routes only (the PFS route already lands
+    /// there).
+    pub flush_to_pfs: bool,
+    /// How many versions of each model to keep in the metadata DB.
+    pub keep_versions: usize,
+    /// Let the Transfer Selector degrade the route down the tier hierarchy
+    /// (GPU → host → PFS) when the configured staging tier is out of
+    /// memory, instead of failing the save (Fig. 7's strategy selection).
+    pub tier_fallback: bool,
+    /// How consumers discover updates (push vs baseline polling).
+    pub discovery: DiscoveryMode,
+    /// Persist the PFS tier's objects as files under this directory,
+    /// surviving process restarts (see [`crate::Viper::recover_catalog`]).
+    pub pfs_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ViperConfig {
+    fn default() -> Self {
+        ViperConfig {
+            profile: MachineProfile::polaris(),
+            strategy: TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
+            format: FormatKind::Viper,
+            flush_to_pfs: true,
+            keep_versions: 16,
+            tier_fallback: true,
+            discovery: DiscoveryMode::Push,
+            pfs_dir: None,
+        }
+    }
+}
+
+impl ViperConfig {
+    /// The traditional baseline: h5py files through the PFS, discovered by
+    /// polling (as TensorFlow Serving / Triton do).
+    pub fn h5py_baseline() -> Self {
+        ViperConfig {
+            strategy: TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            format: FormatKind::H5,
+            flush_to_pfs: false,
+            discovery: DiscoveryMode::Poll { interval: Duration::from_millis(1) },
+            ..Self::default()
+        }
+    }
+
+    /// Viper through the PFS (lean format, same tier as the baseline).
+    pub fn viper_pfs() -> Self {
+        ViperConfig {
+            strategy: TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            flush_to_pfs: false,
+            ..Self::default()
+        }
+    }
+
+    /// Set the transfer strategy (builder style).
+    pub fn with_strategy(mut self, route: Route, mode: CaptureMode) -> Self {
+        self.strategy = TransferStrategy { route, mode };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_memory_first_async_push() {
+        let c = ViperConfig::default();
+        assert_eq!(c.strategy.route, Route::GpuToGpu);
+        assert_eq!(c.strategy.mode, CaptureMode::Async);
+        assert_eq!(c.format, FormatKind::Viper);
+        assert!(c.flush_to_pfs);
+        assert!(c.tier_fallback);
+        assert_eq!(c.discovery, DiscoveryMode::Push);
+    }
+
+    #[test]
+    fn baseline_polls() {
+        assert!(matches!(
+            ViperConfig::h5py_baseline().discovery,
+            DiscoveryMode::Poll { .. }
+        ));
+    }
+
+    #[test]
+    fn baseline_uses_h5_over_pfs() {
+        let c = ViperConfig::h5py_baseline();
+        assert_eq!(c.strategy.route, Route::PfsStaging);
+        assert_eq!(c.format, FormatKind::H5);
+    }
+
+    #[test]
+    fn format_kinds_build() {
+        assert_eq!(FormatKind::Viper.build().name(), "viper");
+        assert_eq!(FormatKind::H5.build().name(), "h5py");
+    }
+
+    #[test]
+    fn builder_sets_strategy() {
+        let c = ViperConfig::default().with_strategy(Route::HostToHost, CaptureMode::Sync);
+        assert_eq!(c.strategy.route, Route::HostToHost);
+        assert_eq!(c.strategy.mode, CaptureMode::Sync);
+    }
+}

@@ -1,0 +1,347 @@
+//! The consumer side: push-notified model loading into a double-buffered
+//! slot, plus the paper's blocking `load_weights()` API.
+
+use crate::config::DiscoveryMode;
+use crate::context::Viper;
+use crate::producer::{charge, charge_apply};
+use crate::slot::ModelSlot;
+use crate::{Result, ViperError, UPDATE_TOPIC};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use viper_formats::{Checkpoint, CheckpointFormat};
+use viper_hw::{Route, SimInstant, Tier};
+
+/// Details of the most recent completed model update on the consumer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateInfo {
+    /// Metadata version installed.
+    pub version: u64,
+    /// Training iteration of the installed model.
+    pub iteration: u64,
+    /// Virtual time the swap completed.
+    pub swapped_at: SimInstant,
+}
+
+struct ConsumerState {
+    slot: ModelSlot,
+    latest: Mutex<Option<UpdateInfo>>,
+    cond: Condvar,
+    /// Version returned by the most recent `load_weights` call, so repeated
+    /// calls step through updates instead of racing the listener.
+    last_loaded: Mutex<u64>,
+}
+
+/// A consumer attached to a Viper deployment, serving one model.
+pub struct Consumer {
+    viper: Viper,
+    node: String,
+    model_name: String,
+    state: Arc<ConsumerState>,
+    stop: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+}
+
+impl Consumer {
+    pub(crate) fn attach(viper: Viper, node: &str, model_name: &str) -> Self {
+        let endpoint = viper.shared.fabric.register(node);
+        viper.shared.consumers.write().push(node.to_string());
+        let subscription = viper.shared.bus.subscribe(UPDATE_TOPIC);
+
+        let state = Arc::new(ConsumerState {
+            slot: ModelSlot::new(),
+            latest: Mutex::new(None),
+            cond: Condvar::new(),
+            last_loaded: Mutex::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let format = viper.shared.config.format.build();
+
+        let listener = {
+            let viper = viper.clone();
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let model_name = model_name.to_string();
+            std::thread::Builder::new()
+                .name(format!("viper-consumer-{node}"))
+                .spawn(move || {
+                    listener_loop(&viper, &endpoint, &subscription, &state, &stop, &model_name, &*format);
+                })
+                .expect("spawn consumer listener")
+        };
+
+        Consumer {
+            viper,
+            node: node.to_string(),
+            model_name: model_name.to_string(),
+            state,
+            stop,
+            listener: Some(listener),
+        }
+    }
+
+    /// The node this consumer runs on.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The model this consumer serves.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The model currently serving inferences, if any update has arrived.
+    pub fn current(&self) -> Option<Arc<Checkpoint>> {
+        self.state.slot.current()
+    }
+
+    /// Training iteration of the currently served model.
+    pub fn current_iteration(&self) -> Option<u64> {
+        self.state.slot.current_iteration()
+    }
+
+    /// Info about the most recent completed update.
+    pub fn last_update(&self) -> Option<UpdateInfo> {
+        *self.state.latest.lock()
+    }
+
+    /// How far the served model lags the newest *recorded* version of this
+    /// model: `(version lag, iteration lag)`. `(0, 0)` when fully fresh;
+    /// `None` when the metadata DB has never seen the model.
+    ///
+    /// This is the signal the paper's optional Stats Manager would export —
+    /// a consumer serving a stale replica is exactly what Viper's
+    /// low-latency updates are meant to prevent.
+    pub fn staleness(&self) -> Option<(u64, u64)> {
+        let newest = self.viper.shared.db.latest(&self.model_name)?;
+        let (cur_version, cur_iter) = match self.last_update() {
+            Some(u) => (u.version, u.iteration),
+            None => (0, 0),
+        };
+        Some((
+            newest.version.saturating_sub(cur_version),
+            newest.iteration.saturating_sub(cur_iter),
+        ))
+    }
+
+    /// Completed update count (slot swaps).
+    pub fn updates_applied(&self) -> u64 {
+        self.state.slot.swap_count()
+    }
+
+    /// Block until a model *newer than the one this method last returned*
+    /// is available, then return it — the paper's `load_weights()` API.
+    /// The first call returns the first installed model; each subsequent
+    /// call returns a strictly newer version (possibly skipping
+    /// intermediate ones if several arrived in between).
+    ///
+    /// `timeout` is wall-clock (the listener runs on a real thread).
+    pub fn load_weights(&self, timeout: Duration) -> Result<Arc<Checkpoint>> {
+        let deadline = Instant::now() + timeout;
+        let mut last_loaded = self.state.last_loaded.lock();
+        let mut latest = self.state.latest.lock();
+        loop {
+            if let Some(info) = *latest {
+                if info.version > *last_loaded {
+                    *last_loaded = info.version;
+                    drop(latest);
+                    return self
+                        .current()
+                        .ok_or_else(|| ViperError::Invalid("swap recorded but slot empty".into()));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ViperError::Timeout {
+                    waiting_for: format!("model {} > v{}", self.model_name, *last_loaded),
+                });
+            }
+            self.state.cond.wait_until(&mut latest, deadline);
+        }
+    }
+
+    /// Recover the newest checkpoint that survives on the PFS — the paper's
+    /// fault-tolerance path (§4.4: "all historical DNN models are flushed
+    /// to the PFS through a background thread").
+    ///
+    /// A consumer that (re)starts after the producer's memory tiers are
+    /// gone walks its model's version history newest-first, reads the first
+    /// record whose checkpoint lives on the PFS, and installs it. Returns
+    /// the recovered checkpoint, or [`ViperError::UnknownModel`] if no
+    /// durable version exists.
+    pub fn recover(&self) -> Result<Arc<Checkpoint>> {
+        let format = self.viper.shared.config.format.build();
+        let history = self.viper.shared.db.history(&self.model_name);
+        if history.is_empty() {
+            return Err(ViperError::UnknownModel(self.model_name.clone()));
+        }
+        for record in history.iter().rev() {
+            if record.location != Tier::Pfs.name() {
+                continue;
+            }
+            let Ok((payload, _)) = self.viper.shared.pfs.read(&record.path) else {
+                continue;
+            };
+            let Ok(ckpt) = format.decode(&payload) else {
+                continue; // corrupt durable copy; try an older one
+            };
+            charge_apply(&self.viper, Route::PfsStaging, payload.len() as u64, ckpt.ntensors());
+            let iteration = ckpt.iteration;
+            self.state.slot.stage(ckpt);
+            if self.state.slot.swap() {
+                let mut latest = self.state.latest.lock();
+                *latest = Some(UpdateInfo {
+                    version: record.version,
+                    iteration,
+                    swapped_at: self.viper.shared.clock.now(),
+                });
+                self.state.cond.notify_all();
+            }
+            return self
+                .current()
+                .ok_or_else(|| ViperError::Invalid("recovered model vanished from slot".into()));
+        }
+        Err(ViperError::UnknownModel(format!(
+            "{}: no durable (PFS) version in {} records",
+            self.model_name,
+            history.len()
+        )))
+    }
+
+    /// Wait (up to `timeout`) until *any* model version is installed and
+    /// return it. Unlike [`Consumer::load_weights`] this returns
+    /// immediately if a model is already being served.
+    pub fn wait_for_model(&self, timeout: Duration) -> Result<Arc<Checkpoint>> {
+        let deadline = Instant::now() + timeout;
+        let mut latest = self.state.latest.lock();
+        loop {
+            if latest.is_some() {
+                drop(latest);
+                return self
+                    .current()
+                    .ok_or_else(|| ViperError::Invalid("swap recorded but slot empty".into()));
+            }
+            if Instant::now() >= deadline {
+                return Err(ViperError::Timeout {
+                    waiting_for: format!("first version of model {}", self.model_name),
+                });
+            }
+            self.state.cond.wait_until(&mut latest, deadline);
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        self.viper.shared.consumers.write().retain(|n| n != &self.node);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn listener_loop(
+    viper: &Viper,
+    endpoint: &viper_net::Endpoint,
+    subscription: &viper_metastore::Subscription<viper_metastore::ModelRecord>,
+    state: &ConsumerState,
+    stop: &AtomicBool,
+    model_name: &str,
+    format: &dyn CheckpointFormat,
+) {
+    while !stop.load(Ordering::Acquire) {
+        // Direct-push payloads (memory routes). The apply cost is derived
+        // from the link the payload actually traversed, not the configured
+        // default — the Transfer Selector may have rerouted under pressure.
+        if let Some(msg) = endpoint.recv_timeout(Duration::from_millis(2)) {
+            let route = match msg.link {
+                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
+                _ => Route::HostToHost,
+            };
+            if let Ok(ckpt) = format.decode(&msg.payload) {
+                if ckpt.model_name == model_name {
+                    let version = msg
+                        .tag
+                        .rsplit(':')
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0);
+                    charge_apply(viper, route, msg.payload.len() as u64, ckpt.ntensors());
+                    install(viper, state, ckpt, version);
+                }
+            }
+        }
+        // Repository-staged updates (PFS route): discovered either via the
+        // push notification (Viper) or by polling the metadata repository
+        // (the TensorFlow-Serving/Triton baseline).
+        match viper.shared.config.discovery {
+            DiscoveryMode::Push => {
+                while let Some(record) = subscription.try_recv() {
+                    try_pull_from_pfs(viper, state, model_name, format, &record);
+                }
+            }
+            DiscoveryMode::Poll { interval } => {
+                // Drain (and ignore) notifications so the broker queue does
+                // not grow; the baseline doesn't listen to them.
+                while subscription.try_recv().is_some() {}
+                if let Some(record) = viper.shared.db.latest(model_name) {
+                    let already = (*state.latest.lock()).map(|u| u.version).unwrap_or(0);
+                    if record.version > already && record.location == Tier::Pfs.name() {
+                        // The poller only notices on its grid: round the
+                        // virtual clock up to the next poll tick.
+                        let secs = interval.as_secs_f64();
+                        if secs > 0.0 {
+                            let now = viper.shared.clock.now().as_secs_f64();
+                            let tick = (now / secs).ceil() * secs;
+                            viper.shared.clock.advance_to(viper_hw::SimInstant(
+                                (tick * 1e9) as u64,
+                            ));
+                        }
+                        try_pull_from_pfs(viper, state, model_name, format, &record);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fetch a repository-staged record's payload, verify, and install it.
+fn try_pull_from_pfs(
+    viper: &Viper,
+    state: &ConsumerState,
+    model_name: &str,
+    format: &dyn CheckpointFormat,
+    record: &viper_metastore::ModelRecord,
+) {
+    if record.name != model_name || record.location != Tier::Pfs.name() {
+        return;
+    }
+    // Skip stale notifications (an even newer one may be queued).
+    let already = (*state.latest.lock()).map(|u| u.version).unwrap_or(0);
+    if record.version <= already {
+        return;
+    }
+    if let Ok((payload, _read_time)) = viper.shared.pfs.read(&record.path) {
+        if let Ok(ckpt) = format.decode(&payload) {
+            charge_apply(viper, Route::PfsStaging, payload.len() as u64, ckpt.ntensors());
+            install(viper, state, ckpt, record.version);
+        }
+    }
+}
+
+fn install(viper: &Viper, state: &ConsumerState, ckpt: Checkpoint, version: u64) {
+    let iteration = ckpt.iteration;
+    // Double buffering: write to the alternative copy, then swap atomically.
+    state.slot.stage(ckpt);
+    if state.slot.swap() {
+        // The swap itself is "negligible overhead" (§4.2); we still nudge
+        // the virtual clock so ordering is visible in traces.
+        charge(&viper.shared.clock, Duration::from_nanos(100));
+        let mut latest = state.latest.lock();
+        *latest = Some(UpdateInfo { version, iteration, swapped_at: viper.shared.clock.now() });
+        state.cond.notify_all();
+    }
+}

@@ -1,0 +1,82 @@
+//! Framework-level errors.
+
+use viper_formats::FormatError;
+use viper_hw::StorageError;
+use viper_net::NetError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ViperError>;
+
+/// Errors surfaced by the Viper framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViperError {
+    /// A storage tier rejected an operation.
+    Storage(StorageError),
+    /// The fabric rejected a transfer.
+    Net(NetError),
+    /// A checkpoint failed to (de)serialize.
+    Format(FormatError),
+    /// Waited for a model update that never arrived.
+    Timeout {
+        /// What was being waited for.
+        waiting_for: String,
+    },
+    /// The requested model is unknown to the metadata DB.
+    UnknownModel(String),
+    /// The framework was misconfigured or used out of order.
+    Invalid(String),
+}
+
+impl From<StorageError> for ViperError {
+    fn from(e: StorageError) -> Self {
+        ViperError::Storage(e)
+    }
+}
+
+impl From<NetError> for ViperError {
+    fn from(e: NetError) -> Self {
+        ViperError::Net(e)
+    }
+}
+
+impl From<FormatError> for ViperError {
+    fn from(e: FormatError) -> Self {
+        ViperError::Format(e)
+    }
+}
+
+impl std::fmt::Display for ViperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViperError::Storage(e) => write!(f, "storage: {e}"),
+            ViperError::Net(e) => write!(f, "network: {e}"),
+            ViperError::Format(e) => write!(f, "format: {e}"),
+            ViperError::Timeout { waiting_for } => write!(f, "timed out waiting for {waiting_for}"),
+            ViperError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            ViperError::Invalid(m) => write!(f, "invalid use: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ViperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: ViperError = StorageError::NotFound("k".into()).into();
+        assert!(matches!(e, ViperError::Storage(_)));
+        let e: ViperError = NetError::UnknownNode("n".into()).into();
+        assert!(matches!(e, ViperError::Net(_)));
+        let e: ViperError = FormatError::BadMagic.into();
+        assert!(matches!(e, ViperError::Format(_)));
+    }
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = ViperError::Timeout { waiting_for: "model demo v2".into() };
+        assert!(e.to_string().contains("demo v2"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The producer-side Model Weights Handler (§4.4).
+//!
+//! `save_weights` is the paper's producer API (Fig. 4). It captures the
+//! checkpoint, caches it memory-first on the route's staging tier, records
+//! metadata, and delivers the payload to every attached consumer — inline
+//! (sync) or from a background thread (async). Every historical checkpoint
+//! is additionally flushed to the PFS for fault tolerance when
+//! `flush_to_pfs` is enabled.
+//!
+//! All hardware durations are charged to the deployment's virtual clock
+//! with `advance_to`, so concurrent background work overlaps in virtual
+//! time instead of serializing.
+
+use crate::context::Viper;
+use crate::{Result, UPDATE_TOPIC};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use viper_formats::{Checkpoint, CheckpointFormat};
+use viper_hw::{
+    apply_time, capture_time, stage_time, CaptureMode, Route, SimClock, SimInstant, StorageTier,
+    Tier,
+};
+use viper_metastore::ModelRecord;
+use viper_net::{Endpoint, LinkKind};
+
+/// What `save_weights` reports back to the training loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaveReceipt {
+    /// Version assigned by the metadata DB (1-based).
+    pub version: u64,
+    /// Serialized checkpoint size.
+    pub bytes: u64,
+    /// Time the producer's training loop was blocked.
+    pub stall: Duration,
+    /// Virtual time the save started.
+    pub started_at: SimInstant,
+    /// Virtual time the stall ended (training resumed).
+    pub resumed_at: SimInstant,
+}
+
+enum Job {
+    Deliver { record: ModelRecord, payload: Arc<Vec<u8>>, route: Route },
+    Flush { record: ModelRecord, payload: Arc<Vec<u8>> },
+}
+
+/// A producer attached to a Viper deployment.
+pub struct Producer {
+    viper: Viper,
+    node: String,
+    endpoint: Arc<Endpoint>,
+    gpu: Arc<StorageTier>,
+    host: Arc<StorageTier>,
+    format: Box<dyn CheckpointFormat>,
+    worker_tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Producer {
+    pub(crate) fn attach(viper: Viper, node: &str) -> Self {
+        let clock = viper.shared.clock.clone();
+        let profile = &viper.shared.config.profile;
+        let gpu = Arc::new(StorageTier::new(*profile.tier(Tier::GpuMem), clock.clone()));
+        let host = Arc::new(StorageTier::new(*profile.tier(Tier::HostMem), clock.clone()));
+        let format = viper.shared.config.format.build();
+        let endpoint = Arc::new(viper.shared.fabric.register(node));
+
+        let (tx, rx) = unbounded::<Job>();
+        let worker = {
+            let viper = viper.clone();
+            let endpoint = Arc::clone(&endpoint);
+            let node = node.to_string();
+            std::thread::Builder::new()
+                .name(format!("viper-producer-worker-{node}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Deliver { record, payload, route } => {
+                                let stage =
+                                    stage_time(&viper.shared.config.profile, route, payload.len() as u64);
+                                charge(&viper.shared.clock, stage);
+                                deliver(&viper, &endpoint, &record, &payload, route);
+                            }
+                            Job::Flush { record, payload } => {
+                                let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
+                                let ntensors = record.ntensors;
+                                if viper.shared.pfs.write(&pfs_path, payload, ntensors).is_ok() {
+                                    viper.shared.db.relocate(
+                                        &record.name,
+                                        record.version,
+                                        Tier::Pfs.name(),
+                                        &pfs_path,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn producer worker")
+        };
+
+        Producer {
+            viper,
+            node: node.to_string(),
+            endpoint,
+            gpu,
+            host,
+            format,
+            worker_tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// The node this producer runs on.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The producer's local GPU-memory staging tier.
+    pub fn gpu_tier(&self) -> &StorageTier {
+        &self.gpu
+    }
+
+    /// The producer's local host-memory staging tier.
+    pub fn host_tier(&self) -> &StorageTier {
+        &self.host
+    }
+
+    /// Save the current model state — the paper's `save_weights()` API.
+    ///
+    /// Blocks (in virtual time) for the strategy's producer stall; the rest
+    /// of the delivery happens inline (sync) or in the background (async).
+    pub fn save_weights(&self, ckpt: &Checkpoint) -> Result<SaveReceipt> {
+        let shared = &self.viper.shared;
+        let clock = &shared.clock;
+        let strategy = shared.config.strategy;
+        let started_at = clock.now();
+
+        // 1. Serialize; let the Transfer Selector pick the route (the
+        //    configured one, degraded down the tier hierarchy when the
+        //    staging tier is under memory pressure — Fig. 7).
+        let payload = Arc::new(self.format.encode(ckpt));
+        let bytes = payload.len() as u64;
+        let route = self.select_route(strategy.route, bytes);
+        let ntensors = ckpt.ntensors();
+        let meta_factor = self.format.metadata_ops_factor();
+        let capture = capture_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
+        charge(clock, capture);
+
+        // 2. Cache on the staging tier. Memory tiers are uncharged (the
+        //    payload landed there as part of the capture copy); the PFS
+        //    route's charged write *is* the capture, so it is uncharged
+        //    here too to avoid double billing. Paths are scoped by producer
+        //    node and training iteration so concurrent (data-parallel)
+        //    producers never collide.
+        let path = format!("{}/{}/i{}", ckpt.model_name, self.node, ckpt.iteration);
+        match route {
+            Route::GpuToGpu => self.gpu.put_uncharged(&path, payload.clone(), ntensors)?,
+            Route::HostToHost => self.host.put_uncharged(&path, payload.clone(), ntensors)?,
+            Route::PfsStaging => shared.pfs.put_uncharged(&path, payload.clone(), ntensors)?,
+        }
+
+        // 3. Record metadata (the DB serializes version assignment across
+        //    producers).
+        let mut record = ModelRecord::new(
+            ckpt.model_name.clone(),
+            bytes,
+            ntensors,
+            route.staging_tier().name(),
+            path.clone(),
+        )
+        .at_iteration(ckpt.iteration);
+        let version = shared.db.put(record.clone());
+        record.version = version;
+
+        // 4. Deliver. The PFS route is always effectively synchronous
+        //    (write-through happened in capture); memory routes honour the
+        //    configured mode.
+        let is_async = route != Route::PfsStaging && strategy.mode == CaptureMode::Async;
+        if is_async {
+            self.enqueue(Job::Deliver { record: record.clone(), payload: payload.clone(), route });
+        } else {
+            deliver(&self.viper, &self.endpoint, &record, &payload, route);
+        }
+
+        // 5. Background fault-tolerance flush for memory routes.
+        if shared.config.flush_to_pfs && route != Route::PfsStaging {
+            self.enqueue(Job::Flush { record: record.clone(), payload: payload.clone() });
+        }
+
+        // 6. Prune old versions from the staging tiers.
+        for stale in shared.db.prune(&ckpt.model_name, shared.config.keep_versions) {
+            self.gpu.remove(&stale.path);
+            self.host.remove(&stale.path);
+        }
+
+        // The stall is reported analytically (capture, plus the inline
+        // delivery for synchronous memory routes) rather than read off the
+        // global clock: concurrent background work (flusher, async worker)
+        // legitimately advances the shared virtual clock and must not be
+        // billed to this save.
+        let mut stall = capture;
+        if !is_async && route != Route::PfsStaging {
+            stall += viper_hw::delivery_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
+        }
+        let resumed_at = started_at.add(stall);
+        Ok(SaveReceipt { version, bytes, stall, started_at, resumed_at })
+    }
+
+    /// The Transfer Selector (Fig. 7): use the configured route unless its
+    /// staging tier cannot hold the checkpoint, in which case degrade down
+    /// the hierarchy (GPU -> host -> PFS). Disabled via
+    /// `ViperConfig::tier_fallback`.
+    fn select_route(&self, configured: Route, bytes: u64) -> Route {
+        if !self.viper.shared.config.tier_fallback {
+            return configured;
+        }
+        match configured {
+            Route::GpuToGpu if !self.gpu.has_capacity_for(bytes) => {
+                if self.host.has_capacity_for(bytes) {
+                    Route::HostToHost
+                } else {
+                    Route::PfsStaging
+                }
+            }
+            Route::HostToHost if !self.host.has_capacity_for(bytes) => Route::PfsStaging,
+            other => other,
+        }
+    }
+
+    fn enqueue(&self, job: Job) {
+        if let Some(tx) = &self.worker_tx {
+            // The worker lives as long as the producer; send only fails
+            // during teardown, when dropping the job is correct.
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        drop(self.worker_tx.take());
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Push `payload` to every attached consumer and publish the update
+/// notification. For the PFS route consumers pull from the shared tier, so
+/// only the notification is sent.
+fn deliver(
+    viper: &Viper,
+    endpoint: &Endpoint,
+    record: &ModelRecord,
+    payload: &Arc<Vec<u8>>,
+    route: Route,
+) {
+    let shared = &viper.shared;
+    let link = match route {
+        Route::GpuToGpu => Some(LinkKind::GpuDirect),
+        Route::HostToHost => Some(LinkKind::HostRdma),
+        Route::PfsStaging => None,
+    };
+    if let Some(link) = link {
+        let tag = format!("{}:{}", record.name, record.version);
+        let consumers = shared.consumers.read().clone();
+        for consumer in consumers {
+            if consumer == endpoint.node() {
+                continue;
+            }
+            // A deregistered consumer is not an error: it raced shutdown.
+            let _ = endpoint.send(&consumer, &tag, payload.clone(), link);
+        }
+    }
+    charge(&shared.clock, shared.config.profile.notify_latency);
+    shared.bus.publish(UPDATE_TOPIC, record.clone());
+}
+
+pub(crate) fn charge(clock: &SimClock, dur: Duration) {
+    clock.advance_to(clock.now().add(dur));
+}
+
+/// Consumer-side apply charge, shared with the consumer module.
+pub(crate) fn charge_apply(viper: &Viper, route: Route, bytes: u64, ntensors: usize) {
+    let dur = apply_time(&viper.shared.config.profile, route, bytes, ntensors);
+    charge(&viper.shared.clock, dur);
+}

@@ -1,0 +1,251 @@
+//! Sharded checkpoints — the paper's future-work direction (§6): "allow
+//! the DNN model to be sharded in different ways during the training and
+//! inferences (e.g. by mixing tensor, pipeline, and data parallelism)".
+//!
+//! A checkpoint is split tensor-wise into `k` shards balanced by payload
+//! size (tensor parallelism at checkpoint granularity). Each shard travels
+//! as an ordinary Viper model named `"{base}#<i>of<k>"`, so every existing
+//! transfer path works unchanged. On the consumer side a
+//! [`ShardAssembler`] collects shards per iteration and emits the
+//! reassembled full checkpoint once all `k` have arrived.
+
+use std::collections::HashMap;
+use viper_formats::Checkpoint;
+
+/// Name of shard `index` of `num_shards` for `base`.
+pub fn shard_name(base: &str, index: usize, num_shards: usize) -> String {
+    format!("{base}#{index}of{num_shards}")
+}
+
+/// Parse a shard name back into `(base, index, num_shards)`.
+pub fn parse_shard_name(name: &str) -> Option<(&str, usize, usize)> {
+    let (base, suffix) = name.rsplit_once('#')?;
+    let (idx, total) = suffix.split_once("of")?;
+    let idx = idx.parse().ok()?;
+    let total: usize = total.parse().ok()?;
+    if total == 0 || idx >= total || base.is_empty() {
+        return None;
+    }
+    Some((base, idx, total))
+}
+
+/// Split a checkpoint into `num_shards` size-balanced shards.
+///
+/// Tensors are assigned greedily (largest first) to the currently lightest
+/// shard, so shard payloads stay within one max-tensor of each other.
+/// Panics if `num_shards == 0`.
+pub fn split(ckpt: &Checkpoint, num_shards: usize) -> Vec<Checkpoint> {
+    assert!(num_shards >= 1, "need at least one shard");
+    let mut order: Vec<usize> = (0..ckpt.tensors.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(ckpt.tensors[i].1.byte_len()));
+
+    let mut shards: Vec<Vec<(String, viper_tensor::Tensor)>> = vec![Vec::new(); num_shards];
+    let mut loads = vec![0usize; num_shards];
+    for i in order {
+        let lightest = (0..num_shards).min_by_key(|&s| loads[s]).expect("num_shards >= 1");
+        let (name, tensor) = &ckpt.tensors[i];
+        loads[lightest] += tensor.byte_len();
+        shards[lightest].push((name.clone(), tensor.clone()));
+    }
+
+    shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, tensors)| {
+            Checkpoint::new(shard_name(&ckpt.model_name, i, num_shards), ckpt.iteration, tensors)
+        })
+        .collect()
+}
+
+/// Reassembly state for one sharded model on the consumer side.
+#[derive(Debug)]
+pub struct ShardAssembler {
+    base: String,
+    num_shards: usize,
+    /// iteration -> received shards (by index).
+    pending: HashMap<u64, Vec<Option<Checkpoint>>>,
+    /// Iteration of the last fully assembled checkpoint (stale shards for
+    /// older iterations are dropped).
+    assembled_through: Option<u64>,
+}
+
+impl ShardAssembler {
+    /// An assembler for `num_shards` shards of `base`.
+    pub fn new(base: impl Into<String>, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        ShardAssembler {
+            base: base.into(),
+            num_shards,
+            pending: HashMap::new(),
+            assembled_through: None,
+        }
+    }
+
+    /// The base model name this assembler reassembles.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// Iterations with partially received shard sets.
+    pub fn pending_iterations(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offer a received shard. Returns the fully reassembled checkpoint
+    /// when this shard completes its iteration's set; `None` otherwise
+    /// (including for foreign/malformed/stale shards, which are ignored).
+    pub fn offer(&mut self, shard: Checkpoint) -> Option<Checkpoint> {
+        let (base, index, total) = parse_shard_name(&shard.model_name)?;
+        if base != self.base || total != self.num_shards {
+            return None;
+        }
+        if let Some(done) = self.assembled_through {
+            if shard.iteration <= done {
+                return None; // stale
+            }
+        }
+        let slots = self
+            .pending
+            .entry(shard.iteration)
+            .or_insert_with(|| vec![None; self.num_shards]);
+        slots[index] = Some(shard);
+        if !slots.iter().all(|s| s.is_some()) {
+            return None;
+        }
+
+        let iteration = self
+            .pending
+            .iter()
+            .find(|(_, v)| v.iter().all(|s| s.is_some()))
+            .map(|(&k, _)| k)
+            .expect("just completed");
+        let slots = self.pending.remove(&iteration).expect("present");
+        // Drop anything older: it can never become the newest model.
+        self.pending.retain(|&it, _| it > iteration);
+        self.assembled_through = Some(iteration);
+
+        let mut tensors = Vec::new();
+        for shard in slots.into_iter().flatten() {
+            tensors.extend(shard.tensors);
+        }
+        // Deterministic tensor order regardless of shard assignment.
+        tensors.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(Checkpoint::new(self.base.clone(), iteration, tensors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viper_tensor::Tensor;
+
+    fn ckpt(iter: u64) -> Checkpoint {
+        Checkpoint::new(
+            "big",
+            iter,
+            vec![
+                ("a".into(), Tensor::full(&[100], 1.0)),
+                ("b".into(), Tensor::full(&[300], 2.0)),
+                ("c".into(), Tensor::full(&[200], 3.0)),
+                ("d".into(), Tensor::full(&[50], 4.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn shard_names_roundtrip() {
+        let n = shard_name("tc1", 2, 4);
+        assert_eq!(n, "tc1#2of4");
+        assert_eq!(parse_shard_name(&n), Some(("tc1", 2, 4)));
+        assert_eq!(parse_shard_name("tc1"), None);
+        assert_eq!(parse_shard_name("tc1#4of4"), None, "index out of range");
+        assert_eq!(parse_shard_name("#0of1"), None, "empty base");
+        // A model whose own name contains '#': the *last* '#' delimits.
+        assert_eq!(parse_shard_name("we#ird#1of2"), Some(("we#ird", 1, 2)));
+    }
+
+    #[test]
+    fn split_covers_all_tensors_disjointly() {
+        let c = ckpt(5);
+        let shards = split(&c, 3);
+        assert_eq!(shards.len(), 3);
+        let mut names: Vec<String> = shards
+            .iter()
+            .flat_map(|s| s.tensors.iter().map(|(n, _)| n.clone()))
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.model_name, shard_name("big", i, 3));
+            assert_eq!(s.iteration, 5);
+        }
+    }
+
+    #[test]
+    fn split_balances_payloads() {
+        let c = ckpt(1);
+        let shards = split(&c, 2);
+        let sizes: Vec<u64> = shards.iter().map(|s| s.payload_bytes()).collect();
+        // Total 650 floats; greedy largest-first gives 350/300.
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 100 * 4, "{sizes:?}");
+    }
+
+    #[test]
+    fn single_shard_is_identity_modulo_name() {
+        let c = ckpt(7);
+        let shards = split(&c, 1);
+        assert_eq!(shards[0].iteration, 7);
+        assert_eq!(shards[0].ntensors(), 4);
+    }
+
+    #[test]
+    fn assembler_completes_when_all_shards_arrive() {
+        let c = ckpt(9);
+        let shards = split(&c, 3);
+        let mut asm = ShardAssembler::new("big", 3);
+        assert!(asm.offer(shards[0].clone()).is_none());
+        assert!(asm.offer(shards[2].clone()).is_none());
+        let full = asm.offer(shards[1].clone()).unwrap();
+        assert_eq!(full.model_name, "big");
+        assert_eq!(full.iteration, 9);
+        assert_eq!(full.ntensors(), 4);
+        for (name, tensor) in &c.tensors {
+            assert_eq!(full.tensor(name), Some(tensor), "{name}");
+        }
+        assert_eq!(asm.pending_iterations(), 0);
+    }
+
+    #[test]
+    fn assembler_handles_interleaved_iterations() {
+        let s5 = split(&ckpt(5), 2);
+        let s6 = split(&ckpt(6), 2);
+        let mut asm = ShardAssembler::new("big", 2);
+        assert!(asm.offer(s5[0].clone()).is_none());
+        assert!(asm.offer(s6[0].clone()).is_none());
+        assert_eq!(asm.pending_iterations(), 2);
+        // Completing iteration 6 drops the half-done iteration 5.
+        let full = asm.offer(s6[1].clone()).unwrap();
+        assert_eq!(full.iteration, 6);
+        assert_eq!(asm.pending_iterations(), 0);
+        // A late shard of 5 is stale and ignored.
+        assert!(asm.offer(s5[1].clone()).is_none());
+    }
+
+    #[test]
+    fn assembler_ignores_foreign_and_duplicate_shards() {
+        let shards = split(&ckpt(3), 2);
+        let mut asm = ShardAssembler::new("big", 2);
+        // Foreign base.
+        let other = split(&Checkpoint::new("other", 3, vec![("x".into(), Tensor::zeros(&[1]))]), 2);
+        assert!(asm.offer(other[0].clone()).is_none());
+        // Wrong shard count.
+        let wrong = split(&ckpt(3), 4);
+        assert!(asm.offer(wrong[0].clone()).is_none());
+        // Duplicates don't complete the set.
+        assert!(asm.offer(shards[0].clone()).is_none());
+        assert!(asm.offer(shards[0].clone()).is_none());
+        assert!(asm.offer(shards[1].clone()).is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! The double-buffered model slot (§4.2).
+//!
+//! The consumer serves inferences from the *primary* copy while an updated
+//! model is written into the *alternative* copy; when the write finishes
+//! the two are swapped atomically. Readers never block on a load: they
+//! clone an `Arc` under a briefly-held lock, so the swap causes
+//! "imperceptible downtime" exactly as the paper describes.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use viper_formats::Checkpoint;
+
+/// A double-buffered, atomically-swappable model holder.
+#[derive(Debug)]
+pub struct ModelSlot {
+    primary: RwLock<Option<Arc<Checkpoint>>>,
+    /// The back buffer being prepared (held only during a load).
+    staging: RwLock<Option<Arc<Checkpoint>>>,
+    swaps: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ModelSlot {
+    fn default() -> Self {
+        ModelSlot {
+            primary: RwLock::new(None),
+            staging: RwLock::new(None),
+            swaps: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl ModelSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The model currently serving inferences (None before the first load).
+    pub fn current(&self) -> Option<Arc<Checkpoint>> {
+        self.primary.read().clone()
+    }
+
+    /// Version (training iteration) of the current model, if any.
+    pub fn current_iteration(&self) -> Option<u64> {
+        self.primary.read().as_ref().map(|c| c.iteration)
+    }
+
+    /// Write a new model into the back buffer (does not affect serving).
+    pub fn stage(&self, ckpt: Checkpoint) {
+        *self.staging.write() = Some(Arc::new(ckpt));
+    }
+
+    /// Atomically promote the staged model to primary. Returns whether a
+    /// staged model existed. Stale staging (older iteration than the
+    /// current primary) is discarded.
+    pub fn swap(&self) -> bool {
+        let Some(staged) = self.staging.write().take() else {
+            return false;
+        };
+        let mut primary = self.primary.write();
+        let stale = primary
+            .as_ref()
+            .map(|cur| staged.iteration <= cur.iteration)
+            .unwrap_or(false);
+        if stale {
+            return false;
+        }
+        *primary = Some(staged);
+        self.swaps.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        true
+    }
+
+    /// Convenience: stage + swap in one call.
+    pub fn install(&self, ckpt: Checkpoint) -> bool {
+        self.stage(ckpt);
+        self.swap()
+    }
+
+    /// How many swaps have occurred.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viper_tensor::Tensor;
+
+    fn ckpt(iter: u64) -> Checkpoint {
+        Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[2], iter as f32))])
+    }
+
+    #[test]
+    fn starts_empty() {
+        let s = ModelSlot::new();
+        assert!(s.current().is_none());
+        assert!(s.current_iteration().is_none());
+        assert!(!s.swap());
+    }
+
+    #[test]
+    fn install_makes_model_current() {
+        let s = ModelSlot::new();
+        assert!(s.install(ckpt(1)));
+        assert_eq!(s.current_iteration(), Some(1));
+        assert_eq!(s.swap_count(), 1);
+    }
+
+    #[test]
+    fn staging_does_not_disturb_serving() {
+        let s = ModelSlot::new();
+        s.install(ckpt(1));
+        s.stage(ckpt(2));
+        assert_eq!(s.current_iteration(), Some(1), "staged but not swapped");
+        assert!(s.swap());
+        assert_eq!(s.current_iteration(), Some(2));
+    }
+
+    #[test]
+    fn stale_updates_discarded() {
+        let s = ModelSlot::new();
+        s.install(ckpt(5));
+        assert!(!s.install(ckpt(3)), "older model must not replace newer");
+        assert_eq!(s.current_iteration(), Some(5));
+        assert!(!s.install(ckpt(5)), "equal iteration is also stale");
+    }
+
+    #[test]
+    fn readers_keep_old_model_alive_across_swap() {
+        let s = ModelSlot::new();
+        s.install(ckpt(1));
+        let held = s.current().unwrap();
+        s.install(ckpt(2));
+        // The reader's Arc still sees the old weights.
+        assert_eq!(held.iteration, 1);
+        assert_eq!(s.current_iteration(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_reads_during_swaps() {
+        let s = std::sync::Arc::new(ModelSlot::new());
+        s.install(ckpt(0));
+        std::thread::scope(|scope| {
+            let writer = {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 1..=100 {
+                        s.install(ckpt(i));
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..200 {
+                        let cur = s.current().unwrap();
+                        // Versions are monotonically non-decreasing for a reader.
+                        assert!(cur.iteration >= last);
+                        last = cur.iteration;
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(s.current_iteration(), Some(100));
+    }
+}

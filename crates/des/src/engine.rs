@@ -1,0 +1,163 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by virtual time with a FIFO tie-break (insertion
+//! sequence), so simulations are fully deterministic regardless of how many
+//! events share a timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time (seconds).
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Virtual time the event fires.
+    pub at: f64,
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first,
+        // breaking ties by insertion order.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `event` at absolute virtual time `at`. Scheduling in the
+    /// past is clamped to `now` (events cannot rewrite history).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing virtual time to it.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let item = self.heap.pop()?;
+        self.now = item.at;
+        Some(item)
+    }
+
+    /// Events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "late");
+        q.pop();
+        q.schedule(1.0, "early?");
+        let s = q.pop().unwrap();
+        assert_eq!(s.at, 10.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "first");
+        q.pop();
+        q.schedule_in(3.0, "second");
+        assert_eq!(q.pop().unwrap().at, 5.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

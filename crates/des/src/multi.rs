@@ -1,0 +1,276 @@
+//! Multi-producer / multi-consumer workflow simulation — the paper's §6
+//! future work at paper scale.
+//!
+//! Producers model synchronous data-parallel training: all ranks advance
+//! the same iteration counter, and checkpoint work is sharded across them
+//! DeepFreeze-style, so the per-rank stall (and hence the wall-clock cost
+//! of a model update) shrinks roughly as `1/N`. Consumers are independent
+//! serving replicas, each with its own discovery mechanism and inference
+//! budget; the aggregate CIL sums over them.
+
+use crate::workflow::{Discovery, ModelUpdate};
+use serde::{Deserialize, Serialize};
+use viper_hw::UpdateCosts;
+
+/// One consumer's configuration in a multi-consumer run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConsumerSpec {
+    /// Inference time per request (seconds).
+    pub t_infer: f64,
+    /// Inferences this consumer serves.
+    pub total_infers: u64,
+    /// How this consumer discovers updates.
+    pub discovery: Discovery,
+}
+
+/// Configuration of a multi-producer / multi-consumer run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSimConfig {
+    /// Data-parallel producer ranks (checkpoint capture is sharded across
+    /// them; must be >= 1).
+    pub nproducers: usize,
+    /// Training time per (synchronous) iteration, seconds.
+    pub t_train: f64,
+    /// Priced phases of a *full-model* update for the chosen strategy.
+    pub costs: UpdateCosts,
+    /// Warm-up end iteration.
+    pub s_iter: u64,
+    /// Last training iteration.
+    pub e_iter: u64,
+    /// Checkpoint iterations (ascending, within `(s_iter, e_iter]`).
+    pub schedule: Vec<u64>,
+    /// The serving replicas.
+    pub consumers: Vec<ConsumerSpec>,
+}
+
+/// Per-consumer outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsumerResult {
+    /// Cumulative inference loss for this consumer.
+    pub cil: f64,
+    /// Inferences served.
+    pub served: u64,
+    /// Updates this consumer completed.
+    pub updates: Vec<ModelUpdate>,
+}
+
+/// Result of a multi simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSimResult {
+    /// Per-rank producer stall total (seconds) — equal across ranks.
+    pub training_overhead_per_rank: f64,
+    /// Virtual time the (synchronous) producers finished `e_iter`.
+    pub producers_finished_at: f64,
+    /// One result per consumer, in input order.
+    pub per_consumer: Vec<ConsumerResult>,
+}
+
+impl MultiSimResult {
+    /// Aggregate CIL across all consumers.
+    pub fn total_cil(&self) -> f64 {
+        self.per_consumer.iter().map(|c| c.cil).sum()
+    }
+}
+
+/// Run the multi-producer/multi-consumer simulation.
+///
+/// `loss_at(iter)` is the shared ground-truth loss curve (data-parallel
+/// ranks hold replicas of one model).
+pub fn simulate_multi(cfg: &MultiSimConfig, loss_at: &dyn Fn(u64) -> f64) -> MultiSimResult {
+    assert!(cfg.nproducers >= 1, "need at least one producer rank");
+    assert!(cfg.t_train > 0.0, "iteration time must be positive");
+    assert!(cfg.schedule.windows(2).all(|w| w[0] < w[1]), "schedule must be strictly ascending");
+    assert!(
+        cfg.schedule.iter().all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
+        "schedule must lie within (s_iter, e_iter]"
+    );
+
+    // Sharded capture: each rank stalls for its 1/N slice of the model.
+    let stall = cfg.costs.stall.as_secs_f64() / cfg.nproducers as f64;
+    let post = cfg.costs.post_stall.as_secs_f64();
+    let notify = cfg.costs.notify.as_secs_f64();
+
+    // Producer timeline (synchronous ranks share it): iteration k completes
+    // at (k - s_iter) * t_train + stalls of checkpoints at iterations <= k.
+    let mut staged: Vec<(u64, f64)> = Vec::with_capacity(cfg.schedule.len());
+    let mut stall_so_far = 0.0;
+    for &c in &cfg.schedule {
+        let t_done = (c - cfg.s_iter) as f64 * cfg.t_train + stall_so_far;
+        stall_so_far += stall;
+        staged.push((c, t_done + stall));
+    }
+    let producers_finished_at = (cfg.e_iter - cfg.s_iter) as f64 * cfg.t_train + stall_so_far;
+
+    let per_consumer = cfg
+        .consumers
+        .iter()
+        .map(|spec| {
+            assert!(spec.t_infer > 0.0, "inference time must be positive");
+            // Swap times for this consumer.
+            let updates: Vec<ModelUpdate> = staged
+                .iter()
+                .enumerate()
+                .map(|(i, &(iter, staged_at))| {
+                    let discovered_at = match spec.discovery {
+                        Discovery::Push => staged_at + notify,
+                        Discovery::Poll { interval } => {
+                            assert!(interval > 0.0, "poll interval must be positive");
+                            (staged_at / interval).ceil() * interval
+                        }
+                    };
+                    let swapped_at = discovered_at + post;
+                    ModelUpdate {
+                        iteration: iter,
+                        version: i as u64 + 1,
+                        staged_at,
+                        discovered_at,
+                        swapped_at,
+                        latency: swapped_at - (staged_at - stall),
+                    }
+                })
+                .collect();
+
+            // Walk the inference stream against the swap timeline.
+            let mut cil = 0.0;
+            let mut current = cfg.s_iter;
+            let mut next_update = 0usize;
+            for j in 0..spec.total_infers {
+                let t = j as f64 * spec.t_infer;
+                while next_update < updates.len() && updates[next_update].swapped_at <= t {
+                    current = current.max(updates[next_update].iteration);
+                    next_update += 1;
+                }
+                cil += loss_at(current);
+            }
+            ConsumerResult { cil, served: spec.total_infers, updates }
+        })
+        .collect();
+
+    MultiSimResult {
+        training_overhead_per_rank: stall_so_far,
+        producers_finished_at,
+        per_consumer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn costs() -> UpdateCosts {
+        UpdateCosts {
+            stall: Duration::from_secs_f64(0.8),
+            post_stall: Duration::from_secs_f64(0.3),
+            apply: Duration::from_secs_f64(0.1),
+            notify: Duration::from_secs_f64(0.001),
+        }
+    }
+
+    fn decay(iter: u64) -> f64 {
+        2.0 * (-0.01 * iter as f64).exp() + 0.2
+    }
+
+    fn base(nproducers: usize, consumers: Vec<ConsumerSpec>) -> MultiSimConfig {
+        MultiSimConfig {
+            nproducers,
+            t_train: 0.1,
+            costs: costs(),
+            s_iter: 10,
+            e_iter: 110,
+            schedule: vec![30, 60, 90],
+            consumers,
+        }
+    }
+
+    fn one_consumer() -> ConsumerSpec {
+        ConsumerSpec { t_infer: 0.01, total_infers: 2_000, discovery: Discovery::Push }
+    }
+
+    #[test]
+    fn single_rank_single_consumer_matches_des() {
+        // The closed-form multi simulator must agree with the event-driven
+        // one on their common case.
+        let cfg = base(1, vec![one_consumer()]);
+        let multi = simulate_multi(&cfg, &decay);
+        let des = crate::simulate(
+            &crate::SimConfig {
+                t_train: cfg.t_train,
+                t_infer: 0.01,
+                costs: costs(),
+                s_iter: cfg.s_iter,
+                e_iter: cfg.e_iter,
+                schedule: cfg.schedule.clone(),
+                total_infers: 2_000,
+                discovery: Discovery::Push,
+            },
+            &decay,
+        );
+        assert!((multi.per_consumer[0].cil - des.cil).abs() < 1e-6,
+            "multi {} vs des {}", multi.per_consumer[0].cil, des.cil);
+        assert!((multi.training_overhead_per_rank - des.training_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_ranks_shrink_stall_and_finish_earlier() {
+        let c1 = simulate_multi(&base(1, vec![one_consumer()]), &decay);
+        let c4 = simulate_multi(&base(4, vec![one_consumer()]), &decay);
+        assert!((c4.training_overhead_per_rank - c1.training_overhead_per_rank / 4.0).abs() < 1e-9);
+        assert!(c4.producers_finished_at < c1.producers_finished_at);
+        // Less stall -> earlier staging -> weakly lower CIL.
+        assert!(c4.per_consumer[0].cil <= c1.per_consumer[0].cil + 1e-9);
+    }
+
+    #[test]
+    fn consumers_with_slower_polling_do_worse() {
+        let consumers = vec![
+            ConsumerSpec { t_infer: 0.01, total_infers: 2_000, discovery: Discovery::Push },
+            ConsumerSpec {
+                t_infer: 0.01,
+                total_infers: 2_000,
+                discovery: Discovery::Poll { interval: 0.5 },
+            },
+            ConsumerSpec {
+                t_infer: 0.01,
+                total_infers: 2_000,
+                discovery: Discovery::Poll { interval: 10.0 },
+            },
+        ];
+        let r = simulate_multi(&base(2, consumers), &decay);
+        assert!(r.per_consumer[0].cil <= r.per_consumer[1].cil + 1e-9);
+        assert!(r.per_consumer[1].cil < r.per_consumer[2].cil);
+        assert!((r.total_cil()
+            - (r.per_consumer[0].cil + r.per_consumer[1].cil + r.per_consumer[2].cil))
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_inference_rates_supported() {
+        let consumers = vec![
+            ConsumerSpec { t_infer: 0.005, total_infers: 4_000, discovery: Discovery::Push },
+            ConsumerSpec { t_infer: 0.02, total_infers: 1_000, discovery: Discovery::Push },
+        ];
+        let r = simulate_multi(&base(1, consumers), &decay);
+        assert_eq!(r.per_consumer[0].served, 4_000);
+        assert_eq!(r.per_consumer[1].served, 1_000);
+        // Both span the same wall time (20 s), so their *mean* loss per
+        // inference should be close.
+        let m0 = r.per_consumer[0].cil / 4_000.0;
+        let m1 = r.per_consumer[1].cil / 1_000.0;
+        assert!((m0 - m1).abs() < 0.05, "{m0} vs {m1}");
+    }
+
+    #[test]
+    fn zero_consumers_is_a_pure_producer_run() {
+        let r = simulate_multi(&base(2, vec![]), &decay);
+        assert!(r.per_consumer.is_empty());
+        assert!(r.producers_finished_at > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn zero_producers_rejected() {
+        simulate_multi(&base(0, vec![]), &decay);
+    }
+}

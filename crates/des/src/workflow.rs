@@ -1,0 +1,363 @@
+//! The producer/consumer workflow simulation.
+
+use crate::engine::EventQueue;
+use serde::{Deserialize, Serialize};
+use viper_hw::UpdateCosts;
+
+/// How the consumer learns that a new model version is staged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Discovery {
+    /// Viper's push notification: the consumer is told after the broker's
+    /// notify latency (taken from [`UpdateCosts::notify`]).
+    Push,
+    /// Baseline polling: the consumer notices at the next poll tick.
+    Poll {
+        /// Poll interval in seconds (the paper cites a ≥1 ms floor).
+        interval: f64,
+    },
+}
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Training time per iteration (seconds) — constant per Fig. 6.
+    pub t_train: f64,
+    /// Inference time per request (seconds) — constant per Fig. 6.
+    pub t_infer: f64,
+    /// Priced phases of one model update for the chosen strategy.
+    pub costs: UpdateCosts,
+    /// Warm-up end: the producer resumes training from this iteration at
+    /// virtual time zero, and the consumer starts serving with the model
+    /// captured at this iteration.
+    pub s_iter: u64,
+    /// Last training iteration.
+    pub e_iter: u64,
+    /// Checkpoint iterations (ascending, within `(s_iter, e_iter]`).
+    pub schedule: Vec<u64>,
+    /// Number of inferences the consumer must serve.
+    pub total_infers: u64,
+    /// Update discovery mechanism.
+    pub discovery: Discovery,
+}
+
+/// One completed model update as observed in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Training iteration the checkpoint captured.
+    pub iteration: u64,
+    /// 1-based update version.
+    pub version: u64,
+    /// Virtual time the checkpoint left the producer (stall end).
+    pub staged_at: f64,
+    /// Virtual time the consumer learned about it.
+    pub discovered_at: f64,
+    /// Virtual time the consumer atomically switched to it.
+    pub swapped_at: f64,
+    /// End-to-end update latency (checkpoint start → swap).
+    pub latency: f64,
+}
+
+/// Ground-truth results of a simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Cumulative inference loss over the served inferences.
+    pub cil: f64,
+    /// Inferences actually served (== `total_infers`).
+    pub served: u64,
+    /// Model updates completed during the run.
+    pub num_updates: u64,
+    /// Total producer stall caused by checkpointing (seconds).
+    pub training_overhead: f64,
+    /// Mean end-to-end update latency (seconds; 0 if no updates).
+    pub mean_update_latency: f64,
+    /// Virtual time of the last served inference.
+    pub makespan: f64,
+    /// Virtual time the producer finished iteration `e_iter` (0 if the run
+    /// ended first).
+    pub producer_finished_at: f64,
+    /// Every completed update, in order.
+    pub updates: Vec<ModelUpdate>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Training iteration `k` completed.
+    IterDone(u64),
+    /// Checkpoint stall after iteration `k` completed; producer resumes.
+    StallDone(u64),
+    /// Update for iteration `k` swapped in on the consumer.
+    Swapped { iter: u64, started_at: f64, staged_at: f64, discovered_at: f64 },
+    /// Inference `j` issued.
+    Inference(u64),
+}
+
+/// Run the workflow simulation. `loss_at(iter)` is the ground-truth
+/// training/inference loss of the model captured at `iter` (Assumption 2 of
+/// the paper equates the two).
+pub fn simulate(cfg: &SimConfig, loss_at: &dyn Fn(u64) -> f64) -> SimResult {
+    assert!(cfg.t_train > 0.0 && cfg.t_infer > 0.0, "iteration times must be positive");
+    assert!(
+        cfg.schedule.windows(2).all(|w| w[0] < w[1]),
+        "schedule must be strictly ascending"
+    );
+    assert!(
+        cfg.schedule.iter().all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
+        "schedule must lie within (s_iter, e_iter]"
+    );
+
+    let stall = cfg.costs.stall.as_secs_f64();
+    let post = cfg.costs.post_stall.as_secs_f64();
+    let notify = cfg.costs.notify.as_secs_f64();
+
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut schedule = cfg.schedule.iter().copied().peekable();
+
+    // Producer starts iteration s_iter + 1 at time 0.
+    if cfg.s_iter < cfg.e_iter {
+        q.schedule(cfg.t_train, Event::IterDone(cfg.s_iter + 1));
+    }
+    // Consumer issues the first inference immediately.
+    if cfg.total_infers > 0 {
+        q.schedule(0.0, Event::Inference(0));
+    }
+
+    let mut current_model_iter = cfg.s_iter;
+    let mut served = 0u64;
+    let mut cil = 0.0;
+    let mut makespan = 0.0;
+    let mut producer_finished_at = 0.0;
+    let mut training_overhead = 0.0;
+    let mut updates: Vec<ModelUpdate> = Vec::with_capacity(cfg.schedule.len());
+
+    while let Some(item) = q.pop() {
+        let now = item.at;
+        match item.event {
+            Event::IterDone(k) => {
+                let is_ckpt = schedule.peek() == Some(&k);
+                if is_ckpt {
+                    schedule.next();
+                    training_overhead += stall;
+                    q.schedule(now + stall, Event::StallDone(k));
+                } else {
+                    if k == cfg.e_iter {
+                        producer_finished_at = now;
+                    } else {
+                        q.schedule(now + cfg.t_train, Event::IterDone(k + 1));
+                    }
+                }
+            }
+            Event::StallDone(k) => {
+                let staged_at = now;
+                let started_at = now - stall;
+                let discovered_at = match cfg.discovery {
+                    Discovery::Push => staged_at + notify,
+                    Discovery::Poll { interval } => {
+                        assert!(interval > 0.0, "poll interval must be positive");
+                        (staged_at / interval).ceil() * interval
+                    }
+                };
+                q.schedule(
+                    discovered_at + post,
+                    Event::Swapped { iter: k, started_at, staged_at, discovered_at },
+                );
+                if k == cfg.e_iter {
+                    producer_finished_at = now;
+                } else {
+                    q.schedule(now + cfg.t_train, Event::IterDone(k + 1));
+                }
+            }
+            Event::Swapped { iter, started_at, staged_at, discovered_at } => {
+                if iter > current_model_iter {
+                    current_model_iter = iter;
+                }
+                updates.push(ModelUpdate {
+                    iteration: iter,
+                    version: updates.len() as u64 + 1,
+                    staged_at,
+                    discovered_at,
+                    swapped_at: now,
+                    latency: now - started_at,
+                });
+            }
+            Event::Inference(j) => {
+                cil += loss_at(current_model_iter);
+                served += 1;
+                makespan = now;
+                // The producer keeps training (and checkpointing) after the
+                // last inference — the paper's overhead numbers count every
+                // scheduled checkpoint — so drain the queue instead of
+                // breaking; we only stop issuing new inferences.
+                if served < cfg.total_infers {
+                    q.schedule(now + cfg.t_infer, Event::Inference(j + 1));
+                }
+            }
+        }
+    }
+
+    let mean_update_latency = if updates.is_empty() {
+        0.0
+    } else {
+        updates.iter().map(|u| u.latency).sum::<f64>() / updates.len() as f64
+    };
+
+    SimResult {
+        cil,
+        served,
+        num_updates: updates.len() as u64,
+        training_overhead,
+        mean_update_latency,
+        makespan,
+        producer_finished_at,
+        updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn costs(stall: f64, post: f64, notify: f64) -> UpdateCosts {
+        UpdateCosts {
+            stall: Duration::from_secs_f64(stall),
+            post_stall: Duration::from_secs_f64(post),
+            apply: Duration::from_secs_f64(post / 2.0),
+            notify: Duration::from_secs_f64(notify),
+        }
+    }
+
+    fn base_cfg() -> SimConfig {
+        SimConfig {
+            t_train: 0.1,
+            t_infer: 0.01,
+            costs: costs(0.5, 0.3, 0.001),
+            s_iter: 10,
+            e_iter: 100,
+            schedule: vec![20, 40, 80],
+            total_infers: 1_000,
+            discovery: Discovery::Push,
+        }
+    }
+
+    fn decay(iter: u64) -> f64 {
+        2.0 * (-0.01 * iter as f64).exp() + 0.2
+    }
+
+    #[test]
+    fn serves_exactly_total_inferences() {
+        let r = simulate(&base_cfg(), &decay);
+        assert_eq!(r.served, 1_000);
+        // Inferences at fixed rate: makespan = (n-1) * t_infer.
+        assert!((r.makespan - 999.0 * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_updates_complete_when_horizon_is_long() {
+        let r = simulate(&base_cfg(), &decay);
+        assert_eq!(r.num_updates, 3);
+        assert_eq!(r.updates[0].iteration, 20);
+        assert_eq!(r.updates[2].iteration, 80);
+        assert!((r.training_overhead - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_timeline_is_consistent() {
+        let r = simulate(&base_cfg(), &decay);
+        for u in &r.updates {
+            assert!(u.staged_at < u.discovered_at);
+            assert!(u.discovered_at < u.swapped_at);
+            assert!((u.swapped_at - u.discovered_at - 0.3).abs() < 1e-9);
+            // latency = stall + notify + post.
+            assert!((u.latency - (0.5 + 0.001 + 0.3)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_checkpoint_timing_exact() {
+        // Iteration 11..=20 at 0.1 s each -> iter 20 done at 1.0 s; stall to
+        // 1.5; notify 1 ms; post 0.3 -> swap at 1.801.
+        let r = simulate(&base_cfg(), &decay);
+        let u = &r.updates[0];
+        assert!((u.staged_at - 1.5).abs() < 1e-9);
+        assert!((u.swapped_at - 1.801).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cil_decreases_with_checkpoints() {
+        let with = simulate(&base_cfg(), &decay);
+        let mut cfg = base_cfg();
+        cfg.schedule = vec![];
+        let without = simulate(&cfg, &decay);
+        assert!(with.cil < without.cil);
+        assert!((without.cil - decay(10) * 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stalls_delay_training_completion() {
+        let mut cfg = base_cfg();
+        cfg.total_infers = 100_000; // long horizon so producer finishes
+        let with = simulate(&cfg, &decay);
+        cfg.schedule = vec![];
+        let without = simulate(&cfg, &decay);
+        let expected_delta = 3.0 * 0.5;
+        assert!(
+            (with.producer_finished_at - without.producer_finished_at - expected_delta).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn polling_discovers_later_than_push() {
+        let mut cfg = base_cfg();
+        cfg.discovery = Discovery::Poll { interval: 1.0 };
+        let poll = simulate(&cfg, &decay);
+        let push = simulate(&base_cfg(), &decay);
+        for (a, b) in poll.updates.iter().zip(&push.updates) {
+            assert!(a.discovered_at >= b.discovered_at);
+            // Poll discovery lands on the grid.
+            assert!((a.discovered_at / 1.0).fract().abs() < 1e-9);
+        }
+        assert!(poll.cil >= push.cil);
+    }
+
+    #[test]
+    fn faster_strategy_gives_lower_cil() {
+        // Fig. 9's claim: for the same schedule, GPU-like costs beat
+        // PFS-like costs on CIL.
+        let mut gpu = base_cfg();
+        gpu.costs = costs(0.01, 0.1, 0.001);
+        gpu.total_infers = 5_000;
+        let mut pfs = base_cfg();
+        pfs.costs = costs(3.5, 3.5, 0.001);
+        pfs.total_infers = 5_000;
+        let g = simulate(&gpu, &decay);
+        let p = simulate(&pfs, &decay);
+        assert!(g.cil < p.cil, "gpu {} pfs {}", g.cil, p.cil);
+        assert!(g.training_overhead < p.training_overhead);
+    }
+
+    #[test]
+    fn zero_inferences_is_degenerate_but_valid() {
+        let mut cfg = base_cfg();
+        cfg.total_infers = 0;
+        let r = simulate(&cfg, &decay);
+        assert_eq!(r.served, 0);
+        assert_eq!(r.cil, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_schedule_rejected() {
+        let mut cfg = base_cfg();
+        cfg.schedule = vec![40, 20];
+        simulate(&cfg, &decay);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn out_of_range_schedule_rejected() {
+        let mut cfg = base_cfg();
+        cfg.schedule = vec![5];
+        simulate(&cfg, &decay);
+    }
+}

@@ -1,0 +1,60 @@
+//! Training callbacks — the hook Viper's `CheckpointCallback` plugs into,
+//! mirroring Keras' `model.fit(callbacks=[...])`.
+
+use crate::Model;
+
+/// What the training loop reports after each iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainEvent {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Global 1-based iteration count (across epochs).
+    pub iteration: u64,
+    /// Training loss of the just-finished batch.
+    pub batch_loss: f64,
+}
+
+/// Observer of the training loop.
+///
+/// All hooks receive a shared reference to the model so they can snapshot
+/// weights (checkpointing) without being able to corrupt training state.
+pub trait Callback {
+    /// Called once before the first iteration.
+    fn on_train_begin(&mut self, _model: &Model) {}
+
+    /// Called after every training iteration (batch).
+    fn on_iteration_end(&mut self, _event: &TrainEvent, _model: &Model) {}
+
+    /// Called after each epoch with the epoch's mean training loss.
+    fn on_epoch_end(&mut self, _epoch: usize, _mean_loss: f64, _model: &Model) {}
+
+    /// Called once after the last iteration.
+    fn on_train_end(&mut self, _model: &Model) {}
+}
+
+/// A callback that records every iteration's loss (useful for fitting the
+/// warm-up learning curve).
+#[derive(Debug, Default)]
+pub struct LossRecorder {
+    /// Per-iteration batch losses, in order.
+    pub losses: Vec<f64>,
+    /// Per-epoch mean losses.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl LossRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Callback for LossRecorder {
+    fn on_iteration_end(&mut self, event: &TrainEvent, _model: &Model) {
+        self.losses.push(event.batch_loss);
+    }
+
+    fn on_epoch_end(&mut self, _epoch: usize, mean_loss: f64, _model: &Model) {
+        self.epoch_losses.push(mean_loss);
+    }
+}

@@ -1,0 +1,181 @@
+//! In-memory datasets with batched, optionally shuffled iteration.
+
+use crate::{DnnError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::Tensor;
+
+/// A supervised dataset: features `x` and targets `y` with matching first
+/// (sample) dimensions.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Tensor,
+    y: Tensor,
+}
+
+impl Dataset {
+    /// Build a dataset; `x` and `y` must agree on the sample count.
+    pub fn new(x: Tensor, y: Tensor) -> Result<Self> {
+        if x.dims().is_empty() || y.dims().is_empty() {
+            return Err(DnnError::InvalidConfig("dataset tensors need a sample dimension".into()));
+        }
+        if x.dims()[0] != y.dims()[0] {
+            return Err(DnnError::ShapeMismatch(format!(
+                "x has {} samples, y has {}",
+                x.dims()[0],
+                y.dims()[0]
+            )));
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.dims()[0]
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature tensor.
+    pub fn x(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// Target tensor.
+    pub fn y(&self) -> &Tensor {
+        &self.y
+    }
+
+    /// Number of batches per epoch at `batch_size` (last partial batch
+    /// counts).
+    pub fn batches_per_epoch(&self, batch_size: usize) -> usize {
+        self.len().div_ceil(batch_size.max(1))
+    }
+
+    /// Copy selected samples into a new `(x, y)` pair.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Tensor)> {
+        Ok((gather_rows(&self.x, indices)?, gather_rows(&self.y, indices)?))
+    }
+
+    /// Iterate one epoch of batches. When `shuffle` is set the sample order
+    /// is permuted with the seeded RNG (deterministic per `(seed, epoch)`).
+    pub fn batches(&self, batch_size: usize, shuffle: bool, seed: u64) -> BatchIter<'_> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if shuffle {
+            order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        }
+        BatchIter { dataset: self, order, batch_size: batch_size.max(1), cursor: 0 }
+    }
+}
+
+/// Copy rows (first-dimension slices) of a tensor.
+fn gather_rows(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    let dims = t.dims();
+    let row: usize = dims[1..].iter().product();
+    let src = t.as_slice();
+    let mut data = Vec::with_capacity(indices.len() * row);
+    for &i in indices {
+        if i >= dims[0] {
+            return Err(DnnError::InvalidConfig(format!("sample index {i} out of range")));
+        }
+        data.extend_from_slice(&src[i * row..(i + 1) * row]);
+    }
+    let mut new_dims = dims.to_vec();
+    new_dims[0] = indices.len();
+    Ok(Tensor::from_vec(data, &new_dims)?)
+}
+
+/// Iterator over one epoch of batches.
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Tensor);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        // Indices come from 0..len, so gather cannot fail.
+        Some(self.dataset.gather(idx).expect("valid batch indices"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), &[n, 2]).unwrap();
+        let y = Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n, 1]).unwrap();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_sample_counts() {
+        let x = Tensor::zeros(&[3, 2]);
+        let y = Tensor::zeros(&[4, 1]);
+        assert!(Dataset::new(x, y).is_err());
+    }
+
+    #[test]
+    fn batches_cover_all_samples_once() {
+        let d = dataset(10);
+        let mut seen = [false; 10];
+        for (bx, _) in d.batches(3, false, 0) {
+            for r in 0..bx.dims()[0] {
+                let sample = (bx.as_slice()[r * 2] / 2.0) as usize;
+                assert!(!seen[sample]);
+                seen[sample] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn last_batch_may_be_partial() {
+        let d = dataset(10);
+        let sizes: Vec<usize> = d.batches(4, false, 0).map(|(x, _)| x.dims()[0]).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(d.batches_per_epoch(4), 3);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let d = dataset(32);
+        let a: Vec<f32> = d.batches(32, true, 7).next().unwrap().0.as_slice().to_vec();
+        let b: Vec<f32> = d.batches(32, true, 7).next().unwrap().0.as_slice().to_vec();
+        let c: Vec<f32> = d.batches(32, true, 8).next().unwrap().0.as_slice().to_vec();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gather_preserves_row_contents() {
+        let d = dataset(5);
+        let (x, y) = d.gather(&[4, 0]).unwrap();
+        assert_eq!(x.as_slice(), &[8.0, 9.0, 0.0, 1.0]);
+        assert_eq!(y.as_slice(), &[4.0, 0.0]);
+        assert!(d.gather(&[99]).is_err());
+    }
+
+    #[test]
+    fn x_and_y_accessors() {
+        let d = dataset(3);
+        assert_eq!(d.x().dims(), &[3, 2]);
+        assert_eq!(d.y().dims(), &[3, 1]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the DNN library.
+
+use viper_tensor::TensorError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DnnError>;
+
+/// Errors from model construction, training, and weight exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// An underlying tensor kernel rejected its inputs.
+    Tensor(TensorError),
+    /// Input/target shapes don't match what the model or loss expects.
+    ShapeMismatch(String),
+    /// Imported weights don't match the model architecture.
+    WeightMismatch(String),
+    /// Invalid training configuration (zero batch size, empty dataset, ...).
+    InvalidConfig(String),
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+impl std::fmt::Display for DnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DnnError::WeightMismatch(m) => write!(f, "weight mismatch: {m}"),
+            DnnError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::InvalidArgument("x".into());
+        let de: DnnError = te.clone().into();
+        assert_eq!(de, DnnError::Tensor(te));
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(DnnError::ShapeMismatch("a".into()).to_string().contains("shape"));
+        assert!(DnnError::WeightMismatch("b".into()).to_string().contains("weight"));
+        assert!(DnnError::InvalidConfig("c".into()).to_string().contains("config"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Activation layers: ReLU, Sigmoid, Tanh, Softmax.
+
+use crate::{DnnError, Layer, Result};
+use viper_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// A ReLU layer.
+    pub fn new() -> Self {
+        ReLU { name: "relu".into(), mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        if mask.len() != grad_out.len() {
+            return Err(DnnError::ShapeMismatch("relu grad length".into()));
+        }
+        let data: Vec<f32> = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.dims())?)
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    name: String,
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// A sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { name: "sigmoid".into(), output: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .output
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        Ok(grad_out.zip(y, |g, y| g * y * (1.0 - y))?)
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    name: String,
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// A tanh layer.
+    pub fn new() -> Self {
+        Tanh { name: "tanh".into(), output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .output
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        Ok(grad_out.zip(y, |g, y| g * (1.0 - y * y))?)
+    }
+}
+
+/// Row-wise softmax over the last dimension of a 2-D tensor.
+///
+/// For training a classifier prefer
+/// [`crate::losses::SoftmaxCrossEntropy`], which fuses softmax into the
+/// loss gradient; this layer is for serving probabilities at inference.
+#[derive(Debug, Default)]
+pub struct Softmax {
+    name: String,
+    output: Option<Tensor>,
+}
+
+impl Softmax {
+    /// A softmax layer.
+    pub fn new() -> Self {
+        Softmax { name: "softmax".into(), output: None }
+    }
+
+    /// Row-wise softmax of a `[batch, classes]` tensor.
+    pub fn apply(input: &Tensor) -> Result<Tensor> {
+        if input.dims().len() != 2 {
+            return Err(DnnError::ShapeMismatch(format!(
+                "softmax expects rank 2, got {:?}",
+                input.dims()
+            )));
+        }
+        let (rows, cols) = (input.dims()[0], input.dims()[1]);
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in &mut out[r * cols..(r + 1) * cols] {
+                *o /= denom;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[rows, cols])?)
+    }
+}
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let out = Softmax::apply(input)?;
+        self.output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .output
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        // dx_i = y_i * (g_i - sum_j g_j y_j), row-wise.
+        let (rows, cols) = (y.dims()[0], y.dims()[1]);
+        let yv = y.as_slice();
+        let gv = grad_out.as_slice();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let ys = &yv[r * cols..(r + 1) * cols];
+            let gs = &gv[r * cols..(r + 1) * cols];
+            let dot: f32 = ys.iter().zip(gs).map(|(&a, &b)| a * b).sum();
+            for ((o, &yi), &gi) in out[r * cols..(r + 1) * cols].iter_mut().zip(ys).zip(gs) {
+                *o = yi * (gi - dot);
+            }
+        }
+        Ok(Tensor::from_vec(out, y.dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = l.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert!(y.as_slice()[0] < 0.001);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 0.999);
+        let g = l.backward(&Tensor::ones(&[3])).unwrap();
+        // Peak derivative 0.25 at x = 0.
+        assert!((g.as_slice()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut l = Tanh::new();
+        let x = Tensor::from_vec(vec![0.3, -0.8], &[2]).unwrap();
+        l.forward(&x, true).unwrap();
+        let g = l.backward(&Tensor::ones(&[2])).unwrap();
+        for (i, &xi) in x.as_slice().iter().enumerate() {
+            let analytic = 1.0 - xi.tanh() * xi.tanh();
+            assert!((g.as_slice()[i] - analytic).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let y = Softmax::apply(&x).unwrap();
+        for r in 0..2 {
+            let s: f32 = y.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: bigger logit, bigger probability.
+        assert!(y.as_slice()[2] > y.as_slice()[1]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let y = Softmax::apply(&x).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        assert!(ReLU::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Softmax::new().backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+}

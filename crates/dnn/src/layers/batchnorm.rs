@@ -1,0 +1,349 @@
+//! Batch normalization over the last (feature/channel) dimension.
+//!
+//! BatchNorm carries *non-trainable running statistics* in addition to its
+//! learnable scale/shift — exactly the "other intermediate states" the
+//! paper says checkpoints may need to carry (§2). Exporting/importing this
+//! layer therefore exercises the checkpoint path for state that no
+//! optimizer ever touches.
+
+use crate::{DnnError, Layer, Result};
+use viper_tensor::Tensor;
+
+/// Batch normalization over the trailing dimension of a rank-2+ tensor
+/// (features of a dense stack or channels of a channels-last conv stack).
+#[derive(Debug)]
+pub struct BatchNorm {
+    name: String,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    /// Forward cache: (normalized input, batch std, centered input).
+    cache: Option<(Tensor, Vec<f32>, Tensor)>,
+    trainable: bool,
+}
+
+impl BatchNorm {
+    /// A batch-norm layer over `features` with momentum 0.9 and eps 1e-5.
+    pub fn new(features: usize) -> Self {
+        BatchNorm {
+            name: "batchnorm".into(),
+            gamma: Tensor::ones(&[features]),
+            beta: Tensor::zeros(&[features]),
+            grad_gamma: Tensor::zeros(&[features]),
+            grad_beta: Tensor::zeros(&[features]),
+            running_mean: Tensor::zeros(&[features]),
+            running_var: Tensor::ones(&[features]),
+            momentum: 0.9,
+            eps: 1e-5,
+            cache: None,
+            trainable: true,
+        }
+    }
+
+    /// Freeze scale/shift (running stats still update in training mode).
+    pub fn frozen(mut self) -> Self {
+        self.trainable = false;
+        self
+    }
+
+    fn features(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// The running mean tracked so far.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The running variance tracked so far.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let c = self.features();
+        if input.dims().len() < 2 || *input.dims().last().unwrap() != c {
+            return Err(DnnError::ShapeMismatch(format!(
+                "batchnorm {} expects trailing dim {c}, got {:?}",
+                self.name,
+                input.dims()
+            )));
+        }
+        let rows = input.len() / c;
+        let x = input.as_slice();
+
+        let (mean, var) = if training {
+            let mut mean = vec![0.0f32; c];
+            for r in 0..rows {
+                for (f, m) in mean.iter_mut().enumerate() {
+                    *m += x[r * c + f];
+                }
+            }
+            for m in &mut mean {
+                *m /= rows as f32;
+            }
+            let mut var = vec![0.0f32; c];
+            for r in 0..rows {
+                for (f, v) in var.iter_mut().enumerate() {
+                    let d = x[r * c + f] - mean[f];
+                    *v += d * d;
+                }
+            }
+            for v in &mut var {
+                *v /= rows as f32;
+            }
+            // Update running statistics.
+            let rm = self.running_mean.as_mut_slice();
+            let rv = self.running_var.as_mut_slice();
+            for f in 0..c {
+                rm[f] = self.momentum * rm[f] + (1.0 - self.momentum) * mean[f];
+                rv[f] = self.momentum * rv[f] + (1.0 - self.momentum) * var[f];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.as_slice().to_vec(), self.running_var.as_slice().to_vec())
+        };
+
+        let std: Vec<f32> = var.iter().map(|v| (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.as_slice();
+        let beta = self.beta.as_slice();
+        let mut out = vec![0.0f32; input.len()];
+        let mut normalized = vec![0.0f32; input.len()];
+        let mut centered = vec![0.0f32; input.len()];
+        for r in 0..rows {
+            for f in 0..c {
+                let i = r * c + f;
+                centered[i] = x[i] - mean[f];
+                normalized[i] = centered[i] / std[f];
+                out[i] = gamma[f] * normalized[i] + beta[f];
+            }
+        }
+        if training {
+            self.cache = Some((
+                Tensor::from_vec(normalized, input.dims())?,
+                std,
+                Tensor::from_vec(centered, input.dims())?,
+            ));
+        } else {
+            self.cache = None;
+        }
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (normalized, std, _centered) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before training forward".into()))?;
+        let c = self.features();
+        let rows = grad_out.len() / c;
+        let g = grad_out.as_slice();
+        let xhat = normalized.as_slice();
+        let gamma = self.gamma.as_slice();
+
+        // d gamma / d beta.
+        {
+            let gg = self.grad_gamma.as_mut_slice();
+            let gb = self.grad_beta.as_mut_slice();
+            for r in 0..rows {
+                for f in 0..c {
+                    let i = r * c + f;
+                    gg[f] += g[i] * xhat[i];
+                    gb[f] += g[i];
+                }
+            }
+        }
+
+        // dx via the standard batch-norm backward formula:
+        // dx = gamma/std * (g - mean(g) - xhat * mean(g * xhat)).
+        let mut mean_g = vec![0.0f32; c];
+        let mut mean_gx = vec![0.0f32; c];
+        for r in 0..rows {
+            for f in 0..c {
+                let i = r * c + f;
+                mean_g[f] += g[i];
+                mean_gx[f] += g[i] * xhat[i];
+            }
+        }
+        for f in 0..c {
+            mean_g[f] /= rows as f32;
+            mean_gx[f] /= rows as f32;
+        }
+        let mut gx = vec![0.0f32; grad_out.len()];
+        for r in 0..rows {
+            for f in 0..c {
+                let i = r * c + f;
+                gx[i] = gamma[f] / std[f] * (g[i] - mean_g[f] - xhat[i] * mean_gx[f]);
+            }
+        }
+        Ok(Tensor::from_vec(gx, grad_out.dims())?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        if !self.trainable {
+            return;
+        }
+        f("gamma", &mut self.gamma, &self.grad_gamma);
+        f("beta", &mut self.beta, &self.grad_beta);
+    }
+
+    fn export_params(&self) -> Vec<(String, Tensor)> {
+        vec![
+            ("gamma".into(), self.gamma.clone()),
+            ("beta".into(), self.beta.clone()),
+            ("running_mean".into(), self.running_mean.clone()),
+            ("running_var".into(), self.running_var.clone()),
+        ]
+    }
+
+    fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
+        for (suffix, tensor) in params {
+            let target = match suffix.as_str() {
+                "gamma" => &mut self.gamma,
+                "beta" => &mut self.beta,
+                "running_mean" => &mut self.running_mean,
+                "running_var" => &mut self.running_var,
+                other => {
+                    return Err(DnnError::WeightMismatch(format!(
+                        "batchnorm {}: unknown parameter {other}",
+                        self.name
+                    )))
+                }
+            };
+            if target.dims() != tensor.dims() {
+                return Err(DnnError::WeightMismatch(format!(
+                    "batchnorm {}: {suffix} shape {:?} != {:?}",
+                    self.name,
+                    tensor.dims(),
+                    target.dims()
+                )));
+            }
+            *target = tensor.clone();
+        }
+        Ok(())
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.map_inplace(|_| 0.0);
+        self.grad_beta.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Tensor {
+        Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap()
+    }
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm::new(2);
+        let y = bn.forward(&batch(), true).unwrap();
+        // Each column should have ~zero mean and ~unit variance.
+        for f in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| y.as_slice()[r * 2 + f]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "col {f} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "col {f} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm::new(2);
+        for _ in 0..200 {
+            bn.forward(&batch(), true).unwrap();
+        }
+        // Column means: 2.5 and 25.
+        assert!((bn.running_mean().as_slice()[0] - 2.5).abs() < 0.05);
+        assert!((bn.running_mean().as_slice()[1] - 25.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm::new(2);
+        for _ in 0..200 {
+            bn.forward(&batch(), true).unwrap();
+        }
+        // A sample equal to the running mean normalizes to ~beta (0).
+        let x = Tensor::from_vec(vec![2.5, 25.0], &[1, 2]).unwrap();
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.1), "{:?}", y.as_slice());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm::new(2);
+        // Random-ish gamma/beta so the gradient isn't trivial.
+        bn.import_params(&[
+            ("gamma".into(), Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap()),
+            ("beta".into(), Tensor::from_vec(vec![0.2, -0.3], &[2]).unwrap()),
+        ])
+        .unwrap();
+        let x = batch();
+        // Loss = weighted sum so per-element gradients differ.
+        let weights: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let loss = |y: &Tensor| -> f32 {
+            y.as_slice().iter().zip(&weights).map(|(a, b)| a * b).sum()
+        };
+        let y = bn.forward(&x, true).unwrap();
+        let gy = Tensor::from_vec(weights.clone(), y.dims()).unwrap();
+        let gx = bn.backward(&gy).unwrap();
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            // Fresh layers so running stats don't drift between evaluations.
+            let mut bp = BatchNorm::new(2);
+            bp.import_params(&bn.export_params()).unwrap();
+            let mut bm = BatchNorm::new(2);
+            bm.import_params(&bn.export_params()).unwrap();
+            let lp = loss(&bp.forward(&xp, true).unwrap());
+            let lm = loss(&bm.forward(&xm, true).unwrap());
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - num).abs() < 2e-2, "gx[{i}]: {} vs {num}", gx.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn running_stats_are_checkpointed() {
+        let mut bn = BatchNorm::new(2);
+        for _ in 0..50 {
+            bn.forward(&batch(), true).unwrap();
+        }
+        let exported = bn.export_params();
+        assert_eq!(exported.len(), 4, "gamma, beta, and both running stats");
+        let mut replica = BatchNorm::new(2);
+        replica.import_params(&exported).unwrap();
+        // The replica serves identically at inference.
+        let x = Tensor::from_vec(vec![3.0, 7.0], &[1, 2]).unwrap();
+        assert_eq!(bn.forward(&x, false).unwrap(), replica.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn rejects_wrong_trailing_dim() {
+        let mut bn = BatchNorm::new(3);
+        assert!(bn.forward(&Tensor::ones(&[2, 2]), true).is_err());
+        assert!(bn.forward(&Tensor::ones(&[4]), true).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! 1-D convolution layer (the workhorse of CANDLE NT3/TC1 and PtychoNN).
+
+use crate::{DnnError, Layer, Result};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::{ops::conv, Initializer, Tensor};
+
+/// Valid-padding 1-D convolution, channels-last.
+///
+/// Input `[batch, length, in_ch]`, kernel `[k, in_ch, out_ch]`, bias
+/// `[out_ch]`, output `[batch, out_len, out_ch]`.
+#[derive(Debug)]
+pub struct Conv1D {
+    name: String,
+    kernel: Tensor,
+    bias: Tensor,
+    grad_kernel: Tensor,
+    grad_bias: Tensor,
+    stride: usize,
+    cached_input: Option<Tensor>,
+    trainable: bool,
+}
+
+impl Conv1D {
+    /// A conv layer with He-normal weights (fixed seed; see
+    /// [`Conv1D::with_seed`]).
+    pub fn new(width: usize, in_ch: usize, out_ch: usize, stride: usize) -> Self {
+        Self::with_seed(width, in_ch, out_ch, stride, 0xc0de)
+    }
+
+    /// A conv layer with seeded He-normal initialisation.
+    pub fn with_seed(width: usize, in_ch: usize, out_ch: usize, stride: usize, seed: u64) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Conv1D {
+            name: "conv1d".into(),
+            kernel: Tensor::init(&[width, in_ch, out_ch], Initializer::HeNormal, &mut rng),
+            bias: Tensor::zeros(&[out_ch]),
+            grad_kernel: Tensor::zeros(&[width, in_ch, out_ch]),
+            grad_bias: Tensor::zeros(&[out_ch]),
+            stride,
+            cached_input: None,
+            trainable: true,
+        }
+    }
+
+    /// Freeze the layer: the optimizer skips its parameters (transfer
+    /// learning). Builder-style.
+    pub fn frozen(mut self) -> Self {
+        self.trainable = false;
+        self
+    }
+
+    /// Set whether the optimizer updates this layer.
+    pub fn set_trainable(&mut self, trainable: bool) {
+        self.trainable = trainable;
+    }
+
+    /// Kernel width.
+    pub fn width(&self) -> usize {
+        self.kernel.dims()[0]
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.kernel.dims()[2]
+    }
+}
+
+impl Layer for Conv1D {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let mut out = conv::conv1d(input, &self.kernel, self.stride)?;
+        let (batch, olen, oc) = (out.dims()[0], out.dims()[1], out.dims()[2]);
+        let bias = self.bias.as_slice();
+        let data = out.as_mut_slice();
+        for pos in 0..batch * olen {
+            for (c, &bv) in bias.iter().enumerate() {
+                data[pos * oc + c] += bv;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        let gk = conv::conv1d_grad_kernel(x, grad_out, self.width(), self.stride)?;
+        self.grad_kernel.axpy(1.0, &gk)?;
+        // Bias gradient: sum over batch and positions.
+        let (batch, olen, oc) = (grad_out.dims()[0], grad_out.dims()[1], grad_out.dims()[2]);
+        let g = grad_out.as_slice();
+        let gb = self.grad_bias.as_mut_slice();
+        for pos in 0..batch * olen {
+            for (c, gbv) in gb.iter_mut().enumerate() {
+                *gbv += g[pos * oc + c];
+            }
+        }
+        Ok(conv::conv1d_grad_input(&self.kernel, grad_out, x.dims()[1], self.stride)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        if !self.trainable {
+            return;
+        }
+        f("kernel", &mut self.kernel, &self.grad_kernel);
+        f("bias", &mut self.bias, &self.grad_bias);
+    }
+
+    fn export_params(&self) -> Vec<(String, Tensor)> {
+        vec![("kernel".into(), self.kernel.clone()), ("bias".into(), self.bias.clone())]
+    }
+
+    fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
+        for (suffix, tensor) in params {
+            let target = match suffix.as_str() {
+                "kernel" => &mut self.kernel,
+                "bias" => &mut self.bias,
+                other => {
+                    return Err(DnnError::WeightMismatch(format!(
+                        "conv1d {}: unknown parameter {other}",
+                        self.name
+                    )))
+                }
+            };
+            if target.dims() != tensor.dims() {
+                return Err(DnnError::WeightMismatch(format!(
+                    "conv1d {}: {suffix} shape {:?} != {:?}",
+                    self.name,
+                    tensor.dims(),
+                    target.dims()
+                )));
+            }
+            *target = tensor.clone();
+        }
+        Ok(())
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_kernel.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut c = Conv1D::new(3, 2, 4, 1);
+        c.import_params(&[
+            ("kernel".into(), Tensor::zeros(&[3, 2, 4])),
+            ("bias".into(), Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap()),
+        ])
+        .unwrap();
+        let x = Tensor::ones(&[2, 10, 2]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 4]);
+        // Zero kernel: output is just the bias, broadcast.
+        assert_eq!(&y.as_slice()[..4], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut c = Conv1D::with_seed(3, 1, 2, 1, 11);
+        let x = Tensor::from_vec(vec![0.4, -0.2, 0.8, 0.3, -0.5, 0.1], &[1, 6, 1]).unwrap();
+        let y = c.forward(&x, true).unwrap();
+        let gy = Tensor::ones(y.dims());
+        let gx = c.backward(&gy).unwrap();
+        let eps = 1e-3f32;
+
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = c.forward(&xp, true).unwrap().sum();
+            let lm = c.forward(&xm, true).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - num).abs() < 1e-2, "gx[{i}]");
+        }
+
+        // Bias gradient equals the number of output positions contributing.
+        let mut gb = Vec::new();
+        c.visit_params(&mut |s, _, g| {
+            if s == "bias" {
+                gb = g.as_slice().to_vec();
+            }
+        });
+        // 3 forwards ran (1 original + 2x6 perturbed inputs did backward only
+        // once); bias grad accumulated only from the single backward: out_len
+        // = 4 positions, batch 1.
+        assert!(gb.iter().all(|&v| (v - 4.0).abs() < 1e-4), "{gb:?}");
+    }
+
+    #[test]
+    fn stride_changes_output_length() {
+        let mut c = Conv1D::new(2, 1, 1, 2);
+        let x = Tensor::ones(&[1, 8, 1]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.dims()[1], 4);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let a = Conv1D::with_seed(3, 2, 4, 1, 5);
+        let mut b = Conv1D::with_seed(3, 2, 4, 1, 6);
+        b.import_params(&a.export_params()).unwrap();
+        assert_eq!(a.export_params(), b.export_params());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut c = Conv1D::new(2, 1, 1, 1);
+        assert!(c.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! 2-D convolution layer (for the 2-D PtychoNN variant).
+
+use crate::{DnnError, Layer, Result};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::{ops::conv2d, Initializer, Tensor};
+
+/// Valid-padding 2-D convolution, channels-last.
+///
+/// Input `[batch, h, w, in_ch]`, kernel `[kh, kw, in_ch, out_ch]`, bias
+/// `[out_ch]`, output `[batch, oh, ow, out_ch]`.
+#[derive(Debug)]
+pub struct Conv2D {
+    name: String,
+    kernel: Tensor,
+    bias: Tensor,
+    grad_kernel: Tensor,
+    grad_bias: Tensor,
+    stride: (usize, usize),
+    cached_input: Option<Tensor>,
+    trainable: bool,
+}
+
+impl Conv2D {
+    /// A conv layer with He-normal weights (fixed seed; see
+    /// [`Conv2D::with_seed`]).
+    pub fn new(kh: usize, kw: usize, in_ch: usize, out_ch: usize, stride: (usize, usize)) -> Self {
+        Self::with_seed(kh, kw, in_ch, out_ch, stride, 0x2dc0de)
+    }
+
+    /// A conv layer with seeded He-normal initialisation.
+    pub fn with_seed(
+        kh: usize,
+        kw: usize,
+        in_ch: usize,
+        out_ch: usize,
+        stride: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        assert!(stride.0 >= 1 && stride.1 >= 1, "strides must be >= 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Conv2D {
+            name: "conv2d".into(),
+            kernel: Tensor::init(&[kh, kw, in_ch, out_ch], Initializer::HeNormal, &mut rng),
+            bias: Tensor::zeros(&[out_ch]),
+            grad_kernel: Tensor::zeros(&[kh, kw, in_ch, out_ch]),
+            grad_bias: Tensor::zeros(&[out_ch]),
+            stride,
+            cached_input: None,
+            trainable: true,
+        }
+    }
+
+    /// Freeze the layer (transfer learning). Builder-style.
+    pub fn frozen(mut self) -> Self {
+        self.trainable = false;
+        self
+    }
+
+    fn ksize(&self) -> (usize, usize) {
+        (self.kernel.dims()[0], self.kernel.dims()[1])
+    }
+}
+
+impl Layer for Conv2D {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let mut out = conv2d::conv2d(input, &self.kernel, self.stride)?;
+        let oc = *out.dims().last().expect("rank 4 output");
+        let positions = out.len() / oc;
+        let bias = self.bias.as_slice();
+        let data = out.as_mut_slice();
+        for pos in 0..positions {
+            for (c, &bv) in bias.iter().enumerate() {
+                data[pos * oc + c] += bv;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        let gk = conv2d::conv2d_grad_kernel(x, grad_out, self.ksize(), self.stride)?;
+        self.grad_kernel.axpy(1.0, &gk)?;
+        let oc = *grad_out.dims().last().expect("rank 4 grad");
+        let positions = grad_out.len() / oc;
+        let g = grad_out.as_slice();
+        let gb = self.grad_bias.as_mut_slice();
+        for pos in 0..positions {
+            for (c, gbv) in gb.iter_mut().enumerate() {
+                *gbv += g[pos * oc + c];
+            }
+        }
+        Ok(conv2d::conv2d_grad_input(
+            &self.kernel,
+            grad_out,
+            (x.dims()[1], x.dims()[2]),
+            self.stride,
+        )?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        if !self.trainable {
+            return;
+        }
+        f("kernel", &mut self.kernel, &self.grad_kernel);
+        f("bias", &mut self.bias, &self.grad_bias);
+    }
+
+    fn export_params(&self) -> Vec<(String, Tensor)> {
+        vec![("kernel".into(), self.kernel.clone()), ("bias".into(), self.bias.clone())]
+    }
+
+    fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
+        for (suffix, tensor) in params {
+            let target = match suffix.as_str() {
+                "kernel" => &mut self.kernel,
+                "bias" => &mut self.bias,
+                other => {
+                    return Err(DnnError::WeightMismatch(format!(
+                        "conv2d {}: unknown parameter {other}",
+                        self.name
+                    )))
+                }
+            };
+            if target.dims() != tensor.dims() {
+                return Err(DnnError::WeightMismatch(format!(
+                    "conv2d {}: {suffix} shape {:?} != {:?}",
+                    self.name,
+                    tensor.dims(),
+                    target.dims()
+                )));
+            }
+            *target = tensor.clone();
+        }
+        Ok(())
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_kernel.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+}
+
+/// 2-D max pooling over the spatial dimensions (channels-last).
+#[derive(Debug)]
+pub struct MaxPool2D {
+    name: String,
+    window: (usize, usize),
+    stride: (usize, usize),
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2D {
+    /// A pool layer with the given window and stride.
+    pub fn new(window: (usize, usize), stride: (usize, usize)) -> Self {
+        assert!(
+            window.0 >= 1 && window.1 >= 1 && stride.0 >= 1 && stride.1 >= 1,
+            "window and stride must be >= 1"
+        );
+        MaxPool2D { name: "maxpool2d".into(), window, stride, cache: None }
+    }
+}
+
+impl Layer for MaxPool2D {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let (out, indices) = conv2d::maxpool2d(input, self.window, self.stride)?;
+        self.cache = Some((indices, input.dims().to_vec()));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (indices, input_dims) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        Ok(viper_tensor::ops::conv::maxpool1d_backward(grad_out, indices, input_dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut c = Conv2D::new(3, 3, 1, 8, (1, 1));
+        let x = Tensor::ones(&[2, 8, 8, 1]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 6, 6, 8]);
+        let mut p = MaxPool2D::new((2, 2), (2, 2));
+        let z = p.forward(&y, false).unwrap();
+        assert_eq!(z.dims(), &[2, 3, 3, 8]);
+    }
+
+    #[test]
+    fn gradient_check_via_layer() {
+        let mut c = Conv2D::with_seed(2, 2, 1, 2, (1, 1), 99);
+        let data: Vec<f32> = (0..16).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect();
+        let x = Tensor::from_vec(data, &[1, 4, 4, 1]).unwrap();
+        let y = c.forward(&x, true).unwrap();
+        let gy = Tensor::ones(y.dims());
+        let gx = c.backward(&gy).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = c.forward(&xp, true).unwrap().sum();
+            let lm = c.forward(&xm, true).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - num).abs() < 1e-2, "gx[{i}]");
+        }
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let mut p = MaxPool2D::new((2, 2), (2, 2));
+        let x = Tensor::from_vec(
+            vec![1.0, 9.0, 2.0, 3.0, 4.0, 5.0, 8.0, 6.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            &[1, 4, 4, 1],
+        )
+        .unwrap();
+        p.forward(&x, true).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.dims(), &[1, 4, 4, 1]);
+        // Gradient mass is conserved.
+        assert!((g.sum() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_conv2d_skips_optimizer() {
+        let mut c = Conv2D::new(2, 2, 1, 1, (1, 1)).frozen();
+        let mut visited = 0;
+        c.visit_params(&mut |_, _, _| visited += 1);
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let a = Conv2D::with_seed(3, 3, 2, 4, (1, 1), 5);
+        let mut b = Conv2D::with_seed(3, 3, 2, 4, (1, 1), 6);
+        b.import_params(&a.export_params()).unwrap();
+        assert_eq!(a.export_params(), b.export_params());
+        assert!(b.import_params(&[("kernel".into(), Tensor::zeros(&[1, 1, 1, 1]))]).is_err());
+    }
+}

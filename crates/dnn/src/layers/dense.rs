@@ -1,0 +1,307 @@
+//! Fully-connected layer.
+
+use crate::{DnnError, Layer, Result};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::{Initializer, Tensor};
+
+/// `y = x W + b` with `x: [batch, in]`, `W: [in, out]`, `b: [out]`.
+#[derive(Debug)]
+pub struct Dense {
+    name: String,
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+    trainable: bool,
+}
+
+impl Dense {
+    /// A dense layer with Glorot-uniform weights (seed fixed per shape for
+    /// reproducibility; use [`Dense::with_seed`] to vary).
+    pub fn new(input: usize, output: usize) -> Self {
+        Self::with_seed(input, output, 0x5eed)
+    }
+
+    /// A dense layer with seeded Glorot-uniform initialisation.
+    pub fn with_seed(input: usize, output: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Dense {
+            name: "dense".into(),
+            w: Tensor::init(&[input, output], Initializer::GlorotUniform, &mut rng),
+            b: Tensor::zeros(&[output]),
+            grad_w: Tensor::zeros(&[input, output]),
+            grad_b: Tensor::zeros(&[output]),
+            cached_input: None,
+            trainable: true,
+        }
+    }
+
+    /// Freeze the layer: the optimizer skips its parameters (transfer
+    /// learning). Builder-style.
+    pub fn frozen(mut self) -> Self {
+        self.trainable = false;
+        self
+    }
+
+    /// Set whether the optimizer updates this layer.
+    pub fn set_trainable(&mut self, trainable: bool) {
+        self.trainable = trainable;
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.dims()[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.dims()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        if input.dims().len() != 2 || input.dims()[1] != self.input_dim() {
+            return Err(DnnError::ShapeMismatch(format!(
+                "dense {} expects [batch, {}], got {:?}",
+                self.name,
+                self.input_dim(),
+                input.dims()
+            )));
+        }
+        let mut out = input.matmul(&self.w)?;
+        // Broadcast-add the bias across rows.
+        let (batch, width) = (out.dims()[0], out.dims()[1]);
+        let bias = self.b.as_slice();
+        let data = out.as_mut_slice();
+        for r in 0..batch {
+            for (c, &bv) in bias.iter().enumerate() {
+                data[r * width + c] += bv;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        // dW = xᵀ g, accumulated.
+        self.grad_w.axpy(1.0, &x.transpose()?.matmul(grad_out)?)?;
+        // db = column sums of g.
+        let (batch, width) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let g = grad_out.as_slice();
+        let gb = self.grad_b.as_mut_slice();
+        for r in 0..batch {
+            for (c, gbv) in gb.iter_mut().enumerate() {
+                *gbv += g[r * width + c];
+            }
+        }
+        // dx = g Wᵀ.
+        Ok(grad_out.matmul(&self.w.transpose()?)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
+        if !self.trainable {
+            return;
+        }
+        f("kernel", &mut self.w, &self.grad_w);
+        f("bias", &mut self.b, &self.grad_b);
+    }
+
+    fn export_params(&self) -> Vec<(String, Tensor)> {
+        vec![("kernel".into(), self.w.clone()), ("bias".into(), self.b.clone())]
+    }
+
+    fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
+        for (suffix, tensor) in params {
+            let target = match suffix.as_str() {
+                "kernel" => &mut self.w,
+                "bias" => &mut self.b,
+                other => {
+                    return Err(DnnError::WeightMismatch(format!(
+                        "dense {}: unknown parameter {other}",
+                        self.name
+                    )))
+                }
+            };
+            if target.dims() != tensor.dims() {
+                return Err(DnnError::WeightMismatch(format!(
+                    "dense {}: {suffix} shape {:?} != {:?}",
+                    self.name,
+                    tensor.dims(),
+                    target.dims()
+                )));
+            }
+            *target = tensor.clone();
+        }
+        Ok(())
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.map_inplace(|_| 0.0);
+        self.grad_b.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut d = Dense::new(2, 2);
+        d.import_params(&[
+            ("kernel".into(), Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap()),
+            ("bias".into(), Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap()),
+        ])
+        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut d = Dense::new(3, 2);
+        let x = Tensor::zeros(&[1, 4]);
+        assert!(d.forward(&x, false).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gradients_match_finite_differences() {
+        let mut d = Dense::with_seed(3, 2, 7);
+        let x = Tensor::from_vec(vec![0.5, -0.2, 0.9, 0.1, 0.4, -0.7], &[2, 3]).unwrap();
+        // Loss = sum of outputs.
+        let y = d.forward(&x, true).unwrap();
+        let gy = Tensor::ones(y.dims());
+        let gx = d.backward(&gy).unwrap();
+
+        let eps = 1e-3f32;
+        // Check dL/dx.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = d.forward(&xp, true).unwrap().sum();
+            let lm = d.forward(&xm, true).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - num).abs() < 1e-2, "gx[{i}]");
+        }
+        // Check dL/dW via export/import perturbation.
+        let params = d.export_params();
+        let w = params[0].1.clone();
+        let mut grads = Vec::new();
+        d.visit_params(&mut |suffix, _, g| {
+            if suffix == "kernel" {
+                grads = g.as_slice().to_vec();
+            }
+        });
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            d.import_params(&[("kernel".into(), wp)]).unwrap();
+            let lp = d.forward(&x, true).unwrap().sum();
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            d.import_params(&[("kernel".into(), wm)]).unwrap();
+            let lm = d.forward(&x, true).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((grads[i] - num).abs() < 1e-2, "gw[{i}]: {} vs {num}", grads[i]);
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut d = Dense::with_seed(2, 2, 1);
+        let x = Tensor::ones(&[1, 2]);
+        let gy = Tensor::ones(&[1, 2]);
+        d.forward(&x, true).unwrap();
+        d.backward(&gy).unwrap();
+        let mut first = Vec::new();
+        d.visit_params(&mut |s, _, g| {
+            if s == "kernel" {
+                first = g.as_slice().to_vec();
+            }
+        });
+        d.forward(&x, true).unwrap();
+        d.backward(&gy).unwrap();
+        d.visit_params(&mut |s, _, g| {
+            if s == "kernel" {
+                for (a, b) in g.as_slice().iter().zip(&first) {
+                    assert!((a - 2.0 * b).abs() < 1e-5);
+                }
+            }
+        });
+        d.zero_grads();
+        d.visit_params(&mut |_, _, g| assert!(g.as_slice().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn import_rejects_bad_shapes_and_names() {
+        let mut d = Dense::new(2, 2);
+        assert!(d.import_params(&[("kernel".into(), Tensor::zeros(&[3, 3]))]).is_err());
+        assert!(d.import_params(&[("mystery".into(), Tensor::zeros(&[2, 2]))]).is_err());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let d = Dense::with_seed(4, 3, 99);
+        let mut d2 = Dense::with_seed(4, 3, 100);
+        d2.import_params(&d.export_params()).unwrap();
+        assert_eq!(d.export_params(), d2.export_params());
+    }
+}
+
+#[cfg(test)]
+mod freeze_tests {
+    use super::*;
+    use crate::Layer;
+
+    #[test]
+    fn frozen_layer_params_never_update() {
+        let mut d = Dense::with_seed(2, 2, 3).frozen();
+        let before = d.export_params();
+        let x = Tensor::ones(&[1, 2]);
+        d.forward(&x, true).unwrap();
+        d.backward(&Tensor::ones(&[1, 2])).unwrap();
+        let mut visited = 0;
+        d.visit_params(&mut |_, _, _| visited += 1);
+        assert_eq!(visited, 0, "optimizer must not see frozen params");
+        assert_eq!(d.export_params(), before);
+    }
+
+    #[test]
+    fn unfreeze_restores_training() {
+        let mut d = Dense::with_seed(2, 2, 3).frozen();
+        d.set_trainable(true);
+        let mut visited = 0;
+        d.visit_params(&mut |_, _, _| visited += 1);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn frozen_layer_still_propagates_gradients() {
+        // Freezing stops updates but not backprop through the layer.
+        let mut d = Dense::with_seed(3, 2, 4).frozen();
+        let x = Tensor::ones(&[1, 3]);
+        d.forward(&x, true).unwrap();
+        let gx = d.backward(&Tensor::ones(&[1, 2])).unwrap();
+        assert_eq!(gx.dims(), &[1, 3]);
+        assert!(gx.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Inverted dropout.
+
+use crate::{DnnError, Layer, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::Tensor;
+
+/// Inverted dropout: during training each unit is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1-rate)`; at inference it is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    rate: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// A dropout layer with drop probability `rate` in `[0, 1)`.
+    pub fn new(rate: f32) -> Self {
+        Self::with_seed(rate, 0xd20)
+    }
+
+    /// Seeded variant for reproducible training runs.
+    pub fn with_seed(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Dropout { name: "dropout".into(), rate, rng: ChaCha8Rng::seed_from_u64(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        if !training || self.rate == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data: Vec<f32> =
+            input.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(data, input.dims())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(grad_out.clone()),
+            Some(mask) => {
+                if mask.len() != grad_out.len() {
+                    return Err(DnnError::ShapeMismatch("dropout grad length".into()));
+                }
+                let data: Vec<f32> =
+                    grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Ok(Tensor::from_vec(data, grad_out.dims())?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn drops_roughly_rate_fraction() {
+        let mut d = Dropout::with_seed(0.3, 42);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped {frac}");
+        // Survivors are scaled to preserve the expectation.
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::with_seed(0.5, 7);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[1000])).unwrap();
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0, "mask must match between passes");
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_training() {
+        let mut d = Dropout::new(0.0);
+        let x = Tensor::ones(&[10]);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be")]
+    fn invalid_rate_panics() {
+        Dropout::new(1.0);
+    }
+}

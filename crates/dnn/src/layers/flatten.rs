@@ -1,0 +1,71 @@
+//! Flatten layer: collapse all trailing dimensions into one.
+
+use crate::{DnnError, Layer, Result};
+use viper_tensor::Tensor;
+
+/// `[batch, d1, d2, ...] -> [batch, d1*d2*...]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    name: String,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A flatten layer.
+    pub fn new() -> Self {
+        Flatten { name: "flatten".into(), input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(DnnError::ShapeMismatch("flatten needs at least rank 1".into()));
+        }
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.input_dims = Some(dims.to_vec());
+        Ok(input.reshape(&[batch, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        Ok(grad_out.reshape(dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_restore() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]).unwrap();
+        let y = f.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn rank1_passthrough() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[5]);
+        let y = f.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[5, 1]);
+    }
+}

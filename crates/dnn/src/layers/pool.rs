@@ -1,0 +1,79 @@
+//! Max-pooling layer.
+
+use crate::{DnnError, Layer, Result};
+use viper_tensor::{ops::conv, Tensor};
+
+/// 1-D max pooling over the length dimension (channels-last).
+#[derive(Debug)]
+pub struct MaxPool1D {
+    name: String,
+    window: usize,
+    stride: usize,
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool1D {
+    /// A pool layer with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window >= 1 && stride >= 1, "window and stride must be >= 1");
+        MaxPool1D { name: "maxpool1d".into(), window, stride, cache: None }
+    }
+}
+
+impl Layer for MaxPool1D {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let (out, indices) = conv::maxpool1d(input, self.window, self.stride)?;
+        self.cache = Some((indices, input.dims().to_vec()));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (indices, input_dims) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
+        Ok(conv::maxpool1d_backward(grad_out, indices, input_dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_halves_length() {
+        let mut p = MaxPool1D::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0], &[1, 4, 1]).unwrap();
+        let y = p.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool1D::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0], &[1, 4, 1]).unwrap();
+        p.forward(&x, true).unwrap();
+        let g = p.backward(&Tensor::from_vec(vec![10.0, 20.0], &[1, 2, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 10.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut p = MaxPool1D::new(2, 2);
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_window_panics() {
+        MaxPool1D::new(0, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! # viper-dnn
+//!
+//! A from-scratch DNN training and inference library.
+//!
+//! The Viper paper trains CANDLE NT3/TC1 (1-D convolutional classifiers)
+//! and PtychoNN (an encoder/decoder regressor) with TensorFlow and attaches
+//! a checkpoint callback to `model.fit()`. This crate supplies the same
+//! integration surface in pure Rust: sequential models built from layers,
+//! losses, SGD/Adam optimizers, a Keras-style [`Model::fit`] loop with a
+//! [`Callback`] list, and named-weight export/import (the unit Viper
+//! checkpoints and transfers).
+//!
+//! ## Example
+//!
+//! ```
+//! use viper_dnn::{layers, losses, optimizers, Dataset, FitConfig, Model};
+//! use viper_tensor::Tensor;
+//!
+//! // Tiny binary classifier on 2-D points.
+//! let mut model = Model::new("demo", 7)
+//!     .push(layers::Dense::new(2, 8))
+//!     .push(layers::ReLU::new())
+//!     .push(layers::Dense::new(8, 2));
+//!
+//! let x = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]).unwrap();
+//! let y = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0], &[4, 2]).unwrap();
+//! let data = Dataset::new(x, y).unwrap();
+//!
+//! let mut opt = optimizers::Sgd::new(0.1);
+//! let loss = losses::SoftmaxCrossEntropy;
+//! let report = model
+//!     .fit(&data, &loss, &mut opt, &FitConfig { epochs: 5, batch_size: 4, shuffle: false }, &mut [])
+//!     .unwrap();
+//! assert_eq!(report.iterations, 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod callback;
+mod dataset;
+mod error;
+mod model;
+
+pub mod layers;
+pub mod losses;
+pub mod metrics;
+pub mod optimizers;
+
+pub use callback::{Callback, LossRecorder, TrainEvent};
+pub use dataset::Dataset;
+pub use error::{DnnError, Result};
+pub use model::{FitConfig, FitReport, Model};
+
+/// A layer in a sequential model.
+///
+/// Layers own their parameters, parameter gradients, and whatever forward
+/// activations the backward pass needs.
+pub trait Layer: Send {
+    /// Layer name (unique within a model after [`Model::push`]).
+    fn name(&self) -> &str;
+
+    /// Override the layer name (called by the model to disambiguate).
+    fn set_name(&mut self, name: String);
+
+    /// Forward pass. `training` enables stochastic behaviour (dropout).
+    fn forward(&mut self, input: &viper_tensor::Tensor, training: bool) -> Result<viper_tensor::Tensor>;
+
+    /// Backward pass: consume `d(loss)/d(output)`, accumulate parameter
+    /// gradients, and return `d(loss)/d(input)`.
+    fn backward(&mut self, grad_out: &viper_tensor::Tensor) -> Result<viper_tensor::Tensor>;
+
+    /// Visit `(suffix, param, grad)` triples for the optimizer. The default
+    /// is a parameterless layer.
+    fn visit_params(
+        &mut self,
+        _f: &mut dyn FnMut(&str, &mut viper_tensor::Tensor, &viper_tensor::Tensor),
+    ) {
+    }
+
+    /// Named parameter snapshots, `(suffix, tensor)`. Default: none.
+    fn export_params(&self) -> Vec<(String, viper_tensor::Tensor)> {
+        Vec::new()
+    }
+
+    /// Load parameters exported by [`Layer::export_params`] (same order and
+    /// shapes). Default: accepts an empty list.
+    fn import_params(&mut self, params: &[(String, viper_tensor::Tensor)]) -> Result<()> {
+        if params.is_empty() {
+            Ok(())
+        } else {
+            Err(DnnError::WeightMismatch(format!(
+                "layer {} has no parameters but {} were supplied",
+                self.name(),
+                params.len()
+            )))
+        }
+    }
+
+    /// Zero the accumulated gradients. Default: nothing to zero.
+    fn zero_grads(&mut self) {}
+}
+
+/// A training loss.
+pub trait Loss: Send + Sync {
+    /// Loss name (e.g. `"softmax_cross_entropy"`).
+    fn name(&self) -> &'static str;
+
+    /// Mean loss over the batch.
+    fn forward(&self, pred: &viper_tensor::Tensor, target: &viper_tensor::Tensor) -> Result<f64>;
+
+    /// `d(mean loss)/d(pred)`.
+    fn backward(
+        &self,
+        pred: &viper_tensor::Tensor,
+        target: &viper_tensor::Tensor,
+    ) -> Result<viper_tensor::Tensor>;
+}
+
+/// A gradient-descent optimizer.
+pub trait Optimizer: Send {
+    /// Optimizer name.
+    fn name(&self) -> &'static str;
+
+    /// Begin an optimization step (advance internal clocks).
+    fn begin_step(&mut self) {}
+
+    /// Update one parameter in place. `key` identifies the parameter
+    /// (stable across steps) so stateful optimizers can track per-parameter
+    /// moments.
+    fn update(&mut self, key: &str, param: &mut viper_tensor::Tensor, grad: &viper_tensor::Tensor);
+
+    /// Snapshot the optimizer's internal state as named tensors, so a
+    /// checkpoint can resume training bit-exactly (momentum buffers, Adam
+    /// moments, step counters). Stateless optimizers return nothing.
+    fn export_state(&self) -> Vec<(String, viper_tensor::Tensor)> {
+        Vec::new()
+    }
+
+    /// Restore state exported by [`Optimizer::export_state`].
+    fn import_state(&mut self, _state: &[(String, viper_tensor::Tensor)]) -> Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,195 @@
+//! Training losses: MSE, MAE (PtychoNN's metric), and fused softmax
+//! cross-entropy (NT3/TC1's metric).
+
+use crate::{DnnError, Loss, Result};
+use viper_tensor::Tensor;
+
+fn check_same(pred: &Tensor, target: &Tensor, what: &str) -> Result<()> {
+    if pred.dims() != target.dims() {
+        return Err(DnnError::ShapeMismatch(format!(
+            "{what}: pred {:?} vs target {:?}",
+            pred.dims(),
+            target.dims()
+        )));
+    }
+    Ok(())
+}
+
+/// Mean squared error over all elements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> Result<f64> {
+        check_same(pred, target, "mse")?;
+        let n = pred.len().max(1) as f64;
+        Ok(pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let d = (p - t) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n)
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same(pred, target, "mse")?;
+        let scale = 2.0 / pred.len().max(1) as f32;
+        Ok(pred.zip(target, move |p, t| scale * (p - t))?)
+    }
+}
+
+/// Mean absolute error over all elements — PtychoNN's inference-loss metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mae;
+
+impl Loss for Mae {
+    fn name(&self) -> &'static str {
+        "mae"
+    }
+
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> Result<f64> {
+        check_same(pred, target, "mae")?;
+        let n = pred.len().max(1) as f64;
+        Ok(pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| ((p - t) as f64).abs())
+            .sum::<f64>()
+            / n)
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same(pred, target, "mae")?;
+        let scale = 1.0 / pred.len().max(1) as f32;
+        Ok(pred.zip(target, move |p, t| {
+            if p > t {
+                scale
+            } else if p < t {
+                -scale
+            } else {
+                0.0
+            }
+        })?)
+    }
+}
+
+/// Softmax + categorical cross-entropy, fused.
+///
+/// `pred` is raw logits `[batch, classes]`; `target` is one-hot (or a
+/// probability distribution) of the same shape. The fused gradient is the
+/// numerically stable `(softmax(pred) - target) / batch`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    fn softmax_rows(pred: &Tensor) -> Result<Tensor> {
+        crate::layers::Softmax::apply(pred)
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn name(&self) -> &'static str {
+        "softmax_cross_entropy"
+    }
+
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> Result<f64> {
+        check_same(pred, target, "softmax_cross_entropy")?;
+        let probs = Self::softmax_rows(pred)?;
+        let batch = pred.dims()[0].max(1) as f64;
+        let mut loss = 0.0f64;
+        for (&p, &t) in probs.as_slice().iter().zip(target.as_slice()) {
+            if t > 0.0 {
+                loss -= t as f64 * (p.max(1e-12) as f64).ln();
+            }
+        }
+        Ok(loss / batch)
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same(pred, target, "softmax_cross_entropy")?;
+        let probs = Self::softmax_rows(pred)?;
+        let scale = 1.0 / pred.dims()[0].max(1) as f32;
+        Ok(probs.zip(target, move |p, t| scale * (p - t))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn mse_forward_and_gradient() {
+        let pred = t(&[1.0, 2.0], &[2]);
+        let target = t(&[0.0, 4.0], &[2]);
+        let l = Mse.forward(&pred, &target).unwrap();
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-9);
+        let g = Mse.backward(&pred, &target).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn mae_forward_and_gradient() {
+        let pred = t(&[1.0, 2.0, 3.0], &[3]);
+        let target = t(&[0.0, 2.0, 5.0], &[3]);
+        let l = Mae.forward(&pred, &target).unwrap();
+        assert!((l - 1.0).abs() < 1e-9);
+        let g = Mae.backward(&pred, &target).unwrap();
+        let third = 1.0 / 3.0f32;
+        assert_eq!(g.as_slice(), &[third, 0.0, -third]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let pred = t(&[20.0, -20.0], &[1, 2]);
+        let target = t(&[1.0, 0.0], &[1, 2]);
+        assert!(SoftmaxCrossEntropy.forward(&pred, &target).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_classes() {
+        let pred = t(&[0.0, 0.0, 0.0, 0.0], &[1, 4]);
+        let target = t(&[0.0, 1.0, 0.0, 0.0], &[1, 4]);
+        let l = SoftmaxCrossEntropy.forward(&pred, &target).unwrap();
+        assert!((l - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let pred = t(&[0.5, -0.3, 0.8], &[1, 3]);
+        let target = t(&[0.0, 1.0, 0.0], &[1, 3]);
+        let g = SoftmaxCrossEntropy.backward(&pred, &target).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = pred.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = pred.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let lp = SoftmaxCrossEntropy.forward(&pp, &target).unwrap();
+            let lm = SoftmaxCrossEntropy.forward(&pm, &target).unwrap();
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((g.as_slice()[i] - num).abs() < 1e-3, "g[{i}]: {} vs {num}", g.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn losses_reject_shape_mismatches() {
+        let a = t(&[1.0], &[1]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert!(Mse.forward(&a, &b).is_err());
+        assert!(Mae.backward(&a, &b).is_err());
+        assert!(SoftmaxCrossEntropy.forward(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Evaluation metrics.
+
+use crate::{DnnError, Result};
+use viper_tensor::Tensor;
+
+/// Classification accuracy of `[batch, classes]` predictions against
+/// one-hot `[batch, classes]` targets.
+pub fn accuracy(pred: &Tensor, target: &Tensor) -> Result<f64> {
+    if pred.dims() != target.dims() || pred.dims().len() != 2 {
+        return Err(DnnError::ShapeMismatch(format!(
+            "accuracy expects matching [batch, classes], got {:?} vs {:?}",
+            pred.dims(),
+            target.dims()
+        )));
+    }
+    let (rows, cols) = (pred.dims()[0], pred.dims()[1]);
+    if rows == 0 {
+        return Ok(0.0);
+    }
+    let p = pred.as_slice();
+    let t = target.as_slice();
+    let mut correct = 0usize;
+    for r in 0..rows {
+        let row_argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        if row_argmax(&p[r * cols..(r + 1) * cols]) == row_argmax(&t[r * cols..(r + 1) * cols]) {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / rows as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let pred = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]).unwrap();
+        let right = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let wrong = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&pred, &right).unwrap(), 1.0);
+        assert_eq!(accuracy(&pred, &wrong).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partial_accuracy() {
+        let pred = Tensor::from_vec(vec![0.9, 0.1, 0.9, 0.1], &[2, 2]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&pred, &target).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let pred = Tensor::zeros(&[0, 3]);
+        let target = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&pred, &target).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(accuracy(&a, &b).is_err());
+    }
+}

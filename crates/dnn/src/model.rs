@@ -1,0 +1,549 @@
+//! The sequential model and its Keras-style training loop.
+
+use crate::{Callback, Dataset, DnnError, Layer, Loss, Optimizer, Result, TrainEvent};
+use viper_tensor::Tensor;
+
+/// A sequential stack of layers with a `fit`/`predict` interface.
+pub struct Model {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+    iteration: u64,
+    seed: u64,
+}
+
+/// Configuration of one [`Model::fit`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Samples per training batch.
+    pub batch_size: usize,
+    /// Shuffle sample order each epoch (seeded; deterministic per model).
+    pub shuffle: bool,
+}
+
+/// Summary of a completed [`Model::fit`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Total training iterations executed.
+    pub iterations: u64,
+    /// Per-iteration batch losses.
+    pub iteration_losses: Vec<f64>,
+    /// Per-epoch mean losses.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl Model {
+    /// An empty model. `seed` controls shuffling.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Model { name: name.into(), layers: Vec::new(), iteration: 0, seed }
+    }
+
+    /// Append a layer (builder style). The layer is renamed
+    /// `"{base}_{index}"` so weight names are unique.
+    pub fn push(mut self, mut layer: impl Layer + 'static) -> Self {
+        let unique = format!("{}_{}", layer.name(), self.layers.len());
+        layer.set_name(unique);
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Global training iterations completed so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Total trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.export_params().iter().map(|(_, t)| t.len()).sum::<usize>()).sum()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass through all layers (after a forward pass).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// One optimization step on a batch; returns the batch loss.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+    ) -> Result<f64> {
+        self.zero_grads();
+        let pred = self.forward(x, true)?;
+        let loss_value = loss.forward(&pred, y)?;
+        let grad = loss.backward(&pred, y)?;
+        self.backward(&grad)?;
+        opt.begin_step();
+        for layer in &mut self.layers {
+            let lname = layer.name().to_string();
+            layer.visit_params(&mut |suffix, param, grad| {
+                opt.update(&format!("{lname}/{suffix}"), param, grad);
+            });
+        }
+        self.iteration += 1;
+        Ok(loss_value)
+    }
+
+    /// Inference (no dropout, no gradient bookkeeping kept).
+    pub fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.forward(x, false)
+    }
+
+    /// Mean loss of the model over a dataset.
+    pub fn evaluate(&mut self, data: &Dataset, loss: &dyn Loss, batch_size: usize) -> Result<f64> {
+        if data.is_empty() {
+            return Err(DnnError::InvalidConfig("cannot evaluate on an empty dataset".into()));
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (bx, by) in data.batches(batch_size, false, 0) {
+            let n = bx.dims()[0];
+            let pred = self.forward(&bx, false)?;
+            total += loss.forward(&pred, &by)? * n as f64;
+            count += n;
+        }
+        Ok(total / count as f64)
+    }
+
+    /// Keras-style training loop with a callback list.
+    pub fn fit(
+        &mut self,
+        data: &Dataset,
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+        cfg: &FitConfig,
+        callbacks: &mut [&mut dyn Callback],
+    ) -> Result<FitReport> {
+        if cfg.epochs == 0 || cfg.batch_size == 0 {
+            return Err(DnnError::InvalidConfig("epochs and batch_size must be positive".into()));
+        }
+        if data.is_empty() {
+            return Err(DnnError::InvalidConfig("cannot fit on an empty dataset".into()));
+        }
+        for cb in callbacks.iter_mut() {
+            cb.on_train_begin(self);
+        }
+        let mut report = FitReport {
+            iterations: 0,
+            iteration_losses: Vec::new(),
+            epoch_losses: Vec::with_capacity(cfg.epochs),
+        };
+        for epoch in 0..cfg.epochs {
+            let mut epoch_total = 0.0;
+            let mut batches = 0usize;
+            let shuffle_seed = self.seed.wrapping_add(epoch as u64);
+            // Materialise the epoch's batches up front: `batches` borrows
+            // `data`, not `self`, so training inside the loop is fine.
+            for (bx, by) in data.batches(cfg.batch_size, cfg.shuffle, shuffle_seed) {
+                let batch_loss = self.train_batch(&bx, &by, loss, opt)?;
+                epoch_total += batch_loss;
+                batches += 1;
+                report.iterations += 1;
+                report.iteration_losses.push(batch_loss);
+                let event =
+                    TrainEvent { epoch, iteration: self.iteration, batch_loss };
+                for cb in callbacks.iter_mut() {
+                    cb.on_iteration_end(&event, self);
+                }
+            }
+            let mean = epoch_total / batches.max(1) as f64;
+            report.epoch_losses.push(mean);
+            for cb in callbacks.iter_mut() {
+                cb.on_epoch_end(epoch, mean, self);
+            }
+        }
+        for cb in callbacks.iter_mut() {
+            cb.on_train_end(self);
+        }
+        Ok(report)
+    }
+
+    /// Snapshot the *complete* training state — weights, optimizer state,
+    /// and the iteration counter — as named tensors. This is the
+    /// "checkpoint including the optimizer state and other intermediate
+    /// states for resuming training" the paper describes (§2), suitable for
+    /// serializing with any `viper_formats` format.
+    pub fn training_state(&self, opt: &dyn Optimizer) -> Vec<(String, Tensor)> {
+        let mut out: Vec<(String, Tensor)> = self
+            .named_weights()
+            .into_iter()
+            .map(|(n, t)| (format!("model/{n}"), t))
+            .collect();
+        out.extend(
+            opt.export_state().into_iter().map(|(n, t)| (format!("optimizer/{n}"), t)),
+        );
+        out.push((
+            "meta/iteration".to_string(),
+            Tensor::from_vec(vec![self.iteration as f32], &[1]).expect("scalar tensor"),
+        ));
+        out
+    }
+
+    /// Restore state captured by [`Model::training_state`]: weights,
+    /// optimizer state, and the iteration counter. Resumed training is
+    /// bit-exact with the uninterrupted run (given the same data order).
+    pub fn restore_training_state(
+        &mut self,
+        opt: &mut dyn Optimizer,
+        state: &[(String, Tensor)],
+    ) -> Result<()> {
+        let mut weights = Vec::new();
+        let mut opt_state = Vec::new();
+        for (name, tensor) in state {
+            if let Some(rest) = name.strip_prefix("model/") {
+                weights.push((rest.to_string(), tensor.clone()));
+            } else if let Some(rest) = name.strip_prefix("optimizer/") {
+                opt_state.push((rest.to_string(), tensor.clone()));
+            } else if name == "meta/iteration" {
+                self.iteration = tensor.as_slice().first().copied().unwrap_or(0.0) as u64;
+            } else {
+                return Err(DnnError::WeightMismatch(format!(
+                    "unknown training-state entry {name}"
+                )));
+            }
+        }
+        self.set_weights(&weights)?;
+        opt.import_state(&opt_state)
+    }
+
+    /// Snapshot all weights as `("layer/param", tensor)` pairs — the unit
+    /// Viper serializes, transfers, and loads.
+    pub fn named_weights(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            for (suffix, tensor) in layer.export_params() {
+                out.push((format!("{}/{suffix}", layer.name()), tensor));
+            }
+        }
+        out
+    }
+
+    /// Load weights produced by [`Model::named_weights`] on an identical
+    /// architecture. Unknown names or shape mismatches are rejected; layers
+    /// absent from `weights` keep their current parameters.
+    pub fn set_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
+        for (name, tensor) in weights {
+            let Some((layer_name, suffix)) = name.split_once('/') else {
+                return Err(DnnError::WeightMismatch(format!("malformed weight name {name}")));
+            };
+            let layer = self
+                .layers
+                .iter_mut()
+                .find(|l| l.name() == layer_name)
+                .ok_or_else(|| DnnError::WeightMismatch(format!("no layer named {layer_name}")))?;
+            layer.import_params(&[(suffix.to_string(), tensor.clone())])?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("name", &self.name)
+            .field("layers", &self.layers.iter().map(|l| l.name().to_string()).collect::<Vec<_>>())
+            .field("iteration", &self.iteration)
+            .field("parameters", &self.num_parameters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callback::LossRecorder;
+    use crate::{layers, losses, optimizers};
+
+    fn xor_dataset() -> Dataset {
+        // XOR, one-hot targets.
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        )
+        .unwrap();
+        let y = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
+            &[4, 2],
+        )
+        .unwrap();
+        Dataset::new(x, y).unwrap()
+    }
+
+    fn xor_model() -> Model {
+        Model::new("xor", 3)
+            .push(layers::Dense::with_seed(2, 16, 1))
+            .push(layers::Tanh::new())
+            .push(layers::Dense::with_seed(16, 2, 2))
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut model = xor_model();
+        let data = xor_dataset();
+        let loss = losses::SoftmaxCrossEntropy;
+        let mut opt = optimizers::Adam::new(0.05);
+        let cfg = FitConfig { epochs: 300, batch_size: 4, shuffle: false };
+        let report = model.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
+        let final_loss = *report.epoch_losses.last().unwrap();
+        assert!(final_loss < 0.05, "final loss {final_loss}");
+        // Check actual predictions.
+        let pred = model.predict(data.x()).unwrap();
+        for r in 0..4 {
+            let row = &pred.as_slice()[r * 2..(r + 1) * 2];
+            let want = &data.y().as_slice()[r * 2..(r + 1) * 2];
+            let pred_class = if row[0] > row[1] { 0 } else { 1 };
+            let want_class = if want[0] > want[1] { 0 } else { 1 };
+            assert_eq!(pred_class, want_class, "sample {r}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut model = xor_model();
+        let data = xor_dataset();
+        let loss = losses::SoftmaxCrossEntropy;
+        let mut opt = optimizers::Adam::new(0.05);
+        let cfg = FitConfig { epochs: 50, batch_size: 4, shuffle: false };
+        let report = model.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
+        assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn callbacks_see_every_iteration() {
+        let mut model = xor_model();
+        let data = xor_dataset();
+        let mut recorder = LossRecorder::new();
+        let cfg = FitConfig { epochs: 3, batch_size: 2, shuffle: true };
+        let mut opt = optimizers::Sgd::new(0.1);
+        let report = model
+            .fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut recorder])
+            .unwrap();
+        // 4 samples / batch 2 = 2 iterations per epoch, 3 epochs.
+        assert_eq!(report.iterations, 6);
+        assert_eq!(recorder.losses.len(), 6);
+        assert_eq!(recorder.epoch_losses.len(), 3);
+        assert_eq!(model.iteration(), 6);
+    }
+
+    #[test]
+    fn weights_roundtrip_preserves_predictions() {
+        let mut a = xor_model();
+        let data = xor_dataset();
+        let mut opt = optimizers::Adam::new(0.05);
+        let cfg = FitConfig { epochs: 20, batch_size: 4, shuffle: false };
+        a.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+
+        let mut b = xor_model();
+        b.set_weights(&a.named_weights()).unwrap();
+        let pa = a.predict(data.x()).unwrap();
+        let pb = b.predict(data.x()).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn set_weights_rejects_unknown_names() {
+        let mut m = xor_model();
+        let bad = vec![("ghost/kernel".to_string(), Tensor::zeros(&[2, 2]))];
+        assert!(m.set_weights(&bad).is_err());
+        let malformed = vec![("nokernel".to_string(), Tensor::zeros(&[2, 2]))];
+        assert!(m.set_weights(&malformed).is_err());
+    }
+
+    #[test]
+    fn named_weights_are_unique_and_prefixed() {
+        let m = xor_model();
+        let names: Vec<String> = m.named_weights().into_iter().map(|(n, _)| n).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.iter().all(|n| n.contains('/')));
+        assert_eq!(names.len(), 4); // two dense layers x (kernel, bias)
+    }
+
+    #[test]
+    fn num_parameters_counts_everything() {
+        let m = xor_model();
+        // dense(2,16): 2*16+16 = 48; dense(16,2): 16*2+2 = 34.
+        assert_eq!(m.num_parameters(), 82);
+    }
+
+    #[test]
+    fn conv_pipeline_trains() {
+        // A minimal NT3-flavoured conv stack on synthetic 1-D signals.
+        let n = 32;
+        let len = 16;
+        let mut xdata = Vec::with_capacity(n * len);
+        let mut ydata = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            let class = i % 2;
+            for t in 0..len {
+                // Class 0: low frequency; class 1: high frequency.
+                let freq = if class == 0 { 1.0 } else { 4.0 };
+                xdata.push((freq * t as f32 * 0.4).sin());
+            }
+            ydata.extend_from_slice(if class == 0 { &[1.0, 0.0] } else { &[0.0, 1.0] });
+        }
+        let x = Tensor::from_vec(xdata, &[n, len, 1]).unwrap();
+        let y = Tensor::from_vec(ydata, &[n, 2]).unwrap();
+        let data = Dataset::new(x, y).unwrap();
+
+        let mut model = Model::new("mini-nt3", 5)
+            .push(layers::Conv1D::with_seed(3, 1, 8, 1, 21))
+            .push(layers::ReLU::new())
+            .push(layers::MaxPool1D::new(2, 2))
+            .push(layers::Flatten::new())
+            .push(layers::Dense::with_seed(7 * 8, 2, 22));
+        let mut opt = optimizers::Adam::new(0.01);
+        let cfg = FitConfig { epochs: 30, batch_size: 8, shuffle: true };
+        let report =
+            model.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let (first, last) =
+            (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn invalid_fit_configs_rejected() {
+        let mut m = xor_model();
+        let data = xor_dataset();
+        let mut opt = optimizers::Sgd::new(0.1);
+        let loss = losses::SoftmaxCrossEntropy;
+        assert!(m
+            .fit(&data, &loss, &mut opt, &FitConfig { epochs: 0, batch_size: 1, shuffle: false }, &mut [])
+            .is_err());
+        assert!(m
+            .fit(&data, &loss, &mut opt, &FitConfig { epochs: 1, batch_size: 0, shuffle: false }, &mut [])
+            .is_err());
+    }
+
+    #[test]
+    fn batchnorm_model_trains_and_checkpoints() {
+        // A conv stack with BatchNorm: training converges, and a replica
+        // restored from named weights (including running stats) serves
+        // identically at inference.
+        let n = 32;
+        let len = 16;
+        let mut xdata = Vec::new();
+        let mut ydata = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            for t in 0..len {
+                let freq = if class == 0 { 1.0 } else { 4.0 };
+                // Deliberately unnormalized inputs: BatchNorm's job.
+                xdata.push(50.0 + 20.0 * (freq * t as f32 * 0.4).sin());
+            }
+            ydata.extend_from_slice(if class == 0 { &[1.0, 0.0] } else { &[0.0, 1.0] });
+        }
+        let x = Tensor::from_vec(xdata, &[n, len, 1]).unwrap();
+        let y = Tensor::from_vec(ydata, &[n, 2]).unwrap();
+        let data = Dataset::new(x, y).unwrap();
+
+        let mut model = Model::new("bn-net", 5)
+            .push(layers::Conv1D::with_seed(3, 1, 8, 1, 31))
+            .push(layers::BatchNorm::new(8))
+            .push(layers::ReLU::new())
+            .push(layers::Flatten::new())
+            .push(layers::Dense::with_seed(14 * 8, 2, 32));
+        let mut opt = optimizers::Adam::new(0.01);
+        let cfg = FitConfig { epochs: 25, batch_size: 8, shuffle: true };
+        let report =
+            model.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+
+        // Named weights include the running statistics.
+        let weights = model.named_weights();
+        assert!(weights.iter().any(|(n, _)| n.ends_with("running_mean")));
+        let mut replica = Model::new("bn-net", 99)
+            .push(layers::Conv1D::with_seed(3, 1, 8, 1, 41))
+            .push(layers::BatchNorm::new(8))
+            .push(layers::ReLU::new())
+            .push(layers::Flatten::new())
+            .push(layers::Dense::with_seed(14 * 8, 2, 42));
+        replica.set_weights(&weights).unwrap();
+        assert_eq!(model.predict(data.x()).unwrap(), replica.predict(data.x()).unwrap());
+    }
+
+    #[test]
+    fn full_training_state_resume_is_bit_exact() {
+        let data = xor_dataset();
+        let loss = losses::SoftmaxCrossEntropy;
+        let cfg = FitConfig { epochs: 10, batch_size: 2, shuffle: false };
+
+        // Uninterrupted: 20 epochs.
+        let mut cont = xor_model();
+        let mut cont_opt = optimizers::Adam::new(0.05);
+        cont.fit(&data, &loss, &mut cont_opt, &cfg, &mut []).unwrap();
+        let cont2 = cont.fit(&data, &loss, &mut cont_opt, &cfg, &mut []).unwrap();
+
+        // Interrupted: 10 epochs, checkpoint through the serialization
+        // stack, restore into fresh objects, 10 more epochs.
+        let mut a = xor_model();
+        let mut a_opt = optimizers::Adam::new(0.05);
+        a.fit(&data, &loss, &mut a_opt, &cfg, &mut []).unwrap();
+        let state = a.training_state(&a_opt);
+
+        let mut b = xor_model();
+        let mut b_opt = optimizers::Adam::new(0.05);
+        b.restore_training_state(&mut b_opt, &state).unwrap();
+        assert_eq!(b.iteration(), a.iteration(), "iteration counter restored");
+        let resumed = b.fit(&data, &loss, &mut b_opt, &cfg, &mut []).unwrap();
+
+        assert_eq!(resumed.iteration_losses, cont2.iteration_losses);
+        assert_eq!(b.predict(data.x()).unwrap(), cont.predict(data.x()).unwrap());
+    }
+
+    #[test]
+    fn restore_rejects_unknown_entries() {
+        let mut m = xor_model();
+        let mut opt = optimizers::Sgd::new(0.1);
+        let bogus = vec![("mystery/blob".to_string(), Tensor::zeros(&[1]))];
+        assert!(m.restore_training_state(&mut opt, &bogus).is_err());
+    }
+
+    #[test]
+    fn evaluate_matches_training_loss_on_converged_model() {
+        let mut m = xor_model();
+        let data = xor_dataset();
+        let loss = losses::SoftmaxCrossEntropy;
+        let mut opt = optimizers::Adam::new(0.05);
+        let cfg = FitConfig { epochs: 200, batch_size: 4, shuffle: false };
+        m.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
+        let eval = m.evaluate(&data, &loss, 4).unwrap();
+        assert!(eval < 0.1, "eval {eval}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Optimizers: SGD (NT3/TC1's choice) and Adam (PtychoNN's choice).
+
+use crate::{DnnError, Optimizer, Result};
+use std::collections::HashMap;
+use viper_tensor::Tensor;
+
+/// A step-decay learning-rate schedule: multiply the rate by `factor`
+/// every `every` optimization steps (the usual CANDLE-style staircase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Steps between decays.
+    pub every: u64,
+    /// Multiplier applied at each decay (in `(0, 1]`).
+    pub factor: f32,
+}
+
+impl StepDecay {
+    fn rate_at(&self, base: f32, step: u64) -> f32 {
+        let decays = step / self.every.max(1);
+        base * self.factor.powi(decays.min(i32::MAX as u64) as i32)
+    }
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<String, Tensor>,
+    step: u64,
+    decay: Option<StepDecay>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: HashMap::new(), step: 0, decay: None }
+    }
+
+    /// Attach a step-decay schedule (builder-style).
+    pub fn with_decay(mut self, every: u64, factor: f32) -> Self {
+        assert!(every >= 1, "decay period must be >= 1");
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        self.decay = Some(StepDecay { every, factor });
+        self
+    }
+
+    /// The rate the *next* update will use (after decay).
+    pub fn effective_lr(&self) -> f32 {
+        match self.decay {
+            Some(d) => d.rate_at(self.lr, self.step),
+            None => self.lr,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Adjust the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+
+    fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    fn export_state(&self) -> Vec<(String, Tensor)> {
+        let mut out: Vec<(String, Tensor)> = self
+            .velocity
+            .iter()
+            .map(|(k, v)| (format!("velocity/{k}"), v.clone()))
+            .collect();
+        out.push((
+            "step".to_string(),
+            Tensor::from_vec(vec![self.step as f32], &[1]).expect("scalar tensor"),
+        ));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn import_state(&mut self, state: &[(String, Tensor)]) -> Result<()> {
+        self.velocity.clear();
+        self.step = 0;
+        for (name, tensor) in state {
+            if name == "step" {
+                self.step = tensor.as_slice().first().copied().unwrap_or(0.0) as u64;
+                continue;
+            }
+            let key = name.strip_prefix("velocity/").ok_or_else(|| {
+                DnnError::WeightMismatch(format!("unknown sgd state entry {name}"))
+            })?;
+            self.velocity.insert(key.to_string(), tensor.clone());
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, key: &str, param: &mut Tensor, grad: &Tensor) {
+        let lr = self.effective_lr();
+        if self.momentum == 0.0 {
+            param.axpy(-lr, grad).expect("param/grad shape mismatch");
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(key.to_string())
+            .or_insert_with(|| Tensor::zeros(param.dims()));
+        // v = momentum * v - lr * grad; param += v.
+        v.map_inplace(|x| x * self.momentum);
+        v.axpy(-lr, grad).expect("param/grad shape mismatch");
+        param.axpy(1.0, v).expect("param/velocity shape mismatch");
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    moments: HashMap<String, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully parameterised Adam.
+    pub fn with_params(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1, beta2, eps, t: 0, moments: HashMap::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn export_state(&self) -> Vec<(String, Tensor)> {
+        let mut out = vec![(
+            "t".to_string(),
+            Tensor::from_vec(vec![self.t as f32], &[1]).expect("scalar tensor"),
+        )];
+        for (k, (m, v)) in &self.moments {
+            out.push((format!("m/{k}"), m.clone()));
+            out.push((format!("v/{k}"), v.clone()));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn import_state(&mut self, state: &[(String, Tensor)]) -> Result<()> {
+        self.moments.clear();
+        self.t = 0;
+        for (name, tensor) in state {
+            if name == "t" {
+                self.t = tensor.as_slice().first().copied().unwrap_or(0.0) as i32;
+            } else if let Some(key) = name.strip_prefix("m/") {
+                self.moments
+                    .entry(key.to_string())
+                    .or_insert_with(|| (Tensor::zeros(tensor.dims()), Tensor::zeros(tensor.dims())))
+                    .0 = tensor.clone();
+            } else if let Some(key) = name.strip_prefix("v/") {
+                self.moments
+                    .entry(key.to_string())
+                    .or_insert_with(|| (Tensor::zeros(tensor.dims()), Tensor::zeros(tensor.dims())))
+                    .1 = tensor.clone();
+            } else {
+                return Err(DnnError::WeightMismatch(format!("unknown adam state entry {name}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, key: &str, param: &mut Tensor, grad: &Tensor) {
+        let (m, v) = self
+            .moments
+            .entry(key.to_string())
+            .or_insert_with(|| (Tensor::zeros(param.dims()), Tensor::zeros(param.dims())));
+        let (b1, b2) = (self.beta1, self.beta2);
+        // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g².
+        for ((mv, vv), &g) in
+            m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice())
+        {
+            *mv = b1 * *mv + (1.0 - b1) * g;
+            *vv = b2 * *vv + (1.0 - b2) * g * g;
+        }
+        let t = self.t.max(1);
+        let bias1 = 1.0 - b1.powi(t);
+        let bias2 = 1.0 - b2.powi(t);
+        let lr = self.lr;
+        let eps = self.eps;
+        for ((p, &mv), &vv) in
+            param.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        {
+            let m_hat = mv / bias1;
+            let v_hat = vv / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)² with each optimizer; both must converge.
+    fn optimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap();
+            opt.update("x", &mut x, &g);
+        }
+        x.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = optimize(&mut sgd, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        let x = optimize(&mut sgd, 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.3);
+        let x = optimize(&mut adam, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction the first Adam step is ≈ lr (sign of grad).
+        let mut adam = Adam::new(0.01);
+        let mut x = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        adam.begin_step();
+        adam.update("x", &mut x, &Tensor::from_vec(vec![123.0], &[1]).unwrap());
+        assert!((x.as_slice()[0] - (1.0 - 0.01)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn separate_keys_have_separate_state() {
+        let mut sgd = Sgd::with_momentum(0.1, 0.9);
+        let mut a = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let mut b = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let g = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        sgd.update("a", &mut a, &g);
+        sgd.update("a", &mut a, &g);
+        sgd.update("b", &mut b, &g);
+        // `a` has built momentum; `b` has not.
+        assert!(a.as_slice()[0].abs() > 2.0 * b.as_slice()[0].abs());
+    }
+
+    #[test]
+    fn lr_setter() {
+        let mut sgd = Sgd::new(0.1);
+        sgd.set_lr(0.5);
+        assert_eq!(sgd.lr(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_rejected() {
+        Sgd::new(0.0);
+    }
+
+    /// Resuming from exported state continues the exact same trajectory.
+    fn resume_matches_continuous(make: impl Fn() -> Box<dyn Optimizer>) {
+        let g = |x: &Tensor| {
+            Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap()
+        };
+        // Continuous run: 20 steps.
+        let mut cont = make();
+        let mut x_cont = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        for _ in 0..20 {
+            cont.begin_step();
+            let grad = g(&x_cont);
+            cont.update("x", &mut x_cont, &grad);
+        }
+        // Split run: 10 steps, checkpoint, resume into a fresh optimizer.
+        let mut first = make();
+        let mut x_split = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        for _ in 0..10 {
+            first.begin_step();
+            let grad = g(&x_split);
+            first.update("x", &mut x_split, &grad);
+        }
+        let state = first.export_state();
+        let mut second = make();
+        second.import_state(&state).unwrap();
+        for _ in 0..10 {
+            second.begin_step();
+            let grad = g(&x_split);
+            second.update("x", &mut x_split, &grad);
+        }
+        assert_eq!(x_cont.as_slice(), x_split.as_slice(), "resume must be bit-exact");
+    }
+
+    #[test]
+    fn sgd_momentum_resume_is_bit_exact() {
+        resume_matches_continuous(|| Box::new(Sgd::with_momentum(0.05, 0.9)));
+    }
+
+    #[test]
+    fn adam_resume_is_bit_exact() {
+        resume_matches_continuous(|| Box::new(Adam::new(0.1)));
+    }
+
+    #[test]
+    fn plain_sgd_state_is_just_the_step_counter() {
+        let mut sgd = Sgd::new(0.1);
+        let mut x = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        sgd.begin_step();
+        sgd.update("x", &mut x, &Tensor::from_vec(vec![0.5], &[1]).unwrap());
+        let state = sgd.export_state();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].0, "step");
+    }
+
+    #[test]
+    fn step_decay_staircases_the_rate() {
+        let mut sgd = Sgd::new(0.1).with_decay(10, 0.5);
+        assert!((sgd.effective_lr() - 0.1).abs() < 1e-9);
+        for _ in 0..10 {
+            sgd.begin_step();
+        }
+        assert!((sgd.effective_lr() - 0.05).abs() < 1e-9);
+        for _ in 0..10 {
+            sgd.begin_step();
+        }
+        assert!((sgd.effective_lr() - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_survives_checkpoint_resume() {
+        let mut a = Sgd::with_momentum(0.1, 0.9).with_decay(5, 0.5);
+        let mut x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let g = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        for _ in 0..7 {
+            a.begin_step();
+            a.update("x", &mut x, &g);
+        }
+        let mut b = Sgd::with_momentum(0.1, 0.9).with_decay(5, 0.5);
+        b.import_state(&a.export_state()).unwrap();
+        assert_eq!(a.effective_lr(), b.effective_lr());
+    }
+
+    #[test]
+    fn import_rejects_unknown_entries() {
+        let mut sgd = Sgd::with_momentum(0.1, 0.9);
+        let bogus = vec![("moment/x".to_string(), Tensor::zeros(&[1]))];
+        assert!(sgd.import_state(&bogus).is_err());
+        let mut adam = Adam::new(0.1);
+        assert!(adam.import_state(&bogus).is_err());
+    }
+}

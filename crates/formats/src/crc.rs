@@ -1,0 +1,57 @@
+//! Table-driven CRC32 (IEEE 802.3 polynomial), used for checkpoint
+//! integrity footers.
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flip() {
+        let a = crc32(b"checkpoint-payload");
+        let mut flipped = b"checkpoint-payload".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(crc32(&data), crc32(&data));
+    }
+}

@@ -1,0 +1,310 @@
+//! Incremental (delta) checkpoints.
+//!
+//! Check-N-Run — cited by the paper as related work — "introduces
+//! incremental checkpointing, capturing the differences since the last
+//! checkpoint". This module implements that for Viper checkpoints: a
+//! [`DeltaCheckpoint`] stores only the tensors that changed since a base
+//! version plus the names of the unchanged ones, typically shrinking the
+//! transfer during fine-tuning with frozen layers (the DStore/EvoStore
+//! transfer-learning scenario).
+//!
+//! Wire layout mirrors the lean format:
+//!
+//! ```text
+//! magic     : b"VIPD"
+//! version   : u32 (= 1)
+//! name      : string
+//! base_iter : u64      iteration of the base checkpoint
+//! iteration : u64      iteration of the reconstructed checkpoint
+//! nchanged  : u32, then per tensor: name, rank, dims, payload
+//! nsame     : u32, then per tensor: name
+//! crc32     : u32
+//! ```
+
+use crate::checkpoint::{bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader};
+use crate::{crc32, Checkpoint, FormatError};
+use viper_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"VIPD";
+const VERSION: u32 = 1;
+
+/// The difference between two checkpoints of the same model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaCheckpoint {
+    /// Model name.
+    pub model_name: String,
+    /// Iteration of the base checkpoint this delta applies to.
+    pub base_iteration: u64,
+    /// Iteration of the checkpoint the delta reconstructs.
+    pub iteration: u64,
+    /// Tensors that changed, with their new values.
+    pub changed: Vec<(String, Tensor)>,
+    /// Names of tensors identical to the base.
+    pub unchanged: Vec<String>,
+}
+
+impl DeltaCheckpoint {
+    /// Fraction of tensors carried by the delta (1.0 = nothing saved).
+    pub fn changed_fraction(&self) -> f64 {
+        let total = self.changed.len() + self.unchanged.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.changed.len() as f64 / total as f64
+        }
+    }
+
+    /// Payload bytes the delta carries.
+    pub fn payload_bytes(&self) -> u64 {
+        self.changed.iter().map(|(_, t)| t.byte_len() as u64).sum()
+    }
+
+    /// Serialize the delta.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() as usize + 256);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_string(&mut out, &self.model_name);
+        put_u64(&mut out, self.base_iteration);
+        put_u64(&mut out, self.iteration);
+        put_u32(&mut out, self.changed.len() as u32);
+        for (name, tensor) in &self.changed {
+            put_string(&mut out, name);
+            put_u32(&mut out, tensor.dims().len() as u32);
+            for &d in tensor.dims() {
+                put_u64(&mut out, d as u64);
+            }
+            out.extend_from_slice(&f32s_to_bytes(tensor.as_slice()));
+        }
+        put_u32(&mut out, self.unchanged.len() as u32);
+        for name in &self.unchanged {
+            put_string(&mut out, name);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Deserialize and verify a delta.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < 4 {
+            return Err(FormatError::Truncated { context: "crc footer" });
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().unwrap());
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(FormatError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Reader::new(body);
+        if r.take(4, "magic")? != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        if r.u32("version")? != VERSION {
+            return Err(FormatError::BadMagic);
+        }
+        let model_name = r.string("model name")?;
+        let base_iteration = r.u64("base iteration")?;
+        let iteration = r.u64("iteration")?;
+        let nchanged = r.u32("changed count")? as usize;
+        let mut changed = Vec::with_capacity(nchanged);
+        for _ in 0..nchanged {
+            let name = r.string("tensor name")?;
+            let rank = r.u32("tensor rank")? as usize;
+            if rank > 8 {
+                return Err(FormatError::Corrupt(format!("unreasonable rank {rank}")));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(r.u64("tensor dim")? as usize);
+            }
+            let n: usize = dims.iter().product();
+            let data = bytes_to_f32s(r.take(n * 4, "tensor payload")?)?;
+            let tensor =
+                Tensor::from_vec(data, &dims).map_err(|e| FormatError::Corrupt(e.to_string()))?;
+            changed.push((name, tensor));
+        }
+        let nsame = r.u32("unchanged count")? as usize;
+        let mut unchanged = Vec::with_capacity(nsame);
+        for _ in 0..nsame {
+            unchanged.push(r.string("unchanged name")?);
+        }
+        Ok(DeltaCheckpoint { model_name, base_iteration, iteration, changed, unchanged })
+    }
+}
+
+/// Compute the delta from `base` to `new`. Both must snapshot the same
+/// model with the same tensor set (names may reorder; shapes must match
+/// per name).
+pub fn diff(base: &Checkpoint, new: &Checkpoint) -> Result<DeltaCheckpoint, FormatError> {
+    if base.model_name != new.model_name {
+        return Err(FormatError::Corrupt(format!(
+            "cannot diff {} against {}",
+            new.model_name, base.model_name
+        )));
+    }
+    if base.ntensors() != new.ntensors() {
+        return Err(FormatError::Corrupt(format!(
+            "tensor count changed: {} -> {}",
+            base.ntensors(),
+            new.ntensors()
+        )));
+    }
+    let mut changed = Vec::new();
+    let mut unchanged = Vec::new();
+    for (name, tensor) in &new.tensors {
+        let base_tensor = base
+            .tensor(name)
+            .ok_or_else(|| FormatError::Corrupt(format!("tensor {name} absent from base")))?;
+        if base_tensor == tensor {
+            unchanged.push(name.clone());
+        } else {
+            changed.push((name.clone(), tensor.clone()));
+        }
+    }
+    Ok(DeltaCheckpoint {
+        model_name: new.model_name.clone(),
+        base_iteration: base.iteration,
+        iteration: new.iteration,
+        changed,
+        unchanged,
+    })
+}
+
+/// Reconstruct the new checkpoint from `base` and `delta`.
+pub fn apply(base: &Checkpoint, delta: &DeltaCheckpoint) -> Result<Checkpoint, FormatError> {
+    if base.model_name != delta.model_name {
+        return Err(FormatError::Corrupt(format!(
+            "delta for {} applied to {}",
+            delta.model_name, base.model_name
+        )));
+    }
+    if base.iteration != delta.base_iteration {
+        return Err(FormatError::Corrupt(format!(
+            "delta expects base iteration {}, got {}",
+            delta.base_iteration, base.iteration
+        )));
+    }
+    let mut tensors = Vec::with_capacity(delta.changed.len() + delta.unchanged.len());
+    // Preserve the base's tensor order (layer order matters to consumers).
+    for (name, base_tensor) in &base.tensors {
+        if let Some((_, t)) = delta.changed.iter().find(|(n, _)| n == name) {
+            tensors.push((name.clone(), t.clone()));
+        } else if delta.unchanged.iter().any(|n| n == name) {
+            tensors.push((name.clone(), base_tensor.clone()));
+        } else {
+            return Err(FormatError::Corrupt(format!(
+                "tensor {name} mentioned by neither side of the delta"
+            )));
+        }
+    }
+    Ok(Checkpoint::new(delta.model_name.clone(), delta.iteration, tensors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Checkpoint {
+        Checkpoint::new(
+            "m",
+            100,
+            vec![
+                ("frozen/kernel".into(), Tensor::full(&[50], 1.0)),
+                ("head/kernel".into(), Tensor::full(&[10], 2.0)),
+                ("head/bias".into(), Tensor::full(&[10], 0.0)),
+            ],
+        )
+    }
+
+    fn fine_tuned() -> Checkpoint {
+        // Transfer-learning shape: the frozen backbone is untouched.
+        Checkpoint::new(
+            "m",
+            150,
+            vec![
+                ("frozen/kernel".into(), Tensor::full(&[50], 1.0)),
+                ("head/kernel".into(), Tensor::full(&[10], 2.5)),
+                ("head/bias".into(), Tensor::full(&[10], -0.1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn diff_identifies_changed_tensors() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        assert_eq!(d.changed.len(), 2);
+        assert_eq!(d.unchanged, vec!["frozen/kernel".to_string()]);
+        assert!((d.changed_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.base_iteration, 100);
+        assert_eq!(d.iteration, 150);
+    }
+
+    #[test]
+    fn apply_reconstructs_exactly() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let rebuilt = apply(&base(), &d).unwrap();
+        assert_eq!(rebuilt, fine_tuned());
+    }
+
+    #[test]
+    fn delta_of_identical_checkpoints_is_empty() {
+        let mut same = base();
+        same.iteration = 101;
+        let d = diff(&base(), &same).unwrap();
+        assert!(d.changed.is_empty());
+        assert_eq!(d.changed_fraction(), 0.0);
+        assert_eq!(d.payload_bytes(), 0);
+        assert_eq!(apply(&base(), &d).unwrap(), same);
+    }
+
+    #[test]
+    fn delta_transfers_less_than_full_checkpoint() {
+        use crate::{CheckpointFormat, ViperFormat};
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let delta_bytes = d.encode().len();
+        let full_bytes = ViperFormat.encode(&fine_tuned()).len();
+        assert!(delta_bytes < full_bytes / 2, "{delta_bytes} vs {full_bytes}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let decoded = DeltaCheckpoint::decode(&d.encode()).unwrap();
+        assert_eq!(decoded, d);
+    }
+
+    #[test]
+    fn decode_detects_corruption() {
+        let mut bytes = diff(&base(), &fine_tuned()).unwrap().encode();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x01;
+        assert!(DeltaCheckpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let mut wrong = base();
+        wrong.iteration = 99;
+        assert!(apply(&wrong, &d).is_err());
+        let mut other_model = base();
+        other_model.model_name = "other".into();
+        assert!(apply(&other_model, &d).is_err());
+    }
+
+    #[test]
+    fn diff_rejects_mismatched_models() {
+        let mut renamed = fine_tuned();
+        renamed.model_name = "other".into();
+        assert!(diff(&base(), &renamed).is_err());
+
+        let mut extra = fine_tuned();
+        extra.tensors.push(("new/tensor".into(), Tensor::zeros(&[1])));
+        assert!(diff(&base(), &extra).is_err());
+
+        let mut swapped = fine_tuned();
+        swapped.tensors[0].0 = "unknown/kernel".into();
+        assert!(diff(&base(), &swapped).is_err());
+    }
+}

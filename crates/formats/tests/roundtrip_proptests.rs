@@ -1,0 +1,69 @@
+//! Property tests: every format round-trips arbitrary checkpoints exactly,
+//! and corruption never decodes successfully into a *different* checkpoint.
+
+use proptest::prelude::*;
+use viper_formats::{Checkpoint, CheckpointFormat, H5Lite, ViperFormat};
+use viper_tensor::Tensor;
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..5, prop::collection::vec(-1000.0f32..1000.0, 0..25)).prop_map(
+        |(a, b, data)| {
+            let n = a * b;
+            let mut d = data;
+            d.resize(n, 0.25);
+            Tensor::from_vec(d, &[a, b]).unwrap()
+        },
+    )
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        "[a-z]{1,12}",
+        0u64..1_000_000,
+        prop::collection::vec(("[a-z/_]{1,20}", arb_tensor()), 0..6),
+    )
+        .prop_map(|(name, iter, tensors)| Checkpoint::new(name, iter, tensors))
+}
+
+proptest! {
+    #[test]
+    fn viper_format_roundtrips(ckpt in arb_checkpoint()) {
+        let f = ViperFormat;
+        prop_assert_eq!(f.decode(&f.encode(&ckpt)).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn h5lite_roundtrips(ckpt in arb_checkpoint()) {
+        let f = H5Lite;
+        prop_assert_eq!(f.decode(&f.encode(&ckpt)).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn h5lite_never_smaller_than_viper(ckpt in arb_checkpoint()) {
+        prop_assert!(H5Lite.encode(&ckpt).len() >= ViperFormat.encode(&ckpt).len());
+    }
+
+    /// Any single-byte corruption either fails to decode or decodes to the
+    /// original (CRC collisions are possible in theory but not with single
+    /// byte flips over short streams).
+    #[test]
+    fn viper_format_detects_byte_flips(ckpt in arb_checkpoint(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let f = ViperFormat;
+        let mut bytes = f.encode(&ckpt);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(f.decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoded_size_estimates_track_reality(ckpt in arb_checkpoint()) {
+        for f in [&ViperFormat as &dyn CheckpointFormat, &H5Lite] {
+            let actual = f.encode(&ckpt).len() as i64;
+            let predicted = f.encoded_size(ckpt.payload_bytes(), ckpt.ntensors()) as i64;
+            // Estimates ignore exact name lengths and chunk fragmentation;
+            // allow generous but bounded slack.
+            prop_assert!((actual - predicted).abs() < 8192 + actual / 4,
+                "{}: actual {actual} predicted {predicted}", f.name());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A shared virtual clock.
+//!
+//! All modeled hardware durations are accounted against a `SimClock` rather
+//! than wall time, so a simulated 8-second PFS write costs nanoseconds of
+//! real time. The clock is monotonic and thread-safe: concurrent actors
+//! advance it with `advance` (adds to the global time, modeling serialized
+//! resource use) or synchronise to a known event time with `advance_to`
+//! (models overlapping/asynchronous work completing at an absolute instant).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An instant on the virtual timeline, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    /// Simulation epoch.
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    /// Seconds since the simulation epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The instant `d` later. (Also available as the `+` operator.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, d: Duration) -> SimInstant {
+        SimInstant(self.0.saturating_add(d.as_nanos() as u64))
+    }
+
+    /// Duration since an earlier instant (zero if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add<Duration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, d: Duration) -> SimInstant {
+        SimInstant::add(self, d)
+    }
+}
+
+/// A shareable, monotonic virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimInstant {
+        SimInstant(self.now_ns.load(Ordering::Acquire))
+    }
+
+    /// Advance the clock by `d` and return the new time.
+    pub fn advance(&self, d: Duration) -> SimInstant {
+        let ns = d.as_nanos() as u64;
+        SimInstant(self.now_ns.fetch_add(ns, Ordering::AcqRel) + ns)
+    }
+
+    /// Move the clock forward to `t` if it is currently earlier; returns the
+    /// clock value afterwards (which may exceed `t` if another actor raced
+    /// ahead). Never moves time backwards.
+    pub fn advance_to(&self, t: SimInstant) -> SimInstant {
+        let mut cur = self.now_ns.load(Ordering::Acquire);
+        while cur < t.0 {
+            match self.now_ns.compare_exchange_weak(cur, t.0, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimInstant(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), SimInstant::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(1));
+        c.advance(Duration::from_millis(500));
+        assert!((c.now().as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        c.advance_to(SimInstant(1_000));
+        assert_eq!(c.now(), SimInstant(1_000));
+        // Moving "back" is a no-op.
+        c.advance_to(SimInstant(10));
+        assert_eq!(c.now(), SimInstant(1_000));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(2));
+        assert_eq!(b.now(), a.now());
+    }
+
+    #[test]
+    fn concurrent_advances_all_counted() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(Duration::from_nanos(3));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), SimInstant(8 * 1000 * 3));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = SimInstant(2_000_000_000);
+        assert_eq!(t.as_secs_f64(), 2.0);
+        let later = t.add(Duration::from_secs(1));
+        assert_eq!(later.since(t), Duration::from_secs(1));
+        assert_eq!(t.since(later), Duration::ZERO);
+    }
+}

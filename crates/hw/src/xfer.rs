@@ -1,0 +1,341 @@
+//! Transfer-strategy cost composition.
+//!
+//! One model update = capture on the producer + delivery to the consumer +
+//! apply into the live model (§4.4). This module composes those phases for
+//! each of the paper's strategies so that the framework runtime, the
+//! discrete-event simulator, and the benchmarks all price updates
+//! identically:
+//!
+//! | strategy          | producer stall (blocks training)       | post-stall delivery        |
+//! |-------------------|------------------------------------------|----------------------------|
+//! | GPU sync          | GPU capture + GPU-RDMA send              | apply (D2D)                |
+//! | GPU async         | GPU capture                              | stage copy + send + apply  |
+//! | Host sync         | D2H capture + IB send                    | apply (H2D + tensor update)|
+//! | Host async        | D2H capture                              | stage copy + send + apply  |
+//! | PFS (either fmt)  | PFS write                                | PFS read + apply           |
+//!
+//! The *update latency* the paper measures end-to-end (Fig. 8) is
+//! `stall + post + notify`; the *training overhead* per update (Fig. 9 /
+//! Table 1) is just `stall`.
+
+use crate::{MachineProfile, Tier};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Synchronous or asynchronous capture-and-send on the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaptureMode {
+    /// Training blocks until the model has left the producer.
+    Sync,
+    /// Training blocks only for the snapshot; a background thread delivers.
+    Async,
+}
+
+/// Which route a model update takes from producer to consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Route {
+    /// Direct GPU-to-GPU memory (GPUDirect RDMA / NVLink).
+    GpuToGpu,
+    /// Host-to-host memory over InfiniBand, staging through DRAM.
+    HostToHost,
+    /// Staging through the parallel file system (the traditional path).
+    PfsStaging,
+}
+
+impl Route {
+    /// The producer-side tier this route caches the checkpoint on.
+    pub fn staging_tier(self) -> Tier {
+        match self {
+            Route::GpuToGpu => Tier::GpuMem,
+            Route::HostToHost => Tier::HostMem,
+            Route::PfsStaging => Tier::Pfs,
+        }
+    }
+}
+
+/// A complete transfer strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferStrategy {
+    /// Route taken by the checkpoint.
+    pub route: Route,
+    /// Capture mode on the producer.
+    pub mode: CaptureMode,
+}
+
+impl TransferStrategy {
+    /// All six strategies of Fig. 8, in the figure's order (PFS has no
+    /// sync/async distinction there; it appears once).
+    pub fn fig8_lineup() -> [TransferStrategy; 5] {
+        [
+            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Sync },
+            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Async },
+            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync },
+            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
+        ]
+    }
+
+    /// Short label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match (self.route, self.mode) {
+            (Route::PfsStaging, _) => "Viper-PFS".into(),
+            (Route::HostToHost, CaptureMode::Sync) => "Viper-Sync (Host Memory)".into(),
+            (Route::HostToHost, CaptureMode::Async) => "Viper-Async (Host Memory)".into(),
+            (Route::GpuToGpu, CaptureMode::Sync) => "Viper-Sync (GPU Memory)".into(),
+            (Route::GpuToGpu, CaptureMode::Async) => "Viper-Async (GPU Memory)".into(),
+        }
+    }
+}
+
+/// The priced phases of one model update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateCosts {
+    /// Time the producer's training loop is blocked.
+    pub stall: Duration,
+    /// Remaining delivery time after the stall (overlaps training).
+    pub post_stall: Duration,
+    /// Consumer-side apply time (included in `post_stall`; broken out for
+    /// reporting).
+    pub apply: Duration,
+    /// Notification latency until the consumer learns of the update.
+    pub notify: Duration,
+}
+
+impl UpdateCosts {
+    /// End-to-end model update latency (checkpoint start → consumer serving
+    /// the new model) — the metric of Fig. 8.
+    pub fn update_latency(&self) -> Duration {
+        self.stall + self.post_stall + self.notify
+    }
+}
+
+/// Producer-side capture time: the snapshot copy out of the live training
+/// tensors. For the PFS route this is the (blocking) PFS write itself;
+/// `metadata_factor` scales its per-tensor metadata cost.
+pub fn capture_time(
+    profile: &MachineProfile,
+    route: Route,
+    bytes: u64,
+    ntensors: usize,
+    metadata_factor: f64,
+) -> Duration {
+    match route {
+        Route::GpuToGpu => {
+            profile.gpu_capture_time(bytes)
+                + profile.tier(Tier::GpuMem).per_tensor_write.mul_f64(ntensors as f64)
+        }
+        Route::HostToHost => {
+            profile.d2h_capture_time(bytes)
+                + profile.tier(Tier::HostMem).per_tensor_write.mul_f64(ntensors as f64)
+        }
+        Route::PfsStaging => {
+            let meta_ops = (ntensors as f64 * metadata_factor).ceil() as usize;
+            profile.tier(Tier::Pfs).write_time(bytes, meta_ops)
+        }
+    }
+}
+
+/// Extra staging copy performed by the asynchronous producer before handing
+/// the snapshot to the background delivery thread. Zero for the PFS route
+/// (its write is always blocking).
+pub fn stage_time(profile: &MachineProfile, route: Route, bytes: u64) -> Duration {
+    match route {
+        Route::GpuToGpu => Duration::from_secs_f64(bytes as f64 / profile.gpu_async_stage_bw),
+        Route::HostToHost => Duration::from_secs_f64(bytes as f64 / profile.host_async_stage_bw),
+        Route::PfsStaging => Duration::ZERO,
+    }
+}
+
+/// Wire/read time for moving the staged checkpoint to the consumer node.
+/// For memory routes this is the RDMA send; for the PFS route it is the
+/// consumer's PFS read.
+pub fn delivery_time(
+    profile: &MachineProfile,
+    route: Route,
+    bytes: u64,
+    ntensors: usize,
+    metadata_factor: f64,
+) -> Duration {
+    match route {
+        Route::GpuToGpu => profile.gpu_transfer_time(bytes),
+        Route::HostToHost => profile.host_transfer_time(bytes),
+        Route::PfsStaging => {
+            let meta_ops = (ntensors as f64 * metadata_factor).ceil() as usize;
+            profile.tier(Tier::Pfs).read_time(bytes, meta_ops)
+        }
+    }
+}
+
+/// Consumer-side apply time: copying the received buffer into the live
+/// model's tensors.
+pub fn apply_time(
+    profile: &MachineProfile,
+    route: Route,
+    bytes: u64,
+    ntensors: usize,
+) -> Duration {
+    match route {
+        Route::GpuToGpu => {
+            profile.gpu_capture_time(bytes)
+                + profile.tier(Tier::GpuMem).per_tensor_read.mul_f64(ntensors as f64)
+        }
+        Route::HostToHost | Route::PfsStaging => {
+            profile.h2d_apply_time(bytes) + Duration::from_millis(1).mul_f64(ntensors as f64)
+        }
+    }
+}
+
+/// Price one model update of `bytes` across `ntensors` tensors under
+/// `strategy`. `metadata_factor` scales the per-tensor metadata cost of the
+/// serialization format (1.0 for the lean Viper format, >1 for h5py-style
+/// formats) and only affects the PFS route, where metadata operations hit
+/// the file system.
+pub fn price_update(
+    profile: &MachineProfile,
+    strategy: TransferStrategy,
+    bytes: u64,
+    ntensors: usize,
+    metadata_factor: f64,
+) -> UpdateCosts {
+    let route = strategy.route;
+    let notify = profile.notify_latency;
+    let capture = capture_time(profile, route, bytes, ntensors, metadata_factor);
+    let delivery = delivery_time(profile, route, bytes, ntensors, metadata_factor);
+    let apply = apply_time(profile, route, bytes, ntensors);
+    match route {
+        // The PFS write blocks training regardless of mode: the snapshot
+        // must be durably staged before training mutates the tensors again.
+        Route::PfsStaging => {
+            UpdateCosts { stall: capture, post_stall: delivery + apply, apply, notify }
+        }
+        Route::GpuToGpu | Route::HostToHost => match strategy.mode {
+            CaptureMode::Sync => {
+                UpdateCosts { stall: capture + delivery, post_stall: apply, apply, notify }
+            }
+            CaptureMode::Async => {
+                let stage = stage_time(profile, route, bytes);
+                UpdateCosts { stall: capture, post_stall: stage + delivery + apply, apply, notify }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC1: u64 = 4_700_000_000;
+    const TC1_TENSORS: usize = 20;
+
+    fn costs(route: Route, mode: CaptureMode) -> UpdateCosts {
+        price_update(
+            &MachineProfile::polaris(),
+            TransferStrategy { route, mode },
+            TC1,
+            TC1_TENSORS,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn gpu_sync_latency_near_paper() {
+        let c = costs(Route::GpuToGpu, CaptureMode::Sync);
+        let lat = c.update_latency().as_secs_f64();
+        // Paper: 0.626 s.
+        assert!((lat - 0.626).abs() / 0.626 < 0.15, "latency {lat}");
+    }
+
+    #[test]
+    fn gpu_async_latency_near_paper() {
+        let c = costs(Route::GpuToGpu, CaptureMode::Async);
+        let lat = c.update_latency().as_secs_f64();
+        // Paper: 0.856 s.
+        assert!((lat - 0.856).abs() / 0.856 < 0.15, "latency {lat}");
+    }
+
+    #[test]
+    fn host_sync_latency_near_paper() {
+        let c = costs(Route::HostToHost, CaptureMode::Sync);
+        let lat = c.update_latency().as_secs_f64();
+        // Paper: 2.264 s.
+        assert!((lat - 2.264).abs() / 2.264 < 0.15, "latency {lat}");
+    }
+
+    #[test]
+    fn pfs_latency_near_paper() {
+        let c = costs(Route::PfsStaging, CaptureMode::Sync);
+        let lat = c.update_latency().as_secs_f64();
+        // Paper (Viper-PFS): 6.977 s.
+        assert!((lat - 6.977).abs() / 6.977 < 0.15, "latency {lat}");
+    }
+
+    #[test]
+    fn async_stalls_less_but_lasts_longer() {
+        for route in [Route::GpuToGpu, Route::HostToHost] {
+            let sync = costs(route, CaptureMode::Sync);
+            let async_ = costs(route, CaptureMode::Async);
+            assert!(async_.stall < sync.stall, "{route:?}");
+            assert!(async_.update_latency() > sync.update_latency(), "{route:?}");
+        }
+    }
+
+    #[test]
+    fn gpu_async_stall_matches_fig9() {
+        // Fig. 9: 16 GPU-route checkpoints cost ≈1 s of training overhead.
+        let c = costs(Route::GpuToGpu, CaptureMode::Async);
+        let total = c.stall.as_secs_f64() * 16.0;
+        assert!((total - 1.0).abs() < 0.5, "16 ckpts = {total} s");
+    }
+
+    #[test]
+    fn host_stall_matches_fig9() {
+        // Fig. 9: 16 host-route checkpoints ≈ 22 s of training overhead.
+        let c = costs(Route::HostToHost, CaptureMode::Async);
+        let total = c.stall.as_secs_f64() * 16.0;
+        assert!((total - 22.0).abs() / 22.0 < 0.15, "16 ckpts = {total} s");
+    }
+
+    #[test]
+    fn pfs_stall_matches_fig9() {
+        // Fig. 9: 16 PFS checkpoints ≈ 60 s of training overhead.
+        let c = costs(Route::PfsStaging, CaptureMode::Sync);
+        let total = c.stall.as_secs_f64() * 16.0;
+        assert!((total - 60.0).abs() / 60.0 < 0.20, "16 ckpts = {total} s");
+    }
+
+    #[test]
+    fn strategy_ordering_matches_paper() {
+        let gpu = costs(Route::GpuToGpu, CaptureMode::Sync).update_latency();
+        let host = costs(Route::HostToHost, CaptureMode::Sync).update_latency();
+        let pfs = costs(Route::PfsStaging, CaptureMode::Sync).update_latency();
+        assert!(gpu < host && host < pfs);
+    }
+
+    #[test]
+    fn metadata_factor_only_hits_pfs() {
+        let p = MachineProfile::polaris();
+        let s_gpu = TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync };
+        let s_pfs = TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync };
+        let g1 = price_update(&p, s_gpu, TC1, TC1_TENSORS, 1.0);
+        let g4 = price_update(&p, s_gpu, TC1, TC1_TENSORS, 4.0);
+        assert_eq!(g1, g4);
+        let p1 = price_update(&p, s_pfs, TC1, TC1_TENSORS, 1.0);
+        let p4 = price_update(&p, s_pfs, TC1, TC1_TENSORS, 4.0);
+        assert!(p4.update_latency() > p1.update_latency());
+    }
+
+    #[test]
+    fn labels_and_lineup() {
+        let lineup = TransferStrategy::fig8_lineup();
+        assert_eq!(lineup.len(), 5);
+        assert_eq!(lineup[0].label(), "Viper-PFS");
+        assert_eq!(lineup[4].label(), "Viper-Async (GPU Memory)");
+    }
+
+    #[test]
+    fn staging_tiers() {
+        assert_eq!(Route::GpuToGpu.staging_tier(), Tier::GpuMem);
+        assert_eq!(Route::HostToHost.staging_tier(), Tier::HostMem);
+        assert_eq!(Route::PfsStaging.staging_tier(), Tier::Pfs);
+    }
+}

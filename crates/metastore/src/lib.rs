@@ -1,0 +1,33 @@
+//! # viper-metastore
+//!
+//! An in-memory, versioned metadata store and a publish/subscribe broker.
+//!
+//! The Viper paper uses Redis for two roles: (1) a shared Metadata DB
+//! holding each DNN model's name, version, size, location, and saving path;
+//! (2) a lightweight pub/sub notification module that proactively informs
+//! consumers of model updates instead of letting them poll the repository
+//! (§4.2, §4.4). This crate implements both from scratch.
+//!
+//! ## Example
+//!
+//! ```
+//! use viper_metastore::{MetadataDb, ModelRecord, PubSub};
+//!
+//! let db = MetadataDb::new();
+//! let v = db.put(ModelRecord::new("tc1", 4_700_000_000, 20, "GPU Memory", "gpu://tc1/v1"));
+//! assert_eq!(v, 1);
+//! assert_eq!(db.latest("tc1").unwrap().version, 1);
+//!
+//! let bus: PubSub<u64> = PubSub::new();
+//! let sub = bus.subscribe("model-updates");
+//! bus.publish("model-updates", 1);
+//! assert_eq!(sub.recv_timeout(std::time::Duration::from_secs(1)), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod db;
+mod pubsub;
+
+pub use db::{MetadataDb, ModelRecord};
+pub use pubsub::{PubSub, Subscription};

@@ -1,0 +1,217 @@
+//! The publish/subscribe notification broker.
+//!
+//! Replaces the paper's Redis pub/sub: producers publish a model-update
+//! message to a topic; every live subscriber receives its own copy through
+//! an unbounded channel. Dropped subscribers are garbage-collected lazily
+//! on the next publish.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A subscription handle: receive messages for one topic.
+#[derive(Debug)]
+pub struct Subscription<T> {
+    rx: Receiver<T>,
+    id: u64,
+    topic: String,
+}
+
+impl<T> Subscription<T> {
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Block until a message arrives (or the broker is dropped).
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        match self.rx.try_recv() {
+            Ok(msg) => Some(msg),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain everything currently queued, returning only the newest message.
+    ///
+    /// Consumers that fall behind only care about the most recent model
+    /// update — older versions are stale the moment a newer one exists.
+    pub fn latest(&self) -> Option<T> {
+        let mut last = None;
+        while let Some(msg) = self.try_recv() {
+            last = Some(msg);
+        }
+        last
+    }
+
+    /// Messages currently queued.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The topic this subscription listens on.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Unique subscriber id (used by the broker for bookkeeping).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Subscriber list of one topic: (subscriber id, channel sender).
+type Subscribers<T> = Vec<(u64, Sender<T>)>;
+
+/// A multi-topic pub/sub broker.
+#[derive(Debug)]
+pub struct PubSub<T> {
+    topics: Mutex<HashMap<String, Subscribers<T>>>,
+    next_id: AtomicU64,
+}
+
+impl<T> Default for PubSub<T> {
+    fn default() -> Self {
+        PubSub { topics: Mutex::new(HashMap::new()), next_id: AtomicU64::new(0) }
+    }
+}
+
+impl<T: Clone> PubSub<T> {
+    /// An empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe to `topic`.
+    pub fn subscribe(&self, topic: &str) -> Subscription<T> {
+        let (tx, rx) = unbounded();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.topics.lock().entry(topic.to_string()).or_default().push((id, tx));
+        Subscription { rx, id, topic: topic.to_string() }
+    }
+
+    /// Publish `msg` to every live subscriber of `topic`; returns how many
+    /// subscribers received it. Dead subscribers (dropped receivers) are
+    /// removed as a side effect.
+    pub fn publish(&self, topic: &str, msg: T) -> usize {
+        let mut topics = self.topics.lock();
+        let Some(subs) = topics.get_mut(topic) else {
+            return 0;
+        };
+        subs.retain(|(_, tx)| tx.send(msg.clone()).is_ok());
+        let delivered = subs.len();
+        if subs.is_empty() {
+            topics.remove(topic);
+        }
+        delivered
+    }
+
+    /// Number of live subscribers on `topic` (may count recently-dropped
+    /// ones until the next publish).
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.topics.lock().get(topic).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Remove a specific subscriber eagerly (normally lazy cleanup is fine).
+    pub fn unsubscribe(&self, sub: &Subscription<T>) {
+        let mut topics = self.topics.lock();
+        if let Some(subs) = topics.get_mut(sub.topic()) {
+            subs.retain(|(id, _)| *id != sub.id());
+            if subs.is_empty() {
+                topics.remove(sub.topic());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let bus: PubSub<u32> = PubSub::new();
+        let a = bus.subscribe("t");
+        let b = bus.subscribe("t");
+        assert_eq!(bus.publish("t", 7), 2);
+        assert_eq!(a.try_recv(), Some(7));
+        assert_eq!(b.try_recv(), Some(7));
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let bus: PubSub<u32> = PubSub::new();
+        let a = bus.subscribe("a");
+        let b = bus.subscribe("b");
+        bus.publish("a", 1);
+        assert_eq!(a.try_recv(), Some(1));
+        assert_eq!(b.try_recv(), None);
+    }
+
+    #[test]
+    fn publish_to_empty_topic_is_zero() {
+        let bus: PubSub<u32> = PubSub::new();
+        assert_eq!(bus.publish("nobody", 1), 0);
+    }
+
+    #[test]
+    fn dropped_subscriber_cleaned_on_publish() {
+        let bus: PubSub<u32> = PubSub::new();
+        let a = bus.subscribe("t");
+        drop(a);
+        let b = bus.subscribe("t");
+        assert_eq!(bus.publish("t", 3), 1);
+        assert_eq!(b.try_recv(), Some(3));
+        assert_eq!(bus.subscriber_count("t"), 1);
+    }
+
+    #[test]
+    fn unsubscribe_is_eager() {
+        let bus: PubSub<u32> = PubSub::new();
+        let a = bus.subscribe("t");
+        assert_eq!(bus.subscriber_count("t"), 1);
+        bus.unsubscribe(&a);
+        assert_eq!(bus.subscriber_count("t"), 0);
+    }
+
+    #[test]
+    fn latest_skips_stale_messages() {
+        let bus: PubSub<u64> = PubSub::new();
+        let sub = bus.subscribe("updates");
+        for v in 1..=5 {
+            bus.publish("updates", v);
+        }
+        assert_eq!(sub.pending(), 5);
+        assert_eq!(sub.latest(), Some(5));
+        assert_eq!(sub.pending(), 0);
+        assert_eq!(sub.latest(), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus: Arc<PubSub<String>> = Arc::new(PubSub::new());
+        let sub = bus.subscribe("t");
+        let bus2 = Arc::clone(&bus);
+        let h = thread::spawn(move || {
+            bus2.publish("t", "hello".to_string());
+        });
+        let msg = sub.recv_timeout(Duration::from_secs(5));
+        h.join().unwrap();
+        assert_eq!(msg.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let bus: PubSub<u32> = PubSub::new();
+        let sub = bus.subscribe("t");
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)), None);
+    }
+}

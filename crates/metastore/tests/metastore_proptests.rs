@@ -1,0 +1,101 @@
+//! Property tests for the metadata DB and pub/sub broker.
+
+use proptest::prelude::*;
+use viper_metastore::{MetadataDb, ModelRecord, PubSub};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8),           // model index
+    Prune(u8, usize),  // model, keep
+    Relocate(u8, u64), // model, version
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3).prop_map(Op::Put),
+        ((0u8..3), (0usize..6)).prop_map(|(m, k)| Op::Prune(m, k)),
+        ((0u8..3), (1u64..12)).prop_map(|(m, v)| Op::Relocate(m, v)),
+    ]
+}
+
+fn model_name(i: u8) -> String {
+    format!("model{i}")
+}
+
+proptest! {
+    /// Under any operation sequence: histories stay sorted by version,
+    /// versions stay unique, and `latest` is the maximum.
+    #[test]
+    fn db_invariants_hold(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let db = MetadataDb::new();
+        for op in ops {
+            match op {
+                Op::Put(m) => {
+                    db.put(ModelRecord::new(model_name(m), 10, 1, "Host Memory", "p"));
+                }
+                Op::Prune(m, keep) => {
+                    db.prune(&model_name(m), keep);
+                }
+                Op::Relocate(m, v) => {
+                    db.relocate(&model_name(m), v, "PFS", "/lus/x");
+                }
+            }
+        }
+        for m in 0..3u8 {
+            let name = model_name(m);
+            let history = db.history(&name);
+            for w in history.windows(2) {
+                prop_assert!(w[0].version < w[1].version, "history must ascend");
+            }
+            match (history.last(), db.latest(&name)) {
+                (Some(h), Some(l)) => prop_assert_eq!(h.version, l.version),
+                (None, None) => {}
+                other => prop_assert!(false, "inconsistent latest: {other:?}"),
+            }
+        }
+    }
+
+    /// Versions always continue from the historical maximum, even across
+    /// prunes (pruning must not recycle version numbers).
+    #[test]
+    fn versions_never_recycle(puts_before in 1usize..10, keep in 0usize..3, puts_after in 1usize..5) {
+        let db = MetadataDb::new();
+        let mut last = 0;
+        for _ in 0..puts_before {
+            last = db.put(ModelRecord::new("m", 1, 1, "PFS", "p"));
+        }
+        db.prune("m", keep);
+        for _ in 0..puts_after {
+            let v = db.put(ModelRecord::new("m", 1, 1, "PFS", "p"));
+            prop_assert!(v > last, "version {v} recycled (last {last})");
+            last = v;
+        }
+    }
+
+    /// Every message published reaches every live subscriber exactly once,
+    /// in order.
+    #[test]
+    fn pubsub_delivers_in_order(msgs in prop::collection::vec(0u64..1000, 0..50), nsubs in 1usize..5) {
+        let bus: PubSub<u64> = PubSub::new();
+        let subs: Vec<_> = (0..nsubs).map(|_| bus.subscribe("t")).collect();
+        for &m in &msgs {
+            prop_assert_eq!(bus.publish("t", m), nsubs);
+        }
+        for sub in &subs {
+            let got: Vec<u64> = std::iter::from_fn(|| sub.try_recv()).collect();
+            prop_assert_eq!(&got, &msgs);
+        }
+    }
+
+    /// `latest()` returns the newest message and drains the queue.
+    #[test]
+    fn latest_returns_newest(msgs in prop::collection::vec(0u64..1000, 1..50)) {
+        let bus: PubSub<u64> = PubSub::new();
+        let sub = bus.subscribe("t");
+        for &m in &msgs {
+            bus.publish("t", m);
+        }
+        prop_assert_eq!(sub.latest(), msgs.last().copied());
+        prop_assert_eq!(sub.pending(), 0);
+    }
+}

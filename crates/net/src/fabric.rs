@@ -1,0 +1,317 @@
+//! The fabric: node registry, endpoints, and modeled point-to-point links.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use viper_hw::{MachineProfile, SimClock, SimInstant};
+
+/// Which physical link a transfer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Direct GPU-to-GPU path (GPUDirect RDMA / NVLink class).
+    GpuDirect,
+    /// Host-to-host RDMA (InfiniBand verbs, no GPUDirect).
+    HostRdma,
+    /// Intra-node PCIe device-to-host capture (scattered tensors).
+    PcieD2h,
+    /// Intra-node PCIe host-to-device apply (contiguous buffer).
+    PcieH2d,
+}
+
+impl LinkKind {
+    /// Modeled wire time for `bytes` over this link under `profile`.
+    pub fn transfer_time(self, profile: &MachineProfile, bytes: u64) -> Duration {
+        match self {
+            LinkKind::GpuDirect => profile.gpu_transfer_time(bytes),
+            LinkKind::HostRdma => profile.host_transfer_time(bytes),
+            LinkKind::PcieD2h => profile.d2h_capture_time(bytes),
+            LinkKind::PcieH2d => profile.h2d_apply_time(bytes),
+        }
+    }
+}
+
+/// Errors from fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node is not registered (or has been dropped).
+    UnknownNode(String),
+    /// A node name was registered twice.
+    DuplicateNode(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            NetError::DuplicateNode(n) => write!(f, "node already registered: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message in flight (or delivered).
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender node name.
+    pub from: String,
+    /// Destination node name.
+    pub to: String,
+    /// Application tag (e.g. the model key).
+    pub tag: String,
+    /// Payload bytes.
+    pub payload: Arc<Vec<u8>>,
+    /// Link the message traversed.
+    pub link: LinkKind,
+    /// Virtual time the send started.
+    pub sent_at: SimInstant,
+    /// Virtual time the message arrived at the destination.
+    pub arrived_at: SimInstant,
+    /// Modeled wire duration.
+    pub wire_time: Duration,
+}
+
+struct FabricInner {
+    profile: MachineProfile,
+    clock: SimClock,
+    nodes: RwLock<HashMap<String, Sender<Message>>>,
+}
+
+/// The interconnect shared by all simulated nodes.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// A fabric with the given machine profile and virtual clock.
+    pub fn new(profile: MachineProfile, clock: SimClock) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner { profile, clock, nodes: RwLock::new(HashMap::new()) }),
+        }
+    }
+
+    /// Register a node and obtain its endpoint. Panics on duplicate names —
+    /// use [`Fabric::try_register`] to handle that case.
+    pub fn register(&self, node: &str) -> Endpoint {
+        self.try_register(node).expect("duplicate node registration")
+    }
+
+    /// Register a node, failing if the name is taken.
+    pub fn try_register(&self, node: &str) -> Result<Endpoint, NetError> {
+        let (tx, rx) = unbounded();
+        let mut nodes = self.inner.nodes.write();
+        if nodes.contains_key(node) {
+            return Err(NetError::DuplicateNode(node.to_string()));
+        }
+        nodes.insert(node.to_string(), tx);
+        Ok(Endpoint { node: node.to_string(), rx, fabric: self.clone() })
+    }
+
+    /// Remove a node (its endpoint stops receiving; senders get
+    /// [`NetError::UnknownNode`]).
+    pub fn deregister(&self, node: &str) -> bool {
+        self.inner.nodes.write().remove(node).is_some()
+    }
+
+    /// The machine profile backing the link models.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.inner.profile
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    fn send_from(
+        &self,
+        from: &str,
+        to: &str,
+        tag: &str,
+        payload: Arc<Vec<u8>>,
+        link: LinkKind,
+    ) -> Result<Duration, NetError> {
+        let tx = self
+            .inner
+            .nodes
+            .read()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
+        let wire_time = link.transfer_time(&self.inner.profile, payload.len() as u64);
+        let sent_at = self.inner.clock.now();
+        let arrived_at = sent_at.add(wire_time);
+        self.inner.clock.advance_to(arrived_at);
+        let msg = Message {
+            from: from.to_string(),
+            to: to.to_string(),
+            tag: tag.to_string(),
+            payload,
+            link,
+            sent_at,
+            arrived_at,
+            wire_time,
+        };
+        tx.send(msg).map_err(|_| NetError::UnknownNode(to.to_string()))?;
+        Ok(wire_time)
+    }
+}
+
+/// A node's attachment to the fabric.
+pub struct Endpoint {
+    node: String,
+    rx: Receiver<Message>,
+    fabric: Fabric,
+}
+
+impl Endpoint {
+    /// This endpoint's node name.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Send `payload` to node `to` over `link`, blocking for the modeled
+    /// wire time on the virtual clock (returns that duration).
+    pub fn send(
+        &self,
+        to: &str,
+        tag: &str,
+        payload: Arc<Vec<u8>>,
+        link: LinkKind,
+    ) -> Result<Duration, NetError> {
+        self.fabric.send_from(&self.node, to, tag, payload, link)
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Messages queued and not yet received.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.fabric.deregister(&self.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(MachineProfile::polaris(), SimClock::new())
+    }
+
+    #[test]
+    fn send_and_receive_roundtrip() {
+        let f = fabric();
+        let a = f.register("a");
+        let b = f.register("b");
+        let payload = Arc::new(vec![42u8; 100]);
+        a.send("b", "t", payload.clone(), LinkKind::HostRdma).unwrap();
+        let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.from, "a");
+        assert_eq!(msg.to, "b");
+        assert_eq!(&*msg.payload, &*payload);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let f = fabric();
+        let a = f.register("a");
+        let err = a.send("ghost", "t", Arc::new(vec![]), LinkKind::GpuDirect).unwrap_err();
+        assert_eq!(err, NetError::UnknownNode("ghost".into()));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let f = fabric();
+        let _a = f.register("a");
+        assert!(matches!(f.try_register("a"), Err(NetError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn dropped_endpoint_deregisters() {
+        let f = fabric();
+        {
+            let _a = f.register("a");
+        }
+        // Name is free again.
+        let _a2 = f.register("a");
+    }
+
+    #[test]
+    fn gpu_path_faster_than_host_path_end_to_end() {
+        // The raw IB wire is fast; what makes the host route slow is the
+        // PCIe capture and apply bracketing it. Compare full paths.
+        let p = MachineProfile::polaris();
+        let bytes = 4_700_000_000;
+        let gpu = LinkKind::GpuDirect.transfer_time(&p, bytes);
+        let host = LinkKind::PcieD2h.transfer_time(&p, bytes)
+            + LinkKind::HostRdma.transfer_time(&p, bytes)
+            + LinkKind::PcieH2d.transfer_time(&p, bytes);
+        assert!(gpu < host);
+        // 4.7 GB over 8.5 GB/s ≈ 0.553 s.
+        assert!((gpu.as_secs_f64() - 0.5529).abs() < 0.01, "{gpu:?}");
+    }
+
+    #[test]
+    fn virtual_clock_charged_for_wire_time() {
+        let clock = SimClock::new();
+        let f = Fabric::new(MachineProfile::polaris(), clock.clone());
+        let a = f.register("a");
+        let _b = f.register("b");
+        let wire = a.send("b", "t", Arc::new(vec![0u8; 1_000_000_000]), LinkKind::HostRdma).unwrap();
+        assert!((clock.now().as_secs_f64() - wire.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_timestamps_consistent() {
+        let f = fabric();
+        let a = f.register("a");
+        let b = f.register("b");
+        a.send("b", "t", Arc::new(vec![0u8; 1024]), LinkKind::PcieD2h).unwrap();
+        let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.arrived_at.since(msg.sent_at), msg.wire_time);
+    }
+
+    #[test]
+    fn messages_preserve_order_per_sender() {
+        let f = fabric();
+        let a = f.register("a");
+        let b = f.register("b");
+        for i in 0..10u8 {
+            a.send("b", &format!("m{i}"), Arc::new(vec![i]), LinkKind::HostRdma).unwrap();
+        }
+        for i in 0..10u8 {
+            let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(msg.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let f = fabric();
+        let a = f.register("a");
+        let b = f.register("b");
+        let h = std::thread::spawn(move || {
+            a.send("b", "from-thread", Arc::new(vec![1, 2, 3]), LinkKind::GpuDirect).unwrap();
+        });
+        let msg = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        h.join().unwrap();
+        assert_eq!(msg.tag, "from-thread");
+    }
+}

@@ -1,0 +1,35 @@
+//! # viper-net
+//!
+//! Simulated interconnect fabric between compute nodes.
+//!
+//! The paper's transfer engine moves checkpoints with MPI point-to-point
+//! primitives over two direct channels: GPU-to-GPU (GPUDirect RDMA /
+//! NVLink) and host-to-host (InfiniBand verbs), §4.4. This crate provides
+//! the equivalent message-passing substrate: named nodes register
+//! endpoints on a [`Fabric`]; `send` transfers real bytes through a
+//! crossbeam channel while charging the *modeled* wire time (from the
+//! [`viper_hw::MachineProfile`] link characteristics) to the shared
+//! virtual clock.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use viper_hw::{MachineProfile, SimClock};
+//! use viper_net::{Fabric, LinkKind};
+//!
+//! let fabric = Fabric::new(MachineProfile::polaris(), SimClock::new());
+//! let producer = fabric.register("producer");
+//! let consumer = fabric.register("consumer");
+//!
+//! producer.send("consumer", "model-v1", Arc::new(vec![0u8; 1024]), LinkKind::GpuDirect).unwrap();
+//! let msg = consumer.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+//! assert_eq!(msg.tag, "model-v1");
+//! assert_eq!(msg.payload.len(), 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fabric;
+
+pub use fabric::{Endpoint, Fabric, LinkKind, Message, NetError};

@@ -1,0 +1,53 @@
+//! # viper-predictor
+//!
+//! The Inference Performance Predictor (IPP) — the paper's §4.3.
+//!
+//! The IPP answers one question: *given a producer training a DNN and a
+//! consumer serving inferences from checkpoints of it, when should the
+//! producer checkpoint so that the consumer's cumulative inference loss
+//! (CIL) over a fixed horizon is minimal?*
+//!
+//! It is assembled from three pieces, mirroring the paper:
+//!
+//! * **Learning-curve models & fitting** ([`curves`], [`fit`]) — the
+//!   Training Loss Predictor (TLP) fits Exp2 / Exp3 / Lin2 / Expd3 curves
+//!   to the warm-up losses and selects the one with minimal MSE (Fig. 5).
+//! * **Cost model & CIL** ([`cilp`]) — Eq. 1 maps wall time to training
+//!   iterations under checkpoint stalls; Eq. 2 / Algorithm 1 accumulate
+//!   predicted inference loss over a horizon.
+//! * **Schedulers** ([`schedule`]) — Algorithm 2 (fixed interval) and
+//!   Algorithm 3 (greedy irregular interval), plus the epoch-boundary
+//!   baseline the paper compares against.
+//!
+//! ## Example
+//!
+//! ```
+//! use viper_predictor::{fit, cilp::CostParams, schedule};
+//!
+//! // Warm-up losses decaying exponentially (e.g. from CANDLE-TC1).
+//! let warmup: Vec<f64> = (0..100)
+//!     .map(|i| 2.0 * (-0.02 * i as f64).exp() + 0.3)
+//!     .collect();
+//! let tlp = fit::fit_best(&warmup);
+//!
+//! let costs = CostParams {
+//!     t_train: 0.05,
+//!     t_infer: 0.005,
+//!     t_stall: 0.5,
+//!     t_load: 0.5,
+//! };
+//! let plan = schedule::fixed_interval(&tlp, &costs, 100, 1000, 50_000);
+//! assert!(plan.interval >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cilp;
+pub mod curves;
+pub mod fit;
+pub mod schedule;
+
+pub use cilp::CostParams;
+pub use curves::CurveModel;
+pub use fit::FittedCurve;
+pub use schedule::Schedule;

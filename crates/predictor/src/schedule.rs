@@ -1,0 +1,346 @@
+//! Checkpoint schedule algorithms: the paper's Algorithm 2 (fixed
+//! interval), Algorithm 3 (greedy irregular interval), and the
+//! epoch-boundary baseline they are compared against (§5.4).
+
+use crate::cilp::{cil_interval, CostParams};
+use crate::fit::FittedCurve;
+use serde::{Deserialize, Serialize};
+
+/// A checkpoint schedule plus the predictor's evaluation of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Algorithm that produced the schedule.
+    pub algorithm: String,
+    /// Training iterations at which to checkpoint (ascending, all within
+    /// `(s_iter, e_iter]`).
+    pub checkpoints: Vec<u64>,
+    /// The regular interval for fixed schedules; 0 for irregular ones.
+    pub interval: u64,
+    /// Predicted cumulative inference loss over the requested inferences.
+    pub predicted_cil: f64,
+}
+
+impl Schedule {
+    /// Number of checkpoints (model updates).
+    pub fn num_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Total predicted producer stall caused by this schedule.
+    pub fn training_overhead(&self, params: &CostParams) -> f64 {
+        self.checkpoints.len() as f64 * params.t_stall
+    }
+}
+
+/// Predict the CIL of an arbitrary checkpoint list (ascending iterations
+/// after `s_iter`), serving `total_infers` inferences.
+///
+/// This is the shared accounting both algorithms use: the segment between
+/// two checkpoints is served at the loss of the model captured at the
+/// segment's start; the first segment is served by the warm-up model and
+/// additionally covers the consumer's first load time (Algorithm 1); any
+/// inferences left after the last checkpoint run at the last checkpoint's
+/// loss.
+pub fn evaluate_checkpoints(
+    tlp: &FittedCurve,
+    params: &CostParams,
+    s_iter: u64,
+    checkpoints: &[u64],
+    total_infers: u64,
+) -> f64 {
+    let mut total_loss = 0.0;
+    let mut rem = total_infers;
+    let mut prev_iter = s_iter;
+    let mut prev_loss = tlp.loss_pred(s_iter as f64);
+    for (idx, &c) in checkpoints.iter().enumerate() {
+        debug_assert!(c > prev_iter, "checkpoints must be ascending and after s_iter");
+        let ver = idx as u64 + 1;
+        let (l, n) = cil_interval(params, c - prev_iter, prev_loss, ver, rem);
+        total_loss += l;
+        rem -= n;
+        prev_loss = tlp.loss_pred(c as f64);
+        prev_iter = c;
+        if rem == 0 {
+            return total_loss;
+        }
+    }
+    total_loss + prev_loss * rem as f64
+}
+
+/// Algorithm 2: exhaustively try every regular interval in
+/// `1..=(e_iter - s_iter)` and keep the one with minimal predicted CIL.
+pub fn fixed_interval(
+    tlp: &FittedCurve,
+    params: &CostParams,
+    s_iter: u64,
+    e_iter: u64,
+    total_infers: u64,
+) -> Schedule {
+    assert!(e_iter > s_iter, "e_iter must exceed s_iter");
+    let max_inter = e_iter - s_iter;
+    let mut best: Option<Schedule> = None;
+    for i in 1..=max_inter {
+        let checkpoints: Vec<u64> = (1..).map(|k| s_iter + k * i).take_while(|&c| c <= e_iter).collect();
+        let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
+        let better = best.as_ref().map(|b| cil < b.predicted_cil).unwrap_or(true);
+        if better {
+            best = Some(Schedule {
+                algorithm: "fixed-interval".into(),
+                checkpoints,
+                interval: i,
+                predicted_cil: cil,
+            });
+        }
+    }
+    best.expect("at least one interval candidate exists")
+}
+
+/// Algorithm 3: greedy irregular-interval schedule. A checkpoint is taken
+/// at iteration `i` only when the predicted loss has improved over the
+/// previous checkpoint's loss by more than `thresh`.
+pub fn greedy(
+    tlp: &FittedCurve,
+    params: &CostParams,
+    s_iter: u64,
+    e_iter: u64,
+    total_infers: u64,
+    thresh: f64,
+) -> Schedule {
+    assert!(e_iter > s_iter, "e_iter must exceed s_iter");
+    let mut checkpoints = Vec::new();
+    let mut prev_loss = tlp.loss_pred(s_iter as f64);
+    for i in s_iter + 1..=e_iter {
+        let cur = tlp.loss_pred(i as f64);
+        if cur < prev_loss && (prev_loss - cur) > thresh {
+            checkpoints.push(i);
+            prev_loss = cur;
+        }
+    }
+    let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
+    Schedule { algorithm: "greedy".into(), checkpoints, interval: 0, predicted_cil: cil }
+}
+
+/// The paper's baseline: checkpoint at every epoch boundary.
+pub fn epoch_baseline(
+    tlp: &FittedCurve,
+    params: &CostParams,
+    s_iter: u64,
+    e_iter: u64,
+    iters_per_epoch: u64,
+    total_infers: u64,
+) -> Schedule {
+    assert!(iters_per_epoch >= 1, "iters_per_epoch must be >= 1");
+    let checkpoints: Vec<u64> = (1..)
+        .map(|k| s_iter + k * iters_per_epoch)
+        .take_while(|&c| c <= e_iter)
+        .collect();
+    let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
+    Schedule {
+        algorithm: "epoch-baseline".into(),
+        checkpoints,
+        interval: iters_per_epoch,
+        predicted_cil: cil,
+    }
+}
+
+/// A CheckFreq-style schedule: the smallest regular interval whose
+/// checkpoint overhead stays below `max_overhead_ratio` of compute time
+/// (CheckFreq tunes frequency for *resilience* with bounded overhead; the
+/// paper contrasts its own objective — inference quality — against this).
+///
+/// The interval is `ceil(t_stall / (ratio * t_train))`, clamped to the
+/// training range; the predicted CIL is evaluated with the same machinery
+/// as the other schedules so they are directly comparable.
+pub fn overhead_bounded(
+    tlp: &FittedCurve,
+    params: &CostParams,
+    s_iter: u64,
+    e_iter: u64,
+    total_infers: u64,
+    max_overhead_ratio: f64,
+) -> Schedule {
+    assert!(e_iter > s_iter, "e_iter must exceed s_iter");
+    assert!(max_overhead_ratio > 0.0, "overhead ratio must be positive");
+    let min_interval = (params.t_stall / (max_overhead_ratio * params.t_train)).ceil().max(1.0);
+    let interval = (min_interval as u64).min(e_iter - s_iter);
+    let checkpoints: Vec<u64> =
+        (1..).map(|k| s_iter + k * interval).take_while(|&c| c <= e_iter).collect();
+    let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
+    Schedule {
+        algorithm: "checkfreq-style".into(),
+        checkpoints,
+        interval,
+        predicted_cil: cil,
+    }
+}
+
+/// Derive the greedy threshold from warm-up losses: the mean plus one
+/// standard deviation of the improvements between consecutive training
+/// losses (§4.3).
+pub fn threshold_from_warmup(warmup_losses: &[f64]) -> f64 {
+    assert!(warmup_losses.len() >= 2, "need at least two warm-up losses");
+    let diffs: Vec<f64> = warmup_losses.windows(2).map(|w| w[0] - w[1]).collect();
+    let n = diffs.len() as f64;
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+    mean + var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::CurveModel;
+
+    fn tlp() -> FittedCurve {
+        FittedCurve { model: CurveModel::Exp3 { a: 2.0, b: 0.01, c: 0.3 }, mse: 0.0 }
+    }
+
+    fn params() -> CostParams {
+        CostParams { t_train: 0.05, t_infer: 0.005, t_stall: 0.2, t_load: 0.2 }
+    }
+
+    #[test]
+    fn evaluate_empty_schedule_serves_warmup_model() {
+        let cil = evaluate_checkpoints(&tlp(), &params(), 100, &[], 1000);
+        let expected = tlp().loss_pred(100.0) * 1000.0;
+        assert!((cil - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_single_checkpoint_improves_over_none() {
+        let t = tlp();
+        let p = params();
+        let none = evaluate_checkpoints(&t, &p, 100, &[], 100_000);
+        let one = evaluate_checkpoints(&t, &p, 100, &[300], 100_000);
+        assert!(one < none);
+    }
+
+    #[test]
+    fn fixed_interval_beats_epoch_baseline() {
+        let t = tlp();
+        let p = params();
+        let (s, e) = (216, 216 * 17);
+        let infers = 50_000;
+        let fixed = fixed_interval(&t, &p, s, e, infers);
+        let base = epoch_baseline(&t, &p, s, e, 216, infers);
+        assert!(
+            fixed.predicted_cil <= base.predicted_cil,
+            "fixed {} vs base {}",
+            fixed.predicted_cil,
+            base.predicted_cil
+        );
+    }
+
+    #[test]
+    fn fixed_interval_checkpoints_are_regular() {
+        let plan = fixed_interval(&tlp(), &params(), 100, 600, 10_000);
+        assert!(plan.interval >= 1);
+        for w in plan.checkpoints.windows(2) {
+            assert_eq!(w[1] - w[0], plan.interval);
+        }
+        assert_eq!(plan.checkpoints[0], 100 + plan.interval);
+    }
+
+    #[test]
+    fn greedy_checkpoints_more_often_early() {
+        // Exponential decay improves fastest early, so gaps should widen.
+        let t = tlp();
+        let p = params();
+        let plan = greedy(&t, &p, 0, 2000, 100_000, 0.01);
+        assert!(plan.num_checkpoints() >= 3, "got {}", plan.num_checkpoints());
+        let gaps: Vec<u64> = plan.checkpoints.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.last().unwrap() > gaps.first().unwrap(),
+            "gaps should widen: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_with_huge_threshold_never_checkpoints() {
+        let plan = greedy(&tlp(), &params(), 0, 1000, 1000, 1e9);
+        assert!(plan.checkpoints.is_empty());
+        assert!((plan.predicted_cil - tlp().loss_pred(0.0) * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_uses_fewer_checkpoints_than_fixed_for_similar_cil() {
+        // Table 1's key observation: adaptive gets comparable (or better)
+        // CIL with fewer checkpoints.
+        let t = tlp();
+        let p = params();
+        let (s, e, infers) = (216, 216 * 17, 50_000);
+        let fixed = fixed_interval(&t, &p, s, e, infers);
+        let thresh = 0.01;
+        let adaptive = greedy(&t, &p, s, e, infers, thresh);
+        assert!(adaptive.num_checkpoints() > 0);
+        // CIL within 10% of fixed (usually better), with fewer checkpoints
+        // unless fixed already found a very sparse schedule.
+        assert!(adaptive.predicted_cil <= fixed.predicted_cil * 1.10);
+    }
+
+    #[test]
+    fn threshold_from_warmup_mean_plus_std() {
+        // Perfectly linear decay: all diffs equal, std = 0.
+        let losses: Vec<f64> = (0..10).map(|i| 10.0 - i as f64).collect();
+        assert!((threshold_from_warmup(&losses) - 1.0).abs() < 1e-12);
+        // A mix: diffs = [2, 0] -> mean 1, std 1 -> threshold 2.
+        let t = threshold_from_warmup(&[4.0, 2.0, 2.0]);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_baseline_lands_on_boundaries() {
+        let plan = epoch_baseline(&tlp(), &params(), 216, 216 * 4, 216, 1000);
+        assert_eq!(plan.checkpoints, vec![432, 648, 864]);
+    }
+
+    #[test]
+    fn training_overhead_scales_with_checkpoints() {
+        let p = params();
+        let plan = epoch_baseline(&tlp(), &p, 0, 1000, 100, 1000);
+        assert!((plan.training_overhead(&p) - plan.num_checkpoints() as f64 * p.t_stall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_bounded_respects_the_budget() {
+        let t = tlp();
+        let p = params();
+        let ratio = 0.05;
+        let plan = overhead_bounded(&t, &p, 100, 2000, 50_000, ratio);
+        // Overhead per period = t_stall; compute per period = interval * t_train.
+        let overhead_ratio = p.t_stall / (plan.interval as f64 * p.t_train);
+        assert!(overhead_ratio <= ratio + 1e-9, "ratio {overhead_ratio}");
+        // And it is the *smallest* such interval.
+        if plan.interval > 1 {
+            let tighter = p.t_stall / ((plan.interval - 1) as f64 * p.t_train);
+            assert!(tighter > ratio);
+        }
+    }
+
+    #[test]
+    fn ipp_beats_checkfreq_style_on_cil() {
+        // The paper's motivation: frequency tuned for bounded overhead
+        // (resilience) is not frequency tuned for inference quality.
+        let t = tlp();
+        let p = params();
+        let (s, e, infers) = (216, 216 * 17, 50_000);
+        let ipp = fixed_interval(&t, &p, s, e, infers);
+        let cf = overhead_bounded(&t, &p, s, e, infers, 0.01);
+        assert!(ipp.predicted_cil <= cf.predicted_cil + 1e-9,
+            "ipp {} vs checkfreq {}", ipp.predicted_cil, cf.predicted_cil);
+    }
+
+    #[test]
+    fn rem_inferences_exhausted_midway() {
+        // With few inferences the tail never runs; evaluation must not
+        // underflow rem.
+        let cil = evaluate_checkpoints(&tlp(), &params(), 0, &[10, 20, 30], 5);
+        assert!(cil > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "e_iter must exceed")]
+    fn invalid_range_panics() {
+        fixed_interval(&tlp(), &params(), 10, 10, 100);
+    }
+}

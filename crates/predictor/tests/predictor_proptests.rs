@@ -1,0 +1,118 @@
+//! Property tests for the IPP: fitting robustness and schedule invariants.
+
+use proptest::prelude::*;
+use viper_predictor::cilp::{acc_loss, cil_interval, CostParams};
+use viper_predictor::curves::CurveModel;
+use viper_predictor::fit::{fit_best, FittedCurve};
+use viper_predictor::schedule;
+
+fn arb_params() -> impl Strategy<Value = CostParams> {
+    (0.01f64..0.5, 0.001f64..0.05, 0.01f64..2.0, 0.01f64..2.0).prop_map(
+        |(t_train, t_infer, t_stall, t_load)| CostParams { t_train, t_infer, t_stall, t_load },
+    )
+}
+
+fn arb_tlp() -> impl Strategy<Value = FittedCurve> {
+    (0.1f64..5.0, 0.001f64..0.2, 0.0f64..1.0).prop_map(|(a, b, c)| FittedCurve {
+        model: CurveModel::Exp3 { a, b, c },
+        mse: 0.0,
+    })
+}
+
+proptest! {
+    /// Fitting noiseless exponential data always recovers a low-MSE curve.
+    #[test]
+    fn fit_best_has_low_mse_on_clean_exp3(a in 0.5f64..3.0, b in 0.005f64..0.1, c in 0.0f64..1.0) {
+        let truth = CurveModel::Exp3 { a, b, c };
+        let y: Vec<f64> = (0..100).map(|i| truth.eval(i as f64)).collect();
+        let fit = fit_best(&y);
+        // Relative to the signal's variance, the fit must be excellent.
+        prop_assert!(fit.mse < 1e-4 * (a * a).max(0.01), "mse {} for a={a} b={b} c={c}", fit.mse);
+    }
+
+    /// Predicted losses are never negative.
+    #[test]
+    fn loss_pred_nonnegative(tlp in arb_tlp(), x in 0f64..1e6) {
+        prop_assert!(tlp.loss_pred(x) >= 0.0);
+    }
+
+    /// get_iters is monotonic in elapsed time.
+    #[test]
+    fn get_iters_monotone(p in arb_params(), ckpt_i in 1u64..100, t1 in 0f64..1e4, dt in 0f64..1e3) {
+        prop_assert!(p.get_iters(t1 + dt, ckpt_i) >= p.get_iters(t1, ckpt_i));
+    }
+
+    /// More frequent checkpointing never speeds up training progress.
+    #[test]
+    fn stalls_slow_progress(p in arb_params(), t in 1f64..1e4) {
+        let sparse = p.get_iters(t, 50);
+        let dense = p.get_iters(t, 1);
+        prop_assert!(dense <= sparse + 50, "dense {dense} sparse {sparse}");
+    }
+
+    /// Algorithm 1 never serves more than the remaining inferences and
+    /// never returns negative loss.
+    #[test]
+    fn cil_interval_bounds(p in arb_params(), inter in 1u64..1000, loss in 0f64..10.0, ver in 1u64..5, rem in 0u64..10_000) {
+        let (l, n) = cil_interval(&p, inter, loss, ver, rem);
+        prop_assert!(n <= rem);
+        prop_assert!(l >= 0.0);
+        prop_assert!((l - loss * n as f64).abs() < 1e-9);
+    }
+
+    /// The first update window (ver 1) is never shorter than later ones.
+    #[test]
+    fn first_update_window_longest(p in arb_params(), inter in 1u64..1000) {
+        let (_, n1) = cil_interval(&p, inter, 1.0, 1, u64::MAX);
+        let (_, n2) = cil_interval(&p, inter, 1.0, 2, u64::MAX);
+        prop_assert!(n1 >= n2);
+    }
+
+    /// Eq. 2 produces finite, non-negative CIL.
+    #[test]
+    fn acc_loss_finite(tlp in arb_tlp(), p in arb_params(), ckpt_i in 1u64..500, t_max in 0.1f64..1e4) {
+        let v = acc_loss(&tlp, &p, ckpt_i, t_max);
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0);
+    }
+
+    /// The fixed-interval optimum is at least as good as any probed interval.
+    #[test]
+    fn fixed_interval_is_argmin(tlp in arb_tlp(), p in arb_params(), probe in 1u64..50) {
+        let (s, e, infers) = (50u64, 400u64, 20_000u64);
+        let best = schedule::fixed_interval(&tlp, &p, s, e, infers);
+        let probe_ckpts: Vec<u64> = (1..).map(|k| s + k * probe).take_while(|&c| c <= e).collect();
+        let probe_cil = schedule::evaluate_checkpoints(&tlp, &p, s, &probe_ckpts, infers);
+        prop_assert!(best.predicted_cil <= probe_cil + 1e-9,
+            "best {} (interval {}) worse than probe {} (interval {probe})",
+            best.predicted_cil, best.interval, probe_cil);
+    }
+
+    /// Greedy checkpoints are strictly ascending and within range.
+    #[test]
+    fn greedy_checkpoints_well_formed(tlp in arb_tlp(), p in arb_params(), thresh in 0.0001f64..0.5) {
+        let (s, e) = (10u64, 1000u64);
+        let plan = schedule::greedy(&tlp, &p, s, e, 10_000, thresh);
+        let mut prev = s;
+        for &c in &plan.checkpoints {
+            prop_assert!(c > prev && c <= e);
+            prev = c;
+        }
+    }
+
+    /// Raising the greedy threshold can only reduce the checkpoint count.
+    #[test]
+    fn greedy_threshold_monotone(tlp in arb_tlp(), p in arb_params(), t1 in 0.001f64..0.2) {
+        let t2 = t1 * 2.0;
+        let a = schedule::greedy(&tlp, &p, 0, 800, 10_000, t1);
+        let b = schedule::greedy(&tlp, &p, 0, 800, 10_000, t2);
+        prop_assert!(b.num_checkpoints() <= a.num_checkpoints());
+    }
+
+    /// The warm-up threshold is finite for any non-trivial loss sequence.
+    #[test]
+    fn threshold_finite(losses in prop::collection::vec(0.0f64..100.0, 2..200)) {
+        let t = schedule::threshold_from_warmup(&losses);
+        prop_assert!(t.is_finite());
+    }
+}

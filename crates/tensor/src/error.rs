@@ -1,0 +1,83 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for tensor results.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Elements supplied.
+        got: usize,
+        /// Elements the shape requires.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes for the requested kernel.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a different rank (number of dimensions).
+    RankMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Rank supplied.
+        got: usize,
+        /// Rank required.
+        expected: usize,
+    },
+    /// A kernel parameter (stride, kernel width, ...) is invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { got, expected } => {
+                write!(f, "length mismatch: got {got} elements, shape requires {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch { op, got, expected } => {
+                write!(f, "rank mismatch in {op}: got rank {got}, expected {expected}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { got: 3, expected: 4 };
+        assert!(e.to_string().contains("got 3"));
+        assert!(e.to_string().contains("requires 4"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

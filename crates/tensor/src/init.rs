@@ -1,0 +1,149 @@
+//! Parameter initialisation schemes.
+
+use crate::Shape;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Weight initialisation strategies used by the DNN layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Every element zero (bias default).
+    Zeros,
+    /// Every element the given constant.
+    Constant(f32),
+    /// Uniform in `[-limit, limit)`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        limit: f32,
+    },
+    /// Normal with the given standard deviation.
+    Normal {
+        /// Standard deviation.
+        std: f32,
+    },
+    /// Glorot/Xavier uniform: limit = sqrt(6 / (fan_in + fan_out)).
+    GlorotUniform,
+    /// He/Kaiming normal: std = sqrt(2 / fan_in); suits ReLU stacks.
+    HeNormal,
+}
+
+impl Initializer {
+    /// Sample a buffer for `shape` using `rng`.
+    pub fn sample<R: Rng + ?Sized>(self, shape: &Shape, rng: &mut R) -> Vec<f32> {
+        let n = shape.num_elements();
+        let (fan_in, fan_out) = fans(shape);
+        match self {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Constant(c) => vec![c; n],
+            Initializer::Uniform { limit } => {
+                (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+            }
+            Initializer::Normal { std } => {
+                let gauss = Gaussian { mean: 0.0, std };
+                (0..n).map(|_| gauss.sample(rng)).collect()
+            }
+            Initializer::GlorotUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+            }
+            Initializer::HeNormal => {
+                let gauss = Gaussian { mean: 0.0, std: (2.0 / fan_in as f32).sqrt() };
+                (0..n).map(|_| gauss.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Fan-in/fan-out convention matching Keras: for rank-2 `[in, out]`; for
+/// conv kernels `[k, in, out]` fan_in = k*in, fan_out = k*out; otherwise the
+/// element count on both sides.
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.dims() {
+        [inp, out] => (*inp, *out),
+        [k, inp, out] => (k * inp, k * out),
+        dims => {
+            let n = dims.iter().product::<usize>().max(1);
+            (n, n)
+        }
+    }
+}
+
+/// Minimal Box-Muller Gaussian sampler (keeps us off `rand_distr`).
+struct Gaussian {
+    mean: f32,
+    std: f32,
+}
+
+impl Distribution<f32> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box-Muller transform on two uniforms in (0, 1].
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn stats(v: &[f32]) -> (f32, f32) {
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn zeros_and_constant() {
+        let s = Shape::new(&[3]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(Initializer::Zeros.sample(&s, &mut rng), vec![0.0; 3]);
+        assert_eq!(Initializer::Constant(2.5).sample(&s, &mut rng), vec![2.5; 3]);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let s = Shape::new(&[10_000]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = Initializer::Uniform { limit: 0.3 }.sample(&s, &mut rng);
+        assert!(v.iter().all(|x| (-0.3..0.3).contains(x)));
+    }
+
+    #[test]
+    fn normal_has_requested_std() {
+        let s = Shape::new(&[50_000]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = Initializer::Normal { std: 0.5 }.sample(&s, &mut rng);
+        let (mean, std) = stats(&v);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((std - 0.5).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn glorot_limit_depends_on_fans() {
+        let s = Shape::new(&[100, 200]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = Initializer::GlorotUniform.sample(&s, &mut rng);
+        let limit = (6.0f32 / 300.0).sqrt();
+        assert!(v.iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let s = Shape::new(&[800, 10]);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let v = Initializer::HeNormal.sample(&s, &mut rng);
+        let (_, std) = stats(&v);
+        let expected = (2.0f32 / 800.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.2, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn conv_kernel_fans() {
+        assert_eq!(fans(&Shape::new(&[5, 8, 16])), (40, 80));
+        assert_eq!(fans(&Shape::new(&[7])), (7, 7));
+    }
+}

@@ -1,0 +1,42 @@
+//! # viper-tensor
+//!
+//! Dense `f32` tensor substrate used by the Viper reproduction.
+//!
+//! The Viper paper trains and serves real DNN models (CANDLE NT3/TC1,
+//! PtychoNN) through TensorFlow. This crate provides the minimal tensor
+//! machinery a from-scratch training stack needs: row-major dense tensors,
+//! shape/stride bookkeeping, elementwise and reduction kernels, matrix
+//! multiplication, 1-D convolution/pooling (the CANDLE benchmarks are 1-D
+//! convolutional networks), and deterministic random initialisation.
+//!
+//! Kernels are data-parallel via [rayon] where the work is large enough to
+//! amortise the fork/join overhead; small tensors take a sequential path.
+//!
+//! ## Example
+//!
+//! ```
+//! use viper_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod shape;
+mod tensor;
+
+pub mod ops;
+
+pub use error::{Result, TensorError};
+pub use init::Initializer;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Work threshold (number of output elements) below which kernels run
+/// sequentially instead of spawning rayon tasks.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;

@@ -1,0 +1,371 @@
+//! 2-D convolution and max-pooling kernels (channels-last layout).
+//!
+//! The real PtychoNN maps 2-D diffraction patterns to 2-D amplitude/phase
+//! images; these kernels support the 2-D variant of the workload. Layout
+//! follows Keras: inputs `[batch, h, w, in_ch]`, kernels
+//! `[kh, kw, in_ch, out_ch]`, outputs `[batch, oh, ow, out_ch]` with
+//! *valid* padding.
+
+use crate::ops::conv::out_len;
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// (batch, h, w, in_ch, kh, kw, out_ch, oh, ow) after validation.
+type Conv2dDims = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+
+fn check_shapes(input: &Tensor, kernel: &Tensor, stride: (usize, usize)) -> Result<Conv2dDims> {
+    let idims = input.dims();
+    let kdims = kernel.dims();
+    if idims.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d", got: idims.len(), expected: 4 });
+    }
+    if kdims.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d kernel", got: kdims.len(), expected: 4 });
+    }
+    if stride.0 == 0 || stride.1 == 0 {
+        return Err(TensorError::InvalidArgument("conv2d strides must be >= 1".into()));
+    }
+    let (batch, h, w, in_ch) = (idims[0], idims[1], idims[2], idims[3]);
+    let (kh, kw, k_in, out_ch) = (kdims[0], kdims[1], kdims[2], kdims[3]);
+    if k_in != in_ch {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: idims.to_vec(),
+            rhs: kdims.to_vec(),
+        });
+    }
+    if kh > h || kw > w {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d kernel {kh}x{kw} exceeds input {h}x{w}"
+        )));
+    }
+    let oh = out_len(h, kh, stride.0);
+    let ow = out_len(w, kw, stride.1);
+    Ok((batch, h, w, in_ch, kh, kw, out_ch, oh, ow))
+}
+
+/// Forward valid 2-D convolution.
+pub fn conv2d(input: &Tensor, kernel: &Tensor, stride: (usize, usize)) -> Result<Tensor> {
+    let (batch, h, w, in_ch, kh, kw, out_ch, oh, ow) = check_shapes(input, kernel, stride)?;
+    let x = input.as_slice();
+    let k = kernel.as_slice();
+    let per_sample = oh * ow * out_ch;
+    let mut out = vec![0.0f32; batch * per_sample];
+
+    let body = |b: usize, out_b: &mut [f32]| {
+        let x_b = &x[b * h * w * in_ch..(b + 1) * h * w * in_ch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let (sy, sx) = (oy * stride.0, ox * stride.1);
+                let out_pos = &mut out_b[(oy * ow + ox) * out_ch..(oy * ow + ox + 1) * out_ch];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let x_px = &x_b[((sy + ky) * w + sx + kx) * in_ch
+                            ..((sy + ky) * w + sx + kx + 1) * in_ch];
+                        let k_px = &k[((ky * kw + kx) * in_ch) * out_ch
+                            ..((ky * kw + kx + 1) * in_ch) * out_ch];
+                        for (c, &xv) in x_px.iter().enumerate() {
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            let k_row = &k_px[c * out_ch..(c + 1) * out_ch];
+                            for (ov, &kv) in out_pos.iter_mut().zip(k_row) {
+                                *ov += xv * kv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let work = batch * per_sample * kh * kw * in_ch;
+    if work < crate::PAR_THRESHOLD {
+        for (b, out_b) in out.chunks_mut(per_sample).enumerate() {
+            body(b, out_b);
+        }
+    } else {
+        out.par_chunks_mut(per_sample).enumerate().for_each(|(b, out_b)| body(b, out_b));
+    }
+    Tensor::from_vec(out, &[batch, oh, ow, out_ch])
+}
+
+/// Gradient of a valid conv2d w.r.t. the kernel.
+pub fn conv2d_grad_kernel(
+    input: &Tensor,
+    grad_out: &Tensor,
+    ksize: (usize, usize),
+    stride: (usize, usize),
+) -> Result<Tensor> {
+    let idims = input.dims();
+    let gdims = grad_out.dims();
+    if idims.len() != 4 || gdims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d_grad_kernel",
+            got: idims.len().min(gdims.len()),
+            expected: 4,
+        });
+    }
+    let (batch, h, w, in_ch) = (idims[0], idims[1], idims[2], idims[3]);
+    let (kh, kw) = ksize;
+    let (gb, oh, ow, out_ch) = (gdims[0], gdims[1], gdims[2], gdims[3]);
+    if gb != batch || oh != out_len(h, kh, stride.0) || ow != out_len(w, kw, stride.1) {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_kernel",
+            lhs: idims.to_vec(),
+            rhs: gdims.to_vec(),
+        });
+    }
+    let x = input.as_slice();
+    let g = grad_out.as_slice();
+    let mut gk = vec![0.0f32; kh * kw * in_ch * out_ch];
+    for b in 0..batch {
+        let x_b = &x[b * h * w * in_ch..(b + 1) * h * w * in_ch];
+        let g_b = &g[b * oh * ow * out_ch..(b + 1) * oh * ow * out_ch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let (sy, sx) = (oy * stride.0, ox * stride.1);
+                let g_pos = &g_b[(oy * ow + ox) * out_ch..(oy * ow + ox + 1) * out_ch];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let x_px = &x_b[((sy + ky) * w + sx + kx) * in_ch
+                            ..((sy + ky) * w + sx + kx + 1) * in_ch];
+                        let gk_px = &mut gk[((ky * kw + kx) * in_ch) * out_ch
+                            ..((ky * kw + kx + 1) * in_ch) * out_ch];
+                        for (c, &xv) in x_px.iter().enumerate() {
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            let gk_row = &mut gk_px[c * out_ch..(c + 1) * out_ch];
+                            for (gkv, &gv) in gk_row.iter_mut().zip(g_pos) {
+                                *gkv += xv * gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gk, &[kh, kw, in_ch, out_ch])
+}
+
+/// Gradient of a valid conv2d w.r.t. the input.
+pub fn conv2d_grad_input(
+    kernel: &Tensor,
+    grad_out: &Tensor,
+    input_hw: (usize, usize),
+    stride: (usize, usize),
+) -> Result<Tensor> {
+    let kdims = kernel.dims();
+    let gdims = grad_out.dims();
+    if kdims.len() != 4 || gdims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d_grad_input",
+            got: kdims.len().min(gdims.len()),
+            expected: 4,
+        });
+    }
+    let (kh, kw, in_ch, out_ch) = (kdims[0], kdims[1], kdims[2], kdims[3]);
+    let (h, w) = input_hw;
+    let (batch, oh, ow, g_out_ch) = (gdims[0], gdims[1], gdims[2], gdims[3]);
+    if g_out_ch != out_ch || oh != out_len(h, kh, stride.0) || ow != out_len(w, kw, stride.1) {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_input",
+            lhs: kdims.to_vec(),
+            rhs: gdims.to_vec(),
+        });
+    }
+    let k = kernel.as_slice();
+    let g = grad_out.as_slice();
+    let mut gx = vec![0.0f32; batch * h * w * in_ch];
+    for b in 0..batch {
+        let g_b = &g[b * oh * ow * out_ch..(b + 1) * oh * ow * out_ch];
+        let gx_b = &mut gx[b * h * w * in_ch..(b + 1) * h * w * in_ch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let (sy, sx) = (oy * stride.0, ox * stride.1);
+                let g_pos = &g_b[(oy * ow + ox) * out_ch..(oy * ow + ox + 1) * out_ch];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let k_px = &k[((ky * kw + kx) * in_ch) * out_ch
+                            ..((ky * kw + kx + 1) * in_ch) * out_ch];
+                        let gx_px = &mut gx_b[((sy + ky) * w + sx + kx) * in_ch
+                            ..((sy + ky) * w + sx + kx + 1) * in_ch];
+                        for (c, gxv) in gx_px.iter_mut().enumerate() {
+                            let k_row = &k_px[c * out_ch..(c + 1) * out_ch];
+                            let mut acc = 0.0f32;
+                            for (&kv, &gv) in k_row.iter().zip(g_pos) {
+                                acc += kv * gv;
+                            }
+                            *gxv += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gx, &[batch, h, w, in_ch])
+}
+
+/// Forward 2-D max pooling; returns the pooled tensor and flat argmax
+/// indices for the backward pass.
+pub fn maxpool2d(
+    input: &Tensor,
+    window: (usize, usize),
+    stride: (usize, usize),
+) -> Result<(Tensor, Vec<u32>)> {
+    let idims = input.dims();
+    if idims.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "maxpool2d", got: idims.len(), expected: 4 });
+    }
+    if window.0 == 0 || window.1 == 0 || stride.0 == 0 || stride.1 == 0 {
+        return Err(TensorError::InvalidArgument("maxpool2d window/stride must be >= 1".into()));
+    }
+    let (batch, h, w, ch) = (idims[0], idims[1], idims[2], idims[3]);
+    if window.0 > h || window.1 > w {
+        return Err(TensorError::InvalidArgument(format!(
+            "maxpool2d window {}x{} exceeds input {h}x{w}",
+            window.0, window.1
+        )));
+    }
+    let oh = out_len(h, window.0, stride.0);
+    let ow = out_len(w, window.1, stride.1);
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; batch * oh * ow * ch];
+    let mut idx = vec![0u32; batch * oh * ow * ch];
+    for b in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..ch {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..window.0 {
+                        for kx in 0..window.1 {
+                            let flat =
+                                ((b * h + oy * stride.0 + ky) * w + ox * stride.1 + kx) * ch + c;
+                            if x[flat] > best {
+                                best = x[flat];
+                                best_i = flat;
+                            }
+                        }
+                    }
+                    let o_flat = ((b * oh + oy) * ow + ox) * ch + c;
+                    out[o_flat] = best;
+                    idx[o_flat] = best_i as u32;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, &[batch, oh, ow, ch])?, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1: output == input.
+        let x = t(&(1..=16).map(|v| v as f32).collect::<Vec<_>>(), &[1, 4, 4, 1]);
+        let k = t(&[1.0], &[1, 1, 1, 1]);
+        let y = conv2d(&x, &k, (1, 1)).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+        assert_eq!(y.dims(), &[1, 4, 4, 1]);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        let x = Tensor::ones(&[1, 4, 4, 1]);
+        let k = Tensor::ones(&[2, 2, 1, 1]);
+        let y = conv2d(&x, &k, (1, 1)).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 3, 1]);
+        assert!(y.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn stride_reduces_output() {
+        let x = Tensor::ones(&[1, 6, 6, 1]);
+        let k = Tensor::ones(&[2, 2, 1, 1]);
+        let y = conv2d(&x, &k, (2, 2)).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Tensor::ones(&[1, 4, 4, 2]);
+        assert!(conv2d(&x, &Tensor::ones(&[2, 2, 3, 1]), (1, 1)).is_err()); // channel mismatch
+        assert!(conv2d(&x, &Tensor::ones(&[5, 2, 2, 1]), (1, 1)).is_err()); // too tall
+        assert!(conv2d(&x, &Tensor::ones(&[2, 2, 2, 1]), (0, 1)).is_err()); // zero stride
+        assert!(conv2d(&Tensor::ones(&[4, 4]), &Tensor::ones(&[2, 2, 1, 1]), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let x = t(
+            &[0.5, -0.3, 0.8, 0.1, -0.6, 0.9, 0.2, -0.4, 0.7, 0.3, -0.2, 0.6, 0.1, 0.5, -0.8, 0.4],
+            &[1, 4, 4, 1],
+        );
+        let k = t(&[0.2, -0.5, 0.7, 0.3], &[2, 2, 1, 1]);
+        let stride = (1, 1);
+        let y = conv2d(&x, &k, stride).unwrap();
+        let gy = Tensor::ones(y.dims());
+        let gk = conv2d_grad_kernel(&x, &gy, (2, 2), stride).unwrap();
+        let gx = conv2d_grad_input(&k, &gy, (4, 4), stride).unwrap();
+
+        let eps = 1e-3;
+        for i in 0..k.len() {
+            let mut kp = k.clone();
+            kp.as_mut_slice()[i] += eps;
+            let mut km = k.clone();
+            km.as_mut_slice()[i] -= eps;
+            let lp = conv2d(&x, &kp, stride).unwrap().sum();
+            let lm = conv2d(&x, &km, stride).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gk.as_slice()[i] - num).abs() < 1e-2, "gk[{i}]");
+        }
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = conv2d(&xp, &k, stride).unwrap().sum();
+            let lm = conv2d(&xm, &k, stride).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - num).abs() < 1e-2, "gx[{i}]");
+        }
+    }
+
+    #[test]
+    fn multichannel_conv_mixes_channels() {
+        // 1x1 kernel swapping two channels.
+        let x = t(&[1.0, 10.0, 2.0, 20.0], &[1, 1, 2, 2]);
+        let k = t(&[0.0, 1.0, 1.0, 0.0], &[1, 1, 2, 2]);
+        let y = conv2d(&x, &k, (1, 1)).unwrap();
+        assert_eq!(y.as_slice(), &[10.0, 1.0, 20.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool2d_forward_and_indices() {
+        let x = t(&[1.0, 5.0, 2.0, 8.0, 3.0, 0.0, 7.0, 4.0, 6.0, 1.0, 9.0, 2.0, 0.0, 3.0, 1.0, 4.0],
+            &[1, 4, 4, 1]);
+        let (y, idx) = maxpool2d(&x, (2, 2), (2, 2)).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2, 1]);
+        // Windows: {1,5,3,0}, {2,8,7,4}, {6,1,0,3}, {9,2,1,4}.
+        assert_eq!(y.as_slice(), &[5.0, 8.0, 6.0, 9.0]);
+        for (&i, &v) in idx.iter().zip(y.as_slice()) {
+            assert_eq!(x.as_slice()[i as usize], v);
+        }
+    }
+
+    #[test]
+    fn maxpool2d_rejects_bad_params() {
+        let x = Tensor::ones(&[1, 4, 4, 1]);
+        assert!(maxpool2d(&x, (0, 2), (1, 1)).is_err());
+        assert!(maxpool2d(&x, (2, 2), (0, 1)).is_err());
+        assert!(maxpool2d(&x, (5, 2), (1, 1)).is_err());
+    }
+}

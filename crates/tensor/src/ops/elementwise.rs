@@ -1,0 +1,85 @@
+//! Elementwise kernels with a sequential fast path for small buffers.
+
+use crate::PAR_THRESHOLD;
+use rayon::prelude::*;
+
+/// `out[i] = f(a[i])`.
+pub fn map(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    if a.len() < PAR_THRESHOLD {
+        a.iter().map(|&x| f(x)).collect()
+    } else {
+        a.par_iter().map(|&x| f(x)).collect()
+    }
+}
+
+/// `a[i] = f(a[i])`.
+pub fn map_inplace(a: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    if a.len() < PAR_THRESHOLD {
+        for x in a.iter_mut() {
+            *x = f(*x);
+        }
+    } else {
+        a.par_iter_mut().for_each(|x| *x = f(*x));
+    }
+}
+
+/// `out[i] = f(a[i], b[i])`. Caller guarantees equal lengths.
+pub fn zip(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < PAR_THRESHOLD {
+        a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+    } else {
+        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| f(x, y)).collect()
+    }
+}
+
+/// `a[i] += alpha * b[i]`. Caller guarantees equal lengths.
+pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < PAR_THRESHOLD {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x += alpha * y;
+        }
+    } else {
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x += alpha * y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_small_and_large_agree() {
+        let small: Vec<f32> = (0..10).map(|x| x as f32).collect();
+        let large: Vec<f32> = (0..PAR_THRESHOLD + 1).map(|x| x as f32).collect();
+        assert_eq!(map(&small, |x| x * 2.0), small.iter().map(|x| x * 2.0).collect::<Vec<_>>());
+        let mapped = map(&large, |x| x + 1.0);
+        assert_eq!(mapped[0], 1.0);
+        assert_eq!(mapped[large.len() - 1], large[large.len() - 1] + 1.0);
+    }
+
+    #[test]
+    fn map_inplace_matches_map() {
+        let mut a: Vec<f32> = (0..100).map(|x| x as f32).collect();
+        let expected = map(&a, |x| x * x);
+        map_inplace(&mut a, |x| x * x);
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn zip_pairs_elements() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(zip(&a, &b, |x, y| y - x), vec![9.0, 18.0, 27.0]);
+    }
+
+    #[test]
+    fn axpy_parallel_path() {
+        let n = PAR_THRESHOLD + 7;
+        let mut a = vec![1.0f32; n];
+        let b = vec![2.0f32; n];
+        axpy(&mut a, 0.5, &b);
+        assert!(a.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+}

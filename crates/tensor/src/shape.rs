@@ -1,0 +1,145 @@
+//! Shape and stride bookkeeping for row-major dense tensors.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Tensors in this crate are always contiguous and row-major, so the shape
+/// fully determines the strides.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Build a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `i`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides: `strides[i]` is the linear-index step for
+    /// incrementing dimension `i` by one.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// Returns an error if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                got: index.len(),
+                expected: self.rank(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (d, (&idx, &stride)) in index.iter().zip(strides.iter()).enumerate() {
+            if idx >= self.dims[d] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "index {idx} out of bounds for dim {d} with extent {}",
+                    self.dims[d]
+                )));
+            }
+            off += idx * stride;
+        }
+        Ok(off)
+    }
+
+    /// Whether this shape can be reshaped into `other` (same element count).
+    #[inline]
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::new(&[]).num_elements(), 1);
+        assert_eq!(Shape::new(&[0, 5]).num_elements(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_compatibility() {
+        let a = Shape::new(&[2, 6]);
+        assert!(a.reshape_compatible(&Shape::new(&[12])));
+        assert!(a.reshape_compatible(&Shape::new(&[3, 4])));
+        assert!(!a.reshape_compatible(&Shape::new(&[5])));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for tensor invariants.
+
+use proptest::prelude::*;
+use viper_tensor::{ops, Tensor};
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    /// Addition commutes elementwise.
+    #[test]
+    fn add_commutes(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v.clone(), &[n]).unwrap();
+        let b = Tensor::from_vec(v.iter().rev().copied().collect(), &[n]).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    /// `a - a` is exactly zero (no float reassociation happens elementwise).
+    #[test]
+    fn sub_self_is_zero(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v, &[n]).unwrap();
+        let z = a.sub(&a).unwrap();
+        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    /// Reshape never changes data and always preserves element count.
+    #[test]
+    fn reshape_preserves_everything(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v, &[n]).unwrap();
+        let r = a.reshape(&[1, n]).unwrap();
+        prop_assert_eq!(r.as_slice(), a.as_slice());
+        prop_assert_eq!(r.len(), a.len());
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn double_transpose_identity(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| ((i as u64 * 31 + seed) % 17) as f32).collect();
+        let a = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    /// (AB)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        let a_data: Vec<f32> = (0..m * k).map(|i| (((i as u64 + seed) % 7) as f32) - 3.0).collect();
+        let b_data: Vec<f32> = (0..k * n).map(|i| (((i as u64 * 3 + seed) % 5) as f32) - 2.0).collect();
+        let a = Tensor::from_vec(a_data, &[m, k]).unwrap();
+        let b = Tensor::from_vec(b_data, &[k, n]).unwrap();
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Dot product against self equals squared L2 norm.
+    #[test]
+    fn dot_self_is_norm_squared(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v, &[n]).unwrap();
+        let d = a.dot(&a).unwrap();
+        let norm2 = a.norm() * a.norm();
+        prop_assert!((d - norm2).abs() <= 1e-2 * d.abs().max(1.0));
+    }
+
+    /// Max-pool output elements always come from the input.
+    #[test]
+    fn maxpool_selects_input_elements(v in small_vec(32), window in 1usize..4, stride in 1usize..4) {
+        let n = v.len();
+        prop_assume!(window <= n);
+        let x = Tensor::from_vec(v.clone(), &[1, n, 1]).unwrap();
+        let (y, idx) = ops::conv::maxpool1d(&x, window, stride).unwrap();
+        for (o, &i) in y.as_slice().iter().zip(&idx) {
+            prop_assert_eq!(*o, v[i as usize]);
+        }
+    }
+
+    /// Conv output length follows the valid-padding formula.
+    #[test]
+    fn conv_output_length(n in 3usize..32, k in 1usize..4, stride in 1usize..3) {
+        prop_assume!(k <= n);
+        let x = Tensor::ones(&[1, n, 1]);
+        let w = Tensor::ones(&[k, 1, 1]);
+        let y = ops::conv::conv1d(&x, &w, stride).unwrap();
+        prop_assert_eq!(y.dims()[1], ops::conv::out_len(n, k, stride));
+    }
+
+    /// An all-ones kernel over all-ones input yields k everywhere.
+    #[test]
+    fn conv_ones_sums_window(n in 3usize..16, k in 1usize..4) {
+        prop_assume!(k <= n);
+        let x = Tensor::ones(&[1, n, 1]);
+        let w = Tensor::ones(&[k, 1, 1]);
+        let y = ops::conv::conv1d(&x, &w, 1).unwrap();
+        prop_assert!(y.as_slice().iter().all(|&v| (v - k as f32).abs() < 1e-6));
+    }
+
+    /// axpy with alpha = 0 is a no-op; alpha = 1 is add.
+    #[test]
+    fn axpy_degenerate_cases(v in small_vec(32)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v.clone(), &[n]).unwrap();
+        let b = Tensor::from_vec(v.iter().map(|x| x * 0.5).collect(), &[n]).unwrap();
+        let mut a0 = a.clone();
+        a0.axpy(0.0, &b).unwrap();
+        prop_assert_eq!(&a0, &a);
+        let mut a1 = a.clone();
+        a1.axpy(1.0, &b).unwrap();
+        prop_assert_eq!(a1, a.add(&b).unwrap());
+    }
+}

@@ -1,0 +1,89 @@
+//! CANDLE NT3 miniature: a 1-D convolutional classifier that labels
+//! RNA-seq-shaped profiles as normal vs tumor tissue (2 classes), trained
+//! with SGD like the original benchmark.
+
+use viper_dnn::{layers, Dataset, Model};
+
+/// NT3's class count (normal / tumor).
+pub const CLASSES: usize = 2;
+/// Profile length of the miniature (the real NT3 uses 60k features).
+pub const PROFILE_LEN: usize = 64;
+
+/// Build the miniature NT3 architecture: conv → pool → conv → pool →
+/// flatten → dense → dense, mirroring the paper's description of "multiple
+/// 1D convolutional layers interleaved with pooling layers followed by
+/// final dense layers".
+pub fn build_model(seed: u64) -> Model {
+    Model::new("nt3", seed)
+        .push(layers::Conv1D::with_seed(5, 1, 8, 1, seed ^ 0x1))
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Conv1D::with_seed(3, 8, 16, 1, seed ^ 0x2))
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Flatten::new())
+        .push(layers::Dense::with_seed(14 * 16, 32, seed ^ 0x3))
+        .push(layers::ReLU::new())
+        .push(layers::Dense::with_seed(32, CLASSES, seed ^ 0x4))
+}
+
+/// Synthetic train/test datasets shaped like NT3's 1120/280 split (scaled
+/// by `scale` to keep tests fast; `scale = 1.0` gives the paper's sizes).
+pub fn datasets(scale: f64, seed: u64) -> (Dataset, Dataset) {
+    let train_n = ((1120.0 * scale) as usize).max(CLASSES * 2);
+    let test_n = ((280.0 * scale) as usize).max(CLASSES);
+    let (xtr, ytr) = crate::synth::class_profiles(train_n, PROFILE_LEN, CLASSES, 0.15, seed);
+    let (xte, yte) = crate::synth::class_profiles(test_n, PROFILE_LEN, CLASSES, 0.15, seed ^ 0xff);
+    (
+        Dataset::new(xtr, ytr).expect("generator shapes agree"),
+        Dataset::new(xte, yte).expect("generator shapes agree"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viper_dnn::{losses, metrics, optimizers, FitConfig};
+
+    #[test]
+    fn model_shapes_compose() {
+        let mut m = build_model(1);
+        let (train, _) = datasets(0.02, 1);
+        let out = m.predict(train.x()).unwrap();
+        assert_eq!(out.dims(), &[train.len(), CLASSES]);
+    }
+
+    #[test]
+    fn miniature_learns_to_classify() {
+        let mut m = build_model(2);
+        let (train, test) = datasets(0.05, 2);
+        let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
+        let cfg = FitConfig { epochs: 25, batch_size: 8, shuffle: true };
+        let report =
+            m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        assert!(
+            report.epoch_losses.last().unwrap() < &0.3,
+            "final loss {}",
+            report.epoch_losses.last().unwrap()
+        );
+        let pred = m.predict(test.x()).unwrap();
+        let acc = metrics::accuracy(&pred, test.y()).unwrap();
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_accuracy() {
+        let mut m = build_model(3);
+        let (train, test) = datasets(0.03, 3);
+        let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
+        let cfg = FitConfig { epochs: 10, batch_size: 8, shuffle: true };
+        m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+
+        let mut replica = build_model(999);
+        replica.set_weights(&m.named_weights()).unwrap();
+        assert_eq!(
+            m.predict(test.x()).unwrap(),
+            replica.predict(test.x()).unwrap()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Paper-scale workload profiles.
+//!
+//! Sizes, epoch geometry, and timings come from the paper: model sizes from
+//! §5.3 (NT3.A 600 MB, NT3.B 1.7 GB, TC1 4.7 GB, PtychoNN 4.5 GB), dataset
+//! sizes from §5.2 (NT3 1120 train samples, TC1 4320, PtychoNN 16100),
+//! constant per-iteration timings from Fig. 6, and the experiment horizons
+//! from §5.4 (25k/50k/40k inferences with 7/16/13 epoch-boundary
+//! checkpoints respectively).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A paper-scale workload description for the simulator and benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Application name as used in the paper's figures.
+    pub name: &'static str,
+    /// Serialized checkpoint size in bytes.
+    pub model_bytes: u64,
+    /// Number of weight tensors in a checkpoint.
+    pub ntensors: usize,
+    /// Training time per iteration, seconds (constant, Fig. 6).
+    pub t_train: f64,
+    /// Inference time per request, seconds (constant, Fig. 6).
+    pub t_infer: f64,
+    /// Training iterations per epoch (dataset size / batch size).
+    pub iters_per_epoch: u64,
+    /// Warm-up epochs before the consumer starts serving.
+    pub warmup_epochs: u64,
+    /// Post-warm-up epochs covered by the experiment.
+    pub run_epochs: u64,
+    /// Inferences the consumer serves during the experiment.
+    pub total_infers: u64,
+    /// Ground-truth loss curve `a * exp(-b x) + c` over training iterations.
+    pub loss_a: f64,
+    /// Decay rate of the ground-truth curve.
+    pub loss_b: f64,
+    /// Asymptote of the ground-truth curve.
+    pub loss_c: f64,
+}
+
+impl WorkloadProfile {
+    /// CANDLE NT3 variant A — the 600 MB model used in Fig. 8a.
+    pub fn nt3_a() -> Self {
+        WorkloadProfile {
+            name: "NT3.A",
+            model_bytes: 600_000_000,
+            ntensors: 16,
+            t_train: 0.30,
+            t_infer: 0.005,
+            iters_per_epoch: 56, // 1120 samples / batch 20
+            warmup_epochs: 1,
+            run_epochs: 7,
+            total_infers: 25_000,
+            loss_a: 0.65,
+            loss_b: 0.012,
+            loss_c: 0.02,
+        }
+    }
+
+    /// CANDLE NT3 variant B — the 1.7 GB model used in Fig. 10a / Table 1.
+    pub fn nt3_b() -> Self {
+        WorkloadProfile {
+            name: "NT3.B",
+            model_bytes: 1_700_000_000,
+            ..Self::nt3_a()
+        }
+    }
+
+    /// CANDLE TC1 — 4.7 GB, 18 tumor classes, 216 iterations per epoch.
+    pub fn tc1() -> Self {
+        WorkloadProfile {
+            name: "TC1",
+            model_bytes: 4_700_000_000,
+            ntensors: 20,
+            t_train: 0.06,
+            t_infer: 0.005,
+            iters_per_epoch: 216, // 4320 samples / batch 20
+            warmup_epochs: 1,
+            run_epochs: 16,
+            total_infers: 50_000,
+            loss_a: 2.60, // ln(18) ≈ 2.89 at iteration 0
+            loss_b: 0.0025,
+            loss_c: 0.42,
+        }
+    }
+
+    /// PtychoNN — 4.5 GB, MAE loss, 40k inferences over 13 epochs.
+    pub fn ptychonn() -> Self {
+        WorkloadProfile {
+            name: "PtychoNN",
+            model_bytes: 4_500_000_000,
+            ntensors: 60,
+            t_train: 0.06,
+            t_infer: 0.005,
+            iters_per_epoch: 252, // 16100 samples / batch 64
+            warmup_epochs: 1,
+            run_epochs: 13,
+            total_infers: 40_000,
+            loss_a: 2.50,
+            loss_b: 0.002,
+            loss_c: 1.30,
+        }
+    }
+
+    /// The three schedule-experiment workloads of §5.4, in paper order.
+    pub fn fig10_lineup() -> [WorkloadProfile; 3] {
+        [Self::nt3_b(), Self::tc1(), Self::ptychonn()]
+    }
+
+    /// The three update-latency workloads of §5.3 (Fig. 8), in paper order.
+    pub fn fig8_lineup() -> [WorkloadProfile; 3] {
+        [Self::nt3_a(), Self::tc1(), Self::ptychonn()]
+    }
+
+    /// Iteration at which the warm-up ends (`s_iter`).
+    pub fn warmup_end(&self) -> u64 {
+        self.warmup_epochs * self.iters_per_epoch
+    }
+
+    /// Last training iteration of the experiment (`e_iter`).
+    pub fn run_end(&self) -> u64 {
+        (self.warmup_epochs + self.run_epochs) * self.iters_per_epoch
+    }
+
+    /// Ground-truth training loss at `iter` (Assumption 2 equates this with
+    /// inference loss).
+    pub fn loss_at(&self, iter: u64) -> f64 {
+        self.loss_a * (-self.loss_b * iter as f64).exp() + self.loss_c
+    }
+
+    /// A noisy warm-up loss trace (one value per iteration, multiplicative
+    /// jitter), as the Checkpoint Callback would observe it.
+    pub fn warmup_losses(&self, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..self.warmup_end())
+            .map(|i| {
+                let jitter = 1.0 + 0.02 * (rng.gen::<f64>() - 0.5);
+                self.loss_at(i) * jitter
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(WorkloadProfile::nt3_a().model_bytes, 600_000_000);
+        assert_eq!(WorkloadProfile::nt3_b().model_bytes, 1_700_000_000);
+        assert_eq!(WorkloadProfile::tc1().model_bytes, 4_700_000_000);
+        assert_eq!(WorkloadProfile::ptychonn().model_bytes, 4_500_000_000);
+    }
+
+    #[test]
+    fn tc1_epoch_geometry_matches_paper() {
+        let tc1 = WorkloadProfile::tc1();
+        // §5.3: "update interval at the epoch boundary (216 iterations)".
+        assert_eq!(tc1.iters_per_epoch, 216);
+        // §5.4 / Table 1: 16 epoch-boundary checkpoints.
+        assert_eq!(tc1.run_epochs, 16);
+        assert_eq!(tc1.total_infers, 50_000);
+    }
+
+    #[test]
+    fn baseline_checkpoint_counts_match_table1() {
+        assert_eq!(WorkloadProfile::nt3_b().run_epochs, 7);
+        assert_eq!(WorkloadProfile::tc1().run_epochs, 16);
+        assert_eq!(WorkloadProfile::ptychonn().run_epochs, 13);
+    }
+
+    #[test]
+    fn loss_curve_decreases_to_asymptote() {
+        for p in WorkloadProfile::fig10_lineup() {
+            assert!(p.loss_at(0) > p.loss_at(p.run_end()));
+            let late = p.loss_at(100 * p.run_end());
+            assert!((late - p.loss_c).abs() < 1e-3, "{}: {late}", p.name);
+        }
+    }
+
+    #[test]
+    fn warmup_trace_is_noisy_but_close() {
+        let tc1 = WorkloadProfile::tc1();
+        let trace = tc1.warmup_losses(1);
+        assert_eq!(trace.len(), 216);
+        for (i, &l) in trace.iter().enumerate() {
+            let truth = tc1.loss_at(i as u64);
+            assert!((l - truth).abs() / truth < 0.011, "iter {i}");
+        }
+        // Deterministic per seed.
+        assert_eq!(trace, tc1.warmup_losses(1));
+        assert_ne!(trace, tc1.warmup_losses(2));
+    }
+
+    #[test]
+    fn horizons_cover_training() {
+        // The inference horizon should be on the order of the training time,
+        // so checkpoints keep landing while inferences are served.
+        for p in WorkloadProfile::fig10_lineup() {
+            let train_time = (p.run_end() - p.warmup_end()) as f64 * p.t_train;
+            let infer_time = p.total_infers as f64 * p.t_infer;
+            let ratio = infer_time / train_time;
+            assert!((0.5..2.5).contains(&ratio), "{}: ratio {ratio}", p.name);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! 2-D PtychoNN miniature — the geometry of the real network.
+//!
+//! The actual PtychoNN consumes 2-D diffraction patterns and emits 2-D
+//! amplitude and phase images through a conv encoder and two deconv
+//! decoders. This miniature keeps the 2-D encoder (Conv2D/MaxPool2D) and
+//! folds the decoders into a dense head emitting the flattened
+//! `[amplitude | phase]` pair, like the 1-D variant in [`crate::ptychonn`].
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use viper_dnn::{layers, Dataset, Model};
+use viper_tensor::Tensor;
+
+/// Side length of the miniature's square patterns.
+pub const SIDE: usize = 12;
+
+/// Output width: flattened amplitude and phase images.
+pub const OUTPUT_LEN: usize = 2 * SIDE * SIDE;
+
+/// Build the 2-D miniature: Conv2D encoder → pool → dense decoder head.
+pub fn build_model(seed: u64) -> Model {
+    Model::new("ptychonn2d", seed)
+        .push(layers::Conv2D::with_seed(3, 3, 1, 8, (1, 1), seed ^ 0x31))
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool2D::new((2, 2), (2, 2)))
+        .push(layers::Flatten::new())
+        .push(layers::Dense::with_seed(5 * 5 * 8, 64, seed ^ 0x32))
+        .push(layers::ReLU::new())
+        .push(layers::Dense::with_seed(64, OUTPUT_LEN, seed ^ 0x33))
+}
+
+/// Generate `n` 2-D samples: smooth amplitude/phase images, input is the
+/// phase-less intensity `A(x,y)² + ε`.
+pub fn dataset(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n * SIDE * SIDE);
+    let mut y = Vec::with_capacity(n * OUTPUT_LEN);
+    for _ in 0..n {
+        let (fx, fy) = (rng.gen_range(0.3..0.9f32), rng.gen_range(0.3..0.9f32));
+        let (px, py) = (
+            rng.gen_range(0.0..std::f32::consts::TAU),
+            rng.gen_range(0.0..std::f32::consts::TAU),
+        );
+        let mut amp = Vec::with_capacity(SIDE * SIDE);
+        let mut phase = Vec::with_capacity(SIDE * SIDE);
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                let a = 0.6 + 0.4 * (fx * r as f32 + px).sin() * (fy * c as f32 + py).cos();
+                let ph = (fy * r as f32 + fx * c as f32 + px).sin();
+                amp.push(a);
+                phase.push(ph);
+                x.push(a * a + noise * (rng.gen::<f32>() - 0.5));
+            }
+        }
+        y.extend_from_slice(&amp);
+        y.extend_from_slice(&phase);
+    }
+    Dataset::new(
+        Tensor::from_vec(x, &[n, SIDE, SIDE, 1]).expect("generator length"),
+        Tensor::from_vec(y, &[n, OUTPUT_LEN]).expect("generator length"),
+    )
+    .expect("matching sample counts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viper_dnn::{losses, optimizers, FitConfig};
+
+    #[test]
+    fn shapes_compose() {
+        let mut m = build_model(1);
+        let data = dataset(4, 0.01, 1);
+        let out = m.predict(data.x()).unwrap();
+        assert_eq!(out.dims(), &[4, OUTPUT_LEN]);
+    }
+
+    #[test]
+    fn two_d_variant_learns() {
+        let mut m = build_model(8);
+        let data = dataset(96, 0.02, 8);
+        let mut opt = optimizers::Adam::new(0.003);
+        let cfg = FitConfig { epochs: 25, batch_size: 16, shuffle: true };
+        let report = m.fit(&data, &losses::Mae, &mut opt, &cfg, &mut []).unwrap();
+        let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
+        assert!(last < first * 0.75, "MAE {first} -> {last}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut m = build_model(9);
+        let data = dataset(8, 0.02, 9);
+        let mut replica = build_model(1000);
+        replica.set_weights(&m.named_weights()).unwrap();
+        assert_eq!(m.predict(data.x()).unwrap(), replica.predict(data.x()).unwrap());
+    }
+}

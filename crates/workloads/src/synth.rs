@@ -1,0 +1,156 @@
+//! Shared synthetic data generators.
+//!
+//! The real CANDLE RNA-seq matrices and APS diffraction scans are not
+//! redistributable; these generators produce data with the same shape and
+//! enough learnable structure that the miniature models genuinely converge
+//! (which the tests assert).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use viper_tensor::Tensor;
+
+/// Generate `n` class-structured 1-D profiles of length `len` across
+/// `classes` classes (one-hot targets).
+///
+/// Each class has a characteristic bump position and oscillation frequency
+/// on top of i.i.d. noise — loosely the role tissue-specific expression
+/// signatures play in the real RNA-seq data.
+pub fn class_profiles(
+    n: usize,
+    len: usize,
+    classes: usize,
+    noise: f32,
+    seed: u64,
+) -> (Tensor, Tensor) {
+    assert!(classes >= 2, "need at least two classes");
+    assert!(len >= classes, "profile length must cover class structure");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n * len);
+    let mut y = vec![0.0f32; n * classes];
+    for i in 0..n {
+        let class = i % classes;
+        y[i * classes + class] = 1.0;
+        let bump_center = (class * len) / classes + len / (2 * classes);
+        let freq = 0.5 + class as f32 * 0.35;
+        for t in 0..len {
+            let d = (t as f32 - bump_center as f32) / (len as f32 / classes as f32);
+            let bump = (-d * d).exp();
+            let wave = (freq * t as f32 * 0.3).sin() * 0.3;
+            x.push(bump + wave + noise * (rng.gen::<f32>() - 0.5));
+        }
+    }
+    (
+        Tensor::from_vec(x, &[n, len, 1]).expect("generator length"),
+        Tensor::from_vec(y, &[n, classes]).expect("generator length"),
+    )
+}
+
+/// Generate `n` ptychography-flavoured samples: the input is a phase-less
+/// intensity profile, the target is the concatenated (amplitude, phase)
+/// pair the network must reconstruct.
+///
+/// Targets: amplitude `A(t)` is a smooth positive signal; phase `φ(t)` a
+/// smooth signal in `[-1, 1]`. Input: `I(t) = A(t)² + ε`, mimicking the
+/// loss of phase information in a diffraction measurement.
+pub fn diffraction_pairs(n: usize, len: usize, noise: f32, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n * len);
+    let mut y = Vec::with_capacity(n * 2 * len);
+    for _ in 0..n {
+        let f1 = rng.gen_range(0.2..0.8f32);
+        let f2 = rng.gen_range(0.2..0.8f32);
+        let p1 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let p2 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let mut amp = Vec::with_capacity(len);
+        let mut phase = Vec::with_capacity(len);
+        for t in 0..len {
+            let a = 0.6 + 0.4 * (f1 * t as f32 + p1).sin();
+            let ph = (f2 * t as f32 + p2).sin();
+            amp.push(a);
+            phase.push(ph);
+            x.push(a * a + noise * (rng.gen::<f32>() - 0.5));
+        }
+        y.extend_from_slice(&amp);
+        y.extend_from_slice(&phase);
+    }
+    (
+        Tensor::from_vec(x, &[n, len, 1]).expect("generator length"),
+        Tensor::from_vec(y, &[n, 2 * len]).expect("generator length"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_profiles_shapes_and_onehot() {
+        let (x, y) = class_profiles(20, 32, 4, 0.1, 0);
+        assert_eq!(x.dims(), &[20, 32, 1]);
+        assert_eq!(y.dims(), &[20, 4]);
+        for r in 0..20 {
+            let row = &y.as_slice()[r * 4..(r + 1) * 4];
+            assert_eq!(row.iter().filter(|&&v| v == 1.0).count(), 1);
+            assert_eq!(row.iter().filter(|&&v| v == 0.0).count(), 3);
+        }
+    }
+
+    #[test]
+    fn class_profiles_balanced() {
+        let (_, y) = class_profiles(18, 36, 18, 0.0, 1);
+        // 18 samples over 18 classes: exactly one each.
+        for c in 0..18 {
+            let count: f32 = (0..18).map(|r| y.as_slice()[r * 18 + c]).sum();
+            assert_eq!(count, 1.0);
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Mean profiles of two classes must differ far more than the noise.
+        let (x, _) = class_profiles(40, 32, 2, 0.05, 2);
+        let xs = x.as_slice();
+        let mean = |class: usize| -> Vec<f32> {
+            let mut m = [0.0f32; 32];
+            let mut cnt = 0;
+            for i in (class..40).step_by(2) {
+                for t in 0..32 {
+                    m[t] += xs[i * 32 + t];
+                }
+                cnt += 1;
+            }
+            m.iter().map(|v| v / cnt as f32).collect()
+        };
+        let (m0, m1) = (mean(0), mean(1));
+        let gap: f32 = m0.iter().zip(&m1).map(|(a, b)| (a - b).abs()).sum::<f32>() / 32.0;
+        assert!(gap > 0.1, "class gap {gap}");
+    }
+
+    #[test]
+    fn diffraction_pairs_shapes() {
+        let (x, y) = diffraction_pairs(10, 16, 0.01, 3);
+        assert_eq!(x.dims(), &[10, 16, 1]);
+        assert_eq!(y.dims(), &[10, 32]);
+    }
+
+    #[test]
+    fn intensity_is_amplitude_squared() {
+        let (x, y) = diffraction_pairs(5, 16, 0.0, 4);
+        for i in 0..5 {
+            for t in 0..16 {
+                let intensity = x.as_slice()[i * 16 + t];
+                let amp = y.as_slice()[i * 32 + t];
+                assert!((intensity - amp * amp).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_deterministic_per_seed() {
+        let (a, _) = class_profiles(5, 16, 2, 0.1, 7);
+        let (b, _) = class_profiles(5, 16, 2, 0.1, 7);
+        assert_eq!(a, b);
+        let (c, _) = class_profiles(5, 16, 2, 0.1, 8);
+        assert_ne!(a, c);
+    }
+}

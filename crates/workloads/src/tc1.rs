@@ -1,0 +1,77 @@
+//! CANDLE TC1 miniature: like NT3 but classifying into 18 balanced tumor
+//! types, with the same conv/pool/dense skeleton and SGD optimizer.
+
+use viper_dnn::{layers, Dataset, Model};
+
+/// TC1's class count (18 tumor types).
+pub const CLASSES: usize = 18;
+/// Profile length of the miniature.
+pub const PROFILE_LEN: usize = 90;
+
+/// Build the miniature TC1 architecture (akin to NT3's, wider head for the
+/// 18-way output).
+pub fn build_model(seed: u64) -> Model {
+    Model::new("tc1", seed)
+        .push(layers::Conv1D::with_seed(5, 1, 12, 1, seed ^ 0x11))
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Conv1D::with_seed(3, 12, 24, 1, seed ^ 0x12))
+        .push(layers::ReLU::new())
+        .push(layers::MaxPool1D::new(2, 2))
+        .push(layers::Flatten::new())
+        .push(layers::Dense::with_seed(20 * 24, 64, seed ^ 0x13))
+        .push(layers::ReLU::new())
+        .push(layers::Dense::with_seed(64, CLASSES, seed ^ 0x14))
+}
+
+/// Synthetic train/test datasets shaped like TC1's 4320/1080 split (scaled
+/// by `scale`).
+pub fn datasets(scale: f64, seed: u64) -> (Dataset, Dataset) {
+    let train_n = ((4320.0 * scale) as usize).max(CLASSES * 2);
+    let test_n = ((1080.0 * scale) as usize).max(CLASSES);
+    let (xtr, ytr) = crate::synth::class_profiles(train_n, PROFILE_LEN, CLASSES, 0.1, seed);
+    let (xte, yte) = crate::synth::class_profiles(test_n, PROFILE_LEN, CLASSES, 0.1, seed ^ 0xff);
+    (
+        Dataset::new(xtr, ytr).expect("generator shapes agree"),
+        Dataset::new(xte, yte).expect("generator shapes agree"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viper_dnn::{losses, metrics, optimizers, FitConfig};
+
+    #[test]
+    fn output_is_18_way() {
+        let mut m = build_model(1);
+        let (train, _) = datasets(0.01, 1);
+        let out = m.predict(train.x()).unwrap();
+        assert_eq!(out.dims()[1], 18);
+    }
+
+    #[test]
+    fn learns_18_class_problem_better_than_chance() {
+        let mut m = build_model(4);
+        let (train, test) = datasets(0.05, 4);
+        let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
+        let cfg = FitConfig { epochs: 30, batch_size: 16, shuffle: true };
+        let report =
+            m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        // Starts near ln(18) ≈ 2.89 and must drop substantially.
+        assert!(report.epoch_losses[0] > 2.0);
+        assert!(report.epoch_losses.last().unwrap() < &1.0);
+        let pred = m.predict(test.x()).unwrap();
+        let acc = metrics::accuracy(&pred, test.y()).unwrap();
+        assert!(acc > 0.5, "test accuracy {acc} (chance = 0.056)");
+    }
+
+    #[test]
+    fn initial_loss_near_log_classes() {
+        let mut m = build_model(5);
+        let (train, _) = datasets(0.02, 5);
+        let loss =
+            m.evaluate(&train, &losses::SoftmaxCrossEntropy, 32).unwrap();
+        assert!((loss - (CLASSES as f64).ln()).abs() < 0.5, "initial loss {loss}");
+    }
+}

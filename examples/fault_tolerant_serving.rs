@@ -1,0 +1,89 @@
+//! Fault-tolerant serving: the §4.4 story end-to-end.
+//!
+//! A producer trains with background PFS flushing onto a *disk-backed* PFS
+//! directory. The whole deployment then "crashes" (is dropped). A fresh
+//! deployment over the same directory rebuilds its catalog from the
+//! surviving files and a new consumer recovers the newest checkpoint —
+//! then live updates resume on top.
+//!
+//! Run with: `cargo run --release --example fault_tolerant_serving`
+
+use std::sync::Arc;
+use std::time::Duration;
+use viper::{CheckpointCallback, SchedulePolicy, Viper, ViperConfig};
+use viper_dnn::{losses, optimizers, FitConfig};
+use viper_formats::Checkpoint;
+use viper_hw::{CaptureMode, Route, Tier};
+
+fn main() {
+    let pfs_dir = std::env::temp_dir().join("viper-example-pfs");
+    let _ = std::fs::remove_dir_all(&pfs_dir);
+    let mk_config = || {
+        let mut c = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Async);
+        c.flush_to_pfs = true;
+        c.pfs_dir = Some(pfs_dir.clone());
+        c
+    };
+
+    // ---- Epoch 1: train, serve, flush ----------------------------------
+    {
+        let viper = Viper::new(mk_config());
+        let producer = Arc::new(viper.producer("train-node"));
+        let consumer = viper.consumer("serve-node", "nt3");
+
+        let mut model = viper_workloads::nt3::build_model(3);
+        let (train, _) = viper_workloads::nt3::datasets(0.02, 3);
+        let mut callback =
+            CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::EveryN(3));
+        let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
+        let cfg = FitConfig { epochs: 3, batch_size: 8, shuffle: true };
+        model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback]).unwrap();
+
+        // Wait for the background flusher to make everything durable.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while viper.metadata().history("nt3").iter().any(|r| r.location != Tier::Pfs.name()) {
+            assert!(std::time::Instant::now() < deadline, "flush stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let served = consumer.wait_for_model(Duration::from_secs(10)).unwrap();
+        println!(
+            "before crash: consumer serves iteration {}, {} versions durable on {:?}",
+            served.iteration,
+            viper.metadata().history("nt3").len(),
+            pfs_dir
+        );
+        // Everything is dropped here: metadata, broker, tiers, clock.
+    }
+
+    // ---- Crash + cold restart ------------------------------------------
+    let reborn = Viper::new(mk_config());
+    let recovered = reborn.recover_catalog();
+    println!("after restart: recovered {recovered} checkpoints from disk");
+
+    let consumer = reborn.consumer("serve-node-2", "nt3");
+    let model = consumer.recover().unwrap();
+    println!(
+        "new consumer recovered iteration {} (version {})",
+        model.iteration,
+        consumer.last_update().unwrap().version
+    );
+
+    // ---- Live updates resume on top of the recovered state -------------
+    let producer = reborn.producer("train-node-2");
+    let next_iter = model.iteration + 10;
+    producer
+        .save_weights(&Checkpoint::new("nt3", next_iter, model.tensors.clone()))
+        .unwrap();
+    // The first load_weights call returns the already-installed (recovered)
+    // model; keep loading until the new version lands.
+    let fresh = loop {
+        let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+        if got.iteration == next_iter {
+            break got;
+        }
+    };
+    println!("live updates resumed: now serving iteration {}", fresh.iteration);
+
+    let _ = std::fs::remove_dir_all(&pfs_dir);
+    println!("done");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: wire a producer and a consumer together, push a model
+//! update, and watch the consumer swap it in.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+use viper::{Viper, ViperConfig};
+use viper_formats::Checkpoint;
+use viper_tensor::Tensor;
+
+fn main() {
+    // A deployment with the default memory-first strategy (GPU-to-GPU,
+    // asynchronous capture) on a Polaris-like machine profile.
+    let viper = Viper::new(ViperConfig::default());
+    let producer = viper.producer("training-node");
+    let consumer = viper.consumer("inference-node", "demo-model");
+
+    // The producer trains... and periodically saves the model.
+    for iteration in [10u64, 20, 30] {
+        let weights = vec![
+            ("dense/kernel".to_string(), Tensor::full(&[64, 32], iteration as f32)),
+            ("dense/bias".to_string(), Tensor::zeros(&[32])),
+        ];
+        let ckpt = Checkpoint::new("demo-model", iteration, weights);
+        let receipt = producer.save_weights(&ckpt).unwrap();
+        println!(
+            "saved v{} at iteration {iteration}: {} bytes, training stalled {:?}",
+            receipt.version, receipt.bytes, receipt.stall
+        );
+
+        // The consumer is push-notified and loads the update.
+        let loaded = consumer.load_weights(Duration::from_secs(5)).unwrap();
+        println!(
+            "consumer now serves iteration {} ({} tensors)",
+            loaded.iteration,
+            loaded.ntensors()
+        );
+    }
+
+    let info = consumer.last_update().unwrap();
+    println!(
+        "final state: version {} at virtual time {:.3}s after {} swaps",
+        info.version,
+        info.swapped_at.as_secs_f64(),
+        consumer.updates_applied()
+    );
+}

@@ -1,0 +1,306 @@
+//! Failure injection: corrupted payloads, exhausted staging tiers, and
+//! timeout paths must degrade gracefully — serving never crashes and
+//! training continues.
+
+use std::sync::Arc;
+use std::time::Duration;
+use viper::{CheckpointCallback, SchedulePolicy, Viper, ViperConfig, ViperError};
+use viper_dnn::{losses, optimizers, FitConfig};
+use viper_formats::Checkpoint;
+use viper_hw::{CaptureMode, Route, Tier};
+use viper_net::LinkKind;
+use viper_tensor::Tensor;
+
+fn ckpt(iter: u64) -> Checkpoint {
+    Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[100], iter as f32))])
+}
+
+#[test]
+fn stale_replay_never_regresses_serving() {
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    producer.save_weights(&ckpt(5)).unwrap();
+    consumer.load_weights(Duration::from_secs(10)).unwrap();
+    assert_eq!(consumer.current_iteration(), Some(5));
+
+    // Stale replay: saving an older iteration creates a new metadata
+    // version, but the slot rejects models whose iteration regresses.
+    producer.save_weights(&ckpt(3)).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(consumer.current_iteration(), Some(5), "stale model must not regress serving");
+    // Forward progress still works afterwards.
+    producer.save_weights(&ckpt(8)).unwrap();
+    let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+    assert_eq!(got.iteration, 8);
+}
+
+#[test]
+fn poisoned_pfs_object_is_skipped_not_fatal() {
+    // The PFS route pulls from shared storage, so corruption there is the
+    // realistic attack/fault surface. The CRC check must reject it and the
+    // consumer must keep serving until a healthy version arrives.
+    let mut config = ViperConfig::default().with_strategy(Route::PfsStaging, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+    producer.save_weights(&ckpt(1)).unwrap();
+    consumer.load_weights(Duration::from_secs(10)).unwrap();
+
+    // Poison a fake "version 2" object, record it, and announce it so the
+    // consumer actually attempts the (failing) decode.
+    let garbage = Arc::new(vec![0xFFu8; 64]);
+    viper.pfs().put_uncharged("m/v2", garbage, 1).unwrap();
+    let fake =
+        viper_metastore::ModelRecord::new("m", 64, 1, Tier::Pfs.name(), "m/v2").at_iteration(99);
+    let version = viper.metadata().put(fake.clone());
+    let mut fake = fake;
+    fake.version = version;
+    assert!(viper.announce(fake) >= 1);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(consumer.current_iteration(), Some(1), "poisoned object must not install");
+
+    // The next real save must still install (decode failure of the poisoned
+    // object is skipped silently).
+    producer.save_weights(&ckpt(7)).unwrap();
+    let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+    assert_eq!(got.iteration, 7);
+    assert_eq!(consumer.current_iteration(), Some(7));
+}
+
+#[test]
+fn staging_tier_capacity_exhaustion_fails_save_but_not_training() {
+    // Shrink GPU memory so the checkpoint cannot be cached, and disable the
+    // Transfer Selector's fallback so the failure path is exercised.
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    config.tier_fallback = false;
+    for tier in &mut config.profile.tiers {
+        if tier.tier == Tier::GpuMem {
+            tier.capacity = 64; // bytes — nothing fits
+        }
+    }
+    let viper = Viper::new(config);
+    let producer = Arc::new(viper.producer("p"));
+    let _consumer = viper.consumer("c", "nt3");
+
+    let err = producer.save_weights(&ckpt(1)).unwrap_err();
+    assert!(matches!(err, ViperError::Storage(_)), "{err}");
+
+    // Through the callback: failures are counted, training continues.
+    let mut model = viper_workloads::nt3::build_model(9);
+    let (train, _) = viper_workloads::nt3::datasets(0.02, 9);
+    let mut callback = CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::EveryN(2));
+    let mut opt = optimizers::Sgd::new(0.01);
+    let cfg = FitConfig { epochs: 1, batch_size: 8, shuffle: false };
+    let report = model
+        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback])
+        .unwrap();
+    assert!(report.iterations > 0, "training survived checkpoint failures");
+    assert!(callback.failures() > 0);
+    assert_eq!(callback.receipts().lock().len(), 0);
+}
+
+#[test]
+fn transfer_selector_falls_back_when_gpu_memory_full() {
+    // Same memory pressure, but with the (default) fallback on: the save
+    // must succeed via the host route and the consumer must still get it.
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    for tier in &mut config.profile.tiers {
+        if tier.tier == Tier::GpuMem {
+            tier.capacity = 64;
+        }
+    }
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    producer.save_weights(&ckpt(1)).unwrap();
+    let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+    assert_eq!(got.iteration, 1);
+    // The checkpoint was staged on host memory, not GPU memory.
+    assert_eq!(viper.metadata().latest("m").unwrap().location, Tier::HostMem.name());
+    assert_eq!(producer.gpu_tier().object_count(), 0);
+    assert_eq!(producer.host_tier().object_count(), 1);
+}
+
+#[test]
+fn transfer_selector_falls_back_to_pfs_when_all_memory_full() {
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    for tier in &mut config.profile.tiers {
+        if matches!(tier.tier, Tier::GpuMem | Tier::HostMem) {
+            tier.capacity = 64;
+        }
+    }
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    producer.save_weights(&ckpt(2)).unwrap();
+    let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+    assert_eq!(got.iteration, 2);
+    assert_eq!(viper.metadata().latest("m").unwrap().location, Tier::Pfs.name());
+}
+
+#[test]
+fn consumer_recovers_latest_durable_version_after_restart() {
+    // Producer flushes history to the PFS; a consumer that starts later
+    // (e.g. after a crash) recovers the newest durable version without
+    // waiting for the next push.
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = true;
+    let viper = Viper::new(config);
+    {
+        let producer = viper.producer("p");
+        let consumer = viper.consumer("c", "m");
+        for i in 1..=3 {
+            producer.save_weights(&ckpt(i * 10)).unwrap();
+            consumer.load_weights(Duration::from_secs(10)).unwrap();
+        }
+        // Wait until the background flusher has made version 3 durable.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while viper.metadata().get("m", 3).map(|r| r.location) != Some(Tier::Pfs.name().into()) {
+            assert!(std::time::Instant::now() < deadline, "flush never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Producer and consumer both "crash" here (dropped).
+    }
+
+    let restarted = viper.consumer("c2", "m");
+    assert!(restarted.current().is_none());
+    let recovered = restarted.recover().unwrap();
+    assert_eq!(recovered.iteration, 30);
+    assert_eq!(restarted.current_iteration(), Some(30));
+}
+
+#[test]
+fn full_restart_recovers_from_disk_backed_pfs() {
+    // The strongest fault-tolerance story: the entire deployment (clock,
+    // metadata DB, broker, tiers) dies; only the disk-backed PFS files
+    // survive. A fresh deployment rebuilds the catalog and a fresh
+    // consumer recovers the newest checkpoint.
+    let dir = std::env::temp_dir().join(format!("viper-restart-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mk_config = || {
+        let mut c = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+        c.flush_to_pfs = true;
+        c.pfs_dir = Some(dir.clone());
+        c
+    };
+
+    {
+        let viper = Viper::new(mk_config());
+        let producer = viper.producer("p");
+        let consumer = viper.consumer("c", "m");
+        for i in [10, 20, 30] {
+            producer.save_weights(&ckpt(i)).unwrap();
+            consumer.load_weights(Duration::from_secs(10)).unwrap();
+        }
+        // Wait for the background flusher to make all versions durable.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while viper
+            .metadata()
+            .history("m")
+            .iter()
+            .any(|r| r.location != Tier::Pfs.name())
+        {
+            assert!(std::time::Instant::now() < deadline, "flush never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Whole deployment dropped here — "the machine goes down".
+    }
+
+    let reborn = Viper::new(mk_config());
+    assert!(reborn.metadata().latest("m").is_none(), "metadata did not survive (by design)");
+    let recovered = reborn.recover_catalog();
+    assert_eq!(recovered, 3, "all three durable checkpoints re-registered");
+    let history = reborn.metadata().history("m");
+    assert_eq!(history.iter().map(|r| r.iteration).collect::<Vec<_>>(), vec![10, 20, 30]);
+
+    let consumer = reborn.consumer("c2", "m");
+    let model = consumer.recover().unwrap();
+    assert_eq!(model.iteration, 30);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_with_no_durable_copy_errors() {
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false; // nothing ever reaches the PFS
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    producer.save_weights(&ckpt(1)).unwrap();
+
+    let consumer = viper.consumer("c2", "m");
+    // History exists but no record lives on the PFS.
+    let err = consumer.recover().unwrap_err();
+    assert!(matches!(err, ViperError::UnknownModel(_)), "{err}");
+    // And a model that never existed at all:
+    let ghost = viper.consumer("c3", "ghost");
+    assert!(matches!(ghost.recover().unwrap_err(), ViperError::UnknownModel(_)));
+}
+
+#[test]
+fn load_weights_times_out_cleanly_when_nothing_arrives() {
+    let viper = Viper::new(ViperConfig::default());
+    let consumer = viper.consumer("c", "never-saved");
+    let start = std::time::Instant::now();
+    let err = consumer.load_weights(Duration::from_millis(100)).unwrap_err();
+    assert!(matches!(err, ViperError::Timeout { .. }));
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(consumer.current().is_none());
+}
+
+#[test]
+fn consumer_drop_mid_stream_does_not_poison_producer() {
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Async);
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    {
+        let consumer = viper.consumer("c", "m");
+        producer.save_weights(&ckpt(1)).unwrap();
+        let _ = consumer.load_weights(Duration::from_secs(10));
+        // consumer drops here, deregistering from the fabric
+    }
+    // Saving after the consumer vanished must still succeed.
+    for i in 2..=5 {
+        producer.save_weights(&ckpt(i)).unwrap();
+    }
+    assert_eq!(viper.metadata().latest("m").unwrap().version, 5);
+
+    // And a late-joining consumer picks up subsequent updates. (It may
+    // first catch async deliveries still in flight from earlier saves, so
+    // wait until it converges on the newest iteration.)
+    let late = viper.consumer("c2", "m");
+    producer.save_weights(&ckpt(6)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while late.current_iteration() != Some(6) {
+        assert!(std::time::Instant::now() < deadline, "late consumer never converged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn fabric_link_kinds_price_consistently_under_failure_free_path() {
+    // Sanity guard used by the failure tests above: the decode-reject path
+    // relies on CRC detection, which the formats crate proptests cover;
+    // here we double-check one corrupt frame end-to-end at the format level.
+    let format = viper::FormatKind::Viper.build();
+    let good = format.encode(&ckpt(1));
+    let mut bad = good.clone();
+    let n = bad.len();
+    bad[n / 3] ^= 0x55;
+    assert!(format.decode(&bad).is_err());
+    // LinkKind is exercised for completeness.
+    let p = viper_hw::MachineProfile::polaris();
+    assert!(LinkKind::GpuDirect.transfer_time(&p, 1 << 30) > Duration::ZERO);
+}

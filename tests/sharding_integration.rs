@@ -1,0 +1,143 @@
+//! Multi-producer / multi-consumer patterns (the paper's §6 future work):
+//! data-parallel producers publishing to the same model name, and a
+//! tensor-parallel producer pushing shards that a consumer-side assembler
+//! reconstructs.
+
+use std::time::Duration;
+use viper::shard::{self, ShardAssembler};
+use viper::{Viper, ViperConfig};
+use viper_formats::Checkpoint;
+use viper_hw::{CaptureMode, Route};
+use viper_tensor::Tensor;
+
+fn big_ckpt(iter: u64) -> Checkpoint {
+    Checkpoint::new(
+        "llm",
+        iter,
+        vec![
+            ("embed/kernel".into(), Tensor::full(&[4000], iter as f32)),
+            ("block0/kernel".into(), Tensor::full(&[3000], 1.0)),
+            ("block1/kernel".into(), Tensor::full(&[3000], 2.0)),
+            ("head/kernel".into(), Tensor::full(&[2000], 3.0)),
+            ("head/bias".into(), Tensor::full(&[100], 4.0)),
+        ],
+    )
+}
+
+fn deployment() -> Viper {
+    let mut config = ViperConfig::default().with_strategy(Route::GpuToGpu, CaptureMode::Sync);
+    config.flush_to_pfs = false;
+    Viper::new(config)
+}
+
+#[test]
+fn data_parallel_producers_interleave_versions() {
+    // Two data-parallel trainers checkpoint replicas of the same model;
+    // the consumer always converges on the newest iteration.
+    let viper = deployment();
+    let p0 = viper.producer("rank0");
+    let p1 = viper.producer("rank1");
+    let consumer = viper.consumer("serving", "m");
+
+    let mk = |iter: u64| Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[64], iter as f32))]);
+    p0.save_weights(&mk(10)).unwrap();
+    consumer.load_weights(Duration::from_secs(10)).unwrap();
+    p1.save_weights(&mk(20)).unwrap();
+    consumer.load_weights(Duration::from_secs(10)).unwrap();
+    p0.save_weights(&mk(30)).unwrap();
+    let last = consumer.load_weights(Duration::from_secs(10)).unwrap();
+
+    assert_eq!(last.iteration, 30);
+    // Versions are globally ordered across producers.
+    let history = viper.metadata().history("m");
+    assert_eq!(history.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
+    assert_eq!(history.iter().map(|r| r.iteration).collect::<Vec<_>>(), vec![10, 20, 30]);
+}
+
+#[test]
+fn concurrent_data_parallel_saves_are_serializable() {
+    let viper = deployment();
+    let consumer = viper.consumer("serving", "m");
+    std::thread::scope(|s| {
+        for rank in 0..4u64 {
+            let viper = viper.clone();
+            s.spawn(move || {
+                let p = viper.producer(&format!("rank{rank}"));
+                for k in 0..5u64 {
+                    let iter = rank * 5 + k + 1;
+                    let ckpt = Checkpoint::new(
+                        "m",
+                        iter,
+                        vec![("w".into(), Tensor::full(&[16], iter as f32))],
+                    );
+                    p.save_weights(&ckpt).unwrap();
+                }
+            });
+        }
+    });
+    // 20 saves -> 20 versions, no gaps, no duplicates (keep_versions is 16,
+    // so the newest 16 remain).
+    let history = viper.metadata().history("m");
+    let versions: Vec<u64> = history.iter().map(|r| r.version).collect();
+    assert_eq!(versions, (5..=20).collect::<Vec<u64>>());
+    let _ = consumer; // consumer kept alive throughout the stampede
+}
+
+#[test]
+fn sharded_checkpoint_travels_and_reassembles() {
+    let viper = deployment();
+    let producer = viper.producer("tp-rank0");
+    let num_shards = 3;
+
+    // One consumer per shard stream (parallel inference replicas each
+    // pulling their slice), plus an assembler for the full model.
+    let full = big_ckpt(100);
+    let shards = shard::split(&full, num_shards);
+    let consumers: Vec<_> = (0..num_shards)
+        .map(|i| viper.consumer(&format!("infer{i}"), &shard::shard_name("llm", i, num_shards)))
+        .collect();
+
+    for s in &shards {
+        producer.save_weights(s).unwrap();
+    }
+
+    let mut assembler = ShardAssembler::new("llm", num_shards);
+    let mut rebuilt = None;
+    for c in &consumers {
+        let got = c.load_weights(Duration::from_secs(10)).unwrap();
+        if let Some(done) = assembler.offer((*got).clone()) {
+            rebuilt = Some(done);
+        }
+    }
+    let rebuilt = rebuilt.expect("all shards arrived");
+    assert_eq!(rebuilt.iteration, 100);
+    assert_eq!(rebuilt.ntensors(), full.ntensors());
+    for (name, tensor) in &full.tensors {
+        assert_eq!(rebuilt.tensor(name), Some(tensor), "{name}");
+    }
+}
+
+#[test]
+fn sharded_stream_across_iterations_yields_newest_model() {
+    let viper = deployment();
+    let producer = viper.producer("tp-rank0");
+    let num_shards = 2;
+    let consumers: Vec<_> = (0..num_shards)
+        .map(|i| viper.consumer(&format!("infer{i}"), &shard::shard_name("llm", i, num_shards)))
+        .collect();
+
+    let mut assembler = ShardAssembler::new("llm", num_shards);
+    let mut completed = Vec::new();
+    for iter in [10u64, 20, 30] {
+        for s in shard::split(&big_ckpt(iter), num_shards) {
+            producer.save_weights(&s).unwrap();
+        }
+        for c in &consumers {
+            let got = c.load_weights(Duration::from_secs(10)).unwrap();
+            if let Some(done) = assembler.offer((*got).clone()) {
+                completed.push(done.iteration);
+            }
+        }
+    }
+    assert_eq!(completed, vec![10, 20, 30]);
+}
