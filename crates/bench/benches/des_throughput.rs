@@ -11,10 +11,15 @@ use viper_workloads::WorkloadProfile;
 fn bench_des(c: &mut Criterion) {
     let w = WorkloadProfile::tc1();
     let profile = MachineProfile::polaris();
-    let strategy = TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async };
+    let strategy = TransferStrategy {
+        route: Route::GpuToGpu,
+        mode: CaptureMode::Async,
+    };
     let costs = price_update(&profile, strategy, w.model_bytes, w.ntensors, 1.0);
     let s = w.warmup_end();
-    let schedule: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let schedule: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let cfg = SimConfig {
         t_train: w.t_train,
         t_infer: w.t_infer,

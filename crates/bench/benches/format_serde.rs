@@ -11,7 +11,12 @@ fn sample(elems: usize) -> Checkpoint {
         "bench",
         100,
         (0..8)
-            .map(|i| (format!("layer{i}/kernel"), Tensor::full(&[elems / 8], i as f32)))
+            .map(|i| {
+                (
+                    format!("layer{i}/kernel"),
+                    Tensor::full(&[elems / 8], i as f32),
+                )
+            })
             .collect(),
     )
 }

@@ -31,9 +31,11 @@ fn bench_engine(c: &mut Criterion) {
         ("host_sync", Route::HostToHost, CaptureMode::Sync),
         ("pfs", Route::PfsStaging, CaptureMode::Sync),
     ] {
-        group.bench_with_input(BenchmarkId::new("route", label), &(route, mode), |b, &(r, m)| {
-            b.iter(|| roundtrip(r, m, 50_000))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("route", label),
+            &(route, mode),
+            |b, &(r, m)| b.iter(|| roundtrip(r, m, 50_000)),
+        );
     }
     group.finish();
 }

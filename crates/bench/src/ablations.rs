@@ -36,7 +36,9 @@ pub fn notify_vs_poll() -> Vec<(String, f64, f64)> {
     let profile = MachineProfile::polaris();
     let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
     let s = w.warmup_end();
-    let sched: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let sched: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let mk = |discovery| SimConfig {
         t_train: w.t_train,
         t_infer: w.t_infer,
@@ -49,7 +51,11 @@ pub fn notify_vs_poll() -> Vec<(String, f64, f64)> {
     };
     let mut rows = Vec::new();
     let push = simulate(&mk(Discovery::Push), &|i| w.loss_at(i));
-    rows.push(("push (<1 ms)".to_string(), push.mean_update_latency, push.cil));
+    rows.push((
+        "push (<1 ms)".to_string(),
+        push.mean_update_latency,
+        push.cil,
+    ));
     for interval in [0.001, 0.1, 1.0, 5.0] {
         let r = simulate(&mk(Discovery::Poll { interval }), &|i| w.loss_at(i));
         rows.push((format!("poll {interval}s"), r.mean_update_latency, r.cil));
@@ -61,12 +67,21 @@ pub fn notify_vs_poll() -> Vec<(String, f64, f64)> {
 pub fn format_overhead() -> Vec<(String, f64, f64)> {
     let profile = MachineProfile::polaris();
     let w = WorkloadProfile::tc1();
-    let strategy = TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync };
+    let strategy = TransferStrategy {
+        route: Route::PfsStaging,
+        mode: CaptureMode::Sync,
+    };
     [&ViperFormat as &dyn CheckpointFormat, &H5Lite]
         .into_iter()
         .map(|f| {
             let bytes = f.encoded_size(w.model_bytes, w.ntensors);
-            let costs = price_update(&profile, strategy, bytes, w.ntensors, f.metadata_ops_factor());
+            let costs = price_update(
+                &profile,
+                strategy,
+                bytes,
+                w.ntensors,
+                f.metadata_ops_factor(),
+            );
             (
                 f.name().to_string(),
                 bytes as f64 / 1e9,
@@ -120,7 +135,9 @@ pub fn producer_scaling() -> Vec<(usize, f64, f64)> {
     let profile = MachineProfile::polaris();
     let costs = price_update(&profile, crate::gpu_async(), w.model_bytes, w.ntensors, 1.0);
     let s = w.warmup_end();
-    let schedule: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let schedule: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     [1usize, 2, 4, 8]
         .into_iter()
         .map(|ranks| {
@@ -175,7 +192,9 @@ pub fn scheduler_comparison() -> Vec<(String, usize, f64)> {
         simulate(&cfg, &|i| w.loss_at(i)).cil
     };
 
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let fixed = schedule::fixed_interval(&tlp, &params, s, e, w.total_infers);
     let greedy = schedule::greedy(
         &tlp,
@@ -189,9 +208,21 @@ pub fn scheduler_comparison() -> Vec<(String, usize, f64)> {
 
     vec![
         ("epoch-baseline".to_string(), baseline.len(), sim(&baseline)),
-        ("ipp-fixed".to_string(), fixed.num_checkpoints(), sim(&fixed.checkpoints)),
-        ("ipp-greedy".to_string(), greedy.num_checkpoints(), sim(&greedy.checkpoints)),
-        ("checkfreq-style (1%)".to_string(), checkfreq.num_checkpoints(), sim(&checkfreq.checkpoints)),
+        (
+            "ipp-fixed".to_string(),
+            fixed.num_checkpoints(),
+            sim(&fixed.checkpoints),
+        ),
+        (
+            "ipp-greedy".to_string(),
+            greedy.num_checkpoints(),
+            sim(&greedy.checkpoints),
+        ),
+        (
+            "checkfreq-style (1%)".to_string(),
+            checkfreq.num_checkpoints(),
+            sim(&checkfreq.checkpoints),
+        ),
     ]
 }
 
@@ -218,11 +249,31 @@ pub fn delta_savings() -> (u64, u64, f64) {
         .push(layers::Dense::with_seed(32, 2, 4));
     let (train, _) = viper_workloads::nt3::datasets(0.03, 5);
     let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-    let cfg = FitConfig { epochs: 1, batch_size: 8, shuffle: true };
+    let cfg = FitConfig {
+        epochs: 1,
+        batch_size: 8,
+        shuffle: true,
+    };
 
-    model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+    model
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [],
+        )
+        .unwrap();
     let base = viper_formats::Checkpoint::new("nt3-ft", model.iteration(), model.named_weights());
-    model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+    model
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [],
+        )
+        .unwrap();
     let next = viper_formats::Checkpoint::new("nt3-ft", model.iteration(), model.named_weights());
 
     let full = ViperFormat.encode(&next).len() as u64;
@@ -256,21 +307,30 @@ pub fn render_all() -> String {
         .into_iter()
         .map(|(l, stall, lat)| vec![l, format!("{stall:.3}"), format!("{lat:.3}")])
         .collect();
-    out.push_str(&crate::markdown_table(&["strategy", "producer stall (s)", "update latency (s)"], &rows));
+    out.push_str(&crate::markdown_table(
+        &["strategy", "producer stall (s)", "update latency (s)"],
+        &rows,
+    ));
 
     out.push_str("\n### Push notification vs polling (TC1, epoch schedule)\n\n");
     let rows: Vec<Vec<String>> = notify_vs_poll()
         .into_iter()
         .map(|(l, lat, cil)| vec![l, format!("{lat:.3}"), format!("{cil:.0}")])
         .collect();
-    out.push_str(&crate::markdown_table(&["discovery", "mean update latency (s)", "CIL"], &rows));
+    out.push_str(&crate::markdown_table(
+        &["discovery", "mean update latency (s)", "CIL"],
+        &rows,
+    ));
 
     out.push_str("\n### Checkpoint format overhead on the PFS (TC1)\n\n");
     let rows: Vec<Vec<String>> = format_overhead()
         .into_iter()
         .map(|(f, gb, lat)| vec![f, format!("{gb:.2}"), format!("{lat:.2}")])
         .collect();
-    out.push_str(&crate::markdown_table(&["format", "encoded size (GB)", "update latency (s)"], &rows));
+    out.push_str(&crate::markdown_table(
+        &["format", "encoded size (GB)", "update latency (s)"],
+        &rows,
+    ));
 
     out.push_str("\n### Greedy threshold sensitivity (TC1)\n\n");
     let rows: Vec<Vec<String>> = threshold_sensitivity()
@@ -287,7 +347,10 @@ pub fn render_all() -> String {
         .into_iter()
         .map(|(l, n, cil)| vec![l, n.to_string(), format!("{cil:.0}")])
         .collect();
-    out.push_str(&crate::markdown_table(&["scheduler", "#checkpoints", "simulated CIL"], &rows));
+    out.push_str(&crate::markdown_table(
+        &["scheduler", "#checkpoints", "simulated CIL"],
+        &rows,
+    ));
 
     out.push_str("\n### Incremental (delta) checkpointing (NT3 fine-tune, frozen backbone)\n\n");
     let (full, delta, frac) = delta_savings();
@@ -308,7 +371,10 @@ pub fn render_all() -> String {
         .into_iter()
         .map(|(load, t)| vec![load.to_string(), format!("{t:.2}")])
         .collect();
-    out.push_str(&crate::markdown_table(&["concurrent writers", "write time (s)"], &rows));
+    out.push_str(&crate::markdown_table(
+        &["concurrent writers", "write time (s)"],
+        &rows,
+    ));
 
     out.push_str("\n### Data-parallel producer scaling (sharded capture, TC1)\n\n");
     let rows: Vec<Vec<String>> = producer_scaling()
@@ -361,7 +427,10 @@ mod tests {
     fn producer_scaling_amortizes_overhead() {
         let rows = producer_scaling();
         for pair in rows.windows(2) {
-            assert!(pair[1].1 < pair[0].1, "per-rank overhead must shrink: {rows:?}");
+            assert!(
+                pair[1].1 < pair[0].1,
+                "per-rank overhead must shrink: {rows:?}"
+            );
             assert!(pair[1].2 <= pair[0].2 + 1e-6, "CIL must not grow: {rows:?}");
         }
         // Halving is exact under sharded capture.

@@ -63,7 +63,9 @@ pub fn run_workload(w: &WorkloadProfile, seed: u64) -> Vec<ScheduleRow> {
     let tlp = fit::fit_best(&warmup);
     let (s, e) = (w.warmup_end(), w.run_end());
 
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let fixed = schedule::fixed_interval(&tlp, &params, s, e, w.total_infers);
     let thresh = schedule::threshold_from_warmup(&warmup);
     let adaptive = schedule::greedy(&tlp, &params, s, e, w.total_infers, thresh);
@@ -83,9 +85,21 @@ pub fn run_workload(w: &WorkloadProfile, seed: u64) -> Vec<ScheduleRow> {
     };
 
     [
-        ("Baseline", baseline.clone(), schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers)),
-        ("Fixed-inter", fixed.checkpoints.clone(), fixed.predicted_cil),
-        ("Adapt-inter", adaptive.checkpoints.clone(), adaptive.predicted_cil),
+        (
+            "Baseline",
+            baseline.clone(),
+            schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers),
+        ),
+        (
+            "Fixed-inter",
+            fixed.checkpoints.clone(),
+            fixed.predicted_cil,
+        ),
+        (
+            "Adapt-inter",
+            adaptive.checkpoints.clone(),
+            adaptive.predicted_cil,
+        ),
     ]
     .into_iter()
     .map(|(label, ckpts, predicted)| {
@@ -108,7 +122,10 @@ pub fn run_workload(w: &WorkloadProfile, seed: u64) -> Vec<ScheduleRow> {
 
 /// All three workloads (Fig. 10a-c + Table 1).
 pub fn run(seed: u64) -> Vec<ScheduleRow> {
-    WorkloadProfile::fig10_lineup().iter().flat_map(|w| run_workload(w, seed)).collect()
+    WorkloadProfile::fig10_lineup()
+        .iter()
+        .flat_map(|w| run_workload(w, seed))
+        .collect()
 }
 
 /// Render Fig. 10 (CIL comparison).
@@ -126,7 +143,13 @@ pub fn render_fig10(rows: &[ScheduleRow]) -> String {
         })
         .collect();
     crate::markdown_table(
-        &["workload", "schedule", "simulated CIL", "predicted CIL", "paper CIL"],
+        &[
+            "workload",
+            "schedule",
+            "simulated CIL",
+            "predicted CIL",
+            "paper CIL",
+        ],
         &table,
     )
 }
@@ -147,7 +170,14 @@ pub fn render_table1(rows: &[ScheduleRow]) -> String {
         })
         .collect();
     crate::markdown_table(
-        &["workload", "schedule", "#ckpts", "paper #ckpts", "overhead (s)", "paper overhead (s)"],
+        &[
+            "workload",
+            "schedule",
+            "#ckpts",
+            "paper #ckpts",
+            "overhead (s)",
+            "paper overhead (s)",
+        ],
         &table,
     )
 }
@@ -161,7 +191,9 @@ mod tests {
     }
 
     fn cell<'a>(rows: &'a [ScheduleRow], w: &str, s: &str) -> &'a ScheduleRow {
-        rows.iter().find(|r| r.workload == w && r.schedule == s).unwrap()
+        rows.iter()
+            .find(|r| r.workload == w && r.schedule == s)
+            .unwrap()
     }
 
     #[test]
@@ -169,8 +201,14 @@ mod tests {
         let rows = rows();
         for w in ["NT3.B", "TC1", "PtychoNN"] {
             let base = cell(&rows, w, "Baseline").cil;
-            assert!(cell(&rows, w, "Fixed-inter").cil <= base * 1.001, "{w} fixed");
-            assert!(cell(&rows, w, "Adapt-inter").cil <= base * 1.001, "{w} adaptive");
+            assert!(
+                cell(&rows, w, "Fixed-inter").cil <= base * 1.001,
+                "{w} fixed"
+            );
+            assert!(
+                cell(&rows, w, "Adapt-inter").cil <= base * 1.001,
+                "{w} adaptive"
+            );
         }
     }
 
@@ -196,7 +234,14 @@ mod tests {
     fn predicted_cil_tracks_simulated() {
         for r in rows() {
             let rel = (r.predicted_cil - r.cil).abs() / r.cil;
-            assert!(rel < 0.2, "{}/{}: predicted {:.0} vs sim {:.0}", r.workload, r.schedule, r.predicted_cil, r.cil);
+            assert!(
+                rel < 0.2,
+                "{}/{}: predicted {:.0} vs sim {:.0}",
+                r.workload,
+                r.schedule,
+                r.predicted_cil,
+                r.cil
+            );
         }
     }
 
@@ -205,6 +250,10 @@ mod tests {
         let rows = rows();
         let base = cell(&rows, "TC1", "Baseline");
         // Paper: 32.8k. Calibration keeps us in the same band.
-        assert!(base.cil > 25_000.0 && base.cil < 42_000.0, "CIL {:.0}", base.cil);
+        assert!(
+            base.cil > 25_000.0 && base.cil < 42_000.0,
+            "CIL {:.0}",
+            base.cil
+        );
     }
 }

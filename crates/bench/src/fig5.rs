@@ -49,13 +49,20 @@ pub fn render(rows: &[CurveFitRow]) -> String {
         .iter()
         .map(|r| {
             vec![
-                format!("{}{}", r.family, if r.selected { " (selected)" } else { "" }),
+                format!(
+                    "{}{}",
+                    r.family,
+                    if r.selected { " (selected)" } else { "" }
+                ),
                 format!("{:.3e}", r.mse),
                 format!("{:.4}", r.extrapolation_mae),
             ]
         })
         .collect();
-    crate::markdown_table(&["curve family", "warm-up MSE", "extrapolation MAE"], &table_rows)
+    crate::markdown_table(
+        &["curve family", "warm-up MSE", "extrapolation MAE"],
+        &table_rows,
+    )
 }
 
 #[cfg(test)]
@@ -77,6 +84,10 @@ mod tests {
         let lin2 = rows.iter().find(|r| r.family == "lin2").unwrap();
         assert!(selected.mse < lin2.mse);
         // The winner must also extrapolate well beyond the warm-up.
-        assert!(selected.extrapolation_mae < 0.05, "{}", selected.extrapolation_mae);
+        assert!(
+            selected.extrapolation_mae < 0.05,
+            "{}",
+            selected.extrapolation_mae
+        );
     }
 }

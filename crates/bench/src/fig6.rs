@@ -55,14 +55,20 @@ pub fn run(iterations: usize) -> TimingStability {
     let loss = losses::SoftmaxCrossEntropy;
 
     // Warm the caches so the first measurement isn't an outlier.
-    let cfg = FitConfig { epochs: 1, batch_size: 16, shuffle: false };
+    let cfg = FitConfig {
+        epochs: 1,
+        batch_size: 16,
+        shuffle: false,
+    };
     model.fit(&train, &loss, &mut opt, &cfg, &mut []).unwrap();
 
     let mut train_times = Vec::with_capacity(iterations);
     // Only time full batches: the trailing partial batch is legitimately
     // faster and would make the variance look architectural.
-    let mut batches: Vec<_> =
-        train.batches(16, false, 0).filter(|(bx, _)| bx.dims()[0] == 16).collect();
+    let mut batches: Vec<_> = train
+        .batches(16, false, 0)
+        .filter(|(bx, _)| bx.dims()[0] == 16)
+        .collect();
     batches.truncate(iterations.max(1));
     for _ in 0..(iterations / batches.len().max(1) + 1) {
         for (bx, by) in &batches {
@@ -86,7 +92,10 @@ pub fn run(iterations: usize) -> TimingStability {
         infer_times.push(t0.elapsed().as_secs_f64());
     }
 
-    TimingStability { train_times, infer_times }
+    TimingStability {
+        train_times,
+        infer_times,
+    }
 }
 
 /// Render the figure as a summary table.

@@ -27,32 +27,50 @@ pub fn approaches() -> [(&'static str, TransferStrategy, bool); 6] {
     [
         (
             "Baseline (h5py)",
-            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::PfsStaging,
+                mode: CaptureMode::Sync,
+            },
             true,
         ),
         (
             "Viper-PFS",
-            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::PfsStaging,
+                mode: CaptureMode::Sync,
+            },
             false,
         ),
         (
             "Viper-Sync (Host)",
-            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::HostToHost,
+                mode: CaptureMode::Sync,
+            },
             false,
         ),
         (
             "Viper-Async (Host)",
-            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Async },
+            TransferStrategy {
+                route: Route::HostToHost,
+                mode: CaptureMode::Async,
+            },
             false,
         ),
         (
             "Viper-Sync (GPU)",
-            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Sync,
+            },
             false,
         ),
         (
             "Viper-Async (GPU)",
-            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
+            TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Async,
+            },
             false,
         ),
     ]
@@ -82,8 +100,13 @@ pub fn run_workload(w: &WorkloadProfile) -> Vec<LatencyRow> {
     for (i, (label, strategy, h5)) in approaches().into_iter().enumerate() {
         let format: &dyn CheckpointFormat = if h5 { &H5Lite } else { &ViperFormat };
         let bytes = format.encoded_size(w.model_bytes, w.ntensors);
-        let costs =
-            price_update(&profile, strategy, bytes, w.ntensors, format.metadata_ops_factor());
+        let costs = price_update(
+            &profile,
+            strategy,
+            bytes,
+            w.ntensors,
+            format.metadata_ops_factor(),
+        );
         let latency = costs.update_latency().as_secs_f64();
         if i == 0 {
             baseline_latency = latency;
@@ -101,7 +124,10 @@ pub fn run_workload(w: &WorkloadProfile) -> Vec<LatencyRow> {
 
 /// All three sub-figures.
 pub fn run() -> Vec<LatencyRow> {
-    WorkloadProfile::fig8_lineup().iter().flat_map(run_workload).collect()
+    WorkloadProfile::fig8_lineup()
+        .iter()
+        .flat_map(run_workload)
+        .collect()
 }
 
 /// Render as a table.
@@ -119,7 +145,13 @@ pub fn render(rows: &[LatencyRow]) -> String {
         })
         .collect();
     crate::markdown_table(
-        &["workload", "approach", "measured (s)", "paper (s)", "speedup vs h5py"],
+        &[
+            "workload",
+            "approach",
+            "measured (s)",
+            "paper (s)",
+            "speedup vs h5py",
+        ],
         &table,
     )
 }
@@ -136,7 +168,13 @@ mod tests {
     fn tc1_matches_paper_within_tolerance() {
         for r in rows_for("TC1") {
             let rel = (r.latency_s - r.paper_s).abs() / r.paper_s;
-            assert!(rel < 0.25, "{}: measured {:.3} vs paper {:.3}", r.approach, r.latency_s, r.paper_s);
+            assert!(
+                rel < 0.25,
+                "{}: measured {:.3} vs paper {:.3}",
+                r.approach,
+                r.latency_s,
+                r.paper_s
+            );
         }
     }
 
@@ -144,7 +182,13 @@ mod tests {
     fn nt3a_matches_paper_within_tolerance() {
         for r in rows_for("NT3.A") {
             let rel = (r.latency_s - r.paper_s).abs() / r.paper_s;
-            assert!(rel < 0.35, "{}: measured {:.3} vs paper {:.3}", r.approach, r.latency_s, r.paper_s);
+            assert!(
+                rel < 0.35,
+                "{}: measured {:.3} vs paper {:.3}",
+                r.approach,
+                r.latency_s,
+                r.paper_s
+            );
         }
     }
 
@@ -153,7 +197,10 @@ mod tests {
         // Paper: GPU-to-GPU ≈9-15x over baseline (async ≈9x for TC1).
         for name in ["NT3.A", "TC1", "PtychoNN"] {
             let rows = rows_for(name);
-            let gpu_async = rows.iter().find(|r| r.approach == "Viper-Async (GPU)").unwrap();
+            let gpu_async = rows
+                .iter()
+                .find(|r| r.approach == "Viper-Async (GPU)")
+                .unwrap();
             assert!(
                 gpu_async.speedup_vs_baseline > 6.0 && gpu_async.speedup_vs_baseline < 20.0,
                 "{name}: {:.1}x",
@@ -167,7 +214,10 @@ mod tests {
         // Paper: host-to-host ≈3-4x over baseline.
         for name in ["NT3.A", "TC1", "PtychoNN"] {
             let rows = rows_for(name);
-            let host_sync = rows.iter().find(|r| r.approach == "Viper-Sync (Host)").unwrap();
+            let host_sync = rows
+                .iter()
+                .find(|r| r.approach == "Viper-Sync (Host)")
+                .unwrap();
             assert!(
                 host_sync.speedup_vs_baseline > 2.0 && host_sync.speedup_vs_baseline < 7.0,
                 "{name}: {:.1}x",

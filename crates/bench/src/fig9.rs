@@ -27,17 +27,26 @@ fn lineup() -> [(&'static str, TransferStrategy, f64); 3] {
     [
         (
             "GPU Memory",
-            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
+            TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Async,
+            },
             1.0,
         ),
         (
             "Host Memory",
-            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Async },
+            TransferStrategy {
+                route: Route::HostToHost,
+                mode: CaptureMode::Async,
+            },
             22.0,
         ),
         (
             "PFS",
-            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::PfsStaging,
+                mode: CaptureMode::Sync,
+            },
             60.0,
         ),
     ]
@@ -49,7 +58,9 @@ pub fn run_strategy(strategy: TransferStrategy) -> SimResult {
     let profile = MachineProfile::polaris();
     let costs = price_update(&profile, strategy, w.model_bytes, w.ntensors, 1.0);
     let s = w.warmup_end();
-    let schedule: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let schedule: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let cfg = SimConfig {
         t_train: w.t_train,
         t_infer: w.t_infer,
@@ -95,7 +106,13 @@ pub fn render(rows: &[TransferBenefitRow]) -> String {
         })
         .collect();
     crate::markdown_table(
-        &["strategy", "CIL (50k inferences)", "overhead (s)", "paper overhead (s)", "checkpoints"],
+        &[
+            "strategy",
+            "CIL (50k inferences)",
+            "overhead (s)",
+            "paper overhead (s)",
+            "checkpoints",
+        ],
         &table,
     )
 }

@@ -29,7 +29,10 @@ use viper_hw::{CaptureMode, Route, TransferStrategy};
 /// The strategy Viper defaults to in the schedule experiments (§5.4 runs
 /// Fig. 10 with the GPU-to-GPU transfer strategy).
 pub fn gpu_async() -> TransferStrategy {
-    TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async }
+    TransferStrategy {
+        route: Route::GpuToGpu,
+        mode: CaptureMode::Async,
+    }
 }
 
 /// Render a markdown table from a header and rows of equal arity.

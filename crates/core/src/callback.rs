@@ -90,8 +90,7 @@ impl Callback for CheckpointCallback {
     fn on_iteration_end(&mut self, event: &TrainEvent, model: &Model) {
         self.losses.push(event.batch_loss);
         if self.policy.due(event.iteration, &mut self.cursor) {
-            let ckpt =
-                Checkpoint::new(model.name(), event.iteration, model.named_weights());
+            let ckpt = Checkpoint::new(model.name(), event.iteration, model.named_weights());
             match self.producer.save_weights(&ckpt) {
                 Ok(receipt) => self.receipts.lock().push_back(receipt),
                 Err(_) => self.failures += 1,

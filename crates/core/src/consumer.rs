@@ -67,7 +67,15 @@ impl Consumer {
             std::thread::Builder::new()
                 .name(format!("viper-consumer-{node}"))
                 .spawn(move || {
-                    listener_loop(&viper, &endpoint, &subscription, &state, &stop, &model_name, &*format);
+                    listener_loop(
+                        &viper,
+                        &endpoint,
+                        &subscription,
+                        &state,
+                        &stop,
+                        &model_name,
+                        &*format,
+                    );
                 })
                 .expect("spawn consumer listener")
         };
@@ -186,7 +194,12 @@ impl Consumer {
             let Ok(ckpt) = format.decode(&payload) else {
                 continue; // corrupt durable copy; try an older one
             };
-            charge_apply(&self.viper, Route::PfsStaging, payload.len() as u64, ckpt.ntensors());
+            charge_apply(
+                &self.viper,
+                Route::PfsStaging,
+                payload.len() as u64,
+                ckpt.ntensors(),
+            );
             let iteration = ckpt.iteration;
             self.state.slot.stage(ckpt);
             if self.state.slot.swap() {
@@ -238,7 +251,11 @@ impl Drop for Consumer {
         if let Some(handle) = self.listener.take() {
             let _ = handle.join();
         }
-        self.viper.shared.consumers.write().retain(|n| n != &self.node);
+        self.viper
+            .shared
+            .consumers
+            .write()
+            .retain(|n| n != &self.node);
     }
 }
 
@@ -252,24 +269,34 @@ fn listener_loop(
     model_name: &str,
     format: &dyn CheckpointFormat,
 ) {
+    // Chunked flows reassemble here; the double-buffered slot only ever
+    // sees whole payloads, so a partially transferred model can never be
+    // observed (let alone served).
+    let mut assembler = viper_net::FlowAssembler::new();
     while !stop.load(Ordering::Acquire) {
         // Direct-push payloads (memory routes). The apply cost is derived
         // from the link the payload actually traversed, not the configured
         // default — the Transfer Selector may have rerouted under pressure.
         if let Some(msg) = endpoint.recv_timeout(Duration::from_millis(2)) {
-            let route = match msg.link {
+            let (link, tag, payload): (_, _, Arc<Vec<u8>>) = match assembler.accept(msg) {
+                viper_net::FlowStatus::Buffered => continue,
+                viper_net::FlowStatus::Passthrough(msg) => (msg.link, msg.tag, msg.payload),
+                viper_net::FlowStatus::Complete(flow) => {
+                    (flow.link, flow.tag, Arc::new(flow.payload))
+                }
+            };
+            let route = match link {
                 viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
                 _ => Route::HostToHost,
             };
-            if let Ok(ckpt) = format.decode(&msg.payload) {
+            if let Ok(ckpt) = format.decode(&payload) {
                 if ckpt.model_name == model_name {
-                    let version = msg
-                        .tag
+                    let version = tag
                         .rsplit(':')
                         .next()
                         .and_then(|v| v.parse::<u64>().ok())
                         .unwrap_or(0);
-                    charge_apply(viper, route, msg.payload.len() as u64, ckpt.ntensors());
+                    charge_apply(viper, route, payload.len() as u64, ckpt.ntensors());
                     install(viper, state, ckpt, version);
                 }
             }
@@ -296,9 +323,10 @@ fn listener_loop(
                         if secs > 0.0 {
                             let now = viper.shared.clock.now().as_secs_f64();
                             let tick = (now / secs).ceil() * secs;
-                            viper.shared.clock.advance_to(viper_hw::SimInstant(
-                                (tick * 1e9) as u64,
-                            ));
+                            viper
+                                .shared
+                                .clock
+                                .advance_to(viper_hw::SimInstant((tick * 1e9) as u64));
                         }
                         try_pull_from_pfs(viper, state, model_name, format, &record);
                     }
@@ -326,7 +354,12 @@ fn try_pull_from_pfs(
     }
     if let Ok((payload, _read_time)) = viper.shared.pfs.read(&record.path) {
         if let Ok(ckpt) = format.decode(&payload) {
-            charge_apply(viper, Route::PfsStaging, payload.len() as u64, ckpt.ntensors());
+            charge_apply(
+                viper,
+                Route::PfsStaging,
+                payload.len() as u64,
+                ckpt.ntensors(),
+            );
             install(viper, state, ckpt, record.version);
         }
     }
@@ -341,7 +374,11 @@ fn install(viper: &Viper, state: &ConsumerState, ckpt: Checkpoint, version: u64)
         // the virtual clock so ordering is visible in traces.
         charge(&viper.shared.clock, Duration::from_nanos(100));
         let mut latest = state.latest.lock();
-        *latest = Some(UpdateInfo { version, iteration, swapped_at: viper.shared.clock.now() });
+        *latest = Some(UpdateInfo {
+            version,
+            iteration,
+            swapped_at: viper.shared.clock.now(),
+        });
         state.cond.notify_all();
     }
 }

@@ -35,8 +35,10 @@ impl Viper {
         let clock = SimClock::new();
         let fabric = Fabric::new(config.profile.clone(), clock.clone());
         let pfs = match &config.pfs_dir {
-            Some(dir) => StorageTier::with_disk(*config.profile.tier(Tier::Pfs), clock.clone(), dir)
-                .expect("pfs_dir must be creatable and writable"),
+            Some(dir) => {
+                StorageTier::with_disk(*config.profile.tier(Tier::Pfs), clock.clone(), dir)
+                    .expect("pfs_dir must be creatable and writable")
+            }
             None => StorageTier::new(*config.profile.tier(Tier::Pfs), clock.clone()),
         };
         Viper {
@@ -135,7 +137,8 @@ mod tests {
     fn deployment_shares_state() {
         let v = Viper::new(ViperConfig::default());
         let v2 = v.clone();
-        v.metadata().put(viper_metastore::ModelRecord::new("m", 1, 1, "PFS", "p"));
+        v.metadata()
+            .put(viper_metastore::ModelRecord::new("m", 1, 1, "PFS", "p"));
         assert!(v2.metadata().latest("m").is_some());
     }
 

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn display_mentions_cause() {
-        let e = ViperError::Timeout { waiting_for: "model demo v2".into() };
+        let e = ViperError::Timeout {
+            waiting_for: "model demo v2".into(),
+        };
         assert!(e.to_string().contains("demo v2"));
     }
 }

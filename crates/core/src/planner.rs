@@ -69,7 +69,10 @@ mod tests {
     use viper_hw::{CaptureMode, Route};
 
     fn strategy() -> TransferStrategy {
-        TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async }
+        TransferStrategy {
+            route: Route::GpuToGpu,
+            mode: CaptureMode::Async,
+        }
     }
 
     #[test]
@@ -78,7 +81,10 @@ mod tests {
         let gpu = cost_params(&profile, strategy(), 4_700_000_000, 20, 1.0, 0.06, 0.005);
         let pfs = cost_params(
             &profile,
-            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+            TransferStrategy {
+                route: Route::PfsStaging,
+                mode: CaptureMode::Sync,
+            },
             4_700_000_000,
             20,
             1.0,
@@ -92,7 +98,9 @@ mod tests {
 
     #[test]
     fn end_to_end_planning_pipeline() {
-        let warmup: Vec<f64> = (0..200).map(|i| 2.0 * (-0.01 * i as f64).exp() + 0.3).collect();
+        let warmup: Vec<f64> = (0..200)
+            .map(|i| 2.0 * (-0.01 * i as f64).exp() + 0.3)
+            .collect();
         let tlp = fit_warmup(&warmup);
         let profile = MachineProfile::polaris();
         let params = cost_params(&profile, strategy(), 1_700_000_000, 16, 1.0, 0.3, 0.005);

@@ -19,11 +19,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use viper_formats::{Checkpoint, CheckpointFormat};
 use viper_hw::{
-    apply_time, capture_time, stage_time, CaptureMode, Route, SimClock, SimInstant, StorageTier,
-    Tier,
+    apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, MachineProfile, Route,
+    SimClock, SimInstant, StorageTier, Tier, TransferStrategy,
 };
 use viper_metastore::ModelRecord;
-use viper_net::{Endpoint, LinkKind};
+use viper_net::{ChunkedSend, Endpoint, LinkKind};
 
 /// What `save_weights` reports back to the training loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,8 +41,15 @@ pub struct SaveReceipt {
 }
 
 enum Job {
-    Deliver { record: ModelRecord, payload: Arc<Vec<u8>>, route: Route },
-    Flush { record: ModelRecord, payload: Arc<Vec<u8>> },
+    Deliver {
+        record: ModelRecord,
+        payload: Arc<Vec<u8>>,
+        route: Route,
+    },
+    Flush {
+        record: ModelRecord,
+        payload: Arc<Vec<u8>>,
+    },
 }
 
 /// A producer attached to a Viper deployment.
@@ -62,7 +69,10 @@ impl Producer {
         let clock = viper.shared.clock.clone();
         let profile = &viper.shared.config.profile;
         let gpu = Arc::new(StorageTier::new(*profile.tier(Tier::GpuMem), clock.clone()));
-        let host = Arc::new(StorageTier::new(*profile.tier(Tier::HostMem), clock.clone()));
+        let host = Arc::new(StorageTier::new(
+            *profile.tier(Tier::HostMem),
+            clock.clone(),
+        ));
         let format = viper.shared.config.format.build();
         let endpoint = Arc::new(viper.shared.fabric.register(node));
 
@@ -76,11 +86,20 @@ impl Producer {
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
                         match job {
-                            Job::Deliver { record, payload, route } => {
-                                let stage =
-                                    stage_time(&viper.shared.config.profile, route, payload.len() as u64);
+                            Job::Deliver {
+                                record,
+                                payload,
+                                route,
+                            } => {
+                                let stage = stage_time(
+                                    &viper.shared.config.profile,
+                                    route,
+                                    payload.len() as u64,
+                                );
                                 charge(&viper.shared.clock, stage);
-                                deliver(&viper, &endpoint, &record, &payload, route);
+                                // The async path captured (and staged) before
+                                // handing off, so chunks are all wire-ready.
+                                deliver(&viper, &endpoint, &record, &payload, route, false);
                             }
                             Job::Flush { record, payload } => {
                                 let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
@@ -146,7 +165,15 @@ impl Producer {
         let ntensors = ckpt.ntensors();
         let meta_factor = self.format.metadata_ops_factor();
         let capture = capture_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
-        charge(clock, capture);
+        let is_async = route != Route::PfsStaging && strategy.mode == CaptureMode::Async;
+        // The pipelined sync path overlaps capture with the wire inside the
+        // chunked send (the fabric models per-chunk readiness), so the
+        // capture is not pre-charged as a lump there.
+        let chunked = shared.config.chunked_transfer && route != Route::PfsStaging;
+        let pipelined_sync = chunked && !is_async;
+        if !pipelined_sync {
+            charge(clock, capture);
+        }
 
         // 2. Cache on the staging tier. Memory tiers are uncharged (the
         //    payload landed there as part of the capture copy); the PFS
@@ -177,20 +204,41 @@ impl Producer {
         // 4. Deliver. The PFS route is always effectively synchronous
         //    (write-through happened in capture); memory routes honour the
         //    configured mode.
-        let is_async = route != Route::PfsStaging && strategy.mode == CaptureMode::Async;
         if is_async {
-            self.enqueue(Job::Deliver { record: record.clone(), payload: payload.clone(), route });
+            self.enqueue(Job::Deliver {
+                record: record.clone(),
+                payload: payload.clone(),
+                route,
+            });
         } else {
-            deliver(&self.viper, &self.endpoint, &record, &payload, route);
+            let sent = deliver(
+                &self.viper,
+                &self.endpoint,
+                &record,
+                &payload,
+                route,
+                pipelined_sync,
+            );
+            if pipelined_sync && sent == 0 {
+                // Nothing consumed the pipelined capture model: the snapshot
+                // still happened, so bill it directly.
+                charge(clock, capture);
+            }
         }
 
         // 5. Background fault-tolerance flush for memory routes.
         if shared.config.flush_to_pfs && route != Route::PfsStaging {
-            self.enqueue(Job::Flush { record: record.clone(), payload: payload.clone() });
+            self.enqueue(Job::Flush {
+                record: record.clone(),
+                payload: payload.clone(),
+            });
         }
 
         // 6. Prune old versions from the staging tiers.
-        for stale in shared.db.prune(&ckpt.model_name, shared.config.keep_versions) {
+        for stale in shared
+            .db
+            .prune(&ckpt.model_name, shared.config.keep_versions)
+        {
             self.gpu.remove(&stale.path);
             self.host.remove(&stale.path);
         }
@@ -202,10 +250,38 @@ impl Producer {
         // billed to this save.
         let mut stall = capture;
         if !is_async && route != Route::PfsStaging {
-            stall += viper_hw::delivery_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
+            if chunked {
+                stall = pipeline_costs(
+                    &shared.config.profile,
+                    TransferStrategy {
+                        route,
+                        mode: CaptureMode::Sync,
+                    },
+                    bytes,
+                    ntensors,
+                    shared.config.chunk_bytes,
+                    meta_factor,
+                )
+                .stall;
+            } else {
+                stall = capture
+                    + viper_hw::delivery_time(
+                        &shared.config.profile,
+                        route,
+                        bytes,
+                        ntensors,
+                        meta_factor,
+                    );
+            }
         }
         let resumed_at = started_at.add(stall);
-        Ok(SaveReceipt { version, bytes, stall, started_at, resumed_at })
+        Ok(SaveReceipt {
+            version,
+            bytes,
+            stall,
+            started_at,
+            resumed_at,
+        })
     }
 
     /// The Transfer Selector (Fig. 7): use the configured route unless its
@@ -247,35 +323,82 @@ impl Drop for Producer {
     }
 }
 
+/// The producer-side capture model for a memory route, as the fabric's
+/// chunked send expects it: `(bandwidth, per-chunk fixed, per-flow fixed)`.
+fn chunk_capture_model(
+    profile: &MachineProfile,
+    route: Route,
+    ntensors: usize,
+) -> (f64, Duration, Duration) {
+    let (bw, tier) = match route {
+        Route::GpuToGpu => (profile.gpu_capture_bw, Tier::GpuMem),
+        _ => (profile.d2h_capture_bw, Tier::HostMem),
+    };
+    let spec = profile.tier(tier);
+    (
+        bw,
+        spec.write_latency,
+        spec.per_tensor_write.mul_f64(ntensors as f64),
+    )
+}
+
 /// Push `payload` to every attached consumer and publish the update
 /// notification. For the PFS route consumers pull from the shared tier, so
-/// only the notification is sent.
+/// only the notification is sent. With `ViperConfig::chunked_transfer` the
+/// payload travels as a pipelined chunked flow; `pipeline_capture` lets the
+/// first send model the (not yet charged) capture overlapping the wire.
+/// Returns how many consumers were pushed a payload.
 fn deliver(
     viper: &Viper,
     endpoint: &Endpoint,
     record: &ModelRecord,
     payload: &Arc<Vec<u8>>,
     route: Route,
-) {
+    pipeline_capture: bool,
+) -> usize {
     let shared = &viper.shared;
     let link = match route {
         Route::GpuToGpu => Some(LinkKind::GpuDirect),
         Route::HostToHost => Some(LinkKind::HostRdma),
         Route::PfsStaging => None,
     };
+    let mut sent = 0;
     if let Some(link) = link {
         let tag = format!("{}:{}", record.name, record.version);
         let consumers = shared.consumers.read().clone();
+        let config = &shared.config;
+        let mut inline_capture = pipeline_capture;
         for consumer in consumers {
             if consumer == endpoint.node() {
                 continue;
             }
             // A deregistered consumer is not an error: it raced shutdown.
-            let _ = endpoint.send(&consumer, &tag, payload.clone(), link);
+            let delivered = if config.chunked_transfer {
+                let mut opts = ChunkedSend::new(config.chunk_bytes);
+                if inline_capture {
+                    let (bw, fixed, once) =
+                        chunk_capture_model(&config.profile, route, record.ntensors);
+                    opts = opts.with_capture(bw, fixed, once);
+                }
+                endpoint
+                    .send_chunked(&consumer, &tag, payload.clone(), link, &opts)
+                    .is_ok()
+            } else {
+                endpoint
+                    .send(&consumer, &tag, payload.clone(), link)
+                    .is_ok()
+            };
+            if delivered {
+                sent += 1;
+                // The snapshot happens once; fan-out to further consumers
+                // re-sends the already captured chunks.
+                inline_capture = false;
+            }
         }
     }
     charge(&shared.clock, shared.config.profile.notify_latency);
     shared.bus.publish(UPDATE_TOPIC, record.clone());
+    sent
 }
 
 pub(crate) fn charge(clock: &SimClock, dur: Duration) {

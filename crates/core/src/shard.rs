@@ -42,7 +42,9 @@ pub fn split(ckpt: &Checkpoint, num_shards: usize) -> Vec<Checkpoint> {
     let mut shards: Vec<Vec<(String, viper_tensor::Tensor)>> = vec![Vec::new(); num_shards];
     let mut loads = vec![0usize; num_shards];
     for i in order {
-        let lightest = (0..num_shards).min_by_key(|&s| loads[s]).expect("num_shards >= 1");
+        let lightest = (0..num_shards)
+            .min_by_key(|&s| loads[s])
+            .expect("num_shards >= 1");
         let (name, tensor) = &ckpt.tensors[i];
         loads[lightest] += tensor.byte_len();
         shards[lightest].push((name.clone(), tensor.clone()));
@@ -52,7 +54,11 @@ pub fn split(ckpt: &Checkpoint, num_shards: usize) -> Vec<Checkpoint> {
         .into_iter()
         .enumerate()
         .map(|(i, tensors)| {
-            Checkpoint::new(shard_name(&ckpt.model_name, i, num_shards), ckpt.iteration, tensors)
+            Checkpoint::new(
+                shard_name(&ckpt.model_name, i, num_shards),
+                ckpt.iteration,
+                tensors,
+            )
         })
         .collect()
 }
@@ -238,7 +244,10 @@ mod tests {
         let shards = split(&ckpt(3), 2);
         let mut asm = ShardAssembler::new("big", 2);
         // Foreign base.
-        let other = split(&Checkpoint::new("other", 3, vec![("x".into(), Tensor::zeros(&[1]))]), 2);
+        let other = split(
+            &Checkpoint::new("other", 3, vec![("x".into(), Tensor::zeros(&[1]))]),
+            2,
+        );
         assert!(asm.offer(other[0].clone()).is_none());
         // Wrong shard count.
         let wrong = split(&ckpt(3), 4);

@@ -66,7 +66,8 @@ impl ModelSlot {
             return false;
         }
         *primary = Some(staged);
-        self.swaps.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.swaps
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         true
     }
 
@@ -88,7 +89,11 @@ mod tests {
     use viper_tensor::Tensor;
 
     fn ckpt(iter: u64) -> Checkpoint {
-        Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[2], iter as f32))])
+        Checkpoint::new(
+            "m",
+            iter,
+            vec![("w".into(), Tensor::full(&[2], iter as f32))],
+        )
     }
 
     #[test]

@@ -79,9 +79,14 @@ impl MultiSimResult {
 pub fn simulate_multi(cfg: &MultiSimConfig, loss_at: &dyn Fn(u64) -> f64) -> MultiSimResult {
     assert!(cfg.nproducers >= 1, "need at least one producer rank");
     assert!(cfg.t_train > 0.0, "iteration time must be positive");
-    assert!(cfg.schedule.windows(2).all(|w| w[0] < w[1]), "schedule must be strictly ascending");
     assert!(
-        cfg.schedule.iter().all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
+        cfg.schedule.windows(2).all(|w| w[0] < w[1]),
+        "schedule must be strictly ascending"
+    );
+    assert!(
+        cfg.schedule
+            .iter()
+            .all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
         "schedule must lie within (s_iter, e_iter]"
     );
 
@@ -142,7 +147,11 @@ pub fn simulate_multi(cfg: &MultiSimConfig, loss_at: &dyn Fn(u64) -> f64) -> Mul
                 }
                 cil += loss_at(current);
             }
-            ConsumerResult { cil, served: spec.total_infers, updates }
+            ConsumerResult {
+                cil,
+                served: spec.total_infers,
+                updates,
+            }
         })
         .collect();
 
@@ -184,7 +193,11 @@ mod tests {
     }
 
     fn one_consumer() -> ConsumerSpec {
-        ConsumerSpec { t_infer: 0.01, total_infers: 2_000, discovery: Discovery::Push }
+        ConsumerSpec {
+            t_infer: 0.01,
+            total_infers: 2_000,
+            discovery: Discovery::Push,
+        }
     }
 
     #[test]
@@ -206,8 +219,12 @@ mod tests {
             },
             &decay,
         );
-        assert!((multi.per_consumer[0].cil - des.cil).abs() < 1e-6,
-            "multi {} vs des {}", multi.per_consumer[0].cil, des.cil);
+        assert!(
+            (multi.per_consumer[0].cil - des.cil).abs() < 1e-6,
+            "multi {} vs des {}",
+            multi.per_consumer[0].cil,
+            des.cil
+        );
         assert!((multi.training_overhead_per_rank - des.training_overhead).abs() < 1e-9);
     }
 
@@ -224,7 +241,11 @@ mod tests {
     #[test]
     fn consumers_with_slower_polling_do_worse() {
         let consumers = vec![
-            ConsumerSpec { t_infer: 0.01, total_infers: 2_000, discovery: Discovery::Push },
+            ConsumerSpec {
+                t_infer: 0.01,
+                total_infers: 2_000,
+                discovery: Discovery::Push,
+            },
             ConsumerSpec {
                 t_infer: 0.01,
                 total_infers: 2_000,
@@ -239,17 +260,27 @@ mod tests {
         let r = simulate_multi(&base(2, consumers), &decay);
         assert!(r.per_consumer[0].cil <= r.per_consumer[1].cil + 1e-9);
         assert!(r.per_consumer[1].cil < r.per_consumer[2].cil);
-        assert!((r.total_cil()
-            - (r.per_consumer[0].cil + r.per_consumer[1].cil + r.per_consumer[2].cil))
-            .abs()
-            < 1e-9);
+        assert!(
+            (r.total_cil()
+                - (r.per_consumer[0].cil + r.per_consumer[1].cil + r.per_consumer[2].cil))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn heterogeneous_inference_rates_supported() {
         let consumers = vec![
-            ConsumerSpec { t_infer: 0.005, total_infers: 4_000, discovery: Discovery::Push },
-            ConsumerSpec { t_infer: 0.02, total_infers: 1_000, discovery: Discovery::Push },
+            ConsumerSpec {
+                t_infer: 0.005,
+                total_infers: 4_000,
+                discovery: Discovery::Push,
+            },
+            ConsumerSpec {
+                t_infer: 0.02,
+                total_infers: 1_000,
+                discovery: Discovery::Push,
+            },
         ];
         let r = simulate_multi(&base(1, consumers), &decay);
         assert_eq!(r.per_consumer[0].served, 4_000);

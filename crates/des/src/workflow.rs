@@ -86,7 +86,12 @@ enum Event {
     /// Checkpoint stall after iteration `k` completed; producer resumes.
     StallDone(u64),
     /// Update for iteration `k` swapped in on the consumer.
-    Swapped { iter: u64, started_at: f64, staged_at: f64, discovered_at: f64 },
+    Swapped {
+        iter: u64,
+        started_at: f64,
+        staged_at: f64,
+        discovered_at: f64,
+    },
     /// Inference `j` issued.
     Inference(u64),
 }
@@ -95,13 +100,18 @@ enum Event {
 /// training/inference loss of the model captured at `iter` (Assumption 2 of
 /// the paper equates the two).
 pub fn simulate(cfg: &SimConfig, loss_at: &dyn Fn(u64) -> f64) -> SimResult {
-    assert!(cfg.t_train > 0.0 && cfg.t_infer > 0.0, "iteration times must be positive");
+    assert!(
+        cfg.t_train > 0.0 && cfg.t_infer > 0.0,
+        "iteration times must be positive"
+    );
     assert!(
         cfg.schedule.windows(2).all(|w| w[0] < w[1]),
         "schedule must be strictly ascending"
     );
     assert!(
-        cfg.schedule.iter().all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
+        cfg.schedule
+            .iter()
+            .all(|&c| c > cfg.s_iter && c <= cfg.e_iter),
         "schedule must lie within (s_iter, e_iter]"
     );
 
@@ -158,7 +168,12 @@ pub fn simulate(cfg: &SimConfig, loss_at: &dyn Fn(u64) -> f64) -> SimResult {
                 };
                 q.schedule(
                     discovered_at + post,
-                    Event::Swapped { iter: k, started_at, staged_at, discovered_at },
+                    Event::Swapped {
+                        iter: k,
+                        started_at,
+                        staged_at,
+                        discovered_at,
+                    },
                 );
                 if k == cfg.e_iter {
                     producer_finished_at = now;
@@ -166,7 +181,12 @@ pub fn simulate(cfg: &SimConfig, loss_at: &dyn Fn(u64) -> f64) -> SimResult {
                     q.schedule(now + cfg.t_train, Event::IterDone(k + 1));
                 }
             }
-            Event::Swapped { iter, started_at, staged_at, discovered_at } => {
+            Event::Swapped {
+                iter,
+                started_at,
+                staged_at,
+                discovered_at,
+            } => {
                 if iter > current_model_iter {
                     current_model_iter = iter;
                 }

@@ -23,16 +23,18 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
         1u64..2000,     // total_infers
         prop::collection::btree_set(11u64..100, 0..8),
     )
-        .prop_map(|(t_train, t_infer, stall, post, total_infers, ckpts)| SimConfig {
-            t_train,
-            t_infer,
-            costs: costs(stall, post, 0.001),
-            s_iter: 10,
-            e_iter: 100,
-            schedule: ckpts.into_iter().collect(),
-            total_infers,
-            discovery: Discovery::Push,
-        })
+        .prop_map(
+            |(t_train, t_infer, stall, post, total_infers, ckpts)| SimConfig {
+                t_train,
+                t_infer,
+                costs: costs(stall, post, 0.001),
+                s_iter: 10,
+                e_iter: 100,
+                schedule: ckpts.into_iter().collect(),
+                total_infers,
+                discovery: Discovery::Push,
+            },
+        )
 }
 
 fn decay(iter: u64) -> f64 {

@@ -18,7 +18,9 @@ impl Dataset {
     /// Build a dataset; `x` and `y` must agree on the sample count.
     pub fn new(x: Tensor, y: Tensor) -> Result<Self> {
         if x.dims().is_empty() || y.dims().is_empty() {
-            return Err(DnnError::InvalidConfig("dataset tensors need a sample dimension".into()));
+            return Err(DnnError::InvalidConfig(
+                "dataset tensors need a sample dimension".into(),
+            ));
         }
         if x.dims()[0] != y.dims()[0] {
             return Err(DnnError::ShapeMismatch(format!(
@@ -58,7 +60,10 @@ impl Dataset {
 
     /// Copy selected samples into a new `(x, y)` pair.
     pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Tensor)> {
-        Ok((gather_rows(&self.x, indices)?, gather_rows(&self.y, indices)?))
+        Ok((
+            gather_rows(&self.x, indices)?,
+            gather_rows(&self.y, indices)?,
+        ))
     }
 
     /// Iterate one epoch of batches. When `shuffle` is set the sample order
@@ -68,7 +73,12 @@ impl Dataset {
         if shuffle {
             order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
         }
-        BatchIter { dataset: self, order, batch_size: batch_size.max(1), cursor: 0 }
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
     }
 }
 
@@ -80,7 +90,9 @@ fn gather_rows(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
     let mut data = Vec::with_capacity(indices.len() * row);
     for &i in indices {
         if i >= dims[0] {
-            return Err(DnnError::InvalidConfig(format!("sample index {i} out of range")));
+            return Err(DnnError::InvalidConfig(format!(
+                "sample index {i} out of range"
+            )));
         }
         data.extend_from_slice(&src[i * row..(i + 1) * row]);
     }

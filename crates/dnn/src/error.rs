@@ -50,8 +50,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DnnError::ShapeMismatch("a".into()).to_string().contains("shape"));
-        assert!(DnnError::WeightMismatch("b".into()).to_string().contains("weight"));
-        assert!(DnnError::InvalidConfig("c".into()).to_string().contains("config"));
+        assert!(DnnError::ShapeMismatch("a".into())
+            .to_string()
+            .contains("shape"));
+        assert!(DnnError::WeightMismatch("b".into())
+            .to_string()
+            .contains("weight"));
+        assert!(DnnError::InvalidConfig("c".into())
+            .to_string()
+            .contains("config"));
     }
 }

@@ -13,7 +13,10 @@ pub struct ReLU {
 impl ReLU {
     /// A ReLU layer.
     pub fn new() -> Self {
-        ReLU { name: "relu".into(), mask: None }
+        ReLU {
+            name: "relu".into(),
+            mask: None,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// A sigmoid layer.
     pub fn new() -> Self {
-        Sigmoid { name: "sigmoid".into(), output: None }
+        Sigmoid {
+            name: "sigmoid".into(),
+            output: None,
+        }
     }
 }
 
@@ -97,7 +103,10 @@ pub struct Tanh {
 impl Tanh {
     /// A tanh layer.
     pub fn new() -> Self {
-        Tanh { name: "tanh".into(), output: None }
+        Tanh {
+            name: "tanh".into(),
+            output: None,
+        }
     }
 }
 
@@ -139,7 +148,10 @@ pub struct Softmax {
 impl Softmax {
     /// A softmax layer.
     pub fn new() -> Self {
-        Softmax { name: "softmax".into(), output: None }
+        Softmax {
+            name: "softmax".into(),
+            output: None,
+        }
     }
 
     /// Row-wise softmax of a `[batch, classes]` tensor.

@@ -116,7 +116,10 @@ impl Layer for BatchNorm {
             }
             (mean, var)
         } else {
-            (self.running_mean.as_slice().to_vec(), self.running_var.as_slice().to_vec())
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
         };
 
         let std: Vec<f32> = var.iter().map(|v| (v + self.eps).sqrt()).collect();
@@ -286,7 +289,11 @@ mod tests {
         // A sample equal to the running mean normalizes to ~beta (0).
         let x = Tensor::from_vec(vec![2.5, 25.0], &[1, 2]).unwrap();
         let y = bn.forward(&x, false).unwrap();
-        assert!(y.as_slice().iter().all(|v| v.abs() < 0.1), "{:?}", y.as_slice());
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() < 0.1),
+            "{:?}",
+            y.as_slice()
+        );
     }
 
     #[test]
@@ -294,16 +301,21 @@ mod tests {
         let mut bn = BatchNorm::new(2);
         // Random-ish gamma/beta so the gradient isn't trivial.
         bn.import_params(&[
-            ("gamma".into(), Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap()),
-            ("beta".into(), Tensor::from_vec(vec![0.2, -0.3], &[2]).unwrap()),
+            (
+                "gamma".into(),
+                Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap(),
+            ),
+            (
+                "beta".into(),
+                Tensor::from_vec(vec![0.2, -0.3], &[2]).unwrap(),
+            ),
         ])
         .unwrap();
         let x = batch();
         // Loss = weighted sum so per-element gradients differ.
         let weights: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 + 1.0)).collect();
-        let loss = |y: &Tensor| -> f32 {
-            y.as_slice().iter().zip(&weights).map(|(a, b)| a * b).sum()
-        };
+        let loss =
+            |y: &Tensor| -> f32 { y.as_slice().iter().zip(&weights).map(|(a, b)| a * b).sum() };
         let y = bn.forward(&x, true).unwrap();
         let gy = Tensor::from_vec(weights.clone(), y.dims()).unwrap();
         let gx = bn.backward(&gy).unwrap();
@@ -321,7 +333,11 @@ mod tests {
             let lp = loss(&bp.forward(&xp, true).unwrap());
             let lm = loss(&bm.forward(&xm, true).unwrap());
             let num = (lp - lm) / (2.0 * eps);
-            assert!((gx.as_slice()[i] - num).abs() < 2e-2, "gx[{i}]: {} vs {num}", gx.as_slice()[i]);
+            assert!(
+                (gx.as_slice()[i] - num).abs() < 2e-2,
+                "gx[{i}]: {} vs {num}",
+                gx.as_slice()[i]
+            );
         }
     }
 
@@ -337,7 +353,10 @@ mod tests {
         replica.import_params(&exported).unwrap();
         // The replica serves identically at inference.
         let x = Tensor::from_vec(vec![3.0, 7.0], &[1, 2]).unwrap();
-        assert_eq!(bn.forward(&x, false).unwrap(), replica.forward(&x, false).unwrap());
+        assert_eq!(
+            bn.forward(&x, false).unwrap(),
+            replica.forward(&x, false).unwrap()
+        );
     }
 
     #[test]

@@ -106,7 +106,12 @@ impl Layer for Conv1D {
                 *gbv += g[pos * oc + c];
             }
         }
-        Ok(conv::conv1d_grad_input(&self.kernel, grad_out, x.dims()[1], self.stride)?)
+        Ok(conv::conv1d_grad_input(
+            &self.kernel,
+            grad_out,
+            x.dims()[1],
+            self.stride,
+        )?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Tensor, &Tensor)) {
@@ -118,7 +123,10 @@ impl Layer for Conv1D {
     }
 
     fn export_params(&self) -> Vec<(String, Tensor)> {
-        vec![("kernel".into(), self.kernel.clone()), ("bias".into(), self.bias.clone())]
+        vec![
+            ("kernel".into(), self.kernel.clone()),
+            ("bias".into(), self.bias.clone()),
+        ]
     }
 
     fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
@@ -161,7 +169,10 @@ mod tests {
         let mut c = Conv1D::new(3, 2, 4, 1);
         c.import_params(&[
             ("kernel".into(), Tensor::zeros(&[3, 2, 4])),
-            ("bias".into(), Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap()),
+            (
+                "bias".into(),
+                Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
+            ),
         ])
         .unwrap();
         let x = Tensor::ones(&[2, 10, 2]);

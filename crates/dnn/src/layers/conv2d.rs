@@ -119,7 +119,10 @@ impl Layer for Conv2D {
     }
 
     fn export_params(&self) -> Vec<(String, Tensor)> {
-        vec![("kernel".into(), self.kernel.clone()), ("bias".into(), self.bias.clone())]
+        vec![
+            ("kernel".into(), self.kernel.clone()),
+            ("bias".into(), self.bias.clone()),
+        ]
     }
 
     fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
@@ -169,7 +172,12 @@ impl MaxPool2D {
             window.0 >= 1 && window.1 >= 1 && stride.0 >= 1 && stride.1 >= 1,
             "window and stride must be >= 1"
         );
-        MaxPool2D { name: "maxpool2d".into(), window, stride, cache: None }
+        MaxPool2D {
+            name: "maxpool2d".into(),
+            window,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -193,7 +201,9 @@ impl Layer for MaxPool2D {
             .cache
             .as_ref()
             .ok_or_else(|| DnnError::InvalidConfig("backward before forward".into()))?;
-        Ok(viper_tensor::ops::conv::maxpool1d_backward(grad_out, indices, input_dims)?)
+        Ok(viper_tensor::ops::conv::maxpool1d_backward(
+            grad_out, indices, input_dims,
+        )?)
     }
 }
 
@@ -237,7 +247,9 @@ mod tests {
     fn pool_backward_routes_to_argmax() {
         let mut p = MaxPool2D::new((2, 2), (2, 2));
         let x = Tensor::from_vec(
-            vec![1.0, 9.0, 2.0, 3.0, 4.0, 5.0, 8.0, 6.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            vec![
+                1.0, 9.0, 2.0, 3.0, 4.0, 5.0, 8.0, 6.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+            ],
             &[1, 4, 4, 1],
         )
         .unwrap();
@@ -264,6 +276,8 @@ mod tests {
         let mut b = Conv2D::with_seed(3, 3, 2, 4, (1, 1), 6);
         b.import_params(&a.export_params()).unwrap();
         assert_eq!(a.export_params(), b.export_params());
-        assert!(b.import_params(&[("kernel".into(), Tensor::zeros(&[1, 1, 1, 1]))]).is_err());
+        assert!(b
+            .import_params(&[("kernel".into(), Tensor::zeros(&[1, 1, 1, 1]))])
+            .is_err());
     }
 }

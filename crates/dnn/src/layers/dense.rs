@@ -122,7 +122,10 @@ impl Layer for Dense {
     }
 
     fn export_params(&self) -> Vec<(String, Tensor)> {
-        vec![("kernel".into(), self.w.clone()), ("bias".into(), self.b.clone())]
+        vec![
+            ("kernel".into(), self.w.clone()),
+            ("bias".into(), self.b.clone()),
+        ]
     }
 
     fn import_params(&mut self, params: &[(String, Tensor)]) -> Result<()> {
@@ -164,8 +167,14 @@ mod tests {
     fn forward_matches_manual() {
         let mut d = Dense::new(2, 2);
         d.import_params(&[
-            ("kernel".into(), Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap()),
-            ("bias".into(), Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap()),
+            (
+                "kernel".into(),
+                Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            ),
+            (
+                "bias".into(),
+                Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+            ),
         ])
         .unwrap();
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
@@ -221,7 +230,11 @@ mod tests {
             d.import_params(&[("kernel".into(), wm)]).unwrap();
             let lm = d.forward(&x, true).unwrap().sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!((grads[i] - num).abs() < 1e-2, "gw[{i}]: {} vs {num}", grads[i]);
+            assert!(
+                (grads[i] - num).abs() < 1e-2,
+                "gw[{i}]: {} vs {num}",
+                grads[i]
+            );
         }
     }
 
@@ -254,8 +267,12 @@ mod tests {
     #[test]
     fn import_rejects_bad_shapes_and_names() {
         let mut d = Dense::new(2, 2);
-        assert!(d.import_params(&[("kernel".into(), Tensor::zeros(&[3, 3]))]).is_err());
-        assert!(d.import_params(&[("mystery".into(), Tensor::zeros(&[2, 2]))]).is_err());
+        assert!(d
+            .import_params(&[("kernel".into(), Tensor::zeros(&[3, 3]))])
+            .is_err());
+        assert!(d
+            .import_params(&[("mystery".into(), Tensor::zeros(&[2, 2]))])
+            .is_err());
     }
 
     #[test]

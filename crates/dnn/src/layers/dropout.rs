@@ -25,7 +25,12 @@ impl Dropout {
     /// Seeded variant for reproducible training runs.
     pub fn with_seed(rate: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
-        Dropout { name: "dropout".into(), rate, rng: ChaCha8Rng::seed_from_u64(seed), mask: None }
+        Dropout {
+            name: "dropout".into(),
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 }
 
@@ -46,10 +51,20 @@ impl Layer for Dropout {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        let data: Vec<f32> =
-            input.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let data: Vec<f32> = input
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
         self.mask = Some(mask);
         Ok(Tensor::from_vec(data, input.dims())?)
     }
@@ -61,8 +76,12 @@ impl Layer for Dropout {
                 if mask.len() != grad_out.len() {
                     return Err(DnnError::ShapeMismatch("dropout grad length".into()));
                 }
-                let data: Vec<f32> =
-                    grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                let data: Vec<f32> = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
                 Ok(Tensor::from_vec(data, grad_out.dims())?)
             }
         }

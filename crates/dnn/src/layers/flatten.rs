@@ -13,7 +13,10 @@ pub struct Flatten {
 impl Flatten {
     /// A flatten layer.
     pub fn new() -> Self {
-        Flatten { name: "flatten".into(), input_dims: None }
+        Flatten {
+            name: "flatten".into(),
+            input_dims: None,
+        }
     }
 }
 
@@ -29,7 +32,9 @@ impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
         let dims = input.dims();
         if dims.is_empty() {
-            return Err(DnnError::ShapeMismatch("flatten needs at least rank 1".into()));
+            return Err(DnnError::ShapeMismatch(
+                "flatten needs at least rank 1".into(),
+            ));
         }
         let batch = dims[0];
         let rest: usize = dims[1..].iter().product();

@@ -16,7 +16,12 @@ impl MaxPool1D {
     /// A pool layer with the given window and stride.
     pub fn new(window: usize, stride: usize) -> Self {
         assert!(window >= 1 && stride >= 1, "window and stride must be >= 1");
-        MaxPool1D { name: "maxpool1d".into(), window, stride, cache: None }
+        MaxPool1D {
+            name: "maxpool1d".into(),
+            window,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -61,7 +66,9 @@ mod tests {
         let mut p = MaxPool1D::new(2, 2);
         let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0], &[1, 4, 1]).unwrap();
         p.forward(&x, true).unwrap();
-        let g = p.backward(&Tensor::from_vec(vec![10.0, 20.0], &[1, 2, 1]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec(vec![10.0, 20.0], &[1, 2, 1]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 10.0, 0.0, 20.0]);
     }
 

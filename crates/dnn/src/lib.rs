@@ -63,7 +63,11 @@ pub trait Layer: Send {
     fn set_name(&mut self, name: String);
 
     /// Forward pass. `training` enables stochastic behaviour (dropout).
-    fn forward(&mut self, input: &viper_tensor::Tensor, training: bool) -> Result<viper_tensor::Tensor>;
+    fn forward(
+        &mut self,
+        input: &viper_tensor::Tensor,
+        training: bool,
+    ) -> Result<viper_tensor::Tensor>;
 
     /// Backward pass: consume `d(loss)/d(output)`, accumulate parameter
     /// gradients, and return `d(loss)/d(input)`.

@@ -180,7 +180,11 @@ mod tests {
             let lp = SoftmaxCrossEntropy.forward(&pp, &target).unwrap();
             let lm = SoftmaxCrossEntropy.forward(&pm, &target).unwrap();
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((g.as_slice()[i] - num).abs() < 1e-3, "g[{i}]: {} vs {num}", g.as_slice()[i]);
+            assert!(
+                (g.as_slice()[i] - num).abs() < 1e-3,
+                "g[{i}]: {} vs {num}",
+                g.as_slice()[i]
+            );
         }
     }
 

@@ -36,7 +36,12 @@ pub struct FitReport {
 impl Model {
     /// An empty model. `seed` controls shuffling.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
-        Model { name: name.into(), layers: Vec::new(), iteration: 0, seed }
+        Model {
+            name: name.into(),
+            layers: Vec::new(),
+            iteration: 0,
+            seed,
+        }
     }
 
     /// Append a layer (builder style). The layer is renamed
@@ -65,7 +70,15 @@ impl Model {
 
     /// Total trainable parameters.
     pub fn num_parameters(&self) -> usize {
-        self.layers.iter().map(|l| l.export_params().iter().map(|(_, t)| t.len()).sum::<usize>()).sum()
+        self.layers
+            .iter()
+            .map(|l| {
+                l.export_params()
+                    .iter()
+                    .map(|(_, t)| t.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Forward pass through all layers.
@@ -125,7 +138,9 @@ impl Model {
     /// Mean loss of the model over a dataset.
     pub fn evaluate(&mut self, data: &Dataset, loss: &dyn Loss, batch_size: usize) -> Result<f64> {
         if data.is_empty() {
-            return Err(DnnError::InvalidConfig("cannot evaluate on an empty dataset".into()));
+            return Err(DnnError::InvalidConfig(
+                "cannot evaluate on an empty dataset".into(),
+            ));
         }
         let mut total = 0.0;
         let mut count = 0usize;
@@ -148,10 +163,14 @@ impl Model {
         callbacks: &mut [&mut dyn Callback],
     ) -> Result<FitReport> {
         if cfg.epochs == 0 || cfg.batch_size == 0 {
-            return Err(DnnError::InvalidConfig("epochs and batch_size must be positive".into()));
+            return Err(DnnError::InvalidConfig(
+                "epochs and batch_size must be positive".into(),
+            ));
         }
         if data.is_empty() {
-            return Err(DnnError::InvalidConfig("cannot fit on an empty dataset".into()));
+            return Err(DnnError::InvalidConfig(
+                "cannot fit on an empty dataset".into(),
+            ));
         }
         for cb in callbacks.iter_mut() {
             cb.on_train_begin(self);
@@ -173,8 +192,11 @@ impl Model {
                 batches += 1;
                 report.iterations += 1;
                 report.iteration_losses.push(batch_loss);
-                let event =
-                    TrainEvent { epoch, iteration: self.iteration, batch_loss };
+                let event = TrainEvent {
+                    epoch,
+                    iteration: self.iteration,
+                    batch_loss,
+                };
                 for cb in callbacks.iter_mut() {
                     cb.on_iteration_end(&event, self);
                 }
@@ -203,7 +225,9 @@ impl Model {
             .map(|(n, t)| (format!("model/{n}"), t))
             .collect();
         out.extend(
-            opt.export_state().into_iter().map(|(n, t)| (format!("optimizer/{n}"), t)),
+            opt.export_state()
+                .into_iter()
+                .map(|(n, t)| (format!("optimizer/{n}"), t)),
         );
         out.push((
             "meta/iteration".to_string(),
@@ -257,7 +281,9 @@ impl Model {
     pub fn set_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
         for (name, tensor) in weights {
             let Some((layer_name, suffix)) = name.split_once('/') else {
-                return Err(DnnError::WeightMismatch(format!("malformed weight name {name}")));
+                return Err(DnnError::WeightMismatch(format!(
+                    "malformed weight name {name}"
+                )));
             };
             let layer = self
                 .layers
@@ -274,7 +300,14 @@ impl std::fmt::Debug for Model {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Model")
             .field("name", &self.name)
-            .field("layers", &self.layers.iter().map(|l| l.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self
+                    .layers
+                    .iter()
+                    .map(|l| l.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
             .field("iteration", &self.iteration)
             .field("parameters", &self.num_parameters())
             .finish()
@@ -289,16 +322,8 @@ mod tests {
 
     fn xor_dataset() -> Dataset {
         // XOR, one-hot targets.
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        )
-        .unwrap();
-        let y = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
+        let y = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]).unwrap();
         Dataset::new(x, y).unwrap()
     }
 
@@ -315,7 +340,11 @@ mod tests {
         let data = xor_dataset();
         let loss = losses::SoftmaxCrossEntropy;
         let mut opt = optimizers::Adam::new(0.05);
-        let cfg = FitConfig { epochs: 300, batch_size: 4, shuffle: false };
+        let cfg = FitConfig {
+            epochs: 300,
+            batch_size: 4,
+            shuffle: false,
+        };
         let report = model.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
         let final_loss = *report.epoch_losses.last().unwrap();
         assert!(final_loss < 0.05, "final loss {final_loss}");
@@ -336,7 +365,11 @@ mod tests {
         let data = xor_dataset();
         let loss = losses::SoftmaxCrossEntropy;
         let mut opt = optimizers::Adam::new(0.05);
-        let cfg = FitConfig { epochs: 50, batch_size: 4, shuffle: false };
+        let cfg = FitConfig {
+            epochs: 50,
+            batch_size: 4,
+            shuffle: false,
+        };
         let report = model.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
         assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
     }
@@ -346,10 +379,20 @@ mod tests {
         let mut model = xor_model();
         let data = xor_dataset();
         let mut recorder = LossRecorder::new();
-        let cfg = FitConfig { epochs: 3, batch_size: 2, shuffle: true };
+        let cfg = FitConfig {
+            epochs: 3,
+            batch_size: 2,
+            shuffle: true,
+        };
         let mut opt = optimizers::Sgd::new(0.1);
         let report = model
-            .fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut recorder])
+            .fit(
+                &data,
+                &losses::SoftmaxCrossEntropy,
+                &mut opt,
+                &cfg,
+                &mut [&mut recorder],
+            )
             .unwrap();
         // 4 samples / batch 2 = 2 iterations per epoch, 3 epochs.
         assert_eq!(report.iterations, 6);
@@ -363,8 +406,13 @@ mod tests {
         let mut a = xor_model();
         let data = xor_dataset();
         let mut opt = optimizers::Adam::new(0.05);
-        let cfg = FitConfig { epochs: 20, batch_size: 4, shuffle: false };
-        a.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 20,
+            batch_size: 4,
+            shuffle: false,
+        };
+        a.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [])
+            .unwrap();
 
         let mut b = xor_model();
         b.set_weights(&a.named_weights()).unwrap();
@@ -428,11 +476,15 @@ mod tests {
             .push(layers::Flatten::new())
             .push(layers::Dense::with_seed(7 * 8, 2, 22));
         let mut opt = optimizers::Adam::new(0.01);
-        let cfg = FitConfig { epochs: 30, batch_size: 8, shuffle: true };
-        let report =
-            model.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
-        let (first, last) =
-            (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
+        let cfg = FitConfig {
+            epochs: 30,
+            batch_size: 8,
+            shuffle: true,
+        };
+        let report = model
+            .fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [])
+            .unwrap();
+        let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
         assert!(last < first * 0.5, "loss {first} -> {last}");
     }
 
@@ -443,10 +495,30 @@ mod tests {
         let mut opt = optimizers::Sgd::new(0.1);
         let loss = losses::SoftmaxCrossEntropy;
         assert!(m
-            .fit(&data, &loss, &mut opt, &FitConfig { epochs: 0, batch_size: 1, shuffle: false }, &mut [])
+            .fit(
+                &data,
+                &loss,
+                &mut opt,
+                &FitConfig {
+                    epochs: 0,
+                    batch_size: 1,
+                    shuffle: false
+                },
+                &mut []
+            )
             .is_err());
         assert!(m
-            .fit(&data, &loss, &mut opt, &FitConfig { epochs: 1, batch_size: 0, shuffle: false }, &mut [])
+            .fit(
+                &data,
+                &loss,
+                &mut opt,
+                &FitConfig {
+                    epochs: 1,
+                    batch_size: 0,
+                    shuffle: false
+                },
+                &mut []
+            )
             .is_err());
     }
 
@@ -479,9 +551,14 @@ mod tests {
             .push(layers::Flatten::new())
             .push(layers::Dense::with_seed(14 * 8, 2, 32));
         let mut opt = optimizers::Adam::new(0.01);
-        let cfg = FitConfig { epochs: 25, batch_size: 8, shuffle: true };
-        let report =
-            model.fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 25,
+            batch_size: 8,
+            shuffle: true,
+        };
+        let report = model
+            .fit(&data, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [])
+            .unwrap();
         let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
         assert!(last < first * 0.5, "loss {first} -> {last}");
 
@@ -495,20 +572,30 @@ mod tests {
             .push(layers::Flatten::new())
             .push(layers::Dense::with_seed(14 * 8, 2, 42));
         replica.set_weights(&weights).unwrap();
-        assert_eq!(model.predict(data.x()).unwrap(), replica.predict(data.x()).unwrap());
+        assert_eq!(
+            model.predict(data.x()).unwrap(),
+            replica.predict(data.x()).unwrap()
+        );
     }
 
     #[test]
     fn full_training_state_resume_is_bit_exact() {
         let data = xor_dataset();
         let loss = losses::SoftmaxCrossEntropy;
-        let cfg = FitConfig { epochs: 10, batch_size: 2, shuffle: false };
+        let cfg = FitConfig {
+            epochs: 10,
+            batch_size: 2,
+            shuffle: false,
+        };
 
         // Uninterrupted: 20 epochs.
         let mut cont = xor_model();
         let mut cont_opt = optimizers::Adam::new(0.05);
-        cont.fit(&data, &loss, &mut cont_opt, &cfg, &mut []).unwrap();
-        let cont2 = cont.fit(&data, &loss, &mut cont_opt, &cfg, &mut []).unwrap();
+        cont.fit(&data, &loss, &mut cont_opt, &cfg, &mut [])
+            .unwrap();
+        let cont2 = cont
+            .fit(&data, &loss, &mut cont_opt, &cfg, &mut [])
+            .unwrap();
 
         // Interrupted: 10 epochs, checkpoint through the serialization
         // stack, restore into fresh objects, 10 more epochs.
@@ -524,7 +611,10 @@ mod tests {
         let resumed = b.fit(&data, &loss, &mut b_opt, &cfg, &mut []).unwrap();
 
         assert_eq!(resumed.iteration_losses, cont2.iteration_losses);
-        assert_eq!(b.predict(data.x()).unwrap(), cont.predict(data.x()).unwrap());
+        assert_eq!(
+            b.predict(data.x()).unwrap(),
+            cont.predict(data.x()).unwrap()
+        );
     }
 
     #[test]
@@ -541,7 +631,11 @@ mod tests {
         let data = xor_dataset();
         let loss = losses::SoftmaxCrossEntropy;
         let mut opt = optimizers::Adam::new(0.05);
-        let cfg = FitConfig { epochs: 200, batch_size: 4, shuffle: false };
+        let cfg = FitConfig {
+            epochs: 200,
+            batch_size: 4,
+            shuffle: false,
+        };
         m.fit(&data, &loss, &mut opt, &cfg, &mut []).unwrap();
         let eval = m.evaluate(&data, &loss, 4).unwrap();
         assert!(eval < 0.1, "eval {eval}");

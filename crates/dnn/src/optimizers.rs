@@ -41,13 +41,22 @@ impl Sgd {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Sgd { lr, momentum, velocity: HashMap::new(), step: 0, decay: None }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+            step: 0,
+            decay: None,
+        }
     }
 
     /// Attach a step-decay schedule (builder-style).
     pub fn with_decay(mut self, every: u64, factor: f32) -> Self {
         assert!(every >= 1, "decay period must be >= 1");
-        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
         self.decay = Some(StepDecay { every, factor });
         self
     }
@@ -148,7 +157,14 @@ impl Adam {
     /// Fully parameterised Adam.
     pub fn with_params(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1, beta2, eps, t: 0, moments: HashMap::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            moments: HashMap::new(),
+        }
     }
 }
 
@@ -191,7 +207,9 @@ impl Optimizer for Adam {
                     .or_insert_with(|| (Tensor::zeros(tensor.dims()), Tensor::zeros(tensor.dims())))
                     .1 = tensor.clone();
             } else {
-                return Err(DnnError::WeightMismatch(format!("unknown adam state entry {name}")));
+                return Err(DnnError::WeightMismatch(format!(
+                    "unknown adam state entry {name}"
+                )));
             }
         }
         Ok(())
@@ -204,8 +222,11 @@ impl Optimizer for Adam {
             .or_insert_with(|| (Tensor::zeros(param.dims()), Tensor::zeros(param.dims())));
         let (b1, b2) = (self.beta1, self.beta2);
         // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g².
-        for ((mv, vv), &g) in
-            m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice())
+        for ((mv, vv), &g) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice().iter_mut())
+            .zip(grad.as_slice())
         {
             *mv = b1 * *mv + (1.0 - b1) * g;
             *vv = b2 * *vv + (1.0 - b2) * g * g;
@@ -215,8 +236,11 @@ impl Optimizer for Adam {
         let bias2 = 1.0 - b2.powi(t);
         let lr = self.lr;
         let eps = self.eps;
-        for ((p, &mv), &vv) in
-            param.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        for ((p, &mv), &vv) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_slice())
+            .zip(v.as_slice())
         {
             let m_hat = mv / bias1;
             let v_hat = vv / bias2;
@@ -299,9 +323,7 @@ mod tests {
 
     /// Resuming from exported state continues the exact same trajectory.
     fn resume_matches_continuous(make: impl Fn() -> Box<dyn Optimizer>) {
-        let g = |x: &Tensor| {
-            Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap()
-        };
+        let g = |x: &Tensor| Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap();
         // Continuous run: 20 steps.
         let mut cont = make();
         let mut x_cont = Tensor::from_vec(vec![0.0], &[1]).unwrap();
@@ -326,7 +348,11 @@ mod tests {
             let grad = g(&x_split);
             second.update("x", &mut x_split, &grad);
         }
-        assert_eq!(x_cont.as_slice(), x_split.as_slice(), "resume must be bit-exact");
+        assert_eq!(
+            x_cont.as_slice(),
+            x_split.as_slice(),
+            "resume must be bit-exact"
+        );
     }
 
     #[test]

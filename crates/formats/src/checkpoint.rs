@@ -16,8 +16,16 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Build a checkpoint.
-    pub fn new(model_name: impl Into<String>, iteration: u64, tensors: Vec<(String, Tensor)>) -> Self {
-        Checkpoint { model_name: model_name.into(), iteration, tensors }
+    pub fn new(
+        model_name: impl Into<String>,
+        iteration: u64,
+        tensors: Vec<(String, Tensor)>,
+    ) -> Self {
+        Checkpoint {
+            model_name: model_name.into(),
+            iteration,
+            tensors,
+        }
     }
 
     /// Total payload bytes across all tensors (excluding format framing).
@@ -60,10 +68,15 @@ pub enum FormatError {
 impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FormatError::Truncated { context } => write!(f, "truncated stream while reading {context}"),
+            FormatError::Truncated { context } => {
+                write!(f, "truncated stream while reading {context}")
+            }
             FormatError::BadMagic => write!(f, "bad magic/version: not a recognized checkpoint"),
             FormatError::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             FormatError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
@@ -87,7 +100,11 @@ impl<'a> Reader<'a> {
         self.pos
     }
 
-    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], FormatError> {
+    pub(crate) fn take(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], FormatError> {
         if self.pos + n > self.buf.len() {
             return Err(FormatError::Truncated { context });
         }
@@ -109,7 +126,9 @@ impl<'a> Reader<'a> {
     pub(crate) fn string(&mut self, context: &'static str) -> Result<String, FormatError> {
         let len = self.u32(context)? as usize;
         if len > 1 << 20 {
-            return Err(FormatError::Corrupt(format!("unreasonable string length {len}")));
+            return Err(FormatError::Corrupt(format!(
+                "unreasonable string length {len}"
+            )));
         }
         let bytes = self.take(len, context)?;
         String::from_utf8(bytes.to_vec())
@@ -144,7 +163,9 @@ pub(crate) fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
 
 pub(crate) fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
     if !bytes.len().is_multiple_of(4) {
-        return Err(FormatError::Corrupt("tensor payload not a multiple of 4 bytes".into()));
+        return Err(FormatError::Corrupt(
+            "tensor payload not a multiple of 4 bytes".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(4)

@@ -88,7 +88,9 @@ impl DeltaCheckpoint {
     /// Deserialize and verify a delta.
     pub fn decode(bytes: &[u8]) -> Result<Self, FormatError> {
         if bytes.len() < 4 {
-            return Err(FormatError::Truncated { context: "crc footer" });
+            return Err(FormatError::Truncated {
+                context: "crc footer",
+            });
         }
         let (body, footer) = bytes.split_at(bytes.len() - 4);
         let stored = u32::from_le_bytes(footer.try_into().unwrap());
@@ -129,7 +131,13 @@ impl DeltaCheckpoint {
         for _ in 0..nsame {
             unchanged.push(r.string("unchanged name")?);
         }
-        Ok(DeltaCheckpoint { model_name, base_iteration, iteration, changed, unchanged })
+        Ok(DeltaCheckpoint {
+            model_name,
+            base_iteration,
+            iteration,
+            changed,
+            unchanged,
+        })
     }
 }
 
@@ -198,7 +206,11 @@ pub fn apply(base: &Checkpoint, delta: &DeltaCheckpoint) -> Result<Checkpoint, F
             )));
         }
     }
-    Ok(Checkpoint::new(delta.model_name.clone(), delta.iteration, tensors))
+    Ok(Checkpoint::new(
+        delta.model_name.clone(),
+        delta.iteration,
+        tensors,
+    ))
 }
 
 #[cfg(test)]
@@ -264,7 +276,10 @@ mod tests {
         let d = diff(&base(), &fine_tuned()).unwrap();
         let delta_bytes = d.encode().len();
         let full_bytes = ViperFormat.encode(&fine_tuned()).len();
-        assert!(delta_bytes < full_bytes / 2, "{delta_bytes} vs {full_bytes}");
+        assert!(
+            delta_bytes < full_bytes / 2,
+            "{delta_bytes} vs {full_bytes}"
+        );
     }
 
     #[test]
@@ -300,7 +315,9 @@ mod tests {
         assert!(diff(&base(), &renamed).is_err());
 
         let mut extra = fine_tuned();
-        extra.tensors.push(("new/tensor".into(), Tensor::zeros(&[1])));
+        extra
+            .tensors
+            .push(("new/tensor".into(), Tensor::zeros(&[1])));
         assert!(diff(&base(), &extra).is_err());
 
         let mut swapped = fine_tuned();

@@ -42,7 +42,8 @@ impl CheckpointFormat for H5Lite {
     }
 
     fn encode(&self, ckpt: &Checkpoint) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_size(ckpt.payload_bytes(), ckpt.ntensors()) as usize);
+        let mut out =
+            Vec::with_capacity(self.encoded_size(ckpt.payload_bytes(), ckpt.ntensors()) as usize);
 
         // Superblock.
         out.extend_from_slice(SUPERBLOCK_MAGIC);
@@ -98,7 +99,9 @@ impl CheckpointFormat for H5Lite {
 
     fn decode(&self, bytes: &[u8]) -> Result<Checkpoint, FormatError> {
         if bytes.len() < SUPERBLOCK_SIZE + 4 {
-            return Err(FormatError::Truncated { context: "superblock" });
+            return Err(FormatError::Truncated {
+                context: "superblock",
+            });
         }
         let (body, footer) = bytes.split_at(bytes.len() - 4);
         let stored = u32::from_le_bytes(footer.try_into().unwrap());
@@ -131,7 +134,10 @@ impl CheckpointFormat for H5Lite {
             }
             let _dtype = r.string("dtype attribute")?;
             let _fill = r.u64("fill attribute")?;
-            r.skip(header_start + OBJECT_HEADER_SIZE - r.position(), "object header padding")?;
+            r.skip(
+                header_start + OBJECT_HEADER_SIZE - r.position(),
+                "object header padding",
+            )?;
 
             let n: usize = dims.iter().product();
             let expected_payload = n * 4;
@@ -146,7 +152,10 @@ impl CheckpointFormat for H5Lite {
                     let _ci = r.u32("chunk index")?;
                     let len = r.u32("chunk length")? as usize;
                     let chunk_crc = r.u32("chunk checksum")?;
-                    r.skip(ch_start + CHUNK_HEADER - r.position(), "chunk header padding")?;
+                    r.skip(
+                        ch_start + CHUNK_HEADER - r.position(),
+                        "chunk header padding",
+                    )?;
                     let chunk = r.take(len, "chunk payload")?;
                     if crc32(chunk) != chunk_crc {
                         return Err(FormatError::Corrupt("chunk checksum mismatch".into()));
@@ -165,7 +174,11 @@ impl CheckpointFormat for H5Lite {
                 Tensor::from_vec(data, &dims).map_err(|e| FormatError::Corrupt(e.to_string()))?;
             tensors.push((name, tensor));
         }
-        Ok(Checkpoint { model_name, iteration, tensors })
+        Ok(Checkpoint {
+            model_name,
+            iteration,
+            tensors,
+        })
     }
 
     fn metadata_ops_factor(&self) -> f64 {
@@ -194,8 +207,14 @@ mod tests {
             "ptychonn",
             100,
             vec![
-                ("enc/conv1".into(), Tensor::from_vec((0..64).map(|x| x as f32).collect(), &[4, 4, 4]).unwrap()),
-                ("dec/amp".into(), Tensor::from_vec(vec![1.0; 7], &[7]).unwrap()),
+                (
+                    "enc/conv1".into(),
+                    Tensor::from_vec((0..64).map(|x| x as f32).collect(), &[4, 4, 4]).unwrap(),
+                ),
+                (
+                    "dec/amp".into(),
+                    Tensor::from_vec(vec![1.0; 7], &[7]).unwrap(),
+                ),
                 ("empty".into(), Tensor::zeros(&[0])),
             ],
         )
@@ -213,7 +232,11 @@ mod tests {
         let f = H5Lite;
         // 100k floats = 400 KB > several 60 KiB chunks.
         let data: Vec<f32> = (0..100_000).map(|i| (i % 251) as f32 * 0.5).collect();
-        let ckpt = Checkpoint::new("big", 1, vec![("w".into(), Tensor::from_vec(data, &[100_000]).unwrap())]);
+        let ckpt = Checkpoint::new(
+            "big",
+            1,
+            vec![("w".into(), Tensor::from_vec(data, &[100_000]).unwrap())],
+        );
         assert_eq!(f.decode(&f.encode(&ckpt)).unwrap(), ckpt);
     }
 
@@ -221,7 +244,11 @@ mod tests {
     fn bloat_exceeds_viper_format() {
         use crate::ViperFormat;
         let data: Vec<f32> = vec![1.0; 500_000]; // 2 MB
-        let ckpt = Checkpoint::new("m", 1, vec![("w".into(), Tensor::from_vec(data, &[500_000]).unwrap())]);
+        let ckpt = Checkpoint::new(
+            "m",
+            1,
+            vec![("w".into(), Tensor::from_vec(data, &[500_000]).unwrap())],
+        );
         let h5 = H5Lite.encode(&ckpt).len() as f64;
         let lean = ViperFormat.encode(&ckpt).len() as f64;
         let bloat = h5 / lean;
@@ -242,10 +269,17 @@ mod tests {
     fn encoded_size_prediction_close() {
         let f = H5Lite;
         let data: Vec<f32> = vec![0.5; 200_000];
-        let ckpt = Checkpoint::new("m", 1, vec![("w".into(), Tensor::from_vec(data, &[200_000]).unwrap())]);
+        let ckpt = Checkpoint::new(
+            "m",
+            1,
+            vec![("w".into(), Tensor::from_vec(data, &[200_000]).unwrap())],
+        );
         let actual = f.encode(&ckpt).len() as f64;
         let predicted = f.encoded_size(ckpt.payload_bytes(), ckpt.ntensors()) as f64;
-        assert!((actual - predicted).abs() / actual < 0.02, "actual {actual} predicted {predicted}");
+        assert!(
+            (actual - predicted).abs() / actual < 0.02,
+            "actual {actual} predicted {predicted}"
+        );
     }
 
     #[test]

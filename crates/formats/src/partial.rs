@@ -40,7 +40,9 @@ impl ViperFormat {
     /// payloads), returning name/shape/offset entries in file order.
     pub fn tensor_index(bytes: &[u8]) -> Result<Vec<TensorEntry>, FormatError> {
         if bytes.len() < 4 {
-            return Err(FormatError::Truncated { context: "crc footer" });
+            return Err(FormatError::Truncated {
+                context: "crc footer",
+            });
         }
         let body = &bytes[..bytes.len() - 4];
         let mut r = Reader::new(body);
@@ -65,7 +67,11 @@ impl ViperFormat {
             let n: usize = dims.iter().product();
             let start = r.position();
             r.skip(n * 4, "tensor payload")?;
-            entries.push(TensorEntry { name, dims, payload: start..start + n * 4 });
+            entries.push(TensorEntry {
+                name,
+                dims,
+                payload: start..start + n * 4,
+            });
         }
         Ok(entries)
     }
@@ -94,8 +100,14 @@ mod tests {
             "m",
             9,
             vec![
-                ("conv/kernel".into(), Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]).unwrap()),
-                ("conv/bias".into(), Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap()),
+                (
+                    "conv/kernel".into(),
+                    Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]).unwrap(),
+                ),
+                (
+                    "conv/bias".into(),
+                    Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
+                ),
                 ("dense/kernel".into(), Tensor::full(&[10, 10], 0.5)),
             ],
         )

@@ -16,9 +16,7 @@
 //! crc32     : u32 over everything before the footer
 //! ```
 
-use crate::checkpoint::{
-    bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader,
-};
+use crate::checkpoint::{bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader};
 use crate::{crc32, Checkpoint, CheckpointFormat, FormatError};
 use viper_tensor::Tensor;
 
@@ -57,7 +55,9 @@ impl CheckpointFormat for ViperFormat {
 
     fn decode(&self, bytes: &[u8]) -> Result<Checkpoint, FormatError> {
         if bytes.len() < 4 {
-            return Err(FormatError::Truncated { context: "crc footer" });
+            return Err(FormatError::Truncated {
+                context: "crc footer",
+            });
         }
         let (body, footer) = bytes.split_at(bytes.len() - 4);
         let stored = u32::from_le_bytes(footer.try_into().unwrap());
@@ -90,8 +90,8 @@ impl CheckpointFormat for ViperFormat {
             let n: usize = dims.iter().product();
             let payload = r.take(n * 4, "tensor payload")?;
             let data = bytes_to_f32s(payload)?;
-            let tensor = Tensor::from_vec(data, &dims)
-                .map_err(|e| FormatError::Corrupt(e.to_string()))?;
+            let tensor =
+                Tensor::from_vec(data, &dims).map_err(|e| FormatError::Corrupt(e.to_string()))?;
             tensors.push((name, tensor));
         }
         if r.position() != body.len() {
@@ -100,7 +100,11 @@ impl CheckpointFormat for ViperFormat {
                 body.len() - r.position()
             )));
         }
-        Ok(Checkpoint { model_name, iteration, tensors })
+        Ok(Checkpoint {
+            model_name,
+            iteration,
+            tensors,
+        })
     }
 
     fn metadata_ops_factor(&self) -> f64 {
@@ -122,8 +126,14 @@ mod tests {
             "tc1",
             216,
             vec![
-                ("conv1/kernel".into(), Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.0], &[2, 1, 2]).unwrap()),
-                ("dense/bias".into(), Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap()),
+                (
+                    "conv1/kernel".into(),
+                    Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.0], &[2, 1, 2]).unwrap(),
+                ),
+                (
+                    "dense/bias".into(),
+                    Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap(),
+                ),
             ],
         )
     }
@@ -149,7 +159,10 @@ mod tests {
         let mut bytes = f.encode(&sample());
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        assert!(matches!(f.decode(&bytes), Err(FormatError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            f.decode(&bytes),
+            Err(FormatError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

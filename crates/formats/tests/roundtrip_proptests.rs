@@ -6,14 +6,17 @@ use viper_formats::{Checkpoint, CheckpointFormat, H5Lite, ViperFormat};
 use viper_tensor::Tensor;
 
 fn arb_tensor() -> impl Strategy<Value = Tensor> {
-    (1usize..5, 1usize..5, prop::collection::vec(-1000.0f32..1000.0, 0..25)).prop_map(
-        |(a, b, data)| {
+    (
+        1usize..5,
+        1usize..5,
+        prop::collection::vec(-1000.0f32..1000.0, 0..25),
+    )
+        .prop_map(|(a, b, data)| {
             let n = a * b;
             let mut d = data;
             d.resize(n, 0.25);
             Tensor::from_vec(d, &[a, b]).unwrap()
-        },
-    )
+        })
 }
 
 fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {

@@ -77,7 +77,9 @@ impl SimClock {
     pub fn advance_to(&self, t: SimInstant) -> SimInstant {
         let mut cur = self.now_ns.load(Ordering::Acquire);
         while cur < t.0 {
-            match self.now_ns.compare_exchange_weak(cur, t.0, Ordering::AcqRel, Ordering::Acquire)
+            match self
+                .now_ns
+                .compare_exchange_weak(cur, t.0, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,

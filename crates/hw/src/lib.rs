@@ -41,6 +41,6 @@ pub use profile::MachineProfile;
 pub use storage::{StorageError, StorageTier, StoredObject};
 pub use tier::{Tier, TierSpec};
 pub use xfer::{
-    apply_time, capture_time, delivery_time, price_update, stage_time, CaptureMode, Route,
-    TransferStrategy, UpdateCosts,
+    apply_time, capture_time, chunk_layout, delivery_time, pipeline_costs, pipeline_time,
+    price_update, stage_time, CaptureMode, Route, TransferStrategy, UpdateCosts,
 };

@@ -84,8 +84,16 @@ mod tests {
         let pfs = tier(Tier::Pfs);
         let probe = BandwidthProbe::measure(&pfs, 8 << 30);
         // With an 8 GiB probe the fixed costs are negligible.
-        assert!((probe.write_bw - 1.5e9).abs() / 1.5e9 < 0.05, "{}", probe.write_bw);
-        assert!((probe.read_bw - 1.55e9).abs() / 1.55e9 < 0.05, "{}", probe.read_bw);
+        assert!(
+            (probe.write_bw - 1.5e9).abs() / 1.5e9 < 0.05,
+            "{}",
+            probe.write_bw
+        );
+        assert!(
+            (probe.read_bw - 1.55e9).abs() / 1.55e9 < 0.05,
+            "{}",
+            probe.read_bw
+        );
     }
 
     #[test]

@@ -190,7 +190,8 @@ mod tests {
         let p = MachineProfile::polaris();
         let bytes = 4_700_000_000u64; // TC1
         let gpu = p.gpu_transfer_time(bytes);
-        let host = p.d2h_capture_time(bytes) + p.host_transfer_time(bytes) + p.h2d_apply_time(bytes);
+        let host =
+            p.d2h_capture_time(bytes) + p.host_transfer_time(bytes) + p.h2d_apply_time(bytes);
         let pfs = p.tier(Tier::Pfs).write_time(bytes, 20) + p.tier(Tier::Pfs).read_time(bytes, 20);
         assert!(gpu < host, "{gpu:?} !< {host:?}");
         assert!(host < pfs, "{host:?} !< {pfs:?}");

@@ -31,7 +31,11 @@ pub enum StorageError {
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StorageError::CapacityExceeded { tier, requested, available } => write!(
+            StorageError::CapacityExceeded {
+                tier,
+                requested,
+                available,
+            } => write!(
                 f,
                 "capacity exceeded on {tier}: requested {requested} bytes, {available} available"
             ),
@@ -84,7 +88,11 @@ impl StorageTier {
     /// (created if absent). Objects already present in `dir` from a
     /// previous run are re-indexed on startup, so a "restarted" deployment
     /// can recover durable checkpoints.
-    pub fn with_disk(spec: TierSpec, clock: SimClock, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+    pub fn with_disk(
+        spec: TierSpec,
+        clock: SimClock,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let tier = StorageTier {
@@ -111,7 +119,11 @@ impl StorageTier {
                 *used += bytes.len() as u64;
                 objects.insert(
                     key,
-                    StoredObject { bytes: Arc::new(bytes), ntensors: 0, written_at: tier.clock.now() },
+                    StoredObject {
+                        bytes: Arc::new(bytes),
+                        ntensors: 0,
+                        written_at: tier.clock.now(),
+                    },
                 );
             }
         }
@@ -176,7 +188,12 @@ impl StorageTier {
         let new_len = bytes.len() as u64;
         {
             let mut used = self.used.lock();
-            let existing = self.objects.lock().get(key).map(|o| o.bytes.len() as u64).unwrap_or(0);
+            let existing = self
+                .objects
+                .lock()
+                .get(key)
+                .map(|o| o.bytes.len() as u64)
+                .unwrap_or(0);
             let projected = *used - existing + new_len;
             if projected > self.spec.capacity {
                 return Err(StorageError::CapacityExceeded {
@@ -193,9 +210,14 @@ impl StorageTier {
         self.clock.advance_to(done);
         self.active_ops.fetch_sub(1, Ordering::AcqRel);
         self.persist(key, &bytes);
-        self.objects
-            .lock()
-            .insert(key.to_string(), StoredObject { bytes, ntensors, written_at: done });
+        self.objects.lock().insert(
+            key.to_string(),
+            StoredObject {
+                bytes,
+                ntensors,
+                written_at: done,
+            },
+        );
         Ok(dur)
     }
 
@@ -218,7 +240,12 @@ impl StorageTier {
         let new_len = bytes.len() as u64;
         {
             let mut used = self.used.lock();
-            let existing = self.objects.lock().get(key).map(|o| o.bytes.len() as u64).unwrap_or(0);
+            let existing = self
+                .objects
+                .lock()
+                .get(key)
+                .map(|o| o.bytes.len() as u64)
+                .unwrap_or(0);
             let projected = *used - existing + new_len;
             if projected > self.spec.capacity {
                 return Err(StorageError::CapacityExceeded {
@@ -232,7 +259,11 @@ impl StorageTier {
         self.persist(key, &bytes);
         self.objects.lock().insert(
             key.to_string(),
-            StoredObject { bytes, ntensors, written_at: self.clock.now() },
+            StoredObject {
+                bytes,
+                ntensors,
+                written_at: self.clock.now(),
+            },
         );
         Ok(())
     }
@@ -258,7 +289,9 @@ impl StorageTier {
             .cloned()
             .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
         let load = self.active_ops.fetch_add(1, Ordering::AcqRel) + 1;
-        let dur = self.spec.read_time_loaded(obj.bytes.len() as u64, obj.ntensors, load);
+        let dur = self
+            .spec
+            .read_time_loaded(obj.bytes.len() as u64, obj.ntensors, load);
         self.clock.advance_to(self.clock.now().add(dur));
         self.active_ops.fetch_sub(1, Ordering::AcqRel);
         Ok((obj.bytes, dur))
@@ -272,7 +305,8 @@ impl StorageTier {
         if let Some(obj) = &removed {
             *self.used.lock() -= obj.bytes.len() as u64;
             self.unpersist(key);
-            self.clock.advance_to(self.clock.now().add(self.spec.write_latency));
+            self.clock
+                .advance_to(self.clock.now().add(self.spec.write_latency));
         }
         removed.is_some()
     }
@@ -338,7 +372,10 @@ mod tests {
         let t = tiny_tier(100);
         assert!(t.write("a", Arc::new(vec![0u8; 80]), 1).is_ok());
         let err = t.write("b", Arc::new(vec![0u8; 30]), 1).unwrap_err();
-        assert!(matches!(err, StorageError::CapacityExceeded { available: 20, .. }));
+        assert!(matches!(
+            err,
+            StorageError::CapacityExceeded { available: 20, .. }
+        ));
         // Overwriting the existing object within capacity is fine.
         assert!(t.write("a", Arc::new(vec![0u8; 100]), 1).is_ok());
     }
@@ -377,7 +414,8 @@ mod tests {
         let p = MachineProfile::polaris();
         let clock = SimClock::new();
         let t = StorageTier::new(*p.tier(Tier::Pfs), clock.clone());
-        t.put_uncharged("k", Arc::new(vec![0u8; 1_000_000_000]), 5).unwrap();
+        t.put_uncharged("k", Arc::new(vec![0u8; 1_000_000_000]), 5)
+            .unwrap();
         assert_eq!(clock.now(), crate::SimInstant::ZERO);
         let got = t.get_uncharged("k").unwrap();
         assert_eq!(got.len(), 1_000_000_000);
@@ -400,8 +438,10 @@ mod tests {
         {
             let t = StorageTier::with_disk(*p.tier(Tier::Pfs), SimClock::new(), &dir).unwrap();
             assert!(t.is_disk_backed());
-            t.write("model/node/i5", Arc::new(vec![7u8; 256]), 3).unwrap();
-            t.put_uncharged("model/node/i6", Arc::new(vec![8u8; 128]), 3).unwrap();
+            t.write("model/node/i5", Arc::new(vec![7u8; 256]), 3)
+                .unwrap();
+            t.put_uncharged("model/node/i6", Arc::new(vec![8u8; 128]), 3)
+                .unwrap();
         }
         // "Restart": a fresh tier over the same directory sees the objects.
         let t2 = StorageTier::with_disk(*p.tier(Tier::Pfs), SimClock::new(), &dir).unwrap();
@@ -433,7 +473,8 @@ mod tests {
             for i in 0..8 {
                 let t = Arc::clone(&t);
                 s.spawn(move || {
-                    t.write(&format!("k{i}"), Arc::new(vec![0u8; 10_000]), 2).unwrap();
+                    t.write(&format!("k{i}"), Arc::new(vec![0u8; 10_000]), 2)
+                        .unwrap();
                 });
             }
         });

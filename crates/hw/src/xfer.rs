@@ -67,11 +67,26 @@ impl TransferStrategy {
     /// sync/async distinction there; it appears once).
     pub fn fig8_lineup() -> [TransferStrategy; 5] {
         [
-            TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
-            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Sync },
-            TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Async },
-            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync },
-            TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
+            TransferStrategy {
+                route: Route::PfsStaging,
+                mode: CaptureMode::Sync,
+            },
+            TransferStrategy {
+                route: Route::HostToHost,
+                mode: CaptureMode::Sync,
+            },
+            TransferStrategy {
+                route: Route::HostToHost,
+                mode: CaptureMode::Async,
+            },
+            TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Sync,
+            },
+            TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Async,
+            },
         ]
     }
 
@@ -122,11 +137,17 @@ pub fn capture_time(
     match route {
         Route::GpuToGpu => {
             profile.gpu_capture_time(bytes)
-                + profile.tier(Tier::GpuMem).per_tensor_write.mul_f64(ntensors as f64)
+                + profile
+                    .tier(Tier::GpuMem)
+                    .per_tensor_write
+                    .mul_f64(ntensors as f64)
         }
         Route::HostToHost => {
             profile.d2h_capture_time(bytes)
-                + profile.tier(Tier::HostMem).per_tensor_write.mul_f64(ntensors as f64)
+                + profile
+                    .tier(Tier::HostMem)
+                    .per_tensor_write
+                    .mul_f64(ntensors as f64)
         }
         Route::PfsStaging => {
             let meta_ops = (ntensors as f64 * metadata_factor).ceil() as usize;
@@ -168,16 +189,14 @@ pub fn delivery_time(
 
 /// Consumer-side apply time: copying the received buffer into the live
 /// model's tensors.
-pub fn apply_time(
-    profile: &MachineProfile,
-    route: Route,
-    bytes: u64,
-    ntensors: usize,
-) -> Duration {
+pub fn apply_time(profile: &MachineProfile, route: Route, bytes: u64, ntensors: usize) -> Duration {
     match route {
         Route::GpuToGpu => {
             profile.gpu_capture_time(bytes)
-                + profile.tier(Tier::GpuMem).per_tensor_read.mul_f64(ntensors as f64)
+                + profile
+                    .tier(Tier::GpuMem)
+                    .per_tensor_read
+                    .mul_f64(ntensors as f64)
         }
         Route::HostToHost | Route::PfsStaging => {
             profile.h2d_apply_time(bytes) + Duration::from_millis(1).mul_f64(ntensors as f64)
@@ -205,18 +224,219 @@ pub fn price_update(
     match route {
         // The PFS write blocks training regardless of mode: the snapshot
         // must be durably staged before training mutates the tensors again.
-        Route::PfsStaging => {
-            UpdateCosts { stall: capture, post_stall: delivery + apply, apply, notify }
-        }
+        Route::PfsStaging => UpdateCosts {
+            stall: capture,
+            post_stall: delivery + apply,
+            apply,
+            notify,
+        },
         Route::GpuToGpu | Route::HostToHost => match strategy.mode {
-            CaptureMode::Sync => {
-                UpdateCosts { stall: capture + delivery, post_stall: apply, apply, notify }
-            }
+            CaptureMode::Sync => UpdateCosts {
+                stall: capture + delivery,
+                post_stall: apply,
+                apply,
+                notify,
+            },
             CaptureMode::Async => {
                 let stage = stage_time(profile, route, bytes);
-                UpdateCosts { stall: capture, post_stall: stage + delivery + apply, apply, notify }
+                UpdateCosts {
+                    stall: capture,
+                    post_stall: stage + delivery + apply,
+                    apply,
+                    notify,
+                }
             }
         },
+    }
+}
+
+/// One stage of the chunked transfer pipeline: a bandwidth, a fixed cost
+/// paid per chunk, and a one-time cost paid once per flow (per-tensor
+/// metadata, charged with the first chunk).
+#[derive(Debug, Clone, Copy)]
+struct Stage {
+    bw: f64,
+    per_chunk: Duration,
+    once: Duration,
+}
+
+impl Stage {
+    fn time(&self, chunk: u64, first: bool) -> Duration {
+        let once = if first { self.once } else { Duration::ZERO };
+        self.per_chunk + once + Duration::from_secs_f64(chunk as f64 / self.bw)
+    }
+}
+
+/// Split `bytes` into chunk sizes of at most `chunk_bytes` (last chunk takes
+/// the remainder; zero `chunk_bytes` means one chunk). Mirrors the layout
+/// the fabric's chunked send uses.
+pub fn chunk_layout(bytes: u64, chunk_bytes: u64) -> Vec<u64> {
+    if bytes == 0 || chunk_bytes == 0 || chunk_bytes >= bytes {
+        return vec![bytes];
+    }
+    let mut sizes = vec![chunk_bytes; (bytes / chunk_bytes) as usize];
+    if !bytes.is_multiple_of(chunk_bytes) {
+        sizes.push(bytes % chunk_bytes);
+    }
+    sizes
+}
+
+/// The pipeline's stage lineup for a strategy, plus how many leading stages
+/// run on the producer (and therefore bound the training stall).
+fn pipeline_stages(
+    profile: &MachineProfile,
+    strategy: TransferStrategy,
+    ntensors: usize,
+    metadata_factor: f64,
+) -> (Vec<Stage>, usize) {
+    let n = ntensors as f64;
+    let gpu = profile.tier(Tier::GpuMem);
+    let host = profile.tier(Tier::HostMem);
+    let pfs = profile.tier(Tier::Pfs);
+    match strategy.route {
+        Route::GpuToGpu | Route::HostToHost => {
+            let (capture_bw, stage_bw, wire_bw, apply_bw, tier) =
+                if strategy.route == Route::GpuToGpu {
+                    (
+                        profile.gpu_capture_bw,
+                        profile.gpu_async_stage_bw,
+                        profile.gpu_rdma_bw,
+                        profile.gpu_capture_bw,
+                        gpu,
+                    )
+                } else {
+                    (
+                        profile.d2h_capture_bw,
+                        profile.host_async_stage_bw,
+                        profile.host_rdma_bw,
+                        profile.h2d_apply_bw,
+                        host,
+                    )
+                };
+            let apply_once = match strategy.route {
+                Route::GpuToGpu => tier.per_tensor_read.mul_f64(n),
+                _ => Duration::from_millis(1).mul_f64(n),
+            };
+            let mut stages = vec![Stage {
+                bw: capture_bw,
+                per_chunk: tier.write_latency,
+                once: tier.per_tensor_write.mul_f64(n),
+            }];
+            if strategy.mode == CaptureMode::Async {
+                stages.push(Stage {
+                    bw: stage_bw,
+                    per_chunk: tier.write_latency,
+                    once: Duration::ZERO,
+                });
+            }
+            stages.push(Stage {
+                bw: wire_bw,
+                per_chunk: profile.net_latency,
+                once: Duration::ZERO,
+            });
+            stages.push(Stage {
+                bw: apply_bw,
+                per_chunk: tier.read_latency,
+                once: apply_once,
+            });
+            // Sync: training resumes once the last chunk clears the wire.
+            // Async: only the capture blocks; staging onward is background.
+            let producer_stages = if strategy.mode == CaptureMode::Sync {
+                2
+            } else {
+                1
+            };
+            (stages, producer_stages)
+        }
+        Route::PfsStaging => {
+            let meta = pfs.per_tensor_write.mul_f64((n * metadata_factor).ceil());
+            let meta_read = pfs.per_tensor_read.mul_f64((n * metadata_factor).ceil());
+            let stages = vec![
+                Stage {
+                    bw: pfs.write_bw,
+                    per_chunk: pfs.write_latency,
+                    once: meta,
+                },
+                Stage {
+                    bw: pfs.read_bw,
+                    per_chunk: pfs.read_latency,
+                    once: meta_read,
+                },
+                Stage {
+                    bw: profile.h2d_apply_bw,
+                    per_chunk: host.read_latency,
+                    once: Duration::from_millis(1).mul_f64(n),
+                },
+            ];
+            // The PFS write blocks training regardless of mode.
+            (stages, 1)
+        }
+    }
+}
+
+/// Completion time of each stage after pushing every chunk through the
+/// pipeline: chunk `i` enters stage `s` once both stage `s-1` finished that
+/// chunk and stage `s` finished chunk `i-1` (stages hold one chunk at a
+/// time — same-link serialization).
+fn stage_completions(chunks: &[u64], stages: &[Stage]) -> Vec<Duration> {
+    let mut done = vec![Duration::ZERO; stages.len()];
+    for (ci, &chunk) in chunks.iter().enumerate() {
+        let mut upstream = Duration::ZERO;
+        for (s, stage) in stages.iter().enumerate() {
+            let start = upstream.max(done[s]);
+            done[s] = start + stage.time(chunk, ci == 0);
+            upstream = done[s];
+        }
+    }
+    done
+}
+
+/// Overlapped makespan of one chunked model update (capture → wire → apply
+/// with synchronous capture): the fill of the first chunk, steady-state at
+/// the bottleneck stage, and the drain of the last chunk. Per-chunk fixed
+/// costs (link latency, I/O setup) penalize overly small chunks; a single
+/// chunk degenerates to the monolithic `capture + delivery + apply` sum
+/// (plus those fixed costs).
+pub fn pipeline_time(
+    profile: &MachineProfile,
+    route: Route,
+    bytes: u64,
+    ntensors: usize,
+    chunk_bytes: u64,
+) -> Duration {
+    let strategy = TransferStrategy {
+        route,
+        mode: CaptureMode::Sync,
+    };
+    let (stages, _) = pipeline_stages(profile, strategy, ntensors, 1.0);
+    *stage_completions(&chunk_layout(bytes, chunk_bytes), &stages)
+        .last()
+        .expect("pipeline has stages")
+}
+
+/// Price one *chunked* model update, the pipelined counterpart of
+/// [`price_update`]: `stall` is when the last chunk clears the producer-side
+/// stages (capture alone for async, capture + wire for sync, the PFS write
+/// for the PFS route), and `post_stall` is the remaining drain until the
+/// last chunk is applied. `apply` reports the non-overlapped apply tail.
+pub fn pipeline_costs(
+    profile: &MachineProfile,
+    strategy: TransferStrategy,
+    bytes: u64,
+    ntensors: usize,
+    chunk_bytes: u64,
+    metadata_factor: f64,
+) -> UpdateCosts {
+    let (stages, producer_stages) = pipeline_stages(profile, strategy, ntensors, metadata_factor);
+    let done = stage_completions(&chunk_layout(bytes, chunk_bytes), &stages);
+    let total = *done.last().expect("pipeline has stages");
+    let stall = done[producer_stages - 1];
+    let apply = total.saturating_sub(done[done.len() - 2]);
+    UpdateCosts {
+        stall,
+        post_stall: total.saturating_sub(stall),
+        apply,
+        notify: profile.notify_latency,
     }
 }
 
@@ -314,8 +534,14 @@ mod tests {
     #[test]
     fn metadata_factor_only_hits_pfs() {
         let p = MachineProfile::polaris();
-        let s_gpu = TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync };
-        let s_pfs = TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync };
+        let s_gpu = TransferStrategy {
+            route: Route::GpuToGpu,
+            mode: CaptureMode::Sync,
+        };
+        let s_pfs = TransferStrategy {
+            route: Route::PfsStaging,
+            mode: CaptureMode::Sync,
+        };
         let g1 = price_update(&p, s_gpu, TC1, TC1_TENSORS, 1.0);
         let g4 = price_update(&p, s_gpu, TC1, TC1_TENSORS, 4.0);
         assert_eq!(g1, g4);
@@ -337,5 +563,132 @@ mod tests {
         assert_eq!(Route::GpuToGpu.staging_tier(), Tier::GpuMem);
         assert_eq!(Route::HostToHost.staging_tier(), Tier::HostMem);
         assert_eq!(Route::PfsStaging.staging_tier(), Tier::Pfs);
+    }
+
+    /// Monolithic capture → delivery → apply sum for comparison.
+    fn monolithic(route: Route) -> f64 {
+        let p = MachineProfile::polaris();
+        (capture_time(&p, route, TC1, TC1_TENSORS, 1.0)
+            + delivery_time(&p, route, TC1, TC1_TENSORS, 1.0)
+            + apply_time(&p, route, TC1, TC1_TENSORS))
+        .as_secs_f64()
+    }
+
+    #[test]
+    fn chunk_layout_covers_payload() {
+        assert_eq!(chunk_layout(10, 3), vec![3, 3, 3, 1]);
+        assert_eq!(chunk_layout(9, 3), vec![3, 3, 3]);
+        assert_eq!(chunk_layout(2, 3), vec![2]);
+        assert_eq!(chunk_layout(5, 0), vec![5]);
+        assert_eq!(chunk_layout(0, 64), vec![0]);
+    }
+
+    #[test]
+    fn single_chunk_matches_monolithic_within_fixed_costs() {
+        let p = MachineProfile::polaris();
+        for route in [Route::GpuToGpu, Route::HostToHost, Route::PfsStaging] {
+            let pipe = pipeline_time(&p, route, TC1, TC1_TENSORS, TC1).as_secs_f64();
+            let mono = monolithic(route);
+            // The only differences are per-chunk fixed costs (tier setup
+            // latencies, microseconds against seconds of payload time).
+            let rel = (pipe - mono).abs() / mono;
+            assert!(
+                rel < 0.01,
+                "{route:?}: pipelined {pipe} vs monolithic {mono}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_chunks_strictly_beat_monolithic_on_memory_routes() {
+        let p = MachineProfile::polaris();
+        for route in [Route::GpuToGpu, Route::HostToHost] {
+            let pipe = pipeline_time(&p, route, TC1, TC1_TENSORS, TC1 / 4).as_secs_f64();
+            let mono = monolithic(route);
+            assert!(
+                pipe < mono,
+                "{route:?}: pipelined {pipe} !< monolithic {mono}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_pfs_overlaps_write_and_read() {
+        let p = MachineProfile::polaris();
+        let pipe = pipeline_time(&p, Route::PfsStaging, TC1, TC1_TENSORS, TC1 / 8).as_secs_f64();
+        assert!(pipe < monolithic(Route::PfsStaging));
+    }
+
+    #[test]
+    fn pipelined_route_ordering_preserved() {
+        let p = MachineProfile::polaris();
+        let chunk = 64 * 1024 * 1024;
+        let gpu = pipeline_time(&p, Route::GpuToGpu, TC1, TC1_TENSORS, chunk);
+        let host = pipeline_time(&p, Route::HostToHost, TC1, TC1_TENSORS, chunk);
+        let pfs = pipeline_time(&p, Route::PfsStaging, TC1, TC1_TENSORS, chunk);
+        assert!(gpu < host, "{gpu:?} !< {host:?}");
+        assert!(host < pfs, "{host:?} !< {pfs:?}");
+    }
+
+    #[test]
+    fn tiny_chunks_pay_their_fixed_costs() {
+        // Per-chunk costs (net latency, I/O setup) dominate at small chunk
+        // sizes: 64 KiB chunks must be slower than 64 MiB chunks.
+        let p = MachineProfile::polaris();
+        for route in [Route::GpuToGpu, Route::HostToHost] {
+            let tiny = pipeline_time(&p, route, TC1, TC1_TENSORS, 64 * 1024);
+            let good = pipeline_time(&p, route, TC1, TC1_TENSORS, 64 * 1024 * 1024);
+            assert!(tiny > good, "{route:?}: {tiny:?} !> {good:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_sync_stall_below_monolithic_stall() {
+        let p = MachineProfile::polaris();
+        for route in [Route::GpuToGpu, Route::HostToHost] {
+            let strategy = TransferStrategy {
+                route,
+                mode: CaptureMode::Sync,
+            };
+            let mono = price_update(&p, strategy, TC1, TC1_TENSORS, 1.0).stall;
+            let pipe = pipeline_costs(&p, strategy, TC1, TC1_TENSORS, TC1 / 8, 1.0).stall;
+            assert!(pipe < mono, "{route:?}: {pipe:?} !< {mono:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_async_stall_is_capture_bound() {
+        let p = MachineProfile::polaris();
+        let strategy = TransferStrategy {
+            route: Route::GpuToGpu,
+            mode: CaptureMode::Async,
+        };
+        let pipe = pipeline_costs(&p, strategy, TC1, TC1_TENSORS, TC1 / 8, 1.0);
+        let capture = capture_time(&p, Route::GpuToGpu, TC1, TC1_TENSORS, 1.0);
+        // Async blocks only for the capture stage (within per-chunk costs).
+        let rel = (pipe.stall.as_secs_f64() - capture.as_secs_f64()) / capture.as_secs_f64();
+        assert!(
+            rel.abs() < 0.01,
+            "stall {:?} vs capture {capture:?}",
+            pipe.stall
+        );
+        assert!(pipe.post_stall > Duration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_latency_between_bottleneck_and_sum() {
+        // Sanity bounds: the makespan cannot beat the slowest stage's total
+        // work, and cannot exceed the unpipelined sum of all stages.
+        let p = MachineProfile::polaris();
+        for route in [Route::GpuToGpu, Route::HostToHost, Route::PfsStaging] {
+            let chunk = 256 * 1024 * 1024;
+            let pipe = pipeline_time(&p, route, TC1, TC1_TENSORS, chunk).as_secs_f64();
+            let wire = delivery_time(&p, route, TC1, TC1_TENSORS, 1.0).as_secs_f64();
+            assert!(pipe >= wire, "{route:?}: {pipe} < bottleneck {wire}");
+            assert!(
+                pipe <= monolithic(route) * 1.01,
+                "{route:?}: {pipe} exceeds sum"
+            );
+        }
     }
 }

@@ -89,7 +89,10 @@ impl MetadataDb {
 
     /// Latest version of a model, if any.
     pub fn latest(&self, name: &str) -> Option<ModelRecord> {
-        self.models.read().get(name).and_then(|e| e.history.last().cloned())
+        self.models
+            .read()
+            .get(name)
+            .and_then(|e| e.history.last().cloned())
     }
 
     /// A specific version of a model.
@@ -102,7 +105,11 @@ impl MetadataDb {
 
     /// Full version history of a model (oldest first).
     pub fn history(&self, name: &str) -> Vec<ModelRecord> {
-        self.models.read().get(name).map(|e| e.history.clone()).unwrap_or_default()
+        self.models
+            .read()
+            .get(name)
+            .map(|e| e.history.clone())
+            .unwrap_or_default()
     }
 
     /// Update the stored location/path of an existing version (used when the
@@ -178,7 +185,10 @@ mod tests {
         db.put(rec("m"));
         db.put(rec("m"));
         let h = db.history("m");
-        assert_eq!(h.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            h.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert!(db.history("ghost").is_empty());
     }
 
@@ -201,7 +211,10 @@ mod tests {
             db.put(rec("m"));
         }
         let pruned = db.prune("m", 2);
-        assert_eq!(pruned.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            pruned.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(db.history("m").len(), 2);
         assert_eq!(db.latest("m").unwrap().version, 5);
         assert!(db.prune("m", 10).is_empty());
@@ -217,7 +230,10 @@ mod tests {
                     s.spawn(move || db.put(rec("m")))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
         });
         versions.sort();
         assert_eq!(versions, (1..=16).collect::<Vec<u64>>());
@@ -228,6 +244,9 @@ mod tests {
         let db = MetadataDb::new();
         db.put(rec("zeta"));
         db.put(rec("alpha"));
-        assert_eq!(db.model_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            db.model_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

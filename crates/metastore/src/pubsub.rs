@@ -78,7 +78,10 @@ pub struct PubSub<T> {
 
 impl<T> Default for PubSub<T> {
     fn default() -> Self {
-        PubSub { topics: Mutex::new(HashMap::new()), next_id: AtomicU64::new(0) }
+        PubSub {
+            topics: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        }
     }
 }
 
@@ -92,8 +95,16 @@ impl<T: Clone> PubSub<T> {
     pub fn subscribe(&self, topic: &str) -> Subscription<T> {
         let (tx, rx) = unbounded();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.topics.lock().entry(topic.to_string()).or_default().push((id, tx));
-        Subscription { rx, id, topic: topic.to_string() }
+        self.topics
+            .lock()
+            .entry(topic.to_string())
+            .or_default()
+            .push((id, tx));
+        Subscription {
+            rx,
+            id,
+            topic: topic.to_string(),
+        }
     }
 
     /// Publish `msg` to every live subscriber of `topic`; returns how many

@@ -1,0 +1,458 @@
+//! Chunked-flow framing and receiver-side reassembly.
+//!
+//! Large payloads (multi-GB checkpoints) are split into fixed-size chunks,
+//! each travelling as its own [`Message`](crate::Message) so the fabric can
+//! pipeline them: while chunk `i` occupies the wire, chunk `i+1` is still
+//! being captured upstream, and chunks bound for *different* links overlap
+//! in virtual time. Every chunk carries a [`ChunkHeader`] identifying its
+//! flow, and a [`FlowAssembler`] on the receiver rebuilds the original
+//! payload — tolerating duplicate chunks and arbitrary interleavings of
+//! concurrent flows — releasing it only once complete, so a consumer never
+//! observes a partially assembled payload.
+
+use crate::{LinkKind, Message};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+use viper_hw::SimInstant;
+
+/// Magic bytes marking a chunked-flow message payload ("VPCH").
+pub const CHUNK_MAGIC: u32 = 0x5650_4348;
+
+/// Wire framing carried at the front of every chunk payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Fabric-unique flow this chunk belongs to.
+    pub flow_id: u64,
+    /// Position of this chunk within the flow (0-based).
+    pub chunk_index: u32,
+    /// Total chunks in the flow.
+    pub num_chunks: u32,
+    /// Byte offset of this chunk's body within the original payload.
+    pub offset: u64,
+    /// Total size of the original (unchunked) payload.
+    pub total_bytes: u64,
+}
+
+impl ChunkHeader {
+    /// Encoded header size in bytes.
+    pub const WIRE_SIZE: usize = 4 + 8 + 4 + 4 + 8 + 8;
+
+    /// Serialize the header (little-endian fields after the magic).
+    pub fn encode(&self) -> [u8; Self::WIRE_SIZE] {
+        let mut buf = [0u8; Self::WIRE_SIZE];
+        buf[0..4].copy_from_slice(&CHUNK_MAGIC.to_le_bytes());
+        buf[4..12].copy_from_slice(&self.flow_id.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.chunk_index.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.num_chunks.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.offset.to_le_bytes());
+        buf[28..36].copy_from_slice(&self.total_bytes.to_le_bytes());
+        buf
+    }
+
+    /// Parse a framed payload into `(header, body)`. Returns `None` when the
+    /// payload is not a chunk (too short, wrong magic, or inconsistent
+    /// geometry) — such payloads are ordinary monolithic messages.
+    pub fn decode(payload: &[u8]) -> Option<(ChunkHeader, &[u8])> {
+        if payload.len() < Self::WIRE_SIZE {
+            return None;
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("4 B"));
+        let u64_at = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 B"));
+        if u32_at(0) != CHUNK_MAGIC {
+            return None;
+        }
+        let header = ChunkHeader {
+            flow_id: u64_at(4),
+            chunk_index: u32_at(12),
+            num_chunks: u32_at(16),
+            offset: u64_at(20),
+            total_bytes: u64_at(28),
+        };
+        let body = &payload[Self::WIRE_SIZE..];
+        let end = header.offset.checked_add(body.len() as u64)?;
+        let valid = header.num_chunks > 0
+            && header.chunk_index < header.num_chunks
+            && end <= header.total_bytes;
+        valid.then_some((header, body))
+    }
+
+    /// Frame `body` behind this header into one wire payload.
+    pub fn frame(&self, body: &[u8]) -> Vec<u8> {
+        let mut framed = Vec::with_capacity(Self::WIRE_SIZE + body.len());
+        framed.extend_from_slice(&self.encode());
+        framed.extend_from_slice(body);
+        framed
+    }
+}
+
+/// Options for a chunked send (see [`Endpoint::send_chunked`]
+/// (crate::Endpoint::send_chunked)).
+#[derive(Debug, Clone)]
+pub struct ChunkedSend {
+    /// Maximum bytes of original payload per chunk (the last chunk may be
+    /// smaller). Zero means "one chunk".
+    pub chunk_bytes: u64,
+    /// Upstream capture bandwidth (bytes/s): chunk `i`'s wire transfer
+    /// cannot start before chunks `0..=i` have been captured at this rate.
+    /// `None` models an already-captured payload (all chunks ready at
+    /// submission).
+    pub capture_bw: Option<f64>,
+    /// Fixed upstream cost per captured chunk (snapshot call overhead).
+    pub capture_fixed: Duration,
+    /// One-time upstream cost before the first chunk (per-tensor metadata).
+    pub capture_once: Duration,
+    /// Pin the flow's submission to a known virtual instant instead of the
+    /// clock's current time — lets concurrent actors model flows that start
+    /// together and overlap on different links.
+    pub submit_at: Option<SimInstant>,
+}
+
+impl ChunkedSend {
+    /// A chunked send with no upstream capture model (payload ready now).
+    pub fn new(chunk_bytes: u64) -> Self {
+        ChunkedSend {
+            chunk_bytes,
+            capture_bw: None,
+            capture_fixed: Duration::ZERO,
+            capture_once: Duration::ZERO,
+            submit_at: None,
+        }
+    }
+
+    /// Overlap the wire with an upstream capture pipeline: chunks become
+    /// ready at `bw` bytes/s with `fixed` per-chunk and `once` per-flow
+    /// overhead.
+    pub fn with_capture(mut self, bw: f64, fixed: Duration, once: Duration) -> Self {
+        self.capture_bw = Some(bw);
+        self.capture_fixed = fixed;
+        self.capture_once = once;
+        self
+    }
+
+    /// Pin the flow's submission instant (see [`ChunkedSend::submit_at`]).
+    pub fn at(mut self, submit_at: SimInstant) -> Self {
+        self.submit_at = Some(submit_at);
+        self
+    }
+}
+
+/// What a completed chunked send reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowReport {
+    /// Fabric-unique flow id.
+    pub flow_id: u64,
+    /// How many chunks were sent.
+    pub num_chunks: u32,
+    /// Original payload size.
+    pub bytes: u64,
+    /// Sum of per-chunk wire times (link busy time).
+    pub wire_total: Duration,
+    /// Virtual time the flow was submitted.
+    pub submitted_at: SimInstant,
+    /// Virtual time the last chunk arrived.
+    pub completed_at: SimInstant,
+}
+
+impl FlowReport {
+    /// Submission-to-last-arrival duration (the overlapped makespan).
+    pub fn makespan(&self) -> Duration {
+        self.completed_at.since(self.submitted_at)
+    }
+}
+
+/// A fully reassembled flow, released by [`FlowAssembler::accept`].
+#[derive(Debug, Clone)]
+pub struct AssembledFlow {
+    /// Flow id from the chunk headers.
+    pub flow_id: u64,
+    /// Sender node.
+    pub from: String,
+    /// Application tag (shared by every chunk of the flow).
+    pub tag: String,
+    /// Link the chunks traversed.
+    pub link: LinkKind,
+    /// The reassembled original payload, byte-identical to what was sent.
+    pub payload: Vec<u8>,
+    /// Arrival time of the last chunk (when the payload became whole).
+    pub completed_at: SimInstant,
+    /// Sum of the distinct chunks' wire times.
+    pub wire_total: Duration,
+}
+
+/// Outcome of feeding one message to a [`FlowAssembler`].
+#[derive(Debug)]
+pub enum FlowStatus {
+    /// Not a chunk: an ordinary monolithic message, returned untouched.
+    Passthrough(Message),
+    /// A chunk was buffered (or ignored as a duplicate); the flow is still
+    /// incomplete.
+    Buffered,
+    /// The final chunk arrived; the whole payload is released at once.
+    Complete(Box<AssembledFlow>),
+}
+
+struct PartialFlow {
+    tag: String,
+    link: LinkKind,
+    num_chunks: u32,
+    buffer: Vec<u8>,
+    received: Vec<bool>,
+    received_count: u32,
+    completed_at: SimInstant,
+    wire_total: Duration,
+}
+
+/// Receiver-side reassembly of chunked flows.
+///
+/// Flows are keyed by `(sender, flow_id)`, so interleaved chunks from
+/// concurrent flows (even from different senders reusing ids) reassemble
+/// independently. Duplicate chunks are ignored; a payload is released
+/// exactly once, only when every chunk has arrived.
+#[derive(Default)]
+pub struct FlowAssembler {
+    flows: HashMap<(String, u64), PartialFlow>,
+    /// Keys of flows already released, so a full set of retransmitted
+    /// duplicates can never assemble (and deliver) a flow a second time.
+    completed: HashSet<(String, u64)>,
+}
+
+impl FlowAssembler {
+    /// An assembler with no flows in progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flows currently buffered (incomplete).
+    pub fn in_progress(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Feed one received message through the assembler.
+    pub fn accept(&mut self, msg: Message) -> FlowStatus {
+        let Some((header, body)) = ChunkHeader::decode(&msg.payload) else {
+            return FlowStatus::Passthrough(msg);
+        };
+        let key = (msg.from.clone(), header.flow_id);
+        if self.completed.contains(&key) {
+            return FlowStatus::Buffered;
+        }
+        let flow = self
+            .flows
+            .entry(key.clone())
+            .or_insert_with(|| PartialFlow {
+                tag: msg.tag.clone(),
+                link: msg.link,
+                num_chunks: header.num_chunks,
+                buffer: vec![0; header.total_bytes as usize],
+                received: vec![false; header.num_chunks as usize],
+                received_count: 0,
+                completed_at: msg.arrived_at,
+                wire_total: Duration::ZERO,
+            });
+        let idx = header.chunk_index as usize;
+        // Geometry mismatches against the flow's first-seen framing, and
+        // duplicates, are dropped: reassembly is idempotent.
+        let consistent = header.num_chunks == flow.num_chunks
+            && header.total_bytes as usize == flow.buffer.len()
+            && header.offset as usize + body.len() <= flow.buffer.len();
+        if !consistent || flow.received[idx] {
+            return FlowStatus::Buffered;
+        }
+        let offset = header.offset as usize;
+        flow.buffer[offset..offset + body.len()].copy_from_slice(body);
+        flow.received[idx] = true;
+        flow.received_count += 1;
+        flow.completed_at = flow.completed_at.max(msg.arrived_at);
+        flow.wire_total += msg.wire_time;
+        if flow.received_count < flow.num_chunks {
+            return FlowStatus::Buffered;
+        }
+        let done = self.flows.remove(&key).expect("flow present");
+        self.completed.insert(key);
+        FlowStatus::Complete(Box::new(AssembledFlow {
+            flow_id: header.flow_id,
+            from: msg.from,
+            tag: done.tag,
+            link: done.link,
+            payload: done.buffer,
+            completed_at: done.completed_at,
+            wire_total: done.wire_total,
+        }))
+    }
+}
+
+/// Split `bytes` into chunk sizes of at most `chunk_bytes` each (the last
+/// chunk takes the remainder). Always yields at least one chunk, so empty
+/// payloads still travel as a single (empty) chunk. A zero `chunk_bytes`
+/// means "do not split".
+pub fn chunk_sizes(bytes: u64, chunk_bytes: u64) -> Vec<u64> {
+    if bytes == 0 || chunk_bytes == 0 || chunk_bytes >= bytes {
+        return vec![bytes];
+    }
+    let full = bytes / chunk_bytes;
+    let rest = bytes % chunk_bytes;
+    let mut sizes = vec![chunk_bytes; full as usize];
+    if rest > 0 {
+        sizes.push(rest);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn chunk_msg(flow_id: u64, index: u32, n: u32, payload: &[u8], chunk: u64) -> Message {
+        let sizes = chunk_sizes(payload.len() as u64, chunk);
+        let offset: u64 = sizes[..index as usize].iter().sum();
+        let header = ChunkHeader {
+            flow_id,
+            chunk_index: index,
+            num_chunks: n,
+            offset,
+            total_bytes: payload.len() as u64,
+        };
+        let body = &payload[offset as usize..(offset + sizes[index as usize]) as usize];
+        Message {
+            from: "p".into(),
+            to: "c".into(),
+            tag: "m:1".into(),
+            payload: Arc::new(header.frame(body)),
+            link: LinkKind::GpuDirect,
+            sent_at: SimInstant::ZERO,
+            arrived_at: SimInstant(u64::from(index) + 1),
+            wire_time: Duration::from_nanos(1),
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = ChunkHeader {
+            flow_id: 77,
+            chunk_index: 3,
+            num_chunks: 9,
+            offset: 3 * 1024,
+            total_bytes: 9 * 1024,
+        };
+        let framed = h.frame(&[7u8; 16]);
+        let (back, body) = ChunkHeader::decode(&framed).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(body, &[7u8; 16]);
+    }
+
+    #[test]
+    fn non_chunk_payloads_pass_through() {
+        assert!(ChunkHeader::decode(b"VIPRxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx").is_none());
+        assert!(ChunkHeader::decode(b"short").is_none());
+        let mut asm = FlowAssembler::new();
+        let msg = Message {
+            from: "p".into(),
+            to: "c".into(),
+            tag: "t".into(),
+            payload: Arc::new(vec![1, 2, 3]),
+            link: LinkKind::HostRdma,
+            sent_at: SimInstant::ZERO,
+            arrived_at: SimInstant::ZERO,
+            wire_time: Duration::ZERO,
+        };
+        assert!(matches!(asm.accept(msg), FlowStatus::Passthrough(_)));
+    }
+
+    #[test]
+    fn out_of_order_chunks_reassemble_byte_identical() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut asm = FlowAssembler::new();
+        let n = chunk_sizes(payload.len() as u64, 3000).len() as u32;
+        let mut released = None;
+        for index in (0..n).rev() {
+            match asm.accept(chunk_msg(1, index, n, &payload, 3000)) {
+                FlowStatus::Complete(flow) => released = Some(flow),
+                FlowStatus::Buffered => {}
+                FlowStatus::Passthrough(_) => panic!("chunk misparsed"),
+            }
+        }
+        assert_eq!(released.unwrap().payload, payload);
+        assert_eq!(asm.in_progress(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let payload = vec![9u8; 5000];
+        let mut asm = FlowAssembler::new();
+        assert!(matches!(
+            asm.accept(chunk_msg(4, 0, 2, &payload, 2500)),
+            FlowStatus::Buffered
+        ));
+        assert!(matches!(
+            asm.accept(chunk_msg(4, 0, 2, &payload, 2500)),
+            FlowStatus::Buffered
+        ));
+        let FlowStatus::Complete(flow) = asm.accept(chunk_msg(4, 1, 2, &payload, 2500)) else {
+            panic!("flow should complete");
+        };
+        assert_eq!(flow.payload, payload);
+    }
+
+    #[test]
+    fn concurrent_flows_interleave_independently() {
+        let a: Vec<u8> = vec![1; 4000];
+        let b: Vec<u8> = vec![2; 6000];
+        let mut asm = FlowAssembler::new();
+        assert!(matches!(
+            asm.accept(chunk_msg(1, 0, 2, &a, 2000)),
+            FlowStatus::Buffered
+        ));
+        assert!(matches!(
+            asm.accept(chunk_msg(2, 0, 3, &b, 2000)),
+            FlowStatus::Buffered
+        ));
+        assert!(matches!(
+            asm.accept(chunk_msg(2, 1, 3, &b, 2000)),
+            FlowStatus::Buffered
+        ));
+        let FlowStatus::Complete(fa) = asm.accept(chunk_msg(1, 1, 2, &a, 2000)) else {
+            panic!("flow a should complete");
+        };
+        assert_eq!(fa.payload, a);
+        assert_eq!(asm.in_progress(), 1);
+        let FlowStatus::Complete(fb) = asm.accept(chunk_msg(2, 2, 3, &b, 2000)) else {
+            panic!("flow b should complete");
+        };
+        assert_eq!(fb.payload, b);
+    }
+
+    #[test]
+    fn empty_payload_is_a_single_chunk() {
+        assert_eq!(chunk_sizes(0, 1024), vec![0]);
+        let mut asm = FlowAssembler::new();
+        let FlowStatus::Complete(flow) = asm.accept(chunk_msg(8, 0, 1, &[], 1024)) else {
+            panic!("empty flow should complete immediately");
+        };
+        assert!(flow.payload.is_empty());
+    }
+
+    #[test]
+    fn chunk_sizes_cover_payload_exactly() {
+        for (bytes, chunk) in [(10u64, 3u64), (12, 4), (1, 100), (100, 1), (5, 0)] {
+            let sizes = chunk_sizes(bytes, chunk);
+            assert_eq!(sizes.iter().sum::<u64>(), bytes, "{bytes}/{chunk}");
+            assert!(!sizes.is_empty());
+            if chunk > 0 {
+                assert!(sizes.iter().all(|&s| s <= chunk.max(bytes)));
+            }
+        }
+    }
+
+    #[test]
+    fn completion_time_is_last_arrival() {
+        let payload = vec![3u8; 4000];
+        let mut asm = FlowAssembler::new();
+        // Deliver chunk 1 (arrives at t=2) before chunk 0 (arrives at t=1).
+        asm.accept(chunk_msg(5, 1, 2, &payload, 2000));
+        let FlowStatus::Complete(flow) = asm.accept(chunk_msg(5, 0, 2, &payload, 2000)) else {
+            panic!("flow should complete");
+        };
+        assert_eq!(flow.completed_at, SimInstant(2));
+    }
+}

@@ -30,6 +30,11 @@
 
 #![warn(missing_docs)]
 
+mod chunk;
 mod fabric;
 
+pub use chunk::{
+    chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler, FlowReport, FlowStatus,
+    CHUNK_MAGIC,
+};
 pub use fabric::{Endpoint, Fabric, LinkKind, Message, NetError};

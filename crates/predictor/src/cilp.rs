@@ -102,16 +102,29 @@ mod tests {
     use crate::curves::CurveModel;
 
     fn tlp(a: f64, b: f64, c: f64) -> FittedCurve {
-        FittedCurve { model: CurveModel::Exp3 { a, b, c }, mse: 0.0 }
+        FittedCurve {
+            model: CurveModel::Exp3 { a, b, c },
+            mse: 0.0,
+        }
     }
 
     fn params() -> CostParams {
-        CostParams { t_train: 0.1, t_infer: 0.01, t_stall: 0.5, t_load: 0.4 }
+        CostParams {
+            t_train: 0.1,
+            t_infer: 0.01,
+            t_stall: 0.5,
+            t_load: 0.4,
+        }
     }
 
     #[test]
     fn get_iters_without_stalls_is_linear() {
-        let p = CostParams { t_train: 0.1, t_infer: 0.01, t_stall: 0.0, t_load: 0.0 };
+        let p = CostParams {
+            t_train: 0.1,
+            t_infer: 0.01,
+            t_stall: 0.0,
+            t_load: 0.0,
+        };
         assert_eq!(p.get_iters(1.0, 10), 10);
         assert_eq!(p.get_iters(2.05, 10), 20);
     }
@@ -172,7 +185,12 @@ mod tests {
     fn frequent_updates_beat_rare_ones_when_stalls_cheap() {
         // With near-zero stall/load cost there is no downside to frequent
         // checkpoints, so smaller intervals give lower CIL.
-        let p = CostParams { t_train: 0.1, t_infer: 0.01, t_stall: 0.001, t_load: 0.001 };
+        let p = CostParams {
+            t_train: 0.1,
+            t_infer: 0.01,
+            t_stall: 0.001,
+            t_load: 0.001,
+        };
         let t = tlp(2.0, 0.05, 0.2);
         let horizon = 200.0;
         assert!(acc_loss(&t, &p, 5, horizon) < acc_loss(&t, &p, 200, horizon));
@@ -184,7 +202,12 @@ mod tests {
         // time, checkpointing every iteration must be worse than a coarser
         // interval: training progresses far slower, so inferences are served
         // by older (worse) models.
-        let p = CostParams { t_train: 0.01, t_infer: 0.01, t_stall: 5.0, t_load: 5.0 };
+        let p = CostParams {
+            t_train: 0.01,
+            t_infer: 0.01,
+            t_stall: 5.0,
+            t_load: 5.0,
+        };
         let t = tlp(2.0, 0.01, 0.2);
         let horizon = 500.0;
         assert!(acc_loss(&t, &p, 1, horizon) > acc_loss(&t, &p, 100, horizon));

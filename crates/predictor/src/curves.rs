@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn exp3_decays_to_c() {
-        let m = CurveModel::Exp3 { a: 2.0, b: 0.1, c: 0.5 };
+        let m = CurveModel::Exp3 {
+            a: 2.0,
+            b: 0.1,
+            c: 0.5,
+        };
         assert!((m.eval(0.0) - 2.5).abs() < 1e-12);
         assert!((m.eval(1e6) - 0.5).abs() < 1e-9);
     }
@@ -128,7 +132,11 @@ mod tests {
 
     #[test]
     fn expd3_decreases_from_a_to_c_when_c_below_a() {
-        let m = CurveModel::Expd3 { a: 3.0, b: 0.05, c: 0.2 };
+        let m = CurveModel::Expd3 {
+            a: 3.0,
+            b: 0.05,
+            c: 0.2,
+        };
         assert!((m.eval(0.0) - 3.0).abs() < 1e-12);
         assert!((m.eval(1e6) - 0.2).abs() < 1e-9);
         assert!(m.eval(10.0) < m.eval(5.0));
@@ -136,7 +144,11 @@ mod tests {
 
     #[test]
     fn mse_zero_for_perfect_fit() {
-        let m = CurveModel::Exp3 { a: 1.0, b: 0.1, c: 0.3 };
+        let m = CurveModel::Exp3 {
+            a: 1.0,
+            b: 0.1,
+            c: 0.3,
+        };
         let y: Vec<f64> = (0..50).map(|i| m.eval(i as f64)).collect();
         assert!(m.mse(&y) < 1e-20);
         assert_eq!(m.mse(&[]), 0.0);
@@ -151,7 +163,11 @@ mod tests {
 
     #[test]
     fn pow3_decays_to_c() {
-        let m = CurveModel::Pow3 { a: 2.0, b: 0.8, c: 0.3 };
+        let m = CurveModel::Pow3 {
+            a: 2.0,
+            b: 0.8,
+            c: 0.3,
+        };
         assert!((m.eval(0.0) - 2.3).abs() < 1e-12);
         assert!((m.eval(1e9) - 0.3).abs() < 1e-6);
         assert!(m.eval(10.0) < m.eval(1.0));
@@ -161,14 +177,30 @@ mod tests {
     fn pow3_heavier_tail_than_exp3() {
         // Matched at x = 0 and similar early decay, the power law stays
         // higher far out.
-        let p = CurveModel::Pow3 { a: 2.0, b: 1.0, c: 0.0 };
-        let e = CurveModel::Exp3 { a: 2.0, b: 0.05, c: 0.0 };
+        let p = CurveModel::Pow3 {
+            a: 2.0,
+            b: 1.0,
+            c: 0.0,
+        };
+        let e = CurveModel::Exp3 {
+            a: 2.0,
+            b: 0.05,
+            c: 0.0,
+        };
         assert!(p.eval(500.0) > e.eval(500.0));
     }
 
     #[test]
     fn family_names() {
         assert_eq!(CurveModel::Exp2 { a: 0.0, b: 0.0 }.family(), "exp2");
-        assert_eq!(CurveModel::Expd3 { a: 0.0, b: 0.0, c: 0.0 }.family(), "expd3");
+        assert_eq!(
+            CurveModel::Expd3 {
+                a: 0.0,
+                b: 0.0,
+                c: 0.0
+            }
+            .family(),
+            "expd3"
+        );
     }
 }

@@ -35,7 +35,11 @@ impl FittedCurve {
 pub fn fit_best(losses: &[f64]) -> FittedCurve {
     let all = fit_all(losses);
     all.into_iter()
-        .min_by(|a, b| a.mse.partial_cmp(&b.mse).expect("MSE comparison failed (NaN)"))
+        .min_by(|a, b| {
+            a.mse
+                .partial_cmp(&b.mse)
+                .expect("MSE comparison failed (NaN)")
+        })
         .expect("fit_all returned no candidates")
 }
 
@@ -43,7 +47,10 @@ pub fn fit_best(losses: &[f64]) -> FittedCurve {
 /// Exp2, Exp3, Lin2, Expd3 (the paper's Fig. 5 set), then Pow3 (an extra
 /// family from the same survey).
 pub fn fit_all(losses: &[f64]) -> Vec<FittedCurve> {
-    assert!(losses.len() >= 3, "need at least 3 warm-up losses to fit a curve");
+    assert!(
+        losses.len() >= 3,
+        "need at least 3 warm-up losses to fit a curve"
+    );
     vec![
         fit_exp2(losses),
         fit_exp3(losses),
@@ -68,7 +75,10 @@ pub fn fit_lin2(y: &[f64]) -> FittedCurve {
         (a, (sum_y - a * sum_x) / n)
     };
     let model = CurveModel::Lin2 { a, b };
-    FittedCurve { model, mse: model.mse(y) }
+    FittedCurve {
+        model,
+        mse: model.mse(y),
+    }
 }
 
 /// Fit `a exp(-b x)` via LM.
@@ -79,8 +89,14 @@ pub fn fit_exp2(y: &[f64]) -> FittedCurve {
         let e = (-t[1] * x).exp();
         (t[0] * e, vec![e, -t[0] * x * e])
     });
-    let model = CurveModel::Exp2 { a: theta[0], b: theta[1] };
-    FittedCurve { model, mse: model.mse(y) }
+    let model = CurveModel::Exp2 {
+        a: theta[0],
+        b: theta[1],
+    };
+    FittedCurve {
+        model,
+        mse: model.mse(y),
+    }
 }
 
 /// Fit `a exp(-b x) + c` via LM.
@@ -92,8 +108,15 @@ pub fn fit_exp3(y: &[f64]) -> FittedCurve {
         let e = (-t[1] * x).exp();
         (t[0] * e + t[2], vec![e, -t[0] * x * e, 1.0])
     });
-    let model = CurveModel::Exp3 { a: theta[0], b: theta[1], c: theta[2] };
-    FittedCurve { model, mse: model.mse(y) }
+    let model = CurveModel::Exp3 {
+        a: theta[0],
+        b: theta[1],
+        c: theta[2],
+    };
+    FittedCurve {
+        model,
+        mse: model.mse(y),
+    }
 }
 
 /// Fit `c - (c - a) exp(-b x)` via LM.
@@ -104,10 +127,20 @@ pub fn fit_expd3(y: &[f64]) -> FittedCurve {
     let theta = levenberg_marquardt(y, init, |x, t| {
         let e = (-t[1] * x).exp();
         // f = c - (c - a) e
-        (t[2] - (t[2] - t[0]) * e, vec![e, (t[2] - t[0]) * x * e, 1.0 - e])
+        (
+            t[2] - (t[2] - t[0]) * e,
+            vec![e, (t[2] - t[0]) * x * e, 1.0 - e],
+        )
     });
-    let model = CurveModel::Expd3 { a: theta[0], b: theta[1], c: theta[2] };
-    FittedCurve { model, mse: model.mse(y) }
+    let model = CurveModel::Expd3 {
+        a: theta[0],
+        b: theta[1],
+        c: theta[2],
+    };
+    FittedCurve {
+        model,
+        mse: model.mse(y),
+    }
 }
 
 /// Fit `a (x+1)^-b + c` via LM.
@@ -121,8 +154,15 @@ pub fn fit_pow3(y: &[f64]) -> FittedCurve {
         // f = a p + c; df/da = p; df/db = -a ln(base) p; df/dc = 1.
         (t[0] * p + t[2], vec![p, -t[0] * base.ln() * p, 1.0])
     });
-    let model = CurveModel::Pow3 { a: theta[0], b: theta[1], c: theta[2] };
-    FittedCurve { model, mse: model.mse(y) }
+    let model = CurveModel::Pow3 {
+        a: theta[0],
+        b: theta[1],
+        c: theta[2],
+    };
+    FittedCurve {
+        model,
+        mse: model.mse(y),
+    }
 }
 
 /// Heuristic initial decay rate: assume ~3 e-foldings over the window.
@@ -209,7 +249,10 @@ fn solve<const P: usize>(mut a: [[f64; P]; P], mut b: [f64; P]) -> Option<[f64; 
     for col in 0..P {
         // Pivot.
         let pivot = (col..P).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         })?;
         if a[pivot][col].abs() < 1e-300 {
             return None;
@@ -268,7 +311,11 @@ mod tests {
 
     #[test]
     fn exp3_recovers_parameters() {
-        let truth = CurveModel::Exp3 { a: 2.0, b: 0.03, c: 0.4 };
+        let truth = CurveModel::Exp3 {
+            a: 2.0,
+            b: 0.03,
+            c: 0.4,
+        };
         let y = synth(truth, 120, 0.0);
         let fit = fit_exp3(&y);
         assert!(fit.mse < 1e-8, "mse {}", fit.mse);
@@ -291,7 +338,11 @@ mod tests {
 
     #[test]
     fn expd3_recovers_parameters() {
-        let truth = CurveModel::Expd3 { a: 3.0, b: 0.04, c: 0.5 };
+        let truth = CurveModel::Expd3 {
+            a: 3.0,
+            b: 0.04,
+            c: 0.5,
+        };
         let y = synth(truth, 100, 0.0);
         let fit = fit_expd3(&y);
         assert!(fit.mse < 1e-6, "mse {}", fit.mse);
@@ -299,7 +350,11 @@ mod tests {
 
     #[test]
     fn pow3_recovers_parameters() {
-        let truth = CurveModel::Pow3 { a: 2.0, b: 0.7, c: 0.3 };
+        let truth = CurveModel::Pow3 {
+            a: 2.0,
+            b: 0.7,
+            c: 0.3,
+        };
         let y = synth(truth, 150, 0.0);
         let fit = fit_pow3(&y);
         assert!(fit.mse < 1e-6, "mse {}", fit.mse);
@@ -307,7 +362,11 @@ mod tests {
 
     #[test]
     fn pow3_wins_on_power_law_data() {
-        let truth = CurveModel::Pow3 { a: 3.0, b: 0.5, c: 0.2 };
+        let truth = CurveModel::Pow3 {
+            a: 3.0,
+            b: 0.5,
+            c: 0.2,
+        };
         let y = synth(truth, 200, 0.001);
         let best = fit_best(&y);
         assert_eq!(best.model.family(), "pow3", "selected {:?}", best.model);
@@ -317,11 +376,18 @@ mod tests {
     fn best_fit_selects_exp3_for_asymptotic_decay() {
         // TC1-like: decays to a nonzero floor — Exp3/Expd3 families fit;
         // Exp2 (decay to 0) and Lin2 cannot. Mirrors Fig. 5.
-        let truth = CurveModel::Exp3 { a: 2.0, b: 0.02, c: 0.6 };
+        let truth = CurveModel::Exp3 {
+            a: 2.0,
+            b: 0.02,
+            c: 0.6,
+        };
         let y = synth(truth, 150, 0.002);
         let best = fit_best(&y);
         assert!(
-            matches!(best.model, CurveModel::Exp3 { .. } | CurveModel::Expd3 { .. }),
+            matches!(
+                best.model,
+                CurveModel::Exp3 { .. } | CurveModel::Expd3 { .. }
+            ),
             "selected {:?}",
             best.model
         );
@@ -331,7 +397,11 @@ mod tests {
 
     #[test]
     fn best_fit_handles_noise() {
-        let truth = CurveModel::Exp3 { a: 1.0, b: 0.05, c: 0.2 };
+        let truth = CurveModel::Exp3 {
+            a: 1.0,
+            b: 0.05,
+            c: 0.2,
+        };
         let y = synth(truth, 80, 0.02);
         let best = fit_best(&y);
         // Prediction at unseen x should be close to the truth.
@@ -342,7 +412,10 @@ mod tests {
 
     #[test]
     fn loss_pred_clamps_negative() {
-        let fit = FittedCurve { model: CurveModel::Lin2 { a: -1.0, b: 1.0 }, mse: 0.0 };
+        let fit = FittedCurve {
+            model: CurveModel::Lin2 { a: -1.0, b: 1.0 },
+            mse: 0.0,
+        };
         assert_eq!(fit.loss_pred(100.0), 0.0);
         assert_eq!(fit.loss_pred(0.0), 1.0);
     }

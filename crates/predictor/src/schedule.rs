@@ -53,7 +53,10 @@ pub fn evaluate_checkpoints(
     let mut prev_iter = s_iter;
     let mut prev_loss = tlp.loss_pred(s_iter as f64);
     for (idx, &c) in checkpoints.iter().enumerate() {
-        debug_assert!(c > prev_iter, "checkpoints must be ascending and after s_iter");
+        debug_assert!(
+            c > prev_iter,
+            "checkpoints must be ascending and after s_iter"
+        );
         let ver = idx as u64 + 1;
         let (l, n) = cil_interval(params, c - prev_iter, prev_loss, ver, rem);
         total_loss += l;
@@ -80,7 +83,10 @@ pub fn fixed_interval(
     let max_inter = e_iter - s_iter;
     let mut best: Option<Schedule> = None;
     for i in 1..=max_inter {
-        let checkpoints: Vec<u64> = (1..).map(|k| s_iter + k * i).take_while(|&c| c <= e_iter).collect();
+        let checkpoints: Vec<u64> = (1..)
+            .map(|k| s_iter + k * i)
+            .take_while(|&c| c <= e_iter)
+            .collect();
         let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
         let better = best.as_ref().map(|b| cil < b.predicted_cil).unwrap_or(true);
         if better {
@@ -117,7 +123,12 @@ pub fn greedy(
         }
     }
     let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
-    Schedule { algorithm: "greedy".into(), checkpoints, interval: 0, predicted_cil: cil }
+    Schedule {
+        algorithm: "greedy".into(),
+        checkpoints,
+        interval: 0,
+        predicted_cil: cil,
+    }
 }
 
 /// The paper's baseline: checkpoint at every epoch boundary.
@@ -161,10 +172,14 @@ pub fn overhead_bounded(
 ) -> Schedule {
     assert!(e_iter > s_iter, "e_iter must exceed s_iter");
     assert!(max_overhead_ratio > 0.0, "overhead ratio must be positive");
-    let min_interval = (params.t_stall / (max_overhead_ratio * params.t_train)).ceil().max(1.0);
+    let min_interval = (params.t_stall / (max_overhead_ratio * params.t_train))
+        .ceil()
+        .max(1.0);
     let interval = (min_interval as u64).min(e_iter - s_iter);
-    let checkpoints: Vec<u64> =
-        (1..).map(|k| s_iter + k * interval).take_while(|&c| c <= e_iter).collect();
+    let checkpoints: Vec<u64> = (1..)
+        .map(|k| s_iter + k * interval)
+        .take_while(|&c| c <= e_iter)
+        .collect();
     let cil = evaluate_checkpoints(tlp, params, s_iter, &checkpoints, total_infers);
     Schedule {
         algorithm: "checkfreq-style".into(),
@@ -192,11 +207,23 @@ mod tests {
     use crate::curves::CurveModel;
 
     fn tlp() -> FittedCurve {
-        FittedCurve { model: CurveModel::Exp3 { a: 2.0, b: 0.01, c: 0.3 }, mse: 0.0 }
+        FittedCurve {
+            model: CurveModel::Exp3 {
+                a: 2.0,
+                b: 0.01,
+                c: 0.3,
+            },
+            mse: 0.0,
+        }
     }
 
     fn params() -> CostParams {
-        CostParams { t_train: 0.05, t_infer: 0.005, t_stall: 0.2, t_load: 0.2 }
+        CostParams {
+            t_train: 0.05,
+            t_infer: 0.005,
+            t_stall: 0.2,
+            t_load: 0.2,
+        }
     }
 
     #[test]
@@ -247,7 +274,11 @@ mod tests {
         let t = tlp();
         let p = params();
         let plan = greedy(&t, &p, 0, 2000, 100_000, 0.01);
-        assert!(plan.num_checkpoints() >= 3, "got {}", plan.num_checkpoints());
+        assert!(
+            plan.num_checkpoints() >= 3,
+            "got {}",
+            plan.num_checkpoints()
+        );
         let gaps: Vec<u64> = plan.checkpoints.windows(2).map(|w| w[1] - w[0]).collect();
         assert!(
             gaps.last().unwrap() > gaps.first().unwrap(),
@@ -298,7 +329,9 @@ mod tests {
     fn training_overhead_scales_with_checkpoints() {
         let p = params();
         let plan = epoch_baseline(&tlp(), &p, 0, 1000, 100, 1000);
-        assert!((plan.training_overhead(&p) - plan.num_checkpoints() as f64 * p.t_stall).abs() < 1e-12);
+        assert!(
+            (plan.training_overhead(&p) - plan.num_checkpoints() as f64 * p.t_stall).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -326,8 +359,12 @@ mod tests {
         let (s, e, infers) = (216, 216 * 17, 50_000);
         let ipp = fixed_interval(&t, &p, s, e, infers);
         let cf = overhead_bounded(&t, &p, s, e, infers, 0.01);
-        assert!(ipp.predicted_cil <= cf.predicted_cil + 1e-9,
-            "ipp {} vs checkfreq {}", ipp.predicted_cil, cf.predicted_cil);
+        assert!(
+            ipp.predicted_cil <= cf.predicted_cil + 1e-9,
+            "ipp {} vs checkfreq {}",
+            ipp.predicted_cil,
+            cf.predicted_cil
+        );
     }
 
     #[test]

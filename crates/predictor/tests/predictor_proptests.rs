@@ -8,7 +8,12 @@ use viper_predictor::schedule;
 
 fn arb_params() -> impl Strategy<Value = CostParams> {
     (0.01f64..0.5, 0.001f64..0.05, 0.01f64..2.0, 0.01f64..2.0).prop_map(
-        |(t_train, t_infer, t_stall, t_load)| CostParams { t_train, t_infer, t_stall, t_load },
+        |(t_train, t_infer, t_stall, t_load)| CostParams {
+            t_train,
+            t_infer,
+            t_stall,
+            t_load,
+        },
     )
 }
 

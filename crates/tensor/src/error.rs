@@ -41,13 +41,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { got, expected } => {
-                write!(f, "length mismatch: got {got} elements, shape requires {expected}")
+                write!(
+                    f,
+                    "length mismatch: got {got} elements, shape requires {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::RankMismatch { op, got, expected } => {
-                write!(f, "rank mismatch in {op}: got rank {got}, expected {expected}")
+                write!(
+                    f,
+                    "rank mismatch in {op}: got rank {got}, expected {expected}"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -62,14 +68,21 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { got: 3, expected: 4 };
+        let e = TensorError::LengthMismatch {
+            got: 3,
+            expected: 4,
+        };
         assert!(e.to_string().contains("got 3"));
         assert!(e.to_string().contains("requires 4"));
     }
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
         let s = e.to_string();
         assert!(s.contains("matmul"));
         assert!(s.contains("[2, 3]"));

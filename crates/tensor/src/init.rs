@@ -47,7 +47,10 @@ impl Initializer {
                 (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
             }
             Initializer::HeNormal => {
-                let gauss = Gaussian { mean: 0.0, std: (2.0 / fan_in as f32).sqrt() };
+                let gauss = Gaussian {
+                    mean: 0.0,
+                    std: (2.0 / fan_in as f32).sqrt(),
+                };
                 (0..n).map(|_| gauss.sample(rng)).collect()
             }
         }
@@ -101,7 +104,10 @@ mod tests {
         let s = Shape::new(&[3]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert_eq!(Initializer::Zeros.sample(&s, &mut rng), vec![0.0; 3]);
-        assert_eq!(Initializer::Constant(2.5).sample(&s, &mut rng), vec![2.5; 3]);
+        assert_eq!(
+            Initializer::Constant(2.5).sample(&s, &mut rng),
+            vec![2.5; 3]
+        );
     }
 
     #[test]
@@ -138,7 +144,10 @@ mod tests {
         let v = Initializer::HeNormal.sample(&s, &mut rng);
         let (_, std) = stats(&v);
         let expected = (2.0f32 / 800.0).sqrt();
-        assert!((std - expected).abs() < expected * 0.2, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() < expected * 0.2,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

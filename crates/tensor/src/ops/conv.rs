@@ -27,13 +27,23 @@ fn check_conv_shapes(
     let idims = input.dims();
     let kdims = kernel.dims();
     if idims.len() != 3 {
-        return Err(TensorError::RankMismatch { op: "conv1d", got: idims.len(), expected: 3 });
+        return Err(TensorError::RankMismatch {
+            op: "conv1d",
+            got: idims.len(),
+            expected: 3,
+        });
     }
     if kdims.len() != 3 {
-        return Err(TensorError::RankMismatch { op: "conv1d kernel", got: kdims.len(), expected: 3 });
+        return Err(TensorError::RankMismatch {
+            op: "conv1d kernel",
+            got: kdims.len(),
+            expected: 3,
+        });
     }
     if stride == 0 {
-        return Err(TensorError::InvalidArgument("conv1d stride must be >= 1".into()));
+        return Err(TensorError::InvalidArgument(
+            "conv1d stride must be >= 1".into(),
+        ));
     }
     let (batch, length, in_ch) = (idims[0], idims[1], idims[2]);
     let (k, k_in, out_ch) = (kdims[0], kdims[1], kdims[2]);
@@ -88,7 +98,9 @@ pub fn conv1d(input: &Tensor, kernel: &Tensor, stride: usize) -> Result<Tensor> 
             body(b, out_b);
         }
     } else {
-        out.par_chunks_mut(per_sample).enumerate().for_each(|(b, out_b)| body(b, out_b));
+        out.par_chunks_mut(per_sample)
+            .enumerate()
+            .for_each(|(b, out_b)| body(b, out_b));
     }
 
     Tensor::from_vec(out, &[batch, olen, out_ch])
@@ -97,7 +109,12 @@ pub fn conv1d(input: &Tensor, kernel: &Tensor, stride: usize) -> Result<Tensor> 
 /// Gradient of a valid conv1d w.r.t. the kernel.
 ///
 /// `grad_out` must be `[batch, out_len, out_ch]`; returns `[k, in_ch, out_ch]`.
-pub fn conv1d_grad_kernel(input: &Tensor, grad_out: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+pub fn conv1d_grad_kernel(
+    input: &Tensor,
+    grad_out: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Result<Tensor> {
     let idims = input.dims();
     let gdims = grad_out.dims();
     if idims.len() != 3 || gdims.len() != 3 {
@@ -203,10 +220,16 @@ pub fn conv1d_grad_input(
 pub fn maxpool1d(input: &Tensor, window: usize, stride: usize) -> Result<(Tensor, Vec<u32>)> {
     let idims = input.dims();
     if idims.len() != 3 {
-        return Err(TensorError::RankMismatch { op: "maxpool1d", got: idims.len(), expected: 3 });
+        return Err(TensorError::RankMismatch {
+            op: "maxpool1d",
+            got: idims.len(),
+            expected: 3,
+        });
     }
     if window == 0 || stride == 0 {
-        return Err(TensorError::InvalidArgument("maxpool1d window/stride must be >= 1".into()));
+        return Err(TensorError::InvalidArgument(
+            "maxpool1d window/stride must be >= 1".into(),
+        ));
     }
     let (batch, ilen, ch) = (idims[0], idims[1], idims[2]);
     if window > ilen {

@@ -11,19 +11,39 @@ use crate::{Result, Tensor, TensorError};
 use rayon::prelude::*;
 
 /// (batch, h, w, in_ch, kh, kw, out_ch, oh, ow) after validation.
-type Conv2dDims = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+type Conv2dDims = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
 
 fn check_shapes(input: &Tensor, kernel: &Tensor, stride: (usize, usize)) -> Result<Conv2dDims> {
     let idims = input.dims();
     let kdims = kernel.dims();
     if idims.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "conv2d", got: idims.len(), expected: 4 });
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            got: idims.len(),
+            expected: 4,
+        });
     }
     if kdims.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "conv2d kernel", got: kdims.len(), expected: 4 });
+        return Err(TensorError::RankMismatch {
+            op: "conv2d kernel",
+            got: kdims.len(),
+            expected: 4,
+        });
     }
     if stride.0 == 0 || stride.1 == 0 {
-        return Err(TensorError::InvalidArgument("conv2d strides must be >= 1".into()));
+        return Err(TensorError::InvalidArgument(
+            "conv2d strides must be >= 1".into(),
+        ));
     }
     let (batch, h, w, in_ch) = (idims[0], idims[1], idims[2], idims[3]);
     let (kh, kw, k_in, out_ch) = (kdims[0], kdims[1], kdims[2], kdims[3]);
@@ -85,7 +105,9 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, stride: (usize, usize)) -> Result
             body(b, out_b);
         }
     } else {
-        out.par_chunks_mut(per_sample).enumerate().for_each(|(b, out_b)| body(b, out_b));
+        out.par_chunks_mut(per_sample)
+            .enumerate()
+            .for_each(|(b, out_b)| body(b, out_b));
     }
     Tensor::from_vec(out, &[batch, oh, ow, out_ch])
 }
@@ -216,10 +238,16 @@ pub fn maxpool2d(
 ) -> Result<(Tensor, Vec<u32>)> {
     let idims = input.dims();
     if idims.len() != 4 {
-        return Err(TensorError::RankMismatch { op: "maxpool2d", got: idims.len(), expected: 4 });
+        return Err(TensorError::RankMismatch {
+            op: "maxpool2d",
+            got: idims.len(),
+            expected: 4,
+        });
     }
     if window.0 == 0 || window.1 == 0 || stride.0 == 0 || stride.1 == 0 {
-        return Err(TensorError::InvalidArgument("maxpool2d window/stride must be >= 1".into()));
+        return Err(TensorError::InvalidArgument(
+            "maxpool2d window/stride must be >= 1".into(),
+        ));
     }
     let (batch, h, w, ch) = (idims[0], idims[1], idims[2], idims[3]);
     if window.0 > h || window.1 > w {
@@ -270,7 +298,10 @@ mod tests {
     #[test]
     fn identity_kernel_passes_through() {
         // 1x1 kernel with weight 1: output == input.
-        let x = t(&(1..=16).map(|v| v as f32).collect::<Vec<_>>(), &[1, 4, 4, 1]);
+        let x = t(
+            &(1..=16).map(|v| v as f32).collect::<Vec<_>>(),
+            &[1, 4, 4, 1],
+        );
         let k = t(&[1.0], &[1, 1, 1, 1]);
         let y = conv2d(&x, &k, (1, 1)).unwrap();
         assert_eq!(y.as_slice(), x.as_slice());
@@ -306,7 +337,9 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let x = t(
-            &[0.5, -0.3, 0.8, 0.1, -0.6, 0.9, 0.2, -0.4, 0.7, 0.3, -0.2, 0.6, 0.1, 0.5, -0.8, 0.4],
+            &[
+                0.5, -0.3, 0.8, 0.1, -0.6, 0.9, 0.2, -0.4, 0.7, 0.3, -0.2, 0.6, 0.1, 0.5, -0.8, 0.4,
+            ],
             &[1, 4, 4, 1],
         );
         let k = t(&[0.2, -0.5, 0.7, 0.3], &[2, 2, 1, 1]);
@@ -350,8 +383,12 @@ mod tests {
 
     #[test]
     fn maxpool2d_forward_and_indices() {
-        let x = t(&[1.0, 5.0, 2.0, 8.0, 3.0, 0.0, 7.0, 4.0, 6.0, 1.0, 9.0, 2.0, 0.0, 3.0, 1.0, 4.0],
-            &[1, 4, 4, 1]);
+        let x = t(
+            &[
+                1.0, 5.0, 2.0, 8.0, 3.0, 0.0, 7.0, 4.0, 6.0, 1.0, 9.0, 2.0, 0.0, 3.0, 1.0, 4.0,
+            ],
+            &[1, 4, 4, 1],
+        );
         let (y, idx) = maxpool2d(&x, (2, 2), (2, 2)).unwrap();
         assert_eq!(y.dims(), &[1, 2, 2, 1]);
         // Windows: {1,5,3,0}, {2,8,7,4}, {6,1,0,3}, {9,2,1,4}.

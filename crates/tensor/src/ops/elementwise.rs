@@ -29,7 +29,10 @@ pub fn zip(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32>
     if a.len() < PAR_THRESHOLD {
         a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
     } else {
-        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| f(x, y)).collect()
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| f(x, y))
+            .collect()
     }
 }
 
@@ -41,7 +44,9 @@ pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
             *x += alpha * y;
         }
     } else {
-        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x += alpha * y);
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x += alpha * y);
     }
 }
 
@@ -53,7 +58,10 @@ mod tests {
     fn map_small_and_large_agree() {
         let small: Vec<f32> = (0..10).map(|x| x as f32).collect();
         let large: Vec<f32> = (0..PAR_THRESHOLD + 1).map(|x| x as f32).collect();
-        assert_eq!(map(&small, |x| x * 2.0), small.iter().map(|x| x * 2.0).collect::<Vec<_>>());
+        assert_eq!(
+            map(&small, |x| x * 2.0),
+            small.iter().map(|x| x * 2.0).collect::<Vec<_>>()
+        );
         let mapped = map(&large, |x| x + 1.0);
         assert_eq!(mapped[0], 1.0);
         assert_eq!(mapped[large.len() - 1], large[large.len() - 1] + 1.0);

@@ -62,7 +62,11 @@ fn matmul_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
 pub fn transpose(t: &Tensor) -> Result<Tensor> {
     let d = t.dims();
     if d.len() != 2 {
-        return Err(TensorError::RankMismatch { op: "transpose", got: d.len(), expected: 2 });
+        return Err(TensorError::RankMismatch {
+            op: "transpose",
+            got: d.len(),
+            expected: 2,
+        });
     }
     let (m, n) = (d[0], d[1]);
     let src = t.as_slice();

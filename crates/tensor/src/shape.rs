@@ -14,7 +14,9 @@ pub struct Shape {
 impl Shape {
     /// Build a shape from dimension extents.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimension extents.

@@ -29,7 +29,10 @@ impl Tensor {
     /// An all-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.num_elements()], shape }
+        Tensor {
+            data: vec![0.0; shape.num_elements()],
+            shape,
+        }
     }
 
     /// An all-ones tensor.
@@ -40,7 +43,10 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.num_elements()], shape }
+        Tensor {
+            data: vec![value; shape.num_elements()],
+            shape,
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -129,12 +135,18 @@ impl Tensor {
                 expected: new_shape.num_elements(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape: new_shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        })
     }
 
     /// Apply `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        Tensor { data: ops::elementwise::map(&self.data, f), shape: self.shape.clone() }
+        Tensor {
+            data: ops::elementwise::map(&self.data, f),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Apply `f` to every element in place.
@@ -145,7 +157,10 @@ impl Tensor {
     /// Elementwise binary op against a same-shaped tensor.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
         self.check_same_shape(rhs, "zip")?;
-        Ok(Tensor { data: ops::elementwise::zip(&self.data, &rhs.data, f), shape: self.shape.clone() })
+        Ok(Tensor {
+            data: ops::elementwise::zip(&self.data, &rhs.data, f),
+            shape: self.shape.clone(),
+        })
     }
 
     /// Elementwise addition.

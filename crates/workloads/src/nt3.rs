@@ -58,9 +58,20 @@ mod tests {
         let mut m = build_model(2);
         let (train, test) = datasets(0.05, 2);
         let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-        let cfg = FitConfig { epochs: 25, batch_size: 8, shuffle: true };
-        let report =
-            m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 25,
+            batch_size: 8,
+            shuffle: true,
+        };
+        let report = m
+            .fit(
+                &train,
+                &losses::SoftmaxCrossEntropy,
+                &mut opt,
+                &cfg,
+                &mut [],
+            )
+            .unwrap();
         assert!(
             report.epoch_losses.last().unwrap() < &0.3,
             "final loss {}",
@@ -76,8 +87,19 @@ mod tests {
         let mut m = build_model(3);
         let (train, test) = datasets(0.03, 3);
         let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-        let cfg = FitConfig { epochs: 10, batch_size: 8, shuffle: true };
-        m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 10,
+            batch_size: 8,
+            shuffle: true,
+        };
+        m.fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [],
+        )
+        .unwrap();
 
         let mut replica = build_model(999);
         replica.set_weights(&m.named_weights()).unwrap();

@@ -58,8 +58,14 @@ mod tests {
         let mut m = build_model(6);
         let (train, test) = datasets(0.01, 6);
         let mut opt = optimizers::Adam::new(0.003);
-        let cfg = FitConfig { epochs: 30, batch_size: 16, shuffle: true };
-        let report = m.fit(&train, &losses::Mae, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 30,
+            batch_size: 16,
+            shuffle: true,
+        };
+        let report = m
+            .fit(&train, &losses::Mae, &mut opt, &cfg, &mut [])
+            .unwrap();
         let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
         assert!(last < first * 0.7, "MAE {first} -> {last}");
         // Generalizes: test MAE close to train MAE.
@@ -75,8 +81,13 @@ mod tests {
         let mut m = build_model(7);
         let (train, test) = datasets(0.01, 7);
         let mut opt = optimizers::Adam::new(0.002);
-        let cfg = FitConfig { epochs: 25, batch_size: 16, shuffle: true };
-        m.fit(&train, &losses::Mae, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 25,
+            batch_size: 16,
+            shuffle: true,
+        };
+        m.fit(&train, &losses::Mae, &mut opt, &cfg, &mut [])
+            .unwrap();
         let pred = m.predict(test.x()).unwrap();
         let (p, t) = (pred.as_slice(), test.y().as_slice());
         let n = test.len();

@@ -80,7 +80,11 @@ mod tests {
         let mut m = build_model(8);
         let data = dataset(96, 0.02, 8);
         let mut opt = optimizers::Adam::new(0.003);
-        let cfg = FitConfig { epochs: 25, batch_size: 16, shuffle: true };
+        let cfg = FitConfig {
+            epochs: 25,
+            batch_size: 16,
+            shuffle: true,
+        };
         let report = m.fit(&data, &losses::Mae, &mut opt, &cfg, &mut []).unwrap();
         let (first, last) = (report.epoch_losses[0], *report.epoch_losses.last().unwrap());
         assert!(last < first * 0.75, "MAE {first} -> {last}");
@@ -92,6 +96,9 @@ mod tests {
         let data = dataset(8, 0.02, 9);
         let mut replica = build_model(1000);
         replica.set_weights(&m.named_weights()).unwrap();
-        assert_eq!(m.predict(data.x()).unwrap(), replica.predict(data.x()).unwrap());
+        assert_eq!(
+            m.predict(data.x()).unwrap(),
+            replica.predict(data.x()).unwrap()
+        );
     }
 }

@@ -55,9 +55,20 @@ mod tests {
         let mut m = build_model(4);
         let (train, test) = datasets(0.05, 4);
         let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-        let cfg = FitConfig { epochs: 30, batch_size: 16, shuffle: true };
-        let report =
-            m.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut []).unwrap();
+        let cfg = FitConfig {
+            epochs: 30,
+            batch_size: 16,
+            shuffle: true,
+        };
+        let report = m
+            .fit(
+                &train,
+                &losses::SoftmaxCrossEntropy,
+                &mut opt,
+                &cfg,
+                &mut [],
+            )
+            .unwrap();
         // Starts near ln(18) ≈ 2.89 and must drop substantially.
         assert!(report.epoch_losses[0] > 2.0);
         assert!(report.epoch_losses.last().unwrap() < &1.0);
@@ -70,8 +81,12 @@ mod tests {
     fn initial_loss_near_log_classes() {
         let mut m = build_model(5);
         let (train, _) = datasets(0.02, 5);
-        let loss =
-            m.evaluate(&train, &losses::SoftmaxCrossEntropy, 32).unwrap();
-        assert!((loss - (CLASSES as f64).ln()).abs() < 0.5, "initial loss {loss}");
+        let loss = m
+            .evaluate(&train, &losses::SoftmaxCrossEntropy, 32)
+            .unwrap();
+        assert!(
+            (loss - (CLASSES as f64).ln()).abs() < 0.5,
+            "initial loss {loss}"
+        );
     }
 }

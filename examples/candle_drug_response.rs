@@ -29,8 +29,10 @@ impl Callback for ConsumerProbe<'_> {
         }
         if let Some(ckpt) = self.consumer.current() {
             self.replica.set_weights(&ckpt.tensors).unwrap();
-            self.loss_sum +=
-                self.replica.evaluate(self.test, &losses::SoftmaxCrossEntropy, 64).unwrap();
+            self.loss_sum += self
+                .replica
+                .evaluate(self.test, &losses::SoftmaxCrossEntropy, 64)
+                .unwrap();
             self.samples += 1;
         }
     }
@@ -51,9 +53,19 @@ fn run_policy(label: &str, policy_for: impl Fn(&[f64], u64, u64) -> SchedulePoli
 
     // Warm-up epoch: observe losses only.
     let mut callback = CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::Never);
-    let warmup_cfg = FitConfig { epochs: 2, batch_size: 16, shuffle: true };
+    let warmup_cfg = FitConfig {
+        epochs: 2,
+        batch_size: 16,
+        shuffle: true,
+    };
     model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &warmup_cfg, &mut [&mut callback])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &warmup_cfg,
+            &mut [&mut callback],
+        )
         .unwrap();
     let warmup = callback.losses().to_vec();
 
@@ -83,9 +95,19 @@ fn run_policy(label: &str, policy_for: impl Fn(&[f64], u64, u64) -> SchedulePoli
         loss_sum: 0.0,
         samples: 0,
     };
-    let cfg = FitConfig { epochs: fine_epochs as usize, batch_size: 16, shuffle: true };
+    let cfg = FitConfig {
+        epochs: fine_epochs as usize,
+        batch_size: 16,
+        shuffle: true,
+    };
     model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback, &mut probe])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [&mut callback, &mut probe],
+        )
         .unwrap();
     let mean_loss = probe.loss_sum / probe.samples.max(1) as f64;
     println!(
@@ -111,7 +133,10 @@ fn main() {
         // it actually runs on.
         let params = planner::cost_params(
             &viper_hw::MachineProfile::polaris(),
-            viper_hw::TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync },
+            viper_hw::TransferStrategy {
+                route: Route::GpuToGpu,
+                mode: CaptureMode::Sync,
+            },
             500_000,
             10,
             1.0,
@@ -119,7 +144,11 @@ fn main() {
             0.0005,
         );
         let plan = planner::plan_fixed(&tlp, &params, s, e, 50_000);
-        println!("  (IPP chose interval {} -> {} checkpoints)", plan.interval, plan.num_checkpoints());
+        println!(
+            "  (IPP chose interval {} -> {} checkpoints)",
+            plan.interval,
+            plan.num_checkpoints()
+        );
         SchedulePolicy::AtIterations(plan.checkpoints)
     });
 

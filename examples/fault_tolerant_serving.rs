@@ -36,12 +36,29 @@ fn main() {
         let mut callback =
             CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::EveryN(3));
         let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-        let cfg = FitConfig { epochs: 3, batch_size: 8, shuffle: true };
-        model.fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback]).unwrap();
+        let cfg = FitConfig {
+            epochs: 3,
+            batch_size: 8,
+            shuffle: true,
+        };
+        model
+            .fit(
+                &train,
+                &losses::SoftmaxCrossEntropy,
+                &mut opt,
+                &cfg,
+                &mut [&mut callback],
+            )
+            .unwrap();
 
         // Wait for the background flusher to make everything durable.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while viper.metadata().history("nt3").iter().any(|r| r.location != Tier::Pfs.name()) {
+        while viper
+            .metadata()
+            .history("nt3")
+            .iter()
+            .any(|r| r.location != Tier::Pfs.name())
+        {
             assert!(std::time::Instant::now() < deadline, "flush stalled");
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -82,7 +99,10 @@ fn main() {
             break got;
         }
     };
-    println!("live updates resumed: now serving iteration {}", fresh.iteration);
+    println!(
+        "live updates resumed: now serving iteration {}",
+        fresh.iteration
+    );
 
     let _ = std::fs::remove_dir_all(&pfs_dir);
     println!("done");

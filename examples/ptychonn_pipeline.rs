@@ -36,8 +36,20 @@ fn main() {
     // ---- Stage 1: training warm-up -------------------------------------
     let mut callback = CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::Never);
     let mut opt = optimizers::Adam::new(0.003);
-    let warmup_cfg = FitConfig { epochs: 4, batch_size: 16, shuffle: true };
-    model.fit(&train, &losses::Mae, &mut opt, &warmup_cfg, &mut [&mut callback]).unwrap();
+    let warmup_cfg = FitConfig {
+        epochs: 4,
+        batch_size: 16,
+        shuffle: true,
+    };
+    model
+        .fit(
+            &train,
+            &losses::Mae,
+            &mut opt,
+            &warmup_cfg,
+            &mut [&mut callback],
+        )
+        .unwrap();
     let warmup_losses = callback.losses().to_vec();
     println!(
         "warm-up done: {} iterations, loss {:.4} -> {:.4}",
@@ -50,7 +62,10 @@ fn main() {
     let first = Checkpoint::new("ptychonn", model.iteration(), model.named_weights());
     producer.save_weights(&first).unwrap();
     consumer.wait_for_model(Duration::from_secs(10)).unwrap();
-    println!("edge consumer armed with warm-up model (iteration {})", model.iteration());
+    println!(
+        "edge consumer armed with warm-up model (iteration {})",
+        model.iteration()
+    );
 
     // Plan the fine-tuning checkpoint schedule with the IPP.
     let tlp = planner::fit_warmup(&warmup_losses);
@@ -110,8 +125,14 @@ fn main() {
             })
         };
 
-        let cfg = FitConfig { epochs: fine_tune_epochs as usize, batch_size: 16, shuffle: true };
-        model.fit(&train, &losses::Mae, &mut opt, &cfg, &mut [&mut callback]).unwrap();
+        let cfg = FitConfig {
+            epochs: fine_tune_epochs as usize,
+            batch_size: 16,
+            shuffle: true,
+        };
+        model
+            .fit(&train, &losses::Mae, &mut opt, &cfg, &mut [&mut callback])
+            .unwrap();
         std::thread::sleep(Duration::from_millis(200));
         stop.store(true, Ordering::Release);
         edge.join().unwrap()

@@ -18,7 +18,10 @@ fn main() {
     // The producer trains... and periodically saves the model.
     for iteration in [10u64, 20, 30] {
         let weights = vec![
-            ("dense/kernel".to_string(), Tensor::full(&[64, 32], iteration as f32)),
+            (
+                "dense/kernel".to_string(),
+                Tensor::full(&[64, 32], iteration as f32),
+            ),
             ("dense/bias".to_string(), Tensor::zeros(&[32])),
         ];
         let ckpt = Checkpoint::new("demo-model", iteration, weights);

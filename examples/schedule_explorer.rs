@@ -27,15 +27,30 @@ fn simulate_cil(w: &WorkloadProfile, costs: viper_hw::UpdateCosts, ckpts: Vec<u6
 
 fn main() {
     let profile = MachineProfile::polaris();
-    let strategy = TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async };
+    let strategy = TransferStrategy {
+        route: Route::GpuToGpu,
+        mode: CaptureMode::Async,
+    };
 
     for w in WorkloadProfile::fig10_lineup() {
-        println!("== {} ({} GB, {} inferences) ==", w.name, w.model_bytes / 1_000_000_000, w.total_infers);
+        println!(
+            "== {} ({} GB, {} inferences) ==",
+            w.name,
+            w.model_bytes / 1_000_000_000,
+            w.total_infers
+        );
 
         let warmup = w.warmup_losses(42);
-        println!("  learning-curve fits over {} warm-up losses:", warmup.len());
+        println!(
+            "  learning-curve fits over {} warm-up losses:",
+            warmup.len()
+        );
         for candidate in fit::fit_all(&warmup) {
-            println!("    {:<6} mse {:.3e}", candidate.model.family(), candidate.mse);
+            println!(
+                "    {:<6} mse {:.3e}",
+                candidate.model.family(),
+                candidate.mse
+            );
         }
         let tlp = fit::fit_best(&warmup);
         println!("  selected: {}", tlp.model.family());
@@ -49,10 +64,10 @@ fn main() {
         };
         let (s, e) = (w.warmup_end(), w.run_end());
 
-        let baseline: Vec<u64> =
-            (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
-        let base_pred =
-            schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers);
+        let baseline: Vec<u64> = (1..=w.run_epochs)
+            .map(|k| s + k * w.iters_per_epoch)
+            .collect();
+        let base_pred = schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers);
         let fixed = schedule::fixed_interval(&tlp, &params, s, e, w.total_infers);
         let thresh = schedule::threshold_from_warmup(&warmup);
         let greedy = schedule::greedy(&tlp, &params, s, e, w.total_infers, thresh);

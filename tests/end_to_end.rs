@@ -27,9 +27,19 @@ fn training_with_checkpoints_updates_consumer() {
     let receipts = callback.receipts();
 
     let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-    let cfg = FitConfig { epochs: 4, batch_size: 8, shuffle: true };
+    let cfg = FitConfig {
+        epochs: 4,
+        batch_size: 8,
+        shuffle: true,
+    };
     let report = model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [&mut callback],
+        )
         .unwrap();
 
     let expected_ckpts = report.iterations / 4;
@@ -40,7 +50,10 @@ fn training_with_checkpoints_updates_consumer() {
     let last_version = receipts.lock().back().unwrap().version;
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while consumer.last_update().map(|u| u.version).unwrap_or(0) < last_version {
-        assert!(std::time::Instant::now() < deadline, "consumer never caught up");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "consumer never caught up"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     let served = consumer.current().unwrap();
@@ -51,7 +64,10 @@ fn training_with_checkpoints_updates_consumer() {
     let mut replica = viper_workloads::nt3::build_model(999);
     replica.set_weights(&served.tensors).unwrap();
     let (_, test) = viper_workloads::nt3::datasets(0.02, 1);
-    assert_eq!(model.predict(test.x()).unwrap(), replica.predict(test.x()).unwrap());
+    assert_eq!(
+        model.predict(test.x()).unwrap(),
+        replica.predict(test.x()).unwrap()
+    );
 }
 
 #[test]
@@ -85,9 +101,19 @@ fn consumer_serves_inferences_while_updates_stream() {
         };
 
         let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-        let cfg = FitConfig { epochs: 3, batch_size: 8, shuffle: true };
+        let cfg = FitConfig {
+            epochs: 3,
+            batch_size: 8,
+            shuffle: true,
+        };
         model
-            .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback])
+            .fit(
+                &train,
+                &losses::SoftmaxCrossEntropy,
+                &mut opt,
+                &cfg,
+                &mut [&mut callback],
+            )
             .unwrap();
         // Give the async pipeline a moment to drain, then stop serving.
         std::thread::sleep(Duration::from_millis(200));
@@ -95,7 +121,10 @@ fn consumer_serves_inferences_while_updates_stream() {
         handle.join().unwrap()
     });
 
-    assert!(consumer.updates_applied() > 0, "no updates reached the consumer");
+    assert!(
+        consumer.updates_applied() > 0,
+        "no updates reached the consumer"
+    );
     assert!(inferences_served > 0, "no inferences were served");
 }
 
@@ -108,9 +137,19 @@ fn warmup_then_replan_with_ipp() {
     let (train, _) = viper_workloads::nt3::datasets(0.02, 3);
     let mut callback = CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::Never);
     let mut opt = optimizers::Sgd::with_momentum(0.02, 0.9);
-    let cfg = FitConfig { epochs: 4, batch_size: 4, shuffle: true };
+    let cfg = FitConfig {
+        epochs: 4,
+        batch_size: 4,
+        shuffle: true,
+    };
     model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [&mut callback],
+        )
         .unwrap();
     let warmup_losses = callback.losses().to_vec();
     assert!(warmup_losses.len() >= 3);
@@ -121,7 +160,10 @@ fn warmup_then_replan_with_ipp() {
     let e_iter = s_iter + 100;
     let params = planner::cost_params(
         &viper_hw::MachineProfile::polaris(),
-        viper_hw::TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Sync },
+        viper_hw::TransferStrategy {
+            route: Route::GpuToGpu,
+            mode: CaptureMode::Sync,
+        },
         1_700_000_000,
         16,
         1.0,
@@ -135,9 +177,19 @@ fn warmup_then_replan_with_ipp() {
     callback.set_policy(SchedulePolicy::AtIterations(fixed.checkpoints.clone()));
     let receipts = callback.receipts();
     let before = receipts.lock().len();
-    let cfg2 = FitConfig { epochs: 6, batch_size: 4, shuffle: true };
+    let cfg2 = FitConfig {
+        epochs: 6,
+        batch_size: 4,
+        shuffle: true,
+    };
     model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg2, &mut [&mut callback])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg2,
+            &mut [&mut callback],
+        )
         .unwrap();
     let taken = receipts.lock().len() - before;
     let expected: usize = fixed
@@ -147,7 +199,10 @@ fn warmup_then_replan_with_ipp() {
         .count();
     assert_eq!(taken, expected, "callback followed the planned schedule");
     // The greedy plan exists and is well-formed too.
-    assert!(adaptive.checkpoints.iter().all(|&c| c > s_iter && c <= e_iter));
+    assert!(adaptive
+        .checkpoints
+        .iter()
+        .all(|&c| c > s_iter && c <= e_iter));
 }
 
 #[test]

@@ -12,7 +12,11 @@ use viper_net::LinkKind;
 use viper_tensor::Tensor;
 
 fn ckpt(iter: u64) -> Checkpoint {
-    Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[100], iter as f32))])
+    Checkpoint::new(
+        "m",
+        iter,
+        vec![("w".into(), Tensor::full(&[100], iter as f32))],
+    )
 }
 
 #[test]
@@ -31,7 +35,11 @@ fn stale_replay_never_regresses_serving() {
     // version, but the slot rejects models whose iteration regresses.
     producer.save_weights(&ckpt(3)).unwrap();
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(consumer.current_iteration(), Some(5), "stale model must not regress serving");
+    assert_eq!(
+        consumer.current_iteration(),
+        Some(5),
+        "stale model must not regress serving"
+    );
     // Forward progress still works afterwards.
     producer.save_weights(&ckpt(8)).unwrap();
     let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
@@ -62,7 +70,11 @@ fn poisoned_pfs_object_is_skipped_not_fatal() {
     fake.version = version;
     assert!(viper.announce(fake) >= 1);
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(consumer.current_iteration(), Some(1), "poisoned object must not install");
+    assert_eq!(
+        consumer.current_iteration(),
+        Some(1),
+        "poisoned object must not install"
+    );
 
     // The next real save must still install (decode failure of the poisoned
     // object is skipped silently).
@@ -96,11 +108,24 @@ fn staging_tier_capacity_exhaustion_fails_save_but_not_training() {
     let (train, _) = viper_workloads::nt3::datasets(0.02, 9);
     let mut callback = CheckpointCallback::new(Arc::clone(&producer), SchedulePolicy::EveryN(2));
     let mut opt = optimizers::Sgd::new(0.01);
-    let cfg = FitConfig { epochs: 1, batch_size: 8, shuffle: false };
+    let cfg = FitConfig {
+        epochs: 1,
+        batch_size: 8,
+        shuffle: false,
+    };
     let report = model
-        .fit(&train, &losses::SoftmaxCrossEntropy, &mut opt, &cfg, &mut [&mut callback])
+        .fit(
+            &train,
+            &losses::SoftmaxCrossEntropy,
+            &mut opt,
+            &cfg,
+            &mut [&mut callback],
+        )
         .unwrap();
-    assert!(report.iterations > 0, "training survived checkpoint failures");
+    assert!(
+        report.iterations > 0,
+        "training survived checkpoint failures"
+    );
     assert!(callback.failures() > 0);
     assert_eq!(callback.receipts().lock().len(), 0);
 }
@@ -124,7 +149,10 @@ fn transfer_selector_falls_back_when_gpu_memory_full() {
     let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
     assert_eq!(got.iteration, 1);
     // The checkpoint was staged on host memory, not GPU memory.
-    assert_eq!(viper.metadata().latest("m").unwrap().location, Tier::HostMem.name());
+    assert_eq!(
+        viper.metadata().latest("m").unwrap().location,
+        Tier::HostMem.name()
+    );
     assert_eq!(producer.gpu_tier().object_count(), 0);
     assert_eq!(producer.host_tier().object_count(), 1);
 }
@@ -145,7 +173,10 @@ fn transfer_selector_falls_back_to_pfs_when_all_memory_full() {
     producer.save_weights(&ckpt(2)).unwrap();
     let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
     assert_eq!(got.iteration, 2);
-    assert_eq!(viper.metadata().latest("m").unwrap().location, Tier::Pfs.name());
+    assert_eq!(
+        viper.metadata().latest("m").unwrap().location,
+        Tier::Pfs.name()
+    );
 }
 
 #[test]
@@ -166,7 +197,10 @@ fn consumer_recovers_latest_durable_version_after_restart() {
         // Wait until the background flusher has made version 3 durable.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while viper.metadata().get("m", 3).map(|r| r.location) != Some(Tier::Pfs.name().into()) {
-            assert!(std::time::Instant::now() < deadline, "flush never completed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flush never completed"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         // Producer and consumer both "crash" here (dropped).
@@ -211,18 +245,27 @@ fn full_restart_recovers_from_disk_backed_pfs() {
             .iter()
             .any(|r| r.location != Tier::Pfs.name())
         {
-            assert!(std::time::Instant::now() < deadline, "flush never completed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flush never completed"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         // Whole deployment dropped here — "the machine goes down".
     }
 
     let reborn = Viper::new(mk_config());
-    assert!(reborn.metadata().latest("m").is_none(), "metadata did not survive (by design)");
+    assert!(
+        reborn.metadata().latest("m").is_none(),
+        "metadata did not survive (by design)"
+    );
     let recovered = reborn.recover_catalog();
     assert_eq!(recovered, 3, "all three durable checkpoints re-registered");
     let history = reborn.metadata().history("m");
-    assert_eq!(history.iter().map(|r| r.iteration).collect::<Vec<_>>(), vec![10, 20, 30]);
+    assert_eq!(
+        history.iter().map(|r| r.iteration).collect::<Vec<_>>(),
+        vec![10, 20, 30]
+    );
 
     let consumer = reborn.consumer("c2", "m");
     let model = consumer.recover().unwrap();
@@ -245,7 +288,10 @@ fn recover_with_no_durable_copy_errors() {
     assert!(matches!(err, ViperError::UnknownModel(_)), "{err}");
     // And a model that never existed at all:
     let ghost = viper.consumer("c3", "ghost");
-    assert!(matches!(ghost.recover().unwrap_err(), ViperError::UnknownModel(_)));
+    assert!(matches!(
+        ghost.recover().unwrap_err(),
+        ViperError::UnknownModel(_)
+    ));
 }
 
 #[test]
@@ -253,7 +299,9 @@ fn load_weights_times_out_cleanly_when_nothing_arrives() {
     let viper = Viper::new(ViperConfig::default());
     let consumer = viper.consumer("c", "never-saved");
     let start = std::time::Instant::now();
-    let err = consumer.load_weights(Duration::from_millis(100)).unwrap_err();
+    let err = consumer
+        .load_weights(Duration::from_millis(100))
+        .unwrap_err();
     assert!(matches!(err, ViperError::Timeout { .. }));
     assert!(start.elapsed() < Duration::from_secs(5));
     assert!(consumer.current().is_none());
@@ -284,7 +332,10 @@ fn consumer_drop_mid_stream_does_not_poison_producer() {
     producer.save_weights(&ckpt(6)).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while late.current_iteration() != Some(6) {
-        assert!(std::time::Instant::now() < deadline, "late consumer never converged");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "late consumer never converged"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
 }

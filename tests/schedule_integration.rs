@@ -9,7 +9,10 @@ use viper_predictor::schedule;
 use viper_workloads::WorkloadProfile;
 
 fn gpu_strategy() -> TransferStrategy {
-    TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async }
+    TransferStrategy {
+        route: Route::GpuToGpu,
+        mode: CaptureMode::Async,
+    }
 }
 
 /// Ground-truth CIL of a checkpoint list under the DES.
@@ -47,7 +50,9 @@ fn run_fig10(w: &WorkloadProfile) -> (f64, f64, f64, usize, usize) {
     );
     let (s, e) = (w.warmup_end(), w.run_end());
 
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let fixed = planner::plan_fixed(&tlp, &params, s, e, w.total_infers);
     let adaptive = planner::plan_adaptive(&tlp, &params, &warmup, s, e, w.total_infers);
 
@@ -105,12 +110,16 @@ fn predictor_cil_tracks_simulated_cil() {
         w.t_infer,
     );
     let (s, _e) = (w.warmup_end(), w.run_end());
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
-    let predicted =
-        schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers);
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
+    let predicted = schedule::evaluate_checkpoints(&tlp, &params, s, &baseline, w.total_infers);
     let simulated = simulate_cil(&w, baseline);
     let rel = (predicted - simulated).abs() / simulated;
-    assert!(rel < 0.15, "predicted {predicted} vs simulated {simulated} ({rel:.2} rel)");
+    assert!(
+        rel < 0.15,
+        "predicted {predicted} vs simulated {simulated} ({rel:.2} rel)"
+    );
 }
 
 #[test]
@@ -119,12 +128,23 @@ fn faster_transfer_gives_lower_cil_in_sim() {
     let w = WorkloadProfile::tc1();
     let profile = MachineProfile::polaris();
     let (s, _e) = (w.warmup_end(), w.run_end());
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let mut cils = Vec::new();
     for strategy in [
-        TransferStrategy { route: Route::GpuToGpu, mode: CaptureMode::Async },
-        TransferStrategy { route: Route::HostToHost, mode: CaptureMode::Async },
-        TransferStrategy { route: Route::PfsStaging, mode: CaptureMode::Sync },
+        TransferStrategy {
+            route: Route::GpuToGpu,
+            mode: CaptureMode::Async,
+        },
+        TransferStrategy {
+            route: Route::HostToHost,
+            mode: CaptureMode::Async,
+        },
+        TransferStrategy {
+            route: Route::PfsStaging,
+            mode: CaptureMode::Sync,
+        },
     ] {
         let costs = price_update(&profile, strategy, w.model_bytes, w.ntensors, 1.0);
         let cfg = SimConfig {
@@ -142,7 +162,10 @@ fn faster_transfer_gives_lower_cil_in_sim() {
     }
     let (gpu, host, pfs) = (cils[0], cils[1], cils[2]);
     assert!(gpu.0 < host.0 && host.0 < pfs.0, "CIL ordering: {cils:?}");
-    assert!(gpu.1 < host.1 && host.1 < pfs.1, "overhead ordering: {cils:?}");
+    assert!(
+        gpu.1 < host.1 && host.1 < pfs.1,
+        "overhead ordering: {cils:?}"
+    );
 }
 
 #[test]
@@ -150,7 +173,9 @@ fn push_notification_beats_slow_polling() {
     let w = WorkloadProfile::tc1();
     let profile = MachineProfile::polaris();
     let s = w.warmup_end();
-    let baseline: Vec<u64> = (1..=w.run_epochs).map(|k| s + k * w.iters_per_epoch).collect();
+    let baseline: Vec<u64> = (1..=w.run_epochs)
+        .map(|k| s + k * w.iters_per_epoch)
+        .collect();
     let costs = price_update(&profile, gpu_strategy(), w.model_bytes, w.ntensors, 1.0);
     let mk = |discovery| SimConfig {
         t_train: w.t_train,

@@ -39,7 +39,13 @@ fn data_parallel_producers_interleave_versions() {
     let p1 = viper.producer("rank1");
     let consumer = viper.consumer("serving", "m");
 
-    let mk = |iter: u64| Checkpoint::new("m", iter, vec![("w".into(), Tensor::full(&[64], iter as f32))]);
+    let mk = |iter: u64| {
+        Checkpoint::new(
+            "m",
+            iter,
+            vec![("w".into(), Tensor::full(&[64], iter as f32))],
+        )
+    };
     p0.save_weights(&mk(10)).unwrap();
     consumer.load_weights(Duration::from_secs(10)).unwrap();
     p1.save_weights(&mk(20)).unwrap();
@@ -50,8 +56,14 @@ fn data_parallel_producers_interleave_versions() {
     assert_eq!(last.iteration, 30);
     // Versions are globally ordered across producers.
     let history = viper.metadata().history("m");
-    assert_eq!(history.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
-    assert_eq!(history.iter().map(|r| r.iteration).collect::<Vec<_>>(), vec![10, 20, 30]);
+    assert_eq!(
+        history.iter().map(|r| r.version).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    assert_eq!(
+        history.iter().map(|r| r.iteration).collect::<Vec<_>>(),
+        vec![10, 20, 30]
+    );
 }
 
 #[test]
@@ -94,7 +106,12 @@ fn sharded_checkpoint_travels_and_reassembles() {
     let full = big_ckpt(100);
     let shards = shard::split(&full, num_shards);
     let consumers: Vec<_> = (0..num_shards)
-        .map(|i| viper.consumer(&format!("infer{i}"), &shard::shard_name("llm", i, num_shards)))
+        .map(|i| {
+            viper.consumer(
+                &format!("infer{i}"),
+                &shard::shard_name("llm", i, num_shards),
+            )
+        })
         .collect();
 
     for s in &shards {
@@ -123,7 +140,12 @@ fn sharded_stream_across_iterations_yields_newest_model() {
     let producer = viper.producer("tp-rank0");
     let num_shards = 2;
     let consumers: Vec<_> = (0..num_shards)
-        .map(|i| viper.consumer(&format!("infer{i}"), &shard::shard_name("llm", i, num_shards)))
+        .map(|i| {
+            viper.consumer(
+                &format!("infer{i}"),
+                &shard::shard_name("llm", i, num_shards),
+            )
+        })
         .collect();
 
     let mut assembler = ShardAssembler::new("llm", num_shards);

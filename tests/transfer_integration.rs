@@ -13,7 +13,10 @@ fn ckpt(name: &str, iter: u64, elems: usize) -> Checkpoint {
         name,
         iter,
         vec![
-            ("conv/kernel".into(), Tensor::full(&[elems / 2], iter as f32)),
+            (
+                "conv/kernel".into(),
+                Tensor::full(&[elems / 2], iter as f32),
+            ),
             ("dense/bias".into(), Tensor::full(&[elems - elems / 2], 0.5)),
         ],
     )
@@ -63,7 +66,10 @@ fn virtual_latencies_order_like_fig8() {
     let pfs = measured_latency(Route::PfsStaging, CaptureMode::Sync);
     assert!(gpu_sync < host_sync, "gpu {gpu_sync} !< host {host_sync}");
     assert!(host_sync < pfs, "host {host_sync} !< pfs {pfs}");
-    assert!(gpu_async >= gpu_sync, "async {gpu_async} has the extra staging copy");
+    assert!(
+        gpu_async >= gpu_sync,
+        "async {gpu_async} has the extra staging copy"
+    );
 }
 
 #[test]
@@ -96,7 +102,10 @@ fn live_engine_latency_matches_priced_model() {
         .update_latency()
         .as_secs_f64();
         let rel = (measured - predicted).abs() / predicted;
-        assert!(rel < 0.25, "{route:?}: measured {measured:.4}s vs priced {predicted:.4}s");
+        assert!(
+            rel < 0.25,
+            "{route:?}: measured {measured:.4}s vs priced {predicted:.4}s"
+        );
     }
 }
 
@@ -105,7 +114,10 @@ fn sync_stalls_longer_than_async() {
     let (_v, producer, _c) = deploy(Route::HostToHost, CaptureMode::Sync, false);
     let sync_stall = producer.save_weights(&ckpt("m", 1, 500_000)).unwrap().stall;
     let (_v2, producer2, _c2) = deploy(Route::HostToHost, CaptureMode::Async, false);
-    let async_stall = producer2.save_weights(&ckpt("m", 1, 500_000)).unwrap().stall;
+    let async_stall = producer2
+        .save_weights(&ckpt("m", 1, 500_000))
+        .unwrap()
+        .stall;
     assert!(
         async_stall < sync_stall,
         "async stall {async_stall:?} !< sync stall {sync_stall:?}"
@@ -124,7 +136,10 @@ fn background_flush_lands_checkpoints_on_pfs() {
         let record = viper.metadata().get("m", 1);
         if let Some(r) = record {
             if r.location == Tier::Pfs.name() {
-                assert!(viper.pfs().contains(&r.path), "metadata points at a real PFS object");
+                assert!(
+                    viper.pfs().contains(&r.path),
+                    "metadata points at a real PFS object"
+                );
                 break;
             }
         }
@@ -182,9 +197,9 @@ fn staleness_tracks_consumer_lag() {
 
     // Record a newer version without delivering it (simulates a consumer
     // falling behind): register metadata directly.
-    viper.metadata().put(
-        viper_metastore::ModelRecord::new("m", 1, 1, "GPU Memory", "x").at_iteration(25),
-    );
+    viper
+        .metadata()
+        .put(viper_metastore::ModelRecord::new("m", 1, 1, "GPU Memory", "x").at_iteration(25));
     assert_eq!(consumer.staleness(), Some((1, 15)));
 }
 
@@ -203,11 +218,18 @@ fn polling_baseline_discovers_later_than_push() {
         let consumer = viper.consumer("c", "m");
         let receipt = producer.save_weights(&ckpt("m", 1, 10_000)).unwrap();
         consumer.load_weights(Duration::from_secs(10)).unwrap();
-        consumer.last_update().unwrap().swapped_at.since(receipt.started_at).as_secs_f64()
+        consumer
+            .last_update()
+            .unwrap()
+            .swapped_at
+            .since(receipt.started_at)
+            .as_secs_f64()
     };
 
     let push = run(DiscoveryMode::Push);
-    let poll = run(DiscoveryMode::Poll { interval: Duration::from_secs(30) });
+    let poll = run(DiscoveryMode::Poll {
+        interval: Duration::from_secs(30),
+    });
     assert!(
         poll > push + 1.0,
         "a 30 s poll grid must add seconds of discovery delay: push {push:.3}, poll {poll:.3}"
@@ -223,6 +245,16 @@ fn two_consumers_both_receive_updates() {
     let c1 = viper.consumer("c1", "m");
     let c2 = viper.consumer("c2", "m");
     producer.save_weights(&ckpt("m", 3, 100)).unwrap();
-    assert_eq!(c1.wait_for_model(Duration::from_secs(10)).unwrap().iteration, 3);
-    assert_eq!(c2.wait_for_model(Duration::from_secs(10)).unwrap().iteration, 3);
+    assert_eq!(
+        c1.wait_for_model(Duration::from_secs(10))
+            .unwrap()
+            .iteration,
+        3
+    );
+    assert_eq!(
+        c2.wait_for_model(Duration::from_secs(10))
+            .unwrap()
+            .iteration,
+        3
+    );
 }

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the one crossbeam facility it uses: multi-producer
+//! multi-consumer unbounded [`channel`]s with `recv_timeout`, `try_recv`,
+//! queue length inspection, and disconnect-on-drop semantics, implemented
+//! over a `Mutex<VecDeque>` + `Condvar`.
+
+pub mod channel;

@@ -1,0 +1,90 @@
+//! Collection strategies (`prop::collection::vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// `Vec<T>` with a length drawn from `sizes` and elements from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+/// `BTreeSet<T>` with a *target* size drawn from `sizes`; duplicates collapse,
+/// so the realized set may be smaller (real proptest behaves the same way
+/// when the element domain is narrow).
+pub fn btree_set<S>(element: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, sizes }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.sizes.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.sizes.clone());
+        let mut set = BTreeSet::new();
+        // Bounded attempts: narrow element domains may not admit `target`
+        // distinct values.
+        for _ in 0..target.saturating_mul(4) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let mut rng = TestRng::from_seed(3);
+        let s = vec(0u32..10, 1..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_never_exceeds_target() {
+        let mut rng = TestRng::from_seed(4);
+        let s = btree_set(0u8..3, 0..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 3, "only 3 distinct values exist");
+        }
+    }
+}

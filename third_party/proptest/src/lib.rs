@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the proptest surface its property tests use:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, `boxed`, ranges, tuples,
+//!   [`strategy::Just`], and string character-class regexes;
+//! - [`collection::vec`] / [`collection::btree_set`];
+//! - the [`proptest!`] macro running deterministic randomized cases;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`,
+//!   and `prop_oneof!`.
+//!
+//! Differences from real proptest: failing cases are *not shrunk* (the
+//! failing inputs are printed verbatim), regex strategies support only
+//! character classes and `{n,m}`-style counts, and persistence files
+//! (`proptest-regressions`) are ignored. Case count defaults to 256,
+//! overridable with the `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    /// The `prop::` module path (`prop::collection::vec`, ...).
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Payload used by `prop_assume!` to reject a case without failing it.
+#[derive(Debug, Clone, Copy)]
+pub struct AssumeRejected;
+
+/// Number of randomized cases per property (default 256, overridden by the
+/// `PROPTEST_CASES` environment variable).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Run one property over `cases()` randomized cases. Used by the
+/// [`proptest!`] expansion; not public API in real proptest.
+pub fn run_property<F>(test_name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u32) -> Result<(), AssumeRejected>,
+{
+    let mut rng = test_runner::TestRng::for_test(test_name);
+    let total = cases();
+    let mut rejected = 0u32;
+    let mut ran = 0u32;
+    while ran < total {
+        match case(&mut rng, ran) {
+            Ok(()) => ran += 1,
+            Err(AssumeRejected) => {
+                rejected += 1;
+                if rejected > total.saturating_mul(16).max(1024) {
+                    panic!(
+                        "proptest {test_name}: too many prop_assume! rejections \
+                         ({rejected} rejected, {ran}/{total} cases ran)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Assert inside a property; failing prints the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case (rerun with fresh inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::AssumeRejected);
+        }
+    };
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(stringify!($name), |__rng, __case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || -> Result<(), $crate::AssumeRejected> {
+                        $(
+                            #[allow(unused_mut)]
+                            let mut $arg = $arg;
+                        )+
+                        { $body }
+                        Ok(())
+                    },
+                ));
+                match __result {
+                    Ok(outcome) => outcome,
+                    Err(panic) => {
+                        if panic.downcast_ref::<$crate::AssumeRejected>().is_some() {
+                            Err($crate::AssumeRejected)
+                        } else {
+                            eprintln!(
+                                "proptest {}: case {} failed with inputs: {}",
+                                stringify!($name), __case, __inputs
+                            );
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            });
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.0f64..2.0, z in 0usize..1) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert_eq!(z, 0);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u8..4, 10u32..20).prop_map(|(a, b)| (a as u32) + b) ) {
+            prop_assert!((10..24).contains(&pair));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0i32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn btree_set_strategy_bounds_members(s in prop::collection::btree_set(5u64..50, 0..8)) {
+            prop_assert!(s.len() < 8);
+            prop_assert!(s.iter().all(|&x| (5..50).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_selects_each_arm(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn regex_strategy_matches_class(s in "[a-c][0-9x]{2,4}") {
+            let bytes = s.as_bytes();
+            prop_assert!((3..=5).contains(&bytes.len()), "len {}", bytes.len());
+            prop_assert!((b'a'..=b'c').contains(&bytes[0]));
+            prop_assert!(bytes[1..].iter().all(|b| b.is_ascii_digit() || *b == b'x'));
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        let s = crate::collection::vec(0u64..1000, 0..10);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleUniform};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retry generation until `f` accepts the value. `label` names the
+    /// filter in the panic raised after too many rejections.
+    fn prop_filter<F>(self, label: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            label,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Debug,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    label: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: 1000 consecutive rejections", self.label);
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `arms`. Panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// `&'static str` patterns act as string-generating regexes, supporting
+/// literals, `[...]` character classes (with ranges), and the quantifiers
+/// `{n}`, `{n,m}`, `?`, `+`, `*` (unbounded repeats capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let idx = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for member in chars.by_ref() {
+                    match member {
+                        ']' => break,
+                        '-' => {
+                            // Range if a start exists and an end follows;
+                            // trailing '-' is a literal.
+                            prev = match prev {
+                                Some(start) => {
+                                    set.pop();
+                                    set.push('-');
+                                    Some(start)
+                                }
+                                None => {
+                                    set.push('-');
+                                    None
+                                }
+                            };
+                            if let Some(start) = prev.take() {
+                                set.pop(); // undo literal '-'
+                                           // Peek-free: mark pending range with sentinel.
+                                set.push('\u{0}');
+                                set.push(start);
+                            }
+                        }
+                        end => {
+                            if set.len() >= 2 && set[set.len() - 2] == '\u{0}' {
+                                let start = set.pop().expect("range start");
+                                set.pop(); // sentinel
+                                for code in start as u32..=end as u32 {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                                prev = None;
+                            } else {
+                                set.push(end);
+                                prev = Some(end);
+                            }
+                        }
+                    }
+                }
+                // Unfinished range sentinel (pattern like "[a-") degrades
+                // to literals.
+                set.retain(|&ch| ch != '\u{0}');
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                set
+            }
+            '\\' => vec![chars.next().expect("escape must precede a character")],
+            literal => vec![literal],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom {
+            chars: choices,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    #[test]
+    fn class_with_range_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9_-]".generate(&mut r);
+            assert_eq!(s.chars().count(), 1);
+            let c = s.chars().next().unwrap();
+            assert!(
+                c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-',
+                "unexpected char {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn counted_quantifier_bounds_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn literal_atoms_pass_through() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The randomized-case runner's RNG.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG driving strategy generation. Each test gets a stream
+/// seeded from its name, so failures reproduce run-to-run without a
+/// persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable, dependency-free.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

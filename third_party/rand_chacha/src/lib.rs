@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors a real ChaCha8 keystream generator implementing the
+//! `rand` shim's `RngCore`/`SeedableRng`. The implementation mirrors
+//! upstream `rand_chacha` behavior bit-for-bit for the APIs used here:
+//! `seed_from_u64` expands the seed with the same PCG32 stream rand_core
+//! uses, the keystream is standard ChaCha8 (RFC 7539 layout, 64-bit block
+//! counter in words 12–13), and `next_u32`/`next_u64` consume a 4-block
+//! buffer with rand_core `BlockRng`'s exact word-pairing rules (including
+//! the buffer-straddling `next_u64` case).
+
+use rand::{RngCore, SeedableRng};
+
+const BUFFER_WORDS: usize = 64; // 4 ChaCha blocks, as upstream generates.
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher state: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Buffered keystream (four blocks, in block order).
+    buffer: [u32; BUFFER_WORDS],
+    /// Next unread word in `buffer`; `BUFFER_WORDS` means exhausted.
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Build from a 256-bit key (nonce and counter start at zero).
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        ChaCha8Rng {
+            state,
+            buffer: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+
+    /// Build from a 32-byte seed (the key, little-endian words), matching
+    /// upstream `SeedableRng::from_seed`.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng::from_key(key)
+    }
+
+    fn one_block(&mut self) -> [u32; 16] {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal quarter-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, &s) in working.iter_mut().zip(&self.state) {
+            *w = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12-13.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        working
+    }
+
+    fn refill(&mut self) {
+        for blk in 0..4 {
+            let block = self.one_block();
+            self.buffer[blk * 16..(blk + 1) * 16].copy_from_slice(&block);
+        }
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core BlockRng pairing: adjacent words (lo, hi); when exactly
+        // one word remains it becomes the low half and the high half comes
+        // from the fresh buffer.
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            self.buffer[index] as u64 | (self.buffer[index + 1] as u64) << 32
+        } else if index >= BUFFER_WORDS {
+            self.refill();
+            self.index = 2;
+            self.buffer[0] as u64 | (self.buffer[1] as u64) << 32
+        } else {
+            let lo = self.buffer[BUFFER_WORDS - 1] as u64;
+            self.refill();
+            self.index = 1;
+            lo | (self.buffer[0] as u64) << 32
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core's default seed_from_u64: a PCG32 stream fills the seed
+        // four bytes at a time.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn keystream_crosses_buffer_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u64> = (0..256).map(|_| rng.next_u64()).collect();
+        // 256 u64s = 8 buffers; all distinct with overwhelming probability.
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), first.len());
+    }
+
+    #[test]
+    fn u64_straddles_buffer_like_block_rng() {
+        // Consume one u32 so u64 reads are misaligned, then walk across the
+        // buffer edge: word 63 must become the low half of the straddling
+        // u64 and fresh word 0 the high half.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut reference = ChaCha8Rng::seed_from_u64(7);
+        let words: Vec<u32> = (0..130).map(|_| reference.next_u32()).collect();
+
+        rng.next_u32(); // index 1
+        for i in 0..31 {
+            let v = rng.next_u64();
+            assert_eq!(v, words[1 + 2 * i] as u64 | (words[2 + 2 * i] as u64) << 32);
+        }
+        // index is now 63: the straddle case.
+        let v = rng.next_u64();
+        assert_eq!(v, words[63] as u64 | (words[64] as u64) << 32);
+    }
+
+    #[test]
+    fn uniform_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = ones as f64 / 1000.0;
+        assert!((mean - 32.0).abs() < 1.0, "mean ones {mean}");
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x: f32 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let n = rng.gen_range(0usize..10);
+        assert!(n < 10);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the slice-parallelism surface it uses: `par_iter`,
+//! `par_iter_mut`, and `par_chunks_mut`, plus the lazy adapters chained on
+//! them (`map`, `zip`, `enumerate`, `copied`) and the terminals
+//! (`for_each`, `sum`, `collect`, rayon-style `reduce`).
+//!
+//! `for_each` executes genuinely in parallel with `std::thread::scope`,
+//! fanning items out across the available cores — this is the terminal the
+//! compute kernels (matmul, conv) use. Value-producing terminals run
+//! sequentially, which keeps float reductions bit-deterministic.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{ParIter, ParSlice, ParSliceMut};
+}
+
+/// Items per spawned worker below which parallel dispatch is not worth the
+/// thread setup.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// A "parallel" iterator: a lazy wrapper over a std iterator that offers
+/// rayon's adapter/terminal names.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pair with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Attach indices.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Copy out of references.
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.copied())
+    }
+
+    /// Run `f` on every item, in parallel across the available cores.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let mut items: Vec<I::Item> = self.0.collect();
+        let workers = available_threads().min(items.len() / MIN_ITEMS_PER_THREAD.max(1));
+        if workers <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let per_worker = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            while !items.is_empty() {
+                let tail = items.split_off(per_worker.min(items.len()));
+                let batch = std::mem::replace(&mut items, tail);
+                scope.spawn(move || batch.into_iter().for_each(f));
+            }
+        });
+    }
+
+    /// Sum the items (sequential: keeps float reductions deterministic).
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Collect into a container, preserving order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `par_iter` on shared slices.
+pub trait ParSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on exclusive slices.
+pub trait ParSliceMut<T> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+
+    /// Parallel iterator over disjoint `&mut [T]` chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+impl<T> ParSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_each_visits_every_chunk() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[17], 2);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_updates_in_place() {
+        let mut v: Vec<f32> = (0..5000).map(|x| x as f32).collect();
+        v.par_iter_mut().for_each(|x| *x += 1.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[4999], 5000.0);
+    }
+
+    #[test]
+    fn zip_sum_and_reduce() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        let dot: f32 = a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot, 32.0);
+        let max = a.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max);
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        // One item: must not deadlock or spawn.
+        let mut v = vec![1i32];
+        v.par_iter_mut().for_each(|x| *x = 9);
+        assert_eq!(v, vec![9]);
+        let empty: Vec<i32> = vec![];
+        empty.par_iter().for_each(|_| panic!("no items"));
+    }
+}

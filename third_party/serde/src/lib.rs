@@ -1,0 +1,123 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to the crates.io registry. The
+//! workspace only uses serde as *markers* — `#[derive(Serialize,
+//! Deserialize)]` plus trait bounds; nothing in the tree actually
+//! serializes bytes (there is no serde_json / bincode consumer). So this
+//! shim provides the two traits with no required methods and re-exports
+//! derive macros that emit empty impls. Swapping the real serde back in
+//! later requires no source changes in the workspace.
+
+// Let the derive-emitted `::serde::...` paths resolve when the derives run
+// inside this crate (its own tests).
+extern crate self as serde;
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types deserializable from borrowed data with lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable from fully-owned data.
+pub trait DeserializeOwned: Sized {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    //! Deserialization-side re-exports (`serde::de::DeserializeOwned`).
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side re-exports.
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    std::time::Duration,
+    std::time::SystemTime,
+    std::path::PathBuf
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_both<T: Serialize + DeserializeOwned>() {}
+
+    #[test]
+    fn primitives_and_containers_are_markers() {
+        assert_both::<u64>();
+        assert_both::<f64>();
+        assert_both::<String>();
+        assert_both::<std::time::Duration>();
+        assert_both::<Vec<u32>>();
+        assert_both::<Option<Vec<String>>>();
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Plain {
+        a: u32,
+        b: Vec<f32>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Kind {
+        A,
+        B(u32),
+        C { x: f64 },
+    }
+
+    #[test]
+    fn derive_emits_marker_impls() {
+        assert_both::<Plain>();
+        assert_both::<Kind>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for `serde_derive`: emits *empty* marker impls of the
+//! serde shim's `Serialize`/`Deserialize` traits. Built on the raw
+//! `proc_macro` API (no syn/quote — the registry is unreachable in this
+//! build environment).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive an empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    let (impl_generics, ty_generics, where_clause) = ty.split_for_impl("::serde::Serialize");
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {}{ty_generics} {where_clause} {{}}",
+        ty.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive an empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    let (impl_generics, ty_generics, where_clause) =
+        ty.split_for_impl("for<'__de> ::serde::Deserialize<'__de>");
+    // Splice 'de into the impl generics.
+    let impl_generics = if impl_generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", &impl_generics[1..])
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize<'de> for {}{ty_generics} {where_clause} {{}}",
+        ty.name
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+struct ParsedType {
+    name: String,
+    /// Generic parameter names in declaration order, e.g. `["'a", "T"]`.
+    params: Vec<String>,
+}
+
+impl ParsedType {
+    /// Build (`impl` generics, type generics, where clause) strings. Type
+    /// parameters are re-bounded by `bound` in the where clause so generic
+    /// containers derive correctly.
+    fn split_for_impl(&self, bound: &str) -> (String, String, String) {
+        if self.params.is_empty() {
+            return (String::new(), String::new(), String::new());
+        }
+        let decl = format!("<{}>", self.params.join(", "));
+        let use_ = decl.clone();
+        let bounds: Vec<String> = self
+            .params
+            .iter()
+            .filter(|p| !p.starts_with('\''))
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        let where_clause = if bounds.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", bounds.join(", "))
+        };
+        (decl, use_, where_clause)
+    }
+}
+
+/// Extract the type name and generic parameter names from a
+/// `struct`/`enum` definition token stream. Bounds and defaults inside the
+/// generics list are dropped; only the parameter names are kept.
+fn parse_type(input: TokenStream) -> ParsedType {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the struct/enum keyword.
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+
+    // Generics, if the next token is `<`.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            let mut pending_lifetime = false;
+            for tt in tokens.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => expect_param = true,
+                        '\'' if depth == 1 && expect_param => pending_lifetime = true,
+                        ':' if depth == 1 => expect_param = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let id = id.to_string();
+                        if id == "const" {
+                            // `const N: usize` — keep waiting for the name.
+                            continue;
+                        }
+                        if pending_lifetime {
+                            params.push(format!("'{id}"));
+                            pending_lifetime = false;
+                        } else {
+                            params.push(id);
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+    ParsedType { name, params }
+}
