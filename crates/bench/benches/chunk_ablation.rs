@@ -12,6 +12,7 @@ use std::time::Duration;
 use viper::{Viper, ViperConfig};
 use viper_formats::Checkpoint;
 use viper_hw::{pipeline_time, CaptureMode, MachineProfile, Route, TransferStrategy};
+use viper_net::{FaultPlan, RetryPolicy};
 use viper_tensor::Tensor;
 
 const NTENSORS: usize = 2;
@@ -112,5 +113,60 @@ fn bench_engine_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_ablation, bench_engine_ablation);
+/// One reliable chunked save → load under a seeded fault plan; returns the
+/// virtual-time makespan and how many retransmission rounds it took.
+fn faulted_roundtrip(drop: f64, elems: usize) -> (Duration, u64) {
+    let mut config = ViperConfig::default()
+        .with_strategy(Route::GpuToGpu, CaptureMode::Sync)
+        .with_chunked(64 * 1024)
+        .with_faults(FaultPlan::seeded(42).with_drop(drop))
+        .with_retry(RetryPolicy {
+            max_retries: 16,
+            nack_after: Duration::from_millis(2),
+            max_nacks: 24,
+            ..RetryPolicy::default()
+        });
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+    let ckpt = Checkpoint::new("m", 1, vec![("w".into(), Tensor::ones(&[elems]))]);
+    let receipt = producer.save_weights(&ckpt).unwrap();
+    consumer.load_weights(Duration::from_secs(30)).unwrap();
+    let info = consumer.last_update().unwrap();
+    (
+        info.swapped_at.since(receipt.started_at),
+        producer.retransmits(),
+    )
+}
+
+fn bench_fault_sweep(c: &mut Criterion) {
+    // Paper-facing table: the retransmission cost of an unreliable link is
+    // visible as a measured virtual-makespan increase, not just a counter.
+    println!("\nreliable delivery under loss (2 MB payload, 64 KiB chunks, GPU route):");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "drop", "makespan", "retransmit rounds"
+    );
+    for drop in [0.0, 0.05, 0.20] {
+        let (makespan, rounds) = faulted_roundtrip(drop, 500_000);
+        println!("{:>7.0}% {:>14.3?} {:>14}", drop * 100.0, makespan, rounds);
+    }
+
+    let mut group = c.benchmark_group("chunk_faults");
+    group.sample_size(10);
+    for (label, drop) in [("clean", 0.0f64), ("drop20pct", 0.20)] {
+        group.bench_with_input(BenchmarkId::new("reliable", label), &drop, |b, &d| {
+            b.iter(|| black_box(faulted_roundtrip(d, 500_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_ablation,
+    bench_engine_ablation,
+    bench_fault_sweep
+);
 criterion_main!(benches);

@@ -70,6 +70,21 @@ pub struct ViperConfig {
     /// Persist the PFS tier's objects as files under this directory,
     /// surviving process restarts (see [`crate::Viper::recover_catalog`]).
     pub pfs_dir: Option<std::path::PathBuf>,
+    /// Deterministic fault-injection plan installed on the fabric at
+    /// deployment construction (drops, duplicates, reorders, bit flips).
+    /// `None` — the default — leaves the fabric untouched.
+    pub fault_plan: Option<viper_net::FaultPlan>,
+    /// Reliable delivery for memory routes: per-chunk CRC verification,
+    /// receiver NACK/ACK feedback, and sender retransmission with backoff
+    /// under [`ViperConfig::retry`]. When the retry budget is exhausted the
+    /// producer degrades the update to the durable PFS route. Off by
+    /// default: the fault-free fast path is byte- and timing-identical to a
+    /// build without the reliability layer.
+    pub reliable_delivery: bool,
+    /// Retransmission budget and pacing for reliable delivery (also paces
+    /// the consumer's stale-flow reaping, even when `reliable_delivery` is
+    /// off, so lost flows cannot pin reassembly buffers forever).
+    pub retry: viper_net::RetryPolicy,
 }
 
 impl Default for ViperConfig {
@@ -88,6 +103,9 @@ impl Default for ViperConfig {
             chunked_transfer: false,
             chunk_bytes: 64 * 1024 * 1024,
             pfs_dir: None,
+            fault_plan: None,
+            reliable_delivery: false,
+            retry: viper_net::RetryPolicy::default(),
         }
     }
 }
@@ -135,6 +153,28 @@ impl ViperConfig {
         self.chunk_bytes = chunk_bytes;
         self
     }
+
+    /// Install a fault-injection plan AND enable reliable delivery (builder
+    /// style) — injecting faults without the recovery machinery would just
+    /// lose updates.
+    pub fn with_faults(mut self, plan: viper_net::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self.reliable_delivery = true;
+        self
+    }
+
+    /// Enable reliable delivery without injecting faults (builder style):
+    /// CRC verification and ACK-gated sends on an otherwise clean fabric.
+    pub fn with_reliable(mut self) -> Self {
+        self.reliable_delivery = true;
+        self
+    }
+
+    /// Set the retransmission policy (builder style).
+    pub fn with_retry(mut self, retry: viper_net::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +192,18 @@ mod tests {
         assert_eq!(c.discovery, DiscoveryMode::Push);
         assert!(!c.chunked_transfer, "monolithic delivery stays the default");
         assert_eq!(c.chunk_bytes, 64 * 1024 * 1024);
+        assert!(c.fault_plan.is_none(), "no faults by default");
+        assert!(!c.reliable_delivery, "reliability machinery off by default");
+    }
+
+    #[test]
+    fn with_faults_enables_reliability() {
+        let c = ViperConfig::default().with_faults(viper_net::FaultPlan::seeded(1).with_drop(0.2));
+        assert!(c.reliable_delivery);
+        assert_eq!(c.fault_plan.as_ref().map(|p| p.seed), Some(1));
+        let c = ViperConfig::default().with_reliable();
+        assert!(c.reliable_delivery);
+        assert!(c.fault_plan.is_none());
     }
 
     #[test]

@@ -7,12 +7,13 @@ use crate::producer::{charge, charge_apply};
 use crate::slot::ModelSlot;
 use crate::{Result, ViperError, UPDATE_TOPIC};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viper_formats::{Checkpoint, CheckpointFormat};
 use viper_hw::{Route, SimInstant, Tier};
+use viper_net::{Control, MessageKind};
 
 /// Details of the most recent completed model update on the consumer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +33,18 @@ struct ConsumerState {
     /// Version returned by the most recent `load_weights` call, so repeated
     /// calls step through updates instead of racing the listener.
     last_loaded: Mutex<u64>,
+    /// Chunks rejected because their body failed the CRC check.
+    corrupt_chunks: AtomicU64,
+    /// Chunk-marked messages whose framing did not decode.
+    malformed_chunks: AtomicU64,
+    /// Deliveries skipped because their tag carried no parseable version.
+    malformed_tags: AtomicU64,
+    /// NACK control frames sent back to senders.
+    nacks_sent: AtomicU64,
+    /// Stale partial flows abandoned (buffer evicted) after the NACK budget.
+    flows_abandoned: AtomicU64,
+    /// Delivery errors observed by the listener (abandoned flows etc.).
+    errors: Mutex<Vec<ViperError>>,
 }
 
 /// A consumer attached to a Viper deployment, serving one model.
@@ -55,6 +68,12 @@ impl Consumer {
             latest: Mutex::new(None),
             cond: Condvar::new(),
             last_loaded: Mutex::new(0),
+            corrupt_chunks: AtomicU64::new(0),
+            malformed_chunks: AtomicU64::new(0),
+            malformed_tags: AtomicU64::new(0),
+            nacks_sent: AtomicU64::new(0),
+            flows_abandoned: AtomicU64::new(0),
+            errors: Mutex::new(Vec::new()),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let format = viper.shared.config.format.build();
@@ -139,6 +158,38 @@ impl Consumer {
         self.state.slot.swap_count()
     }
 
+    /// Chunks rejected because their body failed the CRC check.
+    pub fn corrupt_chunks(&self) -> u64 {
+        self.state.corrupt_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Chunk-marked messages whose framing did not decode (header damaged
+    /// in flight).
+    pub fn malformed_chunks(&self) -> u64 {
+        self.state.malformed_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries skipped because their tag carried no parseable version.
+    pub fn malformed_tags(&self) -> u64 {
+        self.state.malformed_tags.load(Ordering::Relaxed)
+    }
+
+    /// NACK control frames this consumer sent back to senders.
+    pub fn nacks_sent(&self) -> u64 {
+        self.state.nacks_sent.load(Ordering::Relaxed)
+    }
+
+    /// Stale partial flows abandoned (reassembly buffer evicted) after the
+    /// NACK budget ran out.
+    pub fn flows_abandoned(&self) -> u64 {
+        self.state.flows_abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Delivery errors the listener has observed so far.
+    pub fn delivery_errors(&self) -> Vec<ViperError> {
+        self.state.errors.lock().clone()
+    }
+
     /// Block until a model *newer than the one this method last returned*
     /// is available, then return it — the paper's `load_weights()` API.
     /// The first call returns the first installed model; each subsequent
@@ -200,17 +251,11 @@ impl Consumer {
                 payload.len() as u64,
                 ckpt.ntensors(),
             );
-            let iteration = ckpt.iteration;
-            self.state.slot.stage(ckpt);
-            if self.state.slot.swap() {
-                let mut latest = self.state.latest.lock();
-                *latest = Some(UpdateInfo {
-                    version: record.version,
-                    iteration,
-                    swapped_at: self.viper.shared.clock.now(),
-                });
-                self.state.cond.notify_all();
-            }
+            // One atomic check-and-swap: recover() may race the listener
+            // thread installing a fresher push, and must never regress the
+            // served model or publish an UpdateInfo for a model that lost
+            // the race.
+            install(&self.viper, &self.state, ckpt, record.version);
             return self
                 .current()
                 .ok_or_else(|| ViperError::Invalid("recovered model vanished from slot".into()));
@@ -273,31 +318,107 @@ fn listener_loop(
     // sees whole payloads, so a partially transferred model can never be
     // observed (let alone served).
     let mut assembler = viper_net::FlowAssembler::new();
+    let reliable = viper.shared.config.reliable_delivery;
+    let retry = viper.shared.config.retry;
+
+    // Verify, apply, and install one whole direct-push payload. The apply
+    // cost is derived from the link the payload actually traversed, not the
+    // configured default — the Transfer Selector may have rerouted under
+    // pressure.
+    let apply_payload = |link: viper_net::LinkKind, tag: &str, payload: &Arc<Vec<u8>>| {
+        let route = match link {
+            viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
+            _ => Route::HostToHost,
+        };
+        // A tag without a parseable version is a malformed delivery:
+        // skip and count it rather than silently installing it as v0.
+        let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
+            state.malformed_tags.fetch_add(1, Ordering::Relaxed);
+            state.errors.lock().push(ViperError::Invalid(format!(
+                "malformed delivery tag: {tag}"
+            )));
+            return;
+        };
+        if let Ok(ckpt) = format.decode(payload) {
+            if ckpt.model_name == model_name {
+                charge_apply(viper, route, payload.len() as u64, ckpt.ntensors());
+                install(viper, state, ckpt, version);
+            }
+        }
+    };
+
     while !stop.load(Ordering::Acquire) {
-        // Direct-push payloads (memory routes). The apply cost is derived
-        // from the link the payload actually traversed, not the configured
-        // default — the Transfer Selector may have rerouted under pressure.
-        if let Some(msg) = endpoint.recv_timeout(Duration::from_millis(2)) {
-            let (link, tag, payload): (_, _, Arc<Vec<u8>>) = match assembler.accept(msg) {
-                viper_net::FlowStatus::Buffered => continue,
-                viper_net::FlowStatus::Passthrough(msg) => (msg.link, msg.tag, msg.payload),
-                viper_net::FlowStatus::Complete(flow) => {
-                    (flow.link, flow.tag, Arc::new(flow.payload))
+        // Direct-push payloads (memory routes). Drain the whole queue
+        // before considering stale-flow reaps: chunks already delivered
+        // but not yet processed must never be mistaken for a stalled
+        // sender (a slow receiver would otherwise NACK data it is holding).
+        let mut next = endpoint.recv_timeout(Duration::from_millis(2));
+        while let Some(msg) = next.take() {
+            next = endpoint.try_recv();
+            match assembler.accept(msg) {
+                viper_net::FlowStatus::Buffered => {}
+                viper_net::FlowStatus::Malformed => {
+                    state.malformed_chunks.fetch_add(1, Ordering::Relaxed);
                 }
-            };
-            let route = match link {
-                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
-                _ => Route::HostToHost,
-            };
-            if let Ok(ckpt) = format.decode(&payload) {
-                if ckpt.model_name == model_name {
-                    let version = tag
-                        .rsplit(':')
-                        .next()
-                        .and_then(|v| v.parse::<u64>().ok())
-                        .unwrap_or(0);
-                    charge_apply(viper, route, payload.len() as u64, ckpt.ntensors());
-                    install(viper, state, ckpt, version);
+                viper_net::FlowStatus::Corrupt {
+                    from,
+                    flow_id,
+                    chunk_index,
+                    tag,
+                    link,
+                } => {
+                    state.corrupt_chunks.fetch_add(1, Ordering::Relaxed);
+                    if reliable {
+                        let nack = Control::Nack {
+                            flow_id,
+                            missing: vec![chunk_index],
+                        };
+                        if endpoint.send_control(&from, &tag, &nack, link).is_ok() {
+                            state.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                viper_net::FlowStatus::Passthrough(msg) => {
+                    // Control frames are sender-bound feedback; a consumer
+                    // has no use for one (and must not decode it as data).
+                    if msg.kind != MessageKind::Control {
+                        apply_payload(msg.link, &msg.tag, &msg.payload);
+                    }
+                }
+                viper_net::FlowStatus::Complete(flow) => {
+                    if reliable {
+                        let ack = Control::Ack {
+                            flow_id: flow.flow_id,
+                        };
+                        let _ = endpoint.send_control(&flow.from, &flow.tag, &ack, flow.link);
+                    }
+                    apply_payload(flow.link, &flow.tag, &Arc::new(flow.payload));
+                }
+            }
+        }
+        // Stale partial flows: NACK the missing chunks (reliable mode), and
+        // in any mode abandon flows past the NACK budget so lost transfers
+        // cannot pin reassembly buffers forever.
+        if assembler.in_progress() > 0 {
+            for err in assembler.reap(retry.nack_after, retry.max_nacks) {
+                if err.abandoned {
+                    state.flows_abandoned.fetch_add(1, Ordering::Relaxed);
+                    state.errors.lock().push(ViperError::FlowAbandoned {
+                        from: err.from,
+                        tag: err.tag,
+                        missing: err.missing.len(),
+                    });
+                } else if reliable {
+                    let nack = Control::Nack {
+                        flow_id: err.flow_id,
+                        missing: err.missing,
+                    };
+                    if endpoint
+                        .send_control(&err.from, &err.tag, &nack, err.link)
+                        .is_ok()
+                    {
+                        state.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -318,15 +439,15 @@ fn listener_loop(
                     let already = (*state.latest.lock()).map(|u| u.version).unwrap_or(0);
                     if record.version > already && record.location == Tier::Pfs.name() {
                         // The poller only notices on its grid: round the
-                        // virtual clock up to the next poll tick.
-                        let secs = interval.as_secs_f64();
-                        if secs > 0.0 {
-                            let now = viper.shared.clock.now().as_secs_f64();
-                            let tick = (now / secs).ceil() * secs;
-                            viper
-                                .shared
-                                .clock
-                                .advance_to(viper_hw::SimInstant((tick * 1e9) as u64));
+                        // virtual clock up to the next poll tick. Integer
+                        // nanoseconds throughout — a float round-trip loses
+                        // precision above 2^53 ns (~104 days of virtual
+                        // time) and can even round the clock *down*.
+                        let interval_ns = interval.as_nanos().min(u128::from(u64::MAX)) as u64;
+                        if interval_ns > 0 {
+                            let now = viper.shared.clock.now().0;
+                            let tick = now.div_ceil(interval_ns).saturating_mul(interval_ns);
+                            viper.shared.clock.advance_to(viper_hw::SimInstant(tick));
                         }
                         try_pull_from_pfs(viper, state, model_name, format, &record);
                     }
@@ -366,19 +487,27 @@ fn try_pull_from_pfs(
 }
 
 fn install(viper: &Viper, state: &ConsumerState, ckpt: Checkpoint, version: u64) {
-    let iteration = ckpt.iteration;
-    // Double buffering: write to the alternative copy, then swap atomically.
-    state.slot.stage(ckpt);
-    if state.slot.swap() {
-        // The swap itself is "negligible overhead" (§4.2); we still nudge
-        // the virtual clock so ordering is visible in traces.
-        charge(&viper.shared.clock, Duration::from_nanos(100));
-        let mut latest = state.latest.lock();
+    // Double buffering with the staleness check and the swap under one
+    // lock: concurrent installers (the listener thread vs. an explicit
+    // recover() call) can never interleave and regress the served model.
+    let Some(installed) = state.slot.install_if_newer(ckpt) else {
+        return;
+    };
+    // The swap itself is "negligible overhead" (§4.2); we still nudge
+    // the virtual clock so ordering is visible in traces.
+    charge(&viper.shared.clock, Duration::from_nanos(100));
+    let mut latest = state.latest.lock();
+    // Exactly-once install: UpdateInfo tracks the newest model the slot
+    // accepted, never a loser of the race above.
+    let newer = latest
+        .map(|u| u.iteration < installed.iteration)
+        .unwrap_or(true);
+    if newer {
         *latest = Some(UpdateInfo {
             version,
-            iteration,
+            iteration: installed.iteration,
             swapped_at: viper.shared.clock.now(),
         });
-        state.cond.notify_all();
     }
+    state.cond.notify_all();
 }

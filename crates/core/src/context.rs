@@ -34,6 +34,9 @@ impl Viper {
     pub fn new(config: ViperConfig) -> Self {
         let clock = SimClock::new();
         let fabric = Fabric::new(config.profile.clone(), clock.clone());
+        if let Some(plan) = &config.fault_plan {
+            fabric.set_fault_plan(Some(plan.clone()));
+        }
         let pfs = match &config.pfs_dir {
             Some(dir) => {
                 StorageTier::with_disk(*config.profile.tier(Tier::Pfs), clock.clone(), dir)

@@ -23,6 +23,26 @@ pub enum ViperError {
     },
     /// The requested model is unknown to the metadata DB.
     UnknownModel(String),
+    /// Reliable delivery to a consumer exhausted its retransmission budget
+    /// (the producer degrades to the durable PFS route when possible).
+    RetriesExhausted {
+        /// Consumer the delivery was destined for.
+        consumer: String,
+        /// Delivery tag (`model:version`) of the failed flow.
+        tag: String,
+        /// How many retransmission rounds were attempted.
+        attempts: u32,
+    },
+    /// A partial chunked flow went stale past the NACK budget and its
+    /// buffer was evicted on the receiver.
+    FlowAbandoned {
+        /// Sender of the abandoned flow.
+        from: String,
+        /// Delivery tag carried by the flow's chunks.
+        tag: String,
+        /// How many chunks were still missing at eviction.
+        missing: usize,
+    },
     /// The framework was misconfigured or used out of order.
     Invalid(String),
 }
@@ -53,6 +73,18 @@ impl std::fmt::Display for ViperError {
             ViperError::Format(e) => write!(f, "format: {e}"),
             ViperError::Timeout { waiting_for } => write!(f, "timed out waiting for {waiting_for}"),
             ViperError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            ViperError::RetriesExhausted {
+                consumer,
+                tag,
+                attempts,
+            } => write!(
+                f,
+                "delivery of {tag} to {consumer} failed after {attempts} retransmission rounds"
+            ),
+            ViperError::FlowAbandoned { from, tag, missing } => write!(
+                f,
+                "abandoned stale flow {tag} from {from} ({missing} chunks missing)"
+            ),
             ViperError::Invalid(m) => write!(f, "invalid use: {m}"),
         }
     }

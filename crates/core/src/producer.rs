@@ -12,18 +12,19 @@
 //! time instead of serializing.
 
 use crate::context::Viper;
-use crate::{Result, UPDATE_TOPIC};
+use crate::{Result, ViperError, UPDATE_TOPIC};
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use viper_formats::{Checkpoint, CheckpointFormat};
 use viper_hw::{
     apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, MachineProfile, Route,
     SimClock, SimInstant, StorageTier, Tier, TransferStrategy,
 };
 use viper_metastore::ModelRecord;
-use viper_net::{ChunkedSend, Endpoint, LinkKind};
+use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
 
 /// What `save_weights` reports back to the training loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +53,17 @@ enum Job {
     },
 }
 
+/// Observability counters for the reliable-delivery path.
+#[derive(Default)]
+struct DeliveryCounters {
+    /// Retransmission rounds performed (NACK-driven or ack-timeout blind).
+    retransmits: AtomicU64,
+    /// Deliveries that exhausted the retry budget.
+    exhausted: AtomicU64,
+    /// Updates degraded to the durable PFS route after exhaustion.
+    pfs_fallbacks: AtomicU64,
+}
+
 /// A producer attached to a Viper deployment.
 pub struct Producer {
     viper: Viper,
@@ -60,6 +72,7 @@ pub struct Producer {
     gpu: Arc<StorageTier>,
     host: Arc<StorageTier>,
     format: Box<dyn CheckpointFormat>,
+    counters: Arc<DeliveryCounters>,
     worker_tx: Option<Sender<Job>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -76,10 +89,12 @@ impl Producer {
         let format = viper.shared.config.format.build();
         let endpoint = Arc::new(viper.shared.fabric.register(node));
 
+        let counters = Arc::new(DeliveryCounters::default());
         let (tx, rx) = unbounded::<Job>();
         let worker = {
             let viper = viper.clone();
             let endpoint = Arc::clone(&endpoint);
+            let counters = Arc::clone(&counters);
             let node = node.to_string();
             std::thread::Builder::new()
                 .name(format!("viper-producer-worker-{node}"))
@@ -99,7 +114,9 @@ impl Producer {
                                 charge(&viper.shared.clock, stage);
                                 // The async path captured (and staged) before
                                 // handing off, so chunks are all wire-ready.
-                                deliver(&viper, &endpoint, &record, &payload, route, false);
+                                deliver(
+                                    &viper, &endpoint, &record, &payload, route, false, &counters,
+                                );
                             }
                             Job::Flush { record, payload } => {
                                 let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
@@ -126,9 +143,26 @@ impl Producer {
             gpu,
             host,
             format,
+            counters,
             worker_tx: Some(tx),
             worker: Some(worker),
         }
+    }
+
+    /// Retransmission rounds performed by reliable delivery (NACK-driven
+    /// plus ack-timeout blind resends).
+    pub fn retransmits(&self) -> u64 {
+        self.counters.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries that exhausted the retransmission budget.
+    pub fn deliveries_exhausted(&self) -> u64 {
+        self.counters.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Updates degraded to the durable PFS route after retry exhaustion.
+    pub fn pfs_fallbacks(&self) -> u64 {
+        self.counters.pfs_fallbacks.load(Ordering::Relaxed)
     }
 
     /// The node this producer runs on.
@@ -218,6 +252,7 @@ impl Producer {
                 &payload,
                 route,
                 pipelined_sync,
+                &self.counters,
             );
             if pipelined_sync && sent == 0 {
                 // Nothing consumed the pipelined capture model: the snapshot
@@ -347,7 +382,14 @@ fn chunk_capture_model(
 /// only the notification is sent. With `ViperConfig::chunked_transfer` the
 /// payload travels as a pipelined chunked flow; `pipeline_capture` lets the
 /// first send model the (not yet charged) capture overlapping the wire.
+///
+/// With `ViperConfig::reliable_delivery` every memory-route send is
+/// ACK-gated with NACK-driven retransmission; if a consumer exhausts the
+/// retry budget the update degrades to the durable PFS route (written
+/// synchronously, relocated in the metadata DB) and the published
+/// notification points there, so the consumer's pull path recovers it.
 /// Returns how many consumers were pushed a payload.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     viper: &Viper,
     endpoint: &Endpoint,
@@ -355,6 +397,7 @@ fn deliver(
     payload: &Arc<Vec<u8>>,
     route: Route,
     pipeline_capture: bool,
+    counters: &DeliveryCounters,
 ) -> usize {
     let shared = &viper.shared;
     let link = match route {
@@ -363,6 +406,7 @@ fn deliver(
         Route::PfsStaging => None,
     };
     let mut sent = 0;
+    let mut fall_back = false;
     if let Some(link) = link {
         let tag = format!("{}:{}", record.name, record.version);
         let consumers = shared.consumers.read().clone();
@@ -373,7 +417,43 @@ fn deliver(
                 continue;
             }
             // A deregistered consumer is not an error: it raced shutdown.
-            let delivered = if config.chunked_transfer {
+            let delivered = if config.reliable_delivery {
+                // Reliability implies the chunked machinery (a monolithic
+                // payload travels as a 1-chunk flow) so every byte is CRC
+                // checked and every flow ACK-gated.
+                let chunk_bytes = if config.chunked_transfer {
+                    config.chunk_bytes
+                } else {
+                    0
+                };
+                let mut opts = ChunkedSend::new(chunk_bytes);
+                if inline_capture {
+                    let (bw, fixed, once) =
+                        chunk_capture_model(&config.profile, route, record.ntensors);
+                    opts = opts.with_capture(bw, fixed, once);
+                }
+                match deliver_reliable_to(
+                    viper,
+                    endpoint,
+                    &consumer,
+                    &tag,
+                    payload,
+                    link,
+                    &opts,
+                    chunk_bytes,
+                    counters,
+                ) {
+                    Ok(()) => true,
+                    Err(ViperError::RetriesExhausted { .. }) => {
+                        counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                        fall_back = true;
+                        false
+                    }
+                    // Anything else (consumer deregistered mid-delivery)
+                    // is a shutdown race, not a delivery failure.
+                    Err(_) => false,
+                }
+            } else if config.chunked_transfer {
                 let mut opts = ChunkedSend::new(config.chunk_bytes);
                 if inline_capture {
                     let (bw, fixed, once) =
@@ -396,9 +476,107 @@ fn deliver(
             }
         }
     }
+    // Graceful degradation: the wire gave up on at least one consumer, so
+    // make this version durable NOW (not just in the background flush) and
+    // point the notification at the PFS copy — consumers recover via the
+    // repository pull path.
+    let mut notify = record.clone();
+    if fall_back {
+        let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
+        if shared
+            .pfs
+            .write(&pfs_path, payload.clone(), record.ntensors)
+            .is_ok()
+        {
+            shared
+                .db
+                .relocate(&record.name, record.version, Tier::Pfs.name(), &pfs_path);
+            notify.location = Tier::Pfs.name().to_string();
+            notify.path = pfs_path;
+            counters.pfs_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     charge(&shared.clock, shared.config.profile.notify_latency);
-    shared.bus.publish(UPDATE_TOPIC, record.clone());
+    shared.bus.publish(UPDATE_TOPIC, notify);
     sent
+}
+
+/// One reliable, ACK-gated delivery: send the flow, then service the
+/// feedback channel until the consumer ACKs it. NACKs retransmit exactly
+/// the missing chunks; an `ack_timeout` with no feedback at all (every
+/// chunk — or the feedback itself — lost) blind-resends the whole flow.
+/// Each round charges exponential backoff plus the retransmitted bytes'
+/// wire time to the virtual clock: retries are never free. After
+/// `max_retries` rounds the delivery fails with
+/// [`ViperError::RetriesExhausted`].
+#[allow(clippy::too_many_arguments)]
+fn deliver_reliable_to(
+    viper: &Viper,
+    endpoint: &Endpoint,
+    consumer: &str,
+    tag: &str,
+    payload: &Arc<Vec<u8>>,
+    link: LinkKind,
+    opts: &ChunkedSend,
+    chunk_bytes: u64,
+    counters: &DeliveryCounters,
+) -> Result<()> {
+    let shared = &viper.shared;
+    let retry = shared.config.retry;
+    let report = endpoint.send_chunked(consumer, tag, payload.clone(), link, opts)?;
+    let all_chunks: Vec<u32> = (0..report.num_chunks).collect();
+    let mut attempts = 0u32;
+    loop {
+        let deadline = Instant::now() + retry.ack_timeout;
+        let missing: Vec<u32> = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = if remaining.is_zero() {
+                None
+            } else {
+                endpoint.recv_timeout(remaining)
+            };
+            let Some(msg) = msg else {
+                // No feedback at all before the timeout: assume the worst.
+                break all_chunks.clone();
+            };
+            if msg.kind != MessageKind::Control || msg.from != consumer {
+                continue;
+            }
+            match Control::decode(&msg.payload) {
+                Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
+                    return Ok(());
+                }
+                Some(Control::Nack { flow_id, missing }) if flow_id == report.flow_id => {
+                    break if missing.is_empty() {
+                        all_chunks.clone()
+                    } else {
+                        missing
+                    };
+                }
+                // Feedback about an older flow (or garbage): ignore.
+                _ => {}
+            }
+        };
+        attempts += 1;
+        if attempts > retry.max_retries {
+            return Err(ViperError::RetriesExhausted {
+                consumer: consumer.to_string(),
+                tag: tag.to_string(),
+                attempts: attempts - 1,
+            });
+        }
+        counters.retransmits.fetch_add(1, Ordering::Relaxed);
+        charge(&shared.clock, retry.backoff(attempts));
+        endpoint.retransmit_chunks(
+            consumer,
+            tag,
+            payload,
+            link,
+            report.flow_id,
+            chunk_bytes,
+            &missing,
+        )?;
+    }
 }
 
 pub(crate) fn charge(clock: &SimClock, dur: Duration) {

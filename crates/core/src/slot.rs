@@ -72,9 +72,35 @@ impl ModelSlot {
     }
 
     /// Convenience: stage + swap in one call.
+    ///
+    /// Note that stage + swap is *two* lock acquisitions: a concurrent
+    /// installer can interleave between them and clobber the staging
+    /// buffer. Paths that may race (the listener thread vs. an explicit
+    /// [`recover`](crate::Consumer::recover) call) must use
+    /// [`ModelSlot::install_if_newer`] instead.
     pub fn install(&self, ckpt: Checkpoint) -> bool {
-        self.stage(ckpt);
-        self.swap()
+        self.install_if_newer(ckpt).is_some()
+    }
+
+    /// Atomically install `ckpt` as the primary iff it is strictly newer
+    /// (by training iteration) than the current primary. The staleness
+    /// check and the swap happen under one write lock, so concurrent
+    /// installers cannot interleave and regress the served model. Returns
+    /// the installed checkpoint, or `None` if it was stale.
+    pub fn install_if_newer(&self, ckpt: Checkpoint) -> Option<Arc<Checkpoint>> {
+        let candidate = Arc::new(ckpt);
+        let mut primary = self.primary.write();
+        let stale = primary
+            .as_ref()
+            .map(|cur| candidate.iteration <= cur.iteration)
+            .unwrap_or(false);
+        if stale {
+            return None;
+        }
+        *primary = Some(Arc::clone(&candidate));
+        self.swaps
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(candidate)
     }
 
     /// How many swaps have occurred.
@@ -140,6 +166,46 @@ mod tests {
         // The reader's Arc still sees the old weights.
         assert_eq!(held.iteration, 1);
         assert_eq!(s.current_iteration(), Some(2));
+    }
+
+    #[test]
+    fn install_if_newer_returns_installed_or_none() {
+        let s = ModelSlot::new();
+        let got = s.install_if_newer(ckpt(2)).expect("fresh install");
+        assert_eq!(got.iteration, 2);
+        assert!(s.install_if_newer(ckpt(2)).is_none(), "equal is stale");
+        assert!(s.install_if_newer(ckpt(1)).is_none(), "older is stale");
+        assert_eq!(s.current_iteration(), Some(2));
+        assert_eq!(s.swap_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_installers_never_regress_the_slot() {
+        // Two threads racing installs of interleaved versions: with the
+        // single-lock install, the slot must end on the global maximum and
+        // never serve an iteration older than one it already served.
+        let s = std::sync::Arc::new(ModelSlot::new());
+        std::thread::scope(|scope| {
+            for start in [1u64, 2] {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in (start..=200).step_by(2) {
+                        s.install_if_newer(ckpt(i));
+                    }
+                });
+            }
+            let s = std::sync::Arc::clone(&s);
+            scope.spawn(move || {
+                let mut last = 0;
+                for _ in 0..500 {
+                    if let Some(cur) = s.current() {
+                        assert!(cur.iteration >= last, "slot regressed");
+                        last = cur.iteration;
+                    }
+                }
+            });
+        });
+        assert_eq!(s.current_iteration(), Some(200));
     }
 
     #[test]

@@ -7,16 +7,19 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 use viper_hw::SimInstant;
-use viper_net::{chunk_sizes, ChunkHeader, FlowAssembler, FlowStatus, LinkKind, Message};
+use viper_net::{
+    chunk_sizes, ChunkHeader, FlowAssembler, FlowStatus, LinkKind, Message, MessageKind,
+};
 
-/// Wrap a framed chunk in a fabric message, the shape the assembler sees.
-fn msg(from: &str, payload: Vec<u8>) -> Message {
+/// Wrap a payload in a fabric message, the shape the assembler sees.
+fn msg(from: &str, payload: Vec<u8>, kind: MessageKind) -> Message {
     let t = SimInstant::ZERO;
     Message {
         from: from.into(),
         to: "c".into(),
         tag: "m".into(),
         payload: Arc::new(payload),
+        kind,
         link: LinkKind::GpuDirect,
         sent_at: t,
         arrived_at: t,
@@ -33,14 +36,15 @@ fn frame_flow(flow_id: u64, payload: &[u8], chunk_bytes: u64) -> Vec<Vec<u8>> {
         .iter()
         .enumerate()
         .map(|(i, &len)| {
-            let header = ChunkHeader {
+            let body = &payload[offset as usize..(offset + len) as usize];
+            let header = ChunkHeader::for_body(
                 flow_id,
-                chunk_index: i as u32,
+                i as u32,
                 num_chunks,
                 offset,
-                total_bytes: payload.len() as u64,
-            };
-            let body = &payload[offset as usize..(offset + len) as usize];
+                payload.len() as u64,
+                body,
+            );
             offset += len;
             header.frame(body)
         })
@@ -66,7 +70,8 @@ proptest! {
     }
 
     /// Framing round-trips: decode(frame(body)) recovers the header and the
-    /// body for arbitrary chunk geometries.
+    /// body for arbitrary chunk geometries, and the carried CRC matches the
+    /// body bytes.
     #[test]
     fn framing_roundtrips(
         payload in prop::collection::vec(0u8..=255, 0..4096),
@@ -81,22 +86,42 @@ proptest! {
             prop_assert_eq!(header.chunk_index as usize, i);
             prop_assert_eq!(header.num_chunks as usize, frames.len());
             prop_assert_eq!(header.total_bytes as usize, payload.len());
+            prop_assert_eq!(header.crc32, viper_formats::crc32(body));
             rebuilt[header.offset as usize..header.offset as usize + body.len()]
                 .copy_from_slice(body);
         }
         prop_assert_eq!(rebuilt, payload);
     }
 
-    /// Arbitrary payloads never alias chunk framing: a raw (unframed)
-    /// payload always passes through the assembler untouched unless it
-    /// happens to start with the chunk magic — and corrupt framing is
-    /// rejected rather than misassembled.
+    /// A data-kind message always passes through the assembler untouched —
+    /// even when its payload is byte-for-byte valid chunk framing. Chunk
+    /// handling keys on `MessageKind`, never on payload sniffing, so a
+    /// monolithic payload can never be swallowed as a phantom chunk.
     #[test]
-    fn short_or_unframed_payloads_pass_through(payload in prop::collection::vec(0u8..=255, 0..35)) {
+    fn adversarial_data_payloads_always_pass_through(
+        body in prop::collection::vec(0u8..=255, 0..2048),
+        flow_id in 0u64..u64::MAX,
+    ) {
+        let framed = ChunkHeader::for_body(
+            flow_id, 0, 2, 0, 2 * body.len().max(1) as u64, &body,
+        ).frame(&body);
+        prop_assert!(ChunkHeader::decode(&framed).is_some(), "premise: frames as a chunk");
+        let mut asm = FlowAssembler::new();
+        match asm.accept(msg("p", framed.clone(), MessageKind::Data)) {
+            FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.as_slice(), framed.as_slice()),
+            other => prop_assert!(false, "expected passthrough, got {:?}", std::mem::discriminant(&other)),
+        }
+        prop_assert_eq!(asm.in_progress(), 0);
+    }
+
+    /// Short or unframed payloads can never decode as chunks, and as data
+    /// messages they pass through the assembler untouched.
+    #[test]
+    fn short_or_unframed_payloads_pass_through(payload in prop::collection::vec(0u8..=255, 0..39)) {
         // Shorter than a header: can never decode as a chunk.
         prop_assert!(ChunkHeader::decode(&payload).is_none());
         let mut asm = FlowAssembler::new();
-        match asm.accept(msg("p", payload.clone())) {
+        match asm.accept(msg("p", payload.clone(), MessageKind::Data)) {
             FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.as_slice(), payload.as_slice()),
             other => prop_assert!(false, "expected passthrough, got {:?}", std::mem::discriminant(&other)),
         }
@@ -140,7 +165,7 @@ proptest! {
         let mut asm = FlowAssembler::new();
         let mut completed: Vec<Option<Vec<u8>>> = vec![None; payloads.len()];
         for (from, flow_tag, frame) in stream {
-            match asm.accept(msg(&from, frame)) {
+            match asm.accept(msg(&from, frame, MessageKind::Chunk)) {
                 FlowStatus::Buffered => {}
                 FlowStatus::Complete(flow) => {
                     let i = flow_tag as usize;
@@ -148,7 +173,11 @@ proptest! {
                     prop_assert_eq!(&flow.from, &from);
                     completed[i] = Some(flow.payload);
                 }
-                FlowStatus::Passthrough(_) => prop_assert!(false, "framed chunk passed through"),
+                other => prop_assert!(
+                    false,
+                    "clean chunk misparsed: {:?}",
+                    std::mem::discriminant(&other)
+                ),
             }
         }
         for (i, payload) in payloads.iter().enumerate() {

@@ -42,5 +42,5 @@ pub use storage::{StorageError, StorageTier, StoredObject};
 pub use tier::{Tier, TierSpec};
 pub use xfer::{
     apply_time, capture_time, chunk_layout, delivery_time, pipeline_costs, pipeline_time,
-    price_update, stage_time, CaptureMode, Route, TransferStrategy, UpdateCosts,
+    price_update, retry_backoff, stage_time, CaptureMode, Route, TransferStrategy, UpdateCosts,
 };

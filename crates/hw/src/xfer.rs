@@ -250,6 +250,20 @@ pub fn price_update(
     }
 }
 
+/// Virtual-time backoff before retransmission round `attempt` (1-based):
+/// exponential growth from `base` (`base`, `2·base`, `4·base`, …), capped at
+/// `cap`. This is the reliability layer's cost model — backoff is charged to
+/// the virtual clock like any other hardware duration, so lost chunks show
+/// up as measurable update-latency increases instead of free retries.
+pub fn retry_backoff(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    if base.is_zero() || attempt == 0 {
+        return Duration::ZERO;
+    }
+    // 2^(attempt-1), saturating well past any meaningful cap.
+    let factor = 1u32 << (attempt - 1).min(30);
+    base.saturating_mul(factor).min(cap)
+}
+
 /// One stage of the chunked transfer pipeline: a bandwidth, a fixed cost
 /// paid per chunk, and a one-time cost paid once per flow (per-tensor
 /// metadata, charged with the first chunk).
@@ -673,6 +687,20 @@ mod tests {
             pipe.stall
         );
         assert!(pipe.post_stall > Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let base = Duration::from_micros(10);
+        let cap = Duration::from_micros(75);
+        assert_eq!(retry_backoff(base, 0, cap), Duration::ZERO);
+        assert_eq!(retry_backoff(Duration::ZERO, 5, cap), Duration::ZERO);
+        assert_eq!(retry_backoff(base, 1, cap), Duration::from_micros(10));
+        assert_eq!(retry_backoff(base, 2, cap), Duration::from_micros(20));
+        assert_eq!(retry_backoff(base, 3, cap), Duration::from_micros(40));
+        assert_eq!(retry_backoff(base, 4, cap), cap);
+        // Huge attempt counts neither overflow nor exceed the cap.
+        assert_eq!(retry_backoff(base, u32::MAX, cap), cap);
     }
 
     #[test]

@@ -4,18 +4,26 @@
 //! each travelling as its own [`Message`](crate::Message) so the fabric can
 //! pipeline them: while chunk `i` occupies the wire, chunk `i+1` is still
 //! being captured upstream, and chunks bound for *different* links overlap
-//! in virtual time. Every chunk carries a [`ChunkHeader`] identifying its
-//! flow, and a [`FlowAssembler`] on the receiver rebuilds the original
-//! payload — tolerating duplicate chunks and arbitrary interleavings of
-//! concurrent flows — releasing it only once complete, so a consumer never
-//! observes a partially assembled payload.
+//! in virtual time. Every chunk carries a [`ChunkHeader`] (with a CRC32 of
+//! its body), and a [`FlowAssembler`] on the receiver rebuilds the original
+//! payload — tolerating duplicate chunks, corrupt bodies, and arbitrary
+//! interleavings of concurrent flows — releasing it only once complete, so
+//! a consumer never observes a partially assembled payload.
+//!
+//! Chunked messages are marked explicitly via
+//! [`MessageKind::Chunk`](crate::MessageKind): the assembler never sniffs
+//! payload bytes, so a monolithic message whose payload happens to start
+//! with [`CHUNK_MAGIC`] passes through untouched.
 
-use crate::{LinkKind, Message};
-use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use crate::reliability::FlowError;
+use crate::{LinkKind, Message, MessageKind};
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+use viper_formats::crc32;
 use viper_hw::SimInstant;
 
-/// Magic bytes marking a chunked-flow message payload ("VPCH").
+/// Magic bytes at the front of every chunk frame ("VPCH"). Framing sanity
+/// only — chunk identification goes through [`MessageKind::Chunk`].
 pub const CHUNK_MAGIC: u32 = 0x5650_4348;
 
 /// Wire framing carried at the front of every chunk payload.
@@ -31,11 +39,14 @@ pub struct ChunkHeader {
     pub offset: u64,
     /// Total size of the original (unchunked) payload.
     pub total_bytes: u64,
+    /// CRC32 of the chunk body, so in-flight corruption is detected before
+    /// the bytes ever reach a checkpoint buffer.
+    pub crc32: u32,
 }
 
 impl ChunkHeader {
     /// Encoded header size in bytes.
-    pub const WIRE_SIZE: usize = 4 + 8 + 4 + 4 + 8 + 8;
+    pub const WIRE_SIZE: usize = 4 + 8 + 4 + 4 + 8 + 8 + 4;
 
     /// Serialize the header (little-endian fields after the magic).
     pub fn encode(&self) -> [u8; Self::WIRE_SIZE] {
@@ -46,12 +57,14 @@ impl ChunkHeader {
         buf[16..20].copy_from_slice(&self.num_chunks.to_le_bytes());
         buf[20..28].copy_from_slice(&self.offset.to_le_bytes());
         buf[28..36].copy_from_slice(&self.total_bytes.to_le_bytes());
+        buf[36..40].copy_from_slice(&self.crc32.to_le_bytes());
         buf
     }
 
-    /// Parse a framed payload into `(header, body)`. Returns `None` when the
-    /// payload is not a chunk (too short, wrong magic, or inconsistent
-    /// geometry) — such payloads are ordinary monolithic messages.
+    /// Parse a framed payload into `(header, body)`. This validates
+    /// *framing only* (length, magic, geometry); body integrity against
+    /// [`ChunkHeader::crc32`] is the [`FlowAssembler`]'s job. Returns `None`
+    /// when the payload cannot be a chunk frame.
     pub fn decode(payload: &[u8]) -> Option<(ChunkHeader, &[u8])> {
         if payload.len() < Self::WIRE_SIZE {
             return None;
@@ -67,6 +80,7 @@ impl ChunkHeader {
             num_chunks: u32_at(16),
             offset: u64_at(20),
             total_bytes: u64_at(28),
+            crc32: u32_at(36),
         };
         let body = &payload[Self::WIRE_SIZE..];
         let end = header.offset.checked_add(body.len() as u64)?;
@@ -82,6 +96,25 @@ impl ChunkHeader {
         framed.extend_from_slice(&self.encode());
         framed.extend_from_slice(body);
         framed
+    }
+
+    /// Build the header for one chunk of a flow, computing the body CRC.
+    pub fn for_body(
+        flow_id: u64,
+        chunk_index: u32,
+        num_chunks: u32,
+        offset: u64,
+        total_bytes: u64,
+        body: &[u8],
+    ) -> ChunkHeader {
+        ChunkHeader {
+            flow_id,
+            chunk_index,
+            num_chunks,
+            offset,
+            total_bytes,
+            crc32: crc32(body),
+        }
     }
 }
 
@@ -182,11 +215,30 @@ pub struct AssembledFlow {
 /// Outcome of feeding one message to a [`FlowAssembler`].
 #[derive(Debug)]
 pub enum FlowStatus {
-    /// Not a chunk: an ordinary monolithic message, returned untouched.
+    /// Not a chunk (a monolithic data or control message), returned
+    /// untouched — even if its payload bytes imitate chunk framing.
     Passthrough(Message),
     /// A chunk was buffered (or ignored as a duplicate); the flow is still
     /// incomplete.
     Buffered,
+    /// A chunk's body failed its CRC and was discarded. The reliability
+    /// layer should NACK this index so the sender retransmits it.
+    Corrupt {
+        /// Sender of the corrupt chunk.
+        from: String,
+        /// Flow the chunk belongs to.
+        flow_id: u64,
+        /// Index of the corrupt chunk within the flow.
+        chunk_index: u32,
+        /// Application tag of the flow.
+        tag: String,
+        /// Link the chunk traversed.
+        link: LinkKind,
+    },
+    /// A message marked as a chunk whose framing did not decode (header
+    /// corrupted in flight). Unattributable, so it is counted and dropped;
+    /// stale-flow reaping recovers the flow it belonged to.
+    Malformed,
     /// The final chunk arrived; the whole payload is released at once.
     Complete(Box<AssembledFlow>),
 }
@@ -197,23 +249,88 @@ struct PartialFlow {
     num_chunks: u32,
     buffer: Vec<u8>,
     received: Vec<bool>,
+    /// Indices already reported as [`FlowStatus::Corrupt`] since the last
+    /// reap, so a duplicated corrupt chunk does not trigger NACK storms.
+    corrupt_flagged: Vec<bool>,
     received_count: u32,
     completed_at: SimInstant,
     wire_total: Duration,
+    /// Wall-clock instant of the last accepted chunk (or NACK), for
+    /// stale-flow detection — virtual time cannot time out a flow whose
+    /// missing chunks never advance the clock.
+    last_activity: Instant,
+    /// How many times this flow has been reaped (NACKed) without progress.
+    nacks: u32,
+}
+
+impl PartialFlow {
+    fn missing(&self) -> Vec<u32> {
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !**r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Completed-flow bookkeeping for one sender: a watermark (every id
+/// strictly below it is completed) plus a bounded set of completed ids at
+/// or above it. Flow ids from one fabric are monotonic, so old ids
+/// compress into the watermark and the memory footprint stays
+/// O(`MAX_RECENT`) per sender no matter how long the consumer runs.
+#[derive(Default)]
+struct CompletedFlows {
+    /// Ids `< watermark` are all completed. Starts at 0: nothing completed.
+    watermark: u64,
+    recent: BTreeSet<u64>,
+}
+
+impl CompletedFlows {
+    /// Completed ids retained above the watermark before old ones are
+    /// folded in. Retransmitted duplicates of a flow this far in the past
+    /// would be misclassified as completed — acceptable, since such flows
+    /// are long abandoned by the sender too.
+    const MAX_RECENT: usize = 256;
+
+    fn contains(&self, id: u64) -> bool {
+        id < self.watermark || self.recent.contains(&id)
+    }
+
+    fn insert(&mut self, id: u64) {
+        if id < self.watermark {
+            return;
+        }
+        self.recent.insert(id);
+        while self.recent.first() == Some(&self.watermark) {
+            self.recent.pop_first();
+            self.watermark += 1;
+        }
+        while self.recent.len() > Self::MAX_RECENT {
+            let oldest = self.recent.pop_first().expect("non-empty");
+            self.watermark = self.watermark.max(oldest.saturating_add(1));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.recent.len()
+    }
 }
 
 /// Receiver-side reassembly of chunked flows.
 ///
 /// Flows are keyed by `(sender, flow_id)`, so interleaved chunks from
 /// concurrent flows (even from different senders reusing ids) reassemble
-/// independently. Duplicate chunks are ignored; a payload is released
-/// exactly once, only when every chunk has arrived.
+/// independently. Duplicate chunks are ignored, corrupt bodies are rejected
+/// by CRC, and a payload is released exactly once, only when every chunk
+/// has arrived intact. Completed-flow keys are garbage-collected behind a
+/// per-sender watermark, and stale partial flows can be [reaped]
+/// (FlowAssembler::reap) into NACKs — long-running consumers hold bounded
+/// state.
 #[derive(Default)]
 pub struct FlowAssembler {
     flows: HashMap<(String, u64), PartialFlow>,
-    /// Keys of flows already released, so a full set of retransmitted
-    /// duplicates can never assemble (and deliver) a flow a second time.
-    completed: HashSet<(String, u64)>,
+    completed: HashMap<String, CompletedFlows>,
 }
 
 impl FlowAssembler {
@@ -227,15 +344,33 @@ impl FlowAssembler {
         self.flows.len()
     }
 
+    /// Completed-flow keys currently retained for duplicate suppression
+    /// (bounded per sender; see [`FlowAssembler`]).
+    pub fn completed_footprint(&self) -> usize {
+        self.completed.values().map(CompletedFlows::len).sum()
+    }
+
     /// Feed one received message through the assembler.
     pub fn accept(&mut self, msg: Message) -> FlowStatus {
-        let Some((header, body)) = ChunkHeader::decode(&msg.payload) else {
+        if msg.kind != MessageKind::Chunk {
             return FlowStatus::Passthrough(msg);
+        }
+        let Some((header, body)) = ChunkHeader::decode(&msg.payload) else {
+            return FlowStatus::Malformed;
         };
-        let key = (msg.from.clone(), header.flow_id);
-        if self.completed.contains(&key) {
+        if self
+            .completed
+            .get(&msg.from)
+            .is_some_and(|c| c.contains(header.flow_id))
+        {
             return FlowStatus::Buffered;
         }
+        // Verify the body *before* refreshing the flow's activity stamp:
+        // checksumming a multi-megabyte chunk is the expensive part of
+        // accept, and if it ate into the staleness budget a slow receiver
+        // would mistake its own processing time for a stalled sender.
+        let body_ok = crc32(body) == header.crc32;
+        let key = (msg.from.clone(), header.flow_id);
         let flow = self
             .flows
             .entry(key.clone())
@@ -245,10 +380,14 @@ impl FlowAssembler {
                 num_chunks: header.num_chunks,
                 buffer: vec![0; header.total_bytes as usize],
                 received: vec![false; header.num_chunks as usize],
+                corrupt_flagged: vec![false; header.num_chunks as usize],
                 received_count: 0,
                 completed_at: msg.arrived_at,
                 wire_total: Duration::ZERO,
+                last_activity: Instant::now(),
+                nacks: 0,
             });
+        flow.last_activity = Instant::now();
         let idx = header.chunk_index as usize;
         // Geometry mismatches against the flow's first-seen framing, and
         // duplicates, are dropped: reassembly is idempotent.
@@ -257,6 +396,22 @@ impl FlowAssembler {
             && header.offset as usize + body.len() <= flow.buffer.len();
         if !consistent || flow.received[idx] {
             return FlowStatus::Buffered;
+        }
+        if !body_ok {
+            // Reject the body; keep the flow so a retransmission can fill
+            // the hole. Flag the index so duplicates of the same corrupt
+            // chunk do not re-trigger a NACK before the next reap.
+            if flow.corrupt_flagged[idx] {
+                return FlowStatus::Buffered;
+            }
+            flow.corrupt_flagged[idx] = true;
+            return FlowStatus::Corrupt {
+                from: msg.from,
+                flow_id: header.flow_id,
+                chunk_index: header.chunk_index,
+                tag: flow.tag.clone(),
+                link: flow.link,
+            };
         }
         let offset = header.offset as usize;
         flow.buffer[offset..offset + body.len()].copy_from_slice(body);
@@ -268,7 +423,7 @@ impl FlowAssembler {
             return FlowStatus::Buffered;
         }
         let done = self.flows.remove(&key).expect("flow present");
-        self.completed.insert(key);
+        self.completed.entry(key.0).or_default().insert(key.1);
         FlowStatus::Complete(Box::new(AssembledFlow {
             flow_id: header.flow_id,
             from: msg.from,
@@ -278,6 +433,37 @@ impl FlowAssembler {
             completed_at: done.completed_at,
             wire_total: done.wire_total,
         }))
+    }
+
+    /// Time out stale partial flows: any flow with no accepted chunk for
+    /// `stale_after` (wall clock) is surfaced as a [`FlowError`] listing its
+    /// missing chunk indices, for the reliability layer to turn into a
+    /// NACK. A flow reaped more than `max_nacks` times is abandoned — its
+    /// buffer is evicted and the error is marked `abandoned` — so lost
+    /// flows cannot pin full-size buffers forever.
+    pub fn reap(&mut self, stale_after: Duration, max_nacks: u32) -> Vec<FlowError> {
+        let now = Instant::now();
+        let mut errors = Vec::new();
+        self.flows.retain(|(from, flow_id), flow| {
+            if now.saturating_duration_since(flow.last_activity) < stale_after {
+                return true;
+            }
+            flow.nacks += 1;
+            flow.last_activity = now;
+            // Allow a fresh Corrupt report per index after each reap.
+            flow.corrupt_flagged.fill(false);
+            let abandoned = flow.nacks > max_nacks;
+            errors.push(FlowError {
+                from: from.clone(),
+                flow_id: *flow_id,
+                tag: flow.tag.clone(),
+                link: flow.link,
+                missing: flow.missing(),
+                abandoned,
+            });
+            !abandoned
+        });
+        errors
     }
 }
 
@@ -306,19 +492,14 @@ mod tests {
     fn chunk_msg(flow_id: u64, index: u32, n: u32, payload: &[u8], chunk: u64) -> Message {
         let sizes = chunk_sizes(payload.len() as u64, chunk);
         let offset: u64 = sizes[..index as usize].iter().sum();
-        let header = ChunkHeader {
-            flow_id,
-            chunk_index: index,
-            num_chunks: n,
-            offset,
-            total_bytes: payload.len() as u64,
-        };
         let body = &payload[offset as usize..(offset + sizes[index as usize]) as usize];
+        let header = ChunkHeader::for_body(flow_id, index, n, offset, payload.len() as u64, body);
         Message {
             from: "p".into(),
             to: "c".into(),
             tag: "m:1".into(),
             payload: Arc::new(header.frame(body)),
+            kind: MessageKind::Chunk,
             link: LinkKind::GpuDirect,
             sent_at: SimInstant::ZERO,
             arrived_at: SimInstant(u64::from(index) + 1),
@@ -334,6 +515,7 @@ mod tests {
             num_chunks: 9,
             offset: 3 * 1024,
             total_bytes: 9 * 1024,
+            crc32: 0xDEAD_BEEF,
         };
         let framed = h.frame(&[7u8; 16]);
         let (back, body) = ChunkHeader::decode(&framed).unwrap();
@@ -343,7 +525,7 @@ mod tests {
 
     #[test]
     fn non_chunk_payloads_pass_through() {
-        assert!(ChunkHeader::decode(b"VIPRxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx").is_none());
+        assert!(ChunkHeader::decode(b"VIPRxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx").is_none());
         assert!(ChunkHeader::decode(b"short").is_none());
         let mut asm = FlowAssembler::new();
         let msg = Message {
@@ -351,12 +533,51 @@ mod tests {
             to: "c".into(),
             tag: "t".into(),
             payload: Arc::new(vec![1, 2, 3]),
+            kind: MessageKind::Data,
             link: LinkKind::HostRdma,
             sent_at: SimInstant::ZERO,
             arrived_at: SimInstant::ZERO,
             wire_time: Duration::ZERO,
         };
         assert!(matches!(asm.accept(msg), FlowStatus::Passthrough(_)));
+    }
+
+    #[test]
+    fn adversarial_monolithic_payload_is_not_swallowed() {
+        // A data message whose payload is byte-for-byte valid chunk framing
+        // must still pass through: chunk handling is keyed on MessageKind,
+        // never on payload sniffing.
+        let body = vec![9u8; 64];
+        let header = ChunkHeader::for_body(1, 0, 2, 0, 128, &body);
+        let adversarial = header.frame(&body);
+        assert!(ChunkHeader::decode(&adversarial).is_some(), "test premise");
+        let mut asm = FlowAssembler::new();
+        let msg = Message {
+            from: "p".into(),
+            to: "c".into(),
+            tag: "t".into(),
+            payload: Arc::new(adversarial.clone()),
+            kind: MessageKind::Data,
+            link: LinkKind::HostRdma,
+            sent_at: SimInstant::ZERO,
+            arrived_at: SimInstant::ZERO,
+            wire_time: Duration::ZERO,
+        };
+        match asm.accept(msg) {
+            FlowStatus::Passthrough(m) => assert_eq!(*m.payload, adversarial),
+            other => panic!("adversarial payload was not passed through: {other:?}"),
+        }
+        assert_eq!(asm.in_progress(), 0);
+    }
+
+    #[test]
+    fn marked_chunk_with_broken_framing_is_malformed() {
+        let mut msg = chunk_msg(1, 0, 2, &[1u8; 100], 50);
+        let mut broken = (*msg.payload).clone();
+        broken[0] ^= 0xFF; // destroy the magic
+        msg.payload = Arc::new(broken);
+        let mut asm = FlowAssembler::new();
+        assert!(matches!(asm.accept(msg), FlowStatus::Malformed));
     }
 
     #[test]
@@ -369,7 +590,7 @@ mod tests {
             match asm.accept(chunk_msg(1, index, n, &payload, 3000)) {
                 FlowStatus::Complete(flow) => released = Some(flow),
                 FlowStatus::Buffered => {}
-                FlowStatus::Passthrough(_) => panic!("chunk misparsed"),
+                other => panic!("chunk misparsed: {other:?}"),
             }
         }
         assert_eq!(released.unwrap().payload, payload);
@@ -392,6 +613,92 @@ mod tests {
             panic!("flow should complete");
         };
         assert_eq!(flow.payload, payload);
+    }
+
+    #[test]
+    fn corrupt_body_rejected_then_repaired_by_retransmission() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let mut asm = FlowAssembler::new();
+        let mut corrupt = chunk_msg(6, 0, 2, &payload, 2500);
+        let mut bytes = (*corrupt.payload).clone();
+        let n = bytes.len();
+        bytes[n - 7] ^= 0x40; // flip one body bit
+        corrupt.payload = Arc::new(bytes);
+        match asm.accept(corrupt.clone()) {
+            FlowStatus::Corrupt {
+                flow_id,
+                chunk_index,
+                ..
+            } => {
+                assert_eq!(flow_id, 6);
+                assert_eq!(chunk_index, 0);
+            }
+            other => panic!("corrupt chunk not rejected: {other:?}"),
+        }
+        // A duplicate of the same corrupt chunk is quiet (no NACK storm).
+        assert!(matches!(asm.accept(corrupt), FlowStatus::Buffered));
+        // The rest of the flow arrives; still incomplete (hole at index 0).
+        assert!(matches!(
+            asm.accept(chunk_msg(6, 1, 2, &payload, 2500)),
+            FlowStatus::Buffered
+        ));
+        // Retransmission of a clean copy completes the flow byte-identical.
+        let FlowStatus::Complete(flow) = asm.accept(chunk_msg(6, 0, 2, &payload, 2500)) else {
+            panic!("flow should complete after retransmission");
+        };
+        assert_eq!(flow.payload, payload);
+    }
+
+    #[test]
+    fn reap_surfaces_missing_chunks_then_abandons() {
+        let payload = vec![3u8; 4000];
+        let mut asm = FlowAssembler::new();
+        asm.accept(chunk_msg(5, 0, 2, &payload, 2000));
+        // Not yet stale.
+        assert!(asm.reap(Duration::from_secs(60), 3).is_empty());
+        // Instantly stale: every reap NACKs the missing index.
+        for round in 1..=3u32 {
+            let errs = asm.reap(Duration::ZERO, 3);
+            assert_eq!(errs.len(), 1, "round {round}");
+            assert_eq!(errs[0].missing, vec![1]);
+            assert!(!errs[0].abandoned);
+            assert_eq!(asm.in_progress(), 1);
+        }
+        // The next reap exceeds max_nacks: abandoned and evicted.
+        let errs = asm.reap(Duration::ZERO, 3);
+        assert!(errs[0].abandoned);
+        assert_eq!(asm.in_progress(), 0);
+        // Late retransmits for the abandoned flow restart it from scratch
+        // (and can still complete it).
+        assert!(matches!(
+            asm.accept(chunk_msg(5, 0, 2, &payload, 2000)),
+            FlowStatus::Buffered
+        ));
+    }
+
+    #[test]
+    fn completed_set_stays_bounded() {
+        let mut asm = FlowAssembler::new();
+        let payload = vec![1u8; 16];
+        for flow_id in 1..=10_000u64 {
+            let FlowStatus::Complete(_) = asm.accept(chunk_msg(flow_id, 0, 1, &payload, 64)) else {
+                panic!("single-chunk flow must complete");
+            };
+        }
+        assert!(
+            asm.completed_footprint() <= CompletedFlows::MAX_RECENT,
+            "footprint {} grew past the watermark cap",
+            asm.completed_footprint()
+        );
+        // Duplicate suppression still works across the whole history.
+        assert!(matches!(
+            asm.accept(chunk_msg(9_999, 0, 1, &payload, 64)),
+            FlowStatus::Buffered
+        ));
+        assert!(matches!(
+            asm.accept(chunk_msg(3, 0, 1, &payload, 64)),
+            FlowStatus::Buffered
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The fabric: node registry, endpoints, and modeled point-to-point links.
 
 use crate::chunk::{chunk_sizes, ChunkHeader, ChunkedSend, FlowReport};
+use crate::fault::{FaultPlan, FaultRng};
+use crate::reliability::Control;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -54,6 +56,20 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// What a [`Message`]'s payload is — chunk handling and the reliability
+/// protocol key on this marker, never on payload byte patterns, so an
+/// application payload that imitates chunk framing is still just data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A monolithic application payload.
+    Data,
+    /// One chunk of a chunked flow (payload carries a
+    /// [`ChunkHeader`](crate::ChunkHeader) frame).
+    Chunk,
+    /// A reliability control frame (ACK/NACK); never fault-injected.
+    Control,
+}
+
 /// A message in flight (or delivered).
 #[derive(Debug, Clone)]
 pub struct Message {
@@ -65,6 +81,8 @@ pub struct Message {
     pub tag: String,
     /// Payload bytes.
     pub payload: Arc<Vec<u8>>,
+    /// What the payload is (data, chunk frame, or control frame).
+    pub kind: MessageKind,
     /// Link the message traversed.
     pub link: LinkKind,
     /// Virtual time the send started.
@@ -73,6 +91,11 @@ pub struct Message {
     pub arrived_at: SimInstant,
     /// Modeled wire duration.
     pub wire_time: Duration,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    rng: FaultRng,
 }
 
 struct FabricInner {
@@ -85,6 +108,8 @@ struct FabricInner {
     /// link)` lane is busy until. Chunks on the same lane serialize behind
     /// it; traffic on other lanes overlaps freely in virtual time.
     link_busy: Mutex<HashMap<(String, String, LinkKind), SimInstant>>,
+    /// Fault-injection state, when a plan is installed.
+    faults: Mutex<Option<FaultState>>,
 }
 
 /// The interconnect shared by all simulated nodes.
@@ -103,8 +128,21 @@ impl Fabric {
                 nodes: RwLock::new(HashMap::new()),
                 next_flow: AtomicU64::new(0),
                 link_busy: Mutex::new(HashMap::new()),
+                faults: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install (or clear, with `None`) a deterministic fault-injection
+    /// plan. Data and chunk messages sent afterwards are perturbed per the
+    /// plan's probabilities; control frames never are. With no plan — or a
+    /// plan whose probabilities are all zero — delivery and timing are
+    /// bit-identical to a fabric that never heard of faults.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.lock() = plan.map(|plan| FaultState {
+            rng: FaultRng::new(plan.seed),
+            plan,
+        });
     }
 
     /// Register a node and obtain its endpoint. Panics on duplicate names —
@@ -145,6 +183,69 @@ impl Fabric {
         &self.inner.clock
     }
 
+    /// Run `msgs` (one flow's delivery order) through the fault plan.
+    /// Timing is already fixed by the schedule — faults only perturb what
+    /// actually lands in the destination queue: corrupt bodies, dropped or
+    /// duplicated messages, adjacent reorders. Control frames and fault-free
+    /// links pass through without consuming randomness.
+    fn apply_faults(&self, msgs: Vec<Message>) -> Vec<Message> {
+        let mut guard = self.inner.faults.lock();
+        let Some(state) = guard.as_mut() else {
+            return msgs;
+        };
+        let mut out: Vec<Message> = Vec::with_capacity(msgs.len());
+        let mut swap_next: Vec<bool> = Vec::with_capacity(msgs.len());
+        for mut msg in msgs {
+            let faults = state.plan.faults_for(msg.link);
+            if msg.kind == MessageKind::Control || !faults.any() {
+                out.push(msg);
+                swap_next.push(false);
+                continue;
+            }
+            // Fixed draw order per message keeps the stream deterministic.
+            let corrupt = state.rng.chance(faults.corrupt);
+            let drop = state.rng.chance(faults.drop);
+            let duplicate = state.rng.chance(faults.duplicate);
+            let reorder = state.rng.chance(faults.reorder);
+            if corrupt {
+                // Flip one bit of the *body*: chunk framing stays intact so
+                // the damage is the CRC's to catch, not the parser's.
+                let body_start = match msg.kind {
+                    MessageKind::Chunk => ChunkHeader::WIRE_SIZE,
+                    _ => 0,
+                };
+                if msg.payload.len() > body_start {
+                    let mut bytes = (*msg.payload).clone();
+                    let bits = ((bytes.len() - body_start) * 8) as u64;
+                    let bit = state.rng.below(bits) as usize;
+                    bytes[body_start + bit / 8] ^= 1 << (bit % 8);
+                    msg.payload = Arc::new(bytes);
+                }
+            }
+            if drop {
+                // The bytes occupied the wire (time was charged) and then
+                // vanished: nothing reaches the queue.
+                continue;
+            }
+            let dup = duplicate.then(|| msg.clone());
+            out.push(msg);
+            swap_next.push(reorder);
+            if let Some(copy) = dup {
+                out.push(copy);
+                swap_next.push(false);
+            }
+        }
+        let mut i = 0;
+        while i + 1 < out.len() {
+            if swap_next[i] {
+                out.swap(i, i + 1);
+                swap_next[i] = false;
+            }
+            i += 1;
+        }
+        out
+    }
+
     fn send_from(
         &self,
         from: &str,
@@ -152,6 +253,7 @@ impl Fabric {
         tag: &str,
         payload: Arc<Vec<u8>>,
         link: LinkKind,
+        kind: MessageKind,
     ) -> Result<Duration, NetError> {
         let tx = self
             .inner
@@ -169,13 +271,16 @@ impl Fabric {
             to: to.to_string(),
             tag: tag.to_string(),
             payload,
+            kind,
             link,
             sent_at,
             arrived_at,
             wire_time,
         };
-        tx.send(msg)
-            .map_err(|_| NetError::UnknownNode(to.to_string()))?;
+        for msg in self.apply_faults(vec![msg]) {
+            tx.send(msg)
+                .map_err(|_| NetError::UnknownNode(to.to_string()))?;
+        }
         Ok(wire_time)
     }
 
@@ -219,6 +324,7 @@ impl Fabric {
         let mut offset = 0u64;
         let mut wire_total = Duration::ZERO;
         let mut completed_at = submitted_at;
+        let mut msgs = Vec::with_capacity(sizes.len());
         for (index, &len) in sizes.iter().enumerate() {
             let ready = match opts.capture_bw {
                 Some(bw) => {
@@ -229,14 +335,9 @@ impl Fabric {
                 }
                 None => submitted_at,
             };
-            let header = ChunkHeader {
-                flow_id,
-                chunk_index: index as u32,
-                num_chunks,
-                offset,
-                total_bytes,
-            };
             let body = &payload[offset as usize..(offset + len) as usize];
+            let header =
+                ChunkHeader::for_body(flow_id, index as u32, num_chunks, offset, total_bytes, body);
             let framed = Arc::new(header.frame(body));
             let wire_time = link.transfer_time(&self.inner.profile, framed.len() as u64);
             let sent_at = ready.max(lane_free);
@@ -245,21 +346,24 @@ impl Fabric {
             completed_at = arrived_at;
             wire_total += wire_time;
             offset += len;
-            let msg = Message {
+            msgs.push(Message {
                 from: from.to_string(),
                 to: to.to_string(),
                 tag: tag.to_string(),
                 payload: framed,
+                kind: MessageKind::Chunk,
                 link,
                 sent_at,
                 arrived_at,
                 wire_time,
-            };
-            tx.send(msg)
-                .map_err(|_| NetError::UnknownNode(to.to_string()))?;
+            });
         }
         busy_map.insert(lane, lane_free);
         drop(busy_map);
+        for msg in self.apply_faults(msgs) {
+            tx.send(msg)
+                .map_err(|_| NetError::UnknownNode(to.to_string()))?;
+        }
         self.inner.clock.advance_to(completed_at);
         Ok(FlowReport {
             flow_id,
@@ -269,6 +373,75 @@ impl Fabric {
             submitted_at,
             completed_at,
         })
+    }
+
+    /// Re-send specific chunks of an existing flow (same `flow_id` and
+    /// geometry as the original [`send_chunked`](Endpoint::send_chunked)
+    /// call). Retransmissions serialize on the same lane, charge their wire
+    /// time to the virtual clock — retries are never free — and go through
+    /// the fault plan again, so a retransmission can itself be lost.
+    #[allow(clippy::too_many_arguments)]
+    fn retransmit_chunks_from(
+        &self,
+        from: &str,
+        to: &str,
+        tag: &str,
+        payload: &Arc<Vec<u8>>,
+        link: LinkKind,
+        flow_id: u64,
+        chunk_bytes: u64,
+        indices: &[u32],
+    ) -> Result<Duration, NetError> {
+        let tx = self
+            .inner
+            .nodes
+            .read()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
+        let total_bytes = payload.len() as u64;
+        let sizes = chunk_sizes(total_bytes, chunk_bytes);
+        let num_chunks = sizes.len() as u32;
+        let lane = (from.to_string(), to.to_string(), link);
+        let now = self.inner.clock.now();
+        let mut busy_map = self.inner.link_busy.lock();
+        let mut lane_free = (*busy_map.get(&lane).unwrap_or(&now)).max(now);
+        let mut wire_total = Duration::ZERO;
+        let mut msgs = Vec::with_capacity(indices.len());
+        for &index in indices {
+            let Some(&len) = sizes.get(index as usize) else {
+                continue;
+            };
+            let offset: u64 = sizes[..index as usize].iter().sum();
+            let body = &payload[offset as usize..(offset + len) as usize];
+            let header =
+                ChunkHeader::for_body(flow_id, index, num_chunks, offset, total_bytes, body);
+            let framed = Arc::new(header.frame(body));
+            let wire_time = link.transfer_time(&self.inner.profile, framed.len() as u64);
+            let sent_at = lane_free;
+            let arrived_at = sent_at.add(wire_time);
+            lane_free = arrived_at;
+            wire_total += wire_time;
+            msgs.push(Message {
+                from: from.to_string(),
+                to: to.to_string(),
+                tag: tag.to_string(),
+                payload: framed,
+                kind: MessageKind::Chunk,
+                link,
+                sent_at,
+                arrived_at,
+                wire_time,
+            });
+        }
+        busy_map.insert(lane, lane_free);
+        drop(busy_map);
+        for msg in self.apply_faults(msgs) {
+            tx.send(msg)
+                .map_err(|_| NetError::UnknownNode(to.to_string()))?;
+        }
+        self.inner.clock.advance_to(lane_free);
+        Ok(wire_total)
     }
 }
 
@@ -294,7 +467,8 @@ impl Endpoint {
         payload: Arc<Vec<u8>>,
         link: LinkKind,
     ) -> Result<Duration, NetError> {
-        self.fabric.send_from(&self.node, to, tag, payload, link)
+        self.fabric
+            .send_from(&self.node, to, tag, payload, link, MessageKind::Data)
     }
 
     /// Send `payload` as a pipelined chunked flow (see
@@ -311,6 +485,53 @@ impl Endpoint {
     ) -> Result<FlowReport, NetError> {
         self.fabric
             .send_chunked_from(&self.node, to, tag, payload, link, opts)
+    }
+
+    /// Send a reliability control frame (ACK/NACK). Control frames charge
+    /// their (tiny) wire time like any message but are never fault-injected:
+    /// the feedback channel is modeled as out-of-band.
+    pub fn send_control(
+        &self,
+        to: &str,
+        tag: &str,
+        control: &Control,
+        link: LinkKind,
+    ) -> Result<Duration, NetError> {
+        self.fabric.send_from(
+            &self.node,
+            to,
+            tag,
+            Arc::new(control.encode()),
+            link,
+            MessageKind::Control,
+        )
+    }
+
+    /// Retransmit the given chunk `indices` of a flow previously sent with
+    /// [`Endpoint::send_chunked`] (same `flow_id`, payload, and
+    /// `chunk_bytes`). Wire time is charged to the virtual clock and the
+    /// fault plan applies — a retransmission can be lost too.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retransmit_chunks(
+        &self,
+        to: &str,
+        tag: &str,
+        payload: &Arc<Vec<u8>>,
+        link: LinkKind,
+        flow_id: u64,
+        chunk_bytes: u64,
+        indices: &[u32],
+    ) -> Result<Duration, NetError> {
+        self.fabric.retransmit_chunks_from(
+            &self.node,
+            to,
+            tag,
+            payload,
+            link,
+            flow_id,
+            chunk_bytes,
+            indices,
+        )
     }
 
     /// Blocking receive with a wall-clock timeout.
@@ -338,6 +559,8 @@ impl Drop for Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkFaults;
+    use crate::{FlowAssembler, FlowStatus};
 
     fn fabric() -> Fabric {
         Fabric::new(MachineProfile::polaris(), SimClock::new())
@@ -354,6 +577,7 @@ mod tests {
         let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.from, "a");
         assert_eq!(msg.to, "b");
+        assert_eq!(msg.kind, MessageKind::Data);
         assert_eq!(&*msg.payload, &*payload);
     }
 
@@ -447,7 +671,7 @@ mod tests {
 
     #[test]
     fn chunked_flow_reassembles_and_charges_makespan() {
-        use crate::{ChunkedSend, FlowAssembler, FlowStatus};
+        use crate::ChunkedSend;
         let clock = SimClock::new();
         let f = Fabric::new(MachineProfile::polaris(), clock.clone());
         let a = f.register("a");
@@ -586,5 +810,210 @@ mod tests {
         let msg = b.recv_timeout(Duration::from_secs(5)).unwrap();
         h.join().unwrap();
         assert_eq!(msg.tag, "from-thread");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn chunked(a: &Endpoint, payload: &Arc<Vec<u8>>) -> FlowReport {
+        a.send_chunked(
+            "b",
+            "t",
+            payload.clone(),
+            LinkKind::GpuDirect,
+            &ChunkedSend::new(1000),
+        )
+        .unwrap()
+    }
+
+    fn drain(b: &Endpoint) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(msg) = b.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    #[test]
+    fn full_drop_loses_every_chunk_but_charges_the_wire() {
+        let clock = SimClock::new();
+        let f = Fabric::new(MachineProfile::polaris(), clock.clone());
+        f.set_fault_plan(Some(FaultPlan::seeded(1).with_drop(1.0)));
+        let a = f.register("a");
+        let b = f.register("b");
+        let report = chunked(&a, &Arc::new(vec![7u8; 5000]));
+        assert_eq!(b.pending(), 0, "all chunks dropped");
+        // Lost bytes still occupied the link: the clock advanced anyway.
+        assert_eq!(clock.now(), report.completed_at);
+        assert!(report.wire_total > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_duplication_doubles_delivery_idempotently() {
+        let f = fabric();
+        f.set_fault_plan(Some(FaultPlan::seeded(2).with_duplicate(1.0)));
+        let a = f.register("a");
+        let b = f.register("b");
+        let payload = Arc::new(vec![3u8; 5000]);
+        let report = chunked(&a, &payload);
+        let msgs = drain(&b);
+        assert_eq!(msgs.len(), 2 * report.num_chunks as usize);
+        let mut asm = FlowAssembler::new();
+        let mut complete = 0;
+        for msg in msgs {
+            if let FlowStatus::Complete(flow) = asm.accept(msg) {
+                assert_eq!(flow.payload, *payload);
+                complete += 1;
+            }
+        }
+        assert_eq!(complete, 1, "duplicates must not re-release the flow");
+    }
+
+    #[test]
+    fn corruption_is_caught_by_crc() {
+        let f = fabric();
+        f.set_fault_plan(Some(FaultPlan::seeded(3).with_corrupt(1.0)));
+        let a = f.register("a");
+        let b = f.register("b");
+        chunked(&a, &Arc::new(vec![5u8; 5000]));
+        let mut asm = FlowAssembler::new();
+        let mut corrupt = 0;
+        for msg in drain(&b) {
+            match asm.accept(msg) {
+                FlowStatus::Corrupt { .. } => corrupt += 1,
+                FlowStatus::Buffered => {}
+                other => panic!("expected CRC rejection, got {other:?}"),
+            }
+        }
+        assert!(corrupt > 0);
+    }
+
+    #[test]
+    fn control_frames_are_never_faulted() {
+        let f = fabric();
+        f.set_fault_plan(Some(FaultPlan::seeded(4).with_drop(1.0).with_corrupt(1.0)));
+        let a = f.register("a");
+        let b = f.register("b");
+        let nack = Control::Nack {
+            flow_id: 9,
+            missing: vec![1, 2],
+        };
+        a.send_control("b", "t", &nack, LinkKind::GpuDirect)
+            .unwrap();
+        let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.kind, MessageKind::Control);
+        assert_eq!(Control::decode(&msg.payload), Some(nack));
+    }
+
+    #[test]
+    fn fault_pattern_is_deterministic_per_seed() {
+        let deliver = |seed: u64| -> Vec<(u64, bool)> {
+            let f = fabric();
+            f.set_fault_plan(Some(
+                FaultPlan::seeded(seed)
+                    .with_drop(0.3)
+                    .with_duplicate(0.2)
+                    .with_reorder(0.2)
+                    .with_corrupt(0.2),
+            ));
+            let a = f.register("a");
+            let b = f.register("b");
+            chunked(&a, &Arc::new((0..=255u8).cycle().take(20_000).collect()));
+            drain(&b)
+                .iter()
+                .map(|m| {
+                    let (h, body) = ChunkHeader::decode(&m.payload).unwrap();
+                    (
+                        u64::from(h.chunk_index),
+                        viper_formats::crc32(body) == h.crc32,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(deliver(42), deliver(42));
+        assert_ne!(deliver(42), deliver(43));
+    }
+
+    #[test]
+    fn link_overrides_scope_faults() {
+        let f = fabric();
+        // Faults only on HostRdma; GpuDirect stays clean.
+        f.set_fault_plan(Some(FaultPlan::seeded(5).for_link(
+            LinkKind::HostRdma,
+            LinkFaults {
+                drop: 1.0,
+                ..LinkFaults::NONE
+            },
+        )));
+        let a = f.register("a");
+        let b = f.register("b");
+        a.send("b", "t", Arc::new(vec![1]), LinkKind::HostRdma)
+            .unwrap();
+        assert_eq!(b.pending(), 0);
+        a.send("b", "t", Arc::new(vec![1]), LinkKind::GpuDirect)
+            .unwrap();
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn zero_probability_plan_changes_nothing() {
+        let f = fabric();
+        f.set_fault_plan(Some(FaultPlan::seeded(6)));
+        let a = f.register("a");
+        let b = f.register("b");
+        let payload = Arc::new(vec![9u8; 5000]);
+        let report = chunked(&a, &payload);
+        let msgs = drain(&b);
+        assert_eq!(msgs.len(), report.num_chunks as usize);
+        let mut asm = FlowAssembler::new();
+        let mut complete = false;
+        for msg in msgs {
+            if let FlowStatus::Complete(flow) = asm.accept(msg) {
+                assert_eq!(flow.payload, *payload);
+                complete = true;
+            }
+        }
+        assert!(complete);
+    }
+
+    #[test]
+    fn retransmission_fills_holes_and_charges_time() {
+        let clock = SimClock::new();
+        let f = Fabric::new(MachineProfile::polaris(), clock.clone());
+        let a = f.register("a");
+        let b = f.register("b");
+        let payload = Arc::new((0..=255u8).cycle().take(5000).collect::<Vec<u8>>());
+        let report = chunked(&a, &payload);
+        // Receiver assembles but we pretend chunks 1 and 3 were lost.
+        let mut asm = FlowAssembler::new();
+        for msg in drain(&b) {
+            let (h, _) = ChunkHeader::decode(&msg.payload).unwrap();
+            if h.chunk_index == 1 || h.chunk_index == 3 {
+                continue;
+            }
+            assert!(matches!(asm.accept(msg), FlowStatus::Buffered));
+        }
+        let before = clock.now();
+        let wire = a
+            .retransmit_chunks(
+                "b",
+                "t",
+                &payload,
+                LinkKind::GpuDirect,
+                report.flow_id,
+                1000,
+                &[1, 3],
+            )
+            .unwrap();
+        assert!(wire > Duration::ZERO);
+        assert_eq!(clock.now(), before.add(wire));
+        let mut complete = None;
+        for msg in drain(&b) {
+            if let FlowStatus::Complete(flow) = asm.accept(msg) {
+                complete = Some(flow);
+            }
+        }
+        assert_eq!(complete.expect("flow completes").payload, *payload);
     }
 }

@@ -32,9 +32,13 @@
 
 mod chunk;
 mod fabric;
+mod fault;
+mod reliability;
 
 pub use chunk::{
     chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler, FlowReport, FlowStatus,
     CHUNK_MAGIC,
 };
-pub use fabric::{Endpoint, Fabric, LinkKind, Message, NetError};
+pub use fabric::{Endpoint, Fabric, LinkKind, Message, MessageKind, NetError};
+pub use fault::{FaultPlan, FaultRng, LinkFaults};
+pub use reliability::{Control, FlowError, RetryPolicy, CONTROL_MAGIC};

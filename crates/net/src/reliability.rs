@@ -1,0 +1,196 @@
+//! Reliable chunked delivery: NACK/ACK control frames and the retry policy.
+//!
+//! Delivery semantics are **at-least-once on the wire, exactly-once at
+//! install**: the sender may retransmit chunks (duplicates are idempotent in
+//! the [`FlowAssembler`](crate::FlowAssembler)), and the consumer's slot
+//! installs a completed flow at most once. The feedback channel:
+//!
+//! * the receiver NACKs a flow with the chunk indices still missing —
+//!   immediately when a chunk fails its CRC, or when a partial flow goes
+//!   stale (see [`FlowAssembler::reap`](crate::FlowAssembler::reap));
+//! * the receiver ACKs a flow once it reassembles completely;
+//! * the sender retransmits NACKed chunks with exponential backoff (charged
+//!   to the virtual clock — retries are never free) under a bounded
+//!   [`RetryPolicy`]; when the budget is exhausted it gives up and degrades
+//!   to a slower-but-durable route.
+
+use crate::LinkKind;
+use std::time::Duration;
+
+/// Magic bytes marking a reliability control frame ("VPRL").
+pub const CONTROL_MAGIC: u32 = 0x5650_524C;
+
+/// A reliability control frame, sent receiver → sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Control {
+    /// The flow is incomplete: these chunk indices are missing or corrupt.
+    Nack {
+        /// Flow being complained about.
+        flow_id: u64,
+        /// Chunk indices to retransmit.
+        missing: Vec<u32>,
+    },
+    /// The flow reassembled completely; the sender can forget it.
+    Ack {
+        /// Flow being acknowledged.
+        flow_id: u64,
+    },
+}
+
+impl Control {
+    /// Serialize to a wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, flow_id, missing): (u8, u64, &[u32]) = match self {
+            Control::Nack { flow_id, missing } => (0, *flow_id, missing),
+            Control::Ack { flow_id } => (1, *flow_id, &[]),
+        };
+        let mut buf = Vec::with_capacity(4 + 1 + 8 + 4 + 4 * missing.len());
+        buf.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
+        buf.push(kind);
+        buf.extend_from_slice(&flow_id.to_le_bytes());
+        buf.extend_from_slice(&(missing.len() as u32).to_le_bytes());
+        for &index in missing {
+            buf.extend_from_slice(&index.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parse a wire payload; `None` if it is not a well-formed control frame.
+    pub fn decode(payload: &[u8]) -> Option<Control> {
+        if payload.len() < 17 {
+            return None;
+        }
+        if u32::from_le_bytes(payload[0..4].try_into().ok()?) != CONTROL_MAGIC {
+            return None;
+        }
+        let kind = payload[4];
+        let flow_id = u64::from_le_bytes(payload[5..13].try_into().ok()?);
+        let count = u32::from_le_bytes(payload[13..17].try_into().ok()?) as usize;
+        if payload.len() != 17 + 4 * count {
+            return None;
+        }
+        let missing = (0..count)
+            .map(|i| u32::from_le_bytes(payload[17 + 4 * i..21 + 4 * i].try_into().expect("4 B")))
+            .collect();
+        match kind {
+            0 => Some(Control::Nack { flow_id, missing }),
+            1 if count == 0 => Some(Control::Ack { flow_id }),
+            _ => None,
+        }
+    }
+}
+
+/// Sender-side retransmission budget and receiver-side NACK pacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retransmission rounds per flow before the sender gives up.
+    pub max_retries: u32,
+    /// Virtual-time backoff before the first retransmission; doubles each
+    /// round (see [`viper_hw::retry_backoff`]).
+    pub base_backoff: Duration,
+    /// Upper bound on the per-round backoff.
+    pub backoff_cap: Duration,
+    /// Wall-clock time the sender waits for an ACK/NACK before resending
+    /// the whole flow blind (covers "the final chunk was dropped and the
+    /// receiver never saw enough to complain").
+    pub ack_timeout: Duration,
+    /// Wall-clock inactivity after which the receiver NACKs a partial flow.
+    pub nack_after: Duration,
+    /// How many times the receiver re-NACKs a stalled flow before
+    /// abandoning it (freeing its buffer).
+    pub max_nacks: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(5),
+            ack_timeout: Duration::from_millis(200),
+            nack_after: Duration::from_millis(8),
+            max_nacks: 12,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The virtual-time backoff charged before retransmission round
+    /// `attempt` (1-based): exponential from `base_backoff`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        viper_hw::retry_backoff(self.base_backoff, attempt, self.backoff_cap)
+    }
+}
+
+/// A partial flow that went stale on the receiver (chunks lost or corrupt
+/// and never retransmitted in time). The reliability layer turns these into
+/// NACKs; an `abandoned` error means the assembler also evicted the flow's
+/// buffer and stopped waiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowError {
+    /// Sender node of the stalled flow.
+    pub from: String,
+    /// Flow id from the chunk headers.
+    pub flow_id: u64,
+    /// Application tag carried by the flow's chunks.
+    pub tag: String,
+    /// Link the flow's chunks traversed (the NACK goes back the same way).
+    pub link: LinkKind,
+    /// Chunk indices never (validly) received.
+    pub missing: Vec<u32>,
+    /// Whether the assembler gave up and evicted the partial buffer.
+    pub abandoned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_roundtrips() {
+        for control in [
+            Control::Ack { flow_id: 99 },
+            Control::Nack {
+                flow_id: 7,
+                missing: vec![0, 3, 12],
+            },
+            Control::Nack {
+                flow_id: u64::MAX,
+                missing: vec![],
+            },
+        ] {
+            assert_eq!(Control::decode(&control.encode()), Some(control));
+        }
+    }
+
+    #[test]
+    fn malformed_control_rejected() {
+        assert_eq!(Control::decode(b""), None);
+        assert_eq!(Control::decode(b"VPRLxxxxxxxxxxxxx"), None);
+        let mut truncated = Control::Nack {
+            flow_id: 1,
+            missing: vec![1, 2],
+        }
+        .encode();
+        truncated.pop();
+        assert_eq!(Control::decode(&truncated), None);
+        // Unknown kind byte.
+        let mut bad = Control::Ack { flow_id: 1 }.encode();
+        bad[4] = 9;
+        assert_eq!(Control::decode(&bad), None);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(450),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(1), Duration::from_micros(100));
+        assert_eq!(policy.backoff(2), Duration::from_micros(200));
+        assert_eq!(policy.backoff(3), Duration::from_micros(400));
+        assert_eq!(policy.backoff(4), Duration::from_micros(450));
+        assert_eq!(policy.backoff(30), Duration::from_micros(450));
+    }
+}
