@@ -85,6 +85,13 @@ pub struct ViperConfig {
     /// the consumer's stale-flow reaping, even when `reliable_delivery` is
     /// off, so lost flows cannot pin reassembly buffers forever).
     pub retry: viper_net::RetryPolicy,
+    /// Telemetry handle shared by every component of the deployment
+    /// (producers, consumers, fabric, pub/sub broker, predictor calls).
+    /// Disabled by default — the disabled path records nothing and never
+    /// touches the virtual clock, so benchmark makespans are bit-identical
+    /// with or without it. [`crate::Viper::new`] binds this handle to the
+    /// deployment's virtual clock, so timestamps land in virtual time.
+    pub telemetry: viper_telemetry::Telemetry,
 }
 
 impl Default for ViperConfig {
@@ -106,6 +113,7 @@ impl Default for ViperConfig {
             fault_plan: None,
             reliable_delivery: false,
             retry: viper_net::RetryPolicy::default(),
+            telemetry: viper_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -173,6 +181,14 @@ impl ViperConfig {
     /// Set the retransmission policy (builder style).
     pub fn with_retry(mut self, retry: viper_net::RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Install a telemetry handle (builder style). Pass
+    /// [`viper_telemetry::Telemetry::enabled`] to capture traces; the
+    /// deployment binds the handle to its virtual clock on construction.
+    pub fn with_telemetry(mut self, telemetry: viper_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

@@ -3,17 +3,18 @@
 
 use crate::config::DiscoveryMode;
 use crate::context::Viper;
-use crate::producer::{charge, charge_apply};
+use crate::producer::{charge_apply, charge_apply_at};
 use crate::slot::ModelSlot;
 use crate::{Result, ViperError, UPDATE_TOPIC};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viper_formats::{Checkpoint, CheckpointFormat};
 use viper_hw::{Route, SimInstant, Tier};
 use viper_net::{Control, MessageKind};
+use viper_telemetry::Counter;
 
 /// Details of the most recent completed model update on the consumer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,17 +35,24 @@ struct ConsumerState {
     /// calls step through updates instead of racing the listener.
     last_loaded: Mutex<u64>,
     /// Chunks rejected because their body failed the CRC check.
-    corrupt_chunks: AtomicU64,
+    ///
+    /// This and the counters below live in the deployment's telemetry
+    /// metrics registry under per-node names
+    /// (`consumer.{node}.corrupt_chunks`, ...); metrics stay live even when
+    /// trace recording is disabled, so the public accessors always report.
+    corrupt_chunks: Counter,
     /// Chunk-marked messages whose framing did not decode.
-    malformed_chunks: AtomicU64,
+    malformed_chunks: Counter,
     /// Deliveries skipped because their tag carried no parseable version.
-    malformed_tags: AtomicU64,
+    malformed_tags: Counter,
     /// NACK control frames sent back to senders.
-    nacks_sent: AtomicU64,
+    nacks_sent: Counter,
     /// Stale partial flows abandoned (buffer evicted) after the NACK budget.
-    flows_abandoned: AtomicU64,
+    flows_abandoned: Counter,
     /// Delivery errors observed by the listener (abandoned flows etc.).
     errors: Mutex<Vec<ViperError>>,
+    /// Telemetry track for this consumer's events.
+    track: String,
 }
 
 /// A consumer attached to a Viper deployment, serving one model.
@@ -63,17 +71,19 @@ impl Consumer {
         viper.shared.consumers.write().push(node.to_string());
         let subscription = viper.shared.bus.subscribe(UPDATE_TOPIC);
 
+        let telemetry = &viper.shared.config.telemetry;
         let state = Arc::new(ConsumerState {
             slot: ModelSlot::new(),
             latest: Mutex::new(None),
             cond: Condvar::new(),
             last_loaded: Mutex::new(0),
-            corrupt_chunks: AtomicU64::new(0),
-            malformed_chunks: AtomicU64::new(0),
-            malformed_tags: AtomicU64::new(0),
-            nacks_sent: AtomicU64::new(0),
-            flows_abandoned: AtomicU64::new(0),
+            corrupt_chunks: telemetry.counter(&format!("consumer.{node}.corrupt_chunks")),
+            malformed_chunks: telemetry.counter(&format!("consumer.{node}.malformed_chunks")),
+            malformed_tags: telemetry.counter(&format!("consumer.{node}.malformed_tags")),
+            nacks_sent: telemetry.counter(&format!("consumer.{node}.nacks_sent")),
+            flows_abandoned: telemetry.counter(&format!("consumer.{node}.flows_abandoned")),
             errors: Mutex::new(Vec::new()),
+            track: format!("consumer:{node}"),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let format = viper.shared.config.format.build();
@@ -160,29 +170,29 @@ impl Consumer {
 
     /// Chunks rejected because their body failed the CRC check.
     pub fn corrupt_chunks(&self) -> u64 {
-        self.state.corrupt_chunks.load(Ordering::Relaxed)
+        self.state.corrupt_chunks.get()
     }
 
     /// Chunk-marked messages whose framing did not decode (header damaged
     /// in flight).
     pub fn malformed_chunks(&self) -> u64 {
-        self.state.malformed_chunks.load(Ordering::Relaxed)
+        self.state.malformed_chunks.get()
     }
 
     /// Deliveries skipped because their tag carried no parseable version.
     pub fn malformed_tags(&self) -> u64 {
-        self.state.malformed_tags.load(Ordering::Relaxed)
+        self.state.malformed_tags.get()
     }
 
     /// NACK control frames this consumer sent back to senders.
     pub fn nacks_sent(&self) -> u64 {
-        self.state.nacks_sent.load(Ordering::Relaxed)
+        self.state.nacks_sent.get()
     }
 
     /// Stale partial flows abandoned (reassembly buffer evicted) after the
     /// NACK budget ran out.
     pub fn flows_abandoned(&self) -> u64 {
-        self.state.flows_abandoned.load(Ordering::Relaxed)
+        self.state.flows_abandoned.get()
     }
 
     /// Delivery errors the listener has observed so far.
@@ -245,6 +255,8 @@ impl Consumer {
             let Ok(ckpt) = format.decode(&payload) else {
                 continue; // corrupt durable copy; try an older one
             };
+            let telemetry = &self.viper.shared.config.telemetry;
+            let t0 = telemetry.now_ns();
             charge_apply(
                 &self.viper,
                 Route::PfsStaging,
@@ -256,6 +268,17 @@ impl Consumer {
             // served model or publish an UpdateInfo for a model that lost
             // the race.
             install(&self.viper, &self.state, ckpt, record.version);
+            telemetry.complete(
+                "consumer",
+                "install",
+                &self.state.track,
+                t0,
+                telemetry.now_ns(),
+                &[
+                    ("version", record.version.into()),
+                    ("source", "recover".into()),
+                ],
+            );
             return self
                 .current()
                 .ok_or_else(|| ViperError::Invalid("recovered model vanished from slot".into()));
@@ -320,32 +343,60 @@ fn listener_loop(
     let mut assembler = viper_net::FlowAssembler::new();
     let reliable = viper.shared.config.reliable_delivery;
     let retry = viper.shared.config.retry;
+    let telemetry = &viper.shared.config.telemetry;
 
     // Verify, apply, and install one whole direct-push payload. The apply
     // cost is derived from the link the payload actually traversed, not the
     // configured default — the Transfer Selector may have rerouted under
-    // pressure.
-    let apply_payload = |link: viper_net::LinkKind, tag: &str, payload: &Arc<Vec<u8>>| {
-        let route = match link {
-            viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
-            _ => Route::HostToHost,
-        };
-        // A tag without a parseable version is a malformed delivery:
-        // skip and count it rather than silently installing it as v0.
-        let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
-            state.malformed_tags.fetch_add(1, Ordering::Relaxed);
-            state.errors.lock().push(ViperError::Invalid(format!(
-                "malformed delivery tag: {tag}"
-            )));
-            return;
-        };
-        if let Ok(ckpt) = format.decode(payload) {
-            if ckpt.model_name == model_name {
-                charge_apply(viper, route, payload.len() as u64, ckpt.ntensors());
-                install(viper, state, ckpt, version);
+    // pressure. The charge is based on the payload's virtual *arrival*
+    // (chained behind any apply still in progress on this listener), never
+    // on `clock.now()`: the producer advances the shared clock concurrently,
+    // and a now-based charge would make install timestamps depend on thread
+    // scheduling instead of on the modeled timeline.
+    let mut apply_free = SimInstant::ZERO;
+    let mut apply_payload =
+        |link: viper_net::LinkKind, tag: &str, payload: &Arc<Vec<u8>>, arrived: SimInstant| {
+            let route = match link {
+                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
+                _ => Route::HostToHost,
+            };
+            // A tag without a parseable version is a malformed delivery:
+            // skip and count it rather than silently installing it as v0.
+            let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
+                state.malformed_tags.inc();
+                state.errors.lock().push(ViperError::Invalid(format!(
+                    "malformed delivery tag: {tag}"
+                )));
+                return;
+            };
+            if let Ok(ckpt) = format.decode(payload) {
+                if ckpt.model_name == model_name {
+                    let bytes = payload.len() as u64;
+                    // The consumer acts on the update *notification*, which
+                    // trails the pushed payload by the pubsub hop — the
+                    // `notify` term of `UpdateCosts::update_latency`.
+                    let notified = arrived.add(viper.shared.config.profile.notify_latency);
+                    let start = notified.max(apply_free);
+                    // The +100ns is the §4.2 "negligible" swap, kept visible
+                    // so trace ordering shows apply-then-swap.
+                    let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
+                        .add(Duration::from_nanos(100));
+                    apply_free = done;
+                    install_at(viper, state, ckpt, version, done);
+                    // A Complete (X) event rather than Begin/End: recover()
+                    // on the user's thread may install on this track
+                    // concurrently, and X events cannot break span nesting.
+                    telemetry.complete(
+                        "consumer",
+                        "install",
+                        &state.track,
+                        start.as_nanos(),
+                        done.as_nanos(),
+                        &[("version", version.into()), ("bytes", bytes.into())],
+                    );
+                }
             }
-        }
-    };
+        };
 
     while !stop.load(Ordering::Acquire) {
         // Direct-push payloads (memory routes). Drain the whole queue
@@ -358,7 +409,7 @@ fn listener_loop(
             match assembler.accept(msg) {
                 viper_net::FlowStatus::Buffered => {}
                 viper_net::FlowStatus::Malformed => {
-                    state.malformed_chunks.fetch_add(1, Ordering::Relaxed);
+                    state.malformed_chunks.inc();
                 }
                 viper_net::FlowStatus::Corrupt {
                     from,
@@ -367,14 +418,20 @@ fn listener_loop(
                     tag,
                     link,
                 } => {
-                    state.corrupt_chunks.fetch_add(1, Ordering::Relaxed);
+                    state.corrupt_chunks.inc();
                     if reliable {
                         let nack = Control::Nack {
                             flow_id,
                             missing: vec![chunk_index],
                         };
                         if endpoint.send_control(&from, &tag, &nack, link).is_ok() {
-                            state.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                            state.nacks_sent.inc();
+                            telemetry.instant(
+                                "consumer",
+                                "nack",
+                                &state.track,
+                                &[("flow_id", flow_id.into()), ("chunk", chunk_index.into())],
+                            );
                         }
                     }
                 }
@@ -382,17 +439,22 @@ fn listener_loop(
                     // Control frames are sender-bound feedback; a consumer
                     // has no use for one (and must not decode it as data).
                     if msg.kind != MessageKind::Control {
-                        apply_payload(msg.link, &msg.tag, &msg.payload);
+                        apply_payload(msg.link, &msg.tag, &msg.payload, msg.arrived_at);
                     }
                 }
                 viper_net::FlowStatus::Complete(flow) => {
+                    // Apply before acknowledging: the ACK then attests the
+                    // update is installed, and the producer's post-ACK
+                    // charges extend the causal chain instead of racing the
+                    // apply on the shared clock.
+                    let payload = Arc::new(flow.payload);
+                    apply_payload(flow.link, &flow.tag, &payload, flow.completed_at);
                     if reliable {
                         let ack = Control::Ack {
                             flow_id: flow.flow_id,
                         };
                         let _ = endpoint.send_control(&flow.from, &flow.tag, &ack, flow.link);
                     }
-                    apply_payload(flow.link, &flow.tag, &Arc::new(flow.payload));
                 }
             }
         }
@@ -402,13 +464,23 @@ fn listener_loop(
         if assembler.in_progress() > 0 {
             for err in assembler.reap(retry.nack_after, retry.max_nacks) {
                 if err.abandoned {
-                    state.flows_abandoned.fetch_add(1, Ordering::Relaxed);
+                    state.flows_abandoned.inc();
+                    telemetry.instant(
+                        "consumer",
+                        "flow_abandoned",
+                        &state.track,
+                        &[
+                            ("flow_id", err.flow_id.into()),
+                            ("missing", err.missing.len().into()),
+                        ],
+                    );
                     state.errors.lock().push(ViperError::FlowAbandoned {
                         from: err.from,
                         tag: err.tag,
                         missing: err.missing.len(),
                     });
                 } else if reliable {
+                    let missing_count = err.missing.len();
                     let nack = Control::Nack {
                         flow_id: err.flow_id,
                         missing: err.missing,
@@ -417,7 +489,16 @@ fn listener_loop(
                         .send_control(&err.from, &err.tag, &nack, err.link)
                         .is_ok()
                     {
-                        state.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                        state.nacks_sent.inc();
+                        telemetry.instant(
+                            "consumer",
+                            "nack",
+                            &state.track,
+                            &[
+                                ("flow_id", err.flow_id.into()),
+                                ("missing", missing_count.into()),
+                            ],
+                        );
                     }
                 }
             }
@@ -475,27 +556,51 @@ fn try_pull_from_pfs(
     }
     if let Ok((payload, _read_time)) = viper.shared.pfs.read(&record.path) {
         if let Ok(ckpt) = format.decode(&payload) {
-            charge_apply(
-                viper,
-                Route::PfsStaging,
-                payload.len() as u64,
-                ckpt.ntensors(),
-            );
+            let telemetry = &viper.shared.config.telemetry;
+            let t0 = telemetry.now_ns();
+            let bytes = payload.len() as u64;
+            charge_apply(viper, Route::PfsStaging, bytes, ckpt.ntensors());
             install(viper, state, ckpt, record.version);
+            telemetry.complete(
+                "consumer",
+                "install",
+                &state.track,
+                t0,
+                telemetry.now_ns(),
+                &[
+                    ("version", record.version.into()),
+                    ("bytes", bytes.into()),
+                    ("source", "pfs".into()),
+                ],
+            );
         }
     }
 }
 
 fn install(viper: &Viper, state: &ConsumerState, ckpt: Checkpoint, version: u64) {
+    // User-thread installers (recover, PFS pull) charge from the clock's
+    // current frontier; the listener's push path uses `install_at` with a
+    // causally computed instant instead.
+    let swapped_at = viper.shared.clock.now().add(Duration::from_nanos(100));
+    install_at(viper, state, ckpt, version, swapped_at);
+}
+
+fn install_at(
+    viper: &Viper,
+    state: &ConsumerState,
+    ckpt: Checkpoint,
+    version: u64,
+    at: SimInstant,
+) {
     // Double buffering with the staleness check and the swap under one
     // lock: concurrent installers (the listener thread vs. an explicit
     // recover() call) can never interleave and regress the served model.
     let Some(installed) = state.slot.install_if_newer(ckpt) else {
         return;
     };
-    // The swap itself is "negligible overhead" (§4.2); we still nudge
-    // the virtual clock so ordering is visible in traces.
-    charge(&viper.shared.clock, Duration::from_nanos(100));
+    // The swap itself is "negligible overhead" (§4.2); the nudged `at`
+    // still advances the virtual clock so ordering is visible in traces.
+    viper.shared.clock.advance_to(at);
     let mut latest = state.latest.lock();
     // Exactly-once install: UpdateInfo tracks the newest model the slot
     // accepted, never a loser of the race above.
@@ -506,7 +611,7 @@ fn install(viper: &Viper, state: &ConsumerState, ckpt: Checkpoint, version: u64)
         *latest = Some(UpdateInfo {
             version,
             iteration: installed.iteration,
-            swapped_at: viper.shared.clock.now(),
+            swapped_at: at,
         });
     }
     state.cond.notify_all();

@@ -33,7 +33,9 @@ impl Viper {
     /// tier is misconfigured.
     pub fn new(config: ViperConfig) -> Self {
         let clock = SimClock::new();
+        config.telemetry.bind_virtual_clock(clock.clone());
         let fabric = Fabric::new(config.profile.clone(), clock.clone());
+        fabric.set_telemetry(config.telemetry.clone());
         if let Some(plan) = &config.fault_plan {
             fabric.set_fault_plan(Some(plan.clone()));
         }
@@ -44,13 +46,15 @@ impl Viper {
             }
             None => StorageTier::new(*config.profile.tier(Tier::Pfs), clock.clone()),
         };
+        let bus = PubSub::new();
+        bus.set_telemetry(config.telemetry.clone());
         Viper {
             shared: Arc::new(Shared {
                 config,
                 clock,
                 fabric,
                 db: MetadataDb::new(),
-                bus: PubSub::new(),
+                bus,
                 pfs,
                 consumers: RwLock::new(Vec::new()),
             }),
@@ -85,6 +89,11 @@ impl Viper {
     /// The shared parallel file system tier.
     pub fn pfs(&self) -> &StorageTier {
         &self.shared.pfs
+    }
+
+    /// The deployment-wide telemetry handle (bound to the virtual clock).
+    pub fn telemetry(&self) -> &viper_telemetry::Telemetry {
+        &self.shared.config.telemetry
     }
 
     /// Rebuild the metadata catalog from the durable PFS objects — the

@@ -61,6 +61,7 @@ pub use context::Viper;
 pub use error::{Result, ViperError};
 pub use producer::{Producer, SaveReceipt};
 pub use slot::ModelSlot;
+pub use viper_telemetry as telemetry;
 
 /// Topic on which model-update notifications are published.
 pub const UPDATE_TOPIC: &str = "viper/model-updates";

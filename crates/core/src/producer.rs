@@ -14,7 +14,6 @@
 use crate::context::Viper;
 use crate::{Result, ViperError, UPDATE_TOPIC};
 use crossbeam::channel::{unbounded, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -25,6 +24,7 @@ use viper_hw::{
 };
 use viper_metastore::ModelRecord;
 use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
+use viper_telemetry::{Counter, Telemetry};
 
 /// What `save_weights` reports back to the training loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,21 +53,45 @@ enum Job {
     },
 }
 
-/// Observability counters for the reliable-delivery path.
-#[derive(Default)]
+/// Observability counters for the reliable-delivery path. Registered in
+/// the deployment's telemetry metrics registry under per-node names
+/// (`producer.{node}.retransmits`, ...) so `trace_dump`-style tooling sees
+/// them; metrics stay live even when trace recording is disabled, so the
+/// public accessors always report.
 struct DeliveryCounters {
     /// Retransmission rounds performed (NACK-driven or ack-timeout blind).
-    retransmits: AtomicU64,
+    retransmits: Counter,
     /// Deliveries that exhausted the retry budget.
-    exhausted: AtomicU64,
+    exhausted: Counter,
     /// Updates degraded to the durable PFS route after exhaustion.
-    pfs_fallbacks: AtomicU64,
+    pfs_fallbacks: Counter,
+}
+
+impl DeliveryCounters {
+    fn new(telemetry: &Telemetry, node: &str) -> Self {
+        DeliveryCounters {
+            retransmits: telemetry.counter(&format!("producer.{node}.retransmits")),
+            exhausted: telemetry.counter(&format!("producer.{node}.deliveries_exhausted")),
+            pfs_fallbacks: telemetry.counter(&format!("producer.{node}.pfs_fallbacks")),
+        }
+    }
+}
+
+/// Stable trace label for a route (avoids allocating Debug strings).
+fn route_label(route: Route) -> &'static str {
+    match route {
+        Route::GpuToGpu => "gpu-to-gpu",
+        Route::HostToHost => "host-to-host",
+        Route::PfsStaging => "pfs-staging",
+    }
 }
 
 /// A producer attached to a Viper deployment.
 pub struct Producer {
     viper: Viper,
     node: String,
+    /// Telemetry track for spans emitted from the caller's thread.
+    track: String,
     endpoint: Arc<Endpoint>,
     gpu: Arc<StorageTier>,
     host: Arc<StorageTier>,
@@ -89,36 +113,71 @@ impl Producer {
         let format = viper.shared.config.format.build();
         let endpoint = Arc::new(viper.shared.fabric.register(node));
 
-        let counters = Arc::new(DeliveryCounters::default());
+        let counters = Arc::new(DeliveryCounters::new(&viper.shared.config.telemetry, node));
         let (tx, rx) = unbounded::<Job>();
         let worker = {
             let viper = viper.clone();
             let endpoint = Arc::clone(&endpoint);
             let counters = Arc::clone(&counters);
             let node = node.to_string();
+            // Worker spans live on their own track: Begin/End pairs from
+            // two OS threads on one track would interleave arbitrarily.
+            let worker_track = format!("producer:{node}/worker");
             std::thread::Builder::new()
                 .name(format!("viper-producer-worker-{node}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        let telemetry = viper.shared.config.telemetry.clone();
                         match job {
                             Job::Deliver {
                                 record,
                                 payload,
                                 route,
                             } => {
+                                let _span = telemetry.span_with(
+                                    "producer",
+                                    "deliver.async",
+                                    &worker_track,
+                                    &[
+                                        ("version", record.version.into()),
+                                        ("bytes", (payload.len() as u64).into()),
+                                    ],
+                                );
                                 let stage = stage_time(
                                     &viper.shared.config.profile,
                                     route,
                                     payload.len() as u64,
                                 );
+                                let t0 = telemetry.now_ns();
                                 charge(&viper.shared.clock, stage);
+                                telemetry.complete(
+                                    "producer",
+                                    "stage",
+                                    &worker_track,
+                                    t0,
+                                    telemetry.now_ns(),
+                                    &[("bytes", (payload.len() as u64).into())],
+                                );
                                 // The async path captured (and staged) before
                                 // handing off, so chunks are all wire-ready.
                                 deliver(
-                                    &viper, &endpoint, &record, &payload, route, false, &counters,
+                                    &viper,
+                                    &endpoint,
+                                    &record,
+                                    &payload,
+                                    route,
+                                    false,
+                                    &counters,
+                                    &worker_track,
                                 );
                             }
                             Job::Flush { record, payload } => {
+                                let _span = telemetry.span_with(
+                                    "producer",
+                                    "flush.pfs",
+                                    &worker_track,
+                                    &[("version", record.version.into())],
+                                );
                                 let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
                                 let ntensors = record.ntensors;
                                 if viper.shared.pfs.write(&pfs_path, payload, ntensors).is_ok() {
@@ -139,6 +198,7 @@ impl Producer {
         Producer {
             viper,
             node: node.to_string(),
+            track: format!("producer:{node}"),
             endpoint,
             gpu,
             host,
@@ -152,17 +212,17 @@ impl Producer {
     /// Retransmission rounds performed by reliable delivery (NACK-driven
     /// plus ack-timeout blind resends).
     pub fn retransmits(&self) -> u64 {
-        self.counters.retransmits.load(Ordering::Relaxed)
+        self.counters.retransmits.get()
     }
 
     /// Deliveries that exhausted the retransmission budget.
     pub fn deliveries_exhausted(&self) -> u64 {
-        self.counters.exhausted.load(Ordering::Relaxed)
+        self.counters.exhausted.get()
     }
 
     /// Updates degraded to the durable PFS route after retry exhaustion.
     pub fn pfs_fallbacks(&self) -> u64 {
-        self.counters.pfs_fallbacks.load(Ordering::Relaxed)
+        self.counters.pfs_fallbacks.get()
     }
 
     /// The node this producer runs on.
@@ -187,15 +247,49 @@ impl Producer {
     pub fn save_weights(&self, ckpt: &Checkpoint) -> Result<SaveReceipt> {
         let shared = &self.viper.shared;
         let clock = &shared.clock;
+        let telemetry = &shared.config.telemetry;
         let strategy = shared.config.strategy;
         let started_at = clock.now();
+        let mut span = telemetry.span_with(
+            "producer",
+            "save_weights",
+            &self.track,
+            &[("iteration", ckpt.iteration.into())],
+        );
 
         // 1. Serialize; let the Transfer Selector pick the route (the
         //    configured one, degraded down the tier hierarchy when the
         //    staging tier is under memory pressure — Fig. 7).
+        let wall = Instant::now();
         let payload = Arc::new(self.format.encode(ckpt));
         let bytes = payload.len() as u64;
         let route = self.select_route(strategy.route, bytes);
+        if telemetry.is_enabled() {
+            // Serialization is pure compute: zero-width in virtual time,
+            // with the real cost carried as a wall-clock argument.
+            let now = telemetry.now_ns();
+            telemetry.complete(
+                "producer",
+                "serialize",
+                &self.track,
+                now,
+                now,
+                &[
+                    ("bytes", bytes.into()),
+                    ("wall_us", (wall.elapsed().as_micros() as u64).into()),
+                ],
+            );
+            telemetry.instant(
+                "producer",
+                "route_selected",
+                &self.track,
+                &[
+                    ("configured", route_label(strategy.route).into()),
+                    ("chosen", route_label(route).into()),
+                    ("degraded", (route != strategy.route).into()),
+                ],
+            );
+        }
         let ntensors = ckpt.ntensors();
         let meta_factor = self.format.metadata_ops_factor();
         let capture = capture_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
@@ -206,7 +300,16 @@ impl Producer {
         let chunked = shared.config.chunked_transfer && route != Route::PfsStaging;
         let pipelined_sync = chunked && !is_async;
         if !pipelined_sync {
+            let t0 = telemetry.now_ns();
             charge(clock, capture);
+            telemetry.complete(
+                "producer",
+                "capture",
+                &self.track,
+                t0,
+                telemetry.now_ns(),
+                &[("bytes", bytes.into())],
+            );
         }
 
         // 2. Cache on the staging tier. Memory tiers are uncharged (the
@@ -234,6 +337,9 @@ impl Producer {
         .at_iteration(ckpt.iteration);
         let version = shared.db.put(record.clone());
         record.version = version;
+        span.arg("version", version.into());
+        span.arg("route", route_label(route).into());
+        span.arg("bytes", bytes.into());
 
         // 4. Deliver. The PFS route is always effectively synchronous
         //    (write-through happened in capture); memory routes honour the
@@ -253,6 +359,7 @@ impl Producer {
                 route,
                 pipelined_sync,
                 &self.counters,
+                &self.track,
             );
             if pipelined_sync && sent == 0 {
                 // Nothing consumed the pipelined capture model: the snapshot
@@ -398,8 +505,19 @@ fn deliver(
     route: Route,
     pipeline_capture: bool,
     counters: &DeliveryCounters,
+    track: &str,
 ) -> usize {
     let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
+    let mut span = telemetry.span_with(
+        "producer",
+        "deliver",
+        track,
+        &[
+            ("version", record.version.into()),
+            ("route", route_label(route).into()),
+        ],
+    );
     let link = match route {
         Route::GpuToGpu => Some(LinkKind::GpuDirect),
         Route::HostToHost => Some(LinkKind::HostRdma),
@@ -407,6 +525,13 @@ fn deliver(
     };
     let mut sent = 0;
     let mut fall_back = false;
+    // Causal frontier of this delivery: every successful send extends it to
+    // the flow's (or its ACK's) computed completion instant, and the notify
+    // latency is charged from it rather than from `clock.now()` — a
+    // concurrently applying consumer advances the shared clock, and basing
+    // the charge on the racy frontier would make the timeline depend on
+    // thread scheduling.
+    let mut frontier = shared.clock.now();
     if let Some(link) = link {
         let tag = format!("{}:{}", record.name, record.version);
         let consumers = shared.consumers.read().clone();
@@ -442,10 +567,22 @@ fn deliver(
                     &opts,
                     chunk_bytes,
                     counters,
+                    track,
                 ) {
-                    Ok(()) => true,
+                    Ok(acked_at) => {
+                        frontier = frontier.max(acked_at);
+                        true
+                    }
                     Err(ViperError::RetriesExhausted { .. }) => {
-                        counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                        counters.exhausted.inc();
+                        if telemetry.is_enabled() {
+                            telemetry.instant(
+                                "producer",
+                                "retries_exhausted",
+                                track,
+                                &[("consumer", consumer.as_str().into())],
+                            );
+                        }
                         fall_back = true;
                         false
                     }
@@ -460,13 +597,21 @@ fn deliver(
                         chunk_capture_model(&config.profile, route, record.ntensors);
                     opts = opts.with_capture(bw, fixed, once);
                 }
-                endpoint
-                    .send_chunked(&consumer, &tag, payload.clone(), link, &opts)
-                    .is_ok()
+                match endpoint.send_chunked(&consumer, &tag, payload.clone(), link, &opts) {
+                    Ok(report) => {
+                        frontier = frontier.max(report.completed_at);
+                        true
+                    }
+                    Err(_) => false,
+                }
             } else {
-                endpoint
-                    .send(&consumer, &tag, payload.clone(), link)
-                    .is_ok()
+                match endpoint.send(&consumer, &tag, payload.clone(), link) {
+                    Ok(wire) => {
+                        frontier = frontier.add(wire);
+                        true
+                    }
+                    Err(_) => false,
+                }
             };
             if delivered {
                 sent += 1;
@@ -482,6 +627,7 @@ fn deliver(
     // repository pull path.
     let mut notify = record.clone();
     if fall_back {
+        let t0 = telemetry.now_ns();
         let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
         if shared
             .pfs
@@ -493,11 +639,26 @@ fn deliver(
                 .relocate(&record.name, record.version, Tier::Pfs.name(), &pfs_path);
             notify.location = Tier::Pfs.name().to_string();
             notify.path = pfs_path;
-            counters.pfs_fallbacks.fetch_add(1, Ordering::Relaxed);
+            counters.pfs_fallbacks.inc();
         }
+        telemetry.complete(
+            "producer",
+            "pfs_fallback",
+            track,
+            t0,
+            telemetry.now_ns(),
+            &[("version", record.version.into())],
+        );
     }
-    charge(&shared.clock, shared.config.profile.notify_latency);
-    shared.bus.publish(UPDATE_TOPIC, notify);
+    charge_at(
+        &shared.clock,
+        frontier,
+        shared.config.profile.notify_latency,
+    );
+    let notified = shared.bus.publish(UPDATE_TOPIC, notify);
+    span.arg("pushed", sent.into());
+    span.arg("notified", notified.into());
+    drop(span);
     sent
 }
 
@@ -506,9 +667,9 @@ fn deliver(
 /// the missing chunks; an `ack_timeout` with no feedback at all (every
 /// chunk — or the feedback itself — lost) blind-resends the whole flow.
 /// Each round charges exponential backoff plus the retransmitted bytes'
-/// wire time to the virtual clock: retries are never free. After
-/// `max_retries` rounds the delivery fails with
-/// [`ViperError::RetriesExhausted`].
+/// wire time to the virtual clock: retries are never free. Returns the
+/// ACK's virtual arrival instant. After `max_retries` rounds the delivery
+/// fails with [`ViperError::RetriesExhausted`].
 #[allow(clippy::too_many_arguments)]
 fn deliver_reliable_to(
     viper: &Viper,
@@ -520,8 +681,10 @@ fn deliver_reliable_to(
     opts: &ChunkedSend,
     chunk_bytes: u64,
     counters: &DeliveryCounters,
-) -> Result<()> {
+    track: &str,
+) -> Result<SimInstant> {
     let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
     let retry = shared.config.retry;
     let report = endpoint.send_chunked(consumer, tag, payload.clone(), link, opts)?;
     let all_chunks: Vec<u32> = (0..report.num_chunks).collect();
@@ -544,7 +707,7 @@ fn deliver_reliable_to(
             }
             match Control::decode(&msg.payload) {
                 Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
-                    return Ok(());
+                    return Ok(msg.arrived_at);
                 }
                 Some(Control::Nack { flow_id, missing }) if flow_id == report.flow_id => {
                     break if missing.is_empty() {
@@ -565,8 +728,18 @@ fn deliver_reliable_to(
                 attempts: attempts - 1,
             });
         }
-        counters.retransmits.fetch_add(1, Ordering::Relaxed);
+        counters.retransmits.inc();
+        let t0 = telemetry.now_ns();
         charge(&shared.clock, retry.backoff(attempts));
+        telemetry.complete(
+            "producer",
+            "backoff",
+            track,
+            t0,
+            telemetry.now_ns(),
+            &[("attempt", attempts.into())],
+        );
+        let t1 = telemetry.now_ns();
         endpoint.retransmit_chunks(
             consumer,
             tag,
@@ -576,6 +749,17 @@ fn deliver_reliable_to(
             chunk_bytes,
             &missing,
         )?;
+        telemetry.complete(
+            "producer",
+            "retransmit_round",
+            track,
+            t1,
+            telemetry.now_ns(),
+            &[
+                ("attempt", attempts.into()),
+                ("missing", missing.len().into()),
+            ],
+        );
     }
 }
 
@@ -583,8 +767,33 @@ pub(crate) fn charge(clock: &SimClock, dur: Duration) {
     clock.advance_to(clock.now().add(dur));
 }
 
+/// Charge `dur` from an explicit causal `base` instead of the clock's
+/// current frontier, returning the completion instant. `advance_to` is a
+/// max, so a now-based charge racing a concurrent one from another thread
+/// yields an interleaving-dependent timeline; charging from a computed
+/// instant keeps the virtual timeline deterministic.
+pub(crate) fn charge_at(clock: &SimClock, base: SimInstant, dur: Duration) -> SimInstant {
+    let done = base.add(dur);
+    clock.advance_to(done);
+    done
+}
+
 /// Consumer-side apply charge, shared with the consumer module.
 pub(crate) fn charge_apply(viper: &Viper, route: Route, bytes: u64, ntensors: usize) {
     let dur = apply_time(&viper.shared.config.profile, route, bytes, ntensors);
     charge(&viper.shared.clock, dur);
+}
+
+/// Consumer-side apply charge from an explicit causal base (the payload's
+/// virtual arrival, chained behind any still-running apply); returns when
+/// the apply finishes.
+pub(crate) fn charge_apply_at(
+    viper: &Viper,
+    route: Route,
+    bytes: u64,
+    ntensors: usize,
+    base: SimInstant,
+) -> SimInstant {
+    let dur = apply_time(&viper.shared.config.profile, route, bytes, ntensors);
+    charge_at(&viper.shared.clock, base, dur)
 }

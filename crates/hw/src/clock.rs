@@ -20,9 +20,27 @@ impl SimInstant {
     pub const ZERO: SimInstant = SimInstant(0);
 
     /// Seconds since the simulation epoch.
+    ///
+    /// Lossy above 2^53 ns (~104 days of virtual time): `f64` cannot
+    /// represent every integer nanosecond. Use [`SimInstant::as_nanos`]
+    /// wherever exactness matters (telemetry timestamps, comparisons,
+    /// arithmetic) and convert to seconds only for display.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
+    }
+
+    /// Integer nanoseconds since the simulation epoch — exact at any
+    /// magnitude, unlike [`SimInstant::as_secs_f64`].
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The instant `ns` integer nanoseconds after the simulation epoch.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> SimInstant {
+        SimInstant(ns)
     }
 
     /// The instant `d` later. (Also available as the `+` operator.)
@@ -138,6 +156,18 @@ mod tests {
             }
         });
         assert_eq!(c.now(), SimInstant(8 * 1000 * 3));
+    }
+
+    #[test]
+    fn integer_nanos_are_exact_where_f64_seconds_are_not() {
+        // 2^53 + 1 ns is not representable as an f64 second count.
+        let t = SimInstant::from_nanos((1 << 53) + 1);
+        assert_eq!(t.as_nanos(), (1 << 53) + 1);
+        let round_tripped = (t.as_secs_f64() * 1e9) as u64;
+        assert_ne!(round_tripped, t.as_nanos(), "f64 path is lossy here");
+        let c = SimClock::new();
+        c.advance_to(t);
+        assert_eq!(c.now().as_nanos(), t.as_nanos());
     }
 
     #[test]

@@ -2,21 +2,35 @@
 //!
 //! Replaces the paper's Redis pub/sub: producers publish a model-update
 //! message to a topic; every live subscriber receives its own copy through
-//! an unbounded channel. Dropped subscribers are garbage-collected lazily
-//! on the next publish.
+//! an unbounded channel. A dropped [`Subscription`] unsubscribes itself
+//! eagerly — a quiet topic can never pin dead channels — and dead senders
+//! discovered at publish time are garbage-collected as a backstop.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
+use viper_telemetry::Telemetry;
 
-/// A subscription handle: receive messages for one topic.
-#[derive(Debug)]
+/// A subscription handle: receive messages for one topic. Dropping the
+/// handle removes the subscriber from the broker immediately.
 pub struct Subscription<T> {
     rx: Receiver<T>,
     id: u64,
     topic: String,
+    broker: Weak<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Subscription<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("topic", &self.topic)
+            .field("id", &self.id)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
 }
 
 impl<T> Subscription<T> {
@@ -66,21 +80,94 @@ impl<T> Subscription<T> {
     }
 }
 
+impl<T> Drop for Subscription<T> {
+    fn drop(&mut self) {
+        // Eager unsubscribe: without this, a subscriber dropped on a quiet
+        // topic would pin its (unbounded) channel until the next publish.
+        if let Some(inner) = self.broker.upgrade() {
+            inner.remove(&self.topic, self.id);
+        }
+    }
+}
+
 /// Subscriber list of one topic: (subscriber id, channel sender).
 type Subscribers<T> = Vec<(u64, Sender<T>)>;
 
-/// A multi-topic pub/sub broker.
-#[derive(Debug)]
-pub struct PubSub<T> {
+struct Inner<T> {
     topics: Mutex<HashMap<String, Subscribers<T>>>,
     next_id: AtomicU64,
+    telemetry: Mutex<Telemetry>,
+}
+
+impl<T> Inner<T> {
+    fn remove(&self, topic: &str, id: u64) {
+        let mut topics = self.topics.lock();
+        if let Some(subs) = topics.get_mut(topic) {
+            subs.retain(|(sub_id, _)| *sub_id != id);
+            if subs.is_empty() {
+                topics.remove(topic);
+            }
+        }
+        drop(topics);
+        self.export_depth(topic);
+    }
+
+    /// Export the topic's total queued-message count (and live-subscriber
+    /// count) as telemetry gauges. A no-op cheap atomic store when the
+    /// broker holds the default disabled handle.
+    fn export_depth(&self, topic: &str) {
+        let telemetry = self.telemetry.lock().clone();
+        let topics = self.topics.lock();
+        let subs = topics.get(topic);
+        let depth: usize = subs
+            .map(|s| s.iter().map(|(_, tx)| tx.len()).sum())
+            .unwrap_or(0);
+        let count = subs.map(Vec::len).unwrap_or(0);
+        drop(topics);
+        telemetry
+            .gauge(&format!("pubsub.queue_depth.{topic}"))
+            .set(depth as i64);
+        telemetry
+            .gauge(&format!("pubsub.subscribers.{topic}"))
+            .set(count as i64);
+        telemetry.counter_sample(
+            "pubsub",
+            &format!("queue_depth.{topic}"),
+            "pubsub",
+            depth as f64,
+        );
+    }
+}
+
+/// A multi-topic pub/sub broker. Clones share the broker state.
+pub struct PubSub<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for PubSub<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PubSub")
+            .field("topics", &self.inner.topics.lock().len())
+            .finish()
+    }
+}
+
+impl<T> Clone for PubSub<T> {
+    fn clone(&self) -> Self {
+        PubSub {
+            inner: Arc::clone(&self.inner),
+        }
+    }
 }
 
 impl<T> Default for PubSub<T> {
     fn default() -> Self {
         PubSub {
-            topics: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
+            inner: Arc::new(Inner {
+                topics: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(0),
+                telemetry: Mutex::new(Telemetry::disabled()),
+            }),
         }
     }
 }
@@ -91,27 +178,37 @@ impl<T: Clone> PubSub<T> {
         Self::default()
     }
 
+    /// Install the telemetry handle used for per-topic queue-depth and
+    /// subscriber-count gauges (`pubsub.queue_depth.<topic>`,
+    /// `pubsub.subscribers.<topic>`).
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.inner.telemetry.lock() = telemetry;
+    }
+
     /// Subscribe to `topic`.
     pub fn subscribe(&self, topic: &str) -> Subscription<T> {
         let (tx, rx) = unbounded();
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.topics
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .topics
             .lock()
             .entry(topic.to_string())
             .or_default()
             .push((id, tx));
+        self.inner.export_depth(topic);
         Subscription {
             rx,
             id,
             topic: topic.to_string(),
+            broker: Arc::downgrade(&self.inner),
         }
     }
 
     /// Publish `msg` to every live subscriber of `topic`; returns how many
-    /// subscribers received it. Dead subscribers (dropped receivers) are
-    /// removed as a side effect.
+    /// subscribers received it. Dead subscribers (dropped receivers that
+    /// somehow outlived their eager unsubscribe) are removed as a backstop.
     pub fn publish(&self, topic: &str, msg: T) -> usize {
-        let mut topics = self.topics.lock();
+        let mut topics = self.inner.topics.lock();
         let Some(subs) = topics.get_mut(topic) else {
             return 0;
         };
@@ -120,24 +217,35 @@ impl<T: Clone> PubSub<T> {
         if subs.is_empty() {
             topics.remove(topic);
         }
+        drop(topics);
+        self.inner.export_depth(topic);
         delivered
     }
 
-    /// Number of live subscribers on `topic` (may count recently-dropped
-    /// ones until the next publish).
+    /// Number of live subscribers on `topic`.
     pub fn subscriber_count(&self, topic: &str) -> usize {
-        self.topics.lock().get(topic).map(|s| s.len()).unwrap_or(0)
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map(|s| s.len())
+            .unwrap_or(0)
     }
 
-    /// Remove a specific subscriber eagerly (normally lazy cleanup is fine).
+    /// Messages currently queued across all subscribers of `topic`.
+    pub fn queue_depth(&self, topic: &str) -> usize {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map(|s| s.iter().map(|(_, tx)| tx.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Remove a specific subscriber eagerly without dropping its handle
+    /// (it keeps any already-queued messages but receives nothing new).
     pub fn unsubscribe(&self, sub: &Subscription<T>) {
-        let mut topics = self.topics.lock();
-        if let Some(subs) = topics.get_mut(sub.topic()) {
-            subs.retain(|(id, _)| *id != sub.id());
-            if subs.is_empty() {
-                topics.remove(sub.topic());
-            }
-        }
+        self.inner.remove(sub.topic(), sub.id());
     }
 }
 
@@ -174,14 +282,31 @@ mod tests {
     }
 
     #[test]
-    fn dropped_subscriber_cleaned_on_publish() {
+    fn dropped_subscriber_unsubscribes_immediately() {
         let bus: PubSub<u32> = PubSub::new();
         let a = bus.subscribe("t");
+        assert_eq!(bus.subscriber_count("t"), 1);
         drop(a);
+        // No publish needed: the drop itself removed the subscriber.
+        assert_eq!(bus.subscriber_count("t"), 0);
         let b = bus.subscribe("t");
         assert_eq!(bus.publish("t", 3), 1);
         assert_eq!(b.try_recv(), Some(3));
         assert_eq!(bus.subscriber_count("t"), 1);
+    }
+
+    #[test]
+    fn quiet_topic_fully_cleaned_without_publish() {
+        let bus: PubSub<u64> = PubSub::new();
+        for _ in 0..100 {
+            let sub = bus.subscribe("quiet");
+            bus.publish("quiet", 1);
+            drop(sub);
+        }
+        assert_eq!(bus.subscriber_count("quiet"), 0);
+        assert_eq!(bus.queue_depth("quiet"), 0);
+        // The topic entry itself is gone, not just empty.
+        assert_eq!(bus.inner.topics.lock().len(), 0);
     }
 
     #[test]
@@ -191,6 +316,27 @@ mod tests {
         assert_eq!(bus.subscriber_count("t"), 1);
         bus.unsubscribe(&a);
         assert_eq!(bus.subscriber_count("t"), 0);
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_backlog() {
+        let bus: PubSub<u32> = PubSub::new();
+        let telemetry = Telemetry::enabled();
+        bus.set_telemetry(telemetry.clone());
+        let sub = bus.subscribe("updates");
+        for v in 0..4 {
+            bus.publish("updates", v);
+        }
+        assert_eq!(
+            telemetry.gauge("pubsub.queue_depth.updates").get(),
+            4,
+            "gauge reflects queued messages"
+        );
+        assert_eq!(telemetry.gauge("pubsub.subscribers.updates").get(), 1);
+        sub.latest();
+        drop(sub);
+        assert_eq!(telemetry.gauge("pubsub.queue_depth.updates").get(), 0);
+        assert_eq!(telemetry.gauge("pubsub.subscribers.updates").get(), 0);
     }
 
     #[test]
@@ -217,6 +363,18 @@ mod tests {
         let msg = sub.recv_timeout(Duration::from_secs(5));
         h.join().unwrap();
         assert_eq!(msg.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn subscription_outlives_broker() {
+        let bus: PubSub<u32> = PubSub::new();
+        let sub = bus.subscribe("t");
+        bus.publish("t", 9);
+        drop(bus);
+        // Queued message still readable; the drop below must not panic
+        // even though the broker is gone.
+        assert_eq!(sub.try_recv(), Some(9));
+        drop(sub);
     }
 
     #[test]

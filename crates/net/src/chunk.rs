@@ -118,8 +118,7 @@ impl ChunkHeader {
     }
 }
 
-/// Options for a chunked send (see [`Endpoint::send_chunked`]
-/// (crate::Endpoint::send_chunked)).
+/// Options for a chunked send (see [`Endpoint::send_chunked`](crate::Endpoint::send_chunked)).
 #[derive(Debug, Clone)]
 pub struct ChunkedSend {
     /// Maximum bytes of original payload per chunk (the last chunk may be
@@ -324,9 +323,9 @@ impl CompletedFlows {
 /// independently. Duplicate chunks are ignored, corrupt bodies are rejected
 /// by CRC, and a payload is released exactly once, only when every chunk
 /// has arrived intact. Completed-flow keys are garbage-collected behind a
-/// per-sender watermark, and stale partial flows can be [reaped]
-/// (FlowAssembler::reap) into NACKs — long-running consumers hold bounded
-/// state.
+/// per-sender watermark, and stale partial flows can be
+/// [reaped](FlowAssembler::reap) into NACKs — long-running consumers hold
+/// bounded state.
 #[derive(Default)]
 pub struct FlowAssembler {
     flows: HashMap<(String, u64), PartialFlow>,

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use viper_hw::{MachineProfile, SimClock, SimInstant};
+use viper_telemetry::Telemetry;
 
 /// Which physical link a transfer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +26,16 @@ pub enum LinkKind {
 }
 
 impl LinkKind {
+    /// Short stable label, used in telemetry track and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::GpuDirect => "gpu",
+            LinkKind::HostRdma => "rdma",
+            LinkKind::PcieD2h => "d2h",
+            LinkKind::PcieH2d => "h2d",
+        }
+    }
+
     /// Modeled wire time for `bytes` over this link under `profile`.
     pub fn transfer_time(self, profile: &MachineProfile, bytes: u64) -> Duration {
         match self {
@@ -110,7 +121,28 @@ struct FabricInner {
     link_busy: Mutex<HashMap<(String, String, LinkKind), SimInstant>>,
     /// Fault-injection state, when a plan is installed.
     faults: Mutex<Option<FaultState>>,
+    /// Telemetry sink for lane spans and fabric counters. Disabled by
+    /// default; a deployment installs its handle via
+    /// [`Fabric::set_telemetry`].
+    telemetry: RwLock<Telemetry>,
 }
+
+/// Telemetry track name for a directed `(from, to, link)` lane.
+fn lane_track(from: &str, to: &str, link: LinkKind) -> String {
+    format!("lane:{from}->{to}/{}", link.label())
+}
+
+/// Bucket bounds (µs) for the per-chunk wire-time histogram.
+const WIRE_US_BUCKETS: [u64; 8] = [
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
 
 /// The interconnect shared by all simulated nodes.
 #[derive(Clone)]
@@ -129,8 +161,20 @@ impl Fabric {
                 next_flow: AtomicU64::new(0),
                 link_busy: Mutex::new(HashMap::new()),
                 faults: Mutex::new(None),
+                telemetry: RwLock::new(Telemetry::disabled()),
             }),
         }
+    }
+
+    /// Install the telemetry handle used for lane-occupancy spans and
+    /// fabric counters. `Viper::new` wires the deployment handle here; a
+    /// bare fabric records nothing.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.inner.telemetry.write() = telemetry;
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry.read().clone()
     }
 
     /// Install (or clear, with `None`) a deterministic fault-injection
@@ -188,7 +232,7 @@ impl Fabric {
     /// actually lands in the destination queue: corrupt bodies, dropped or
     /// duplicated messages, adjacent reorders. Control frames and fault-free
     /// links pass through without consuming randomness.
-    fn apply_faults(&self, msgs: Vec<Message>) -> Vec<Message> {
+    fn apply_faults(&self, msgs: Vec<Message>, telemetry: &Telemetry) -> Vec<Message> {
         let mut guard = self.inner.faults.lock();
         let Some(state) = guard.as_mut() else {
             return msgs;
@@ -221,11 +265,33 @@ impl Fabric {
                     bytes[body_start + bit / 8] ^= 1 << (bit % 8);
                     msg.payload = Arc::new(bytes);
                 }
+                telemetry.counter("fabric.faults.corrupted").inc();
+                telemetry.instant_at(
+                    "fault",
+                    "corrupt",
+                    &lane_track(&msg.from, &msg.to, msg.link),
+                    msg.arrived_at.as_nanos(),
+                    &[],
+                );
             }
             if drop {
                 // The bytes occupied the wire (time was charged) and then
                 // vanished: nothing reaches the queue.
+                telemetry.counter("fabric.faults.dropped").inc();
+                telemetry.instant_at(
+                    "fault",
+                    "drop",
+                    &lane_track(&msg.from, &msg.to, msg.link),
+                    msg.arrived_at.as_nanos(),
+                    &[],
+                );
                 continue;
+            }
+            if duplicate {
+                telemetry.counter("fabric.faults.duplicated").inc();
+            }
+            if reorder {
+                telemetry.counter("fabric.faults.reordered").inc();
             }
             let dup = duplicate.then(|| msg.clone());
             out.push(msg);
@@ -262,10 +328,32 @@ impl Fabric {
             .get(to)
             .cloned()
             .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
-        let wire_time = link.transfer_time(&self.inner.profile, payload.len() as u64);
+        let bytes = payload.len() as u64;
+        let wire_time = link.transfer_time(&self.inner.profile, bytes);
         let sent_at = self.inner.clock.now();
         let arrived_at = sent_at.add(wire_time);
         self.inner.clock.advance_to(arrived_at);
+        let telemetry = self.telemetry();
+        let track = lane_track(from, to, link);
+        let wire_name = match kind {
+            MessageKind::Control => "control",
+            _ => "wire",
+        };
+        telemetry.complete(
+            "fabric",
+            wire_name,
+            &track,
+            sent_at.as_nanos(),
+            arrived_at.as_nanos(),
+            &[("tag", tag.into()), ("bytes", bytes.into())],
+        );
+        telemetry.counter("fabric.msgs_sent").inc();
+        telemetry
+            .histogram("fabric.wire_us", &WIRE_US_BUCKETS)
+            .record(wire_time.as_micros().min(u128::from(u64::MAX)) as u64);
+        telemetry
+            .counter(&format!("fabric.lane.busy_ns.{track}"))
+            .add(wire_time.as_nanos().min(u128::from(u64::MAX)) as u64);
         let msg = Message {
             from: from.to_string(),
             to: to.to_string(),
@@ -277,7 +365,7 @@ impl Fabric {
             arrived_at,
             wire_time,
         };
-        for msg in self.apply_faults(vec![msg]) {
+        for msg in self.apply_faults(vec![msg], &telemetry) {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
@@ -360,11 +448,51 @@ impl Fabric {
         }
         busy_map.insert(lane, lane_free);
         drop(busy_map);
-        for msg in self.apply_faults(msgs) {
+        let telemetry = self.telemetry();
+        if telemetry.is_enabled() {
+            let track = lane_track(from, to, link);
+            telemetry.complete(
+                "fabric",
+                "flow",
+                &track,
+                submitted_at.as_nanos(),
+                completed_at.as_nanos(),
+                &[
+                    ("tag", tag.into()),
+                    ("flow_id", flow_id.into()),
+                    ("chunks", num_chunks.into()),
+                    ("bytes", total_bytes.into()),
+                ],
+            );
+            let wire_hist = telemetry.histogram("fabric.wire_us", &WIRE_US_BUCKETS);
+            for (index, msg) in msgs.iter().enumerate() {
+                telemetry.complete(
+                    "fabric",
+                    "wire",
+                    &track,
+                    msg.sent_at.as_nanos(),
+                    msg.arrived_at.as_nanos(),
+                    &[("chunk", index.into()), ("bytes", msg.payload.len().into())],
+                );
+                wire_hist.record(msg.wire_time.as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            telemetry
+                .counter(&format!("fabric.lane.busy_ns.{track}"))
+                .add(wire_total.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        telemetry
+            .counter("fabric.chunks_sent")
+            .add(u64::from(num_chunks));
+        // Advance the clock BEFORE the chunks become visible: a receiver
+        // that picks up the last chunk immediately must observe a clock
+        // frontier that already covers this flow's wire time, or its
+        // now-based charges would race this advance and make the virtual
+        // timeline depend on thread scheduling.
+        self.inner.clock.advance_to(completed_at);
+        for msg in self.apply_faults(msgs, &telemetry) {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
-        self.inner.clock.advance_to(completed_at);
         Ok(FlowReport {
             flow_id,
             num_chunks,
@@ -436,11 +564,36 @@ impl Fabric {
         }
         busy_map.insert(lane, lane_free);
         drop(busy_map);
-        for msg in self.apply_faults(msgs) {
+        let telemetry = self.telemetry();
+        if telemetry.is_enabled() {
+            let track = lane_track(from, to, link);
+            for msg in &msgs {
+                telemetry.complete(
+                    "fabric",
+                    "retransmit",
+                    &track,
+                    msg.sent_at.as_nanos(),
+                    msg.arrived_at.as_nanos(),
+                    &[
+                        ("flow_id", flow_id.into()),
+                        ("bytes", msg.payload.len().into()),
+                    ],
+                );
+            }
+            telemetry
+                .counter(&format!("fabric.lane.busy_ns.{track}"))
+                .add(wire_total.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        telemetry
+            .counter("fabric.chunks_retransmitted")
+            .add(msgs.len() as u64);
+        // As in `send_chunked_from`: advance before the chunks are visible
+        // so the receiver never observes a clock behind this round's wire.
+        self.inner.clock.advance_to(lane_free);
+        for msg in self.apply_faults(msgs, &telemetry) {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
-        self.inner.clock.advance_to(lane_free);
         Ok(wire_total)
     }
 }

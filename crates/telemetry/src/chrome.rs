@@ -1,0 +1,440 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`export`] renders a [`Telemetry`] recorder's contents in the Chrome
+//! trace-event format (the JSON Array-with-metadata flavour), loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `about://tracing`. Each
+//! distinct track becomes its own named thread row.
+//!
+//! Timestamps are microseconds. They are formatted from the recorder's
+//! integer nanoseconds with integer arithmetic (`ns / 1000` plus a
+//! three-digit fractional part), so no `f64` round-trip can lose
+//! precision however long the virtual timeline runs.
+
+use crate::trace::{ArgValue, EventKind, Telemetry, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Exact microsecond rendering of an integer nanosecond timestamp.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn arg_value(v: &ArgValue, out: &mut String) {
+    match v {
+        ArgValue::Str(s) => escape(s, out),
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        ArgValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn args_object(args: &[(&'static str, ArgValue)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(k, out);
+        out.push(':');
+        arg_value(v, out);
+    }
+    out.push('}');
+}
+
+fn event_json(ev: &TraceEvent, tid: u64, out: &mut String) {
+    out.push_str("{\"pid\":1,\"tid\":");
+    let _ = write!(out, "{tid}");
+    out.push_str(",\"ts\":");
+    out.push_str(&us(ev.ts_ns));
+    out.push_str(",\"cat\":");
+    escape(ev.cat, out);
+    out.push_str(",\"name\":");
+    escape(&ev.name, out);
+    match &ev.kind {
+        EventKind::Begin => out.push_str(",\"ph\":\"B\""),
+        EventKind::End => out.push_str(",\"ph\":\"E\""),
+        EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        EventKind::Complete { end_ns } => {
+            out.push_str(",\"ph\":\"X\",\"dur\":");
+            out.push_str(&us(end_ns.saturating_sub(ev.ts_ns)));
+        }
+        EventKind::Counter { value } => {
+            out.push_str(",\"ph\":\"C\",\"args\":{\"value\":");
+            if value.is_finite() {
+                let _ = write!(out, "{value}");
+            } else {
+                out.push('0');
+            }
+            out.push_str("}}");
+            return;
+        }
+    }
+    out.push_str(",\"args\":");
+    args_object(&ev.args, out);
+    out.push('}');
+}
+
+/// Render the recorder's events as Chrome trace-event JSON.
+pub fn export(telemetry: &Telemetry) -> String {
+    export_events(
+        &telemetry.events(),
+        telemetry.uses_virtual_clock(),
+        telemetry.dropped_events(),
+    )
+}
+
+/// Render an explicit event list as Chrome trace-event JSON.
+pub fn export_events(events: &[TraceEvent], virtual_clock: bool, dropped: u64) -> String {
+    // Stable track → tid assignment, in order of first appearance.
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for ev in events {
+        if !tids.contains_key(ev.track.as_str()) {
+            let tid = order.len() as u64 + 1;
+            tids.insert(&ev.track, tid);
+            order.push(&ev.track);
+        }
+    }
+    let mut out = String::with_capacity(events.len() * 128 + 256);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(
+        "{\"pid\":1,\"tid\":0,\"ts\":0,\"ph\":\"M\",\"name\":\"process_name\",\
+         \"args\":{\"name\":\"viper\"}}",
+    );
+    for track in &order {
+        let tid = tids[track];
+        out.push_str(",{\"pid\":1,\"tid\":");
+        let _ = write!(out, "{tid}");
+        out.push_str(",\"ts\":0,\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":");
+        escape(track, &mut out);
+        out.push_str("}}");
+    }
+    for ev in events {
+        out.push(',');
+        event_json(ev, tids[ev.track.as_str()], &mut out);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clockDomain\":");
+    escape(if virtual_clock { "virtual" } else { "wall" }, &mut out);
+    out.push_str(",\"droppedEvents\":");
+    let _ = write!(out, "{dropped}");
+    out.push_str("}}");
+    out
+}
+
+/// Render the handle's metrics registry as an aligned text table
+/// (counters, gauges, then histograms).
+pub fn render_metrics(telemetry: &Telemetry) -> String {
+    let snap = telemetry.metrics().snapshot();
+    let mut out = String::new();
+    let width = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snap.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snap.histograms.iter().map(|h| h.name.len()))
+        .max()
+        .unwrap_or(0);
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "{name:<width$}  {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "{name:<width$}  {v}");
+    }
+    for h in &snap.histograms {
+        let _ = write!(out, "{:<width$}  n={} sum={} [", h.name, h.count, h.sum);
+        for (i, b) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match h.bounds.get(i) {
+                Some(bound) => {
+                    let _ = write!(out, "<={bound}:{b}");
+                }
+                None => {
+                    let _ = write!(out, ">:{b}");
+                }
+            }
+        }
+        out.push_str("]\n");
+    }
+    out
+}
+
+/// Check that `input` is one well-formed JSON value. A deliberately tiny
+/// recursive-descent parser — enough for tests and the CI smoke step to
+/// reject a malformed export without external dependencies.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {pos}")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|_| ())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len()
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    other => return Err(format!("bad escape {other:?} at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected key at byte {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at byte {pos}")),
+        }
+    }
+}
+
+/// Check span well-formedness: on every track, `Begin`/`End` events must
+/// balance like parentheses in recording order with non-decreasing
+/// timestamps. Returns the offending track on failure.
+pub fn check_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    let mut open: BTreeMap<&str, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Begin => open.entry(&ev.track).or_default().push(ev),
+            EventKind::End => {
+                let Some(begin) = open.entry(&ev.track).or_default().pop() else {
+                    return Err(format!("End without Begin on track {:?}", ev.track));
+                };
+                if ev.ts_ns < begin.ts_ns {
+                    return Err(format!(
+                        "span {:?} on track {:?} ends before it begins",
+                        begin.name, ev.track
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (track, stack) in open {
+        if !stack.is_empty() {
+            return Err(format!(
+                "{} unclosed span(s) on track {track:?}",
+                stack.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_microsecond_formatting() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_234_567), "1234.567");
+        // Above 2^53 ns an f64 seconds round-trip would be lossy; the
+        // integer path is exact.
+        let big = (1u64 << 53) + 3;
+        assert_eq!(us(big), format!("{}.{:03}", big / 1000, big % 1000));
+    }
+
+    #[test]
+    fn export_is_valid_json_with_tracks() {
+        let t = Telemetry::enabled();
+        {
+            let _s = t.span("cat", "outer \"quoted\"\n", "track-a");
+            t.instant("cat", "tick", "track-b", &[("msg", "a\\b".into())]);
+        }
+        t.complete("cat", "x", "track-a", 10, 20, &[("f", 1.5f64.into())]);
+        t.counter_sample("cat", "depth", "track-b", 3.0);
+        let json = export(&t);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("track-a"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"clockDomain\":\"wall\""));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{\"a\":[1,{\"b\":null}],\"c\":-1.5e3}").is_ok());
+    }
+
+    #[test]
+    fn nesting_checker_catches_imbalance() {
+        let t = Telemetry::enabled();
+        let s1 = t.span("c", "a", "tr");
+        let s2 = t.span("c", "b", "tr");
+        drop(s2);
+        drop(s1);
+        check_nesting(&t.events()).expect("balanced");
+
+        let t2 = Telemetry::enabled();
+        let s = t2.span("c", "a", "tr");
+        std::mem::forget(s); // leak: Begin without End
+        assert!(check_nesting(&t2.events()).is_err());
+    }
+
+    #[test]
+    fn metrics_render_as_table() {
+        let t = Telemetry::enabled();
+        t.counter("producer.retransmits").add(3);
+        t.gauge("pubsub.depth").set(2);
+        t.histogram("wire_us", &[10, 100]).record(50);
+        let table = render_metrics(&t);
+        assert!(table.contains("producer.retransmits"));
+        assert!(table.contains("<=100:1"));
+    }
+}
