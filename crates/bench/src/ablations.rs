@@ -226,11 +226,26 @@ pub fn scheduler_comparison() -> Vec<(String, usize, f64)> {
     ]
 }
 
+/// Measured result of the incremental (delta) checkpointing ablation.
+pub struct DeltaSavings {
+    /// Full checkpoint encoded size in bytes.
+    pub full_bytes: u64,
+    /// Delta encoded size in bytes (same update, diffed against the
+    /// previous fine-tuning epoch).
+    pub delta_bytes: u64,
+    /// Fraction of tensors the delta carries (1.0 = nothing saved).
+    pub changed_fraction: f64,
+    /// Virtual-clock transfer makespans per route:
+    /// `(route label, full update latency s, delta update latency s)`.
+    pub makespans: Vec<(String, f64, f64)>,
+}
+
 /// Incremental (delta) checkpointing on a transfer-learning trace: NT3's
-/// convolutional backbone is frozen, only the dense head trains. Returns
-/// `(full encoded bytes, delta encoded bytes, changed tensor fraction)`
-/// for a checkpoint pair one fine-tuning epoch apart.
-pub fn delta_savings() -> (u64, u64, f64) {
+/// convolutional backbone is frozen, only the dense head trains. Measures
+/// encoded sizes for a checkpoint pair one fine-tuning epoch apart, plus
+/// the virtual-clock transfer makespan of shipping each encoding over the
+/// memory and PFS routes.
+pub fn delta_savings() -> DeltaSavings {
     use viper_dnn::{layers, losses, optimizers, FitConfig, Model};
 
     // Freeze the whole feature extractor (conv backbone + the wide dense
@@ -279,7 +294,37 @@ pub fn delta_savings() -> (u64, u64, f64) {
     let full = ViperFormat.encode(&next).len() as u64;
     let delta = viper_formats::delta::diff(&base, &next).expect("same architecture");
     let delta_bytes = delta.encode().len() as u64;
-    (full, delta_bytes, delta.changed_fraction())
+
+    // Price both encodings through the same virtual-clock cost model the
+    // runtime charges: a delta moves fewer bytes and touches fewer tensors,
+    // so its modeled update latency must shrink on every route.
+    let profile = MachineProfile::polaris();
+    let makespans = [
+        ("host-to-host", Route::HostToHost),
+        ("pfs-staging", Route::PfsStaging),
+    ]
+    .into_iter()
+    .map(|(label, route)| {
+        let s = TransferStrategy {
+            route,
+            mode: CaptureMode::Sync,
+        };
+        let full_t = price_update(&profile, s, full, next.ntensors(), 1.0)
+            .update_latency()
+            .as_secs_f64();
+        let delta_t = price_update(&profile, s, delta_bytes, delta.changed.len().max(1), 1.0)
+            .update_latency()
+            .as_secs_f64();
+        (label.to_string(), full_t, delta_t)
+    })
+    .collect();
+
+    DeltaSavings {
+        full_bytes: full,
+        delta_bytes,
+        changed_fraction: delta.changed_fraction(),
+        makespans,
+    }
 }
 
 /// PFS update latency under concurrent writer load (the §3 argument that
@@ -353,17 +398,35 @@ pub fn render_all() -> String {
     ));
 
     out.push_str("\n### Incremental (delta) checkpointing (NT3 fine-tune, frozen backbone)\n\n");
-    let (full, delta, frac) = delta_savings();
+    let savings = delta_savings();
     out.push_str(&crate::markdown_table(
         &["checkpoint", "encoded bytes", "changed tensors"],
         &[
-            vec!["full".into(), full.to_string(), "100%".into()],
+            vec!["full".into(), savings.full_bytes.to_string(), "100%".into()],
             vec![
                 "delta".into(),
-                delta.to_string(),
-                format!("{:.0}%", frac * 100.0),
+                savings.delta_bytes.to_string(),
+                format!("{:.0}%", savings.changed_fraction * 100.0),
             ],
         ],
+    ));
+
+    out.push_str("\n### Delta transfer makespan (virtual clock, sync capture)\n\n");
+    let rows: Vec<Vec<String>> = savings
+        .makespans
+        .iter()
+        .map(|(route, full_t, delta_t)| {
+            vec![
+                route.clone(),
+                format!("{full_t:.4}"),
+                format!("{delta_t:.4}"),
+                format!("{:.1}x", full_t / delta_t),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::markdown_table(
+        &["route", "full (s)", "delta (s)", "speedup"],
+        &rows,
     ));
 
     out.push_str("\n### PFS write contention (TC1 checkpoint, concurrent streams)\n\n");
@@ -447,12 +510,26 @@ mod tests {
 
     #[test]
     fn delta_much_smaller_with_frozen_backbone() {
-        let (full, delta, frac) = delta_savings();
+        let s = delta_savings();
         // The frozen conv backbone is the minority of NT3's bytes, but the
         // delta must still be strictly smaller and carry < 100% of tensors.
-        assert!(delta < full, "delta {delta} !< full {full}");
-        assert!(frac < 1.0, "changed fraction {frac}");
-        assert!(frac > 0.0, "the head must actually train");
+        assert!(
+            s.delta_bytes < s.full_bytes,
+            "delta {} !< full {}",
+            s.delta_bytes,
+            s.full_bytes
+        );
+        assert!(s.changed_fraction < 1.0, "{}", s.changed_fraction);
+        assert!(s.changed_fraction > 0.0, "the head must actually train");
+        // Fewer wire bytes must show up as a shorter modeled makespan on
+        // every route the ablation prices.
+        assert_eq!(s.makespans.len(), 2);
+        for (route, full_t, delta_t) in &s.makespans {
+            assert!(
+                delta_t < full_t,
+                "{route}: delta {delta_t}s !< full {full_t}s"
+            );
+        }
     }
 
     #[test]

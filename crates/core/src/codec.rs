@@ -1,0 +1,724 @@
+//! The wire-codec layer: what bytes actually travel for one model update.
+//!
+//! [`PayloadCodec`] decides *per consumer, per update* whether to ship the
+//! full checkpoint or an incremental [`viper_formats::delta`] against that
+//! consumer's last **acknowledged** base version, and frames the chosen
+//! bytes with an explicit payload-kind envelope ([`viper_formats::wire`])
+//! so the receiver dispatches by header, never by sniffing body magics.
+//! The delivery engine below ([`deliver`] / [`deliver_reliable_to`]) drives
+//! the framed payload over the fabric — chunking, CRC, fault injection,
+//! NACK/retransmit, and the durable PFS fallback all compose with it.
+//!
+//! Full-checkpoint fallback rules (the codec never guesses):
+//!
+//! * a consumer with no acknowledged base (freshly attached, or forgotten
+//!   after an exhausted delivery) gets a full;
+//! * a consumer whose acknowledged base is no longer retained (pruned) or
+//!   not older than the update gets a full;
+//! * a consumer that replies `NeedFull` (its slot lost the base — e.g. it
+//!   restarted under the same node name) gets the update re-sent as a full
+//!   on a fresh flow, and its base tracking is reset;
+//! * the durable paths — background PFS flush, exhaustion fallback, and
+//!   everything the recovery/pull code reads — always store **raw, unframed
+//!   full encodings**; the envelope exists only on the wire.
+//!
+//! Virtual-time accounting: encoding a delta charges one full-model read
+//! pass (the diff) at the route's staging bandwidth via
+//! [`viper_hw::stage_time`], from the delivery's causal frontier — so the
+//! deterministic-timeline invariant (disabled vs enabled telemetry is
+//! bit-identical) holds with delta transfer on.
+
+use crate::config::ViperConfig;
+use crate::context::Viper;
+use crate::producer::{charge, charge_at};
+use crate::{Result, ViperError, UPDATE_TOPIC};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use viper_formats::{delta, wire, Checkpoint, PayloadKind};
+use viper_hw::{stage_time, MachineProfile, Route, SimInstant, Tier};
+use viper_metastore::ModelRecord;
+use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
+use viper_telemetry::{Counter, Telemetry};
+
+/// Observability counters for the delivery path. Registered in the
+/// deployment's telemetry metrics registry under per-node names
+/// (`producer.{node}.retransmits`, ...) so `trace_dump`-style tooling sees
+/// them; metrics stay live even when trace recording is disabled, so the
+/// public accessors always report.
+pub(crate) struct DeliveryCounters {
+    /// Retransmission rounds performed (NACK-driven or ack-timeout blind).
+    pub(crate) retransmits: Counter,
+    /// Deliveries that exhausted the retry budget.
+    pub(crate) exhausted: Counter,
+    /// Updates degraded to the durable PFS route after exhaustion.
+    pub(crate) pfs_fallbacks: Counter,
+    /// Delta-encoded sends attempted (delta transfer enabled, base known).
+    pub(crate) delta_sends: Counter,
+    /// Full-checkpoint sends while delta transfer was enabled: fresh
+    /// consumer, missing/stale/pruned base, or a `NeedFull` reply.
+    pub(crate) delta_fallbacks: Counter,
+    /// Wire bytes saved by delta encoding vs the full encoding.
+    pub(crate) delta_bytes_saved: Counter,
+}
+
+impl DeliveryCounters {
+    pub(crate) fn new(telemetry: &Telemetry, node: &str) -> Self {
+        DeliveryCounters {
+            retransmits: telemetry.counter(&format!("producer.{node}.retransmits")),
+            exhausted: telemetry.counter(&format!("producer.{node}.deliveries_exhausted")),
+            pfs_fallbacks: telemetry.counter(&format!("producer.{node}.pfs_fallbacks")),
+            delta_sends: telemetry.counter(&format!("producer.{node}.delta_sends")),
+            delta_fallbacks: telemetry.counter(&format!("producer.{node}.delta_fallbacks")),
+            delta_bytes_saved: telemetry.counter(&format!("producer.{node}.delta_bytes_saved")),
+        }
+    }
+}
+
+/// Stable trace label for a route (avoids allocating Debug strings).
+pub(crate) fn route_label(route: Route) -> &'static str {
+    match route {
+        Route::GpuToGpu => "gpu-to-gpu",
+        Route::HostToHost => "host-to-host",
+        Route::PfsStaging => "pfs-staging",
+    }
+}
+
+/// What travels the wire for one consumer.
+pub(crate) struct WirePayload {
+    /// Body layout the envelope advertises.
+    pub(crate) kind: PayloadKind,
+    /// The bytes handed to the fabric (framed when the codec is active,
+    /// the raw full encoding otherwise).
+    pub(crate) bytes: Arc<Vec<u8>>,
+}
+
+/// Per-producer delta state: retained diff bases and per-consumer
+/// acknowledged iterations. Inactive (all methods no-ops, `encode_for`
+/// passes the raw payload through) unless both `delta_transfer` and
+/// `reliable_delivery` are configured — a base is only "acknowledged"
+/// through the ACK channel.
+pub(crate) struct PayloadCodec {
+    active: bool,
+    keep: usize,
+    /// Recently saved checkpoints usable as diff bases: model → iteration
+    /// → checkpoint, pruned alongside the metadata DB's version budget.
+    retained: Mutex<HashMap<String, BTreeMap<u64, Arc<Checkpoint>>>>,
+    /// Last iteration each (consumer, model) pair ACKed an install of.
+    acked: Mutex<HashMap<(String, String), u64>>,
+}
+
+impl PayloadCodec {
+    pub(crate) fn new(config: &ViperConfig) -> Self {
+        PayloadCodec {
+            active: config.delta_transfer && config.reliable_delivery,
+            keep: config.keep_versions.max(1),
+            retained: Mutex::new(HashMap::new()),
+            acked: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether updates are delta-encoded (and therefore envelope-framed).
+    pub(crate) fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Retain a captured checkpoint as a future diff base, pruned to the
+    /// configured version budget.
+    pub(crate) fn retain(&self, ckpt: &Arc<Checkpoint>) {
+        if !self.active {
+            return;
+        }
+        let mut retained = self.retained.lock();
+        let bases = retained.entry(ckpt.model_name.clone()).or_default();
+        bases.insert(ckpt.iteration, Arc::clone(ckpt));
+        while bases.len() > self.keep {
+            let oldest = *bases.keys().next().expect("non-empty");
+            bases.remove(&oldest);
+        }
+    }
+
+    /// Newest retained iteration for `model` — the base a delta of the
+    /// *next* save would diff against (recorded as the new version's
+    /// `base_iteration` hint).
+    pub(crate) fn newest_retained(&self, model: &str) -> Option<u64> {
+        self.retained
+            .lock()
+            .get(model)
+            .and_then(|bases| bases.keys().next_back().copied())
+    }
+
+    /// The base checkpoint a delta for `consumer` must diff against: its
+    /// last acknowledged iteration, if that checkpoint is still retained.
+    fn base_for(&self, consumer: &str, model: &str) -> Option<Arc<Checkpoint>> {
+        let acked = *self
+            .acked
+            .lock()
+            .get(&(consumer.to_string(), model.to_string()))?;
+        self.retained.lock().get(model)?.get(&acked).cloned()
+    }
+
+    /// Record that `consumer` acknowledged installing `iteration`.
+    pub(crate) fn note_acked(&self, consumer: &str, model: &str, iteration: u64) {
+        if !self.active {
+            return;
+        }
+        self.acked
+            .lock()
+            .insert((consumer.to_string(), model.to_string()), iteration);
+    }
+
+    /// Drop `consumer`'s base tracking (exhausted delivery or `NeedFull`):
+    /// the next update falls back to a full checkpoint.
+    pub(crate) fn forget(&self, consumer: &str, model: &str) {
+        if !self.active {
+            return;
+        }
+        self.acked
+            .lock()
+            .remove(&(consumer.to_string(), model.to_string()));
+    }
+}
+
+/// Per-delivery memo of encoded wire payloads: the full framing happens at
+/// most once, and a delta against a given base is diffed/encoded (and its
+/// diff pass charged) at most once even when several consumers share the
+/// acknowledged base.
+#[derive(Default)]
+struct WireCache {
+    full: Option<Arc<Vec<u8>>>,
+    /// base iteration → framed delta; `None` caches a failed diff
+    /// (architecture changed), so it is not retried per consumer.
+    deltas: HashMap<u64, Option<Arc<Vec<u8>>>>,
+}
+
+impl WireCache {
+    fn full_framed(&mut self, payload: &Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        Arc::clone(
+            self.full
+                .get_or_insert_with(|| Arc::new(wire::frame(PayloadKind::Full, payload))),
+        )
+    }
+}
+
+/// Choose and encode the wire payload for one consumer. With the codec
+/// inactive this is the identity: the raw full encoding travels unframed,
+/// byte-identical to a build without the codec layer.
+#[allow(clippy::too_many_arguments)]
+fn encode_for(
+    viper: &Viper,
+    codec: &PayloadCodec,
+    cache: &mut WireCache,
+    consumer: &str,
+    record: &ModelRecord,
+    ckpt: Option<&Arc<Checkpoint>>,
+    payload: &Arc<Vec<u8>>,
+    route: Route,
+    counters: &DeliveryCounters,
+    frontier: &mut SimInstant,
+    track: &str,
+) -> WirePayload {
+    if !codec.active() {
+        return WirePayload {
+            kind: PayloadKind::Full,
+            bytes: Arc::clone(payload),
+        };
+    }
+    let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
+    if let Some(ckpt) = ckpt {
+        if let Some(base) = codec
+            .base_for(consumer, &record.name)
+            .filter(|b| b.iteration < ckpt.iteration)
+        {
+            let encoded = cache.deltas.entry(base.iteration).or_insert_with(|| {
+                let framed = delta::diff(&base, ckpt)
+                    .ok()
+                    .map(|d| Arc::new(wire::frame(PayloadKind::Delta, &d.encode())));
+                if framed.is_some() {
+                    // The diff is one read pass over the full model at the
+                    // route's staging bandwidth, charged causally from the
+                    // delivery frontier.
+                    let t0 = *frontier;
+                    *frontier = charge_at(
+                        &shared.clock,
+                        t0,
+                        stage_time(&shared.config.profile, route, payload.len() as u64),
+                    );
+                    telemetry.complete(
+                        "producer",
+                        "encode.delta",
+                        track,
+                        t0.as_nanos(),
+                        frontier.as_nanos(),
+                        &[
+                            ("base_iteration", base.iteration.into()),
+                            ("iteration", ckpt.iteration.into()),
+                        ],
+                    );
+                }
+                framed
+            });
+            if let Some(bytes) = encoded {
+                counters.delta_sends.inc();
+                let full_len = (payload.len() + wire::WIRE_HEADER_BYTES) as u64;
+                counters
+                    .delta_bytes_saved
+                    .add(full_len.saturating_sub(bytes.len() as u64));
+                return WirePayload {
+                    kind: PayloadKind::Delta,
+                    bytes: Arc::clone(bytes),
+                };
+            }
+        }
+    }
+    counters.delta_fallbacks.inc();
+    WirePayload {
+        kind: PayloadKind::Full,
+        bytes: cache.full_framed(payload),
+    }
+}
+
+/// The producer-side capture model for a memory route, as the fabric's
+/// chunked send expects it: `(bandwidth, per-chunk fixed, per-flow fixed)`.
+fn chunk_capture_model(
+    profile: &MachineProfile,
+    route: Route,
+    ntensors: usize,
+) -> (f64, Duration, Duration) {
+    let (bw, tier) = match route {
+        Route::GpuToGpu => (profile.gpu_capture_bw, Tier::GpuMem),
+        _ => (profile.d2h_capture_bw, Tier::HostMem),
+    };
+    let spec = profile.tier(tier);
+    (
+        bw,
+        spec.write_latency,
+        spec.per_tensor_write.mul_f64(ntensors as f64),
+    )
+}
+
+/// How one reliable delivery concluded (both are successful flows — the
+/// feedback channel answered).
+enum ReliableOutcome {
+    /// The consumer installed the payload; the ACK arrived at this instant.
+    Acked(SimInstant),
+    /// The consumer rejected a delta payload it cannot apply (base missing
+    /// or stale) and asked for a full checkpoint instead.
+    NeedFull(SimInstant),
+}
+
+/// Push the update to every attached consumer and publish the update
+/// notification. For the PFS route consumers pull from the shared tier, so
+/// only the notification is sent. With `ViperConfig::chunked_transfer` the
+/// payload travels as a pipelined chunked flow; `pipeline_capture` lets the
+/// first send model the (not yet charged) capture overlapping the wire.
+///
+/// `payload` is always the **raw full encoding** — it is what the staging
+/// tiers, the PFS fallback, and the pull path read. What each consumer is
+/// actually sent is decided per consumer by the [`PayloadCodec`] (delta vs
+/// framed full vs raw passthrough).
+///
+/// With `ViperConfig::reliable_delivery` every memory-route send is
+/// ACK-gated with NACK-driven retransmission; if a consumer exhausts the
+/// retry budget the update degrades to the durable PFS route (written
+/// synchronously, relocated in the metadata DB) and the published
+/// notification points there, so the consumer's pull path recovers it.
+/// Returns how many consumers were pushed a payload.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn deliver(
+    viper: &Viper,
+    endpoint: &Endpoint,
+    codec: &PayloadCodec,
+    record: &ModelRecord,
+    ckpt: Option<&Arc<Checkpoint>>,
+    payload: &Arc<Vec<u8>>,
+    route: Route,
+    pipeline_capture: bool,
+    counters: &DeliveryCounters,
+    track: &str,
+) -> usize {
+    let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
+    let mut span = telemetry.span_with(
+        "producer",
+        "deliver",
+        track,
+        &[
+            ("version", record.version.into()),
+            ("route", route_label(route).into()),
+        ],
+    );
+    let link = match route {
+        Route::GpuToGpu => Some(LinkKind::GpuDirect),
+        Route::HostToHost => Some(LinkKind::HostRdma),
+        Route::PfsStaging => None,
+    };
+    let mut sent = 0;
+    let mut fall_back = false;
+    // Causal frontier of this delivery: every successful send extends it to
+    // the flow's (or its ACK's) computed completion instant, and the notify
+    // latency is charged from it rather than from `clock.now()` — a
+    // concurrently applying consumer advances the shared clock, and basing
+    // the charge on the racy frontier would make the timeline depend on
+    // thread scheduling.
+    let mut frontier = shared.clock.now();
+    if let Some(link) = link {
+        let tag = format!("{}:{}", record.name, record.version);
+        let consumers = shared.consumers.read().clone();
+        let config = &shared.config;
+        let mut cache = WireCache::default();
+        let mut inline_capture = pipeline_capture;
+        for consumer in consumers {
+            if consumer == endpoint.node() {
+                continue;
+            }
+            // A deregistered consumer is not an error: it raced shutdown.
+            let delivered = if config.reliable_delivery {
+                // Reliability implies the chunked machinery (a monolithic
+                // payload travels as a 1-chunk flow) so every byte is CRC
+                // checked and every flow ACK-gated.
+                let chunk_bytes = if config.chunked_transfer {
+                    config.chunk_bytes
+                } else {
+                    0
+                };
+                let mut opts = ChunkedSend::new(chunk_bytes);
+                if inline_capture {
+                    let (bw, fixed, once) =
+                        chunk_capture_model(&config.profile, route, record.ntensors);
+                    opts = opts.with_capture(bw, fixed, once);
+                }
+                let wire_payload = encode_for(
+                    viper,
+                    codec,
+                    &mut cache,
+                    &consumer,
+                    record,
+                    ckpt,
+                    payload,
+                    route,
+                    counters,
+                    &mut frontier,
+                    track,
+                );
+                match deliver_reliable_to(
+                    viper,
+                    endpoint,
+                    &consumer,
+                    &tag,
+                    &wire_payload.bytes,
+                    link,
+                    &opts,
+                    chunk_bytes,
+                    counters,
+                    track,
+                ) {
+                    Ok(ReliableOutcome::Acked(acked_at)) => {
+                        frontier = frontier.max(acked_at);
+                        codec.note_acked(&consumer, &record.name, record.iteration);
+                        true
+                    }
+                    Ok(ReliableOutcome::NeedFull(replied_at)) => {
+                        // The consumer lost the base this delta applies to
+                        // (restart, missed flow): reset its tracking and
+                        // re-send the update as a full on a fresh flow.
+                        frontier = frontier.max(replied_at);
+                        codec.forget(&consumer, &record.name);
+                        counters.delta_fallbacks.inc();
+                        if telemetry.is_enabled() {
+                            telemetry.instant(
+                                "producer",
+                                "delta_rejected",
+                                track,
+                                &[
+                                    ("consumer", consumer.as_str().into()),
+                                    ("kind", wire_payload.kind.label().into()),
+                                ],
+                            );
+                        }
+                        let full = cache.full_framed(payload);
+                        match deliver_reliable_to(
+                            viper,
+                            endpoint,
+                            &consumer,
+                            &tag,
+                            &full,
+                            link,
+                            &ChunkedSend::new(chunk_bytes),
+                            chunk_bytes,
+                            counters,
+                            track,
+                        ) {
+                            Ok(ReliableOutcome::Acked(acked_at)) => {
+                                frontier = frontier.max(acked_at);
+                                codec.note_acked(&consumer, &record.name, record.iteration);
+                                true
+                            }
+                            // A full can't be rejected for a missing base;
+                            // treat a repeat NeedFull as a failed delivery.
+                            Ok(ReliableOutcome::NeedFull(_)) => false,
+                            Err(ViperError::RetriesExhausted { .. }) => {
+                                counters.exhausted.inc();
+                                fall_back = true;
+                                false
+                            }
+                            Err(_) => false,
+                        }
+                    }
+                    Err(ViperError::RetriesExhausted { .. }) => {
+                        counters.exhausted.inc();
+                        codec.forget(&consumer, &record.name);
+                        if telemetry.is_enabled() {
+                            telemetry.instant(
+                                "producer",
+                                "retries_exhausted",
+                                track,
+                                &[("consumer", consumer.as_str().into())],
+                            );
+                        }
+                        fall_back = true;
+                        false
+                    }
+                    // Anything else (consumer deregistered mid-delivery)
+                    // is a shutdown race, not a delivery failure.
+                    Err(_) => false,
+                }
+            } else if config.chunked_transfer {
+                let mut opts = ChunkedSend::new(config.chunk_bytes);
+                if inline_capture {
+                    let (bw, fixed, once) =
+                        chunk_capture_model(&config.profile, route, record.ntensors);
+                    opts = opts.with_capture(bw, fixed, once);
+                }
+                match endpoint.send_chunked(&consumer, &tag, payload.clone(), link, &opts) {
+                    Ok(report) => {
+                        frontier = frontier.max(report.completed_at);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                match endpoint.send(&consumer, &tag, payload.clone(), link) {
+                    Ok(wire) => {
+                        frontier = frontier.add(wire);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            };
+            if delivered {
+                sent += 1;
+                // The snapshot happens once; fan-out to further consumers
+                // re-sends the already captured chunks.
+                inline_capture = false;
+            }
+        }
+    }
+    // Graceful degradation: the wire gave up on at least one consumer, so
+    // make this version durable NOW (not just in the background flush) and
+    // point the notification at the PFS copy — consumers recover via the
+    // repository pull path. The durable copy is always the raw full
+    // encoding, never a framed or delta payload.
+    let mut notify = record.clone();
+    if fall_back {
+        let t0 = telemetry.now_ns();
+        let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
+        if shared
+            .pfs
+            .write(&pfs_path, payload.clone(), record.ntensors)
+            .is_ok()
+        {
+            shared
+                .db
+                .relocate(&record.name, record.version, Tier::Pfs.name(), &pfs_path);
+            notify.location = Tier::Pfs.name().to_string();
+            notify.path = pfs_path;
+            counters.pfs_fallbacks.inc();
+        }
+        telemetry.complete(
+            "producer",
+            "pfs_fallback",
+            track,
+            t0,
+            telemetry.now_ns(),
+            &[("version", record.version.into())],
+        );
+    }
+    charge_at(
+        &shared.clock,
+        frontier,
+        shared.config.profile.notify_latency,
+    );
+    let notified = shared.bus.publish(UPDATE_TOPIC, notify);
+    span.arg("pushed", sent.into());
+    span.arg("notified", notified.into());
+    drop(span);
+    sent
+}
+
+/// One reliable, ACK-gated delivery: send the flow, then service the
+/// feedback channel until the consumer ACKs it — or replies `NeedFull`,
+/// rejecting a delta payload it cannot apply (the caller re-encodes).
+/// NACKs retransmit exactly the missing chunks; an `ack_timeout` with no
+/// feedback at all (every chunk — or the feedback itself — lost)
+/// blind-resends the whole flow. Each round charges exponential backoff
+/// plus the retransmitted bytes' wire time to the virtual clock: retries
+/// are never free. After `max_retries` rounds the delivery fails with
+/// [`ViperError::RetriesExhausted`].
+#[allow(clippy::too_many_arguments)]
+fn deliver_reliable_to(
+    viper: &Viper,
+    endpoint: &Endpoint,
+    consumer: &str,
+    tag: &str,
+    payload: &Arc<Vec<u8>>,
+    link: LinkKind,
+    opts: &ChunkedSend,
+    chunk_bytes: u64,
+    counters: &DeliveryCounters,
+    track: &str,
+) -> Result<ReliableOutcome> {
+    let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
+    let retry = shared.config.retry;
+    let report = endpoint.send_chunked(consumer, tag, payload.clone(), link, opts)?;
+    let all_chunks: Vec<u32> = (0..report.num_chunks).collect();
+    let mut attempts = 0u32;
+    loop {
+        let deadline = Instant::now() + retry.ack_timeout;
+        let missing: Vec<u32> = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = if remaining.is_zero() {
+                None
+            } else {
+                endpoint.recv_timeout(remaining)
+            };
+            let Some(msg) = msg else {
+                // No feedback at all before the timeout: assume the worst.
+                break all_chunks.clone();
+            };
+            if msg.kind != MessageKind::Control || msg.from != consumer {
+                continue;
+            }
+            match Control::decode(&msg.payload) {
+                Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
+                    return Ok(ReliableOutcome::Acked(msg.arrived_at));
+                }
+                Some(Control::NeedFull { flow_id }) if flow_id == report.flow_id => {
+                    return Ok(ReliableOutcome::NeedFull(msg.arrived_at));
+                }
+                Some(Control::Nack { flow_id, missing }) if flow_id == report.flow_id => {
+                    break if missing.is_empty() {
+                        all_chunks.clone()
+                    } else {
+                        missing
+                    };
+                }
+                // Feedback about an older flow (or garbage): ignore.
+                _ => {}
+            }
+        };
+        attempts += 1;
+        if attempts > retry.max_retries {
+            return Err(ViperError::RetriesExhausted {
+                consumer: consumer.to_string(),
+                tag: tag.to_string(),
+                attempts: attempts - 1,
+            });
+        }
+        counters.retransmits.inc();
+        let t0 = telemetry.now_ns();
+        charge(&shared.clock, retry.backoff(attempts));
+        telemetry.complete(
+            "producer",
+            "backoff",
+            track,
+            t0,
+            telemetry.now_ns(),
+            &[("attempt", attempts.into())],
+        );
+        let t1 = telemetry.now_ns();
+        endpoint.retransmit_chunks(
+            consumer,
+            tag,
+            payload,
+            link,
+            report.flow_id,
+            chunk_bytes,
+            &missing,
+        )?;
+        telemetry.complete(
+            "producer",
+            "retransmit_round",
+            track,
+            t1,
+            telemetry.now_ns(),
+            &[
+                ("attempt", attempts.into()),
+                ("missing", missing.len().into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(iteration: u64) -> Arc<Checkpoint> {
+        Arc::new(Checkpoint::new(
+            "m",
+            iteration,
+            vec![(
+                "w".into(),
+                viper_tensor::Tensor::full(&[4], iteration as f32),
+            )],
+        ))
+    }
+
+    fn active_codec() -> PayloadCodec {
+        PayloadCodec::new(&ViperConfig::default().with_delta())
+    }
+
+    #[test]
+    fn inactive_codec_tracks_nothing() {
+        let codec = PayloadCodec::new(&ViperConfig::default());
+        assert!(!codec.active());
+        codec.retain(&ckpt(1));
+        codec.note_acked("c", "m", 1);
+        assert_eq!(codec.newest_retained("m"), None);
+        assert!(codec.base_for("c", "m").is_none());
+    }
+
+    #[test]
+    fn base_requires_ack_and_retention() {
+        let codec = active_codec();
+        codec.retain(&ckpt(1));
+        // Retained but never acknowledged: no delta base.
+        assert!(codec.base_for("c", "m").is_none());
+        codec.note_acked("c", "m", 1);
+        assert_eq!(codec.base_for("c", "m").unwrap().iteration, 1);
+        // Another consumer's ack is tracked independently.
+        assert!(codec.base_for("other", "m").is_none());
+        codec.forget("c", "m");
+        assert!(codec.base_for("c", "m").is_none());
+    }
+
+    #[test]
+    fn retention_prunes_to_version_budget() {
+        let mut config = ViperConfig::default().with_delta();
+        config.keep_versions = 2;
+        let codec = PayloadCodec::new(&config);
+        for i in 1..=5 {
+            codec.retain(&ckpt(i));
+        }
+        assert_eq!(codec.newest_retained("m"), Some(5));
+        codec.note_acked("c", "m", 3);
+        // Iteration 3 was pruned (only 4 and 5 retained): full fallback.
+        assert!(codec.base_for("c", "m").is_none());
+        codec.note_acked("c", "m", 4);
+        assert!(codec.base_for("c", "m").is_some());
+    }
+}

@@ -81,6 +81,16 @@ pub struct ViperConfig {
     /// default: the fault-free fast path is byte- and timing-identical to a
     /// build without the reliability layer.
     pub reliable_delivery: bool,
+    /// Encode memory-route updates as incremental [`viper_formats::delta`]
+    /// checkpoints when the receiving consumer has acknowledged a retained
+    /// base version, falling back to a full checkpoint for fresh consumers,
+    /// stale bases, and the durable PFS paths (which always store full
+    /// encodings). Wire payloads carry an explicit payload-kind envelope
+    /// ([`viper_formats::wire`]) so the receiver dispatches by header, never
+    /// by sniffing. Implies [`ViperConfig::reliable_delivery`]: a base is
+    /// "acknowledged" only through the ACK channel, and the `NeedFull`
+    /// recovery reply rides the same control path.
+    pub delta_transfer: bool,
     /// Retransmission budget and pacing for reliable delivery (also paces
     /// the consumer's stale-flow reaping, even when `reliable_delivery` is
     /// off, so lost flows cannot pin reassembly buffers forever).
@@ -112,6 +122,7 @@ impl Default for ViperConfig {
             pfs_dir: None,
             fault_plan: None,
             reliable_delivery: false,
+            delta_transfer: false,
             retry: viper_net::RetryPolicy::default(),
             telemetry: viper_telemetry::Telemetry::disabled(),
         }
@@ -178,6 +189,15 @@ impl ViperConfig {
         self
     }
 
+    /// Enable delta transfer AND reliable delivery (builder style) — the
+    /// per-consumer base tracking that makes a delta safe to send only
+    /// exists on the ACK-gated path.
+    pub fn with_delta(mut self) -> Self {
+        self.delta_transfer = true;
+        self.reliable_delivery = true;
+        self
+    }
+
     /// Set the retransmission policy (builder style).
     pub fn with_retry(mut self, retry: viper_net::RetryPolicy) -> Self {
         self.retry = retry;
@@ -210,6 +230,14 @@ mod tests {
         assert_eq!(c.chunk_bytes, 64 * 1024 * 1024);
         assert!(c.fault_plan.is_none(), "no faults by default");
         assert!(!c.reliable_delivery, "reliability machinery off by default");
+        assert!(!c.delta_transfer, "full checkpoints stay the default");
+    }
+
+    #[test]
+    fn with_delta_implies_reliability() {
+        let c = ViperConfig::default().with_delta();
+        assert!(c.delta_transfer);
+        assert!(c.reliable_delivery);
     }
 
     #[test]

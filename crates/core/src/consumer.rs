@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use viper_formats::{Checkpoint, CheckpointFormat};
+use viper_formats::{delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, PayloadKind};
 use viper_hw::{Route, SimInstant, Tier};
 use viper_net::{Control, MessageKind};
 use viper_telemetry::Counter;
@@ -49,6 +49,10 @@ struct ConsumerState {
     nacks_sent: Counter,
     /// Stale partial flows abandoned (buffer evicted) after the NACK budget.
     flows_abandoned: Counter,
+    /// Delta payloads reconstructed and installed via `delta::apply`.
+    deltas_applied: Counter,
+    /// `NeedFull` control replies sent (delta base missing or stale).
+    fulls_requested: Counter,
     /// Delivery errors observed by the listener (abandoned flows etc.).
     errors: Mutex<Vec<ViperError>>,
     /// Telemetry track for this consumer's events.
@@ -82,6 +86,8 @@ impl Consumer {
             malformed_tags: telemetry.counter(&format!("consumer.{node}.malformed_tags")),
             nacks_sent: telemetry.counter(&format!("consumer.{node}.nacks_sent")),
             flows_abandoned: telemetry.counter(&format!("consumer.{node}.flows_abandoned")),
+            deltas_applied: telemetry.counter(&format!("consumer.{node}.deltas_applied")),
+            fulls_requested: telemetry.counter(&format!("consumer.{node}.fulls_requested")),
             errors: Mutex::new(Vec::new()),
             track: format!("consumer:{node}"),
         });
@@ -193,6 +199,17 @@ impl Consumer {
     /// NACK budget ran out.
     pub fn flows_abandoned(&self) -> u64 {
         self.state.flows_abandoned.get()
+    }
+
+    /// Delta payloads reconstructed against the served base and installed.
+    pub fn deltas_applied(&self) -> u64 {
+        self.state.deltas_applied.get()
+    }
+
+    /// `NeedFull` replies sent because a delta's base was missing or stale
+    /// (the producer re-sends the update as a full checkpoint).
+    pub fn fulls_requested(&self) -> u64 {
+        self.state.fulls_requested.get()
     }
 
     /// Delivery errors the listener has observed so far.
@@ -342,6 +359,10 @@ fn listener_loop(
     // observed (let alone served).
     let mut assembler = viper_net::FlowAssembler::new();
     let reliable = viper.shared.config.reliable_delivery;
+    // Delta wire payloads only exist on the ACK-gated path (a base is only
+    // "acknowledged" through the ACK channel), mirroring the producer-side
+    // codec's activation rule.
+    let delta_mode = viper.shared.config.delta_transfer && reliable;
     let retry = viper.shared.config.retry;
     let telemetry = &viper.shared.config.telemetry;
 
@@ -353,50 +374,112 @@ fn listener_loop(
     // on `clock.now()`: the producer advances the shared clock concurrently,
     // and a now-based charge would make install timestamps depend on thread
     // scheduling instead of on the modeled timeline.
+    //
+    // Returns `true` when the payload was a delta this consumer cannot
+    // apply (base missing or stale): the caller answers the flow with a
+    // `NeedFull` control reply instead of an ACK, and the producer re-sends
+    // the update as a full checkpoint.
     let mut apply_free = SimInstant::ZERO;
-    let mut apply_payload =
-        |link: viper_net::LinkKind, tag: &str, payload: &Arc<Vec<u8>>, arrived: SimInstant| {
-            let route = match link {
-                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
-                _ => Route::HostToHost,
-            };
-            // A tag without a parseable version is a malformed delivery:
-            // skip and count it rather than silently installing it as v0.
-            let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
-                state.malformed_tags.inc();
-                state.errors.lock().push(ViperError::Invalid(format!(
-                    "malformed delivery tag: {tag}"
-                )));
-                return;
-            };
-            if let Ok(ckpt) = format.decode(payload) {
-                if ckpt.model_name == model_name {
-                    let bytes = payload.len() as u64;
-                    // The consumer acts on the update *notification*, which
-                    // trails the pushed payload by the pubsub hop — the
-                    // `notify` term of `UpdateCosts::update_latency`.
-                    let notified = arrived.add(viper.shared.config.profile.notify_latency);
-                    let start = notified.max(apply_free);
-                    // The +100ns is the §4.2 "negligible" swap, kept visible
-                    // so trace ordering shows apply-then-swap.
-                    let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
-                        .add(Duration::from_nanos(100));
-                    apply_free = done;
-                    install_at(viper, state, ckpt, version, done);
-                    // A Complete (X) event rather than Begin/End: recover()
-                    // on the user's thread may install on this track
-                    // concurrently, and X events cannot break span nesting.
-                    telemetry.complete(
-                        "consumer",
-                        "install",
-                        &state.track,
-                        start.as_nanos(),
-                        done.as_nanos(),
-                        &[("version", version.into()), ("bytes", bytes.into())],
-                    );
+    let mut apply_payload = |link: viper_net::LinkKind,
+                             tag: &str,
+                             payload: &Arc<Vec<u8>>,
+                             arrived: SimInstant|
+     -> bool {
+        let route = match link {
+            viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
+            _ => Route::HostToHost,
+        };
+        // A tag without a parseable version is a malformed delivery:
+        // skip and count it rather than silently installing it as v0.
+        let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
+            state.malformed_tags.inc();
+            state.errors.lock().push(ViperError::Invalid(format!(
+                "malformed delivery tag: {tag}"
+            )));
+            return false;
+        };
+        // With delta transfer on, the wire carries an explicit payload-kind
+        // envelope and the body is dispatched by header — never sniffed.
+        // With it off, the bytes are exactly the raw configured format.
+        let (kind, body): (PayloadKind, &[u8]) = if delta_mode {
+            match wire::unframe(payload) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    // CRC-clean flow, broken envelope: unusable as-is, so
+                    // recover by asking for a full checkpoint.
+                    state.errors.lock().push(ViperError::Format(e));
+                    return true;
                 }
             }
+        } else {
+            (PayloadKind::Full, payload.as_slice())
         };
+        let ckpt = match kind {
+            PayloadKind::Full => {
+                let Ok(ckpt) = format.decode(body) else {
+                    return false;
+                };
+                ckpt
+            }
+            PayloadKind::Delta => {
+                let Ok(d) = DeltaCheckpoint::decode(body) else {
+                    return true;
+                };
+                if d.model_name != model_name {
+                    // Not this consumer's model: drop it silently, exactly
+                    // like the full path (an ACK still attests receipt).
+                    return false;
+                }
+                // Reconstruct against the currently served base *before*
+                // the atomic install-if-newer swap; a missing or stale base
+                // means the delta is unusable and a full must be re-sent.
+                let Some(base) = state.slot.current() else {
+                    return true;
+                };
+                if base.iteration != d.base_iteration {
+                    return true;
+                }
+                let Ok(ckpt) = delta::apply(&base, &d) else {
+                    return true;
+                };
+                state.deltas_applied.inc();
+                ckpt
+            }
+        };
+        if ckpt.model_name != model_name {
+            return false;
+        }
+        // The apply is charged on the bytes that actually traveled — a
+        // delta's reconstruction pass is proportionally cheaper.
+        let bytes = payload.len() as u64;
+        // The consumer acts on the update *notification*, which
+        // trails the pushed payload by the pubsub hop — the
+        // `notify` term of `UpdateCosts::update_latency`.
+        let notified = arrived.add(viper.shared.config.profile.notify_latency);
+        let start = notified.max(apply_free);
+        // The +100ns is the §4.2 "negligible" swap, kept visible
+        // so trace ordering shows apply-then-swap.
+        let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
+            .add(Duration::from_nanos(100));
+        apply_free = done;
+        install_at(viper, state, ckpt, version, done);
+        // A Complete (X) event rather than Begin/End: recover()
+        // on the user's thread may install on this track
+        // concurrently, and X events cannot break span nesting.
+        telemetry.complete(
+            "consumer",
+            "install",
+            &state.track,
+            start.as_nanos(),
+            done.as_nanos(),
+            &[
+                ("version", version.into()),
+                ("bytes", bytes.into()),
+                ("kind", kind.label().into()),
+            ],
+        );
+        false
+    };
 
     while !stop.load(Ordering::Acquire) {
         // Direct-push payloads (memory routes). Drain the whole queue
@@ -438,22 +521,42 @@ fn listener_loop(
                 viper_net::FlowStatus::Passthrough(msg) => {
                     // Control frames are sender-bound feedback; a consumer
                     // has no use for one (and must not decode it as data).
+                    // No feedback channel exists for a passthrough payload,
+                    // so an unusable delta is simply dropped (the producer
+                    // only delta-encodes on the reliable path anyway).
                     if msg.kind != MessageKind::Control {
-                        apply_payload(msg.link, &msg.tag, &msg.payload, msg.arrived_at);
+                        let _ = apply_payload(msg.link, &msg.tag, &msg.payload, msg.arrived_at);
                     }
                 }
                 viper_net::FlowStatus::Complete(flow) => {
                     // Apply before acknowledging: the ACK then attests the
                     // update is installed, and the producer's post-ACK
                     // charges extend the causal chain instead of racing the
-                    // apply on the shared clock.
+                    // apply on the shared clock. A delta whose base is
+                    // missing or stale answers `NeedFull` instead — the
+                    // producer resets its base tracking and re-sends the
+                    // update as a full checkpoint on a fresh flow.
                     let payload = Arc::new(flow.payload);
-                    apply_payload(flow.link, &flow.tag, &payload, flow.completed_at);
+                    let need_full =
+                        apply_payload(flow.link, &flow.tag, &payload, flow.completed_at);
                     if reliable {
-                        let ack = Control::Ack {
-                            flow_id: flow.flow_id,
+                        let reply = if need_full {
+                            state.fulls_requested.inc();
+                            telemetry.instant(
+                                "consumer",
+                                "need_full",
+                                &state.track,
+                                &[("flow_id", flow.flow_id.into())],
+                            );
+                            Control::NeedFull {
+                                flow_id: flow.flow_id,
+                            }
+                        } else {
+                            Control::Ack {
+                                flow_id: flow.flow_id,
+                            }
                         };
-                        let _ = endpoint.send_control(&flow.from, &flow.tag, &ack, flow.link);
+                        let _ = endpoint.send_control(&flow.from, &flow.tag, &reply, flow.link);
                     }
                 }
             }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod callback;
+mod codec;
 mod config;
 mod consumer;
 mod context;

@@ -11,20 +11,20 @@
 //! with `advance_to`, so concurrent background work overlaps in virtual
 //! time instead of serializing.
 
+use crate::codec::{deliver, route_label, DeliveryCounters, PayloadCodec};
 use crate::context::Viper;
-use crate::{Result, ViperError, UPDATE_TOPIC};
+use crate::Result;
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viper_formats::{Checkpoint, CheckpointFormat};
 use viper_hw::{
-    apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, MachineProfile, Route,
-    SimClock, SimInstant, StorageTier, Tier, TransferStrategy,
+    apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, Route, SimClock, SimInstant,
+    StorageTier, Tier, TransferStrategy,
 };
 use viper_metastore::ModelRecord;
-use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
-use viper_telemetry::{Counter, Telemetry};
+use viper_net::Endpoint;
 
 /// What `save_weights` reports back to the training loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +44,9 @@ pub struct SaveReceipt {
 enum Job {
     Deliver {
         record: ModelRecord,
+        /// The captured checkpoint, kept for per-consumer delta encoding
+        /// (`None` when delta transfer is off — no need to clone it then).
+        ckpt: Option<Arc<Checkpoint>>,
         payload: Arc<Vec<u8>>,
         route: Route,
     },
@@ -51,39 +54,6 @@ enum Job {
         record: ModelRecord,
         payload: Arc<Vec<u8>>,
     },
-}
-
-/// Observability counters for the reliable-delivery path. Registered in
-/// the deployment's telemetry metrics registry under per-node names
-/// (`producer.{node}.retransmits`, ...) so `trace_dump`-style tooling sees
-/// them; metrics stay live even when trace recording is disabled, so the
-/// public accessors always report.
-struct DeliveryCounters {
-    /// Retransmission rounds performed (NACK-driven or ack-timeout blind).
-    retransmits: Counter,
-    /// Deliveries that exhausted the retry budget.
-    exhausted: Counter,
-    /// Updates degraded to the durable PFS route after exhaustion.
-    pfs_fallbacks: Counter,
-}
-
-impl DeliveryCounters {
-    fn new(telemetry: &Telemetry, node: &str) -> Self {
-        DeliveryCounters {
-            retransmits: telemetry.counter(&format!("producer.{node}.retransmits")),
-            exhausted: telemetry.counter(&format!("producer.{node}.deliveries_exhausted")),
-            pfs_fallbacks: telemetry.counter(&format!("producer.{node}.pfs_fallbacks")),
-        }
-    }
-}
-
-/// Stable trace label for a route (avoids allocating Debug strings).
-fn route_label(route: Route) -> &'static str {
-    match route {
-        Route::GpuToGpu => "gpu-to-gpu",
-        Route::HostToHost => "host-to-host",
-        Route::PfsStaging => "pfs-staging",
-    }
 }
 
 /// A producer attached to a Viper deployment.
@@ -97,6 +67,8 @@ pub struct Producer {
     host: Arc<StorageTier>,
     format: Box<dyn CheckpointFormat>,
     counters: Arc<DeliveryCounters>,
+    /// Per-consumer wire-codec state (delta bases, acknowledged versions).
+    codec: Arc<PayloadCodec>,
     worker_tx: Option<Sender<Job>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -114,11 +86,13 @@ impl Producer {
         let endpoint = Arc::new(viper.shared.fabric.register(node));
 
         let counters = Arc::new(DeliveryCounters::new(&viper.shared.config.telemetry, node));
+        let codec = Arc::new(PayloadCodec::new(&viper.shared.config));
         let (tx, rx) = unbounded::<Job>();
         let worker = {
             let viper = viper.clone();
             let endpoint = Arc::clone(&endpoint);
             let counters = Arc::clone(&counters);
+            let codec = Arc::clone(&codec);
             let node = node.to_string();
             // Worker spans live on their own track: Begin/End pairs from
             // two OS threads on one track would interleave arbitrarily.
@@ -131,6 +105,7 @@ impl Producer {
                         match job {
                             Job::Deliver {
                                 record,
+                                ckpt,
                                 payload,
                                 route,
                             } => {
@@ -163,7 +138,9 @@ impl Producer {
                                 deliver(
                                     &viper,
                                     &endpoint,
+                                    &codec,
                                     &record,
+                                    ckpt.as_ref(),
                                     &payload,
                                     route,
                                     false,
@@ -204,6 +181,7 @@ impl Producer {
             host,
             format,
             counters,
+            codec,
             worker_tx: Some(tx),
             worker: Some(worker),
         }
@@ -223,6 +201,23 @@ impl Producer {
     /// Updates degraded to the durable PFS route after retry exhaustion.
     pub fn pfs_fallbacks(&self) -> u64 {
         self.counters.pfs_fallbacks.get()
+    }
+
+    /// Delta-encoded sends attempted (delta transfer enabled, the consumer
+    /// had an acknowledged, retained base).
+    pub fn delta_sends(&self) -> u64 {
+        self.counters.delta_sends.get()
+    }
+
+    /// Full-checkpoint sends while delta transfer was enabled: freshly
+    /// attached consumer, missing/stale/pruned base, or a `NeedFull` reply.
+    pub fn delta_fallbacks(&self) -> u64 {
+        self.counters.delta_fallbacks.get()
+    }
+
+    /// Wire bytes saved by delta encoding relative to full encodings.
+    pub fn delta_bytes_saved(&self) -> u64 {
+        self.counters.delta_bytes_saved.get()
     }
 
     /// The node this producer runs on.
@@ -294,11 +289,15 @@ impl Producer {
         let meta_factor = self.format.metadata_ops_factor();
         let capture = capture_time(&shared.config.profile, route, bytes, ntensors, meta_factor);
         let is_async = route != Route::PfsStaging && strategy.mode == CaptureMode::Async;
+        let delta_mode = shared.config.delta_transfer && shared.config.reliable_delivery;
         // The pipelined sync path overlaps capture with the wire inside the
         // chunked send (the fabric models per-chunk readiness), so the
-        // capture is not pre-charged as a lump there.
+        // capture is not pre-charged as a lump there. With delta transfer
+        // the wire may carry far fewer bytes than the capture snapshots, so
+        // modeling the capture inside the (delta-sized) chunked flow would
+        // undercharge it: the capture is pre-charged as a lump instead.
         let chunked = shared.config.chunked_transfer && route != Route::PfsStaging;
-        let pipelined_sync = chunked && !is_async;
+        let pipelined_sync = chunked && !is_async && !delta_mode;
         if !pipelined_sync {
             let t0 = telemetry.now_ns();
             charge(clock, capture);
@@ -335,6 +334,20 @@ impl Producer {
             path.clone(),
         )
         .at_iteration(ckpt.iteration);
+        // Delta mode: record what a delta of this version diffs against
+        // (the previous retained checkpoint) and retain this checkpoint as
+        // a base for future diffs. The clone is skipped entirely when delta
+        // transfer is off.
+        let ckpt_arc = if delta_mode {
+            if let Some(base) = self.codec.newest_retained(&ckpt.model_name) {
+                record = record.with_base(base);
+            }
+            let arc = Arc::new(ckpt.clone());
+            self.codec.retain(&arc);
+            Some(arc)
+        } else {
+            None
+        };
         let version = shared.db.put(record.clone());
         record.version = version;
         span.arg("version", version.into());
@@ -347,6 +360,7 @@ impl Producer {
         if is_async {
             self.enqueue(Job::Deliver {
                 record: record.clone(),
+                ckpt: ckpt_arc,
                 payload: payload.clone(),
                 route,
             });
@@ -354,7 +368,9 @@ impl Producer {
             let sent = deliver(
                 &self.viper,
                 &self.endpoint,
+                &self.codec,
                 &record,
+                ckpt_arc.as_ref(),
                 &payload,
                 route,
                 pipelined_sync,
@@ -462,304 +478,6 @@ impl Drop for Producer {
         if let Some(handle) = self.worker.take() {
             let _ = handle.join();
         }
-    }
-}
-
-/// The producer-side capture model for a memory route, as the fabric's
-/// chunked send expects it: `(bandwidth, per-chunk fixed, per-flow fixed)`.
-fn chunk_capture_model(
-    profile: &MachineProfile,
-    route: Route,
-    ntensors: usize,
-) -> (f64, Duration, Duration) {
-    let (bw, tier) = match route {
-        Route::GpuToGpu => (profile.gpu_capture_bw, Tier::GpuMem),
-        _ => (profile.d2h_capture_bw, Tier::HostMem),
-    };
-    let spec = profile.tier(tier);
-    (
-        bw,
-        spec.write_latency,
-        spec.per_tensor_write.mul_f64(ntensors as f64),
-    )
-}
-
-/// Push `payload` to every attached consumer and publish the update
-/// notification. For the PFS route consumers pull from the shared tier, so
-/// only the notification is sent. With `ViperConfig::chunked_transfer` the
-/// payload travels as a pipelined chunked flow; `pipeline_capture` lets the
-/// first send model the (not yet charged) capture overlapping the wire.
-///
-/// With `ViperConfig::reliable_delivery` every memory-route send is
-/// ACK-gated with NACK-driven retransmission; if a consumer exhausts the
-/// retry budget the update degrades to the durable PFS route (written
-/// synchronously, relocated in the metadata DB) and the published
-/// notification points there, so the consumer's pull path recovers it.
-/// Returns how many consumers were pushed a payload.
-#[allow(clippy::too_many_arguments)]
-fn deliver(
-    viper: &Viper,
-    endpoint: &Endpoint,
-    record: &ModelRecord,
-    payload: &Arc<Vec<u8>>,
-    route: Route,
-    pipeline_capture: bool,
-    counters: &DeliveryCounters,
-    track: &str,
-) -> usize {
-    let shared = &viper.shared;
-    let telemetry = &shared.config.telemetry;
-    let mut span = telemetry.span_with(
-        "producer",
-        "deliver",
-        track,
-        &[
-            ("version", record.version.into()),
-            ("route", route_label(route).into()),
-        ],
-    );
-    let link = match route {
-        Route::GpuToGpu => Some(LinkKind::GpuDirect),
-        Route::HostToHost => Some(LinkKind::HostRdma),
-        Route::PfsStaging => None,
-    };
-    let mut sent = 0;
-    let mut fall_back = false;
-    // Causal frontier of this delivery: every successful send extends it to
-    // the flow's (or its ACK's) computed completion instant, and the notify
-    // latency is charged from it rather than from `clock.now()` — a
-    // concurrently applying consumer advances the shared clock, and basing
-    // the charge on the racy frontier would make the timeline depend on
-    // thread scheduling.
-    let mut frontier = shared.clock.now();
-    if let Some(link) = link {
-        let tag = format!("{}:{}", record.name, record.version);
-        let consumers = shared.consumers.read().clone();
-        let config = &shared.config;
-        let mut inline_capture = pipeline_capture;
-        for consumer in consumers {
-            if consumer == endpoint.node() {
-                continue;
-            }
-            // A deregistered consumer is not an error: it raced shutdown.
-            let delivered = if config.reliable_delivery {
-                // Reliability implies the chunked machinery (a monolithic
-                // payload travels as a 1-chunk flow) so every byte is CRC
-                // checked and every flow ACK-gated.
-                let chunk_bytes = if config.chunked_transfer {
-                    config.chunk_bytes
-                } else {
-                    0
-                };
-                let mut opts = ChunkedSend::new(chunk_bytes);
-                if inline_capture {
-                    let (bw, fixed, once) =
-                        chunk_capture_model(&config.profile, route, record.ntensors);
-                    opts = opts.with_capture(bw, fixed, once);
-                }
-                match deliver_reliable_to(
-                    viper,
-                    endpoint,
-                    &consumer,
-                    &tag,
-                    payload,
-                    link,
-                    &opts,
-                    chunk_bytes,
-                    counters,
-                    track,
-                ) {
-                    Ok(acked_at) => {
-                        frontier = frontier.max(acked_at);
-                        true
-                    }
-                    Err(ViperError::RetriesExhausted { .. }) => {
-                        counters.exhausted.inc();
-                        if telemetry.is_enabled() {
-                            telemetry.instant(
-                                "producer",
-                                "retries_exhausted",
-                                track,
-                                &[("consumer", consumer.as_str().into())],
-                            );
-                        }
-                        fall_back = true;
-                        false
-                    }
-                    // Anything else (consumer deregistered mid-delivery)
-                    // is a shutdown race, not a delivery failure.
-                    Err(_) => false,
-                }
-            } else if config.chunked_transfer {
-                let mut opts = ChunkedSend::new(config.chunk_bytes);
-                if inline_capture {
-                    let (bw, fixed, once) =
-                        chunk_capture_model(&config.profile, route, record.ntensors);
-                    opts = opts.with_capture(bw, fixed, once);
-                }
-                match endpoint.send_chunked(&consumer, &tag, payload.clone(), link, &opts) {
-                    Ok(report) => {
-                        frontier = frontier.max(report.completed_at);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            } else {
-                match endpoint.send(&consumer, &tag, payload.clone(), link) {
-                    Ok(wire) => {
-                        frontier = frontier.add(wire);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            };
-            if delivered {
-                sent += 1;
-                // The snapshot happens once; fan-out to further consumers
-                // re-sends the already captured chunks.
-                inline_capture = false;
-            }
-        }
-    }
-    // Graceful degradation: the wire gave up on at least one consumer, so
-    // make this version durable NOW (not just in the background flush) and
-    // point the notification at the PFS copy — consumers recover via the
-    // repository pull path.
-    let mut notify = record.clone();
-    if fall_back {
-        let t0 = telemetry.now_ns();
-        let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
-        if shared
-            .pfs
-            .write(&pfs_path, payload.clone(), record.ntensors)
-            .is_ok()
-        {
-            shared
-                .db
-                .relocate(&record.name, record.version, Tier::Pfs.name(), &pfs_path);
-            notify.location = Tier::Pfs.name().to_string();
-            notify.path = pfs_path;
-            counters.pfs_fallbacks.inc();
-        }
-        telemetry.complete(
-            "producer",
-            "pfs_fallback",
-            track,
-            t0,
-            telemetry.now_ns(),
-            &[("version", record.version.into())],
-        );
-    }
-    charge_at(
-        &shared.clock,
-        frontier,
-        shared.config.profile.notify_latency,
-    );
-    let notified = shared.bus.publish(UPDATE_TOPIC, notify);
-    span.arg("pushed", sent.into());
-    span.arg("notified", notified.into());
-    drop(span);
-    sent
-}
-
-/// One reliable, ACK-gated delivery: send the flow, then service the
-/// feedback channel until the consumer ACKs it. NACKs retransmit exactly
-/// the missing chunks; an `ack_timeout` with no feedback at all (every
-/// chunk — or the feedback itself — lost) blind-resends the whole flow.
-/// Each round charges exponential backoff plus the retransmitted bytes'
-/// wire time to the virtual clock: retries are never free. Returns the
-/// ACK's virtual arrival instant. After `max_retries` rounds the delivery
-/// fails with [`ViperError::RetriesExhausted`].
-#[allow(clippy::too_many_arguments)]
-fn deliver_reliable_to(
-    viper: &Viper,
-    endpoint: &Endpoint,
-    consumer: &str,
-    tag: &str,
-    payload: &Arc<Vec<u8>>,
-    link: LinkKind,
-    opts: &ChunkedSend,
-    chunk_bytes: u64,
-    counters: &DeliveryCounters,
-    track: &str,
-) -> Result<SimInstant> {
-    let shared = &viper.shared;
-    let telemetry = &shared.config.telemetry;
-    let retry = shared.config.retry;
-    let report = endpoint.send_chunked(consumer, tag, payload.clone(), link, opts)?;
-    let all_chunks: Vec<u32> = (0..report.num_chunks).collect();
-    let mut attempts = 0u32;
-    loop {
-        let deadline = Instant::now() + retry.ack_timeout;
-        let missing: Vec<u32> = loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let msg = if remaining.is_zero() {
-                None
-            } else {
-                endpoint.recv_timeout(remaining)
-            };
-            let Some(msg) = msg else {
-                // No feedback at all before the timeout: assume the worst.
-                break all_chunks.clone();
-            };
-            if msg.kind != MessageKind::Control || msg.from != consumer {
-                continue;
-            }
-            match Control::decode(&msg.payload) {
-                Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
-                    return Ok(msg.arrived_at);
-                }
-                Some(Control::Nack { flow_id, missing }) if flow_id == report.flow_id => {
-                    break if missing.is_empty() {
-                        all_chunks.clone()
-                    } else {
-                        missing
-                    };
-                }
-                // Feedback about an older flow (or garbage): ignore.
-                _ => {}
-            }
-        };
-        attempts += 1;
-        if attempts > retry.max_retries {
-            return Err(ViperError::RetriesExhausted {
-                consumer: consumer.to_string(),
-                tag: tag.to_string(),
-                attempts: attempts - 1,
-            });
-        }
-        counters.retransmits.inc();
-        let t0 = telemetry.now_ns();
-        charge(&shared.clock, retry.backoff(attempts));
-        telemetry.complete(
-            "producer",
-            "backoff",
-            track,
-            t0,
-            telemetry.now_ns(),
-            &[("attempt", attempts.into())],
-        );
-        let t1 = telemetry.now_ns();
-        endpoint.retransmit_chunks(
-            consumer,
-            tag,
-            payload,
-            link,
-            report.flow_id,
-            chunk_bytes,
-            &missing,
-        )?;
-        telemetry.complete(
-            "producer",
-            "retransmit_round",
-            track,
-            t1,
-            telemetry.now_ns(),
-            &[
-                ("attempt", attempts.into()),
-                ("missing", missing.len().into()),
-            ],
-        );
     }
 }
 

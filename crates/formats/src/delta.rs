@@ -164,7 +164,7 @@ pub fn diff(base: &Checkpoint, new: &Checkpoint) -> Result<DeltaCheckpoint, Form
         let base_tensor = base
             .tensor(name)
             .ok_or_else(|| FormatError::Corrupt(format!("tensor {name} absent from base")))?;
-        if base_tensor == tensor {
+        if bits_equal(base_tensor, tensor) {
             unchanged.push(name.clone());
         } else {
             changed.push((name.clone(), tensor.clone()));
@@ -177,6 +177,18 @@ pub fn diff(base: &Checkpoint, new: &Checkpoint) -> Result<DeltaCheckpoint, Form
         changed,
         unchanged,
     })
+}
+
+/// Bitwise tensor equality. Reconstruction must be *byte*-identical, so the
+/// comparison is on f32 bit patterns, not `PartialEq`: `0.0 == -0.0` would
+/// hide a sign-bit change, and `NaN != NaN` would mark every NaN-bearing
+/// tensor as changed forever.
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Reconstruct the new checkpoint from `base` and `delta`.
@@ -193,12 +205,17 @@ pub fn apply(base: &Checkpoint, delta: &DeltaCheckpoint) -> Result<Checkpoint, F
             delta.base_iteration, base.iteration
         )));
     }
+    // Index both sides once so the reconstruction loop is O(n), not O(n·m).
+    let changed: std::collections::HashMap<&str, &Tensor> =
+        delta.changed.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    let unchanged: std::collections::HashSet<&str> =
+        delta.unchanged.iter().map(String::as_str).collect();
     let mut tensors = Vec::with_capacity(delta.changed.len() + delta.unchanged.len());
     // Preserve the base's tensor order (layer order matters to consumers).
     for (name, base_tensor) in &base.tensors {
-        if let Some((_, t)) = delta.changed.iter().find(|(n, _)| n == name) {
+        if let Some(&t) = changed.get(name.as_str()) {
             tensors.push((name.clone(), t.clone()));
-        } else if delta.unchanged.iter().any(|n| n == name) {
+        } else if unchanged.contains(name.as_str()) {
             tensors.push((name.clone(), base_tensor.clone()));
         } else {
             return Err(FormatError::Corrupt(format!(
@@ -306,6 +323,73 @@ mod tests {
         let mut other_model = base();
         other_model.model_name = "other".into();
         assert!(apply(&other_model, &d).is_err());
+    }
+
+    /// Bitwise checkpoint equality for tests with NaN payloads, where
+    /// `PartialEq` is useless.
+    fn same_bits(a: &Checkpoint, b: &Checkpoint) -> bool {
+        a.model_name == b.model_name
+            && a.iteration == b.iteration
+            && a.tensors.len() == b.tensors.len()
+            && a.tensors
+                .iter()
+                .zip(&b.tensors)
+                .all(|((an, at), (bn, bt))| an == bn && super::bits_equal(at, bt))
+    }
+
+    #[test]
+    fn diff_sees_sign_bit_of_zero() {
+        let mut new = base();
+        new.iteration = 101;
+        // 0.0 -> -0.0 compares equal under PartialEq but is a real byte
+        // change; the delta must carry it.
+        new.tensors[2].1 = Tensor::full(&[10], -0.0);
+        let d = diff(&base(), &new).unwrap();
+        assert_eq!(d.changed.len(), 1, "{d:?}");
+        assert_eq!(d.changed[0].0, "head/bias");
+        let rebuilt = apply(&base(), &d).unwrap();
+        assert!(same_bits(&rebuilt, &new));
+        assert!(rebuilt.tensors[2].1.as_slice()[0].is_sign_negative());
+    }
+
+    #[test]
+    fn diff_treats_identical_nans_as_unchanged() {
+        let mut old = base();
+        old.tensors[0].1 = Tensor::full(&[50], f32::NAN);
+        let mut new = old.clone();
+        new.iteration = 101;
+        let d = diff(&old, &new).unwrap();
+        assert!(
+            d.changed.is_empty(),
+            "identical NaN payloads must not be resent: {d:?}"
+        );
+        assert!(same_bits(&apply(&old, &d).unwrap(), &new));
+    }
+
+    #[test]
+    fn diff_distinguishes_nan_payloads() {
+        let mut old = base();
+        old.tensors[0].1 = Tensor::full(&[50], f32::from_bits(0x7fc0_0000));
+        let mut new = old.clone();
+        new.iteration = 101;
+        // A different NaN bit pattern is a change.
+        new.tensors[0].1 = Tensor::full(&[50], f32::from_bits(0x7fc0_0001));
+        let d = diff(&old, &new).unwrap();
+        assert_eq!(d.changed.len(), 1);
+        assert!(same_bits(&apply(&old, &d).unwrap(), &new));
+    }
+
+    #[test]
+    fn apply_handles_reordered_delta_entries() {
+        let d0 = diff(&base(), &fine_tuned()).unwrap();
+        // The changed list arriving in any order must not matter.
+        let mut d = d0.clone();
+        d.changed.reverse();
+        let rebuilt = apply(&base(), &d).unwrap();
+        assert_eq!(rebuilt, fine_tuned());
+        // Reconstruction preserves the *base's* tensor order.
+        let names: Vec<&str> = rebuilt.tensors.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["frozen/kernel", "head/kernel", "head/bias"]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod viper_format;
 
 pub mod delta;
 pub mod partial;
+pub mod wire;
 
 pub use checkpoint::{Checkpoint, FormatError};
 pub use crc::crc32;
@@ -34,6 +35,7 @@ pub use delta::DeltaCheckpoint;
 pub use h5lite::H5Lite;
 pub use partial::TensorEntry;
 pub use viper_format::ViperFormat;
+pub use wire::PayloadKind;
 
 /// A checkpoint serialization format.
 pub trait CheckpointFormat: Send + Sync {

@@ -1,8 +1,9 @@
 //! Property tests: every format round-trips arbitrary checkpoints exactly,
-//! and corruption never decodes successfully into a *different* checkpoint.
+//! corruption never decodes successfully into a *different* checkpoint, and
+//! `delta::apply(base, diff(base, new))` reconstructs `new` bitwise.
 
 use proptest::prelude::*;
-use viper_formats::{Checkpoint, CheckpointFormat, H5Lite, ViperFormat};
+use viper_formats::{delta, Checkpoint, CheckpointFormat, H5Lite, ViperFormat};
 use viper_tensor::Tensor;
 
 fn arb_tensor() -> impl Strategy<Value = Tensor> {
@@ -26,6 +27,89 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
         prop::collection::vec(("[a-z/_]{1,20}", arb_tensor()), 0..6),
     )
         .prop_map(|(name, iter, tensors)| Checkpoint::new(name, iter, tensors))
+}
+
+/// Elements drawn as raw bit patterns, so NaNs (any payload), ±0.0,
+/// infinities, and subnormals all appear — the values where `PartialEq`
+/// and byte equality disagree.
+fn arb_bits_tensor() -> impl Strategy<Value = Tensor> {
+    (
+        1usize..5,
+        1usize..5,
+        prop::collection::vec((0u32..=u32::MAX).prop_map(f32::from_bits), 0..25),
+    )
+        .prop_map(|(a, b, data)| {
+            let n = a * b;
+            let mut d = data;
+            d.resize(n, f32::from_bits(0x8000_0000)); // pad with -0.0
+            Tensor::from_vec(d, &[a, b]).unwrap()
+        })
+}
+
+/// A fine-tuning-shaped pair: same tensor set, a random subset of tensors
+/// mutated, and the new checkpoint's tensor order shuffled by rotation.
+fn arb_finetune_pair() -> impl Strategy<Value = (Checkpoint, Checkpoint)> {
+    (
+        "[a-z]{1,8}",
+        0u64..1_000_000,
+        prop::collection::vec(
+            (
+                "t[a-z/_]{0,12}[0-9]",
+                arb_bits_tensor(),
+                (0u8..2).prop_map(|b| b == 1),
+                arb_bits_tensor(),
+            ),
+            1..6,
+        ),
+        0usize..6,
+    )
+        .prop_map(|(name, iter, specs, rot)| {
+            // Duplicate names would make diff/apply ambiguous; keep the
+            // first occurrence of each.
+            let mut seen = std::collections::HashSet::new();
+            let mut base_tensors = Vec::new();
+            let mut new_tensors = Vec::new();
+            for (tname, tensor, mutate, replacement) in specs {
+                if !seen.insert(tname.clone()) {
+                    continue;
+                }
+                let new_tensor = if mutate { replacement } else { tensor.clone() };
+                base_tensors.push((tname.clone(), tensor));
+                new_tensors.push((tname, new_tensor));
+            }
+            let rot = rot % new_tensors.len().max(1);
+            new_tensors.rotate_left(rot);
+            (
+                Checkpoint::new(name.clone(), iter, base_tensors),
+                Checkpoint::new(name, iter + 1, new_tensors),
+            )
+        })
+}
+
+/// Bitwise checkpoint equality, keyed by tensor name (`apply` normalizes
+/// to the base's tensor order by design, and `PartialEq` cannot see NaN
+/// payloads or the sign of zero).
+fn bits_equal(a: &Checkpoint, b: &Checkpoint) -> bool {
+    let sorted = |c: &Checkpoint| {
+        let mut v: Vec<(String, Tensor)> = c.tensors.clone();
+        v.sort_by(|(x, _), (y, _)| x.cmp(y));
+        v
+    };
+    a.model_name == b.model_name
+        && a.iteration == b.iteration
+        && a.tensors.len() == b.tensors.len()
+        && sorted(a)
+            .iter()
+            .zip(&sorted(b))
+            .all(|((an, at), (bn, bt))| {
+                an == bn
+                    && at.dims() == bt.dims()
+                    && at
+                        .as_slice()
+                        .iter()
+                        .zip(bt.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            })
 }
 
 proptest! {
@@ -56,6 +140,36 @@ proptest! {
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= 1 << bit;
         prop_assert!(f.decode(&bytes).is_err());
+    }
+
+    /// `apply(base, diff(base, new))` reconstructs `new` bitwise — including
+    /// NaN payloads, -0.0, and tensor lists the trainer re-ordered.
+    #[test]
+    fn delta_roundtrip_reconstructs_bitwise(pair in arb_finetune_pair()) {
+        let (base, new) = pair;
+        let d = delta::diff(&base, &new).unwrap();
+        let rebuilt = delta::apply(&base, &d).unwrap();
+        prop_assert!(bits_equal(&rebuilt, &new));
+        // Reconstruction preserves the base's tensor order, so a consumer's
+        // installed layout never churns when the trainer shuffles names.
+        let names =
+            |c: &Checkpoint| c.tensors.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+        prop_assert_eq!(names(&rebuilt), names(&base));
+    }
+
+    /// The VIPD encoding round-trips losslessly: applying the decoded delta
+    /// yields the same bits as applying the in-memory one. (Compared via
+    /// re-apply, not `PartialEq`, which NaN payloads would defeat.)
+    #[test]
+    fn delta_encoding_roundtrips_bitwise(pair in arb_finetune_pair()) {
+        let (base, new) = pair;
+        let d = delta::diff(&base, &new).unwrap();
+        let decoded = viper_formats::DeltaCheckpoint::decode(&d.encode()).unwrap();
+        prop_assert_eq!(decoded.model_name.clone(), d.model_name.clone());
+        prop_assert_eq!(decoded.base_iteration, d.base_iteration);
+        prop_assert_eq!(decoded.iteration, d.iteration);
+        let rebuilt = delta::apply(&base, &decoded).unwrap();
+        prop_assert!(bits_equal(&rebuilt, &new));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * the receiver NACKs a flow with the chunk indices still missing —
 //!   immediately when a chunk fails its CRC, or when a partial flow goes
 //!   stale (see [`FlowAssembler::reap`](crate::FlowAssembler::reap));
-//! * the receiver ACKs a flow once it reassembles completely;
+//! * the receiver ACKs a flow once it reassembles completely (or replies
+//!   `NeedFull` when the reassembled payload was a delta it cannot apply,
+//!   asking the sender to re-encode the update as a full checkpoint);
 //! * the sender retransmits NACKed chunks with exponential backoff (charged
 //!   to the virtual clock — retries are never free) under a bounded
 //!   [`RetryPolicy`]; when the budget is exhausted it gives up and degrades
@@ -35,6 +37,13 @@ pub enum Control {
         /// Flow being acknowledged.
         flow_id: u64,
     },
+    /// The flow reassembled completely but its payload was an incremental
+    /// delta the receiver cannot use (base checkpoint missing or stale): the
+    /// sender must re-encode the update as a full checkpoint.
+    NeedFull {
+        /// Flow whose delta payload was rejected.
+        flow_id: u64,
+    },
 }
 
 impl Control {
@@ -43,6 +52,7 @@ impl Control {
         let (kind, flow_id, missing): (u8, u64, &[u32]) = match self {
             Control::Nack { flow_id, missing } => (0, *flow_id, missing),
             Control::Ack { flow_id } => (1, *flow_id, &[]),
+            Control::NeedFull { flow_id } => (2, *flow_id, &[]),
         };
         let mut buf = Vec::with_capacity(4 + 1 + 8 + 4 + 4 * missing.len());
         buf.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
@@ -75,6 +85,7 @@ impl Control {
         match kind {
             0 => Some(Control::Nack { flow_id, missing }),
             1 if count == 0 => Some(Control::Ack { flow_id }),
+            2 if count == 0 => Some(Control::NeedFull { flow_id }),
             _ => None,
         }
     }
@@ -150,6 +161,7 @@ mod tests {
     fn control_roundtrips() {
         for control in [
             Control::Ack { flow_id: 99 },
+            Control::NeedFull { flow_id: 41 },
             Control::Nack {
                 flow_id: 7,
                 missing: vec![0, 3, 12],
@@ -178,6 +190,11 @@ mod tests {
         let mut bad = Control::Ack { flow_id: 1 }.encode();
         bad[4] = 9;
         assert_eq!(Control::decode(&bad), None);
+        // ACK-family frames carry no chunk indices.
+        let mut padded = Control::NeedFull { flow_id: 1 }.encode();
+        padded[13..17].copy_from_slice(&1u32.to_le_bytes());
+        padded.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Control::decode(&padded), None);
     }
 
     #[test]

@@ -468,6 +468,36 @@ fn fault_matrix_delivers_byte_identical_on_memory_routes() {
 }
 
 #[test]
+fn fault_matrix_with_delta_transfer_stays_byte_identical() {
+    // Same fault matrix, but with the wire codec shipping deltas once a
+    // base is acknowledged. Warm-consumer updates ride increments, the
+    // faults must not leak a wrong reconstruction, and the producer's
+    // counters must show the delta path actually engaged.
+    for seed in fault_seeds() {
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(0.20)
+            .with_reorder(0.20)
+            .with_duplicate(0.20);
+        let config = reliable_config(Route::GpuToGpu, plan).with_delta();
+        let viper = Viper::new(config);
+        let producer = viper.producer("p");
+        let consumer = viper.consumer("c", "m");
+        for iter in 1..=5u64 {
+            let sent = big_ckpt(iter, 1_500);
+            producer.save_weights(&sent).unwrap();
+            let got = consumer.load_weights(Duration::from_secs(30)).unwrap();
+            assert_eq!(*got, sent, "seed {seed} iter {iter}: not byte-identical");
+            assert_eq!(consumer.current_iteration(), Some(iter));
+        }
+        assert!(
+            producer.delta_sends() > 0,
+            "seed {seed}: delta path never engaged"
+        );
+        assert_eq!(producer.deliveries_exhausted(), 0, "seed {seed}");
+    }
+}
+
+#[test]
 fn sustained_heavy_faults_never_lose_or_regress_an_update() {
     // The acceptance scenario: 20% drop + 20% reorder + 20% duplicate on a
     // memory route for a long run of updates. Every save must arrive
