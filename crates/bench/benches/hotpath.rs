@@ -1,0 +1,172 @@
+//! Wall-clock microbench for the producer hot path: serialize + per-chunk
+//! CRC + chunk framing of a large checkpoint, before (byte-at-a-time CRC,
+//! copying frames) vs after (slice-by-8 CRC, zero-copy `WireBuf` frames).
+//!
+//! Unlike the virtual-clock benches, this one measures *real* time with
+//! `std::time::Instant` — the zero-copy payload path is a wall-clock
+//! optimisation that leaves every modeled duration bit-identical. Results
+//! are written to `BENCH_hotpath.json` at the workspace root. Pass
+//! `--test` (as `cargo bench --bench hotpath -- --test` does in CI) for a
+//! fast smoke run on a smaller checkpoint.
+
+use std::hint::black_box;
+use std::time::Instant;
+use viper_formats::{crc32, crc32_bytewise, Checkpoint, CheckpointFormat, Payload, ViperFormat};
+use viper_net::{chunk_sizes, ChunkHeader, WireBuf};
+use viper_tensor::Tensor;
+
+const CHUNK_BYTES: u64 = 4 * 1024 * 1024;
+
+fn sample(elems: usize) -> Checkpoint {
+    Checkpoint::new(
+        "bench",
+        1,
+        (0..16)
+            .map(|i| {
+                (
+                    format!("layer{i}/kernel"),
+                    Tensor::full(&[elems / 16], i as f32 * 0.5),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Median of `reps` timed runs of `f`, in seconds.
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The pre-zero-copy path: byte-at-a-time CRC and an owned framed vector
+/// per chunk (header prepended by memcpy).
+fn copying_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
+    let payload = format.encode(ckpt);
+    let sizes = chunk_sizes(payload.len() as u64, CHUNK_BYTES);
+    let num_chunks = sizes.len() as u32;
+    let mut offset = 0u64;
+    let mut wire = 0usize;
+    for (i, &len) in sizes.iter().enumerate() {
+        let body = &payload[offset as usize..(offset + len) as usize];
+        let header = ChunkHeader {
+            flow_id: 1,
+            chunk_index: i as u32,
+            num_chunks,
+            offset,
+            total_bytes: payload.len() as u64,
+            crc32: crc32_bytewise(body),
+        };
+        wire += header.frame(body).len();
+        offset += len;
+    }
+    wire
+}
+
+/// The zero-copy path as the fabric runs it: per-chunk slice-by-8 CRCs
+/// computed in parallel, then `WireBuf` frames whose bodies are shared
+/// subslices of the single serialized buffer.
+fn zero_copy_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
+    use rayon::prelude::*;
+    let payload = Payload::from(format.encode(ckpt));
+    let sizes = chunk_sizes(payload.len() as u64, CHUNK_BYTES);
+    let num_chunks = sizes.len() as u32;
+    let offsets: Vec<u64> = sizes
+        .iter()
+        .scan(0u64, |acc, &len| {
+            let at = *acc;
+            *acc += len;
+            Some(at)
+        })
+        .collect();
+    let mut crcs = vec![0u32; sizes.len()];
+    crcs.par_iter_mut().enumerate().for_each(|(i, c)| {
+        let (at, len) = (offsets[i] as usize, sizes[i] as usize);
+        *c = crc32(&payload[at..at + len]);
+    });
+    let mut wire = 0usize;
+    for (i, &len) in sizes.iter().enumerate() {
+        let offset = offsets[i];
+        let body = payload.slice(offset as usize..(offset + len) as usize);
+        let header = ChunkHeader {
+            flow_id: 1,
+            chunk_index: i as u32,
+            num_chunks,
+            offset,
+            total_bytes: payload.len() as u64,
+            crc32: crcs[i],
+        };
+        wire += WireBuf::framed(header.encode(), body).len();
+    }
+    wire
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // 24 MiB of f32 weights full-size; 3 MiB in smoke mode.
+    let (elems, reps) = if smoke { (1 << 19, 3) } else { (6 << 20, 9) };
+    let ckpt = sample(elems);
+    let format = &ViperFormat as &dyn CheckpointFormat;
+    let payload = format.encode(&ckpt);
+    let bytes = payload.len();
+    let gib = bytes as f64 / (1u64 << 30) as f64;
+
+    // Both paths must produce the same logical wire volume.
+    assert_eq!(copying_path(format, &ckpt), zero_copy_path(format, &ckpt));
+
+    let crc_before = time(reps, || crc32_bytewise(&payload));
+    let crc_after = time(reps, || crc32(&payload));
+    let before = time(reps, || copying_path(format, &ckpt));
+    let after = time(reps, || zero_copy_path(format, &ckpt));
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"checkpoint_bytes\": {bytes},\n",
+            "  \"chunk_bytes\": {chunk},\n",
+            "  \"reps\": {reps},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"crc\": {{\n",
+            "    \"bytewise_gib_s\": {crc_b:.3},\n",
+            "    \"slice8_gib_s\": {crc_a:.3},\n",
+            "    \"speedup\": {crc_s:.2}\n",
+            "  }},\n",
+            "  \"serialize_crc_frame\": {{\n",
+            "    \"before_ms\": {hp_b:.3},\n",
+            "    \"after_ms\": {hp_a:.3},\n",
+            "    \"speedup\": {hp_s:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        bytes = bytes,
+        chunk = CHUNK_BYTES,
+        reps = reps,
+        smoke = smoke,
+        crc_b = gib / crc_before,
+        crc_a = gib / crc_after,
+        crc_s = crc_before / crc_after,
+        hp_b = before * 1e3,
+        hp_a = after * 1e3,
+        hp_s = before / after,
+    );
+    // Cargo runs benches with the package dir as cwd; anchor the artifact
+    // at the workspace root, where CI (and readers) look for it.
+    let out = std::env::var("VIPER_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").into()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_hotpath.json");
+    println!("{json}");
+    println!(
+        "hotpath: {:.2} GiB checkpoint  serialize+crc+frame {:.1} ms -> {:.1} ms  ({:.2}x)",
+        gib,
+        before * 1e3,
+        after * 1e3,
+        before / after
+    );
+}

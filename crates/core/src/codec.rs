@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use viper_formats::{delta, wire, Checkpoint, PayloadKind};
+use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind};
 use viper_hw::{stage_time, MachineProfile, Route, SimInstant, Tier};
 use viper_metastore::ModelRecord;
 use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
@@ -61,6 +61,15 @@ pub(crate) struct DeliveryCounters {
     pub(crate) delta_fallbacks: Counter,
     /// Wire bytes saved by delta encoding vs the full encoding.
     pub(crate) delta_bytes_saved: Counter,
+    /// Payload bytes memcpy'd on the delivery path (envelope framing).
+    /// Zero on the steady-state path: chunk bodies are zero-copy subslices
+    /// of the serialized checkpoint, so only the (at-most-once-per-update)
+    /// full-envelope framing under delta transfer copies anything.
+    pub(crate) bytes_copied: Counter,
+    /// Fresh payload-buffer allocations on the delivery path (framed fulls
+    /// and encoded deltas; the per-save serialize allocation is counted by
+    /// the producer).
+    pub(crate) payload_allocs: Counter,
 }
 
 impl DeliveryCounters {
@@ -72,6 +81,8 @@ impl DeliveryCounters {
             delta_sends: telemetry.counter(&format!("producer.{node}.delta_sends")),
             delta_fallbacks: telemetry.counter(&format!("producer.{node}.delta_fallbacks")),
             delta_bytes_saved: telemetry.counter(&format!("producer.{node}.delta_bytes_saved")),
+            bytes_copied: telemetry.counter(&format!("producer.{node}.bytes_copied")),
+            payload_allocs: telemetry.counter(&format!("producer.{node}.payload_allocs")),
         }
     }
 }
@@ -90,8 +101,8 @@ pub(crate) struct WirePayload {
     /// Body layout the envelope advertises.
     pub(crate) kind: PayloadKind,
     /// The bytes handed to the fabric (framed when the codec is active,
-    /// the raw full encoding otherwise).
-    pub(crate) bytes: Arc<Vec<u8>>,
+    /// a zero-copy view of the raw full encoding otherwise).
+    pub(crate) bytes: Payload,
 }
 
 /// Per-producer delta state: retained diff bases and per-consumer
@@ -187,18 +198,24 @@ impl PayloadCodec {
 /// acknowledged base.
 #[derive(Default)]
 struct WireCache {
-    full: Option<Arc<Vec<u8>>>,
+    full: Option<Payload>,
     /// base iteration → framed delta; `None` caches a failed diff
     /// (architecture changed), so it is not retried per consumer.
-    deltas: HashMap<u64, Option<Arc<Vec<u8>>>>,
+    deltas: HashMap<u64, Option<Payload>>,
 }
 
 impl WireCache {
-    fn full_framed(&mut self, payload: &Arc<Vec<u8>>) -> Arc<Vec<u8>> {
-        Arc::clone(
-            self.full
-                .get_or_insert_with(|| Arc::new(wire::frame(PayloadKind::Full, payload))),
-        )
+    fn full_framed(&mut self, payload: &Payload, counters: &DeliveryCounters) -> Payload {
+        self.full
+            .get_or_insert_with(|| {
+                // The one remaining full-payload copy under delta transfer:
+                // prefixing the envelope header rewrites the body. Done at
+                // most once per update, and surfaced in the counters.
+                counters.bytes_copied.add(payload.len() as u64);
+                counters.payload_allocs.inc();
+                Payload::from(wire::frame(PayloadKind::Full, payload))
+            })
+            .clone()
     }
 }
 
@@ -213,7 +230,7 @@ fn encode_for(
     consumer: &str,
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
-    payload: &Arc<Vec<u8>>,
+    payload: &Payload,
     route: Route,
     counters: &DeliveryCounters,
     frontier: &mut SimInstant,
@@ -222,7 +239,7 @@ fn encode_for(
     if !codec.active() {
         return WirePayload {
             kind: PayloadKind::Full,
-            bytes: Arc::clone(payload),
+            bytes: payload.clone(),
         };
     }
     let shared = &viper.shared;
@@ -233,9 +250,10 @@ fn encode_for(
             .filter(|b| b.iteration < ckpt.iteration)
         {
             let encoded = cache.deltas.entry(base.iteration).or_insert_with(|| {
-                let framed = delta::diff(&base, ckpt)
-                    .ok()
-                    .map(|d| Arc::new(wire::frame(PayloadKind::Delta, &d.encode())));
+                let framed = delta::diff(&base, ckpt).ok().map(|d| {
+                    counters.payload_allocs.inc();
+                    Payload::from(wire::frame(PayloadKind::Delta, &d.encode()))
+                });
                 if framed.is_some() {
                     // The diff is one read pass over the full model at the
                     // route's staging bandwidth, charged causally from the
@@ -268,7 +286,7 @@ fn encode_for(
                     .add(full_len.saturating_sub(bytes.len() as u64));
                 return WirePayload {
                     kind: PayloadKind::Delta,
-                    bytes: Arc::clone(bytes),
+                    bytes: bytes.clone(),
                 };
             }
         }
@@ -276,7 +294,7 @@ fn encode_for(
     counters.delta_fallbacks.inc();
     WirePayload {
         kind: PayloadKind::Full,
-        bytes: cache.full_framed(payload),
+        bytes: cache.full_framed(payload, counters),
     }
 }
 
@@ -333,7 +351,7 @@ pub(crate) fn deliver(
     codec: &PayloadCodec,
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
-    payload: &Arc<Vec<u8>>,
+    payload: &Payload,
     route: Route,
     pipeline_capture: bool,
     counters: &DeliveryCounters,
@@ -438,7 +456,7 @@ pub(crate) fn deliver(
                                 ],
                             );
                         }
-                        let full = cache.full_framed(payload);
+                        let full = cache.full_framed(payload, counters);
                         match deliver_reliable_to(
                             viper,
                             endpoint,
@@ -573,7 +591,7 @@ fn deliver_reliable_to(
     endpoint: &Endpoint,
     consumer: &str,
     tag: &str,
-    payload: &Arc<Vec<u8>>,
+    payload: &Payload,
     link: LinkKind,
     opts: &ChunkedSend,
     chunk_bytes: u64,
@@ -602,7 +620,9 @@ fn deliver_reliable_to(
             if msg.kind != MessageKind::Control || msg.from != consumer {
                 continue;
             }
-            match Control::decode(&msg.payload) {
+            // Control frames are always unframed; a framed payload here is
+            // a mis-tagged chunk and decodes to `None` below.
+            match Control::decode(msg.payload.as_contiguous().unwrap_or(&[])) {
                 Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
                     return Ok(ReliableOutcome::Acked(msg.arrived_at));
                 }

@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use viper_formats::{delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, PayloadKind};
+use viper_formats::{
+    delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, Payload, PayloadKind,
+};
 use viper_hw::{Route, SimInstant, Tier};
 use viper_net::{Control, MessageKind};
 use viper_telemetry::Counter;
@@ -53,6 +55,10 @@ struct ConsumerState {
     deltas_applied: Counter,
     /// `NeedFull` control replies sent (delta base missing or stale).
     fulls_requested: Counter,
+    /// Payload bytes memcpy'd during flow reassembly. Zero for single-chunk
+    /// flows (the chunk body is released as the whole payload, zero-copy);
+    /// multi-chunk flows gather their bodies into one buffer.
+    bytes_copied: Counter,
     /// Delivery errors observed by the listener (abandoned flows etc.).
     errors: Mutex<Vec<ViperError>>,
     /// Telemetry track for this consumer's events.
@@ -88,6 +94,7 @@ impl Consumer {
             flows_abandoned: telemetry.counter(&format!("consumer.{node}.flows_abandoned")),
             deltas_applied: telemetry.counter(&format!("consumer.{node}.deltas_applied")),
             fulls_requested: telemetry.counter(&format!("consumer.{node}.fulls_requested")),
+            bytes_copied: telemetry.counter(&format!("consumer.{node}.bytes_copied")),
             errors: Mutex::new(Vec::new()),
             track: format!("consumer:{node}"),
         });
@@ -210,6 +217,13 @@ impl Consumer {
     /// (the producer re-sends the update as a full checkpoint).
     pub fn fulls_requested(&self) -> u64 {
         self.state.fulls_requested.get()
+    }
+
+    /// Payload bytes memcpy'd during flow reassembly. Zero when every flow
+    /// arrives as a single chunk (the body is released as the payload,
+    /// zero-copy); multi-chunk flows gather into one buffer.
+    pub fn bytes_copied(&self) -> u64 {
+        self.state.bytes_copied.get()
     }
 
     /// Delivery errors the listener has observed so far.
@@ -358,6 +372,9 @@ fn listener_loop(
     // sees whole payloads, so a partially transferred model can never be
     // observed (let alone served).
     let mut assembler = viper_net::FlowAssembler::new();
+    // Mirror of the assembler's cumulative gather-copy count already
+    // published to the telemetry counter.
+    let mut reassembly_copied = 0u64;
     let reliable = viper.shared.config.reliable_delivery;
     // Delta wire payloads only exist on the ACK-gated path (a base is only
     // "acknowledged" through the ACK channel), mirroring the producer-side
@@ -380,106 +397,103 @@ fn listener_loop(
     // `NeedFull` control reply instead of an ACK, and the producer re-sends
     // the update as a full checkpoint.
     let mut apply_free = SimInstant::ZERO;
-    let mut apply_payload = |link: viper_net::LinkKind,
-                             tag: &str,
-                             payload: &Arc<Vec<u8>>,
-                             arrived: SimInstant|
-     -> bool {
-        let route = match link {
-            viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
-            _ => Route::HostToHost,
-        };
-        // A tag without a parseable version is a malformed delivery:
-        // skip and count it rather than silently installing it as v0.
-        let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
-            state.malformed_tags.inc();
-            state.errors.lock().push(ViperError::Invalid(format!(
-                "malformed delivery tag: {tag}"
-            )));
-            return false;
-        };
-        // With delta transfer on, the wire carries an explicit payload-kind
-        // envelope and the body is dispatched by header — never sniffed.
-        // With it off, the bytes are exactly the raw configured format.
-        let (kind, body): (PayloadKind, &[u8]) = if delta_mode {
-            match wire::unframe(payload) {
-                Ok(parts) => parts,
-                Err(e) => {
-                    // CRC-clean flow, broken envelope: unusable as-is, so
-                    // recover by asking for a full checkpoint.
-                    state.errors.lock().push(ViperError::Format(e));
-                    return true;
+    let mut apply_payload =
+        |link: viper_net::LinkKind, tag: &str, payload: &Payload, arrived: SimInstant| -> bool {
+            let route = match link {
+                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
+                _ => Route::HostToHost,
+            };
+            // A tag without a parseable version is a malformed delivery:
+            // skip and count it rather than silently installing it as v0.
+            let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
+                state.malformed_tags.inc();
+                state.errors.lock().push(ViperError::Invalid(format!(
+                    "malformed delivery tag: {tag}"
+                )));
+                return false;
+            };
+            // With delta transfer on, the wire carries an explicit payload-kind
+            // envelope and the body is dispatched by header — never sniffed.
+            // With it off, the bytes are exactly the raw configured format.
+            let (kind, body): (PayloadKind, &[u8]) = if delta_mode {
+                match wire::unframe(payload) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        // CRC-clean flow, broken envelope: unusable as-is, so
+                        // recover by asking for a full checkpoint.
+                        state.errors.lock().push(ViperError::Format(e));
+                        return true;
+                    }
                 }
-            }
-        } else {
-            (PayloadKind::Full, payload.as_slice())
-        };
-        let ckpt = match kind {
-            PayloadKind::Full => {
-                let Ok(ckpt) = format.decode(body) else {
-                    return false;
-                };
-                ckpt
-            }
-            PayloadKind::Delta => {
-                let Ok(d) = DeltaCheckpoint::decode(body) else {
-                    return true;
-                };
-                if d.model_name != model_name {
-                    // Not this consumer's model: drop it silently, exactly
-                    // like the full path (an ACK still attests receipt).
-                    return false;
+            } else {
+                (PayloadKind::Full, payload.as_slice())
+            };
+            let ckpt = match kind {
+                PayloadKind::Full => {
+                    let Ok(ckpt) = format.decode(body) else {
+                        return false;
+                    };
+                    ckpt
                 }
-                // Reconstruct against the currently served base *before*
-                // the atomic install-if-newer swap; a missing or stale base
-                // means the delta is unusable and a full must be re-sent.
-                let Some(base) = state.slot.current() else {
-                    return true;
-                };
-                if base.iteration != d.base_iteration {
-                    return true;
+                PayloadKind::Delta => {
+                    let Ok(d) = DeltaCheckpoint::decode(body) else {
+                        return true;
+                    };
+                    if d.model_name != model_name {
+                        // Not this consumer's model: drop it silently, exactly
+                        // like the full path (an ACK still attests receipt).
+                        return false;
+                    }
+                    // Reconstruct against the currently served base *before*
+                    // the atomic install-if-newer swap; a missing or stale base
+                    // means the delta is unusable and a full must be re-sent.
+                    let Some(base) = state.slot.current() else {
+                        return true;
+                    };
+                    if base.iteration != d.base_iteration {
+                        return true;
+                    }
+                    let Ok(ckpt) = delta::apply(&base, &d) else {
+                        return true;
+                    };
+                    state.deltas_applied.inc();
+                    ckpt
                 }
-                let Ok(ckpt) = delta::apply(&base, &d) else {
-                    return true;
-                };
-                state.deltas_applied.inc();
-                ckpt
+            };
+            if ckpt.model_name != model_name {
+                return false;
             }
+            // The apply is charged on the bytes that actually traveled — a
+            // delta's reconstruction pass is proportionally cheaper.
+            let bytes = payload.len() as u64;
+            // The consumer acts on the update *notification*, which
+            // trails the pushed payload by the pubsub hop — the
+            // `notify` term of `UpdateCosts::update_latency`.
+            let notified = arrived.add(viper.shared.config.profile.notify_latency);
+            let start = notified.max(apply_free);
+            // The +100ns is the §4.2 "negligible" swap, kept visible
+            // so trace ordering shows apply-then-swap.
+            let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
+                .add(Duration::from_nanos(100));
+            apply_free = done;
+            install_at(viper, state, ckpt, version, done);
+            // A Complete (X) event rather than Begin/End: recover()
+            // on the user's thread may install on this track
+            // concurrently, and X events cannot break span nesting.
+            telemetry.complete(
+                "consumer",
+                "install",
+                &state.track,
+                start.as_nanos(),
+                done.as_nanos(),
+                &[
+                    ("version", version.into()),
+                    ("bytes", bytes.into()),
+                    ("kind", kind.label().into()),
+                ],
+            );
+            false
         };
-        if ckpt.model_name != model_name {
-            return false;
-        }
-        // The apply is charged on the bytes that actually traveled — a
-        // delta's reconstruction pass is proportionally cheaper.
-        let bytes = payload.len() as u64;
-        // The consumer acts on the update *notification*, which
-        // trails the pushed payload by the pubsub hop — the
-        // `notify` term of `UpdateCosts::update_latency`.
-        let notified = arrived.add(viper.shared.config.profile.notify_latency);
-        let start = notified.max(apply_free);
-        // The +100ns is the §4.2 "negligible" swap, kept visible
-        // so trace ordering shows apply-then-swap.
-        let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
-            .add(Duration::from_nanos(100));
-        apply_free = done;
-        install_at(viper, state, ckpt, version, done);
-        // A Complete (X) event rather than Begin/End: recover()
-        // on the user's thread may install on this track
-        // concurrently, and X events cannot break span nesting.
-        telemetry.complete(
-            "consumer",
-            "install",
-            &state.track,
-            start.as_nanos(),
-            done.as_nanos(),
-            &[
-                ("version", version.into()),
-                ("bytes", bytes.into()),
-                ("kind", kind.label().into()),
-            ],
-        );
-        false
-    };
 
     while !stop.load(Ordering::Acquire) {
         // Direct-push payloads (memory routes). Drain the whole queue
@@ -489,7 +503,16 @@ fn listener_loop(
         let mut next = endpoint.recv_timeout(Duration::from_millis(2));
         while let Some(msg) = next.take() {
             next = endpoint.try_recv();
-            match assembler.accept(msg) {
+            let status = assembler.accept(msg);
+            // Publish reassembly copies before acting on the status: a
+            // completed flow notifies waiters, and the counter must already
+            // cover the gather that produced it.
+            let copied = assembler.bytes_copied();
+            if copied > reassembly_copied {
+                state.bytes_copied.add(copied - reassembly_copied);
+                reassembly_copied = copied;
+            }
+            match status {
                 viper_net::FlowStatus::Buffered => {}
                 viper_net::FlowStatus::Malformed => {
                     state.malformed_chunks.inc();
@@ -525,7 +548,10 @@ fn listener_loop(
                     // so an unusable delta is simply dropped (the producer
                     // only delta-encodes on the reliable path anyway).
                     if msg.kind != MessageKind::Control {
-                        let _ = apply_payload(msg.link, &msg.tag, &msg.payload, msg.arrived_at);
+                        // Passthrough payloads are unframed, so this is a
+                        // zero-copy move of the shared body.
+                        let payload = msg.payload.into_payload();
+                        let _ = apply_payload(msg.link, &msg.tag, &payload, msg.arrived_at);
                     }
                 }
                 viper_net::FlowStatus::Complete(flow) => {
@@ -536,9 +562,8 @@ fn listener_loop(
                     // missing or stale answers `NeedFull` instead — the
                     // producer resets its base tracking and re-sends the
                     // update as a full checkpoint on a fresh flow.
-                    let payload = Arc::new(flow.payload);
                     let need_full =
-                        apply_payload(flow.link, &flow.tag, &payload, flow.completed_at);
+                        apply_payload(flow.link, &flow.tag, &flow.payload, flow.completed_at);
                     if reliable {
                         let reply = if need_full {
                             state.fulls_requested.inc();

@@ -18,7 +18,7 @@ use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use viper_formats::{Checkpoint, CheckpointFormat};
+use viper_formats::{Checkpoint, CheckpointFormat, Payload};
 use viper_hw::{
     apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, Route, SimClock, SimInstant,
     StorageTier, Tier, TransferStrategy,
@@ -47,12 +47,12 @@ enum Job {
         /// The captured checkpoint, kept for per-consumer delta encoding
         /// (`None` when delta transfer is off — no need to clone it then).
         ckpt: Option<Arc<Checkpoint>>,
-        payload: Arc<Vec<u8>>,
+        payload: Payload,
         route: Route,
     },
     Flush {
         record: ModelRecord,
-        payload: Arc<Vec<u8>>,
+        payload: Payload,
     },
 }
 
@@ -220,6 +220,22 @@ impl Producer {
         self.counters.delta_bytes_saved.get()
     }
 
+    /// Payload bytes memcpy'd on the delivery path. Zero on the
+    /// steady-state path: chunk framing, fan-out, and retransmission all
+    /// ship zero-copy views of the single serialized buffer; only the
+    /// at-most-once-per-update envelope framing under delta transfer
+    /// copies the body.
+    pub fn bytes_copied(&self) -> u64 {
+        self.counters.bytes_copied.get()
+    }
+
+    /// Payload-buffer allocations on the save/delivery path (one per
+    /// serialize, plus framed fulls and encoded deltas under delta
+    /// transfer).
+    pub fn payload_allocs(&self) -> u64 {
+        self.counters.payload_allocs.get()
+    }
+
     /// The node this producer runs on.
     pub fn node(&self) -> &str {
         &self.node
@@ -256,7 +272,11 @@ impl Producer {
         //    configured one, degraded down the tier hierarchy when the
         //    staging tier is under memory pressure — Fig. 7).
         let wall = Instant::now();
-        let payload = Arc::new(self.format.encode(ckpt));
+        // The one serialize allocation per save: every downstream consumer
+        // of these bytes (staging tiers, chunk bodies, retransmit rounds,
+        // the PFS flush) shares zero-copy views of this buffer.
+        let payload = Payload::from(self.format.encode(ckpt));
+        self.counters.payload_allocs.inc();
         let bytes = payload.len() as u64;
         let route = self.select_route(strategy.route, bytes);
         if telemetry.is_enabled() {

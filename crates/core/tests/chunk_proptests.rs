@@ -4,11 +4,10 @@
 //! concurrent flows.
 
 use proptest::prelude::*;
-use std::sync::Arc;
 use std::time::Duration;
 use viper_hw::SimInstant;
 use viper_net::{
-    chunk_sizes, ChunkHeader, FlowAssembler, FlowStatus, LinkKind, Message, MessageKind,
+    chunk_sizes, ChunkHeader, FlowAssembler, FlowStatus, LinkKind, Message, MessageKind, WireBuf,
 };
 
 /// Wrap a payload in a fabric message, the shape the assembler sees.
@@ -18,7 +17,7 @@ fn msg(from: &str, payload: Vec<u8>, kind: MessageKind) -> Message {
         from: from.into(),
         to: "c".into(),
         tag: "m".into(),
-        payload: Arc::new(payload),
+        payload: WireBuf::plain(payload),
         kind,
         link: LinkKind::GpuDirect,
         sent_at: t,
@@ -108,7 +107,7 @@ proptest! {
         prop_assert!(ChunkHeader::decode(&framed).is_some(), "premise: frames as a chunk");
         let mut asm = FlowAssembler::new();
         match asm.accept(msg("p", framed.clone(), MessageKind::Data)) {
-            FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.as_slice(), framed.as_slice()),
+            FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.to_vec(), framed),
             other => prop_assert!(false, "expected passthrough, got {:?}", std::mem::discriminant(&other)),
         }
         prop_assert_eq!(asm.in_progress(), 0);
@@ -122,7 +121,7 @@ proptest! {
         prop_assert!(ChunkHeader::decode(&payload).is_none());
         let mut asm = FlowAssembler::new();
         match asm.accept(msg("p", payload.clone(), MessageKind::Data)) {
-            FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.as_slice(), payload.as_slice()),
+            FlowStatus::Passthrough(m) => prop_assert_eq!(m.payload.to_vec(), payload),
             other => prop_assert!(false, "expected passthrough, got {:?}", std::mem::discriminant(&other)),
         }
     }
@@ -171,7 +170,7 @@ proptest! {
                     let i = flow_tag as usize;
                     prop_assert!(completed[i].is_none(), "flow {} completed twice", i);
                     prop_assert_eq!(&flow.from, &from);
-                    completed[i] = Some(flow.payload);
+                    completed[i] = Some(flow.payload.to_vec());
                 }
                 other => prop_assert!(
                     false,

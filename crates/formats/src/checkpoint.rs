@@ -131,7 +131,11 @@ impl<'a> Reader<'a> {
             )));
         }
         let bytes = self.take(len, context)?;
-        String::from_utf8(bytes.to_vec())
+        // Validate on the borrowed slice; the map to an owned String is the
+        // single allocation (String::from_utf8(to_vec()) would make two when
+        // the bytes are invalid, and an intermediate Vec always).
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
             .map_err(|_| FormatError::Corrupt(format!("non-UTF8 string in {context}")))
     }
 

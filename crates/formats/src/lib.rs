@@ -23,6 +23,7 @@
 mod checkpoint;
 mod crc;
 mod h5lite;
+mod payload;
 mod viper_format;
 
 pub mod delta;
@@ -30,10 +31,11 @@ pub mod partial;
 pub mod wire;
 
 pub use checkpoint::{Checkpoint, FormatError};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise};
 pub use delta::DeltaCheckpoint;
 pub use h5lite::H5Lite;
 pub use partial::TensorEntry;
+pub use payload::Payload;
 pub use viper_format::ViperFormat;
 pub use wire::PayloadKind;
 

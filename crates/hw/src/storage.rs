@@ -9,8 +9,8 @@ use crate::{SimClock, Tier, TierSpec};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+use viper_formats::Payload;
 
 /// Errors from tier storage operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +50,8 @@ impl std::error::Error for StorageError {}
 /// drives the small-I/O cost model on reads).
 #[derive(Debug, Clone)]
 pub struct StoredObject {
-    /// Serialized payload.
-    pub bytes: Arc<Vec<u8>>,
+    /// Serialized payload (a shared view; storing never copies the bytes).
+    pub bytes: Payload,
     /// Number of tensors in the payload.
     pub ntensors: usize,
     /// Virtual time at which the write completed.
@@ -120,7 +120,7 @@ impl StorageTier {
                 objects.insert(
                     key,
                     StoredObject {
-                        bytes: Arc::new(bytes),
+                        bytes: Payload::from(bytes),
                         ntensors: 0,
                         written_at: tier.clock.now(),
                     },
@@ -182,9 +182,10 @@ impl StorageTier {
     pub fn write(
         &self,
         key: &str,
-        bytes: Arc<Vec<u8>>,
+        bytes: impl Into<Payload>,
         ntensors: usize,
     ) -> Result<Duration, StorageError> {
+        let bytes = bytes.into();
         let new_len = bytes.len() as u64;
         {
             let mut used = self.used.lock();
@@ -234,9 +235,10 @@ impl StorageTier {
     pub fn put_uncharged(
         &self,
         key: &str,
-        bytes: Arc<Vec<u8>>,
+        bytes: impl Into<Payload>,
         ntensors: usize,
     ) -> Result<(), StorageError> {
+        let bytes = bytes.into();
         let new_len = bytes.len() as u64;
         {
             let mut used = self.used.lock();
@@ -271,7 +273,7 @@ impl StorageTier {
     /// Fetch the object under `key` WITHOUT charging modeled time — the
     /// counterpart of [`StorageTier::put_uncharged`] for reads whose cost
     /// is priced elsewhere.
-    pub fn get_uncharged(&self, key: &str) -> Result<Arc<Vec<u8>>, StorageError> {
+    pub fn get_uncharged(&self, key: &str) -> Result<Payload, StorageError> {
         self.objects
             .lock()
             .get(key)
@@ -281,7 +283,7 @@ impl StorageTier {
 
     /// Fetch the object under `key`. Returns the payload and the modeled
     /// read duration (also charged to the clock).
-    pub fn read(&self, key: &str) -> Result<(Arc<Vec<u8>>, Duration), StorageError> {
+    pub fn read(&self, key: &str) -> Result<(Payload, Duration), StorageError> {
         let obj = self
             .objects
             .lock()
@@ -328,6 +330,7 @@ impl StorageTier {
 mod tests {
     use super::*;
     use crate::MachineProfile;
+    use std::sync::Arc;
 
     fn host_tier() -> StorageTier {
         let p = MachineProfile::polaris();
@@ -347,7 +350,7 @@ mod tests {
         let payload = Arc::new(vec![7u8; 1024]);
         t.write("m/v1", payload.clone(), 4).unwrap();
         let (got, dur) = t.read("m/v1").unwrap();
-        assert_eq!(&*got, &*payload);
+        assert_eq!(got, *payload);
         assert!(dur > Duration::ZERO);
     }
 
@@ -447,7 +450,7 @@ mod tests {
         let t2 = StorageTier::with_disk(*p.tier(Tier::Pfs), SimClock::new(), &dir).unwrap();
         assert_eq!(t2.object_count(), 2);
         let (bytes, _) = t2.read("model/node/i5").unwrap();
-        assert_eq!(&*bytes, &vec![7u8; 256]);
+        assert_eq!(bytes, vec![7u8; 256]);
         assert!(t2.contains("model/node/i6"));
         // Removal deletes the file too.
         t2.remove("model/node/i5");

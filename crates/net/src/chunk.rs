@@ -16,10 +16,11 @@
 //! with [`CHUNK_MAGIC`] passes through untouched.
 
 use crate::reliability::FlowError;
+use crate::wirebuf::WireBuf;
 use crate::{LinkKind, Message, MessageKind};
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
-use viper_formats::crc32;
+use viper_formats::{crc32, Payload};
 use viper_hw::SimInstant;
 
 /// Magic bytes at the front of every chunk frame ("VPCH"). Framing sanity
@@ -61,6 +62,33 @@ impl ChunkHeader {
         buf
     }
 
+    /// Parse an encoded header (magic + fields; no geometry validation).
+    fn parse_head(head: &[u8; Self::WIRE_SIZE]) -> Option<ChunkHeader> {
+        let u32_at = |at: usize| u32::from_le_bytes(head[at..at + 4].try_into().expect("4 B"));
+        let u64_at = |at: usize| u64::from_le_bytes(head[at..at + 8].try_into().expect("8 B"));
+        if u32_at(0) != CHUNK_MAGIC {
+            return None;
+        }
+        Some(ChunkHeader {
+            flow_id: u64_at(4),
+            chunk_index: u32_at(12),
+            num_chunks: u32_at(16),
+            offset: u64_at(20),
+            total_bytes: u64_at(28),
+            crc32: u32_at(36),
+        })
+    }
+
+    /// Geometry sanity for a parsed header and its body length.
+    fn geometry_ok(&self, body_len: usize) -> bool {
+        self.num_chunks > 0
+            && self.chunk_index < self.num_chunks
+            && self
+                .offset
+                .checked_add(body_len as u64)
+                .is_some_and(|end| end <= self.total_bytes)
+    }
+
     /// Parse a framed payload into `(header, body)`. This validates
     /// *framing only* (length, magic, geometry); body integrity against
     /// [`ChunkHeader::crc32`] is the [`FlowAssembler`]'s job. Returns `None`
@@ -69,25 +97,19 @@ impl ChunkHeader {
         if payload.len() < Self::WIRE_SIZE {
             return None;
         }
-        let u32_at = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("4 B"));
-        let u64_at = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 B"));
-        if u32_at(0) != CHUNK_MAGIC {
-            return None;
-        }
-        let header = ChunkHeader {
-            flow_id: u64_at(4),
-            chunk_index: u32_at(12),
-            num_chunks: u32_at(16),
-            offset: u64_at(20),
-            total_bytes: u64_at(28),
-            crc32: u32_at(36),
-        };
+        let head: &[u8; Self::WIRE_SIZE] = payload[..Self::WIRE_SIZE].try_into().expect("head");
+        let header = Self::parse_head(head)?;
         let body = &payload[Self::WIRE_SIZE..];
-        let end = header.offset.checked_add(body.len() as u64)?;
-        let valid = header.num_chunks > 0
-            && header.chunk_index < header.num_chunks
-            && end <= header.total_bytes;
-        valid.then_some((header, body))
+        header.geometry_ok(body.len()).then_some((header, body))
+    }
+
+    /// Parse a wire buffer into `(header, body)` without copying the body:
+    /// the returned [`Payload`] shares the buffer's backing allocation.
+    /// Same validation as [`ChunkHeader::decode`].
+    pub fn decode_buf(payload: &WireBuf) -> Option<(ChunkHeader, Payload)> {
+        let (head, body) = payload.split_head()?;
+        let header = Self::parse_head(&head)?;
+        header.geometry_ok(body.len()).then_some((header, body))
     }
 
     /// Frame `body` behind this header into one wire payload.
@@ -204,7 +226,9 @@ pub struct AssembledFlow {
     /// Link the chunks traversed.
     pub link: LinkKind,
     /// The reassembled original payload, byte-identical to what was sent.
-    pub payload: Vec<u8>,
+    /// Single-chunk flows release the received body view directly
+    /// (zero-copy); multi-chunk flows release the gather buffer.
+    pub payload: Payload,
     /// Arrival time of the last chunk (when the payload became whole).
     pub completed_at: SimInstant,
     /// Sum of the distinct chunks' wire times.
@@ -330,6 +354,9 @@ impl CompletedFlows {
 pub struct FlowAssembler {
     flows: HashMap<(String, u64), PartialFlow>,
     completed: HashMap<String, CompletedFlows>,
+    /// Payload bytes copied into gather buffers (multi-chunk reassembly
+    /// only — single-chunk flows release the received view directly).
+    bytes_copied: u64,
 }
 
 impl FlowAssembler {
@@ -343,6 +370,13 @@ impl FlowAssembler {
         self.flows.len()
     }
 
+    /// Total payload bytes this assembler has copied into gather buffers.
+    /// Zero for a consumer that only ever receives single-chunk flows —
+    /// the zero-copy steady state.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
+    }
+
     /// Completed-flow keys currently retained for duplicate suppression
     /// (bounded per sender; see [`FlowAssembler`]).
     pub fn completed_footprint(&self) -> usize {
@@ -354,7 +388,7 @@ impl FlowAssembler {
         if msg.kind != MessageKind::Chunk {
             return FlowStatus::Passthrough(msg);
         }
-        let Some((header, body)) = ChunkHeader::decode(&msg.payload) else {
+        let Some((header, body)) = ChunkHeader::decode_buf(&msg.payload) else {
             return FlowStatus::Malformed;
         };
         if self
@@ -368,8 +402,41 @@ impl FlowAssembler {
         // checksumming a multi-megabyte chunk is the expensive part of
         // accept, and if it ate into the staleness budget a slow receiver
         // would mistake its own processing time for a stalled sender.
-        let body_ok = crc32(body) == header.crc32;
+        let body_ok = crc32(&body) == header.crc32;
         let key = (msg.from.clone(), header.flow_id);
+        // Zero-copy fast path: an intact single-chunk flow needs no gather
+        // buffer — the received body view IS the payload. (A flow entry may
+        // already exist if a corrupt copy arrived first; it holds no
+        // accepted bytes, so it is discarded once a clean copy lands.)
+        if body_ok
+            && header.num_chunks == 1
+            && header.offset == 0
+            && body.len() as u64 == header.total_bytes
+        {
+            let consistent = self
+                .flows
+                .get(&key)
+                .is_none_or(|flow| flow.num_chunks == 1 && flow.buffer.len() == body.len());
+            if !consistent {
+                return FlowStatus::Buffered;
+            }
+            let prior = self.flows.remove(&key);
+            self.completed.entry(key.0).or_default().insert(key.1);
+            let completed_at = prior
+                .as_ref()
+                .map(|f| f.completed_at)
+                .unwrap_or(msg.arrived_at)
+                .max(msg.arrived_at);
+            return FlowStatus::Complete(Box::new(AssembledFlow {
+                flow_id: header.flow_id,
+                from: msg.from,
+                tag: msg.tag,
+                link: msg.link,
+                payload: body,
+                completed_at,
+                wire_total: prior.map(|f| f.wire_total).unwrap_or(Duration::ZERO) + msg.wire_time,
+            }));
+        }
         let flow = self
             .flows
             .entry(key.clone())
@@ -413,7 +480,8 @@ impl FlowAssembler {
             };
         }
         let offset = header.offset as usize;
-        flow.buffer[offset..offset + body.len()].copy_from_slice(body);
+        flow.buffer[offset..offset + body.len()].copy_from_slice(&body);
+        self.bytes_copied += body.len() as u64;
         flow.received[idx] = true;
         flow.received_count += 1;
         flow.completed_at = flow.completed_at.max(msg.arrived_at);
@@ -428,7 +496,7 @@ impl FlowAssembler {
             from: msg.from,
             tag: done.tag,
             link: done.link,
-            payload: done.buffer,
+            payload: Payload::from(done.buffer),
             completed_at: done.completed_at,
             wire_total: done.wire_total,
         }))
@@ -486,7 +554,6 @@ pub fn chunk_sizes(bytes: u64, chunk_bytes: u64) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn chunk_msg(flow_id: u64, index: u32, n: u32, payload: &[u8], chunk: u64) -> Message {
         let sizes = chunk_sizes(payload.len() as u64, chunk);
@@ -497,7 +564,7 @@ mod tests {
             from: "p".into(),
             to: "c".into(),
             tag: "m:1".into(),
-            payload: Arc::new(header.frame(body)),
+            payload: WireBuf::framed(header.encode(), Payload::from(body)),
             kind: MessageKind::Chunk,
             link: LinkKind::GpuDirect,
             sent_at: SimInstant::ZERO,
@@ -531,7 +598,7 @@ mod tests {
             from: "p".into(),
             to: "c".into(),
             tag: "t".into(),
-            payload: Arc::new(vec![1, 2, 3]),
+            payload: WireBuf::plain(vec![1, 2, 3]),
             kind: MessageKind::Data,
             link: LinkKind::HostRdma,
             sent_at: SimInstant::ZERO,
@@ -555,7 +622,7 @@ mod tests {
             from: "p".into(),
             to: "c".into(),
             tag: "t".into(),
-            payload: Arc::new(adversarial.clone()),
+            payload: WireBuf::plain(adversarial.clone()),
             kind: MessageKind::Data,
             link: LinkKind::HostRdma,
             sent_at: SimInstant::ZERO,
@@ -563,7 +630,7 @@ mod tests {
             wire_time: Duration::ZERO,
         };
         match asm.accept(msg) {
-            FlowStatus::Passthrough(m) => assert_eq!(*m.payload, adversarial),
+            FlowStatus::Passthrough(m) => assert_eq!(m.payload, adversarial),
             other => panic!("adversarial payload was not passed through: {other:?}"),
         }
         assert_eq!(asm.in_progress(), 0);
@@ -572,9 +639,9 @@ mod tests {
     #[test]
     fn marked_chunk_with_broken_framing_is_malformed() {
         let mut msg = chunk_msg(1, 0, 2, &[1u8; 100], 50);
-        let mut broken = (*msg.payload).clone();
+        let mut broken = msg.payload.to_vec();
         broken[0] ^= 0xFF; // destroy the magic
-        msg.payload = Arc::new(broken);
+        msg.payload = WireBuf::plain(broken);
         let mut asm = FlowAssembler::new();
         assert!(matches!(asm.accept(msg), FlowStatus::Malformed));
     }
@@ -619,10 +686,10 @@ mod tests {
         let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
         let mut asm = FlowAssembler::new();
         let mut corrupt = chunk_msg(6, 0, 2, &payload, 2500);
-        let mut bytes = (*corrupt.payload).clone();
+        let mut bytes = corrupt.payload.to_vec();
         let n = bytes.len();
         bytes[n - 7] ^= 0x40; // flip one body bit
-        corrupt.payload = Arc::new(bytes);
+        corrupt.payload = WireBuf::plain(bytes);
         match asm.accept(corrupt.clone()) {
             FlowStatus::Corrupt {
                 flow_id,

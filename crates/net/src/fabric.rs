@@ -3,12 +3,14 @@
 use crate::chunk::{chunk_sizes, ChunkHeader, ChunkedSend, FlowReport};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::reliability::Control;
+use crate::wirebuf::WireBuf;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use viper_formats::Payload;
 use viper_hw::{MachineProfile, SimClock, SimInstant};
 use viper_telemetry::Telemetry;
 
@@ -90,8 +92,9 @@ pub struct Message {
     pub to: String,
     /// Application tag (e.g. the model key).
     pub tag: String,
-    /// Payload bytes.
-    pub payload: Arc<Vec<u8>>,
+    /// Payload bytes (inline chunk header, if framed, plus a shared body
+    /// view — see [`WireBuf`]).
+    pub payload: WireBuf,
     /// What the payload is (data, chunk frame, or control frame).
     pub kind: MessageKind,
     /// Link the message traversed.
@@ -253,17 +256,26 @@ impl Fabric {
             let reorder = state.rng.chance(faults.reorder);
             if corrupt {
                 // Flip one bit of the *body*: chunk framing stays intact so
-                // the damage is the CRC's to catch, not the parser's.
-                let body_start = match msg.kind {
-                    MessageKind::Chunk => ChunkHeader::WIRE_SIZE,
+                // the damage is the CRC's to catch, not the parser's. A
+                // framed WireBuf already separates header from body; a
+                // contiguous chunk payload still skips the embedded header.
+                // Draw count and bit position match the old full-frame copy
+                // path exactly, keeping seeded fault streams stable.
+                let body_start = match (msg.kind, msg.payload.head()) {
+                    (MessageKind::Chunk, None) => ChunkHeader::WIRE_SIZE,
                     _ => 0,
                 };
-                if msg.payload.len() > body_start {
-                    let mut bytes = (*msg.payload).clone();
+                if msg.payload.body().len() > body_start {
+                    let head = msg.payload.head().copied();
+                    let mut bytes = msg.payload.body().to_vec();
                     let bits = ((bytes.len() - body_start) * 8) as u64;
                     let bit = state.rng.below(bits) as usize;
                     bytes[body_start + bit / 8] ^= 1 << (bit % 8);
-                    msg.payload = Arc::new(bytes);
+                    let body = Payload::from(bytes);
+                    msg.payload = match head {
+                        Some(head) => WireBuf::framed(head, body),
+                        None => WireBuf::plain(body),
+                    };
                 }
                 telemetry.counter("fabric.faults.corrupted").inc();
                 telemetry.instant_at(
@@ -317,7 +329,7 @@ impl Fabric {
         from: &str,
         to: &str,
         tag: &str,
-        payload: Arc<Vec<u8>>,
+        payload: Payload,
         link: LinkKind,
         kind: MessageKind,
     ) -> Result<Duration, NetError> {
@@ -358,7 +370,7 @@ impl Fabric {
             from: from.to_string(),
             to: to.to_string(),
             tag: tag.to_string(),
-            payload,
+            payload: WireBuf::plain(payload),
             kind,
             link,
             sent_at,
@@ -386,7 +398,7 @@ impl Fabric {
         from: &str,
         to: &str,
         tag: &str,
-        payload: Arc<Vec<u8>>,
+        payload: Payload,
         link: LinkKind,
         opts: &ChunkedSend,
     ) -> Result<FlowReport, NetError> {
@@ -402,6 +414,9 @@ impl Fabric {
         let total_bytes = payload.len() as u64;
         let sizes = chunk_sizes(total_bytes, opts.chunk_bytes);
         let num_chunks = sizes.len() as u32;
+        // Checksum chunk bodies before taking the lane lock: CRCs do not
+        // depend on scheduling, and this is the CPU-heavy part of a send.
+        let crcs = chunk_crcs(&payload, &sizes);
 
         // Schedule every chunk under the lane lock so concurrent flows on
         // the same lane serialize deterministically.
@@ -423,11 +438,19 @@ impl Fabric {
                 }
                 None => submitted_at,
             };
-            let body = &payload[offset as usize..(offset + len) as usize];
-            let header =
-                ChunkHeader::for_body(flow_id, index as u32, num_chunks, offset, total_bytes, body);
-            let framed = Arc::new(header.frame(body));
-            let wire_time = link.transfer_time(&self.inner.profile, framed.len() as u64);
+            // Zero-copy framing: the chunk body is a subslice of the
+            // caller's payload; only the 40-byte header is fresh bytes.
+            let body = payload.slice(offset as usize..(offset + len) as usize);
+            let header = ChunkHeader {
+                flow_id,
+                chunk_index: index as u32,
+                num_chunks,
+                offset,
+                total_bytes,
+                crc32: crcs[index],
+            };
+            let frame_len = (ChunkHeader::WIRE_SIZE + body.len()) as u64;
+            let wire_time = link.transfer_time(&self.inner.profile, frame_len);
             let sent_at = ready.max(lane_free);
             let arrived_at = sent_at.add(wire_time);
             lane_free = arrived_at;
@@ -438,7 +461,7 @@ impl Fabric {
                 from: from.to_string(),
                 to: to.to_string(),
                 tag: tag.to_string(),
-                payload: framed,
+                payload: WireBuf::framed(header.encode(), body),
                 kind: MessageKind::Chunk,
                 link,
                 sent_at,
@@ -514,7 +537,7 @@ impl Fabric {
         from: &str,
         to: &str,
         tag: &str,
-        payload: &Arc<Vec<u8>>,
+        payload: &Payload,
         link: LinkKind,
         flow_id: u64,
         chunk_bytes: u64,
@@ -541,11 +564,13 @@ impl Fabric {
                 continue;
             };
             let offset: u64 = sizes[..index as usize].iter().sum();
-            let body = &payload[offset as usize..(offset + len) as usize];
+            // Retransmissions reuse zero-copy subslices of the retained
+            // payload — no round re-frames the bytes.
+            let body = payload.slice(offset as usize..(offset + len) as usize);
             let header =
-                ChunkHeader::for_body(flow_id, index, num_chunks, offset, total_bytes, body);
-            let framed = Arc::new(header.frame(body));
-            let wire_time = link.transfer_time(&self.inner.profile, framed.len() as u64);
+                ChunkHeader::for_body(flow_id, index, num_chunks, offset, total_bytes, &body);
+            let frame_len = (ChunkHeader::WIRE_SIZE + body.len()) as u64;
+            let wire_time = link.transfer_time(&self.inner.profile, frame_len);
             let sent_at = lane_free;
             let arrived_at = sent_at.add(wire_time);
             lane_free = arrived_at;
@@ -554,7 +579,7 @@ impl Fabric {
                 from: from.to_string(),
                 to: to.to_string(),
                 tag: tag.to_string(),
-                payload: framed,
+                payload: WireBuf::framed(header.encode(), body),
                 kind: MessageKind::Chunk,
                 link,
                 sent_at,
@@ -598,6 +623,39 @@ impl Fabric {
     }
 }
 
+/// Per-chunk body CRC32s for a payload split into `sizes`. Large flows
+/// checksum their chunks in parallel on the rayon pool; results land
+/// positionally, so the output is deterministic regardless of worker
+/// interleaving.
+fn chunk_crcs(payload: &Payload, sizes: &[u64]) -> Vec<u32> {
+    /// Below this, thread spawn overhead beats the win from splitting.
+    const PARALLEL_MIN_BYTES: usize = 4 << 20;
+    let offsets: Vec<u64> = sizes
+        .iter()
+        .scan(0u64, |acc, &len| {
+            let at = *acc;
+            *acc += len;
+            Some(at)
+        })
+        .collect();
+    let crc_of = |i: usize| {
+        let (at, len) = (offsets[i] as usize, sizes[i] as usize);
+        viper_formats::crc32(&payload[at..at + len])
+    };
+    let mut crcs = vec![0u32; sizes.len()];
+    if payload.len() >= PARALLEL_MIN_BYTES && sizes.len() > 1 {
+        use rayon::prelude::*;
+        crcs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, c)| *c = crc_of(i));
+    } else {
+        for (i, c) in crcs.iter_mut().enumerate() {
+            *c = crc_of(i);
+        }
+    }
+    crcs
+}
+
 /// A node's attachment to the fabric.
 pub struct Endpoint {
     node: String,
@@ -617,11 +675,11 @@ impl Endpoint {
         &self,
         to: &str,
         tag: &str,
-        payload: Arc<Vec<u8>>,
+        payload: impl Into<Payload>,
         link: LinkKind,
     ) -> Result<Duration, NetError> {
         self.fabric
-            .send_from(&self.node, to, tag, payload, link, MessageKind::Data)
+            .send_from(&self.node, to, tag, payload.into(), link, MessageKind::Data)
     }
 
     /// Send `payload` as a pipelined chunked flow (see
@@ -632,12 +690,12 @@ impl Endpoint {
         &self,
         to: &str,
         tag: &str,
-        payload: Arc<Vec<u8>>,
+        payload: impl Into<Payload>,
         link: LinkKind,
         opts: &ChunkedSend,
     ) -> Result<FlowReport, NetError> {
         self.fabric
-            .send_chunked_from(&self.node, to, tag, payload, link, opts)
+            .send_chunked_from(&self.node, to, tag, payload.into(), link, opts)
     }
 
     /// Send a reliability control frame (ACK/NACK). Control frames charge
@@ -654,7 +712,7 @@ impl Endpoint {
             &self.node,
             to,
             tag,
-            Arc::new(control.encode()),
+            Payload::from(control.encode()),
             link,
             MessageKind::Control,
         )
@@ -669,7 +727,7 @@ impl Endpoint {
         &self,
         to: &str,
         tag: &str,
-        payload: &Arc<Vec<u8>>,
+        payload: &Payload,
         link: LinkKind,
         flow_id: u64,
         chunk_bytes: u64,
@@ -731,7 +789,7 @@ mod tests {
         assert_eq!(msg.from, "a");
         assert_eq!(msg.to, "b");
         assert_eq!(msg.kind, MessageKind::Data);
-        assert_eq!(&*msg.payload, &*payload);
+        assert_eq!(msg.payload, *payload);
     }
 
     #[test]
@@ -818,7 +876,7 @@ mod tests {
         }
         for i in 0..10u8 {
             let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
-            assert_eq!(msg.payload[0], i);
+            assert_eq!(msg.payload.to_vec()[0], i);
         }
     }
 
@@ -969,7 +1027,7 @@ mod tests {
     // Fault injection
     // ------------------------------------------------------------------
 
-    fn chunked(a: &Endpoint, payload: &Arc<Vec<u8>>) -> FlowReport {
+    fn chunked(a: &Endpoint, payload: &Payload) -> FlowReport {
         a.send_chunked(
             "b",
             "t",
@@ -995,7 +1053,7 @@ mod tests {
         f.set_fault_plan(Some(FaultPlan::seeded(1).with_drop(1.0)));
         let a = f.register("a");
         let b = f.register("b");
-        let report = chunked(&a, &Arc::new(vec![7u8; 5000]));
+        let report = chunked(&a, &Payload::from(vec![7u8; 5000]));
         assert_eq!(b.pending(), 0, "all chunks dropped");
         // Lost bytes still occupied the link: the clock advanced anyway.
         assert_eq!(clock.now(), report.completed_at);
@@ -1008,7 +1066,7 @@ mod tests {
         f.set_fault_plan(Some(FaultPlan::seeded(2).with_duplicate(1.0)));
         let a = f.register("a");
         let b = f.register("b");
-        let payload = Arc::new(vec![3u8; 5000]);
+        let payload = Payload::from(vec![3u8; 5000]);
         let report = chunked(&a, &payload);
         let msgs = drain(&b);
         assert_eq!(msgs.len(), 2 * report.num_chunks as usize);
@@ -1016,7 +1074,7 @@ mod tests {
         let mut complete = 0;
         for msg in msgs {
             if let FlowStatus::Complete(flow) = asm.accept(msg) {
-                assert_eq!(flow.payload, *payload);
+                assert_eq!(flow.payload, payload);
                 complete += 1;
             }
         }
@@ -1029,7 +1087,7 @@ mod tests {
         f.set_fault_plan(Some(FaultPlan::seeded(3).with_corrupt(1.0)));
         let a = f.register("a");
         let b = f.register("b");
-        chunked(&a, &Arc::new(vec![5u8; 5000]));
+        chunked(&a, &Payload::from(vec![5u8; 5000]));
         let mut asm = FlowAssembler::new();
         let mut corrupt = 0;
         for msg in drain(&b) {
@@ -1056,7 +1114,14 @@ mod tests {
             .unwrap();
         let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.kind, MessageKind::Control);
-        assert_eq!(Control::decode(&msg.payload), Some(nack));
+        assert_eq!(
+            Control::decode(
+                msg.payload
+                    .as_contiguous()
+                    .expect("control frames are unframed")
+            ),
+            Some(nack)
+        );
     }
 
     #[test]
@@ -1072,14 +1137,17 @@ mod tests {
             ));
             let a = f.register("a");
             let b = f.register("b");
-            chunked(&a, &Arc::new((0..=255u8).cycle().take(20_000).collect()));
+            chunked(
+                &a,
+                &Payload::from((0..=255u8).cycle().take(20_000).collect::<Vec<u8>>()),
+            );
             drain(&b)
                 .iter()
                 .map(|m| {
-                    let (h, body) = ChunkHeader::decode(&m.payload).unwrap();
+                    let (h, body) = ChunkHeader::decode_buf(&m.payload).unwrap();
                     (
                         u64::from(h.chunk_index),
-                        viper_formats::crc32(body) == h.crc32,
+                        viper_formats::crc32(&body) == h.crc32,
                     )
                 })
                 .collect()
@@ -1115,7 +1183,7 @@ mod tests {
         f.set_fault_plan(Some(FaultPlan::seeded(6)));
         let a = f.register("a");
         let b = f.register("b");
-        let payload = Arc::new(vec![9u8; 5000]);
+        let payload = Payload::from(vec![9u8; 5000]);
         let report = chunked(&a, &payload);
         let msgs = drain(&b);
         assert_eq!(msgs.len(), report.num_chunks as usize);
@@ -1123,7 +1191,7 @@ mod tests {
         let mut complete = false;
         for msg in msgs {
             if let FlowStatus::Complete(flow) = asm.accept(msg) {
-                assert_eq!(flow.payload, *payload);
+                assert_eq!(flow.payload, payload);
                 complete = true;
             }
         }
@@ -1136,12 +1204,12 @@ mod tests {
         let f = Fabric::new(MachineProfile::polaris(), clock.clone());
         let a = f.register("a");
         let b = f.register("b");
-        let payload = Arc::new((0..=255u8).cycle().take(5000).collect::<Vec<u8>>());
+        let payload = Payload::from((0..=255u8).cycle().take(5000).collect::<Vec<u8>>());
         let report = chunked(&a, &payload);
         // Receiver assembles but we pretend chunks 1 and 3 were lost.
         let mut asm = FlowAssembler::new();
         for msg in drain(&b) {
-            let (h, _) = ChunkHeader::decode(&msg.payload).unwrap();
+            let (h, _) = ChunkHeader::decode_buf(&msg.payload).unwrap();
             if h.chunk_index == 1 || h.chunk_index == 3 {
                 continue;
             }
@@ -1167,6 +1235,6 @@ mod tests {
                 complete = Some(flow);
             }
         }
-        assert_eq!(complete.expect("flow completes").payload, *payload);
+        assert_eq!(complete.expect("flow completes").payload, payload);
     }
 }

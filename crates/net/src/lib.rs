@@ -34,6 +34,7 @@ mod chunk;
 mod fabric;
 mod fault;
 mod reliability;
+mod wirebuf;
 
 pub use chunk::{
     chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler, FlowReport, FlowStatus,
@@ -42,3 +43,5 @@ pub use chunk::{
 pub use fabric::{Endpoint, Fabric, LinkKind, Message, MessageKind, NetError};
 pub use fault::{FaultPlan, FaultRng, LinkFaults};
 pub use reliability::{Control, FlowError, RetryPolicy, CONTROL_MAGIC};
+pub use viper_formats::Payload;
+pub use wirebuf::{WireBuf, HEAD_BYTES};
