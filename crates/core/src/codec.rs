@@ -5,9 +5,13 @@
 //! consumer's last **acknowledged** base version, and frames the chosen
 //! bytes with an explicit payload-kind envelope ([`viper_formats::wire`])
 //! so the receiver dispatches by header, never by sniffing body magics.
-//! The delivery engine below ([`deliver`] / [`deliver_reliable_to`]) drives
-//! the framed payload over the fabric — chunking, CRC, fault injection,
-//! NACK/retransmit, and the durable PFS fallback all compose with it.
+//! The delivery engine below ([`deliver`] / [`DeliveryTask`]) drives the
+//! framed payload over the fabric — chunking, CRC, fault injection,
+//! NACK/retransmit, and the durable PFS fallback all compose with it. The
+//! reliable path is event-driven: the save thread submits one
+//! [`DeliveryJob`] to the reactor and blocks only on its reply, while the
+//! reactor's scheduler drives every flow's [`FlowMachine`] from feedback
+//! mail and virtual-clock ack timers.
 //!
 //! Full-checkpoint fallback rules (the codec never guesses):
 //!
@@ -31,15 +35,20 @@
 use crate::config::ViperConfig;
 use crate::context::Viper;
 use crate::producer::{charge, charge_at};
-use crate::{Result, ViperError, UPDATE_TOPIC};
+use crate::UPDATE_TOPIC;
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind};
 use viper_hw::{stage_time, MachineProfile, Route, SimInstant, Tier};
 use viper_metastore::ModelRecord;
-use viper_net::{ChunkedSend, Control, Endpoint, LinkKind, MessageKind};
+use viper_net::{
+    ChunkedSend, Control, Endpoint, FeedbackKind, FlowAction, FlowEvent, FlowMachine, LinkKind,
+    MessageKind, ReactorTask, TaskCtx,
+};
 use viper_telemetry::{Counter, Telemetry};
 
 /// Observability counters for the delivery path. Registered in the
@@ -70,6 +79,11 @@ pub(crate) struct DeliveryCounters {
     /// and encoded deltas; the per-save serialize allocation is counted by
     /// the producer).
     pub(crate) payload_allocs: Counter,
+    /// Feedback frames dropped because they referenced an unknown flow, a
+    /// finished flow, or a superseded retransmission generation. Stale
+    /// feedback is expected under reordering faults; it must be counted,
+    /// never acted on.
+    pub(crate) stale_feedback: Counter,
 }
 
 impl DeliveryCounters {
@@ -83,6 +97,7 @@ impl DeliveryCounters {
             delta_bytes_saved: telemetry.counter(&format!("producer.{node}.delta_bytes_saved")),
             bytes_copied: telemetry.counter(&format!("producer.{node}.bytes_copied")),
             payload_allocs: telemetry.counter(&format!("producer.{node}.payload_allocs")),
+            stale_feedback: telemetry.counter(&format!("producer.{node}.stale_feedback")),
         }
     }
 }
@@ -317,14 +332,40 @@ fn chunk_capture_model(
     )
 }
 
-/// How one reliable delivery concluded (both are successful flows — the
-/// feedback channel answered).
-enum ReliableOutcome {
-    /// The consumer installed the payload; the ACK arrived at this instant.
-    Acked(SimInstant),
-    /// The consumer rejected a delta payload it cannot apply (base missing
-    /// or stale) and asked for a full checkpoint instead.
-    NeedFull(SimInstant),
+/// One reliable fan-out handed to the producer's [`DeliveryTask`] on the
+/// reactor. The caller pre-encodes every consumer's wire payload (so delta
+/// diff charges stay on the save path's causal frontier), submits the job,
+/// and blocks on `reply` — delivery itself is driven entirely by reactor
+/// events: completion mail and virtual-clock ack timers, never a parked
+/// thread per consumer.
+pub(crate) struct DeliveryJob {
+    /// `(consumer node, encoded payload)` in fan-out order.
+    pub(crate) consumers: Vec<(String, WirePayload)>,
+    pub(crate) tag: String,
+    pub(crate) link: LinkKind,
+    pub(crate) chunk_bytes: u64,
+    /// Pipelined-capture model for the first successful send (the snapshot
+    /// happens once; later flows re-send already captured chunks).
+    pub(crate) capture: Option<(f64, Duration, Duration)>,
+    /// The raw full encoding (for materializing a framed full on `NeedFull`).
+    pub(crate) payload: Payload,
+    /// Already-framed full from the caller's encode cache, if one was made.
+    pub(crate) framed_full: Option<Payload>,
+    pub(crate) model: String,
+    pub(crate) iteration: u64,
+    pub(crate) track: String,
+    pub(crate) frontier: SimInstant,
+    pub(crate) reply: Sender<DeliveryDone>,
+}
+
+/// The reply to a [`DeliveryJob`] once every flow reached a terminal state.
+pub(crate) struct DeliveryDone {
+    /// Consumers that ACKed an install.
+    pub(crate) delivered: usize,
+    /// At least one consumer exhausted the retry budget: degrade to PFS.
+    pub(crate) fall_back: bool,
+    /// Causal frontier extended by the ACK arrival instants.
+    pub(crate) frontier: SimInstant,
 }
 
 /// Push the update to every attached consumer and publish the update
@@ -386,27 +427,23 @@ pub(crate) fn deliver(
         let tag = format!("{}:{}", record.name, record.version);
         let consumers = shared.consumers.read().clone();
         let config = &shared.config;
-        let mut cache = WireCache::default();
-        let mut inline_capture = pipeline_capture;
-        for consumer in consumers {
-            if consumer == endpoint.node() {
-                continue;
-            }
-            // A deregistered consumer is not an error: it raced shutdown.
-            let delivered = if config.reliable_delivery {
-                // Reliability implies the chunked machinery (a monolithic
-                // payload travels as a 1-chunk flow) so every byte is CRC
-                // checked and every flow ACK-gated.
-                let chunk_bytes = if config.chunked_transfer {
-                    config.chunk_bytes
-                } else {
-                    0
-                };
-                let mut opts = ChunkedSend::new(chunk_bytes);
-                if inline_capture {
-                    let (bw, fixed, once) =
-                        chunk_capture_model(&config.profile, route, record.ntensors);
-                    opts = opts.with_capture(bw, fixed, once);
+        if config.reliable_delivery {
+            // Reliability implies the chunked machinery (a monolithic
+            // payload travels as a 1-chunk flow) so every byte is CRC
+            // checked and every flow ACK-gated. The flows themselves are
+            // driven by this producer's reactor task; the save path blocks
+            // here only for the job reply, holding zero threads per
+            // consumer.
+            let chunk_bytes = if config.chunked_transfer {
+                config.chunk_bytes
+            } else {
+                0
+            };
+            let mut cache = WireCache::default();
+            let mut job_consumers = Vec::new();
+            for consumer in consumers {
+                if consumer == endpoint.node() {
+                    continue;
                 }
                 let wire_payload = encode_for(
                     viper,
@@ -421,116 +458,70 @@ pub(crate) fn deliver(
                     &mut frontier,
                     track,
                 );
-                match deliver_reliable_to(
-                    viper,
-                    endpoint,
-                    &consumer,
-                    &tag,
-                    &wire_payload.bytes,
-                    link,
-                    &opts,
-                    chunk_bytes,
-                    counters,
-                    track,
-                ) {
-                    Ok(ReliableOutcome::Acked(acked_at)) => {
-                        frontier = frontier.max(acked_at);
-                        codec.note_acked(&consumer, &record.name, record.iteration);
-                        true
+                job_consumers.push((consumer, wire_payload));
+            }
+            if !job_consumers.is_empty() {
+                let (reply_tx, reply_rx) = unbounded();
+                let capture = pipeline_capture
+                    .then(|| chunk_capture_model(&config.profile, route, record.ntensors));
+                shared.reactor.submit(
+                    endpoint.node(),
+                    Box::new(DeliveryJob {
+                        consumers: job_consumers,
+                        tag,
+                        link,
+                        chunk_bytes,
+                        capture,
+                        payload: payload.clone(),
+                        framed_full: cache.full.clone(),
+                        model: record.name.clone(),
+                        iteration: record.iteration,
+                        track: track.to_string(),
+                        frontier,
+                        reply: reply_tx,
+                    }),
+                );
+                let done = reply_rx.recv().expect("delivery reactor replies");
+                sent = done.delivered;
+                fall_back = done.fall_back;
+                frontier = frontier.max(done.frontier);
+            }
+        } else {
+            let mut inline_capture = pipeline_capture;
+            for consumer in consumers {
+                if consumer == endpoint.node() {
+                    continue;
+                }
+                // A deregistered consumer is not an error: it raced shutdown.
+                let delivered = if config.chunked_transfer {
+                    let mut opts = ChunkedSend::new(config.chunk_bytes);
+                    if inline_capture {
+                        let (bw, fixed, once) =
+                            chunk_capture_model(&config.profile, route, record.ntensors);
+                        opts = opts.with_capture(bw, fixed, once);
                     }
-                    Ok(ReliableOutcome::NeedFull(replied_at)) => {
-                        // The consumer lost the base this delta applies to
-                        // (restart, missed flow): reset its tracking and
-                        // re-send the update as a full on a fresh flow.
-                        frontier = frontier.max(replied_at);
-                        codec.forget(&consumer, &record.name);
-                        counters.delta_fallbacks.inc();
-                        if telemetry.is_enabled() {
-                            telemetry.instant(
-                                "producer",
-                                "delta_rejected",
-                                track,
-                                &[
-                                    ("consumer", consumer.as_str().into()),
-                                    ("kind", wire_payload.kind.label().into()),
-                                ],
-                            );
+                    match endpoint.send_chunked(&consumer, &tag, payload.clone(), link, &opts) {
+                        Ok(report) => {
+                            frontier = frontier.max(report.completed_at);
+                            true
                         }
-                        let full = cache.full_framed(payload, counters);
-                        match deliver_reliable_to(
-                            viper,
-                            endpoint,
-                            &consumer,
-                            &tag,
-                            &full,
-                            link,
-                            &ChunkedSend::new(chunk_bytes),
-                            chunk_bytes,
-                            counters,
-                            track,
-                        ) {
-                            Ok(ReliableOutcome::Acked(acked_at)) => {
-                                frontier = frontier.max(acked_at);
-                                codec.note_acked(&consumer, &record.name, record.iteration);
-                                true
-                            }
-                            // A full can't be rejected for a missing base;
-                            // treat a repeat NeedFull as a failed delivery.
-                            Ok(ReliableOutcome::NeedFull(_)) => false,
-                            Err(ViperError::RetriesExhausted { .. }) => {
-                                counters.exhausted.inc();
-                                fall_back = true;
-                                false
-                            }
-                            Err(_) => false,
+                        Err(_) => false,
+                    }
+                } else {
+                    match endpoint.send(&consumer, &tag, payload.clone(), link) {
+                        Ok(wire) => {
+                            frontier = frontier.add(wire);
+                            true
                         }
+                        Err(_) => false,
                     }
-                    Err(ViperError::RetriesExhausted { .. }) => {
-                        counters.exhausted.inc();
-                        codec.forget(&consumer, &record.name);
-                        if telemetry.is_enabled() {
-                            telemetry.instant(
-                                "producer",
-                                "retries_exhausted",
-                                track,
-                                &[("consumer", consumer.as_str().into())],
-                            );
-                        }
-                        fall_back = true;
-                        false
-                    }
-                    // Anything else (consumer deregistered mid-delivery)
-                    // is a shutdown race, not a delivery failure.
-                    Err(_) => false,
+                };
+                if delivered {
+                    sent += 1;
+                    // The snapshot happens once; fan-out to further consumers
+                    // re-sends the already captured chunks.
+                    inline_capture = false;
                 }
-            } else if config.chunked_transfer {
-                let mut opts = ChunkedSend::new(config.chunk_bytes);
-                if inline_capture {
-                    let (bw, fixed, once) =
-                        chunk_capture_model(&config.profile, route, record.ntensors);
-                    opts = opts.with_capture(bw, fixed, once);
-                }
-                match endpoint.send_chunked(&consumer, &tag, payload.clone(), link, &opts) {
-                    Ok(report) => {
-                        frontier = frontier.max(report.completed_at);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            } else {
-                match endpoint.send(&consumer, &tag, payload.clone(), link) {
-                    Ok(wire) => {
-                        frontier = frontier.add(wire);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            };
-            if delivered {
-                sent += 1;
-                // The snapshot happens once; fan-out to further consumers
-                // re-sends the already captured chunks.
-                inline_capture = false;
             }
         }
     }
@@ -570,116 +561,466 @@ pub(crate) fn deliver(
         shared.config.profile.notify_latency,
     );
     let notified = shared.bus.publish(UPDATE_TOPIC, notify);
+    // Consumer discovery runs on the reactor: nudge every task to drain its
+    // subscription (push mode) or check the metadata DB (poll mode).
+    shared.reactor.wake_all();
     span.arg("pushed", sent.into());
     span.arg("notified", notified.into());
     drop(span);
     sent
 }
 
-/// One reliable, ACK-gated delivery: send the flow, then service the
-/// feedback channel until the consumer ACKs it — or replies `NeedFull`,
-/// rejecting a delta payload it cannot apply (the caller re-encodes).
-/// NACKs retransmit exactly the missing chunks; an `ack_timeout` with no
-/// feedback at all (every chunk — or the feedback itself — lost)
-/// blind-resends the whole flow. Each round charges exponential backoff
-/// plus the retransmitted bytes' wire time to the virtual clock: retries
-/// are never free. After `max_retries` rounds the delivery fails with
-/// [`ViperError::RetriesExhausted`].
-#[allow(clippy::too_many_arguments)]
-fn deliver_reliable_to(
-    viper: &Viper,
-    endpoint: &Endpoint,
-    consumer: &str,
-    tag: &str,
-    payload: &Payload,
+/// One in-flight reliable flow inside an [`ActiveDelivery`].
+struct FlowSend {
+    consumer: String,
+    machine: FlowMachine,
+    /// The wire bytes this flow carries (retransmission source).
+    bytes: Payload,
+    num_chunks: u32,
+    /// This flow is the full-checkpoint retry after a `NeedFull` reply — a
+    /// full can't be rejected for a missing base, so a repeat `NeedFull`
+    /// fails the delivery instead of re-sending.
+    full_retry: bool,
+    /// Envelope kind of `bytes` (trace label on `delta_rejected`).
+    kind: PayloadKind,
+}
+
+/// The fan-out a [`DeliveryTask`] is currently driving. At most one per
+/// producer: the save path blocks on the reply before submitting another.
+struct ActiveDelivery {
+    tag: String,
     link: LinkKind,
-    opts: &ChunkedSend,
     chunk_bytes: u64,
-    counters: &DeliveryCounters,
-    track: &str,
-) -> Result<ReliableOutcome> {
-    let shared = &viper.shared;
-    let telemetry = &shared.config.telemetry;
-    let retry = shared.config.retry;
-    let report = endpoint.send_chunked(consumer, tag, payload.clone(), link, opts)?;
-    let all_chunks: Vec<u32> = (0..report.num_chunks).collect();
-    let mut attempts = 0u32;
-    loop {
-        let deadline = Instant::now() + retry.ack_timeout;
-        let missing: Vec<u32> = loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let msg = if remaining.is_zero() {
-                None
-            } else {
-                endpoint.recv_timeout(remaining)
-            };
-            let Some(msg) = msg else {
-                // No feedback at all before the timeout: assume the worst.
-                break all_chunks.clone();
-            };
-            if msg.kind != MessageKind::Control || msg.from != consumer {
-                continue;
+    payload: Payload,
+    framed_full: Option<Payload>,
+    model: String,
+    iteration: u64,
+    track: String,
+    flows: HashMap<u64, FlowSend>,
+    /// Flows not yet terminal. Terminal flows stay in `flows` so late
+    /// feedback is recognized (and counted stale) instead of mistaken for
+    /// an unknown sender.
+    pending: usize,
+    delivered: usize,
+    fall_back: bool,
+    frontier: SimInstant,
+    reply: Sender<DeliveryDone>,
+}
+
+impl ActiveDelivery {
+    /// Materialize the framed full encoding, at most once per delivery
+    /// (mirrors [`WireCache::full_framed`], including its counters).
+    fn full_framed(&mut self, counters: &DeliveryCounters) -> Payload {
+        self.framed_full
+            .get_or_insert_with(|| {
+                counters.bytes_copied.add(self.payload.len() as u64);
+                counters.payload_allocs.inc();
+                Payload::from(wire::frame(PayloadKind::Full, &self.payload))
+            })
+            .clone()
+    }
+}
+
+/// The producer's reactor task: owns every reliable flow this producer has
+/// in flight as an explicit [`FlowMachine`], driven by feedback mail and
+/// virtual-clock ack timers (timer token = flow id). Replaces the old
+/// blocking loop that parked the save thread on a wall-clock
+/// `recv_timeout(ack_timeout)` per consumer: an `ack_timeout` with no
+/// feedback at all now surfaces as a quiescence-fired timer and
+/// blind-resends the whole flow — charging the identical backoff to the
+/// virtual clock, but holding no thread while "waiting". NACKs retransmit
+/// exactly the missing chunks. Every retransmission round is preceded by a
+/// [`Control::Round`] frame announcing the new generation, so the consumer
+/// echoes it back and feedback from superseded rounds is dropped (and
+/// counted) instead of acted on.
+pub(crate) struct DeliveryTask {
+    viper: Viper,
+    endpoint: Arc<Endpoint>,
+    codec: Arc<PayloadCodec>,
+    counters: Arc<DeliveryCounters>,
+    active: Option<ActiveDelivery>,
+}
+
+impl DeliveryTask {
+    pub(crate) fn new(
+        viper: Viper,
+        endpoint: Arc<Endpoint>,
+        codec: Arc<PayloadCodec>,
+        counters: Arc<DeliveryCounters>,
+    ) -> Self {
+        DeliveryTask {
+            viper,
+            endpoint,
+            codec,
+            counters,
+            active: None,
+        }
+    }
+
+    /// Arm (or re-arm) a flow's ack timer. The deadline only ever moves
+    /// forward: `completed_at` for a fresh send, `clock.now()` after a
+    /// retransmission round (both are past the previous arming instant).
+    fn arm_ack_timer(&self, ctx: &mut TaskCtx<'_>, flow_id: u64, from: SimInstant) {
+        let shared = &self.viper.shared;
+        let deadline = shared
+            .clock
+            .now()
+            .max(from)
+            .add(shared.config.retry.ack_timeout);
+        ctx.arm_timer_at(flow_id, deadline);
+    }
+
+    /// Launch one flow (initial fan-out or the full retry after `NeedFull`)
+    /// and register its state machine. Returns false if the consumer is
+    /// gone (deregistered mid-shutdown) — a race, not a delivery failure.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_flow(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        consumer: String,
+        bytes: Payload,
+        kind: PayloadKind,
+        opts: &ChunkedSend,
+        full_retry: bool,
+    ) -> bool {
+        let max_retries = self.viper.shared.config.retry.max_retries;
+        let active = self.active.as_mut().expect("launch requires an active job");
+        match self
+            .endpoint
+            .send_chunked(&consumer, &active.tag, bytes.clone(), active.link, opts)
+        {
+            Ok(report) => {
+                let mut machine = FlowMachine::new(max_retries);
+                machine.on_event(FlowEvent::Sent);
+                active.flows.insert(
+                    report.flow_id,
+                    FlowSend {
+                        consumer,
+                        machine,
+                        bytes,
+                        num_chunks: report.num_chunks,
+                        full_retry,
+                        kind,
+                    },
+                );
+                active.pending += 1;
+                self.arm_ack_timer(ctx, report.flow_id, report.completed_at);
+                true
             }
-            // Control frames are always unframed; a framed payload here is
-            // a mis-tagged chunk and decodes to `None` below.
-            match Control::decode(msg.payload.as_contiguous().unwrap_or(&[])) {
-                Some(Control::Ack { flow_id }) if flow_id == report.flow_id => {
-                    return Ok(ReliableOutcome::Acked(msg.arrived_at));
-                }
-                Some(Control::NeedFull { flow_id }) if flow_id == report.flow_id => {
-                    return Ok(ReliableOutcome::NeedFull(msg.arrived_at));
-                }
-                Some(Control::Nack { flow_id, missing }) if flow_id == report.flow_id => {
-                    break if missing.is_empty() {
-                        all_chunks.clone()
-                    } else {
-                        missing
-                    };
-                }
-                // Feedback about an older flow (or garbage): ignore.
-                _ => {}
-            }
-        };
-        attempts += 1;
-        if attempts > retry.max_retries {
-            return Err(ViperError::RetriesExhausted {
-                consumer: consumer.to_string(),
-                tag: tag.to_string(),
-                attempts: attempts - 1,
+            Err(_) => false,
+        }
+    }
+
+    /// Abort a flow whose consumer vanished mid-delivery (send error):
+    /// remove it entirely — there is no peer left to feed its machine.
+    fn abort_flow(&mut self, ctx: &mut TaskCtx<'_>, flow_id: u64) {
+        ctx.cancel_timer(flow_id);
+        let active = self.active.as_mut().expect("abort requires an active job");
+        if active.flows.remove(&flow_id).is_some() {
+            active.pending -= 1;
+        }
+        self.maybe_finish();
+    }
+
+    /// If every flow reached a terminal state, send the job reply and
+    /// release the active delivery (unblocking the save path).
+    fn maybe_finish(&mut self) {
+        if self.active.as_ref().is_some_and(|a| a.pending == 0) {
+            let active = self.active.take().expect("checked above");
+            let _ = active.reply.send(DeliveryDone {
+                delivered: active.delivered,
+                fall_back: active.fall_back,
+                frontier: active.frontier,
             });
         }
-        counters.retransmits.inc();
-        let t0 = telemetry.now_ns();
-        charge(&shared.clock, retry.backoff(attempts));
-        telemetry.complete(
-            "producer",
-            "backoff",
-            track,
-            t0,
-            telemetry.now_ns(),
-            &[("attempt", attempts.into())],
+    }
+
+    /// Apply a [`FlowAction`] produced by a flow's state machine.
+    /// `arrived` is the feedback frame's arrival instant (None for timer
+    /// fires — a timeout observes nothing, so it extends no frontier).
+    fn handle_action(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        flow_id: u64,
+        action: FlowAction,
+        arrived: Option<SimInstant>,
+    ) {
+        let shared = Arc::clone(&self.viper.shared);
+        let telemetry = &shared.config.telemetry;
+        let retry = shared.config.retry;
+        match action {
+            FlowAction::None => {}
+            FlowAction::DroppedStale => {
+                self.counters.stale_feedback.inc();
+            }
+            FlowAction::Complete => {
+                ctx.cancel_timer(flow_id);
+                let active = self.active.as_mut().expect("flow belongs to a job");
+                let flow = &active.flows[&flow_id];
+                self.codec
+                    .note_acked(&flow.consumer, &active.model, active.iteration);
+                if let Some(at) = arrived {
+                    active.frontier = active.frontier.max(at);
+                }
+                active.delivered += 1;
+                active.pending -= 1;
+                self.maybe_finish();
+            }
+            FlowAction::NeedFull => {
+                ctx.cancel_timer(flow_id);
+                let active = self.active.as_mut().expect("flow belongs to a job");
+                let flow = &active.flows[&flow_id];
+                let consumer = flow.consumer.clone();
+                let was_full_retry = flow.full_retry;
+                let kind = flow.kind;
+                active.pending -= 1;
+                if was_full_retry {
+                    // A full can't be rejected for a missing base; treat a
+                    // repeat NeedFull as a failed delivery.
+                    self.maybe_finish();
+                    return;
+                }
+                // The consumer lost the base this delta applies to
+                // (restart, missed flow): reset its tracking and re-send
+                // the update as a full on a fresh flow.
+                if let Some(at) = arrived {
+                    active.frontier = active.frontier.max(at);
+                }
+                let chunk_bytes = active.chunk_bytes;
+                let full = active.full_framed(&self.counters);
+                self.codec.forget(&consumer, &active.model);
+                self.counters.delta_fallbacks.inc();
+                if telemetry.is_enabled() {
+                    telemetry.instant(
+                        "producer",
+                        "delta_rejected",
+                        &self.active.as_ref().expect("still active").track,
+                        &[
+                            ("consumer", consumer.as_str().into()),
+                            ("kind", kind.label().into()),
+                        ],
+                    );
+                }
+                self.launch_flow(
+                    ctx,
+                    consumer,
+                    full,
+                    PayloadKind::Full,
+                    &ChunkedSend::new(chunk_bytes),
+                    true,
+                );
+                self.maybe_finish();
+            }
+            FlowAction::Retransmit {
+                generation,
+                missing,
+                attempt,
+            } => {
+                self.counters.retransmits.inc();
+                let active = self.active.as_mut().expect("flow belongs to a job");
+                let flow = &active.flows[&flow_id];
+                let missing: Vec<u32> = if missing.is_empty() {
+                    // Blind resend: no NACK narrowed the loss down.
+                    (0..flow.num_chunks).collect()
+                } else {
+                    missing
+                };
+                let t0 = telemetry.now_ns();
+                charge(&shared.clock, retry.backoff(attempt));
+                telemetry.complete(
+                    "producer",
+                    "backoff",
+                    &active.track,
+                    t0,
+                    telemetry.now_ns(),
+                    &[("attempt", attempt.into())],
+                );
+                // Announce the round before its chunks: the fabric preserves
+                // per-sender order, so the consumer learns the generation
+                // first and stamps it into all further feedback.
+                let round = Control::Round {
+                    flow_id,
+                    generation,
+                };
+                if self
+                    .endpoint
+                    .send_control(&flow.consumer, &active.tag, &round, active.link)
+                    .is_err()
+                {
+                    self.abort_flow(ctx, flow_id);
+                    return;
+                }
+                let t1 = telemetry.now_ns();
+                let active = self.active.as_mut().expect("still active");
+                let flow = &active.flows[&flow_id];
+                match self.endpoint.retransmit_chunks(
+                    &flow.consumer,
+                    &active.tag,
+                    &flow.bytes,
+                    active.link,
+                    flow_id,
+                    active.chunk_bytes,
+                    &missing,
+                ) {
+                    Ok(_) => {
+                        telemetry.complete(
+                            "producer",
+                            "retransmit_round",
+                            &active.track,
+                            t1,
+                            telemetry.now_ns(),
+                            &[
+                                ("attempt", attempt.into()),
+                                ("missing", missing.len().into()),
+                            ],
+                        );
+                        self.arm_ack_timer(ctx, flow_id, shared.clock.now());
+                    }
+                    Err(_) => self.abort_flow(ctx, flow_id),
+                }
+            }
+            FlowAction::Exhausted { .. } => {
+                ctx.cancel_timer(flow_id);
+                self.counters.exhausted.inc();
+                let active = self.active.as_mut().expect("flow belongs to a job");
+                let flow = &active.flows[&flow_id];
+                let consumer = flow.consumer.clone();
+                self.codec.forget(&consumer, &active.model);
+                if telemetry.is_enabled() {
+                    telemetry.instant(
+                        "producer",
+                        "retries_exhausted",
+                        &active.track,
+                        &[("consumer", consumer.as_str().into())],
+                    );
+                }
+                active.fall_back = true;
+                active.pending -= 1;
+                self.maybe_finish();
+            }
+        }
+    }
+
+    /// Feed one decoded control frame to its flow's state machine.
+    fn on_control(&mut self, from: &str, control: Control) -> Option<(u64, FlowAction)> {
+        let flow_id = control.flow_id();
+        let event = match control {
+            Control::Ack { generation, .. } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::Ack,
+            },
+            Control::NeedFull { generation, .. } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::NeedFull,
+            },
+            Control::Nack {
+                generation,
+                missing,
+                ..
+            } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::Nack { missing },
+            },
+            // `Round` is a sender-side frame; one arriving here is garbage.
+            Control::Round { .. } => return None,
+        };
+        let Some(active) = self.active.as_mut() else {
+            // Feedback with no delivery in flight: a complaint about a
+            // superseded flow (e.g. a reap-NACK racing job completion).
+            self.counters.stale_feedback.inc();
+            return None;
+        };
+        let Some(flow) = active.flows.get_mut(&flow_id) else {
+            self.counters.stale_feedback.inc();
+            return None;
+        };
+        if flow.consumer != from {
+            self.counters.stale_feedback.inc();
+            return None;
+        }
+        Some((flow_id, flow.machine.on_event(event)))
+    }
+}
+
+impl ReactorTask for DeliveryTask {
+    fn on_mail(&mut self, ctx: &mut TaskCtx<'_>) {
+        while let Some(msg) = self.endpoint.try_recv() {
+            if msg.kind != MessageKind::Control {
+                continue;
+            }
+            // Control frames are always unframed; anything that fails to
+            // decode is a mis-tagged chunk and is dropped here.
+            let Some(control) = Control::decode(msg.payload.as_contiguous().unwrap_or(&[])) else {
+                continue;
+            };
+            if let Some((flow_id, action)) = self.on_control(&msg.from, control) {
+                self.handle_action(ctx, flow_id, action, Some(msg.arrived_at));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
+        // Ack timers fire only at reactor quiescence: every surviving chunk
+        // and feedback frame has been processed, so silence here means the
+        // virtual `ack_timeout` genuinely elapsed with nothing heard. The
+        // wait itself charges nothing — exactly like the old wall-clock
+        // `recv_timeout`, which parked a thread without touching the clock.
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        let Some(flow) = active.flows.get_mut(&token) else {
+            return;
+        };
+        let action = flow.machine.on_event(FlowEvent::AckTimeout);
+        self.handle_action(ctx, token, action, None);
+    }
+
+    fn on_job(&mut self, job: Box<dyn Any + Send>, ctx: &mut TaskCtx<'_>) {
+        let Ok(job) = job.downcast::<DeliveryJob>() else {
+            return;
+        };
+        let job = *job;
+        debug_assert!(
+            self.active.is_none(),
+            "one reliable fan-out per producer at a time"
         );
-        let t1 = telemetry.now_ns();
-        endpoint.retransmit_chunks(
-            consumer,
-            tag,
-            payload,
-            link,
-            report.flow_id,
-            chunk_bytes,
-            &missing,
-        )?;
-        telemetry.complete(
-            "producer",
-            "retransmit_round",
-            track,
-            t1,
-            telemetry.now_ns(),
-            &[
-                ("attempt", attempts.into()),
-                ("missing", missing.len().into()),
-            ],
-        );
+        self.active = Some(ActiveDelivery {
+            tag: job.tag,
+            link: job.link,
+            chunk_bytes: job.chunk_bytes,
+            payload: job.payload,
+            framed_full: job.framed_full,
+            model: job.model,
+            iteration: job.iteration,
+            track: job.track,
+            flows: HashMap::new(),
+            pending: 0,
+            delivered: 0,
+            fall_back: false,
+            frontier: job.frontier,
+            reply: job.reply,
+        });
+        let mut capture = job.capture;
+        let chunk_bytes = self.active.as_ref().expect("just set").chunk_bytes;
+        for (consumer, wire_payload) in job.consumers {
+            let mut opts = ChunkedSend::new(chunk_bytes);
+            if let Some((bw, fixed, once)) = capture {
+                opts = opts.with_capture(bw, fixed, once);
+            }
+            if self.launch_flow(
+                ctx,
+                consumer,
+                wire_payload.bytes,
+                wire_payload.kind,
+                &opts,
+                false,
+            ) {
+                // The snapshot happens once; further flows re-send the
+                // already captured chunks.
+                capture = None;
+            }
+        }
+        self.maybe_finish();
     }
 }
 

@@ -95,6 +95,13 @@ pub struct ViperConfig {
     /// the consumer's stale-flow reaping, even when `reliable_delivery` is
     /// off, so lost flows cannot pin reassembly buffers forever).
     pub retry: viper_net::RetryPolicy,
+    /// Worker-thread budget for the delivery reactor's CRC pool. The
+    /// reactor itself is always one scheduler thread; this only sizes the
+    /// pool that checksums incoming chunk batches. `1` (the default) means
+    /// inline verification with no extra threads. Any value produces
+    /// bit-identical virtual timings and traces — results are merged
+    /// positionally, never by completion order.
+    pub reactor_threads: usize,
     /// Telemetry handle shared by every component of the deployment
     /// (producers, consumers, fabric, pub/sub broker, predictor calls).
     /// Disabled by default — the disabled path records nothing and never
@@ -124,6 +131,7 @@ impl Default for ViperConfig {
             reliable_delivery: false,
             delta_transfer: false,
             retry: viper_net::RetryPolicy::default(),
+            reactor_threads: 1,
             telemetry: viper_telemetry::Telemetry::disabled(),
         }
     }
@@ -204,6 +212,13 @@ impl ViperConfig {
         self
     }
 
+    /// Set the delivery reactor's CRC worker budget (builder style).
+    /// Clamped to at least 1 at deployment construction.
+    pub fn with_reactor_threads(mut self, threads: usize) -> Self {
+        self.reactor_threads = threads;
+        self
+    }
+
     /// Install a telemetry handle (builder style). Pass
     /// [`viper_telemetry::Telemetry::enabled`] to capture traces; the
     /// deployment binds the handle to its virtual clock on construction.
@@ -231,6 +246,13 @@ mod tests {
         assert!(c.fault_plan.is_none(), "no faults by default");
         assert!(!c.reliable_delivery, "reliability machinery off by default");
         assert!(!c.delta_transfer, "full checkpoints stay the default");
+        assert_eq!(c.reactor_threads, 1, "inline CRC verification by default");
+    }
+
+    #[test]
+    fn builder_sets_reactor_threads() {
+        let c = ViperConfig::default().with_reactor_threads(4);
+        assert_eq!(c.reactor_threads, 4);
     }
 
     #[test]

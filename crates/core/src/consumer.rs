@@ -1,5 +1,12 @@
 //! The consumer side: push-notified model loading into a double-buffered
 //! slot, plus the paper's blocking `load_weights()` API.
+//!
+//! Since the delivery-reactor rework the consumer owns **no thread**: a
+//! [`ConsumerTask`] registered on the deployment's reactor drains the
+//! endpoint when the fabric signals mail, reaps stale partial flows on a
+//! virtual-clock timer, and runs update discovery on broadcast wakeups.
+//! The old listener thread's 2 ms `recv_timeout` poll is gone entirely —
+//! an idle consumer consumes no CPU and performs zero reap scans.
 
 use crate::config::DiscoveryMode;
 use crate::context::Viper;
@@ -7,16 +14,19 @@ use crate::producer::{charge_apply, charge_apply_at};
 use crate::slot::ModelSlot;
 use crate::{Result, ViperError, UPDATE_TOPIC};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viper_formats::{
     delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, Payload, PayloadKind,
 };
 use viper_hw::{Route, SimInstant, Tier};
-use viper_net::{Control, MessageKind};
+use viper_net::{Control, LinkKind, MessageKind, ReactorTask, TaskCtx};
 use viper_telemetry::Counter;
+
+/// Timer token for the stale-flow reap timer (flow ids are never handed to
+/// the consumer task's timers, so 0 is free).
+const REAP_TIMER: u64 = 0;
 
 /// Details of the most recent completed model update on the consumer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +69,10 @@ struct ConsumerState {
     /// flows (the chunk body is released as the whole payload, zero-copy);
     /// multi-chunk flows gather their bodies into one buffer.
     bytes_copied: Counter,
-    /// Delivery errors observed by the listener (abandoned flows etc.).
+    /// Stale-flow reap scans performed (timer-driven). Zero while idle:
+    /// the reap timer is armed only while partial flows exist.
+    reap_scans: Counter,
+    /// Delivery errors observed by the reactor task (abandoned flows etc.).
     errors: Mutex<Vec<ViperError>>,
     /// Telemetry track for this consumer's events.
     track: String,
@@ -71,8 +84,6 @@ pub struct Consumer {
     node: String,
     model_name: String,
     state: Arc<ConsumerState>,
-    stop: Arc<AtomicBool>,
-    listener: Option<JoinHandle<()>>,
 }
 
 impl Consumer {
@@ -95,40 +106,40 @@ impl Consumer {
             deltas_applied: telemetry.counter(&format!("consumer.{node}.deltas_applied")),
             fulls_requested: telemetry.counter(&format!("consumer.{node}.fulls_requested")),
             bytes_copied: telemetry.counter(&format!("consumer.{node}.bytes_copied")),
+            reap_scans: telemetry.counter(&format!("consumer.{node}.reap_scans")),
             errors: Mutex::new(Vec::new()),
             track: format!("consumer:{node}"),
         });
-        let stop = Arc::new(AtomicBool::new(false));
         let format = viper.shared.config.format.build();
 
-        let listener = {
-            let viper = viper.clone();
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            let model_name = model_name.to_string();
-            std::thread::Builder::new()
-                .name(format!("viper-consumer-{node}"))
-                .spawn(move || {
-                    listener_loop(
-                        &viper,
-                        &endpoint,
-                        &subscription,
-                        &state,
-                        &stop,
-                        &model_name,
-                        &*format,
-                    );
-                })
-                .expect("spawn consumer listener")
-        };
+        // All consumer-side event handling — reassembly, CRC checking,
+        // feedback, reaping, discovery — lives on the deployment's reactor.
+        // No per-consumer thread, no poll loop.
+        let reliable = viper.shared.config.reliable_delivery;
+        let delta_mode = viper.shared.config.delta_transfer && reliable;
+        viper.shared.reactor.register(
+            node,
+            Box::new(ConsumerTask {
+                viper: viper.clone(),
+                endpoint,
+                subscription,
+                state: Arc::clone(&state),
+                model_name: model_name.to_string(),
+                format,
+                assembler: viper_net::FlowAssembler::new(),
+                reassembly_copied: 0,
+                apply_free: SimInstant::ZERO,
+                reliable,
+                delta_mode,
+                generations: HashMap::new(),
+            }),
+        );
 
         Consumer {
             viper,
             node: node.to_string(),
             model_name: model_name.to_string(),
             state,
-            stop,
-            listener: Some(listener),
         }
     }
 
@@ -226,7 +237,14 @@ impl Consumer {
         self.state.bytes_copied.get()
     }
 
-    /// Delivery errors the listener has observed so far.
+    /// Stale-flow reap scans performed by the reactor task. Zero while the
+    /// consumer is idle or every flow completes in the batch it arrived in:
+    /// the reap timer is armed only while a partial flow exists.
+    pub fn reap_scans(&self) -> u64 {
+        self.state.reap_scans.get()
+    }
+
+    /// Delivery errors the reactor task has observed so far.
     pub fn delivery_errors(&self) -> Vec<ViperError> {
         self.state.errors.lock().clone()
     }
@@ -346,10 +364,10 @@ impl Consumer {
 
 impl Drop for Consumer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(handle) = self.listener.take() {
-            let _ = handle.join();
-        }
+        // Deregistering is synchronous: when it returns the task (and its
+        // endpoint, whose drop detaches the node from the fabric) is gone,
+        // so no further event can touch this consumer's state.
+        self.viper.shared.reactor.deregister(&self.node);
         self.viper
             .shared
             .consumers
@@ -358,164 +376,218 @@ impl Drop for Consumer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn listener_loop(
-    viper: &Viper,
-    endpoint: &viper_net::Endpoint,
-    subscription: &viper_metastore::Subscription<viper_metastore::ModelRecord>,
-    state: &ConsumerState,
-    stop: &AtomicBool,
-    model_name: &str,
-    format: &dyn CheckpointFormat,
-) {
-    // Chunked flows reassemble here; the double-buffered slot only ever
-    // sees whole payloads, so a partially transferred model can never be
-    // observed (let alone served).
-    let mut assembler = viper_net::FlowAssembler::new();
-    // Mirror of the assembler's cumulative gather-copy count already
-    // published to the telemetry counter.
-    let mut reassembly_copied = 0u64;
-    let reliable = viper.shared.config.reliable_delivery;
-    // Delta wire payloads only exist on the ACK-gated path (a base is only
-    // "acknowledged" through the ACK channel), mirroring the producer-side
-    // codec's activation rule.
-    let delta_mode = viper.shared.config.delta_transfer && reliable;
-    let retry = viper.shared.config.retry;
-    let telemetry = &viper.shared.config.telemetry;
+/// A batch of CRC-corrupt chunks of one flow observed in one mail drain.
+/// They are NACKed together — one control frame per damaged flow per drain
+/// — instead of one NACK per chunk, so a burst of corruption triggers one
+/// retransmission round, not a NACK storm racing its own repairs.
+struct CorruptBatch {
+    from: String,
+    flow_id: u64,
+    tag: String,
+    link: LinkKind,
+    chunks: Vec<u32>,
+}
 
-    // Verify, apply, and install one whole direct-push payload. The apply
-    // cost is derived from the link the payload actually traversed, not the
-    // configured default — the Transfer Selector may have rerouted under
-    // pressure. The charge is based on the payload's virtual *arrival*
-    // (chained behind any apply still in progress on this listener), never
-    // on `clock.now()`: the producer advances the shared clock concurrently,
-    // and a now-based charge would make install timestamps depend on thread
-    // scheduling instead of on the modeled timeline.
-    //
-    // Returns `true` when the payload was a delta this consumer cannot
-    // apply (base missing or stale): the caller answers the flow with a
-    // `NeedFull` control reply instead of an ACK, and the producer re-sends
-    // the update as a full checkpoint.
-    let mut apply_free = SimInstant::ZERO;
-    let mut apply_payload =
-        |link: viper_net::LinkKind, tag: &str, payload: &Payload, arrived: SimInstant| -> bool {
-            let route = match link {
-                viper_net::LinkKind::GpuDirect => Route::GpuToGpu,
-                _ => Route::HostToHost,
-            };
-            // A tag without a parseable version is a malformed delivery:
-            // skip and count it rather than silently installing it as v0.
-            let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
-                state.malformed_tags.inc();
-                state.errors.lock().push(ViperError::Invalid(format!(
-                    "malformed delivery tag: {tag}"
-                )));
-                return false;
-            };
-            // With delta transfer on, the wire carries an explicit payload-kind
-            // envelope and the body is dispatched by header — never sniffed.
-            // With it off, the bytes are exactly the raw configured format.
-            let (kind, body): (PayloadKind, &[u8]) = if delta_mode {
-                match wire::unframe(payload) {
-                    Ok(parts) => parts,
-                    Err(e) => {
-                        // CRC-clean flow, broken envelope: unusable as-is, so
-                        // recover by asking for a full checkpoint.
-                        state.errors.lock().push(ViperError::Format(e));
-                        return true;
-                    }
-                }
-            } else {
-                (PayloadKind::Full, payload.as_slice())
-            };
-            let ckpt = match kind {
-                PayloadKind::Full => {
-                    let Ok(ckpt) = format.decode(body) else {
-                        return false;
-                    };
-                    ckpt
-                }
-                PayloadKind::Delta => {
-                    let Ok(d) = DeltaCheckpoint::decode(body) else {
-                        return true;
-                    };
-                    if d.model_name != model_name {
-                        // Not this consumer's model: drop it silently, exactly
-                        // like the full path (an ACK still attests receipt).
-                        return false;
-                    }
-                    // Reconstruct against the currently served base *before*
-                    // the atomic install-if-newer swap; a missing or stale base
-                    // means the delta is unusable and a full must be re-sent.
-                    let Some(base) = state.slot.current() else {
-                        return true;
-                    };
-                    if base.iteration != d.base_iteration {
-                        return true;
-                    }
-                    let Ok(ckpt) = delta::apply(&base, &d) else {
-                        return true;
-                    };
-                    state.deltas_applied.inc();
-                    ckpt
-                }
-            };
-            if ckpt.model_name != model_name {
-                return false;
-            }
-            // The apply is charged on the bytes that actually traveled — a
-            // delta's reconstruction pass is proportionally cheaper.
-            let bytes = payload.len() as u64;
-            // The consumer acts on the update *notification*, which
-            // trails the pushed payload by the pubsub hop — the
-            // `notify` term of `UpdateCosts::update_latency`.
-            let notified = arrived.add(viper.shared.config.profile.notify_latency);
-            let start = notified.max(apply_free);
-            // The +100ns is the §4.2 "negligible" swap, kept visible
-            // so trace ordering shows apply-then-swap.
-            let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
-                .add(Duration::from_nanos(100));
-            apply_free = done;
-            install_at(viper, state, ckpt, version, done);
-            // A Complete (X) event rather than Begin/End: recover()
-            // on the user's thread may install on this track
-            // concurrently, and X events cannot break span nesting.
-            telemetry.complete(
-                "consumer",
-                "install",
-                &state.track,
-                start.as_nanos(),
-                done.as_nanos(),
-                &[
-                    ("version", version.into()),
-                    ("bytes", bytes.into()),
-                    ("kind", kind.label().into()),
-                ],
-            );
-            false
+/// The consumer's reactor task. Owns everything the old listener thread
+/// owned — reassembly state, the apply pipeline's causal cursor, the
+/// update subscription — but is driven by events instead of a poll loop:
+///
+/// * **mail** (fabric enqueued messages): drain, CRC-check the batch on
+///   the reactor's worker pool, feed the assembler, reply ACK / NACK /
+///   NeedFull stamped with the flow's current retransmission generation;
+/// * **timer** (virtual-clock deadline): reap stale partial flows, armed
+///   only while a partial flow exists;
+/// * **wake** (update announcement): run discovery (push subscription or
+///   the polling baseline).
+struct ConsumerTask {
+    viper: Viper,
+    endpoint: viper_net::Endpoint,
+    subscription: viper_metastore::Subscription<viper_metastore::ModelRecord>,
+    state: Arc<ConsumerState>,
+    model_name: String,
+    format: Box<dyn CheckpointFormat>,
+    /// Chunked flows reassemble here; the double-buffered slot only ever
+    /// sees whole payloads, so a partially transferred model can never be
+    /// observed (let alone served).
+    assembler: viper_net::FlowAssembler,
+    /// Mirror of the assembler's cumulative gather-copy count already
+    /// published to the telemetry counter.
+    reassembly_copied: u64,
+    /// Virtual instant the previous apply finishes (applies serialize).
+    apply_free: SimInstant,
+    reliable: bool,
+    /// Delta wire payloads only exist on the ACK-gated path (a base is
+    /// only "acknowledged" through the ACK channel), mirroring the
+    /// producer-side codec's activation rule.
+    delta_mode: bool,
+    /// Current retransmission generation per flow, learned from the
+    /// producer's [`Control::Round`] frames (which precede each round's
+    /// chunks in fabric order). Echoed back in every feedback frame so the
+    /// producer can drop feedback about superseded rounds. Entries are
+    /// pruned when the flow completes or is abandoned.
+    generations: HashMap<(String, u64), u64>,
+}
+
+impl ConsumerTask {
+    /// The generation to stamp into feedback about `(from, flow_id)`.
+    fn generation_of(&self, from: &str, flow_id: u64) -> u64 {
+        self.generations
+            .get(&(from.to_string(), flow_id))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Verify, apply, and install one whole direct-push payload. The apply
+    /// cost is derived from the link the payload actually traversed, not
+    /// the configured default — the Transfer Selector may have rerouted
+    /// under pressure. The charge is based on the payload's virtual
+    /// *arrival* (chained behind any apply still in progress on this
+    /// consumer), never on `clock.now()`: the producer advances the shared
+    /// clock concurrently, and a now-based charge would make install
+    /// timestamps depend on thread scheduling instead of on the modeled
+    /// timeline.
+    ///
+    /// Returns `true` when the payload was a delta this consumer cannot
+    /// apply (base missing or stale): the caller answers the flow with a
+    /// `NeedFull` control reply instead of an ACK, and the producer
+    /// re-sends the update as a full checkpoint.
+    fn apply_payload(
+        &mut self,
+        link: LinkKind,
+        tag: &str,
+        payload: &Payload,
+        arrived: SimInstant,
+    ) -> bool {
+        let viper = &self.viper;
+        let state = &self.state;
+        let telemetry = &viper.shared.config.telemetry;
+        let route = match link {
+            LinkKind::GpuDirect => Route::GpuToGpu,
+            _ => Route::HostToHost,
         };
+        // A tag without a parseable version is a malformed delivery:
+        // skip and count it rather than silently installing it as v0.
+        let Some(version) = tag.rsplit(':').next().and_then(|v| v.parse::<u64>().ok()) else {
+            state.malformed_tags.inc();
+            state.errors.lock().push(ViperError::Invalid(format!(
+                "malformed delivery tag: {tag}"
+            )));
+            return false;
+        };
+        // With delta transfer on, the wire carries an explicit payload-kind
+        // envelope and the body is dispatched by header — never sniffed.
+        // With it off, the bytes are exactly the raw configured format.
+        let (kind, body): (PayloadKind, &[u8]) = if self.delta_mode {
+            match wire::unframe(payload) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    // CRC-clean flow, broken envelope: unusable as-is, so
+                    // recover by asking for a full checkpoint.
+                    state.errors.lock().push(ViperError::Format(e));
+                    return true;
+                }
+            }
+        } else {
+            (PayloadKind::Full, payload.as_slice())
+        };
+        let ckpt = match kind {
+            PayloadKind::Full => {
+                let Ok(ckpt) = self.format.decode(body) else {
+                    return false;
+                };
+                ckpt
+            }
+            PayloadKind::Delta => {
+                let Ok(d) = DeltaCheckpoint::decode(body) else {
+                    return true;
+                };
+                if d.model_name != self.model_name {
+                    // Not this consumer's model: drop it silently, exactly
+                    // like the full path (an ACK still attests receipt).
+                    return false;
+                }
+                // Reconstruct against the currently served base *before*
+                // the atomic install-if-newer swap; a missing or stale base
+                // means the delta is unusable and a full must be re-sent.
+                let Some(base) = state.slot.current() else {
+                    return true;
+                };
+                if base.iteration != d.base_iteration {
+                    return true;
+                }
+                let Ok(ckpt) = delta::apply(&base, &d) else {
+                    return true;
+                };
+                state.deltas_applied.inc();
+                ckpt
+            }
+        };
+        if ckpt.model_name != self.model_name {
+            return false;
+        }
+        // The apply is charged on the bytes that actually traveled — a
+        // delta's reconstruction pass is proportionally cheaper.
+        let bytes = payload.len() as u64;
+        // The consumer acts on the update *notification*, which trails the
+        // pushed payload by the pubsub hop — the `notify` term of
+        // `UpdateCosts::update_latency`.
+        let notified = arrived.add(viper.shared.config.profile.notify_latency);
+        let start = notified.max(self.apply_free);
+        // The +100ns is the §4.2 "negligible" swap, kept visible so trace
+        // ordering shows apply-then-swap.
+        let done = charge_apply_at(viper, route, bytes, ckpt.ntensors(), start)
+            .add(Duration::from_nanos(100));
+        self.apply_free = done;
+        install_at(viper, state, ckpt, version, done);
+        // A Complete (X) event rather than Begin/End: recover() on the
+        // user's thread may install on this track concurrently, and X
+        // events cannot break span nesting.
+        telemetry.complete(
+            "consumer",
+            "install",
+            &state.track,
+            start.as_nanos(),
+            done.as_nanos(),
+            &[
+                ("version", version.into()),
+                ("bytes", bytes.into()),
+                ("kind", kind.label().into()),
+            ],
+        );
+        false
+    }
 
-    while !stop.load(Ordering::Acquire) {
-        // Direct-push payloads (memory routes). Drain the whole queue
-        // before considering stale-flow reaps: chunks already delivered
-        // but not yet processed must never be mistaken for a stalled
-        // sender (a slow receiver would otherwise NACK data it is holding).
-        let mut next = endpoint.recv_timeout(Duration::from_millis(2));
-        while let Some(msg) = next.take() {
-            next = endpoint.try_recv();
-            let status = assembler.accept(msg);
+    /// Drain the endpoint completely, CRC-checking the batch on the
+    /// reactor's worker pool, and act on every resulting flow status.
+    /// Draining everything before replying or reaping means chunks already
+    /// delivered but not yet processed are never mistaken for losses.
+    fn drain(&mut self, ctx: &mut TaskCtx<'_>) {
+        let mut msgs = Vec::new();
+        while let Some(msg) = self.endpoint.try_recv() {
+            msgs.push(msg);
+        }
+        if msgs.is_empty() {
+            return;
+        }
+        // Checksums fan out to the CRC pool; results come back in input
+        // order, so behavior is independent of the pool's size.
+        let batch = ctx.crc().crc_batch(msgs);
+        let telemetry = self.viper.shared.config.telemetry.clone();
+        let mut corrupt: Vec<CorruptBatch> = Vec::new();
+        for (msg, crc) in batch {
+            let status = self.assembler.accept_with_crc(msg, crc);
             // Publish reassembly copies before acting on the status: a
             // completed flow notifies waiters, and the counter must already
             // cover the gather that produced it.
-            let copied = assembler.bytes_copied();
-            if copied > reassembly_copied {
-                state.bytes_copied.add(copied - reassembly_copied);
-                reassembly_copied = copied;
+            let copied = self.assembler.bytes_copied();
+            if copied > self.reassembly_copied {
+                self.state.bytes_copied.add(copied - self.reassembly_copied);
+                self.reassembly_copied = copied;
             }
             match status {
                 viper_net::FlowStatus::Buffered => {}
                 viper_net::FlowStatus::Malformed => {
-                    state.malformed_chunks.inc();
+                    self.state.malformed_chunks.inc();
                 }
                 viper_net::FlowStatus::Corrupt {
                     from,
@@ -524,34 +596,44 @@ fn listener_loop(
                     tag,
                     link,
                 } => {
-                    state.corrupt_chunks.inc();
-                    if reliable {
-                        let nack = Control::Nack {
-                            flow_id,
-                            missing: vec![chunk_index],
-                        };
-                        if endpoint.send_control(&from, &tag, &nack, link).is_ok() {
-                            state.nacks_sent.inc();
-                            telemetry.instant(
-                                "consumer",
-                                "nack",
-                                &state.track,
-                                &[("flow_id", flow_id.into()), ("chunk", chunk_index.into())],
-                            );
+                    self.state.corrupt_chunks.inc();
+                    if self.reliable {
+                        match corrupt
+                            .iter_mut()
+                            .find(|c| c.flow_id == flow_id && c.from == from)
+                        {
+                            Some(c) => c.chunks.push(chunk_index),
+                            None => corrupt.push(CorruptBatch {
+                                from,
+                                flow_id,
+                                tag,
+                                link,
+                                chunks: vec![chunk_index],
+                            }),
                         }
                     }
                 }
                 viper_net::FlowStatus::Passthrough(msg) => {
-                    // Control frames are sender-bound feedback; a consumer
-                    // has no use for one (and must not decode it as data).
-                    // No feedback channel exists for a passthrough payload,
-                    // so an unusable delta is simply dropped (the producer
-                    // only delta-encodes on the reliable path anyway).
-                    if msg.kind != MessageKind::Control {
+                    if msg.kind == MessageKind::Control {
+                        // The only sender→receiver control frame is `Round`:
+                        // the producer announcing a retransmission round's
+                        // generation ahead of its chunks. Everything else
+                        // (a misrouted ACK/NACK) is dropped undecoded.
+                        if let Some(Control::Round {
+                            flow_id,
+                            generation,
+                        }) = Control::decode(msg.payload.as_contiguous().unwrap_or(&[]))
+                        {
+                            self.generations.insert((msg.from, flow_id), generation);
+                        }
+                    } else {
                         // Passthrough payloads are unframed, so this is a
-                        // zero-copy move of the shared body.
+                        // zero-copy move of the shared body. No feedback
+                        // channel exists for a passthrough payload, so an
+                        // unusable delta is simply dropped (the producer
+                        // only delta-encodes on the reliable path anyway).
                         let payload = msg.payload.into_payload();
-                        let _ = apply_payload(msg.link, &msg.tag, &payload, msg.arrived_at);
+                        let _ = self.apply_payload(msg.link, &msg.tag, &payload, msg.arrived_at);
                     }
                 }
                 viper_net::FlowStatus::Complete(flow) => {
@@ -563,89 +645,99 @@ fn listener_loop(
                     // producer resets its base tracking and re-sends the
                     // update as a full checkpoint on a fresh flow.
                     let need_full =
-                        apply_payload(flow.link, &flow.tag, &flow.payload, flow.completed_at);
-                    if reliable {
+                        self.apply_payload(flow.link, &flow.tag, &flow.payload, flow.completed_at);
+                    if self.reliable {
+                        let generation = self.generation_of(&flow.from, flow.flow_id);
                         let reply = if need_full {
-                            state.fulls_requested.inc();
+                            self.state.fulls_requested.inc();
                             telemetry.instant(
                                 "consumer",
                                 "need_full",
-                                &state.track,
+                                &self.state.track,
                                 &[("flow_id", flow.flow_id.into())],
                             );
                             Control::NeedFull {
                                 flow_id: flow.flow_id,
+                                generation,
                             }
                         } else {
                             Control::Ack {
                                 flow_id: flow.flow_id,
+                                generation,
                             }
                         };
-                        let _ = endpoint.send_control(&flow.from, &flow.tag, &reply, flow.link);
+                        let _ = self
+                            .endpoint
+                            .send_control(&flow.from, &flow.tag, &reply, flow.link);
                     }
+                    self.generations.remove(&(flow.from.clone(), flow.flow_id));
                 }
             }
         }
-        // Stale partial flows: NACK the missing chunks (reliable mode), and
-        // in any mode abandon flows past the NACK budget so lost transfers
-        // cannot pin reassembly buffers forever.
-        if assembler.in_progress() > 0 {
-            for err in assembler.reap(retry.nack_after, retry.max_nacks) {
-                if err.abandoned {
-                    state.flows_abandoned.inc();
-                    telemetry.instant(
-                        "consumer",
-                        "flow_abandoned",
-                        &state.track,
-                        &[
-                            ("flow_id", err.flow_id.into()),
-                            ("missing", err.missing.len().into()),
-                        ],
-                    );
-                    state.errors.lock().push(ViperError::FlowAbandoned {
-                        from: err.from,
-                        tag: err.tag,
-                        missing: err.missing.len(),
-                    });
-                } else if reliable {
-                    let missing_count = err.missing.len();
-                    let nack = Control::Nack {
-                        flow_id: err.flow_id,
-                        missing: err.missing,
-                    };
-                    if endpoint
-                        .send_control(&err.from, &err.tag, &nack, err.link)
-                        .is_ok()
-                    {
-                        state.nacks_sent.inc();
-                        telemetry.instant(
-                            "consumer",
-                            "nack",
-                            &state.track,
-                            &[
-                                ("flow_id", err.flow_id.into()),
-                                ("missing", missing_count.into()),
-                            ],
-                        );
-                    }
-                }
+        // One batched NACK per corrupt flow per drain, stamped with the
+        // flow's current generation.
+        for c in corrupt {
+            let generation = self.generation_of(&c.from, c.flow_id);
+            let missing_count = c.chunks.len();
+            let nack = Control::Nack {
+                flow_id: c.flow_id,
+                generation,
+                missing: c.chunks,
+            };
+            if self
+                .endpoint
+                .send_control(&c.from, &c.tag, &nack, c.link)
+                .is_ok()
+            {
+                self.state.nacks_sent.inc();
+                telemetry.instant(
+                    "consumer",
+                    "nack",
+                    &self.state.track,
+                    &[
+                        ("flow_id", c.flow_id.into()),
+                        ("missing", missing_count.into()),
+                    ],
+                );
             }
         }
-        // Repository-staged updates (PFS route): discovered either via the
-        // push notification (Viper) or by polling the metadata repository
-        // (the TensorFlow-Serving/Triton baseline).
+        self.update_reap_timer(ctx);
+    }
+
+    /// Arm the reap timer at the earliest instant a partial flow can go
+    /// stale, or cancel it when nothing is partially assembled — an idle
+    /// consumer has no timer and performs zero reap scans.
+    fn update_reap_timer(&mut self, ctx: &mut TaskCtx<'_>) {
+        let nack_after = self.viper.shared.config.retry.nack_after;
+        match self.assembler.next_reap_deadline(nack_after) {
+            Some(deadline) => ctx.arm_timer_at(REAP_TIMER, deadline),
+            None => ctx.cancel_timer(REAP_TIMER),
+        }
+    }
+
+    /// Run update discovery: repository-staged updates (PFS route) are
+    /// found either via the push notification (Viper) or by polling the
+    /// metadata repository (the TensorFlow-Serving/Triton baseline).
+    fn discover(&mut self) {
+        let viper = self.viper.clone();
         match viper.shared.config.discovery {
             DiscoveryMode::Push => {
-                while let Some(record) = subscription.try_recv() {
-                    try_pull_from_pfs(viper, state, model_name, format, &record);
+                while let Some(record) = self.subscription.try_recv() {
+                    try_pull_from_pfs(
+                        &viper,
+                        &self.state,
+                        &self.model_name,
+                        &*self.format,
+                        &record,
+                    );
                 }
             }
             DiscoveryMode::Poll { interval } => {
                 // Drain (and ignore) notifications so the broker queue does
                 // not grow; the baseline doesn't listen to them.
-                while subscription.try_recv().is_some() {}
-                if let Some(record) = viper.shared.db.latest(model_name) {
-                    let already = (*state.latest.lock()).map(|u| u.version).unwrap_or(0);
+                while self.subscription.try_recv().is_some() {}
+                if let Some(record) = viper.shared.db.latest(&self.model_name) {
+                    let already = (*self.state.latest.lock()).map(|u| u.version).unwrap_or(0);
                     if record.version > already && record.location == Tier::Pfs.name() {
                         // The poller only notices on its grid: round the
                         // virtual clock up to the next poll tick. Integer
@@ -658,11 +750,94 @@ fn listener_loop(
                             let tick = now.div_ceil(interval_ns).saturating_mul(interval_ns);
                             viper.shared.clock.advance_to(viper_hw::SimInstant(tick));
                         }
-                        try_pull_from_pfs(viper, state, model_name, format, &record);
+                        try_pull_from_pfs(
+                            &viper,
+                            &self.state,
+                            &self.model_name,
+                            &*self.format,
+                            &record,
+                        );
                     }
                 }
             }
         }
+    }
+}
+
+impl ReactorTask for ConsumerTask {
+    fn on_mail(&mut self, ctx: &mut TaskCtx<'_>) {
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, _token: u64, deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
+        // Pick up anything enqueued but not yet signaled first: chunks
+        // already delivered must never be mistaken for losses.
+        self.drain(ctx);
+        if self.assembler.in_progress() == 0 {
+            self.update_reap_timer(ctx);
+            return;
+        }
+        self.state.reap_scans.inc();
+        let retry = self.viper.shared.config.retry;
+        let telemetry = self.viper.shared.config.telemetry.clone();
+        // Timers fire at quiescence without advancing the clock; the scan's
+        // virtual "now" is at least the armed deadline.
+        let now = self.viper.shared.clock.now().max(deadline);
+        // Stale partial flows: NACK the missing chunks (reliable mode), and
+        // in any mode abandon flows past the NACK budget so lost transfers
+        // cannot pin reassembly buffers forever.
+        for err in self
+            .assembler
+            .reap_at(now, retry.nack_after, retry.max_nacks)
+        {
+            if err.abandoned {
+                self.state.flows_abandoned.inc();
+                telemetry.instant(
+                    "consumer",
+                    "flow_abandoned",
+                    &self.state.track,
+                    &[
+                        ("flow_id", err.flow_id.into()),
+                        ("missing", err.missing.len().into()),
+                    ],
+                );
+                self.generations.remove(&(err.from.clone(), err.flow_id));
+                self.state.errors.lock().push(ViperError::FlowAbandoned {
+                    from: err.from,
+                    tag: err.tag,
+                    missing: err.missing.len(),
+                });
+            } else if self.reliable {
+                let generation = self.generation_of(&err.from, err.flow_id);
+                let missing_count = err.missing.len();
+                let nack = Control::Nack {
+                    flow_id: err.flow_id,
+                    generation,
+                    missing: err.missing,
+                };
+                if self
+                    .endpoint
+                    .send_control(&err.from, &err.tag, &nack, err.link)
+                    .is_ok()
+                {
+                    self.state.nacks_sent.inc();
+                    telemetry.instant(
+                        "consumer",
+                        "nack",
+                        &self.state.track,
+                        &[
+                            ("flow_id", err.flow_id.into()),
+                            ("missing", missing_count.into()),
+                        ],
+                    );
+                }
+            }
+        }
+        self.update_reap_timer(ctx);
+    }
+
+    fn on_wake(&mut self, _ctx: &mut TaskCtx<'_>) {
+        self.discover();
     }
 }
 

@@ -6,7 +6,7 @@ use parking_lot::RwLock;
 use std::sync::Arc;
 use viper_hw::{SimClock, StorageTier, Tier};
 use viper_metastore::{MetadataDb, ModelRecord, PubSub};
-use viper_net::Fabric;
+use viper_net::{Fabric, Reactor};
 
 /// Everything shared between the producer and consumer nodes.
 pub(crate) struct Shared {
@@ -19,6 +19,10 @@ pub(crate) struct Shared {
     pub pfs: StorageTier,
     /// Node names of attached consumers (direct-push destinations).
     pub consumers: RwLock<Vec<String>>,
+    /// The delivery reactor: one scheduler thread driving every attached
+    /// node's event-handling task (producer flow state machines, consumer
+    /// reassembly/reaping), woken by the fabric on enqueue.
+    pub reactor: Reactor,
 }
 
 /// A Viper deployment: construct one, then attach producers and consumers.
@@ -48,6 +52,8 @@ impl Viper {
         };
         let bus = PubSub::new();
         bus.set_telemetry(config.telemetry.clone());
+        let reactor = Reactor::new(config.reactor_threads, config.telemetry.clone());
+        fabric.set_waker(Some(reactor.waker()));
         Viper {
             shared: Arc::new(Shared {
                 config,
@@ -57,6 +63,7 @@ impl Viper {
                 bus,
                 pfs,
                 consumers: RwLock::new(Vec::new()),
+                reactor,
             }),
         }
     }
@@ -137,7 +144,10 @@ impl Viper {
     /// record (e.g. a model placed on the PFS by a tool outside the
     /// producer path). Returns how many consumers were notified.
     pub fn announce(&self, record: ModelRecord) -> usize {
-        self.shared.bus.publish(crate::UPDATE_TOPIC, record)
+        let notified = self.shared.bus.publish(crate::UPDATE_TOPIC, record);
+        // Consumers process their subscriptions on the reactor: nudge them.
+        self.shared.reactor.wake_all();
+        notified
     }
 }
 

@@ -11,13 +11,13 @@
 //! with `advance_to`, so concurrent background work overlaps in virtual
 //! time instead of serializing.
 
-use crate::codec::{deliver, route_label, DeliveryCounters, PayloadCodec};
+use crate::codec::{deliver, route_label, DeliveryCounters, DeliveryTask, PayloadCodec};
 use crate::context::Viper;
 use crate::Result;
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use viper_formats::{Checkpoint, CheckpointFormat, Payload};
 use viper_hw::{
     apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, Route, SimClock, SimInstant,
@@ -87,6 +87,19 @@ impl Producer {
 
         let counters = Arc::new(DeliveryCounters::new(&viper.shared.config.telemetry, node));
         let codec = Arc::new(PayloadCodec::new(&viper.shared.config));
+        // The reactor task that drives this producer's reliable flows
+        // (state machines fed by feedback mail and virtual-clock ack
+        // timers). Registered unconditionally: it stays idle unless a
+        // DeliveryJob is submitted.
+        viper.shared.reactor.register(
+            node,
+            Box::new(DeliveryTask::new(
+                viper.clone(),
+                Arc::clone(&endpoint),
+                Arc::clone(&codec),
+                Arc::clone(&counters),
+            )),
+        );
         let (tx, rx) = unbounded::<Job>();
         let worker = {
             let viper = viper.clone();
@@ -236,6 +249,12 @@ impl Producer {
         self.counters.payload_allocs.get()
     }
 
+    /// Feedback frames dropped by the delivery reactor because they named
+    /// an unknown/finished flow or a superseded retransmission generation.
+    pub fn stale_feedback(&self) -> u64 {
+        self.counters.stale_feedback.get()
+    }
+
     /// The node this producer runs on.
     pub fn node(&self) -> &str {
         &self.node
@@ -271,7 +290,6 @@ impl Producer {
         // 1. Serialize; let the Transfer Selector pick the route (the
         //    configured one, degraded down the tier hierarchy when the
         //    staging tier is under memory pressure — Fig. 7).
-        let wall = Instant::now();
         // The one serialize allocation per save: every downstream consumer
         // of these bytes (staging tiers, chunk bodies, retransmit rounds,
         // the PFS flush) shares zero-copy views of this buffer.
@@ -280,8 +298,7 @@ impl Producer {
         let bytes = payload.len() as u64;
         let route = self.select_route(strategy.route, bytes);
         if telemetry.is_enabled() {
-            // Serialization is pure compute: zero-width in virtual time,
-            // with the real cost carried as a wall-clock argument.
+            // Serialization is pure compute: zero-width in virtual time.
             let now = telemetry.now_ns();
             telemetry.complete(
                 "producer",
@@ -289,10 +306,7 @@ impl Producer {
                 &self.track,
                 now,
                 now,
-                &[
-                    ("bytes", bytes.into()),
-                    ("wall_us", (wall.elapsed().as_micros() as u64).into()),
-                ],
+                &[("bytes", bytes.into())],
             );
             telemetry.instant(
                 "producer",
@@ -494,10 +508,14 @@ impl Producer {
 
 impl Drop for Producer {
     fn drop(&mut self) {
+        // Join the worker BEFORE deregistering the reactor task: an async
+        // delivery still in flight blocks on the task's job reply, and
+        // tearing the task down first would drop that reply on the floor.
         drop(self.worker_tx.take());
         if let Some(handle) = self.worker.take() {
             let _ = handle.join();
         }
+        self.viper.shared.reactor.deregister(&self.node);
     }
 }
 

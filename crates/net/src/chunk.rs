@@ -279,9 +279,14 @@ struct PartialFlow {
     completed_at: SimInstant,
     wire_total: Duration,
     /// Wall-clock instant of the last accepted chunk (or NACK), for
-    /// stale-flow detection — virtual time cannot time out a flow whose
-    /// missing chunks never advance the clock.
+    /// wall-driven stale-flow detection ([`FlowAssembler::reap`]).
     last_activity: Instant,
+    /// Virtual instant of the last chunk touch (arrival of any chunk for
+    /// this flow, or a virtual-time reap), for reactor-driven stale-flow
+    /// detection ([`FlowAssembler::reap_at`]): the reactor's timer wheel
+    /// schedules the next reap at `last_activity_v + nack_after` instead
+    /// of polling on wall time.
+    last_activity_v: SimInstant,
     /// How many times this flow has been reaped (NACKed) without progress.
     nacks: u32,
 }
@@ -385,6 +390,15 @@ impl FlowAssembler {
 
     /// Feed one received message through the assembler.
     pub fn accept(&mut self, msg: Message) -> FlowStatus {
+        self.accept_with_crc(msg, None)
+    }
+
+    /// [`FlowAssembler::accept`] with an optionally precomputed body CRC
+    /// (from [`chunk_body_crc`], e.g. batch-verified on a worker pool).
+    /// `None` computes the CRC inline; a precomputed value must come from
+    /// [`chunk_body_crc`] on the same message or corruption detection is
+    /// undefined.
+    pub fn accept_with_crc(&mut self, msg: Message, precomputed: Option<u32>) -> FlowStatus {
         if msg.kind != MessageKind::Chunk {
             return FlowStatus::Passthrough(msg);
         }
@@ -402,7 +416,7 @@ impl FlowAssembler {
         // checksumming a multi-megabyte chunk is the expensive part of
         // accept, and if it ate into the staleness budget a slow receiver
         // would mistake its own processing time for a stalled sender.
-        let body_ok = crc32(&body) == header.crc32;
+        let body_ok = precomputed.unwrap_or_else(|| crc32(&body)) == header.crc32;
         let key = (msg.from.clone(), header.flow_id);
         // Zero-copy fast path: an intact single-chunk flow needs no gather
         // buffer — the received body view IS the payload. (A flow entry may
@@ -451,9 +465,11 @@ impl FlowAssembler {
                 completed_at: msg.arrived_at,
                 wire_total: Duration::ZERO,
                 last_activity: Instant::now(),
+                last_activity_v: msg.arrived_at,
                 nacks: 0,
             });
         flow.last_activity = Instant::now();
+        flow.last_activity_v = flow.last_activity_v.max(msg.arrived_at);
         let idx = header.chunk_index as usize;
         // Geometry mismatches against the flow's first-seen framing, and
         // duplicates, are dropped: reassembly is idempotent.
@@ -532,6 +548,65 @@ impl FlowAssembler {
         });
         errors
     }
+
+    /// Virtual-time counterpart of [`FlowAssembler::reap`], driven by the
+    /// delivery reactor's timer wheel instead of a wall-clock poll: a flow
+    /// whose last chunk touch is `stale_after` or more of **virtual** time
+    /// before `now` is surfaced (and its virtual activity stamp refreshed
+    /// to `now`, so successive reaps of the same hole space out by
+    /// `stale_after` of virtual time). Abandonment semantics match
+    /// [`FlowAssembler::reap`].
+    pub fn reap_at(
+        &mut self,
+        now: SimInstant,
+        stale_after: Duration,
+        max_nacks: u32,
+    ) -> Vec<FlowError> {
+        let mut errors = Vec::new();
+        self.flows.retain(|(from, flow_id), flow| {
+            if now.since(flow.last_activity_v) < stale_after {
+                return true;
+            }
+            flow.nacks += 1;
+            flow.last_activity_v = now;
+            flow.corrupt_flagged.fill(false);
+            let abandoned = flow.nacks > max_nacks;
+            errors.push(FlowError {
+                from: from.clone(),
+                flow_id: *flow_id,
+                tag: flow.tag.clone(),
+                link: flow.link,
+                missing: flow.missing(),
+                abandoned,
+            });
+            !abandoned
+        });
+        errors
+    }
+
+    /// The earliest virtual instant at which a currently buffered partial
+    /// flow becomes reapable under `stale_after` — what the reactor arms
+    /// its reap timer to. `None` when nothing is in progress.
+    pub fn next_reap_deadline(&self, stale_after: Duration) -> Option<SimInstant> {
+        self.flows
+            .values()
+            .map(|flow| flow.last_activity_v.add(stale_after))
+            .min()
+    }
+}
+
+/// CRC32 of a chunk message's body, or `None` when the message is not a
+/// well-formed chunk frame (non-chunk kinds, broken framing). This is the
+/// exact checksum [`FlowAssembler::accept`] would compute inline; the
+/// reactor's [`CrcPool`](crate::CrcPool) batches it across worker threads
+/// and feeds the result back through
+/// [`FlowAssembler::accept_with_crc`].
+pub fn chunk_body_crc(msg: &Message) -> Option<u32> {
+    if msg.kind != MessageKind::Chunk {
+        return None;
+    }
+    let (_, body) = ChunkHeader::decode_buf(&msg.payload)?;
+    Some(crc32(&body))
 }
 
 /// Split `bytes` into chunk sizes of at most `chunk_bytes` each (the last
@@ -740,6 +815,71 @@ mod tests {
             asm.accept(chunk_msg(5, 0, 2, &payload, 2000)),
             FlowStatus::Buffered
         ));
+    }
+
+    #[test]
+    fn virtual_reap_follows_activity_stamps() {
+        let payload = vec![3u8; 4000];
+        let nack_after = Duration::from_millis(8);
+        let mut asm = FlowAssembler::new();
+        assert_eq!(asm.next_reap_deadline(nack_after), None);
+        // Chunk 0 arrives at virtual t=1ns (see chunk_msg).
+        asm.accept(chunk_msg(5, 0, 2, &payload, 2000));
+        let deadline = asm.next_reap_deadline(nack_after).unwrap();
+        assert_eq!(deadline, SimInstant(1).add(nack_after));
+        // Before the deadline nothing is stale.
+        assert!(asm.reap_at(SimInstant(2), nack_after, 3).is_empty());
+        // At the deadline the hole is surfaced and the stamp refreshes, so
+        // the next deadline moves strictly later.
+        let errs = asm.reap_at(deadline, nack_after, 3);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].missing, vec![1]);
+        assert!(!errs[0].abandoned);
+        let next = asm.next_reap_deadline(nack_after).unwrap();
+        assert_eq!(next, deadline.add(nack_after));
+        // Exceeding max_nacks abandons and evicts, like the wall reap.
+        for _ in 0..3 {
+            let at = asm.next_reap_deadline(nack_after).unwrap();
+            asm.reap_at(at, nack_after, 3);
+        }
+        assert_eq!(asm.in_progress(), 0);
+    }
+
+    #[test]
+    fn precomputed_crc_matches_inline_verification() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let good = chunk_msg(7, 0, 2, &payload, 2500);
+        let crc = chunk_body_crc(&good).expect("well-formed chunk");
+        let mut asm = FlowAssembler::new();
+        assert!(matches!(
+            asm.accept_with_crc(good, Some(crc)),
+            FlowStatus::Buffered
+        ));
+        // A corrupted body's precomputed CRC disagrees with the header,
+        // exactly as the inline path would conclude.
+        let mut corrupt = chunk_msg(7, 1, 2, &payload, 2500);
+        let mut bytes = corrupt.payload.to_vec();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        corrupt.payload = WireBuf::plain(bytes);
+        let bad_crc = chunk_body_crc(&corrupt).expect("framing intact");
+        assert!(matches!(
+            asm.accept_with_crc(corrupt, Some(bad_crc)),
+            FlowStatus::Corrupt { chunk_index: 1, .. }
+        ));
+        // Non-chunk messages have no body CRC.
+        let data = Message {
+            from: "p".into(),
+            to: "c".into(),
+            tag: "t".into(),
+            payload: WireBuf::plain(vec![1, 2, 3]),
+            kind: MessageKind::Data,
+            link: LinkKind::HostRdma,
+            sent_at: SimInstant::ZERO,
+            arrived_at: SimInstant::ZERO,
+            wire_time: Duration::ZERO,
+        };
+        assert_eq!(chunk_body_crc(&data), None);
     }
 
     #[test]

@@ -128,7 +128,16 @@ struct FabricInner {
     /// default; a deployment installs its handle via
     /// [`Fabric::set_telemetry`].
     telemetry: RwLock<Telemetry>,
+    /// Delivery-notification hook: called with the destination node name
+    /// after messages land in its queue. A reactor-driven deployment
+    /// installs one via [`Fabric::set_waker`] so receivers are mailed
+    /// instead of polling; a bare fabric has none and behaves as before.
+    waker: RwLock<Option<Waker>>,
 }
+
+/// A delivery-notification hook: invoked with the destination node name
+/// after messages land in its queue (see [`Fabric::set_waker`]).
+pub type Waker = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// Telemetry track name for a directed `(from, to, link)` lane.
 fn lane_track(from: &str, to: &str, link: LinkKind) -> String {
@@ -165,6 +174,7 @@ impl Fabric {
                 link_busy: Mutex::new(HashMap::new()),
                 faults: Mutex::new(None),
                 telemetry: RwLock::new(Telemetry::disabled()),
+                waker: RwLock::new(None),
             }),
         }
     }
@@ -178,6 +188,22 @@ impl Fabric {
 
     fn telemetry(&self) -> Telemetry {
         self.inner.telemetry.read().clone()
+    }
+
+    /// Install (or clear, with `None`) the delivery-notification hook. It
+    /// is invoked with the destination node name once per send — after the
+    /// message (or, for chunked sends, the whole batch) is enqueued — so an
+    /// event loop can mail the receiver instead of it polling its endpoint.
+    /// The hook must be cheap and non-blocking (e.g. a channel send).
+    pub fn set_waker(&self, waker: Option<Waker>) {
+        *self.inner.waker.write() = waker;
+    }
+
+    /// Notify the installed waker (if any) that `to` has new mail.
+    fn notify(&self, to: &str) {
+        if let Some(waker) = self.inner.waker.read().as_ref() {
+            waker(to);
+        }
     }
 
     /// Install (or clear, with `None`) a deterministic fault-injection
@@ -381,6 +407,7 @@ impl Fabric {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
+        self.notify(to);
         Ok(wire_time)
     }
 
@@ -516,6 +543,7 @@ impl Fabric {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
+        self.notify(to);
         Ok(FlowReport {
             flow_id,
             num_chunks,
@@ -619,6 +647,7 @@ impl Fabric {
             tx.send(msg)
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
+        self.notify(to);
         Ok(wire_total)
     }
 }
@@ -1108,6 +1137,7 @@ mod tests {
         let b = f.register("b");
         let nack = Control::Nack {
             flow_id: 9,
+            generation: 0,
             missing: vec![1, 2],
         };
         a.send_control("b", "t", &nack, LinkKind::GpuDirect)
@@ -1122,6 +1152,49 @@ mod tests {
             ),
             Some(nack)
         );
+    }
+
+    #[test]
+    fn waker_fires_once_per_send_and_once_per_batch() {
+        use parking_lot::Mutex as PMutex;
+        let f = fabric();
+        let a = f.register("a");
+        let b = f.register("b");
+        let woken: Arc<PMutex<Vec<String>>> = Arc::new(PMutex::new(Vec::new()));
+        let sink = woken.clone();
+        f.set_waker(Some(Arc::new(move |to: &str| {
+            sink.lock().push(to.to_string());
+        })));
+        a.send("b", "t", Arc::new(vec![1u8; 64]), LinkKind::HostRdma)
+            .unwrap();
+        // A chunked flow notifies once for the whole batch, not per chunk.
+        let report = a
+            .send_chunked(
+                "b",
+                "t",
+                Arc::new(vec![0u8; 5000]),
+                LinkKind::GpuDirect,
+                &ChunkedSend::new(1000),
+            )
+            .unwrap();
+        assert!(report.num_chunks > 1);
+        a.retransmit_chunks(
+            "b",
+            "t",
+            &Payload::from(vec![0u8; 5000]),
+            LinkKind::GpuDirect,
+            report.flow_id,
+            1000,
+            &[0, 1],
+        )
+        .unwrap();
+        assert_eq!(*woken.lock(), vec!["b", "b", "b"]);
+        // Clearing the hook stops notifications; delivery is unaffected.
+        f.set_waker(None);
+        a.send("b", "t", Arc::new(vec![1u8; 64]), LinkKind::HostRdma)
+            .unwrap();
+        assert_eq!(woken.lock().len(), 3);
+        assert!(b.pending() > 0);
     }
 
     #[test]

@@ -33,15 +33,20 @@
 mod chunk;
 mod fabric;
 mod fault;
+mod reactor;
 mod reliability;
 mod wirebuf;
 
 pub use chunk::{
-    chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler, FlowReport, FlowStatus,
-    CHUNK_MAGIC,
+    chunk_body_crc, chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler,
+    FlowReport, FlowStatus, CHUNK_MAGIC,
 };
-pub use fabric::{Endpoint, Fabric, LinkKind, Message, MessageKind, NetError};
+pub use fabric::{Endpoint, Fabric, LinkKind, Message, MessageKind, NetError, Waker};
 pub use fault::{FaultPlan, FaultRng, LinkFaults};
+pub use reactor::{
+    CrcPool, FeedbackKind, FlowAction, FlowEvent, FlowMachine, FlowPhase, Reactor, ReactorTask,
+    TaskCtx,
+};
 pub use reliability::{Control, FlowError, RetryPolicy, CONTROL_MAGIC};
 pub use viper_formats::Payload;
 pub use wirebuf::{WireBuf, HEAD_BYTES};

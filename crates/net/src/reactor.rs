@@ -1,0 +1,1061 @@
+//! Event-driven delivery reactor: one scheduler thread owns every
+//! in-flight reliable flow as an explicit state machine.
+//!
+//! Before this module, reliable delivery parked one OS thread per consumer
+//! on a wall-clock `ack_timeout` and every consumer ran a 2 ms
+//! `recv_timeout` poll loop — concurrency was capped at thread count and
+//! idle deployments burned wakeups doing nothing. The reactor inverts
+//! that: registered [`ReactorTask`]s (the producer's delivery driver, each
+//! consumer's flow assembler) live on a **single scheduler thread** and
+//! are driven purely by events:
+//!
+//! * **mail** — the fabric calls a waker after enqueuing messages for a
+//!   node, and the scheduler dispatches that node's task to drain its
+//!   endpoint;
+//! * **jobs** — callers submit work (a delivery fan-out) and block on a
+//!   reply channel only if they want synchronous semantics;
+//! * **virtual-clock timers** — a timer wheel keyed on
+//!   [`SimInstant`] deadlines replaces every blocking wait. Timers fire
+//!   **only at quiescence** (no deliverable event pending), which is
+//!   exactly the condition under which the old wall-clock timeout would
+//!   have been the next thing to happen; firing a timer never advances
+//!   the virtual clock, so makespans stay bit-identical to the blocking
+//!   implementation.
+//!
+//! Ten thousand concurrent flows therefore cost ten thousand small
+//! [`FlowMachine`] structs, not ten thousand threads.
+//!
+//! Worker threads (`threads` > 1) are used **only** for batch CRC
+//! verification of drained chunk messages ([`CrcPool`]); results are
+//! committed back in input order, so every trace byte and every virtual
+//! timestamp is identical whether the pool has 1, 4, or 16 workers.
+//!
+//! The flow state machine itself ([`FlowMachine`]) is pure — no clocks,
+//! no channels — so its invariants (never double-complete, never
+//! retransmit after `Done`, always drop generation-mismatched feedback)
+//! are property-testable in isolation.
+
+use crate::chunk::chunk_body_crc;
+use crate::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use viper_hw::SimInstant;
+use viper_telemetry::Telemetry;
+
+// ---------------------------------------------------------------------------
+// Flow state machine (pure; no I/O, no clock)
+// ---------------------------------------------------------------------------
+
+/// Where a reliable flow is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Chunks are being written to the fabric (initial send).
+    Sending,
+    /// All chunks of the current round are on the wire; waiting for
+    /// receiver feedback or the ack timer.
+    AwaitingAck,
+    /// A retransmission round is in flight.
+    Retransmitting {
+        /// 1-based retransmission round number.
+        round: u32,
+    },
+    /// The flow resolved (acked, or receiver asked for a full re-encode).
+    Done,
+    /// The retry budget ran out; the flow was given up.
+    Exhausted,
+}
+
+/// Receiver feedback carried by a generation-stamped control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedbackKind {
+    /// The flow reassembled completely.
+    Ack,
+    /// These chunk indices are missing or corrupt (empty = resend all).
+    Nack {
+        /// Chunk indices to retransmit.
+        missing: Vec<u32>,
+    },
+    /// The flow reassembled but its delta payload was unusable; the
+    /// sender must re-encode a full checkpoint.
+    NeedFull,
+}
+
+/// An input to the flow state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// The initial send of every chunk completed.
+    Sent,
+    /// A control frame from the receiver.
+    Feedback {
+        /// Retransmit-round generation the frame was stamped with.
+        generation: u64,
+        /// What the receiver said.
+        kind: FeedbackKind,
+    },
+    /// The per-flow ack timer fired with no feedback seen.
+    AckTimeout,
+}
+
+/// What the owner of a [`FlowMachine`] must do after feeding it an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowAction {
+    /// Nothing.
+    None,
+    /// The flow completed: ack bookkeeping, cancel its timer.
+    Complete,
+    /// The flow completed but the receiver needs a full re-encode.
+    NeedFull,
+    /// Send a `Round` frame stamped `generation`, then retransmit
+    /// `missing` (empty = all chunks).
+    Retransmit {
+        /// Generation to stamp the new round with.
+        generation: u64,
+        /// Chunk indices to resend (empty = every chunk).
+        missing: Vec<u32>,
+        /// 1-based retransmission attempt (drives backoff).
+        attempt: u32,
+    },
+    /// The retry budget is exhausted: give the flow up.
+    Exhausted {
+        /// Retransmission rounds that were actually executed.
+        attempts: u32,
+    },
+    /// The event was stale (wrong generation, or the flow already
+    /// resolved) and was dropped; the machine counted it.
+    DroppedStale,
+}
+
+/// The per-flow reliability state machine:
+/// `Sending → AwaitingAck → Retransmitting{round} → Done/Exhausted`.
+///
+/// Pure state: the owner performs all sends, timer arms, and clock
+/// charges prescribed by the returned [`FlowAction`]s. Every
+/// retransmission round bumps the machine's **generation**; feedback
+/// stamped with any other generation is counted in
+/// [`FlowMachine::stale_feedback`] and dropped, so a NACK queued from a
+/// superseded round can never trigger a duplicate retransmission.
+#[derive(Debug, Clone)]
+pub struct FlowMachine {
+    phase: FlowPhase,
+    generation: u64,
+    attempts: u32,
+    max_retries: u32,
+    stale_feedback: u64,
+}
+
+impl FlowMachine {
+    /// A fresh machine in [`FlowPhase::Sending`] at generation 0 with a
+    /// budget of `max_retries` retransmission rounds.
+    pub fn new(max_retries: u32) -> Self {
+        FlowMachine {
+            phase: FlowPhase::Sending,
+            generation: 0,
+            attempts: 0,
+            max_retries,
+            stale_feedback: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> FlowPhase {
+        self.phase
+    }
+
+    /// Current retransmit-round generation (0 = initial send).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Retransmission rounds requested so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Whether the flow has resolved (no further actions will be
+    /// produced beyond [`FlowAction::DroppedStale`] / [`FlowAction::None`]).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, FlowPhase::Done | FlowPhase::Exhausted)
+    }
+
+    /// How many feedback frames were dropped for carrying a stale
+    /// generation or arriving after the flow resolved.
+    pub fn stale_feedback(&self) -> u64 {
+        self.stale_feedback
+    }
+
+    /// Feed one event; returns the action the owner must perform.
+    pub fn on_event(&mut self, event: FlowEvent) -> FlowAction {
+        match event {
+            FlowEvent::Sent => {
+                if self.phase == FlowPhase::Sending {
+                    self.phase = FlowPhase::AwaitingAck;
+                }
+                FlowAction::None
+            }
+            FlowEvent::Feedback { generation, kind } => {
+                if self.is_terminal() || generation != self.generation {
+                    self.stale_feedback += 1;
+                    return FlowAction::DroppedStale;
+                }
+                match kind {
+                    FeedbackKind::Ack => {
+                        self.phase = FlowPhase::Done;
+                        FlowAction::Complete
+                    }
+                    FeedbackKind::NeedFull => {
+                        self.phase = FlowPhase::Done;
+                        FlowAction::NeedFull
+                    }
+                    FeedbackKind::Nack { missing } => self.next_round(missing),
+                }
+            }
+            FlowEvent::AckTimeout => {
+                if self.is_terminal() {
+                    // A timer the owner failed to cancel; never resend.
+                    return FlowAction::None;
+                }
+                // No feedback at all: resend the whole flow blind.
+                self.next_round(Vec::new())
+            }
+        }
+    }
+
+    fn next_round(&mut self, missing: Vec<u32>) -> FlowAction {
+        self.attempts += 1;
+        if self.attempts > self.max_retries {
+            self.phase = FlowPhase::Exhausted;
+            return FlowAction::Exhausted {
+                attempts: self.attempts - 1,
+            };
+        }
+        self.generation += 1;
+        self.phase = FlowPhase::Retransmitting {
+            round: self.attempts,
+        };
+        FlowAction::Retransmit {
+            generation: self.generation,
+            missing,
+            attempt: self.attempts,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC worker pool
+// ---------------------------------------------------------------------------
+
+type CrcResult = (usize, Message, Option<u32>);
+type CrcJob = (usize, Message, Sender<CrcResult>);
+
+/// A pool of persistent worker threads that verifies chunk CRCs for the
+/// scheduler.
+///
+/// This is the **only** place the reactor's worker-thread budget buys
+/// parallelism: workers compute [`chunk_body_crc`] for each drained
+/// message and the scheduler commits the results back **in input
+/// order**, so the observable event sequence — and therefore every
+/// virtual timestamp and trace byte — is identical at any thread count.
+/// A budget of 0 or 1 spawns no workers and computes inline.
+pub struct CrcPool {
+    tx: Option<Sender<CrcJob>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CrcPool {
+    /// Build a pool with `threads` workers (0/1 = inline, no threads).
+    pub fn new(threads: usize) -> Self {
+        if threads <= 1 {
+            return CrcPool {
+                tx: None,
+                workers: Vec::new(),
+            };
+        }
+        let (tx, rx) = unbounded::<CrcJob>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Receiver<CrcJob> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("viper-reactor-crc-{i}"))
+                    .spawn(move || {
+                        for (idx, msg, reply) in rx.iter() {
+                            let crc = chunk_body_crc(&msg);
+                            let _ = reply.send((idx, msg, crc));
+                        }
+                    })
+                    .expect("spawn crc worker")
+            })
+            .collect();
+        CrcPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads (0 when computing inline).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Compute the chunk-body CRC of every message, returning the
+    /// messages **in their input order** paired with the computed CRC
+    /// (`None` for non-chunk messages, which have no CRC to check).
+    pub fn crc_batch(&self, msgs: Vec<Message>) -> Vec<(Message, Option<u32>)> {
+        let Some(tx) = &self.tx else {
+            return msgs
+                .into_iter()
+                .map(|m| {
+                    let crc = chunk_body_crc(&m);
+                    (m, crc)
+                })
+                .collect();
+        };
+        if msgs.len() < 2 {
+            return msgs
+                .into_iter()
+                .map(|m| {
+                    let crc = chunk_body_crc(&m);
+                    (m, crc)
+                })
+                .collect();
+        }
+        let n = msgs.len();
+        let (reply_tx, reply_rx) = unbounded::<CrcResult>();
+        for (idx, msg) in msgs.into_iter().enumerate() {
+            tx.send((idx, msg, reply_tx.clone()))
+                .expect("crc workers alive");
+        }
+        drop(reply_tx);
+        let mut slots: Vec<Option<(Message, Option<u32>)>> = (0..n).map(|_| None).collect();
+        for (idx, msg, crc) in reply_rx.iter().take(n) {
+            slots[idx] = Some((msg, crc));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index returned"))
+            .collect()
+    }
+}
+
+impl Drop for CrcPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// Virtual-clock timer wheel: deadlines ordered by `(instant, arm
+/// sequence)` so ties fire in arm order, deterministically.
+#[derive(Default)]
+struct TimerWheel {
+    by_deadline: BTreeMap<(u64, u64), (String, u64)>,
+    by_token: HashMap<(String, u64), (u64, u64)>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    fn arm(&mut self, node: &str, token: u64, deadline: SimInstant) {
+        self.cancel(node, token);
+        let key = (deadline.as_nanos(), self.seq);
+        self.seq += 1;
+        self.by_deadline.insert(key, (node.to_string(), token));
+        self.by_token.insert((node.to_string(), token), key);
+    }
+
+    fn cancel(&mut self, node: &str, token: u64) {
+        if let Some(key) = self.by_token.remove(&(node.to_string(), token)) {
+            self.by_deadline.remove(&key);
+        }
+    }
+
+    fn cancel_node(&mut self, node: &str) {
+        let keys: Vec<(u64, u64)> = self
+            .by_token
+            .iter()
+            .filter(|((n, _), _)| n == node)
+            .map(|(_, key)| *key)
+            .collect();
+        self.by_token.retain(|(n, _), _| n != node);
+        for key in keys {
+            self.by_deadline.remove(&key);
+        }
+    }
+
+    fn deadline(&self, node: &str, token: u64) -> Option<SimInstant> {
+        self.by_token
+            .get(&(node.to_string(), token))
+            .map(|(ns, _)| SimInstant::from_nanos(*ns))
+    }
+
+    fn pop_earliest(&mut self) -> Option<(String, u64, SimInstant)> {
+        let (&key, _) = self.by_deadline.iter().next()?;
+        let (node, token) = self.by_deadline.remove(&key).expect("key just seen");
+        self.by_token.remove(&(node.clone(), token));
+        Some((node, token, SimInstant::from_nanos(key.0)))
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.by_deadline.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tasks and the scheduler
+// ---------------------------------------------------------------------------
+
+/// Scheduler services available to a task while it handles an event.
+pub struct TaskCtx<'a> {
+    node: &'a str,
+    timers: &'a mut TimerWheel,
+    crc: &'a CrcPool,
+}
+
+impl TaskCtx<'_> {
+    /// The node this task is registered under.
+    pub fn node(&self) -> &str {
+        self.node
+    }
+
+    /// Arm (or re-arm) this task's timer `token` to fire at `deadline`.
+    /// Timers fire only at quiescence — when the scheduler has no
+    /// deliverable event — and firing never advances the virtual clock.
+    pub fn arm_timer_at(&mut self, token: u64, deadline: SimInstant) {
+        self.timers.arm(self.node, token, deadline);
+    }
+
+    /// Cancel this task's timer `token` (no-op if not armed).
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.timers.cancel(self.node, token);
+    }
+
+    /// The deadline timer `token` is currently armed for, if any.
+    pub fn timer_deadline(&self, token: u64) -> Option<SimInstant> {
+        self.timers.deadline(self.node, token)
+    }
+
+    /// The shared CRC verification pool.
+    pub fn crc(&self) -> &CrcPool {
+        self.crc
+    }
+}
+
+/// A state machine owned by the reactor's scheduler thread.
+///
+/// All methods run on the scheduler thread; tasks hold their own
+/// endpoints, clocks, and telemetry handles and perform their own sends —
+/// the reactor only tells them *when* to run.
+pub trait ReactorTask: Send {
+    /// The fabric enqueued messages for this node: drain the endpoint.
+    fn on_mail(&mut self, ctx: &mut TaskCtx<'_>);
+
+    /// Timer `token` (armed via [`TaskCtx::arm_timer_at`]) fired at its
+    /// `deadline`. The virtual clock is **not** advanced by the firing;
+    /// handlers that need a "virtual now" at least as late as the timer
+    /// should use `max(clock.now(), deadline)`.
+    fn on_timer(&mut self, token: u64, deadline: SimInstant, ctx: &mut TaskCtx<'_>);
+
+    /// A broadcast wakeup (e.g. a pub/sub announcement was published).
+    fn on_wake(&mut self, _ctx: &mut TaskCtx<'_>) {}
+
+    /// A job submitted for this node via [`Reactor::submit`].
+    fn on_job(&mut self, _job: Box<dyn Any + Send>, _ctx: &mut TaskCtx<'_>) {}
+}
+
+enum Event {
+    Mail(String),
+    Submit {
+        node: String,
+        job: Box<dyn Any + Send>,
+    },
+    Wake,
+    Register {
+        node: String,
+        task: Box<dyn ReactorTask>,
+        ack: Sender<()>,
+    },
+    Deregister {
+        node: String,
+        ack: Sender<()>,
+    },
+    Shutdown,
+}
+
+/// Handle to the delivery reactor: one scheduler thread driving every
+/// registered [`ReactorTask`], plus a [`CrcPool`] of `threads` CRC
+/// workers.
+///
+/// Dropping the handle shuts the scheduler down and joins it (which in
+/// turn drops every task and joins the CRC workers).
+pub struct Reactor {
+    tx: Sender<Event>,
+    scheduler: Option<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Reactor {
+    /// Start a reactor whose CRC pool uses `threads` worker threads
+    /// (clamped to at least 1; 1 means inline, no extra threads).
+    pub fn new(threads: usize, telemetry: Telemetry) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Event>();
+        let pool = CrcPool::new(threads);
+        let scheduler = std::thread::Builder::new()
+            .name("viper-reactor".into())
+            .spawn(move || scheduler_loop(rx, pool, telemetry))
+            .expect("spawn reactor scheduler");
+        Reactor {
+            tx,
+            scheduler: Some(scheduler),
+            threads,
+        }
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tell the scheduler that `node`'s endpoint has mail to drain.
+    /// Called by the fabric's waker after enqueuing; safe from any
+    /// thread, including the scheduler itself.
+    pub fn post_mail(&self, node: &str) {
+        let _ = self.tx.send(Event::Mail(node.to_string()));
+    }
+
+    /// A detached mail-posting hook suitable for
+    /// [`Fabric::set_waker`](crate::Fabric::set_waker): calling it with a
+    /// node name posts that node mail. Holds only the event channel, not
+    /// the reactor, so it never keeps the scheduler alive.
+    pub fn waker(&self) -> crate::fabric::Waker {
+        let tx = self.tx.clone();
+        std::sync::Arc::new(move |node: &str| {
+            let _ = tx.send(Event::Mail(node.to_string()));
+        })
+    }
+
+    /// Submit a job to `node`'s task ([`ReactorTask::on_job`]).
+    pub fn submit(&self, node: &str, job: Box<dyn Any + Send>) {
+        let _ = self.tx.send(Event::Submit {
+            node: node.to_string(),
+            job,
+        });
+    }
+
+    /// Broadcast a wakeup to every task ([`ReactorTask::on_wake`]), in
+    /// deterministic (sorted-node) order.
+    pub fn wake_all(&self) {
+        let _ = self.tx.send(Event::Wake);
+    }
+
+    /// Register `task` under `node` and run its initial
+    /// [`ReactorTask::on_wake`]; returns once the task is installed.
+    pub fn register(&self, node: &str, task: Box<dyn ReactorTask>) {
+        let (ack, ack_rx) = crossbeam::channel::unbounded();
+        let _ = self.tx.send(Event::Register {
+            node: node.to_string(),
+            task,
+            ack,
+        });
+        let _ = ack_rx.recv();
+    }
+
+    /// Remove `node`'s task (dropping it on the scheduler thread) and
+    /// cancel its timers; returns once the task is gone.
+    pub fn deregister(&self, node: &str) {
+        let (ack, ack_rx) = crossbeam::channel::unbounded();
+        let _ = self.tx.send(Event::Deregister {
+            node: node.to_string(),
+            ack,
+        });
+        let _ = ack_rx.recv();
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+    }
+}
+
+fn dispatch<F>(
+    tasks: &mut BTreeMap<String, Box<dyn ReactorTask>>,
+    timers: &mut TimerWheel,
+    crc: &CrcPool,
+    node: &str,
+    f: F,
+) where
+    F: FnOnce(&mut dyn ReactorTask, &mut TaskCtx<'_>),
+{
+    // Remove/reinsert so the task can borrow the wheel through its ctx.
+    if let Some(mut task) = tasks.remove(node) {
+        let mut ctx = TaskCtx { node, timers, crc };
+        f(task.as_mut(), &mut ctx);
+        tasks.insert(node.to_string(), task);
+    }
+}
+
+fn scheduler_loop(rx: Receiver<Event>, crc: CrcPool, telemetry: Telemetry) {
+    let mut tasks: BTreeMap<String, Box<dyn ReactorTask>> = BTreeMap::new();
+    let mut timers = TimerWheel::default();
+    loop {
+        let event = match rx.try_recv() {
+            Ok(ev) => ev,
+            Err(TryRecvError::Empty) => {
+                // Quiescent: no deliverable event. Fire the earliest
+                // virtual timer, if any; otherwise block for mail.
+                if let Some((node, token, deadline)) = timers.pop_earliest() {
+                    telemetry.counter("reactor.timers_fired").inc();
+                    if telemetry.is_enabled() {
+                        telemetry.instant(
+                            "reactor",
+                            "timer_fire",
+                            "reactor",
+                            &[
+                                ("node", node.as_str().into()),
+                                ("token", token.into()),
+                                ("deadline_ns", deadline.as_nanos().into()),
+                            ],
+                        );
+                    }
+                    dispatch(&mut tasks, &mut timers, &crc, &node, |task, ctx| {
+                        task.on_timer(token, deadline, ctx)
+                    });
+                    continue;
+                }
+                match rx.recv() {
+                    Ok(ev) => ev,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match event {
+            Event::Mail(node) => {
+                dispatch(&mut tasks, &mut timers, &crc, &node, |task, ctx| {
+                    task.on_mail(ctx)
+                });
+            }
+            Event::Submit { node, job } => {
+                dispatch(&mut tasks, &mut timers, &crc, &node, |task, ctx| {
+                    task.on_job(job, ctx)
+                });
+            }
+            Event::Wake => {
+                let names: Vec<String> = tasks.keys().cloned().collect();
+                for node in names {
+                    dispatch(&mut tasks, &mut timers, &crc, &node, |task, ctx| {
+                        task.on_wake(ctx)
+                    });
+                }
+            }
+            Event::Register { node, task, ack } => {
+                tasks.insert(node.clone(), task);
+                // Initial wake covers "a record was announced before this
+                // task attached" (late-attach discovery).
+                dispatch(&mut tasks, &mut timers, &crc, &node, |task, ctx| {
+                    task.on_wake(ctx)
+                });
+                let _ = ack.send(());
+            }
+            Event::Deregister { node, ack } => {
+                tasks.remove(&node);
+                timers.cancel_node(&node);
+                let _ = ack.send(());
+            }
+            Event::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // -- FlowMachine unit tests --------------------------------------------
+
+    #[test]
+    fn happy_path_acks_once() {
+        let mut m = FlowMachine::new(8);
+        assert_eq!(m.on_event(FlowEvent::Sent), FlowAction::None);
+        assert_eq!(m.phase(), FlowPhase::AwaitingAck);
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Ack,
+        });
+        assert_eq!(action, FlowAction::Complete);
+        assert_eq!(m.phase(), FlowPhase::Done);
+        assert!(m.is_terminal());
+        assert_eq!(m.stale_feedback(), 0);
+    }
+
+    #[test]
+    fn nack_drives_a_generation_stamped_round() {
+        let mut m = FlowMachine::new(8);
+        m.on_event(FlowEvent::Sent);
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Nack {
+                missing: vec![2, 5],
+            },
+        });
+        assert_eq!(
+            action,
+            FlowAction::Retransmit {
+                generation: 1,
+                missing: vec![2, 5],
+                attempt: 1
+            }
+        );
+        assert_eq!(m.phase(), FlowPhase::Retransmitting { round: 1 });
+        assert_eq!(m.generation(), 1);
+        // Ack from the new round completes.
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 1,
+            kind: FeedbackKind::Ack,
+        });
+        assert_eq!(action, FlowAction::Complete);
+    }
+
+    #[test]
+    fn stale_generation_feedback_is_dropped_and_counted() {
+        let mut m = FlowMachine::new(8);
+        m.on_event(FlowEvent::Sent);
+        m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Nack { missing: vec![1] },
+        });
+        // A duplicate NACK from the superseded round 0 must not trigger
+        // a second retransmission.
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Nack { missing: vec![1] },
+        });
+        assert_eq!(action, FlowAction::DroppedStale);
+        assert_eq!(m.stale_feedback(), 1);
+        assert_eq!(m.attempts(), 1, "no extra round");
+        // Even a stale ACK is dropped: completion must come from the
+        // current round.
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Ack,
+        });
+        assert_eq!(action, FlowAction::DroppedStale);
+        assert_eq!(m.stale_feedback(), 2);
+        assert!(!m.is_terminal());
+    }
+
+    #[test]
+    fn ack_timeout_resends_blind_until_exhausted() {
+        let mut m = FlowMachine::new(2);
+        m.on_event(FlowEvent::Sent);
+        assert_eq!(
+            m.on_event(FlowEvent::AckTimeout),
+            FlowAction::Retransmit {
+                generation: 1,
+                missing: vec![],
+                attempt: 1
+            }
+        );
+        assert_eq!(
+            m.on_event(FlowEvent::AckTimeout),
+            FlowAction::Retransmit {
+                generation: 2,
+                missing: vec![],
+                attempt: 2
+            }
+        );
+        assert_eq!(
+            m.on_event(FlowEvent::AckTimeout),
+            FlowAction::Exhausted { attempts: 2 }
+        );
+        assert_eq!(m.phase(), FlowPhase::Exhausted);
+        // Terminal: further timers are inert.
+        assert_eq!(m.on_event(FlowEvent::AckTimeout), FlowAction::None);
+    }
+
+    #[test]
+    fn feedback_after_done_never_retransmits() {
+        let mut m = FlowMachine::new(8);
+        m.on_event(FlowEvent::Sent);
+        m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Ack,
+        });
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::Nack { missing: vec![0] },
+        });
+        assert_eq!(action, FlowAction::DroppedStale);
+        assert_eq!(m.stale_feedback(), 1);
+        assert_eq!(m.phase(), FlowPhase::Done);
+    }
+
+    #[test]
+    fn need_full_resolves_the_flow() {
+        let mut m = FlowMachine::new(8);
+        m.on_event(FlowEvent::Sent);
+        let action = m.on_event(FlowEvent::Feedback {
+            generation: 0,
+            kind: FeedbackKind::NeedFull,
+        });
+        assert_eq!(action, FlowAction::NeedFull);
+        assert!(m.is_terminal());
+    }
+
+    // -- FlowMachine property test (satellite: arbitrary interleavings) ----
+
+    fn flow_event_strategy() -> impl Strategy<Value = FlowEvent> {
+        prop_oneof![
+            Just(FlowEvent::Sent),
+            Just(FlowEvent::AckTimeout),
+            (0u64..4, prop_oneof![Just(0u8), Just(1u8), Just(2u8)]).prop_map(|(generation, k)| {
+                let kind = match k {
+                    0 => FeedbackKind::Ack,
+                    1 => FeedbackKind::NeedFull,
+                    _ => FeedbackKind::Nack {
+                        missing: vec![generation as u32],
+                    },
+                };
+                FlowEvent::Feedback { generation, kind }
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn flow_machine_invariants_hold_under_any_interleaving(
+            max_retries in 0u32..6,
+            events in prop::collection::vec(flow_event_strategy(), 0..64),
+        ) {
+            let mut m = FlowMachine::new(max_retries);
+            let mut completions = 0u32;
+            let mut last_generation = 0u64;
+            for event in events {
+                let stale_before = m.stale_feedback();
+                let terminal_before = m.is_terminal();
+                let generation_before = m.generation();
+                let feedback_generation = match &event {
+                    FlowEvent::Feedback { generation, .. } => Some(*generation),
+                    _ => None,
+                };
+                let action = m.on_event(event);
+                match &action {
+                    FlowAction::Complete | FlowAction::NeedFull => {
+                        completions += 1;
+                        prop_assert!(!terminal_before, "completed a resolved flow");
+                    }
+                    FlowAction::Retransmit { generation, .. } => {
+                        prop_assert!(!terminal_before, "retransmit after Done/Exhausted");
+                        prop_assert!(
+                            *generation > last_generation || last_generation == 0,
+                            "generations must increase"
+                        );
+                        prop_assert_eq!(*generation, m.generation());
+                        last_generation = *generation;
+                    }
+                    FlowAction::Exhausted { attempts } => {
+                        prop_assert!(!terminal_before);
+                        prop_assert_eq!(*attempts, max_retries);
+                    }
+                    _ => {}
+                }
+                // Mismatched-generation feedback — and any feedback on a
+                // resolved flow — is dropped and counted, always.
+                if let Some(generation) = feedback_generation {
+                    if terminal_before || generation != generation_before {
+                        prop_assert_eq!(action, FlowAction::DroppedStale);
+                        prop_assert_eq!(m.stale_feedback(), stale_before + 1);
+                    } else {
+                        prop_assert_ne!(action.clone(), FlowAction::DroppedStale);
+                    }
+                }
+            }
+            prop_assert!(completions <= 1, "flow completed {completions} times");
+        }
+    }
+
+    // -- Timer wheel --------------------------------------------------------
+
+    #[test]
+    fn timer_wheel_fires_in_deadline_then_arm_order() {
+        let mut wheel = TimerWheel::default();
+        wheel.arm("b", 1, SimInstant::from_nanos(100));
+        wheel.arm("a", 1, SimInstant::from_nanos(100));
+        wheel.arm("c", 1, SimInstant::from_nanos(50));
+        assert_eq!(wheel.deadline("c", 1), Some(SimInstant::from_nanos(50)));
+        let (node, _, at) = wheel.pop_earliest().unwrap();
+        assert_eq!((node.as_str(), at.as_nanos()), ("c", 50));
+        // Same deadline: fires in arm order (b before a).
+        assert_eq!(wheel.pop_earliest().unwrap().0, "b");
+        assert_eq!(wheel.pop_earliest().unwrap().0, "a");
+        assert!(wheel.pop_earliest().is_none());
+    }
+
+    #[test]
+    fn timer_wheel_rearm_and_cancel() {
+        let mut wheel = TimerWheel::default();
+        wheel.arm("n", 7, SimInstant::from_nanos(10));
+        wheel.arm("n", 7, SimInstant::from_nanos(99));
+        assert_eq!(wheel.deadline("n", 7), Some(SimInstant::from_nanos(99)));
+        let (_, token, at) = wheel.pop_earliest().unwrap();
+        assert_eq!((token, at.as_nanos()), (7, 99), "re-arm replaced the old");
+        assert!(wheel.is_empty());
+        wheel.arm("n", 1, SimInstant::from_nanos(5));
+        wheel.arm("n", 2, SimInstant::from_nanos(6));
+        wheel.cancel("n", 1);
+        assert_eq!(wheel.pop_earliest().unwrap().1, 2);
+        wheel.arm("x", 1, SimInstant::from_nanos(1));
+        wheel.arm("y", 1, SimInstant::from_nanos(2));
+        wheel.cancel_node("x");
+        assert_eq!(wheel.pop_earliest().unwrap().0, "y");
+        assert!(wheel.is_empty());
+    }
+
+    // -- Scheduler end-to-end ----------------------------------------------
+
+    /// Spin (wall clock) until `done` holds, panicking after ~5 s.
+    fn wait_for(done: impl Fn() -> bool) {
+        let start = std::time::Instant::now();
+        while !done() {
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(5),
+                "condition not reached in time"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    struct CountingTask {
+        mails: Arc<AtomicU64>,
+        timers: Arc<AtomicU64>,
+        wakes: Arc<AtomicU64>,
+        jobs: Arc<AtomicU64>,
+    }
+
+    impl ReactorTask for CountingTask {
+        fn on_mail(&mut self, ctx: &mut TaskCtx<'_>) {
+            self.mails.fetch_add(1, Ordering::SeqCst);
+            // Arm a timer that fires only once the queue quiesces.
+            ctx.arm_timer_at(1, SimInstant::from_nanos(500));
+        }
+        fn on_timer(&mut self, token: u64, deadline: SimInstant, _ctx: &mut TaskCtx<'_>) {
+            assert_eq!(token, 1);
+            assert_eq!(deadline, SimInstant::from_nanos(500));
+            self.timers.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_wake(&mut self, _ctx: &mut TaskCtx<'_>) {
+            self.wakes.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_job(&mut self, job: Box<dyn Any + Send>, _ctx: &mut TaskCtx<'_>) {
+            let v = *job.downcast::<u64>().expect("u64 job");
+            self.jobs.fetch_add(v, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn scheduler_dispatches_mail_jobs_wakes_and_quiescent_timers() {
+        let reactor = Reactor::new(1, Telemetry::disabled());
+        let mails = Arc::new(AtomicU64::new(0));
+        let timers = Arc::new(AtomicU64::new(0));
+        let wakes = Arc::new(AtomicU64::new(0));
+        let jobs = Arc::new(AtomicU64::new(0));
+        reactor.register(
+            "n",
+            Box::new(CountingTask {
+                mails: mails.clone(),
+                timers: timers.clone(),
+                wakes: wakes.clone(),
+                jobs: jobs.clone(),
+            }),
+        );
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "initial wake at register");
+        reactor.post_mail("n");
+        reactor.post_mail("ghost"); // unknown node: ignored
+        reactor.submit("n", Box::new(41u64));
+        reactor.submit("n", Box::new(1u64));
+        reactor.wake_all();
+        // The timer fires only at quiescence — after the scheduler drains
+        // the queue — so wait for it before tearing down (deregistering
+        // immediately would cancel it while events are still queued).
+        wait_for(|| timers.load(Ordering::SeqCst) == 1);
+        reactor.deregister("n");
+        assert_eq!(mails.load(Ordering::SeqCst), 1);
+        assert_eq!(jobs.load(Ordering::SeqCst), 42);
+        assert_eq!(wakes.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            timers.load(Ordering::SeqCst),
+            1,
+            "timer fired exactly once at quiescence"
+        );
+    }
+
+    #[test]
+    fn timers_fired_counter_counts() {
+        let telemetry = Telemetry::disabled();
+        let reactor = Reactor::new(1, telemetry.clone());
+        let mails = Arc::new(AtomicU64::new(0));
+        let timers = Arc::new(AtomicU64::new(0));
+        reactor.register(
+            "n",
+            Box::new(CountingTask {
+                mails: mails.clone(),
+                timers: timers.clone(),
+                wakes: Arc::new(AtomicU64::new(0)),
+                jobs: Arc::new(AtomicU64::new(0)),
+            }),
+        );
+        reactor.post_mail("n");
+        wait_for(|| timers.load(Ordering::SeqCst) == 1);
+        reactor.deregister("n");
+        assert_eq!(telemetry.counter("reactor.timers_fired").get(), 1);
+        drop(reactor);
+    }
+
+    #[test]
+    fn crc_pool_is_positionally_deterministic() {
+        use crate::ChunkHeader;
+        use viper_formats::Payload;
+        let make = |i: u32| {
+            let body = vec![i as u8; 64 + i as usize];
+            let header = ChunkHeader::for_body(u64::from(i), 0, 1, 0, body.len() as u64, &body);
+            Message {
+                from: "a".into(),
+                to: "b".into(),
+                tag: "t".into(),
+                payload: crate::WireBuf::framed(header.encode(), Payload::from(body)),
+                kind: crate::MessageKind::Chunk,
+                link: crate::LinkKind::HostRdma,
+                sent_at: SimInstant::ZERO,
+                arrived_at: SimInstant::ZERO,
+                wire_time: std::time::Duration::ZERO,
+            }
+        };
+        let msgs: Vec<Message> = (0..32).map(make).collect();
+        let inline = CrcPool::new(1);
+        let pooled = CrcPool::new(4);
+        assert_eq!(inline.threads(), 0);
+        assert_eq!(pooled.threads(), 4);
+        let a = inline.crc_batch(msgs.clone());
+        let b = pooled.crc_batch(msgs);
+        assert_eq!(a.len(), b.len());
+        for (i, ((ma, ca), (mb, cb))) in a.iter().zip(b.iter()).enumerate() {
+            assert!(ca.is_some(), "chunk {i} must have a body crc");
+            assert_eq!(ma.payload.to_vec(), mb.payload.to_vec(), "msg {i} order");
+            assert_eq!(ca, cb, "crc {i}");
+        }
+    }
+}

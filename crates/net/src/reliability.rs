@@ -22,13 +22,23 @@ use std::time::Duration;
 /// Magic bytes marking a reliability control frame ("VPRL").
 pub const CONTROL_MAGIC: u32 = 0x5650_524C;
 
-/// A reliability control frame, sent receiver → sender.
+/// A reliability control frame.
+///
+/// Feedback frames (`Nack`/`Ack`/`NeedFull`) travel receiver → sender and
+/// echo the retransmit-round **generation** the receiver currently knows
+/// for the flow; the sender drops (and counts) feedback whose generation
+/// does not match the flow's current round, so stale complaints from a
+/// superseded round can never trigger a duplicate retransmission. The
+/// `Round` frame travels sender → receiver ahead of each retransmit
+/// round's chunks and is what advances the receiver's known generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Control {
     /// The flow is incomplete: these chunk indices are missing or corrupt.
     Nack {
         /// Flow being complained about.
         flow_id: u64,
+        /// Retransmit-round generation this complaint is about.
+        generation: u64,
         /// Chunk indices to retransmit.
         missing: Vec<u32>,
     },
@@ -36,6 +46,8 @@ pub enum Control {
     Ack {
         /// Flow being acknowledged.
         flow_id: u64,
+        /// Retransmit-round generation that completed the flow.
+        generation: u64,
     },
     /// The flow reassembled completely but its payload was an incremental
     /// delta the receiver cannot use (base checkpoint missing or stale): the
@@ -43,21 +55,49 @@ pub enum Control {
     NeedFull {
         /// Flow whose delta payload was rejected.
         flow_id: u64,
+        /// Retransmit-round generation that completed the flow.
+        generation: u64,
+    },
+    /// Sender → receiver: the next chunks for this flow belong to
+    /// retransmit round `generation`. Sent before each retransmission
+    /// round; the fabric preserves per-sender order, so the receiver
+    /// always learns the new generation before that round's chunks land.
+    Round {
+        /// Flow the round belongs to.
+        flow_id: u64,
+        /// The new retransmit-round generation (1-based; the initial send
+        /// is generation 0 and needs no announcement).
+        generation: u64,
     },
 }
 
 impl Control {
     /// Serialize to a wire payload.
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, flow_id, missing): (u8, u64, &[u32]) = match self {
-            Control::Nack { flow_id, missing } => (0, *flow_id, missing),
-            Control::Ack { flow_id } => (1, *flow_id, &[]),
-            Control::NeedFull { flow_id } => (2, *flow_id, &[]),
+        let (kind, flow_id, generation, missing): (u8, u64, u64, &[u32]) = match self {
+            Control::Nack {
+                flow_id,
+                generation,
+                missing,
+            } => (0, *flow_id, *generation, missing),
+            Control::Ack {
+                flow_id,
+                generation,
+            } => (1, *flow_id, *generation, &[]),
+            Control::NeedFull {
+                flow_id,
+                generation,
+            } => (2, *flow_id, *generation, &[]),
+            Control::Round {
+                flow_id,
+                generation,
+            } => (3, *flow_id, *generation, &[]),
         };
-        let mut buf = Vec::with_capacity(4 + 1 + 8 + 4 + 4 * missing.len());
+        let mut buf = Vec::with_capacity(4 + 1 + 8 + 8 + 4 + 4 * missing.len());
         buf.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
         buf.push(kind);
         buf.extend_from_slice(&flow_id.to_le_bytes());
+        buf.extend_from_slice(&generation.to_le_bytes());
         buf.extend_from_slice(&(missing.len() as u32).to_le_bytes());
         for &index in missing {
             buf.extend_from_slice(&index.to_le_bytes());
@@ -67,7 +107,7 @@ impl Control {
 
     /// Parse a wire payload; `None` if it is not a well-formed control frame.
     pub fn decode(payload: &[u8]) -> Option<Control> {
-        if payload.len() < 17 {
+        if payload.len() < 25 {
             return None;
         }
         if u32::from_le_bytes(payload[0..4].try_into().ok()?) != CONTROL_MAGIC {
@@ -75,18 +115,53 @@ impl Control {
         }
         let kind = payload[4];
         let flow_id = u64::from_le_bytes(payload[5..13].try_into().ok()?);
-        let count = u32::from_le_bytes(payload[13..17].try_into().ok()?) as usize;
-        if payload.len() != 17 + 4 * count {
+        let generation = u64::from_le_bytes(payload[13..21].try_into().ok()?);
+        let count = u32::from_le_bytes(payload[21..25].try_into().ok()?) as usize;
+        if payload.len() != 25 + 4 * count {
             return None;
         }
         let missing = (0..count)
-            .map(|i| u32::from_le_bytes(payload[17 + 4 * i..21 + 4 * i].try_into().expect("4 B")))
+            .map(|i| u32::from_le_bytes(payload[25 + 4 * i..29 + 4 * i].try_into().expect("4 B")))
             .collect();
         match kind {
-            0 => Some(Control::Nack { flow_id, missing }),
-            1 if count == 0 => Some(Control::Ack { flow_id }),
-            2 if count == 0 => Some(Control::NeedFull { flow_id }),
+            0 => Some(Control::Nack {
+                flow_id,
+                generation,
+                missing,
+            }),
+            1 if count == 0 => Some(Control::Ack {
+                flow_id,
+                generation,
+            }),
+            2 if count == 0 => Some(Control::NeedFull {
+                flow_id,
+                generation,
+            }),
+            3 if count == 0 => Some(Control::Round {
+                flow_id,
+                generation,
+            }),
             _ => None,
+        }
+    }
+
+    /// The flow this frame is about.
+    pub fn flow_id(&self) -> u64 {
+        match self {
+            Control::Nack { flow_id, .. }
+            | Control::Ack { flow_id, .. }
+            | Control::NeedFull { flow_id, .. }
+            | Control::Round { flow_id, .. } => *flow_id,
+        }
+    }
+
+    /// The retransmit-round generation carried by this frame.
+    pub fn generation(&self) -> u64 {
+        match self {
+            Control::Nack { generation, .. }
+            | Control::Ack { generation, .. }
+            | Control::NeedFull { generation, .. }
+            | Control::Round { generation, .. } => *generation,
         }
     }
 }
@@ -101,11 +176,17 @@ pub struct RetryPolicy {
     pub base_backoff: Duration,
     /// Upper bound on the per-round backoff.
     pub backoff_cap: Duration,
-    /// Wall-clock time the sender waits for an ACK/NACK before resending
-    /// the whole flow blind (covers "the final chunk was dropped and the
-    /// receiver never saw enough to complain").
+    /// Virtual-time window the sender's reactor arms per flow before
+    /// resending the whole flow blind (covers "the final chunk was dropped
+    /// and the receiver never saw enough to complain"). The timer is a
+    /// virtual-clock deadline on the delivery reactor's timer wheel; it
+    /// fires only when no deliverable event precedes it, so it never
+    /// advances the clock and a loaded test machine cannot trigger it
+    /// spuriously.
     pub ack_timeout: Duration,
-    /// Wall-clock inactivity after which the receiver NACKs a partial flow.
+    /// Virtual-time inactivity (since the last chunk arrival) after which
+    /// the receiver NACKs a partial flow. Also a reactor timer-wheel
+    /// deadline, not a wall-clock poll.
     pub nack_after: Duration,
     /// How many times the receiver re-NACKs a stalled flow before
     /// abandoning it (freeing its buffer).
@@ -160,14 +241,26 @@ mod tests {
     #[test]
     fn control_roundtrips() {
         for control in [
-            Control::Ack { flow_id: 99 },
-            Control::NeedFull { flow_id: 41 },
+            Control::Ack {
+                flow_id: 99,
+                generation: 0,
+            },
+            Control::NeedFull {
+                flow_id: 41,
+                generation: 3,
+            },
+            Control::Round {
+                flow_id: 12,
+                generation: 7,
+            },
             Control::Nack {
                 flow_id: 7,
+                generation: 2,
                 missing: vec![0, 3, 12],
             },
             Control::Nack {
                 flow_id: u64::MAX,
+                generation: u64::MAX,
                 missing: vec![],
             },
         ] {
@@ -176,25 +269,65 @@ mod tests {
     }
 
     #[test]
+    fn control_accessors_cover_all_kinds() {
+        let nack = Control::Nack {
+            flow_id: 5,
+            generation: 9,
+            missing: vec![1],
+        };
+        assert_eq!(nack.flow_id(), 5);
+        assert_eq!(nack.generation(), 9);
+        let round = Control::Round {
+            flow_id: 6,
+            generation: 2,
+        };
+        assert_eq!(round.flow_id(), 6);
+        assert_eq!(round.generation(), 2);
+    }
+
+    #[test]
     fn malformed_control_rejected() {
         assert_eq!(Control::decode(b""), None);
-        assert_eq!(Control::decode(b"VPRLxxxxxxxxxxxxx"), None);
+        assert_eq!(Control::decode(b"VPRLxxxxxxxxxxxxxxxxxxxxx"), None);
         let mut truncated = Control::Nack {
             flow_id: 1,
+            generation: 0,
             missing: vec![1, 2],
         }
         .encode();
         truncated.pop();
         assert_eq!(Control::decode(&truncated), None);
+        // A pre-generation (17-byte) frame no longer parses.
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
+        legacy.push(1);
+        legacy.extend_from_slice(&1u64.to_le_bytes());
+        legacy.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Control::decode(&legacy), None);
         // Unknown kind byte.
-        let mut bad = Control::Ack { flow_id: 1 }.encode();
+        let mut bad = Control::Ack {
+            flow_id: 1,
+            generation: 0,
+        }
+        .encode();
         bad[4] = 9;
         assert_eq!(Control::decode(&bad), None);
-        // ACK-family frames carry no chunk indices.
-        let mut padded = Control::NeedFull { flow_id: 1 }.encode();
-        padded[13..17].copy_from_slice(&1u32.to_le_bytes());
-        padded.extend_from_slice(&0u32.to_le_bytes());
-        assert_eq!(Control::decode(&padded), None);
+        // ACK-family and Round frames carry no chunk indices.
+        for frame in [
+            Control::NeedFull {
+                flow_id: 1,
+                generation: 0,
+            },
+            Control::Round {
+                flow_id: 1,
+                generation: 1,
+            },
+        ] {
+            let mut padded = frame.encode();
+            padded[21..25].copy_from_slice(&1u32.to_le_bytes());
+            padded.extend_from_slice(&0u32.to_le_bytes());
+            assert_eq!(Control::decode(&padded), None);
+        }
     }
 
     #[test]

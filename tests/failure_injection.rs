@@ -409,11 +409,22 @@ fn big_ckpt(iter: u64, elems: usize) -> Checkpoint {
 
 const CHUNK_SMALL: u64 = 1024; // ~7 chunks for a 1500-element checkpoint
 
+/// Reactor CRC-pool width (`VIPER_REACTOR_THREADS` in CI's reactor axis,
+/// inline verification locally). The pool width must never change observable
+/// behavior, so CI sweeps it across the same fault seeds.
+fn reactor_threads() -> usize {
+    std::env::var("VIPER_REACTOR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
 fn reliable_config(route: Route, plan: FaultPlan) -> ViperConfig {
     let mut config = ViperConfig::default()
         .with_strategy(route, CaptureMode::Sync)
         .with_chunked(CHUNK_SMALL)
         .with_faults(plan)
+        .with_reactor_threads(reactor_threads())
         .with_retry(fast_retry());
     config.flush_to_pfs = false;
     config

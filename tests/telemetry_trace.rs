@@ -33,11 +33,12 @@ fn fast_retry() -> RetryPolicy {
     }
 }
 
-/// Retry policy whose wall-clock timers can't fire under test-runner load.
-/// The reliable-delivery timers (`ack_timeout`, `nack_after`) are real wall
-/// time; on a loaded machine a starved listener thread would trigger blind
-/// resends and perturb the virtual timeline of an otherwise deterministic
-/// fault-free run.
+/// Retry policy whose delivery timers can't fire in a fault-free run. The
+/// reliable-delivery timers (`ack_timeout`, `nack_after`) live on the
+/// reactor's virtual-clock timer wheel and only fire at scheduler
+/// quiescence — a fault-free flow completes its event cascade first, so
+/// these generous deadlines are belt-and-braces for runs that measure the
+/// timeline rather than the repair path.
 fn patient_retry() -> RetryPolicy {
     RetryPolicy {
         ack_timeout: Duration::from_secs(120),
@@ -197,6 +198,57 @@ fn disabled_telemetry_leaves_virtual_makespan_bit_identical() {
         disabled, enabled,
         "telemetry perturbed the virtual timeline"
     );
+}
+
+/// One faulted reliable run at a given reactor CRC-pool width; returns the
+/// final virtual-clock reading (the makespan) and the exact Chrome-trace
+/// export bytes.
+fn faulted_run(reactor_threads: usize) -> (u64, String) {
+    let telemetry = Telemetry::enabled();
+    let mut config = ViperConfig::default()
+        .with_strategy(Route::GpuToGpu, CaptureMode::Sync)
+        .with_chunked(1024)
+        .with_faults(FaultPlan::seeded(7).with_drop(0.15).with_reorder(0.15))
+        .with_retry(fast_retry())
+        .with_reactor_threads(reactor_threads)
+        .with_telemetry(telemetry.clone());
+    config.flush_to_pfs = false;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+    for iter in 1..=5u64 {
+        producer.save_weights(&ckpt(iter)).unwrap();
+        consumer.load_weights(Duration::from_secs(30)).unwrap();
+    }
+    (viper.clock().now().as_nanos(), chrome::export(&telemetry))
+}
+
+#[test]
+fn faulted_reactor_runs_are_bit_identical_across_thread_counts() {
+    // The reactor's determinism contract: the CRC worker pool only changes
+    // wall-clock throughput, never the virtual timeline or the trace. The
+    // same seed and fault plan must yield a bit-identical virtual makespan
+    // AND bit-identical Chrome-trace bytes — across repeated runs and
+    // across CRC pool widths of 1, 4, and 16.
+    let (reference_makespan, reference_trace) = faulted_run(1);
+    assert!(
+        reference_makespan > 0,
+        "faulted run must consume virtual time"
+    );
+    chrome::validate_json(&reference_trace).expect("reference trace is valid JSON");
+    for threads in [1usize, 4, 16] {
+        for run in 0..10 {
+            let (makespan, trace) = faulted_run(threads);
+            assert_eq!(
+                makespan, reference_makespan,
+                "threads={threads} run={run}: virtual makespan diverged"
+            );
+            assert_eq!(
+                trace, reference_trace,
+                "threads={threads} run={run}: trace bytes diverged"
+            );
+        }
+    }
 }
 
 #[test]
