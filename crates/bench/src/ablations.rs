@@ -226,6 +226,152 @@ pub fn scheduler_comparison() -> Vec<(String, usize, f64)> {
     ]
 }
 
+/// Measured result of one straggler-delivery mode in
+/// [`straggler_coalescing`].
+pub struct StragglerRow {
+    /// Delivery mode label (`fifo (unbounded)` / `coalesce (bound 1)`).
+    pub mode: String,
+    /// Updates the straggler actually installed.
+    pub delivered: u64,
+    /// Updates collapsed away before hitting the wire.
+    pub superseded: u64,
+    /// Mean versions-behind at install time.
+    pub mean_staleness: f64,
+    /// Worst versions-behind at install time.
+    pub max_staleness: u64,
+    /// Virtual instant the straggler finally holds the newest version.
+    pub makespan: f64,
+}
+
+/// Straggler-consumer delivery: unbounded FIFO vs collapse-to-latest
+/// coalescing, as a deterministic single-server queueing model built from
+/// the production pieces — [`CoalesceQueue`](viper_net::CoalesceQueue) for
+/// the backlog and [`backoff_with_pressure`](viper_net::RetryPolicy::backoff_with_pressure) for the per-round
+/// repair cost.
+///
+/// The producer emits a new version every `DT` seconds (training never
+/// blocks); the straggler's link drops 75% of chunks per repair round, so
+/// its per-update service time exceeds the production cadence. Without
+/// coalescing the backlog (and the versions-behind staleness of every
+/// install) grows without bound; with a depth-1 coalescing queue the
+/// straggler skips superseded versions and its staleness stays bounded by
+/// a single service time.
+pub fn straggler_coalescing() -> Vec<StragglerRow> {
+    use std::collections::VecDeque;
+    use viper_net::{CoalesceQueue, RetryPolicy};
+
+    const N: u64 = 200; // versions produced
+    const DT: f64 = 0.25; // production cadence (s)
+    const CHUNKS: u32 = 8; // chunks per update
+    const WIRE: f64 = 0.12; // per-repair-round wire time (s)
+    const SEED: u64 = 7;
+
+    // SplitMix64 — the same deterministic stream family the fault plan
+    // draws from; a chunk survives a round with probability 1/4.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    enum Backlog {
+        Fifo(VecDeque<u64>),
+        Coalesce(CoalesceQueue<u64>),
+    }
+    impl Backlog {
+        fn push(&mut self, v: u64) {
+            match self {
+                Backlog::Fifo(q) => q.push_back(v),
+                Backlog::Coalesce(q) => {
+                    q.push(v, v);
+                }
+            }
+        }
+        fn pop(&mut self) -> Option<u64> {
+            match self {
+                Backlog::Fifo(q) => q.pop_front(),
+                Backlog::Coalesce(q) => q.pop().map(|(v, _)| v),
+            }
+        }
+        fn len(&self) -> usize {
+            match self {
+                Backlog::Fifo(q) => q.len(),
+                Backlog::Coalesce(q) => q.len(),
+            }
+        }
+        fn superseded(&self) -> u64 {
+            match self {
+                Backlog::Fifo(_) => 0,
+                Backlog::Coalesce(q) => q.superseded(),
+            }
+        }
+    }
+
+    let retry = RetryPolicy::default();
+    let created_at = |v: u64| v as f64 * DT;
+    let run = |coalesce: bool| -> StragglerRow {
+        let mut backlog = if coalesce {
+            Backlog::Coalesce(CoalesceQueue::new(1))
+        } else {
+            Backlog::Fifo(VecDeque::new())
+        };
+        let mut rng = SEED;
+        let mut now = 0.0f64;
+        let mut next_version = 1u64;
+        let mut delivered = 0u64;
+        let mut staleness_sum = 0u64;
+        let mut max_staleness = 0u64;
+        loop {
+            while next_version <= N && created_at(next_version) <= now {
+                backlog.push(next_version);
+                next_version += 1;
+            }
+            let Some(version) = backlog.pop() else {
+                if next_version > N {
+                    break;
+                }
+                now = created_at(next_version);
+                continue;
+            };
+            // One repair round per iteration: wire time for the outstanding
+            // chunks, then a pressure-scaled backoff before the next round.
+            let mut remaining = CHUNKS;
+            let mut attempt = 0u32;
+            while remaining > 0 {
+                attempt += 1;
+                now += WIRE;
+                remaining = (0..remaining).filter(|_| !mix(&mut rng).is_multiple_of(4)).count() as u32;
+                if remaining > 0 {
+                    now += retry
+                        .backoff_with_pressure(attempt, backlog.len())
+                        .as_secs_f64();
+                }
+            }
+            delivered += 1;
+            let latest = N.min((now / DT) as u64);
+            let behind = latest.saturating_sub(version);
+            staleness_sum += behind;
+            max_staleness = max_staleness.max(behind);
+        }
+        StragglerRow {
+            mode: if coalesce {
+                "coalesce (bound 1)".into()
+            } else {
+                "fifo (unbounded)".into()
+            },
+            delivered,
+            superseded: backlog.superseded(),
+            mean_staleness: staleness_sum as f64 / delivered.max(1) as f64,
+            max_staleness,
+            makespan: now,
+        }
+    };
+
+    vec![run(false), run(true)]
+}
+
 /// Measured result of the incremental (delta) checkpointing ablation.
 pub struct DeltaSavings {
     /// Full checkpoint encoded size in bytes.
@@ -426,6 +572,32 @@ pub fn render_all() -> String {
         .collect();
     out.push_str(&crate::markdown_table(
         &["route", "full (s)", "delta (s)", "speedup"],
+        &rows,
+    ));
+
+    out.push_str("\n### Straggler consumer: FIFO vs collapse-to-latest coalescing\n\n");
+    let rows: Vec<Vec<String>> = straggler_coalescing()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.mode,
+                r.delivered.to_string(),
+                r.superseded.to_string(),
+                format!("{:.1}", r.mean_staleness),
+                r.max_staleness.to_string(),
+                format!("{:.1}", r.makespan),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::markdown_table(
+        &[
+            "delivery mode",
+            "delivered",
+            "superseded",
+            "mean staleness (versions)",
+            "max staleness",
+            "drain makespan (s)",
+        ],
         &rows,
     ));
 

@@ -13,6 +13,23 @@
 //! reactor's scheduler drives every flow's [`FlowMachine`] from feedback
 //! mail and virtual-clock ack timers.
 //!
+//! ## Backpressure and coalescing
+//!
+//! With [`ViperConfig::coalesce_updates`] the save path no longer blocks
+//! for terminal delivery: the job reply is sent at *admission*, and the
+//! task may drive several updates concurrently. Each `(consumer, model)`
+//! pair is a **lane**: while a lane has a flow in flight, newer updates
+//! for it queue in a bounded [`CoalesceQueue`] that collapses to the
+//! latest — superseded versions are dropped before they ever touch the
+//! wire, counted per consumer (`producer.{node}.updates_superseded.*`)
+//! and in aggregate, with the total backlog exported as the
+//! `producer.{node}.queue_depth` gauge. A congested lane also backs its
+//! retransmissions off harder: the retry pause grows with the lane's
+//! backlog ([`RetryPolicy::backoff_with_pressure`]). An update that
+//! exhausts its retries skips the durable PFS fallback when a newer
+//! version is already queued behind the same lane — the newer version
+//! supersedes it for that consumer.
+//!
 //! Full-checkpoint fallback rules (the codec never guesses):
 //!
 //! * a consumer with no acknowledged base (freshly attached, or forgotten
@@ -28,13 +45,17 @@
 //!
 //! Virtual-time accounting: encoding a delta charges one full-model read
 //! pass (the diff) at the route's staging bandwidth via
-//! [`viper_hw::stage_time`], from the delivery's causal frontier — so the
-//! deterministic-timeline invariant (disabled vs enabled telemetry is
-//! bit-identical) holds with delta transfer on.
+//! [`viper_hw::stage_time`], from the delivery's causal frontier — and the
+//! whole reliable engine charges *causally*: feedback is handled at its
+//! arrival instant, timers at their deadline, never at the racy
+//! `clock.now()` — so the deterministic-timeline invariant (disabled vs
+//! enabled telemetry is bit-identical) holds with delta transfer on and
+//! stays independent of thread scheduling even while a coalescing
+//! producer saves concurrently with in-flight deliveries.
 
 use crate::config::ViperConfig;
 use crate::context::Viper;
-use crate::producer::{charge, charge_at};
+use crate::producer::charge_at;
 use crate::UPDATE_TOPIC;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -46,10 +67,10 @@ use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind};
 use viper_hw::{stage_time, MachineProfile, Route, SimInstant, Tier};
 use viper_metastore::ModelRecord;
 use viper_net::{
-    ChunkedSend, Control, Endpoint, FeedbackKind, FlowAction, FlowEvent, FlowMachine, LinkKind,
-    MessageKind, ReactorTask, TaskCtx,
+    ChunkedSend, CoalesceQueue, Control, Endpoint, FeedbackKind, FlowAction, FlowEvent,
+    FlowMachine, LinkKind, MessageKind, ReactorTask, TaskCtx,
 };
-use viper_telemetry::{Counter, Telemetry};
+use viper_telemetry::{Counter, Gauge, Telemetry};
 
 /// Observability counters for the delivery path. Registered in the
 /// deployment's telemetry metrics registry under per-node names
@@ -84,6 +105,13 @@ pub(crate) struct DeliveryCounters {
     /// feedback is expected under reordering faults; it must be counted,
     /// never acted on.
     pub(crate) stale_feedback: Counter,
+    /// Updates dropped from a lane's coalescing queue because a newer
+    /// version arrived while the lane was congested (aggregate across
+    /// consumers; per-consumer counts live under
+    /// `producer.{node}.updates_superseded.{consumer}`).
+    pub(crate) updates_superseded: Counter,
+    /// Current total backlog across every lane's coalescing queue.
+    pub(crate) queue_depth: Gauge,
 }
 
 impl DeliveryCounters {
@@ -98,6 +126,8 @@ impl DeliveryCounters {
             bytes_copied: telemetry.counter(&format!("producer.{node}.bytes_copied")),
             payload_allocs: telemetry.counter(&format!("producer.{node}.payload_allocs")),
             stale_feedback: telemetry.counter(&format!("producer.{node}.stale_feedback")),
+            updates_superseded: telemetry.counter(&format!("producer.{node}.updates_superseded")),
+            queue_depth: telemetry.gauge(&format!("producer.{node}.queue_depth")),
         }
     }
 }
@@ -120,6 +150,35 @@ pub(crate) struct WirePayload {
     pub(crate) bytes: Payload,
 }
 
+/// Per-model memo of encoded wire payloads for the codec's *current*
+/// update: the full framing happens at most once, and a delta against a
+/// given base is diffed/encoded (and its diff pass charged) at most once
+/// even when several consumers share the acknowledged base. The memo is
+/// keyed to one target iteration — a newer save resets it — and delta
+/// entries are evicted when retention prunes their base, so the cache
+/// never accretes encodings that [`PayloadCodec::base_for`] would refuse
+/// to choose again.
+#[derive(Default)]
+struct ModelWireCache {
+    /// Iteration the cached encodings were produced for.
+    target: u64,
+    full: Option<Payload>,
+    /// base iteration → framed delta; `None` caches a failed diff
+    /// (architecture changed), so it is not retried per consumer.
+    deltas: HashMap<u64, Option<Payload>>,
+}
+
+impl ModelWireCache {
+    fn reset_to(&mut self, target: u64) {
+        if self.target != target {
+            *self = ModelWireCache {
+                target,
+                ..ModelWireCache::default()
+            };
+        }
+    }
+}
+
 /// Per-producer delta state: retained diff bases and per-consumer
 /// acknowledged iterations. Inactive (all methods no-ops, `encode_for`
 /// passes the raw payload through) unless both `delta_transfer` and
@@ -133,6 +192,8 @@ pub(crate) struct PayloadCodec {
     retained: Mutex<HashMap<String, BTreeMap<u64, Arc<Checkpoint>>>>,
     /// Last iteration each (consumer, model) pair ACKed an install of.
     acked: Mutex<HashMap<(String, String), u64>>,
+    /// Encoded-payload memo per model (see [`ModelWireCache`]).
+    wire_cache: Mutex<HashMap<String, ModelWireCache>>,
 }
 
 impl PayloadCodec {
@@ -142,6 +203,7 @@ impl PayloadCodec {
             keep: config.keep_versions.max(1),
             retained: Mutex::new(HashMap::new()),
             acked: Mutex::new(HashMap::new()),
+            wire_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -151,17 +213,36 @@ impl PayloadCodec {
     }
 
     /// Retain a captured checkpoint as a future diff base, pruned to the
-    /// configured version budget.
+    /// configured version budget. Pruning also evicts the wire cache's
+    /// delta entries for the pruned bases: `base_for` refuses a pruned
+    /// base, so a cached encoding against one can never be chosen again —
+    /// keeping it would leak one framed payload per pruned version.
     pub(crate) fn retain(&self, ckpt: &Arc<Checkpoint>) {
         if !self.active {
             return;
         }
-        let mut retained = self.retained.lock();
-        let bases = retained.entry(ckpt.model_name.clone()).or_default();
-        bases.insert(ckpt.iteration, Arc::clone(ckpt));
-        while bases.len() > self.keep {
-            let oldest = *bases.keys().next().expect("non-empty");
-            bases.remove(&oldest);
+        let surviving: Vec<u64> = {
+            let mut retained = self.retained.lock();
+            let bases = retained.entry(ckpt.model_name.clone()).or_default();
+            bases.insert(ckpt.iteration, Arc::clone(ckpt));
+            while bases.len() > self.keep {
+                let oldest = *bases.keys().next().expect("non-empty");
+                bases.remove(&oldest);
+            }
+            bases.keys().copied().collect()
+        };
+        let mut caches = self.wire_cache.lock();
+        if let Some(cache) = caches.get_mut(&ckpt.model_name) {
+            cache
+                .deltas
+                .retain(|base, _| surviving.binary_search(base).is_ok());
+            debug_assert!(
+                cache
+                    .deltas
+                    .keys()
+                    .all(|base| surviving.binary_search(base).is_ok()),
+                "wire cache must never hold a delta whose base was pruned"
+            );
         }
     }
 
@@ -205,23 +286,21 @@ impl PayloadCodec {
             .lock()
             .remove(&(consumer.to_string(), model.to_string()));
     }
-}
 
-/// Per-delivery memo of encoded wire payloads: the full framing happens at
-/// most once, and a delta against a given base is diffed/encoded (and its
-/// diff pass charged) at most once even when several consumers share the
-/// acknowledged base.
-#[derive(Default)]
-struct WireCache {
-    full: Option<Payload>,
-    /// base iteration → framed delta; `None` caches a failed diff
-    /// (architecture changed), so it is not retried per consumer.
-    deltas: HashMap<u64, Option<Payload>>,
-}
-
-impl WireCache {
-    fn full_framed(&mut self, payload: &Payload, counters: &DeliveryCounters) -> Payload {
-        self.full
+    /// Memoized framed-full encoding of `model`'s update `target`,
+    /// producing (and counting) it on first use.
+    fn full_framed_cached(
+        &self,
+        model: &str,
+        target: u64,
+        payload: &Payload,
+        counters: &DeliveryCounters,
+    ) -> Payload {
+        let mut caches = self.wire_cache.lock();
+        let entry = caches.entry(model.to_string()).or_default();
+        entry.reset_to(target);
+        entry
+            .full
             .get_or_insert_with(|| {
                 // The one remaining full-payload copy under delta transfer:
                 // prefixing the envelope header rewrites the body. Done at
@@ -232,6 +311,45 @@ impl WireCache {
             })
             .clone()
     }
+
+    /// Memoized delta of `model`'s update `target` against `base`,
+    /// invoking `make` (which encodes and charges the diff pass) on first
+    /// use. A memoized `None` records a failed diff so it is not retried
+    /// per consumer.
+    fn delta_cached(
+        &self,
+        model: &str,
+        target: u64,
+        base: u64,
+        make: impl FnOnce() -> Option<Payload>,
+    ) -> Option<Payload> {
+        let mut caches = self.wire_cache.lock();
+        let entry = caches.entry(model.to_string()).or_default();
+        entry.reset_to(target);
+        entry.deltas.entry(base).or_insert_with(make).clone()
+    }
+
+    /// The already-framed full for `model`'s update `target`, if one was
+    /// memoized while encoding the fan-out.
+    pub(crate) fn cached_full(&self, model: &str, target: u64) -> Option<Payload> {
+        self.wire_cache
+            .lock()
+            .get(model)
+            .filter(|entry| entry.target == target)
+            .and_then(|entry| entry.full.clone())
+    }
+
+    #[cfg(test)]
+    fn cached_delta_bases(&self, model: &str) -> Vec<u64> {
+        let mut bases: Vec<u64> = self
+            .wire_cache
+            .lock()
+            .get(model)
+            .map(|entry| entry.deltas.keys().copied().collect())
+            .unwrap_or_default();
+        bases.sort_unstable();
+        bases
+    }
 }
 
 /// Choose and encode the wire payload for one consumer. With the codec
@@ -241,7 +359,6 @@ impl WireCache {
 fn encode_for(
     viper: &Viper,
     codec: &PayloadCodec,
-    cache: &mut WireCache,
     consumer: &str,
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
@@ -264,7 +381,7 @@ fn encode_for(
             .base_for(consumer, &record.name)
             .filter(|b| b.iteration < ckpt.iteration)
         {
-            let encoded = cache.deltas.entry(base.iteration).or_insert_with(|| {
+            let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
                 let framed = delta::diff(&base, ckpt).ok().map(|d| {
                     counters.payload_allocs.inc();
                     Payload::from(wire::frame(PayloadKind::Delta, &d.encode()))
@@ -301,7 +418,7 @@ fn encode_for(
                     .add(full_len.saturating_sub(bytes.len() as u64));
                 return WirePayload {
                     kind: PayloadKind::Delta,
-                    bytes: bytes.clone(),
+                    bytes,
                 };
             }
         }
@@ -309,7 +426,7 @@ fn encode_for(
     counters.delta_fallbacks.inc();
     WirePayload {
         kind: PayloadKind::Full,
-        bytes: cache.full_framed(payload, counters),
+        bytes: codec.full_framed_cached(&record.name, record.iteration, payload, counters),
     }
 }
 
@@ -337,7 +454,9 @@ fn chunk_capture_model(
 /// diff charges stay on the save path's causal frontier), submits the job,
 /// and blocks on `reply` — delivery itself is driven entirely by reactor
 /// events: completion mail and virtual-clock ack timers, never a parked
-/// thread per consumer.
+/// thread per consumer. Without coalescing the reply arrives once every
+/// flow is terminal; with coalescing it arrives at admission and the task
+/// drives the update to completion (or supersession) in the background.
 pub(crate) struct DeliveryJob {
     /// `(consumer node, encoded payload)` in fan-out order.
     pub(crate) consumers: Vec<(String, WirePayload)>,
@@ -347,22 +466,36 @@ pub(crate) struct DeliveryJob {
     /// Pipelined-capture model for the first successful send (the snapshot
     /// happens once; later flows re-send already captured chunks).
     pub(crate) capture: Option<(f64, Duration, Duration)>,
-    /// The raw full encoding (for materializing a framed full on `NeedFull`).
+    /// The raw full encoding (for materializing a framed full on
+    /// `NeedFull`, and for the deferred durable fallback under coalescing).
     pub(crate) payload: Payload,
-    /// Already-framed full from the caller's encode cache, if one was made.
+    /// Already-framed full from the codec's encode cache, if one was made.
     pub(crate) framed_full: Option<Payload>,
-    pub(crate) model: String,
-    pub(crate) iteration: u64,
+    /// Metadata of the version being delivered (fallback relocation and
+    /// notification need the full record, not just name/iteration).
+    pub(crate) record: ModelRecord,
     pub(crate) track: String,
     pub(crate) frontier: SimInstant,
     pub(crate) reply: Sender<DeliveryDone>,
 }
 
-/// The reply to a [`DeliveryJob`] once every flow reached a terminal state.
+/// A drain barrier submitted to the [`DeliveryTask`]: replied to once no
+/// update is in flight (immediately if idle). The coalescing producer's
+/// shutdown path uses it to let background deliveries resolve before the
+/// task deregisters.
+pub(crate) struct DrainBarrier {
+    pub(crate) reply: Sender<()>,
+}
+
+/// The reply to a [`DeliveryJob`] once every flow reached a terminal state
+/// (admission, under coalescing).
 pub(crate) struct DeliveryDone {
-    /// Consumers that ACKed an install.
+    /// Consumers that ACKed an install (consumers admitted, under
+    /// coalescing — terminal outcomes surface via counters instead).
     pub(crate) delivered: usize,
     /// At least one consumer exhausted the retry budget: degrade to PFS.
+    /// Always false under coalescing — the task runs the durable fallback
+    /// itself when the update finishes.
     pub(crate) fall_back: bool,
     /// Causal frontier extended by the ACK arrival instants.
     pub(crate) frontier: SimInstant,
@@ -384,7 +517,14 @@ pub(crate) struct DeliveryDone {
 /// retry budget the update degrades to the durable PFS route (written
 /// synchronously, relocated in the metadata DB) and the published
 /// notification points there, so the consumer's pull path recovers it.
-/// Returns how many consumers were pushed a payload.
+///
+/// `frontier_base` is the causal instant the delivery starts from; `None`
+/// reads the shared clock (correct whenever the caller just charged its
+/// own work there). A coalescing producer passes its private save
+/// frontier instead — the shared clock races ahead with concurrently
+/// applying consumers, and basing charges on it would make the timeline
+/// depend on thread scheduling. Returns how many consumers were pushed a
+/// payload (admitted, under coalescing).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn deliver(
     viper: &Viper,
@@ -397,6 +537,7 @@ pub(crate) fn deliver(
     pipeline_capture: bool,
     counters: &DeliveryCounters,
     track: &str,
+    frontier_base: Option<SimInstant>,
 ) -> usize {
     let shared = &viper.shared;
     let telemetry = &shared.config.telemetry;
@@ -422,7 +563,7 @@ pub(crate) fn deliver(
     // concurrently applying consumer advances the shared clock, and basing
     // the charge on the racy frontier would make the timeline depend on
     // thread scheduling.
-    let mut frontier = shared.clock.now();
+    let mut frontier = frontier_base.unwrap_or_else(|| shared.clock.now());
     if let Some(link) = link {
         let tag = format!("{}:{}", record.name, record.version);
         let consumers = shared.consumers.read().clone();
@@ -439,7 +580,6 @@ pub(crate) fn deliver(
             } else {
                 0
             };
-            let mut cache = WireCache::default();
             let mut job_consumers = Vec::new();
             for consumer in consumers {
                 if consumer == endpoint.node() {
@@ -448,7 +588,6 @@ pub(crate) fn deliver(
                 let wire_payload = encode_for(
                     viper,
                     codec,
-                    &mut cache,
                     &consumer,
                     record,
                     ckpt,
@@ -473,9 +612,8 @@ pub(crate) fn deliver(
                         chunk_bytes,
                         capture,
                         payload: payload.clone(),
-                        framed_full: cache.full.clone(),
-                        model: record.name.clone(),
-                        iteration: record.iteration,
+                        framed_full: codec.cached_full(&record.name, record.iteration),
+                        record: record.clone(),
                         track: track.to_string(),
                         frontier,
                         reply: reply_tx,
@@ -570,8 +708,10 @@ pub(crate) fn deliver(
     sent
 }
 
-/// One in-flight reliable flow inside an [`ActiveDelivery`].
+/// One in-flight reliable flow owned by the [`DeliveryTask`].
 struct FlowSend {
+    /// The update (task-local sequence number) this flow carries.
+    seq: u64,
     consumer: String,
     machine: FlowMachine,
     /// The wire bytes this flow carries (retransmission source).
@@ -585,31 +725,31 @@ struct FlowSend {
     kind: PayloadKind,
 }
 
-/// The fan-out a [`DeliveryTask`] is currently driving. At most one per
-/// producer: the save path blocks on the reply before submitting another.
-struct ActiveDelivery {
+/// One update the [`DeliveryTask`] is driving. Without coalescing at most
+/// one exists at a time (the save path blocks on the reply before
+/// submitting another); with coalescing several proceed concurrently,
+/// serialized per lane.
+struct UpdateState {
     tag: String,
     link: LinkKind,
     chunk_bytes: u64,
     payload: Payload,
     framed_full: Option<Payload>,
-    model: String,
-    iteration: u64,
+    record: ModelRecord,
     track: String,
-    flows: HashMap<u64, FlowSend>,
-    /// Flows not yet terminal. Terminal flows stay in `flows` so late
-    /// feedback is recognized (and counted stale) instead of mistaken for
-    /// an unknown sender.
-    pending: usize,
+    /// Consumers not yet resolved (terminal flow or superseded in queue).
+    remaining: usize,
     delivered: usize,
     fall_back: bool,
     frontier: SimInstant,
-    reply: Sender<DeliveryDone>,
+    /// `None` under coalescing: the job was already replied to at
+    /// admission, and a terminal fallback runs on the task instead.
+    reply: Option<Sender<DeliveryDone>>,
 }
 
-impl ActiveDelivery {
-    /// Materialize the framed full encoding, at most once per delivery
-    /// (mirrors [`WireCache::full_framed`], including its counters).
+impl UpdateState {
+    /// Materialize the framed full encoding, at most once per update
+    /// (mirrors [`PayloadCodec::full_framed_cached`], including counters).
     fn full_framed(&mut self, counters: &DeliveryCounters) -> Payload {
         self.framed_full
             .get_or_insert_with(|| {
@@ -619,6 +759,28 @@ impl ActiveDelivery {
             })
             .clone()
     }
+}
+
+/// A queued outbound send waiting for its lane to free up.
+struct QueuedSend {
+    seq: u64,
+    bytes: Payload,
+    kind: PayloadKind,
+    /// The causal instant the payload became ready (the save frontier at
+    /// admission): the launch starts no earlier, even if the lane frees
+    /// first.
+    ready_at: SimInstant,
+}
+
+/// Per-`(consumer, model)` outbound serialization: one flow in flight,
+/// newer updates queue (collapsing to the latest) behind it.
+struct Lane {
+    /// Sequence number of the update currently on the wire, if any.
+    in_flight: Option<u64>,
+    queue: CoalesceQueue<QueuedSend>,
+    /// Per-consumer superseded counter
+    /// (`producer.{node}.updates_superseded.{consumer}`).
+    superseded: Counter,
 }
 
 /// The producer's reactor task: owns every reliable flow this producer has
@@ -633,12 +795,32 @@ impl ActiveDelivery {
 /// [`Control::Round`] frame announcing the new generation, so the consumer
 /// echoes it back and feedback from superseded rounds is dropped (and
 /// counted) instead of acted on.
+///
+/// All timing is causal: feedback is processed at its arrival instant and
+/// timers at their deadline, so the schedule a run produces is a pure
+/// function of the configuration and fault seed — never of how the OS
+/// interleaved the reactor with the save thread.
 pub(crate) struct DeliveryTask {
     viper: Viper,
     endpoint: Arc<Endpoint>,
     codec: Arc<PayloadCodec>,
     counters: Arc<DeliveryCounters>,
-    active: Option<ActiveDelivery>,
+    /// Collapse-to-latest coalescing on: admit updates without blocking
+    /// the save path, serializing per lane.
+    coalesce: bool,
+    /// Bound of each lane's coalescing queue.
+    queue_bound: usize,
+    /// Next update sequence number (admission order, strictly increasing —
+    /// doubles as the coalescing queue's version key).
+    next_seq: u64,
+    updates: HashMap<u64, UpdateState>,
+    /// Flows not yet terminal, plus terminal flows of unfinished updates —
+    /// kept so late feedback is recognized (and counted stale) instead of
+    /// mistaken for an unknown sender.
+    flows: HashMap<u64, FlowSend>,
+    lanes: HashMap<(String, String), Lane>,
+    /// Drain barriers waiting for `updates` to empty.
+    waiters: Vec<Sender<()>>,
 }
 
 impl DeliveryTask {
@@ -648,35 +830,67 @@ impl DeliveryTask {
         codec: Arc<PayloadCodec>,
         counters: Arc<DeliveryCounters>,
     ) -> Self {
+        let config = &viper.shared.config;
+        let coalesce = config.coalesce_updates && config.reliable_delivery;
+        let queue_bound = config.coalesce_queue_depth;
         DeliveryTask {
             viper,
             endpoint,
             codec,
             counters,
-            active: None,
+            coalesce,
+            queue_bound,
+            next_seq: 0,
+            updates: HashMap::new(),
+            flows: HashMap::new(),
+            lanes: HashMap::new(),
+            waiters: Vec::new(),
         }
     }
 
-    /// Arm (or re-arm) a flow's ack timer. The deadline only ever moves
-    /// forward: `completed_at` for a fresh send, `clock.now()` after a
-    /// retransmission round (both are past the previous arming instant).
+    fn lane_mut(&mut self, consumer: &str, model: &str) -> &mut Lane {
+        let key = (consumer.to_string(), model.to_string());
+        if !self.lanes.contains_key(&key) {
+            let counter = self.viper.shared.config.telemetry.counter(&format!(
+                "producer.{}.updates_superseded.{}",
+                self.endpoint.node(),
+                consumer
+            ));
+            self.lanes.insert(
+                key.clone(),
+                Lane {
+                    in_flight: None,
+                    queue: CoalesceQueue::new(self.queue_bound),
+                    superseded: counter,
+                },
+            );
+        }
+        self.lanes.get_mut(&key).expect("just inserted")
+    }
+
+    fn refresh_queue_gauge(&self) {
+        let depth: usize = self.lanes.values().map(|lane| lane.queue.len()).sum();
+        self.counters.queue_depth.set(depth as i64);
+    }
+
+    /// Arm (or re-arm) a flow's ack timer, `ack_timeout` after the causal
+    /// instant the (re)send completed. Per flow the deadline only ever
+    /// moves forward: a retransmission round completes after the send it
+    /// repairs.
     fn arm_ack_timer(&self, ctx: &mut TaskCtx<'_>, flow_id: u64, from: SimInstant) {
-        let shared = &self.viper.shared;
-        let deadline = shared
-            .clock
-            .now()
-            .max(from)
-            .add(shared.config.retry.ack_timeout);
+        let deadline = from.add(self.viper.shared.config.retry.ack_timeout);
         ctx.arm_timer_at(flow_id, deadline);
     }
 
-    /// Launch one flow (initial fan-out or the full retry after `NeedFull`)
-    /// and register its state machine. Returns false if the consumer is
-    /// gone (deregistered mid-shutdown) — a race, not a delivery failure.
+    /// Launch one flow for update `seq` (initial fan-out, a queued send
+    /// whose lane freed up, or the full retry after `NeedFull`) and
+    /// register its state machine. Returns false if the consumer is gone
+    /// (deregistered mid-shutdown) — a race, not a delivery failure.
     #[allow(clippy::too_many_arguments)]
     fn launch_flow(
         &mut self,
         ctx: &mut TaskCtx<'_>,
+        seq: u64,
         consumer: String,
         bytes: Payload,
         kind: PayloadKind,
@@ -684,17 +898,21 @@ impl DeliveryTask {
         full_retry: bool,
     ) -> bool {
         let max_retries = self.viper.shared.config.retry.max_retries;
-        let active = self.active.as_mut().expect("launch requires an active job");
+        let update = self
+            .updates
+            .get_mut(&seq)
+            .expect("launch requires its update");
         match self
             .endpoint
-            .send_chunked(&consumer, &active.tag, bytes.clone(), active.link, opts)
+            .send_chunked(&consumer, &update.tag, bytes.clone(), update.link, opts)
         {
             Ok(report) => {
                 let mut machine = FlowMachine::new(max_retries);
                 machine.on_event(FlowEvent::Sent);
-                active.flows.insert(
+                self.flows.insert(
                     report.flow_id,
                     FlowSend {
+                        seq,
                         consumer,
                         machine,
                         bytes,
@@ -703,7 +921,6 @@ impl DeliveryTask {
                         kind,
                     },
                 );
-                active.pending += 1;
                 self.arm_ack_timer(ctx, report.flow_id, report.completed_at);
                 true
             }
@@ -711,39 +928,215 @@ impl DeliveryTask {
         }
     }
 
+    /// Hand update `seq`'s payload to `consumer`'s lane: launch now if the
+    /// lane is free, else queue it (collapsing older queued versions).
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        seq: u64,
+        consumer: String,
+        bytes: Payload,
+        kind: PayloadKind,
+        capture: &mut Option<(f64, Duration, Duration)>,
+        ready_at: SimInstant,
+    ) {
+        let update = &self.updates[&seq];
+        let model = update.record.name.clone();
+        let chunk_bytes = update.chunk_bytes;
+        let busy = self
+            .lanes
+            .get(&(consumer.clone(), model.clone()))
+            .and_then(|lane| lane.in_flight)
+            .is_some();
+        if !busy {
+            let mut opts = ChunkedSend::new(chunk_bytes).at(ready_at);
+            if let Some((bw, fixed, once)) = *capture {
+                opts = opts.with_capture(bw, fixed, once);
+            }
+            if self.launch_flow(ctx, seq, consumer.clone(), bytes, kind, &opts, false) {
+                // The snapshot happens once; further flows re-send the
+                // already captured chunks.
+                *capture = None;
+                self.lane_mut(&consumer, &model).in_flight = Some(seq);
+            } else if let Some(update) = self.updates.get_mut(&seq) {
+                update.remaining -= 1;
+            }
+        } else {
+            debug_assert!(self.coalesce, "a lane can only be busy when coalescing");
+            let dropped = self.lane_mut(&consumer, &model).queue.push(
+                seq,
+                QueuedSend {
+                    seq,
+                    bytes,
+                    kind,
+                    ready_at,
+                },
+            );
+            for (_, stale) in dropped {
+                self.supersede(&consumer, &model, stale.seq, ready_at);
+            }
+        }
+    }
+
+    /// Update `seq` will never reach `consumer`: a newer version collapsed
+    /// it out of the lane's queue. Count it (aggregate, per consumer, and
+    /// as a trace instant) and resolve the consumer's slot in the update.
+    fn supersede(&mut self, consumer: &str, model: &str, seq: u64, at: SimInstant) {
+        self.counters.updates_superseded.inc();
+        if let Some(lane) = self.lanes.get(&(consumer.to_string(), model.to_string())) {
+            lane.superseded.inc();
+        }
+        let telemetry = &self.viper.shared.config.telemetry;
+        if telemetry.is_enabled() {
+            if let Some(update) = self.updates.get(&seq) {
+                telemetry.instant_at(
+                    "producer",
+                    "update_superseded",
+                    &update.track,
+                    at.as_nanos(),
+                    &[
+                        ("consumer", consumer.into()),
+                        ("version", update.record.version.into()),
+                    ],
+                );
+            }
+        }
+        if let Some(update) = self.updates.get_mut(&seq) {
+            update.remaining -= 1;
+        }
+        self.finish_if_done(seq);
+    }
+
+    /// A flow reached a terminal state (or never launched): free its lane
+    /// and launch the next queued send, no earlier than `at`.
+    fn release_lane(&mut self, ctx: &mut TaskCtx<'_>, consumer: &str, model: &str, at: SimInstant) {
+        let key = (consumer.to_string(), model.to_string());
+        let Some(lane) = self.lanes.get_mut(&key) else {
+            return;
+        };
+        lane.in_flight = None;
+        while let Some((_, queued)) = self.lanes.get_mut(&key).and_then(|lane| lane.queue.pop()) {
+            let Some(chunk_bytes) = self.updates.get(&queued.seq).map(|u| u.chunk_bytes) else {
+                debug_assert!(false, "queued send outlived its update");
+                continue;
+            };
+            let start = queued.ready_at.max(at);
+            let opts = ChunkedSend::new(chunk_bytes).at(start);
+            if self.launch_flow(
+                ctx,
+                queued.seq,
+                consumer.to_string(),
+                queued.bytes,
+                queued.kind,
+                &opts,
+                false,
+            ) {
+                self.lanes.get_mut(&key).expect("lane exists").in_flight = Some(queued.seq);
+                break;
+            }
+            // Consumer vanished: resolve its slot and keep draining.
+            if let Some(update) = self.updates.get_mut(&queued.seq) {
+                update.remaining -= 1;
+            }
+            self.finish_if_done(queued.seq);
+        }
+        self.refresh_queue_gauge();
+    }
+
     /// Abort a flow whose consumer vanished mid-delivery (send error):
     /// remove it entirely — there is no peer left to feed its machine.
-    fn abort_flow(&mut self, ctx: &mut TaskCtx<'_>, flow_id: u64) {
+    fn abort_flow(&mut self, ctx: &mut TaskCtx<'_>, flow_id: u64, at: SimInstant) {
         ctx.cancel_timer(flow_id);
-        let active = self.active.as_mut().expect("abort requires an active job");
-        if active.flows.remove(&flow_id).is_some() {
-            active.pending -= 1;
+        if let Some(flow) = self.flows.remove(&flow_id) {
+            let model = self
+                .updates
+                .get(&flow.seq)
+                .map(|u| u.record.name.clone())
+                .unwrap_or_default();
+            if let Some(update) = self.updates.get_mut(&flow.seq) {
+                update.remaining -= 1;
+            }
+            self.release_lane(ctx, &flow.consumer, &model, at);
+            self.finish_if_done(flow.seq);
         }
-        self.maybe_finish();
     }
 
-    /// If every flow reached a terminal state, send the job reply and
-    /// release the active delivery (unblocking the save path).
-    fn maybe_finish(&mut self) {
-        if self.active.as_ref().is_some_and(|a| a.pending == 0) {
-            let active = self.active.take().expect("checked above");
-            let _ = active.reply.send(DeliveryDone {
-                delivered: active.delivered,
-                fall_back: active.fall_back,
-                frontier: active.frontier,
+    /// If every consumer slot of update `seq` is resolved, finish it: send
+    /// the job reply (non-coalescing), or run the deferred durable
+    /// fallback (coalescing), and drop its flow records.
+    fn finish_if_done(&mut self, seq: u64) {
+        if self.updates.get(&seq).is_none_or(|u| u.remaining != 0) {
+            return;
+        }
+        let update = self.updates.remove(&seq).expect("checked above");
+        self.flows.retain(|_, flow| flow.seq != seq);
+        if let Some(reply) = &update.reply {
+            let _ = reply.send(DeliveryDone {
+                delivered: update.delivered,
+                fall_back: update.fall_back,
+                frontier: update.frontier,
             });
+        } else if update.fall_back {
+            self.durable_fallback(&update);
+        }
+        if self.updates.is_empty() {
+            for waiter in self.waiters.drain(..) {
+                let _ = waiter.send(());
+            }
         }
     }
 
-    /// Apply a [`FlowAction`] produced by a flow's state machine.
-    /// `arrived` is the feedback frame's arrival instant (None for timer
-    /// fires — a timeout observes nothing, so it extends no frontier).
+    /// The coalescing path's deferred graceful degradation: the wire gave
+    /// up on at least one consumer (with nothing newer queued behind it),
+    /// so make the version durable, relocate it, and re-publish the
+    /// notification pointing at the PFS copy — consumers recover via the
+    /// repository pull path.
+    fn durable_fallback(&self, update: &UpdateState) {
+        let shared = &self.viper.shared;
+        let telemetry = &shared.config.telemetry;
+        let record = &update.record;
+        let t0 = telemetry.now_ns();
+        let pfs_path = format!("pfs/{}/v{}", record.name, record.version);
+        if shared
+            .pfs
+            .write(&pfs_path, update.payload.clone(), record.ntensors)
+            .is_ok()
+        {
+            shared
+                .db
+                .relocate(&record.name, record.version, Tier::Pfs.name(), &pfs_path);
+            self.counters.pfs_fallbacks.inc();
+            let mut notify = record.clone();
+            notify.location = Tier::Pfs.name().to_string();
+            notify.path = pfs_path;
+            charge_at(
+                &shared.clock,
+                update.frontier,
+                shared.config.profile.notify_latency,
+            );
+            shared.bus.publish(UPDATE_TOPIC, notify);
+            shared.reactor.wake_all();
+        }
+        telemetry.complete(
+            "producer",
+            "pfs_fallback",
+            &update.track,
+            t0,
+            telemetry.now_ns(),
+            &[("version", record.version.into())],
+        );
+    }
+
+    /// Apply a [`FlowAction`] produced by a flow's state machine. `at` is
+    /// the causal instant the triggering event happened: the feedback
+    /// frame's arrival for mail, the deadline for a timer fire.
     fn handle_action(
         &mut self,
         ctx: &mut TaskCtx<'_>,
         flow_id: u64,
         action: FlowAction,
-        arrived: Option<SimInstant>,
+        at: SimInstant,
     ) {
         let shared = Arc::clone(&self.viper.shared);
         let telemetry = &shared.config.telemetry;
@@ -755,61 +1148,79 @@ impl DeliveryTask {
             }
             FlowAction::Complete => {
                 ctx.cancel_timer(flow_id);
-                let active = self.active.as_mut().expect("flow belongs to a job");
-                let flow = &active.flows[&flow_id];
+                let flow = &self.flows[&flow_id];
+                let seq = flow.seq;
+                let consumer = flow.consumer.clone();
+                let update = self
+                    .updates
+                    .get_mut(&seq)
+                    .expect("flow belongs to an update");
+                let model = update.record.name.clone();
                 self.codec
-                    .note_acked(&flow.consumer, &active.model, active.iteration);
-                if let Some(at) = arrived {
-                    active.frontier = active.frontier.max(at);
-                }
-                active.delivered += 1;
-                active.pending -= 1;
-                self.maybe_finish();
+                    .note_acked(&consumer, &model, update.record.iteration);
+                update.frontier = update.frontier.max(at);
+                update.delivered += 1;
+                update.remaining -= 1;
+                self.release_lane(ctx, &consumer, &model, at);
+                self.finish_if_done(seq);
             }
             FlowAction::NeedFull => {
                 ctx.cancel_timer(flow_id);
-                let active = self.active.as_mut().expect("flow belongs to a job");
-                let flow = &active.flows[&flow_id];
+                let flow = &self.flows[&flow_id];
+                let seq = flow.seq;
                 let consumer = flow.consumer.clone();
                 let was_full_retry = flow.full_retry;
                 let kind = flow.kind;
-                active.pending -= 1;
+                let update = self
+                    .updates
+                    .get_mut(&seq)
+                    .expect("flow belongs to an update");
+                let model = update.record.name.clone();
+                update.frontier = update.frontier.max(at);
                 if was_full_retry {
                     // A full can't be rejected for a missing base; treat a
                     // repeat NeedFull as a failed delivery.
-                    self.maybe_finish();
+                    update.remaining -= 1;
+                    self.release_lane(ctx, &consumer, &model, at);
+                    self.finish_if_done(seq);
                     return;
                 }
                 // The consumer lost the base this delta applies to
                 // (restart, missed flow): reset its tracking and re-send
-                // the update as a full on a fresh flow.
-                if let Some(at) = arrived {
-                    active.frontier = active.frontier.max(at);
-                }
-                let chunk_bytes = active.chunk_bytes;
-                let full = active.full_framed(&self.counters);
-                self.codec.forget(&consumer, &active.model);
+                // the update as a full on a fresh flow. The lane stays
+                // held by this update.
+                let chunk_bytes = update.chunk_bytes;
+                let track = update.track.clone();
+                let full = update.full_framed(&self.counters);
+                self.codec.forget(&consumer, &model);
                 self.counters.delta_fallbacks.inc();
                 if telemetry.is_enabled() {
-                    telemetry.instant(
+                    telemetry.instant_at(
                         "producer",
                         "delta_rejected",
-                        &self.active.as_ref().expect("still active").track,
+                        &track,
+                        at.as_nanos(),
                         &[
                             ("consumer", consumer.as_str().into()),
                             ("kind", kind.label().into()),
                         ],
                     );
                 }
-                self.launch_flow(
+                if !self.launch_flow(
                     ctx,
-                    consumer,
+                    seq,
+                    consumer.clone(),
                     full,
                     PayloadKind::Full,
-                    &ChunkedSend::new(chunk_bytes),
+                    &ChunkedSend::new(chunk_bytes).at(at),
                     true,
-                );
-                self.maybe_finish();
+                ) {
+                    if let Some(update) = self.updates.get_mut(&seq) {
+                        update.remaining -= 1;
+                    }
+                    self.release_lane(ctx, &consumer, &model, at);
+                }
+                self.finish_if_done(seq);
             }
             FlowAction::Retransmit {
                 generation,
@@ -817,23 +1228,36 @@ impl DeliveryTask {
                 attempt,
             } => {
                 self.counters.retransmits.inc();
-                let active = self.active.as_mut().expect("flow belongs to a job");
-                let flow = &active.flows[&flow_id];
+                let flow = &self.flows[&flow_id];
+                let seq = flow.seq;
+                let consumer = flow.consumer.clone();
+                let update = &self.updates[&seq];
+                let model = update.record.name.clone();
                 let missing: Vec<u32> = if missing.is_empty() {
                     // Blind resend: no NACK narrowed the loss down.
                     (0..flow.num_chunks).collect()
                 } else {
                     missing
                 };
-                let t0 = telemetry.now_ns();
-                charge(&shared.clock, retry.backoff(attempt));
+                // Backpressure: a congested lane (updates queuing behind
+                // this flow's consumer) backs off harder, ceding the wire
+                // to healthier consumers.
+                let backlog = self
+                    .lanes
+                    .get(&(consumer.clone(), model.clone()))
+                    .map_or(0, |lane| lane.queue.len());
+                let end = charge_at(
+                    &shared.clock,
+                    at,
+                    retry.backoff_with_pressure(attempt, backlog),
+                );
                 telemetry.complete(
                     "producer",
                     "backoff",
-                    &active.track,
-                    t0,
-                    telemetry.now_ns(),
-                    &[("attempt", attempt.into())],
+                    &update.track,
+                    at.as_nanos(),
+                    end.as_nanos(),
+                    &[("attempt", attempt.into()), ("backlog", backlog.into())],
                 );
                 // Announce the round before its chunks: the fabric preserves
                 // per-sender order, so the consumer learns the generation
@@ -844,59 +1268,78 @@ impl DeliveryTask {
                 };
                 if self
                     .endpoint
-                    .send_control(&flow.consumer, &active.tag, &round, active.link)
+                    .send_control_at(&consumer, &update.tag, &round, update.link, end)
                     .is_err()
                 {
-                    self.abort_flow(ctx, flow_id);
+                    self.abort_flow(ctx, flow_id, at);
                     return;
                 }
-                let t1 = telemetry.now_ns();
-                let active = self.active.as_mut().expect("still active");
-                let flow = &active.flows[&flow_id];
-                match self.endpoint.retransmit_chunks(
-                    &flow.consumer,
-                    &active.tag,
+                let flow = &self.flows[&flow_id];
+                let update = &self.updates[&seq];
+                match self.endpoint.retransmit_chunks_at(
+                    &consumer,
+                    &update.tag,
                     &flow.bytes,
-                    active.link,
+                    update.link,
                     flow_id,
-                    active.chunk_bytes,
+                    update.chunk_bytes,
                     &missing,
+                    end,
                 ) {
-                    Ok(_) => {
+                    Ok(lane_free) => {
                         telemetry.complete(
                             "producer",
                             "retransmit_round",
-                            &active.track,
-                            t1,
-                            telemetry.now_ns(),
+                            &update.track,
+                            end.as_nanos(),
+                            lane_free.as_nanos(),
                             &[
                                 ("attempt", attempt.into()),
                                 ("missing", missing.len().into()),
                             ],
                         );
-                        self.arm_ack_timer(ctx, flow_id, shared.clock.now());
+                        self.arm_ack_timer(ctx, flow_id, lane_free);
                     }
-                    Err(_) => self.abort_flow(ctx, flow_id),
+                    Err(_) => self.abort_flow(ctx, flow_id, at),
                 }
             }
             FlowAction::Exhausted { .. } => {
                 ctx.cancel_timer(flow_id);
                 self.counters.exhausted.inc();
-                let active = self.active.as_mut().expect("flow belongs to a job");
-                let flow = &active.flows[&flow_id];
+                let flow = &self.flows[&flow_id];
+                let seq = flow.seq;
                 let consumer = flow.consumer.clone();
-                self.codec.forget(&consumer, &active.model);
+                let update = &self.updates[&seq];
+                let model = update.record.name.clone();
+                let track = update.track.clone();
+                self.codec.forget(&consumer, &model);
                 if telemetry.is_enabled() {
-                    telemetry.instant(
+                    telemetry.instant_at(
                         "producer",
                         "retries_exhausted",
-                        &active.track,
+                        &track,
+                        at.as_nanos(),
                         &[("consumer", consumer.as_str().into())],
                     );
                 }
-                active.fall_back = true;
-                active.pending -= 1;
-                self.maybe_finish();
+                // If a newer version is already queued behind this lane it
+                // supersedes the failed one for this consumer: skip the
+                // durable fallback and let the newer flow launch instead.
+                let newer_queued = self
+                    .lanes
+                    .get(&(consumer.clone(), model.clone()))
+                    .is_some_and(|lane| !lane.queue.is_empty());
+                let update = self
+                    .updates
+                    .get_mut(&seq)
+                    .expect("flow belongs to an update");
+                if !newer_queued {
+                    update.fall_back = true;
+                }
+                update.frontier = update.frontier.max(at);
+                update.remaining -= 1;
+                self.release_lane(ctx, &consumer, &model, at);
+                self.finish_if_done(seq);
             }
         }
     }
@@ -924,13 +1367,9 @@ impl DeliveryTask {
             // `Round` is a sender-side frame; one arriving here is garbage.
             Control::Round { .. } => return None,
         };
-        let Some(active) = self.active.as_mut() else {
-            // Feedback with no delivery in flight: a complaint about a
-            // superseded flow (e.g. a reap-NACK racing job completion).
-            self.counters.stale_feedback.inc();
-            return None;
-        };
-        let Some(flow) = active.flows.get_mut(&flow_id) else {
+        let Some(flow) = self.flows.get_mut(&flow_id) else {
+            // Feedback for no known flow: a complaint about a superseded
+            // or finished delivery (e.g. a reap-NACK racing completion).
             self.counters.stale_feedback.inc();
             return None;
         };
@@ -954,73 +1393,88 @@ impl ReactorTask for DeliveryTask {
                 continue;
             };
             if let Some((flow_id, action)) = self.on_control(&msg.from, control) {
-                self.handle_action(ctx, flow_id, action, Some(msg.arrived_at));
+                self.handle_action(ctx, flow_id, action, msg.arrived_at);
             }
         }
     }
 
-    fn on_timer(&mut self, token: u64, _deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
+    fn on_timer(&mut self, token: u64, deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
         // Ack timers fire only at reactor quiescence: every surviving chunk
         // and feedback frame has been processed, so silence here means the
         // virtual `ack_timeout` genuinely elapsed with nothing heard. The
         // wait itself charges nothing — exactly like the old wall-clock
         // `recv_timeout`, which parked a thread without touching the clock.
-        let Some(active) = self.active.as_mut() else {
-            return;
-        };
-        let Some(flow) = active.flows.get_mut(&token) else {
+        let Some(flow) = self.flows.get_mut(&token) else {
             return;
         };
         let action = flow.machine.on_event(FlowEvent::AckTimeout);
-        self.handle_action(ctx, token, action, None);
+        self.handle_action(ctx, token, action, deadline);
     }
 
     fn on_job(&mut self, job: Box<dyn Any + Send>, ctx: &mut TaskCtx<'_>) {
-        let Ok(job) = job.downcast::<DeliveryJob>() else {
-            return;
-        };
-        let job = *job;
-        debug_assert!(
-            self.active.is_none(),
-            "one reliable fan-out per producer at a time"
-        );
-        self.active = Some(ActiveDelivery {
-            tag: job.tag,
-            link: job.link,
-            chunk_bytes: job.chunk_bytes,
-            payload: job.payload,
-            framed_full: job.framed_full,
-            model: job.model,
-            iteration: job.iteration,
-            track: job.track,
-            flows: HashMap::new(),
-            pending: 0,
-            delivered: 0,
-            fall_back: false,
-            frontier: job.frontier,
-            reply: job.reply,
-        });
-        let mut capture = job.capture;
-        let chunk_bytes = self.active.as_ref().expect("just set").chunk_bytes;
-        for (consumer, wire_payload) in job.consumers {
-            let mut opts = ChunkedSend::new(chunk_bytes);
-            if let Some((bw, fixed, once)) = capture {
-                opts = opts.with_capture(bw, fixed, once);
+        let job = match job.downcast::<DeliveryJob>() {
+            Ok(job) => *job,
+            Err(other) => {
+                if let Ok(barrier) = other.downcast::<DrainBarrier>() {
+                    if self.updates.is_empty() {
+                        let _ = barrier.reply.send(());
+                    } else {
+                        self.waiters.push(barrier.reply);
+                    }
+                }
+                return;
             }
-            if self.launch_flow(
+        };
+        debug_assert!(
+            self.coalesce || self.updates.is_empty(),
+            "one reliable fan-out per producer at a time without coalescing"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let admitted = job.consumers.len();
+        // Under coalescing the save path unblocks at admission; terminal
+        // outcomes surface through counters and the deferred fallback.
+        let reply = if self.coalesce {
+            let _ = job.reply.send(DeliveryDone {
+                delivered: admitted,
+                fall_back: false,
+                frontier: job.frontier,
+            });
+            None
+        } else {
+            Some(job.reply)
+        };
+        self.updates.insert(
+            seq,
+            UpdateState {
+                tag: job.tag,
+                link: job.link,
+                chunk_bytes: job.chunk_bytes,
+                payload: job.payload,
+                framed_full: job.framed_full,
+                record: job.record,
+                track: job.track,
+                remaining: admitted,
+                delivered: 0,
+                fall_back: false,
+                frontier: job.frontier,
+                reply,
+            },
+        );
+        let mut capture = job.capture;
+        for (consumer, wire_payload) in job.consumers {
+            self.admit(
                 ctx,
+                seq,
                 consumer,
                 wire_payload.bytes,
                 wire_payload.kind,
-                &opts,
-                false,
-            ) {
-                // The snapshot happens once; further flows re-send the
-                // already captured chunks.
-                capture = None;
-            }
+                &mut capture,
+                job.frontier,
+            );
         }
-        self.maybe_finish();
+        self.refresh_queue_gauge();
+        self.finish_if_done(seq);
     }
 }
 
@@ -1081,5 +1535,48 @@ mod tests {
         assert!(codec.base_for("c", "m").is_none());
         codec.note_acked("c", "m", 4);
         assert!(codec.base_for("c", "m").is_some());
+    }
+
+    #[test]
+    fn wire_cache_evicts_pruned_bases() {
+        let mut config = ViperConfig::default().with_delta();
+        config.keep_versions = 2;
+        let codec = PayloadCodec::new(&config);
+        codec.retain(&ckpt(1));
+        codec.retain(&ckpt(2));
+        // Memoize deltas of update 3 against both retained bases (and a
+        // failed diff against base 1, which memoizes as None).
+        let body = Payload::from(vec![9u8; 8]);
+        assert!(codec
+            .delta_cached("m", 3, 1, || Some(body.clone()))
+            .is_some());
+        assert!(codec.delta_cached("m", 3, 2, || None).is_none());
+        assert_eq!(codec.cached_delta_bases("m"), vec![1, 2]);
+        // Retaining 3 prunes base 1 (budget 2 keeps {2, 3}): its cached
+        // delta — including the memoized failure — must go with it.
+        codec.retain(&ckpt(3));
+        assert_eq!(codec.cached_delta_bases("m"), vec![2]);
+        // The memo is target-keyed: a newer update resets it entirely.
+        assert!(codec.delta_cached("m", 4, 2, || None).is_none());
+        assert_eq!(codec.cached_delta_bases("m"), vec![2]);
+        assert!(codec.cached_full("m", 3).is_none());
+    }
+
+    #[test]
+    fn wire_cache_full_is_target_keyed() {
+        let codec = active_codec();
+        let counters = DeliveryCounters::new(&Telemetry::disabled(), "p");
+        let payload = Payload::from(vec![7u8; 16]);
+        let framed = codec.full_framed_cached("m", 1, &payload, &counters);
+        assert_eq!(codec.cached_full("m", 1).unwrap().len(), framed.len());
+        assert_eq!(counters.payload_allocs.get(), 1);
+        // Same target: memoized, no second framing.
+        codec.full_framed_cached("m", 1, &payload, &counters);
+        assert_eq!(counters.payload_allocs.get(), 1);
+        // New target: the stale full is dropped, a fresh one is framed.
+        assert!(codec.cached_full("m", 2).is_none());
+        codec.full_framed_cached("m", 2, &payload, &counters);
+        assert_eq!(counters.payload_allocs.get(), 2);
+        assert!(codec.cached_full("m", 1).is_none());
     }
 }

@@ -95,6 +95,24 @@ pub struct ViperConfig {
     /// the consumer's stale-flow reaping, even when `reliable_delivery` is
     /// off, so lost flows cannot pin reassembly buffers forever).
     pub retry: viper_net::RetryPolicy,
+    /// Collapse-to-latest coalescing on the reliable delivery path: each
+    /// consumer gets a bounded outbound queue
+    /// ([`ViperConfig::coalesce_queue_depth`]); while an update is in
+    /// flight to a consumer, newer versions queue behind it and a full
+    /// queue drops the *oldest* pending version (counted per consumer as
+    /// `updates_superseded`, with a `queue_depth` gauge). Saves stop
+    /// blocking on the slowest consumer — the producer's pipeline runs
+    /// ahead while congested consumers skip straight to the newest
+    /// version. Off by default: the blocking path stays byte- and
+    /// timing-identical to previous builds. Requires
+    /// [`ViperConfig::reliable_delivery`] (enabled by
+    /// [`ViperConfig::with_coalescing`]).
+    pub coalesce_updates: bool,
+    /// Bound on each consumer's pending outbound queue when
+    /// [`ViperConfig::coalesce_updates`] is on (clamped to at least 1).
+    /// Depth 1 — the default — is pure collapse-to-latest: one update in
+    /// flight, one pending, everything between superseded.
+    pub coalesce_queue_depth: usize,
     /// Worker-thread budget for the delivery reactor's CRC pool. The
     /// reactor itself is always one scheduler thread; this only sizes the
     /// pool that checksums incoming chunk batches. `1` (the default) means
@@ -131,6 +149,8 @@ impl Default for ViperConfig {
             reliable_delivery: false,
             delta_transfer: false,
             retry: viper_net::RetryPolicy::default(),
+            coalesce_updates: false,
+            coalesce_queue_depth: 1,
             reactor_threads: 1,
             telemetry: viper_telemetry::Telemetry::disabled(),
         }
@@ -212,6 +232,15 @@ impl ViperConfig {
         self
     }
 
+    /// Enable collapse-to-latest coalescing AND reliable delivery (builder
+    /// style) — the per-consumer queues live in the reliable delivery
+    /// reactor; the unreliable path has no per-consumer state to bound.
+    pub fn with_coalescing(mut self) -> Self {
+        self.coalesce_updates = true;
+        self.reliable_delivery = true;
+        self
+    }
+
     /// Set the delivery reactor's CRC worker budget (builder style).
     /// Clamped to at least 1 at deployment construction.
     pub fn with_reactor_threads(mut self, threads: usize) -> Self {
@@ -246,7 +275,16 @@ mod tests {
         assert!(c.fault_plan.is_none(), "no faults by default");
         assert!(!c.reliable_delivery, "reliability machinery off by default");
         assert!(!c.delta_transfer, "full checkpoints stay the default");
+        assert!(!c.coalesce_updates, "blocking delivery stays the default");
+        assert_eq!(c.coalesce_queue_depth, 1, "pure collapse-to-latest");
         assert_eq!(c.reactor_threads, 1, "inline CRC verification by default");
+    }
+
+    #[test]
+    fn with_coalescing_implies_reliability() {
+        let c = ViperConfig::default().with_coalescing();
+        assert!(c.coalesce_updates);
+        assert!(c.reliable_delivery);
     }
 
     #[test]

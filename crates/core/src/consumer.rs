@@ -21,7 +21,7 @@ use viper_formats::{
     delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, Payload, PayloadKind,
 };
 use viper_hw::{Route, SimInstant, Tier};
-use viper_net::{Control, LinkKind, MessageKind, ReactorTask, TaskCtx};
+use viper_net::{deterministic_jitter, Control, LinkKind, MessageKind, ReactorTask, TaskCtx};
 use viper_telemetry::Counter;
 
 /// Timer token for the stale-flow reap timer (flow ids are never handed to
@@ -386,6 +386,9 @@ struct CorruptBatch {
     tag: String,
     link: LinkKind,
     chunks: Vec<u32>,
+    /// Latest arrival instant among the batch's corrupt chunks — the
+    /// causal instant the NACK can first be sent.
+    latest: SimInstant,
 }
 
 /// The consumer's reactor task. Owns everything the old listener thread
@@ -575,6 +578,7 @@ impl ConsumerTask {
         let telemetry = self.viper.shared.config.telemetry.clone();
         let mut corrupt: Vec<CorruptBatch> = Vec::new();
         for (msg, crc) in batch {
+            let arrived = msg.arrived_at;
             let status = self.assembler.accept_with_crc(msg, crc);
             // Publish reassembly copies before acting on the status: a
             // completed flow notifies waiters, and the counter must already
@@ -602,13 +606,17 @@ impl ConsumerTask {
                             .iter_mut()
                             .find(|c| c.flow_id == flow_id && c.from == from)
                         {
-                            Some(c) => c.chunks.push(chunk_index),
+                            Some(c) => {
+                                c.chunks.push(chunk_index);
+                                c.latest = c.latest.max(arrived);
+                            }
                             None => corrupt.push(CorruptBatch {
                                 from,
                                 flow_id,
                                 tag,
                                 link,
                                 chunks: vec![chunk_index],
+                                latest: arrived,
                             }),
                         }
                     }
@@ -666,16 +674,24 @@ impl ConsumerTask {
                                 generation,
                             }
                         };
+                        // Causal reply instant: the apply this feedback
+                        // attests has finished (or, for NeedFull, the flow
+                        // completed) — never the racy shared clock.
+                        let reply_at = self.apply_free.max(flow.completed_at);
                         let _ = self
                             .endpoint
-                            .send_control(&flow.from, &flow.tag, &reply, flow.link);
+                            .send_control_at(&flow.from, &flow.tag, &reply, flow.link, reply_at);
                     }
                     self.generations.remove(&(flow.from.clone(), flow.flow_id));
                 }
             }
         }
         // One batched NACK per corrupt flow per drain, stamped with the
-        // flow's current generation.
+        // flow's current generation and sent at the causal arrival of the
+        // damage it reports, plus a deterministic per-consumer jitter so a
+        // fault burst hitting many consumers staggers its NACK replies
+        // instead of synchronizing a retransmission storm.
+        let feedback_jitter = self.viper.shared.config.retry.feedback_jitter;
         for c in corrupt {
             let generation = self.generation_of(&c.from, c.flow_id);
             let missing_count = c.chunks.len();
@@ -684,9 +700,14 @@ impl ConsumerTask {
                 generation,
                 missing: c.chunks,
             };
+            let nack_at = c.latest.add(deterministic_jitter(
+                self.endpoint.node(),
+                generation,
+                feedback_jitter,
+            ));
             if self
                 .endpoint
-                .send_control(&c.from, &c.tag, &nack, c.link)
+                .send_control_at(&c.from, &c.tag, &nack, c.link, nack_at)
                 .is_ok()
             {
                 self.state.nacks_sent.inc();
@@ -707,10 +728,23 @@ impl ConsumerTask {
     /// Arm the reap timer at the earliest instant a partial flow can go
     /// stale, or cancel it when nothing is partially assembled — an idle
     /// consumer has no timer and performs zero reap scans.
+    ///
+    /// The deadline carries a deterministic per-consumer jitter (seeded
+    /// from the node name and the deadline's virtual instant — never wall
+    /// time) so consumers losing chunks of the same fan-out desynchronize
+    /// their reap scans, and with them their NACK timing, instead of all
+    /// firing at the exact same virtual nanosecond.
     fn update_reap_timer(&mut self, ctx: &mut TaskCtx<'_>) {
-        let nack_after = self.viper.shared.config.retry.nack_after;
-        match self.assembler.next_reap_deadline(nack_after) {
-            Some(deadline) => ctx.arm_timer_at(REAP_TIMER, deadline),
+        let retry = self.viper.shared.config.retry;
+        match self.assembler.next_reap_deadline(retry.nack_after) {
+            Some(deadline) => {
+                let jitter = deterministic_jitter(
+                    self.endpoint.node(),
+                    deadline.as_nanos(),
+                    retry.feedback_jitter,
+                );
+                ctx.arm_timer_at(REAP_TIMER, deadline.add(jitter));
+            }
             None => ctx.cancel_timer(REAP_TIMER),
         }
     }
@@ -781,8 +815,10 @@ impl ReactorTask for ConsumerTask {
         let retry = self.viper.shared.config.retry;
         let telemetry = self.viper.shared.config.telemetry.clone();
         // Timers fire at quiescence without advancing the clock; the scan's
-        // virtual "now" is at least the armed deadline.
-        let now = self.viper.shared.clock.now().max(deadline);
+        // causal "now" is exactly the armed deadline. Reading the shared
+        // clock here would tie the reap decision (and NACK timing) to how
+        // far *unrelated* work happened to advance virtual time.
+        let now = deadline;
         // Stale partial flows: NACK the missing chunks (reliable mode), and
         // in any mode abandon flows past the NACK budget so lost transfers
         // cannot pin reassembly buffers forever.
@@ -815,9 +851,17 @@ impl ReactorTask for ConsumerTask {
                     generation,
                     missing: err.missing,
                 };
+                // Reap-driven NACKs fire causally at the scan deadline,
+                // staggered per (consumer, round) like the corrupt-chunk
+                // path's replies.
+                let nack_at = now.add(deterministic_jitter(
+                    self.endpoint.node(),
+                    generation,
+                    retry.feedback_jitter,
+                ));
                 if self
                     .endpoint
-                    .send_control(&err.from, &err.tag, &nack, err.link)
+                    .send_control_at(&err.from, &err.tag, &nack, err.link, nack_at)
                     .is_ok()
                 {
                     self.state.nacks_sent.inc();

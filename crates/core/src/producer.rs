@@ -11,10 +11,13 @@
 //! with `advance_to`, so concurrent background work overlaps in virtual
 //! time instead of serializing.
 
-use crate::codec::{deliver, route_label, DeliveryCounters, DeliveryTask, PayloadCodec};
+use crate::codec::{
+    deliver, route_label, DeliveryCounters, DeliveryTask, DrainBarrier, PayloadCodec,
+};
 use crate::context::Viper;
 use crate::Result;
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -49,6 +52,10 @@ enum Job {
         ckpt: Option<Arc<Checkpoint>>,
         payload: Payload,
         route: Route,
+        /// Causal frontier of the save that enqueued this job (capture
+        /// finished). Under coalescing the worker charges staging from it
+        /// instead of the racy shared clock.
+        frontier: SimInstant,
     },
     Flush {
         record: ModelRecord,
@@ -69,6 +76,11 @@ pub struct Producer {
     counters: Arc<DeliveryCounters>,
     /// Per-consumer wire-codec state (delta bases, acknowledged versions).
     codec: Arc<PayloadCodec>,
+    /// The causal end of the previous save's stall. Under coalescing the
+    /// producer's timeline is this private chain — each save starts where
+    /// the previous stall ended — because the shared clock races ahead
+    /// with concurrently resolving deliveries and consumer applies.
+    save_frontier: Mutex<SimInstant>,
     worker_tx: Option<Sender<Job>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -121,6 +133,7 @@ impl Producer {
                                 ckpt,
                                 payload,
                                 route,
+                                frontier,
                             } => {
                                 let _span = telemetry.span_with(
                                     "producer",
@@ -131,21 +144,37 @@ impl Producer {
                                         ("bytes", (payload.len() as u64).into()),
                                     ],
                                 );
+                                let coalesce = viper.shared.config.coalesce_updates
+                                    && viper.shared.config.reliable_delivery;
                                 let stage = stage_time(
                                     &viper.shared.config.profile,
                                     route,
                                     payload.len() as u64,
                                 );
-                                let t0 = telemetry.now_ns();
-                                charge(&viper.shared.clock, stage);
-                                telemetry.complete(
-                                    "producer",
-                                    "stage",
-                                    &worker_track,
-                                    t0,
-                                    telemetry.now_ns(),
-                                    &[("bytes", (payload.len() as u64).into())],
-                                );
+                                let staged = if coalesce {
+                                    let done = charge_at(&viper.shared.clock, frontier, stage);
+                                    telemetry.complete(
+                                        "producer",
+                                        "stage",
+                                        &worker_track,
+                                        frontier.as_nanos(),
+                                        done.as_nanos(),
+                                        &[("bytes", (payload.len() as u64).into())],
+                                    );
+                                    Some(done)
+                                } else {
+                                    let t0 = telemetry.now_ns();
+                                    charge(&viper.shared.clock, stage);
+                                    telemetry.complete(
+                                        "producer",
+                                        "stage",
+                                        &worker_track,
+                                        t0,
+                                        telemetry.now_ns(),
+                                        &[("bytes", (payload.len() as u64).into())],
+                                    );
+                                    None
+                                };
                                 // The async path captured (and staged) before
                                 // handing off, so chunks are all wire-ready.
                                 deliver(
@@ -159,6 +188,7 @@ impl Producer {
                                     false,
                                     &counters,
                                     &worker_track,
+                                    staged,
                                 );
                             }
                             Job::Flush { record, payload } => {
@@ -185,6 +215,7 @@ impl Producer {
                 .expect("spawn producer worker")
         };
 
+        let save_frontier = Mutex::new(clock.now());
         Producer {
             viper,
             node: node.to_string(),
@@ -195,6 +226,7 @@ impl Producer {
             format,
             counters,
             codec,
+            save_frontier,
             worker_tx: Some(tx),
             worker: Some(worker),
         }
@@ -255,6 +287,30 @@ impl Producer {
         self.counters.stale_feedback.get()
     }
 
+    /// Updates dropped from a congested lane's coalescing queue because a
+    /// newer version arrived before they could launch (summed across
+    /// consumers; zero unless `ViperConfig::coalesce_updates` is on).
+    pub fn updates_superseded(&self) -> u64 {
+        self.counters.updates_superseded.get()
+    }
+
+    /// Current total backlog across the delivery task's coalescing queues.
+    pub fn delivery_queue_depth(&self) -> i64 {
+        self.counters.queue_depth.get()
+    }
+
+    /// Block until every admitted delivery reached a terminal state
+    /// (ACKed, superseded, or degraded to the durable fallback). A no-op
+    /// without coalescing — the save path already blocks per update.
+    pub fn flush_deliveries(&self) {
+        let (tx, rx) = unbounded();
+        self.viper
+            .shared
+            .reactor
+            .submit(&self.node, Box::new(DrainBarrier { reply: tx }));
+        let _ = rx.recv();
+    }
+
     /// The node this producer runs on.
     pub fn node(&self) -> &str {
         &self.node
@@ -279,7 +335,15 @@ impl Producer {
         let clock = &shared.clock;
         let telemetry = &shared.config.telemetry;
         let strategy = shared.config.strategy;
-        let started_at = clock.now();
+        let coalesce = shared.config.coalesce_updates && shared.config.reliable_delivery;
+        // Under coalescing the save timeline is the producer's private
+        // chain (the shared clock races ahead with background deliveries);
+        // otherwise the clock frontier is the save's causal start.
+        let started_at = if coalesce {
+            *self.save_frontier.lock()
+        } else {
+            clock.now()
+        };
         let mut span = telemetry.span_with(
             "producer",
             "save_weights",
@@ -330,19 +394,37 @@ impl Producer {
         // the wire may carry far fewer bytes than the capture snapshots, so
         // modeling the capture inside the (delta-sized) chunked flow would
         // undercharge it: the capture is pre-charged as a lump instead.
+        // Coalescing also excludes the pipelined-capture model: the save
+        // path no longer waits for the flow, so the capture must be billed
+        // to the stall up front, and queued re-launches have no capture to
+        // overlap anyway.
         let chunked = shared.config.chunked_transfer && route != Route::PfsStaging;
-        let pipelined_sync = chunked && !is_async && !delta_mode;
+        let pipelined_sync = chunked && !is_async && !delta_mode && !coalesce;
+        // Causal frontier of this save's charged work so far.
+        let mut save_done = started_at;
         if !pipelined_sync {
-            let t0 = telemetry.now_ns();
-            charge(clock, capture);
-            telemetry.complete(
-                "producer",
-                "capture",
-                &self.track,
-                t0,
-                telemetry.now_ns(),
-                &[("bytes", bytes.into())],
-            );
+            if coalesce {
+                save_done = charge_at(clock, started_at, capture);
+                telemetry.complete(
+                    "producer",
+                    "capture",
+                    &self.track,
+                    started_at.as_nanos(),
+                    save_done.as_nanos(),
+                    &[("bytes", bytes.into())],
+                );
+            } else {
+                let t0 = telemetry.now_ns();
+                charge(clock, capture);
+                telemetry.complete(
+                    "producer",
+                    "capture",
+                    &self.track,
+                    t0,
+                    telemetry.now_ns(),
+                    &[("bytes", bytes.into())],
+                );
+            }
         }
 
         // 2. Cache on the staging tier. Memory tiers are uncharged (the
@@ -397,6 +479,7 @@ impl Producer {
                 ckpt: ckpt_arc,
                 payload: payload.clone(),
                 route,
+                frontier: save_done,
             });
         } else {
             let sent = deliver(
@@ -410,6 +493,7 @@ impl Producer {
                 pipelined_sync,
                 &self.counters,
                 &self.track,
+                coalesce.then_some(save_done),
             );
             if pipelined_sync && sent == 0 {
                 // Nothing consumed the pipelined capture model: the snapshot
@@ -440,8 +524,11 @@ impl Producer {
         // global clock: concurrent background work (flusher, async worker)
         // legitimately advances the shared virtual clock and must not be
         // billed to this save.
+        // Under coalescing the training loop stalls only for the capture:
+        // the delivery job is admitted (not resolved) before the save
+        // returns, so wire time never blocks the producer.
         let mut stall = capture;
-        if !is_async && route != Route::PfsStaging {
+        if !is_async && route != Route::PfsStaging && !coalesce {
             if chunked {
                 stall = pipeline_costs(
                     &shared.config.profile,
@@ -467,6 +554,9 @@ impl Producer {
             }
         }
         let resumed_at = started_at.add(stall);
+        if coalesce {
+            *self.save_frontier.lock() = resumed_at;
+        }
         Ok(SaveReceipt {
             version,
             bytes,
@@ -515,6 +605,10 @@ impl Drop for Producer {
         if let Some(handle) = self.worker.take() {
             let _ = handle.join();
         }
+        // Let coalesced deliveries still in flight reach a terminal state
+        // (ACK, supersession, or the durable fallback) before the task is
+        // torn down — otherwise a drop mid-run would silently discard them.
+        self.flush_deliveries();
         self.viper.shared.reactor.deregister(&self.node);
     }
 }

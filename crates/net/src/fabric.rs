@@ -269,7 +269,7 @@ impl Fabric {
         let mut out: Vec<Message> = Vec::with_capacity(msgs.len());
         let mut swap_next: Vec<bool> = Vec::with_capacity(msgs.len());
         for mut msg in msgs {
-            let faults = state.plan.faults_for(msg.link);
+            let faults = state.plan.faults_for_node(&msg.to, msg.link);
             if msg.kind == MessageKind::Control || !faults.any() {
                 out.push(msg);
                 swap_next.push(false);
@@ -350,6 +350,7 @@ impl Fabric {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_from(
         &self,
         from: &str,
@@ -358,6 +359,7 @@ impl Fabric {
         payload: Payload,
         link: LinkKind,
         kind: MessageKind,
+        at: Option<SimInstant>,
     ) -> Result<Duration, NetError> {
         let tx = self
             .inner
@@ -368,7 +370,11 @@ impl Fabric {
             .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
         let bytes = payload.len() as u64;
         let wire_time = link.transfer_time(&self.inner.profile, bytes);
-        let sent_at = self.inner.clock.now();
+        // A causal send charges from the event instant that triggered it
+        // (`at`), not from whatever the shared clock happens to read — the
+        // clock is a frontier other threads advance concurrently, so
+        // reading it would make the virtual timeline racy.
+        let sent_at = at.unwrap_or_else(|| self.inner.clock.now());
         let arrived_at = sent_at.add(wire_time);
         self.inner.clock.advance_to(arrived_at);
         let telemetry = self.telemetry();
@@ -570,7 +576,8 @@ impl Fabric {
         flow_id: u64,
         chunk_bytes: u64,
         indices: &[u32],
-    ) -> Result<Duration, NetError> {
+        at: Option<SimInstant>,
+    ) -> Result<(Duration, SimInstant), NetError> {
         let tx = self
             .inner
             .nodes
@@ -582,9 +589,11 @@ impl Fabric {
         let sizes = chunk_sizes(total_bytes, chunk_bytes);
         let num_chunks = sizes.len() as u32;
         let lane = (from.to_string(), to.to_string(), link);
-        let now = self.inner.clock.now();
+        // Causal base: the instant this round was decided (post-backoff),
+        // falling back to the clock frontier for the legacy entry point.
+        let base = at.unwrap_or_else(|| self.inner.clock.now());
         let mut busy_map = self.inner.link_busy.lock();
-        let mut lane_free = (*busy_map.get(&lane).unwrap_or(&now)).max(now);
+        let mut lane_free = (*busy_map.get(&lane).unwrap_or(&base)).max(base);
         let mut wire_total = Duration::ZERO;
         let mut msgs = Vec::with_capacity(indices.len());
         for &index in indices {
@@ -648,7 +657,7 @@ impl Fabric {
                 .map_err(|_| NetError::UnknownNode(to.to_string()))?;
         }
         self.notify(to);
-        Ok(wire_total)
+        Ok((wire_total, lane_free))
     }
 }
 
@@ -707,8 +716,15 @@ impl Endpoint {
         payload: impl Into<Payload>,
         link: LinkKind,
     ) -> Result<Duration, NetError> {
-        self.fabric
-            .send_from(&self.node, to, tag, payload.into(), link, MessageKind::Data)
+        self.fabric.send_from(
+            &self.node,
+            to,
+            tag,
+            payload.into(),
+            link,
+            MessageKind::Data,
+            None,
+        )
     }
 
     /// Send `payload` as a pipelined chunked flow (see
@@ -744,7 +760,33 @@ impl Endpoint {
             Payload::from(control.encode()),
             link,
             MessageKind::Control,
+            None,
         )
+    }
+
+    /// [`Endpoint::send_control`] with an explicit causal send instant:
+    /// the frame's wire span is charged from `at` (the event that decided
+    /// to send it — a flow completing, a reap deadline firing) rather than
+    /// from the shared clock frontier, which concurrent lanes advance
+    /// racily. Returns the frame's arrival instant.
+    pub fn send_control_at(
+        &self,
+        to: &str,
+        tag: &str,
+        control: &Control,
+        link: LinkKind,
+        at: SimInstant,
+    ) -> Result<SimInstant, NetError> {
+        let wire = self.fabric.send_from(
+            &self.node,
+            to,
+            tag,
+            Payload::from(control.encode()),
+            link,
+            MessageKind::Control,
+            Some(at),
+        )?;
+        Ok(at.add(wire))
     }
 
     /// Retransmit the given chunk `indices` of a flow previously sent with
@@ -762,16 +804,51 @@ impl Endpoint {
         chunk_bytes: u64,
         indices: &[u32],
     ) -> Result<Duration, NetError> {
-        self.fabric.retransmit_chunks_from(
-            &self.node,
-            to,
-            tag,
-            payload,
-            link,
-            flow_id,
-            chunk_bytes,
-            indices,
-        )
+        self.fabric
+            .retransmit_chunks_from(
+                &self.node,
+                to,
+                tag,
+                payload,
+                link,
+                flow_id,
+                chunk_bytes,
+                indices,
+                None,
+            )
+            .map(|(wire_total, _)| wire_total)
+    }
+
+    /// [`Endpoint::retransmit_chunks`] with an explicit causal base: the
+    /// round's chunks queue behind `max(lane_busy, at)` instead of the
+    /// shared clock frontier. Returns the instant the last retransmitted
+    /// chunk arrives (the new lane-free point), which is the correct base
+    /// for re-arming the sender's ACK timer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retransmit_chunks_at(
+        &self,
+        to: &str,
+        tag: &str,
+        payload: &Payload,
+        link: LinkKind,
+        flow_id: u64,
+        chunk_bytes: u64,
+        indices: &[u32],
+        at: SimInstant,
+    ) -> Result<SimInstant, NetError> {
+        self.fabric
+            .retransmit_chunks_from(
+                &self.node,
+                to,
+                tag,
+                payload,
+                link,
+                flow_id,
+                chunk_bytes,
+                indices,
+                Some(at),
+            )
+            .map(|(_, lane_free)| lane_free)
     }
 
     /// Blocking receive with a wall-clock timeout.

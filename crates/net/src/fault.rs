@@ -64,6 +64,7 @@ pub struct FaultPlan {
     /// Fault probabilities applied to links without an override.
     pub default: LinkFaults,
     overrides: Vec<(LinkKind, LinkFaults)>,
+    node_overrides: Vec<(String, LinkFaults)>,
 }
 
 impl FaultPlan {
@@ -73,6 +74,7 @@ impl FaultPlan {
             seed,
             default: LinkFaults::NONE,
             overrides: Vec::new(),
+            node_overrides: Vec::new(),
         }
     }
 
@@ -107,6 +109,16 @@ impl FaultPlan {
         self
     }
 
+    /// Override the fault probabilities for every message *destined to* one
+    /// named node, regardless of link kind. The straggler knob: a single
+    /// lossy consumer on an otherwise healthy fabric. Node overrides take
+    /// precedence over link overrides.
+    pub fn for_node(mut self, node: &str, faults: LinkFaults) -> Self {
+        self.node_overrides.retain(|(n, _)| n != node);
+        self.node_overrides.push((node.to_string(), faults));
+        self
+    }
+
     /// The fault probabilities in effect for `link`.
     pub fn faults_for(&self, link: LinkKind) -> LinkFaults {
         self.overrides
@@ -116,9 +128,21 @@ impl FaultPlan {
             .unwrap_or(self.default)
     }
 
+    /// The fault probabilities for a message to node `to` over `link`:
+    /// node override first, then link override, then the default.
+    pub fn faults_for_node(&self, to: &str, link: LinkKind) -> LinkFaults {
+        self.node_overrides
+            .iter()
+            .find(|(n, _)| n == to)
+            .map(|(_, f)| *f)
+            .unwrap_or_else(|| self.faults_for(link))
+    }
+
     /// Whether the plan can actually perturb any link.
     pub fn any(&self) -> bool {
-        self.default.any() || self.overrides.iter().any(|(_, f)| f.any())
+        self.default.any()
+            || self.overrides.iter().any(|(_, f)| f.any())
+            || self.node_overrides.iter().any(|(_, f)| f.any())
     }
 }
 
@@ -228,6 +252,48 @@ mod tests {
         assert_eq!(plan.faults_for(LinkKind::PcieD2h).corrupt, 1.0);
         assert!(plan.any());
         assert!(!FaultPlan::seeded(2).any());
+    }
+
+    #[test]
+    fn node_overrides_beat_link_overrides() {
+        let plan = FaultPlan::seeded(1)
+            .with_drop(0.1)
+            .for_link(
+                LinkKind::GpuDirect,
+                LinkFaults {
+                    drop: 0.3,
+                    ..LinkFaults::NONE
+                },
+            )
+            .for_node(
+                "slow",
+                LinkFaults {
+                    drop: 0.9,
+                    ..LinkFaults::NONE
+                },
+            );
+        assert_eq!(plan.faults_for_node("slow", LinkKind::GpuDirect).drop, 0.9);
+        assert_eq!(plan.faults_for_node("slow", LinkKind::HostRdma).drop, 0.9);
+        assert_eq!(
+            plan.faults_for_node("healthy", LinkKind::GpuDirect).drop,
+            0.3
+        );
+        assert_eq!(
+            plan.faults_for_node("healthy", LinkKind::HostRdma).drop,
+            0.1
+        );
+        // Re-overriding a node replaces, not appends.
+        let plan = plan.for_node("slow", LinkFaults::NONE);
+        assert_eq!(plan.faults_for_node("slow", LinkKind::GpuDirect).drop, 0.0);
+        // A plan whose only non-zero knob is a node override still counts.
+        let quiet = FaultPlan::seeded(2).for_node(
+            "slow",
+            LinkFaults {
+                corrupt: 0.5,
+                ..LinkFaults::NONE
+            },
+        );
+        assert!(quiet.any());
     }
 
     #[test]

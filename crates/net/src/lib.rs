@@ -47,6 +47,8 @@ pub use reactor::{
     CrcPool, FeedbackKind, FlowAction, FlowEvent, FlowMachine, FlowPhase, Reactor, ReactorTask,
     TaskCtx,
 };
-pub use reliability::{Control, FlowError, RetryPolicy, CONTROL_MAGIC};
+pub use reliability::{
+    deterministic_jitter, CoalesceQueue, Control, FlowError, RetryPolicy, CONTROL_MAGIC,
+};
 pub use viper_formats::Payload;
 pub use wirebuf::{WireBuf, HEAD_BYTES};

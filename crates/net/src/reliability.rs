@@ -17,6 +17,7 @@
 //!   to a slower-but-durable route.
 
 use crate::LinkKind;
+use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Magic bytes marking a reliability control frame ("VPRL").
@@ -191,6 +192,22 @@ pub struct RetryPolicy {
     /// How many times the receiver re-NACKs a stalled flow before
     /// abandoning it (freeing its buffer).
     pub max_nacks: u32,
+    /// Extra virtual-time backoff added per update queued behind a
+    /// congested consumer's in-flight flow (see
+    /// [`RetryPolicy::backoff_with_pressure`]). A consumer whose outbound
+    /// queue is deep is by definition slower than the producer; pushing
+    /// its repair rounds out makes room for the fresh versions that will
+    /// supersede the stragglers anyway.
+    pub backpressure_penalty: Duration,
+    /// Upper bound on the accumulated backpressure penalty, so a deep
+    /// queue cannot push a repair round out indefinitely.
+    pub max_backpressure: Duration,
+    /// Maximum deterministic per-consumer jitter applied to receiver-side
+    /// feedback timers (NACK reap deadlines). Derived from stable
+    /// identifiers via [`deterministic_jitter`] — never from wall time —
+    /// so it spreads synchronized control-frame herds across the virtual
+    /// timeline without breaking reproducibility.
+    pub feedback_jitter: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -202,15 +219,153 @@ impl Default for RetryPolicy {
             ack_timeout: Duration::from_millis(200),
             nack_after: Duration::from_millis(8),
             max_nacks: 12,
+            backpressure_penalty: Duration::from_micros(100),
+            max_backpressure: Duration::from_millis(2),
+            feedback_jitter: Duration::from_micros(200),
         }
     }
 }
 
 impl RetryPolicy {
     /// The virtual-time backoff charged before retransmission round
-    /// `attempt` (1-based): exponential from `base_backoff`, capped.
+    /// `attempt` (**1-based**): exponential from `base_backoff`, capped.
+    ///
+    /// Passing `attempt = 0` is a caller bug (there is no round zero —
+    /// the initial send is not a retry); it trips a debug assertion and
+    /// is clamped to round 1 in release builds so a miscounted attempt
+    /// can never yield a zero-backoff instant retransmit.
     pub fn backoff(&self, attempt: u32) -> Duration {
-        viper_hw::retry_backoff(self.base_backoff, attempt, self.backoff_cap)
+        debug_assert!(attempt >= 1, "backoff attempts are 1-based, got 0");
+        viper_hw::retry_backoff(self.base_backoff, attempt.max(1), self.backoff_cap)
+    }
+
+    /// [`RetryPolicy::backoff`] plus a backpressure penalty scaled by how
+    /// many newer updates are queued behind the congested consumer
+    /// (`backlog`), capped at `max_backpressure`.
+    pub fn backoff_with_pressure(&self, attempt: u32, backlog: usize) -> Duration {
+        let penalty = self
+            .backpressure_penalty
+            .checked_mul(backlog.min(u32::MAX as usize) as u32)
+            .unwrap_or(self.max_backpressure)
+            .min(self.max_backpressure);
+        self.backoff(attempt) + penalty
+    }
+}
+
+/// Deterministic per-consumer jitter in `[0, max]`, derived from stable
+/// identifiers only: an FNV-1a hash of `node`'s bytes mixed with
+/// `generation` through a SplitMix64 finalizer. The same (node,
+/// generation, max) always yields the same offset — across runs, reactor
+/// thread counts, and telemetry settings — so jitter spreads synchronized
+/// timer deadlines without ever touching wall time.
+pub fn deterministic_jitter(node: &str, generation: u64, max: Duration) -> Duration {
+    let max_ns = max.as_nanos().min(u64::MAX as u128) as u64;
+    if max_ns == 0 {
+        return Duration::ZERO;
+    }
+    // FNV-1a over the node name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in node.as_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Mix in the generation and finalize (SplitMix64).
+    let mut z = hash ^ generation.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Duration::from_nanos(z % (max_ns + 1))
+}
+
+/// A bounded outbound queue that collapses to the latest version when
+/// full: the paper's consumers only ever want the *newest* model, so a
+/// congested consumer's backlog holds fresh updates and drops superseded
+/// ones rather than growing without bound (head-of-line blocking).
+///
+/// Invariants, property-tested in `tests/coalesce_proptests.rs`:
+///
+/// * the newest pushed version is never dropped;
+/// * [`CoalesceQueue::pop`] yields strictly increasing versions;
+/// * every update ever pushed is either popped or reported back as
+///   superseded (returned from [`CoalesceQueue::push`] and counted by
+///   [`CoalesceQueue::superseded`]) — exactly once, never both.
+#[derive(Debug)]
+pub struct CoalesceQueue<T> {
+    bound: usize,
+    entries: VecDeque<(u64, T)>,
+    superseded: u64,
+    last_popped: Option<u64>,
+}
+
+impl<T> CoalesceQueue<T> {
+    /// A queue holding at most `bound` pending updates (`bound` is clamped
+    /// to at least 1 — a zero-capacity queue could drop the newest
+    /// version, violating the collapse contract).
+    pub fn new(bound: usize) -> Self {
+        CoalesceQueue {
+            bound: bound.max(1),
+            entries: VecDeque::new(),
+            superseded: 0,
+            last_popped: None,
+        }
+    }
+
+    /// Enqueue `item` as `version`, returning every update this push
+    /// superseded (already counted). A push that is itself stale — its
+    /// version is not newer than everything queued or already popped —
+    /// comes straight back in the returned vec. When the queue is full
+    /// the *oldest* pending entries are collapsed away.
+    pub fn push(&mut self, version: u64, item: T) -> Vec<(u64, T)> {
+        let newest = self
+            .entries
+            .back()
+            .map(|(v, _)| *v)
+            .or(self.last_popped)
+            .unwrap_or(0);
+        if (self.entries.back().is_some() || self.last_popped.is_some()) && version <= newest {
+            self.superseded += 1;
+            return vec![(version, item)];
+        }
+        self.entries.push_back((version, item));
+        let mut dropped = Vec::new();
+        while self.entries.len() > self.bound {
+            let old = self.entries.pop_front().expect("len > bound >= 1");
+            self.superseded += 1;
+            dropped.push(old);
+        }
+        dropped
+    }
+
+    /// Dequeue the oldest pending update. Versions come out strictly
+    /// increasing across the queue's lifetime.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let (version, item) = self.entries.pop_front()?;
+        debug_assert!(
+            self.last_popped.is_none_or(|last| version > last),
+            "coalesce queue popped out of order"
+        );
+        self.last_popped = Some(version);
+        Some((version, item))
+    }
+
+    /// Pending updates currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no updates are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The version of the newest pending update, if any.
+    pub fn newest(&self) -> Option<u64> {
+        self.entries.back().map(|(v, _)| *v)
+    }
+
+    /// Total updates dropped as superseded over the queue's lifetime.
+    pub fn superseded(&self) -> u64 {
+        self.superseded
     }
 }
 
@@ -342,5 +497,106 @@ mod tests {
         assert_eq!(policy.backoff(3), Duration::from_micros(400));
         assert_eq!(policy.backoff(4), Duration::from_micros(450));
         assert_eq!(policy.backoff(30), Duration::from_micros(450));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "1-based"))]
+    fn backoff_attempt_zero_clamps_to_round_one() {
+        let policy = RetryPolicy::default();
+        // Release builds clamp to round 1 instead of yielding ZERO (an
+        // instant retransmit); debug builds trip the assertion.
+        assert_eq!(policy.backoff(0), policy.backoff(1));
+        assert_ne!(policy.backoff(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn backpressure_penalty_scales_and_caps() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(5),
+            backpressure_penalty: Duration::from_micros(100),
+            max_backpressure: Duration::from_micros(250),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_with_pressure(1, 0), policy.backoff(1));
+        assert_eq!(
+            policy.backoff_with_pressure(1, 1),
+            policy.backoff(1) + Duration::from_micros(100)
+        );
+        assert_eq!(
+            policy.backoff_with_pressure(1, 2),
+            policy.backoff(1) + Duration::from_micros(200)
+        );
+        // Deep backlogs saturate at the cap — including absurd ones.
+        assert_eq!(
+            policy.backoff_with_pressure(1, 3),
+            policy.backoff(1) + Duration::from_micros(250)
+        );
+        assert_eq!(
+            policy.backoff_with_pressure(1, usize::MAX),
+            policy.backoff(1) + Duration::from_micros(250)
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spread() {
+        let max = Duration::from_micros(200);
+        let a1 = deterministic_jitter("consumer-a", 7, max);
+        let a2 = deterministic_jitter("consumer-a", 7, max);
+        assert_eq!(a1, a2, "same inputs must give the same jitter");
+        assert!(a1 <= max);
+        assert_eq!(
+            deterministic_jitter("consumer-a", 7, Duration::ZERO),
+            Duration::ZERO
+        );
+        // Different nodes (or generations) should not all collapse onto
+        // one deadline — that is the thundering herd we are breaking up.
+        let offsets: std::collections::BTreeSet<Duration> = (0..64)
+            .map(|i| deterministic_jitter(&format!("consumer-{i}"), 1, max))
+            .collect();
+        assert!(offsets.len() > 32, "jitter barely spreads: {offsets:?}");
+        let gens: std::collections::BTreeSet<Duration> = (0..16)
+            .map(|g| deterministic_jitter("consumer-a", g, max))
+            .collect();
+        assert!(gens.len() > 8, "generation mixing too weak: {gens:?}");
+    }
+
+    #[test]
+    fn coalesce_queue_collapses_to_latest() {
+        let mut q = CoalesceQueue::new(2);
+        assert!(q.push(1, "v1").is_empty());
+        assert!(q.push(2, "v2").is_empty());
+        // Full: pushing v3 collapses the oldest pending (v1).
+        let dropped = q.push(3, "v3");
+        assert_eq!(dropped, vec![(1, "v1")]);
+        assert_eq!(q.superseded(), 1);
+        assert_eq!(q.newest(), Some(3));
+        assert_eq!(q.pop(), Some((2, "v2")));
+        assert_eq!(q.pop(), Some((3, "v3")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn coalesce_queue_rejects_stale_pushes() {
+        let mut q = CoalesceQueue::new(4);
+        assert!(q.push(5, "v5").is_empty());
+        assert_eq!(q.pop(), Some((5, "v5")));
+        // A version at or below the last popped one is itself superseded.
+        assert_eq!(q.push(5, "again"), vec![(5, "again")]);
+        assert_eq!(q.push(3, "older"), vec![(3, "older")]);
+        assert_eq!(q.superseded(), 2);
+        assert!(q.push(6, "v6").is_empty());
+        assert_eq!(q.push(6, "dup"), vec![(6, "dup")]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.superseded(), 3);
+    }
+
+    #[test]
+    fn coalesce_queue_bound_clamps_to_one() {
+        let mut q = CoalesceQueue::new(0);
+        assert!(q.push(1, ()).is_empty());
+        assert_eq!(q.push(2, ()), vec![(1, ())]);
+        assert_eq!(q.newest(), Some(2), "newest version survives bound 0");
     }
 }

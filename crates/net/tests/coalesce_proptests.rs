@@ -1,0 +1,87 @@
+//! Property tests for the collapse-to-latest coalescing queue.
+//!
+//! The queue backs the producer's per-consumer outbound backlog, so its
+//! contract is load-bearing for delivery correctness:
+//!
+//! * the newest version pushed is never dropped — a full queue collapses
+//!   *older* pending entries, and a stale push supersedes *itself*;
+//! * `pop` yields strictly increasing versions (no reordering, no
+//!   duplicate delivery of a version);
+//! * accounting is exact: every push is eventually popped or counted as
+//!   superseded, exactly once — `pushed == popped + superseded`.
+
+use proptest::prelude::*;
+use viper_net::CoalesceQueue;
+
+/// A workload: queue bound plus an interleaving of pushes (with possibly
+/// stale/duplicate versions) and pops (`op == 1`).
+fn ops() -> impl Strategy<Value = (usize, Vec<(u8, u64)>)> {
+    (0usize..5, prop::collection::vec((0u8..2, 0u64..40), 0..120))
+}
+
+proptest! {
+    #[test]
+    fn coalesce_queue_contract(workload in ops()) {
+        let (bound, script) = workload;
+        let mut q = CoalesceQueue::new(bound);
+        let mut pushed = 0u64;
+        let mut dropped = 0u64;
+        let mut popped = Vec::new();
+        let mut newest_pushed: Option<u64> = None;
+        for (op, version) in script {
+            if op == 1 {
+                if let Some((v, tag)) = q.pop() {
+                    prop_assert_eq!(v, tag, "item travels with its version");
+                    popped.push(v);
+                }
+            } else {
+                pushed += 1;
+                newest_pushed = Some(newest_pushed.map_or(version, |n| n.max(version)));
+                dropped += q.push(version, version).len() as u64;
+            }
+        }
+        // Drain what's left.
+        while let Some((v, _)) = q.pop() {
+            popped.push(v);
+        }
+
+        // Pops are strictly increasing — never out of order, never twice.
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0] < pair[1], "popped out of order: {:?}", popped);
+        }
+        // The newest version ever pushed is never lost: it was popped
+        // (possibly pushed again and superseded by its own duplicate, but
+        // delivered at least once).
+        if let Some(newest) = newest_pushed {
+            prop_assert_eq!(popped.last().copied(), Some(newest),
+                "newest version {} must be delivered last", newest);
+        }
+        // Exact accounting: superseded() counts every drop, and every push
+        // is either delivered or dropped — never both, never neither.
+        prop_assert_eq!(q.superseded(), dropped, "push() returns what it counts");
+        prop_assert_eq!(pushed, popped.len() as u64 + dropped,
+            "pushed == popped + superseded");
+    }
+
+    #[test]
+    fn monotone_pushes_never_lose_the_tail(bound in 0usize..4, n in 1u64..50) {
+        // The delivery pattern: versions arrive in order, consumer drains
+        // at the end. The queue must hold exactly the newest `max(bound,1)`
+        // versions and have superseded the rest.
+        let mut q = CoalesceQueue::new(bound);
+        let mut dropped = 0u64;
+        for v in 1..=n {
+            dropped += q.push(v, v).len() as u64;
+        }
+        let effective = bound.max(1) as u64;
+        let kept = n.min(effective);
+        prop_assert_eq!(q.len() as u64, kept);
+        prop_assert_eq!(dropped, n - kept);
+        let mut expect = n - kept + 1;
+        while let Some((v, _)) = q.pop() {
+            prop_assert_eq!(v, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, n + 1, "tail delivered through version n");
+    }
+}
