@@ -342,7 +342,9 @@ pub fn straggler_coalescing() -> Vec<StragglerRow> {
             while remaining > 0 {
                 attempt += 1;
                 now += WIRE;
-                remaining = (0..remaining).filter(|_| !mix(&mut rng).is_multiple_of(4)).count() as u32;
+                remaining = (0..remaining)
+                    .filter(|_| !mix(&mut rng).is_multiple_of(4))
+                    .count() as u32;
                 if remaining > 0 {
                     now += retry
                         .backoff_with_pressure(attempt, backlog.len())
@@ -473,6 +475,64 @@ pub fn delta_savings() -> DeltaSavings {
     }
 }
 
+/// Measured result of one fleet size in [`fanout_tree`].
+pub struct FanoutRow {
+    /// Fleet size (consumers).
+    pub consumers: usize,
+    /// Relay-tree depth (levels).
+    pub depth: usize,
+    /// Worst-round direct-unicast makespan (seconds).
+    pub direct_makespan: f64,
+    /// Worst-round relay-tree makespan (seconds).
+    pub tree_makespan: f64,
+    /// Direct/tree speedup.
+    pub speedup: f64,
+    /// Relay failures healed by re-parenting across the run.
+    pub reparent_events: usize,
+    /// Members that joined across the run.
+    pub join_events: usize,
+}
+
+/// Relay-tree fan-out at fleet scale: direct unicast vs the cache-assisted
+/// multicast tree, on the closed-form distribution timeline
+/// ([`viper_des::simulate_fanout`]). One full TC1-sized model costs
+/// ~24 ms per healthy hop (Polaris node-to-node at ~25 GB/s for 600 MB);
+/// each fleet runs several update rounds under seeded churn (failures
+/// healed by re-parenting, joins by rebuild) and 10% straggler links at
+/// 8x slowdown. Direct delivery grows linearly with the fleet; the tree
+/// grows with `fanout · log_fanout n`.
+pub fn fanout_tree() -> Vec<FanoutRow> {
+    use viper_des::{simulate_fanout, FanoutConfig};
+    [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .map(|consumers| {
+            let r = simulate_fanout(&FanoutConfig {
+                consumers,
+                fanout: 8,
+                t_send: 0.024,
+                rounds: 6,
+                churn_per_round: 4,
+                straggler_fraction: 0.1,
+                straggler_slowdown: 8.0,
+                seed: 7,
+            });
+            assert_eq!(
+                r.delivery_violations, 0,
+                "coverage must hold at {consumers}"
+            );
+            FanoutRow {
+                consumers,
+                depth: r.max_depth(),
+                direct_makespan: r.direct_makespan(),
+                tree_makespan: r.tree_makespan(),
+                speedup: r.speedup(),
+                reparent_events: r.reparent_events,
+                join_events: r.join_events,
+            }
+        })
+        .collect()
+}
+
 /// PFS update latency under concurrent writer load (the §3 argument that
 /// uncoordinated small I/O under concurrency makes the PFS a bottleneck).
 /// Returns `(concurrent streams, modeled TC1 update write time s)`.
@@ -601,6 +661,34 @@ pub fn render_all() -> String {
         &rows,
     ));
 
+    out.push_str("\n### Relay-tree fan-out at fleet scale (fanout 8, churn + 10% stragglers)\n\n");
+    let rows: Vec<Vec<String>> = fanout_tree()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.consumers.to_string(),
+                r.depth.to_string(),
+                format!("{:.1}", r.direct_makespan),
+                format!("{:.3}", r.tree_makespan),
+                format!("{:.0}x", r.speedup),
+                r.reparent_events.to_string(),
+                r.join_events.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::markdown_table(
+        &[
+            "consumers",
+            "tree depth",
+            "direct makespan (s)",
+            "tree makespan (s)",
+            "speedup",
+            "reparents",
+            "joins",
+        ],
+        &rows,
+    ));
+
     out.push_str("\n### PFS write contention (TC1 checkpoint, concurrent streams)\n\n");
     let rows: Vec<Vec<String>> = pfs_contention()
         .into_iter()
@@ -714,6 +802,30 @@ mod tests {
         // 8 concurrent writers cost ~8x the payload time.
         let (first, last) = (rows[0].1, rows.last().unwrap().1);
         assert!(last / first > 5.0, "{rows:?}");
+    }
+
+    #[test]
+    fn fanout_tree_makespan_grows_sublinearly() {
+        let rows = fanout_tree();
+        assert_eq!(rows.len(), 3);
+        for pair in rows.windows(2) {
+            // 10x the fleet: direct pays ~10x, the tree pays one or two
+            // more levels.
+            let direct_growth = pair[1].direct_makespan / pair[0].direct_makespan;
+            let tree_growth = pair[1].tree_makespan / pair[0].tree_makespan;
+            assert!(direct_growth > 5.0, "direct grew only {direct_growth:.1}x");
+            assert!(tree_growth < 2.0, "tree grew {tree_growth:.1}x");
+            assert!(pair[1].depth >= pair[0].depth);
+        }
+        for r in &rows {
+            assert!(
+                r.speedup > 10.0,
+                "{}: speedup {:.0}",
+                r.consumers,
+                r.speedup
+            );
+            assert!(r.reparent_events > 0, "churn must exercise re-parenting");
+        }
     }
 
     #[test]

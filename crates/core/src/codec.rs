@@ -60,7 +60,7 @@ use crate::UPDATE_TOPIC;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind};
@@ -112,6 +112,13 @@ pub(crate) struct DeliveryCounters {
     pub(crate) updates_superseded: Counter,
     /// Current total backlog across every lane's coalescing queue.
     pub(crate) queue_depth: Gauge,
+    /// Group-level ACKs received from relay-tree roots: each one resolves
+    /// a whole subtree that direct delivery would have ACKed member by
+    /// member.
+    pub(crate) group_acks: Counter,
+    /// Relay failures that re-parented a subtree (the orphaned members
+    /// were delivered directly as a counted fallback).
+    pub(crate) reparent_events: Counter,
 }
 
 impl DeliveryCounters {
@@ -128,6 +135,8 @@ impl DeliveryCounters {
             stale_feedback: telemetry.counter(&format!("producer.{node}.stale_feedback")),
             updates_superseded: telemetry.counter(&format!("producer.{node}.updates_superseded")),
             queue_depth: telemetry.gauge(&format!("producer.{node}.queue_depth")),
+            group_acks: telemetry.counter(&format!("producer.{node}.group_acks")),
+            reparent_events: telemetry.counter(&format!("producer.{node}.reparent_events")),
         }
     }
 }
@@ -264,6 +273,30 @@ impl PayloadCodec {
             .lock()
             .get(&(consumer.to_string(), model.to_string()))?;
         self.retained.lock().get(model)?.get(&acked).cloned()
+    }
+
+    /// The common delta base for a whole relay group: the base checkpoint
+    /// every member has acknowledged, if they all acknowledged the *same*
+    /// iteration and it is still retained. A relay re-serves one wire
+    /// image to its whole subtree, so a group delta is only safe when it
+    /// applies at every member; any divergence falls back to a full.
+    fn group_base(&self, members: &[String], model: &str) -> Option<Arc<Checkpoint>> {
+        if !self.active {
+            return None;
+        }
+        let acked = self.acked.lock();
+        let mut common: Option<u64> = None;
+        for member in members {
+            let it = *acked.get(&(member.clone(), model.to_string()))?;
+            match common {
+                None => common = Some(it),
+                Some(c) if c == it => {}
+                Some(_) => return None,
+            }
+        }
+        let it = common?;
+        drop(acked);
+        self.retained.lock().get(model)?.get(&it).cloned()
     }
 
     /// Record that `consumer` acknowledged installing `iteration`.
@@ -430,6 +463,84 @@ fn encode_for(
     }
 }
 
+/// Choose and encode the *shared* wire payload for one relay group (a
+/// tree root plus its whole subtree). The same bytes are re-served down
+/// every level, so a delta is chosen only when
+/// [`PayloadCodec::group_base`] proves it applies at every member;
+/// otherwise the group gets the memoized framed full. With the codec
+/// inactive the raw full travels unframed, exactly as on the direct path.
+#[allow(clippy::too_many_arguments)]
+fn encode_group(
+    viper: &Viper,
+    codec: &PayloadCodec,
+    members: &[String],
+    record: &ModelRecord,
+    ckpt: Option<&Arc<Checkpoint>>,
+    payload: &Payload,
+    route: Route,
+    counters: &DeliveryCounters,
+    frontier: &mut SimInstant,
+    track: &str,
+) -> WirePayload {
+    if !codec.active() {
+        return WirePayload {
+            kind: PayloadKind::Full,
+            bytes: payload.clone(),
+        };
+    }
+    let shared = &viper.shared;
+    let telemetry = &shared.config.telemetry;
+    if let Some(ckpt) = ckpt {
+        if let Some(base) = codec
+            .group_base(members, &record.name)
+            .filter(|b| b.iteration < ckpt.iteration)
+        {
+            let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
+                let framed = delta::diff(&base, ckpt).ok().map(|d| {
+                    counters.payload_allocs.inc();
+                    Payload::from(wire::frame(PayloadKind::Delta, &d.encode()))
+                });
+                if framed.is_some() {
+                    let t0 = *frontier;
+                    *frontier = charge_at(
+                        &shared.clock,
+                        t0,
+                        stage_time(&shared.config.profile, route, payload.len() as u64),
+                    );
+                    telemetry.complete(
+                        "producer",
+                        "encode.delta",
+                        track,
+                        t0.as_nanos(),
+                        frontier.as_nanos(),
+                        &[
+                            ("base_iteration", base.iteration.into()),
+                            ("iteration", ckpt.iteration.into()),
+                        ],
+                    );
+                }
+                framed
+            });
+            if let Some(bytes) = encoded {
+                counters.delta_sends.inc();
+                let full_len = (payload.len() + wire::WIRE_HEADER_BYTES) as u64;
+                counters
+                    .delta_bytes_saved
+                    .add(full_len.saturating_sub(bytes.len() as u64));
+                return WirePayload {
+                    kind: PayloadKind::Delta,
+                    bytes,
+                };
+            }
+        }
+    }
+    counters.delta_fallbacks.inc();
+    WirePayload {
+        kind: PayloadKind::Full,
+        bytes: codec.full_framed_cached(&record.name, record.iteration, payload, counters),
+    }
+}
+
 /// The producer-side capture model for a memory route, as the fabric's
 /// chunked send expects it: `(bandwidth, per-chunk fixed, per-flow fixed)`.
 fn chunk_capture_model(
@@ -458,8 +569,13 @@ fn chunk_capture_model(
 /// flow is terminal; with coalescing it arrives at admission and the task
 /// drives the update to completion (or supersession) in the background.
 pub(crate) struct DeliveryJob {
-    /// `(consumer node, encoded payload)` in fan-out order.
+    /// `(consumer node, encoded payload)` in fan-out order. Under
+    /// relay-tree distribution these are the tree *roots* only.
     pub(crate) consumers: Vec<(String, WirePayload)>,
+    /// Relay-tree delivery groups: root → its whole subtree (root first).
+    /// Empty on the direct path. A root's ACK resolves (and base-tracks)
+    /// every non-escalated member of its group.
+    pub(crate) groups: BTreeMap<String, Vec<String>>,
     pub(crate) tag: String,
     pub(crate) link: LinkKind,
     pub(crate) chunk_bytes: u64,
@@ -580,24 +696,48 @@ pub(crate) fn deliver(
             } else {
                 0
             };
+            let eligible: Vec<String> = consumers
+                .into_iter()
+                .filter(|c| c != endpoint.node())
+                .collect();
             let mut job_consumers = Vec::new();
-            for consumer in consumers {
-                if consumer == endpoint.node() {
-                    continue;
+            // Relay-tree mode: organize the fleet into the deployment's
+            // topology and target only the tree roots — each root's group
+            // shares one wire image, re-served down the tree by the
+            // relays themselves.
+            let groups = shared.distribution.refresh(&eligible).unwrap_or_default();
+            if groups.is_empty() {
+                for consumer in eligible {
+                    let wire_payload = encode_for(
+                        viper,
+                        codec,
+                        &consumer,
+                        record,
+                        ckpt,
+                        payload,
+                        route,
+                        counters,
+                        &mut frontier,
+                        track,
+                    );
+                    job_consumers.push((consumer, wire_payload));
                 }
-                let wire_payload = encode_for(
-                    viper,
-                    codec,
-                    &consumer,
-                    record,
-                    ckpt,
-                    payload,
-                    route,
-                    counters,
-                    &mut frontier,
-                    track,
-                );
-                job_consumers.push((consumer, wire_payload));
+            } else {
+                for (root, members) in &groups {
+                    let wire_payload = encode_group(
+                        viper,
+                        codec,
+                        members,
+                        record,
+                        ckpt,
+                        payload,
+                        route,
+                        counters,
+                        &mut frontier,
+                        track,
+                    );
+                    job_consumers.push((root.clone(), wire_payload));
+                }
             }
             if !job_consumers.is_empty() {
                 let (reply_tx, reply_rx) = unbounded();
@@ -607,6 +747,7 @@ pub(crate) fn deliver(
                     endpoint.node(),
                     Box::new(DeliveryJob {
                         consumers: job_consumers,
+                        groups,
                         tag,
                         link,
                         chunk_bytes,
@@ -737,11 +878,21 @@ struct UpdateState {
     framed_full: Option<Payload>,
     record: ModelRecord,
     track: String,
-    /// Consumers not yet resolved (terminal flow or superseded in queue).
+    /// Consumer slots not yet resolved (terminal flow or superseded in
+    /// queue). Under relay-tree distribution this counts *flows* the
+    /// producer itself drives — one per tree root, plus one per member
+    /// escalated to a direct send — not subtree members.
     remaining: usize,
     delivered: usize,
     fall_back: bool,
     frontier: SimInstant,
+    /// Relay-tree delivery groups (root → subtree); empty on the direct
+    /// path.
+    groups: BTreeMap<String, Vec<String>>,
+    /// Subtree members escalated to a direct producer send (relay `Miss`
+    /// or a re-parented subtree): excluded from the group resolution when
+    /// their root's group ACK lands.
+    escalated: HashSet<String>,
     /// `None` under coalescing: the job was already replied to at
     /// admission, and a terminal fallback runs on the task instead.
     reply: Option<Sender<DeliveryDone>>,
@@ -1049,6 +1200,15 @@ impl DeliveryTask {
     fn abort_flow(&mut self, ctx: &mut TaskCtx<'_>, flow_id: u64, at: SimInstant) {
         ctx.cancel_timer(flow_id);
         if let Some(flow) = self.flows.remove(&flow_id) {
+            // A vanished relay root still leaves a live subtree behind it:
+            // re-parent and deliver to the orphans directly.
+            if self
+                .updates
+                .get(&flow.seq)
+                .is_some_and(|u| u.groups.contains_key(&flow.consumer))
+            {
+                self.relay_fallback(ctx, flow.seq, &flow.consumer, at);
+            }
             let model = self
                 .updates
                 .get(&flow.seq)
@@ -1059,6 +1219,127 @@ impl DeliveryTask {
             }
             self.release_lane(ctx, &flow.consumer, &model, at);
             self.finish_if_done(flow.seq);
+        }
+    }
+
+    /// A relay root failed (exhausted retries or vanished) while `seq`
+    /// still owed its subtree the update: record the re-parent in the
+    /// topology and launch direct full flows to every stranded member.
+    /// Counted — this is the degraded path, not the design point.
+    fn relay_fallback(&mut self, ctx: &mut TaskCtx<'_>, seq: u64, root: &str, at: SimInstant) {
+        let Some(update) = self.updates.get_mut(&seq) else {
+            return;
+        };
+        let Some(members) = update.groups.get(root).cloned() else {
+            return;
+        };
+        let stranded: Vec<String> = members
+            .into_iter()
+            .filter(|m| m != root && !update.escalated.contains(m))
+            .collect();
+        let chunk_bytes = update.chunk_bytes;
+        let track = update.track.clone();
+        let full = update.full_framed(&self.counters);
+        for member in &stranded {
+            update.escalated.insert(member.clone());
+        }
+        self.counters.reparent_events.inc();
+        self.viper.shared.distribution.note_failed(root);
+        let telemetry = &self.viper.shared.config.telemetry;
+        if telemetry.is_enabled() {
+            telemetry.instant_at(
+                "producer",
+                "reparent",
+                &track,
+                at.as_nanos(),
+                &[("root", root.into()), ("stranded", stranded.len().into())],
+            );
+        }
+        for member in stranded {
+            if let Some(update) = self.updates.get_mut(&seq) {
+                update.remaining += 1;
+            }
+            if !self.launch_flow(
+                ctx,
+                seq,
+                member,
+                full.clone(),
+                PayloadKind::Full,
+                &ChunkedSend::new(chunk_bytes).at(at),
+                true,
+            ) {
+                if let Some(update) = self.updates.get_mut(&seq) {
+                    update.remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// A relay escalated a subtree member it could not serve (`Miss`):
+    /// the member's delta base is unusable from the relayed bytes, or the
+    /// relay exhausted its own retry budget toward it. Deliver a direct
+    /// framed full from the producer and exclude the member from its
+    /// root's group resolution.
+    fn handle_miss(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        from: &str,
+        flow_id: u64,
+        member: String,
+        at: SimInstant,
+    ) {
+        let Some(flow) = self.flows.get(&flow_id) else {
+            self.counters.stale_feedback.inc();
+            return;
+        };
+        if flow.consumer != from {
+            self.counters.stale_feedback.inc();
+            return;
+        }
+        let seq = flow.seq;
+        let root = flow.consumer.clone();
+        let Some(update) = self.updates.get_mut(&seq) else {
+            return;
+        };
+        let in_group = update
+            .groups
+            .get(&root)
+            .is_some_and(|members| members.contains(&member));
+        if !in_group || !update.escalated.insert(member.clone()) {
+            // Unknown member, or one already escalated: nothing to do.
+            self.counters.stale_feedback.inc();
+            return;
+        }
+        let chunk_bytes = update.chunk_bytes;
+        let track = update.track.clone();
+        let full = update.full_framed(&self.counters);
+        let model = update.record.name.clone();
+        update.remaining += 1;
+        self.codec.forget(&member, &model);
+        self.counters.delta_fallbacks.inc();
+        let telemetry = &self.viper.shared.config.telemetry;
+        if telemetry.is_enabled() {
+            telemetry.instant_at(
+                "producer",
+                "relay_miss",
+                &track,
+                at.as_nanos(),
+                &[("member", member.as_str().into()), ("root", from.into())],
+            );
+        }
+        if !self.launch_flow(
+            ctx,
+            seq,
+            member,
+            full,
+            PayloadKind::Full,
+            &ChunkedSend::new(chunk_bytes).at(at),
+            true,
+        ) {
+            if let Some(update) = self.updates.get_mut(&seq) {
+                update.remaining -= 1;
+            }
+            self.finish_if_done(seq);
         }
     }
 
@@ -1156,10 +1437,40 @@ impl DeliveryTask {
                     .get_mut(&seq)
                     .expect("flow belongs to an update");
                 let model = update.record.name.clone();
-                self.codec
-                    .note_acked(&consumer, &model, update.record.iteration);
+                if let Some(members) = update.groups.get(&consumer).cloned() {
+                    // A relay root's group ACK: its entire subtree has
+                    // installed the update. One round-trip resolves (and
+                    // base-tracks) every member the producer did not have
+                    // to escalate to a direct send.
+                    self.counters.group_acks.inc();
+                    let mut resolved = 0;
+                    for member in &members {
+                        if update.escalated.contains(member) {
+                            continue;
+                        }
+                        self.codec
+                            .note_acked(member, &model, update.record.iteration);
+                        resolved += 1;
+                    }
+                    update.delivered += resolved;
+                    if telemetry.is_enabled() {
+                        telemetry.instant_at(
+                            "producer",
+                            "group_ack",
+                            &update.track,
+                            at.as_nanos(),
+                            &[
+                                ("root", consumer.as_str().into()),
+                                ("members", resolved.into()),
+                            ],
+                        );
+                    }
+                } else {
+                    self.codec
+                        .note_acked(&consumer, &model, update.record.iteration);
+                    update.delivered += 1;
+                }
                 update.frontier = update.frontier.max(at);
-                update.delivered += 1;
                 update.remaining -= 1;
                 self.release_lane(ctx, &consumer, &model, at);
                 self.finish_if_done(seq);
@@ -1322,6 +1633,12 @@ impl DeliveryTask {
                         &[("consumer", consumer.as_str().into())],
                     );
                 }
+                // A dead relay root strands its whole subtree: re-parent
+                // the topology and deliver to the orphans directly. The
+                // root itself still takes the durable-fallback path below.
+                if self.updates[&seq].groups.contains_key(&consumer) {
+                    self.relay_fallback(ctx, seq, &consumer, at);
+                }
                 // If a newer version is already queued behind this lane it
                 // supersedes the failed one for this consumer: skip the
                 // durable fallback and let the newer flow launch instead.
@@ -1365,7 +1682,8 @@ impl DeliveryTask {
                 kind: FeedbackKind::Nack { missing },
             },
             // `Round` is a sender-side frame; one arriving here is garbage.
-            Control::Round { .. } => return None,
+            // `Miss` is handled before the state machine (`handle_miss`).
+            Control::Round { .. } | Control::Miss { .. } => return None,
         };
         let Some(flow) = self.flows.get_mut(&flow_id) else {
             // Feedback for no known flow: a complaint about a superseded
@@ -1392,6 +1710,16 @@ impl ReactorTask for DeliveryTask {
             let Some(control) = Control::decode(msg.payload.as_contiguous().unwrap_or(&[])) else {
                 continue;
             };
+            // A relay `Miss` is escalation about a *subtree member*, not
+            // feedback about the root's flow health: it must never feed
+            // the root flow's state machine.
+            if let Control::Miss {
+                flow_id, member, ..
+            } = control
+            {
+                self.handle_miss(ctx, &msg.from, flow_id, member, msg.arrived_at);
+                continue;
+            }
             if let Some((flow_id, action)) = self.on_control(&msg.from, control) {
                 self.handle_action(ctx, flow_id, action, msg.arrived_at);
             }
@@ -1458,6 +1786,8 @@ impl ReactorTask for DeliveryTask {
                 delivered: 0,
                 fall_back: false,
                 frontier: job.frontier,
+                groups: job.groups,
+                escalated: HashSet::new(),
                 reply,
             },
         );

@@ -113,6 +113,26 @@ pub struct ViperConfig {
     /// Depth 1 — the default — is pure collapse-to-latest: one update in
     /// flight, one pending, everything between superseded.
     pub coalesce_queue_depth: usize,
+    /// Distribute reliable memory-route updates through a relay tree
+    /// instead of producer point-to-point sends: consumers are organized
+    /// into a bounded-fan-out tree ([`viper_net::Topology`]), the producer
+    /// ships each update once per tree root, and every relay consumer
+    /// re-serves the already-framed chunk bytes to its children after
+    /// installing the update itself. The producer sees one group-level ACK
+    /// per subtree (sent when the whole subtree has installed) instead of
+    /// one round-trip per consumer, so wire time and retransmit state on
+    /// the producer grow with the *fan-out*, not the fleet size, and
+    /// propagation makespan grows with tree depth (~`log n`). Relay
+    /// misses (a subtree member that cannot use the relayed payload) and
+    /// relay failures degrade to direct producer sends, counted by
+    /// `group_acks`/`reparent_events`. Off by default; requires
+    /// [`ViperConfig::reliable_delivery`] (enabled by
+    /// [`ViperConfig::with_relay_tree`]).
+    pub relay_tree: bool,
+    /// Fan-out bound of the relay tree (children per node, clamped to at
+    /// least 1). The default of 4 keeps subtree serve time per level low
+    /// while reaching 100k consumers in 9 levels.
+    pub relay_fanout: usize,
     /// Worker-thread budget for the delivery reactor's CRC pool. The
     /// reactor itself is always one scheduler thread; this only sizes the
     /// pool that checksums incoming chunk batches. `1` (the default) means
@@ -151,6 +171,8 @@ impl Default for ViperConfig {
             retry: viper_net::RetryPolicy::default(),
             coalesce_updates: false,
             coalesce_queue_depth: 1,
+            relay_tree: false,
+            relay_fanout: 4,
             reactor_threads: 1,
             telemetry: viper_telemetry::Telemetry::disabled(),
         }
@@ -241,6 +263,17 @@ impl ViperConfig {
         self
     }
 
+    /// Enable relay-tree fan-out AND reliable delivery (builder style) —
+    /// relays re-serve flows and group-ACK their subtree over the same
+    /// control channel the reliability layer provides. `fanout` bounds
+    /// the children per node (clamped to at least 1).
+    pub fn with_relay_tree(mut self, fanout: usize) -> Self {
+        self.relay_tree = true;
+        self.relay_fanout = fanout.max(1);
+        self.reliable_delivery = true;
+        self
+    }
+
     /// Set the delivery reactor's CRC worker budget (builder style).
     /// Clamped to at least 1 at deployment construction.
     pub fn with_reactor_threads(mut self, threads: usize) -> Self {
@@ -277,7 +310,19 @@ mod tests {
         assert!(!c.delta_transfer, "full checkpoints stay the default");
         assert!(!c.coalesce_updates, "blocking delivery stays the default");
         assert_eq!(c.coalesce_queue_depth, 1, "pure collapse-to-latest");
+        assert!(!c.relay_tree, "point-to-point delivery stays the default");
+        assert_eq!(c.relay_fanout, 4);
         assert_eq!(c.reactor_threads, 1, "inline CRC verification by default");
+    }
+
+    #[test]
+    fn with_relay_tree_implies_reliability_and_clamps_fanout() {
+        let c = ViperConfig::default().with_relay_tree(8);
+        assert!(c.relay_tree);
+        assert_eq!(c.relay_fanout, 8);
+        assert!(c.reliable_delivery);
+        let c = ViperConfig::default().with_relay_tree(0);
+        assert_eq!(c.relay_fanout, 1, "fan-out clamps to at least 1");
     }
 
     #[test]

@@ -21,8 +21,11 @@ use viper_formats::{
     delta, wire, Checkpoint, CheckpointFormat, DeltaCheckpoint, Payload, PayloadKind,
 };
 use viper_hw::{Route, SimInstant, Tier};
-use viper_net::{deterministic_jitter, Control, LinkKind, MessageKind, ReactorTask, TaskCtx};
-use viper_telemetry::Counter;
+use viper_net::{
+    deterministic_jitter, ChunkedSend, CoalesceQueue, Control, FeedbackKind, FlowAction, FlowEvent,
+    FlowMachine, LinkKind, MessageKind, ReactorTask, TaskCtx,
+};
+use viper_telemetry::{Counter, Gauge};
 
 /// Timer token for the stale-flow reap timer (flow ids are never handed to
 /// the consumer task's timers, so 0 is free).
@@ -72,6 +75,13 @@ struct ConsumerState {
     /// Stale-flow reap scans performed (timer-driven). Zero while idle:
     /// the reap timer is armed only while partial flows exist.
     reap_scans: Counter,
+    /// Flows this node re-served to relay-tree children from its own
+    /// already-framed copy (`relay.{node}.relay_reserves`). Zero for
+    /// leaves and with the relay tree off.
+    relay_reserves: Counter,
+    /// Updates currently queued behind this node's busy relay lanes
+    /// (`relay.{node}.queue_depth`) — the subtree backpressure signal.
+    relay_queue_depth: Gauge,
     /// Delivery errors observed by the reactor task (abandoned flows etc.).
     errors: Mutex<Vec<ViperError>>,
     /// Telemetry track for this consumer's events.
@@ -107,6 +117,8 @@ impl Consumer {
             fulls_requested: telemetry.counter(&format!("consumer.{node}.fulls_requested")),
             bytes_copied: telemetry.counter(&format!("consumer.{node}.bytes_copied")),
             reap_scans: telemetry.counter(&format!("consumer.{node}.reap_scans")),
+            relay_reserves: telemetry.counter(&format!("relay.{node}.relay_reserves")),
+            relay_queue_depth: telemetry.gauge(&format!("relay.{node}.queue_depth")),
             errors: Mutex::new(Vec::new()),
             track: format!("consumer:{node}"),
         });
@@ -117,6 +129,17 @@ impl Consumer {
         // No per-consumer thread, no poll loop.
         let reliable = viper.shared.config.reliable_delivery;
         let delta_mode = viper.shared.config.delta_transfer && reliable;
+        let relay = RelayState {
+            enabled: viper.shared.distribution.enabled(),
+            chunk_bytes: if viper.shared.config.chunked_transfer {
+                viper.shared.config.chunk_bytes
+            } else {
+                0
+            },
+            fans: HashMap::new(),
+            child_flows: HashMap::new(),
+            lanes: HashMap::new(),
+        };
         viper.shared.reactor.register(
             node,
             Box::new(ConsumerTask {
@@ -132,6 +155,7 @@ impl Consumer {
                 reliable,
                 delta_mode,
                 generations: HashMap::new(),
+                relay,
             }),
         );
 
@@ -242,6 +266,21 @@ impl Consumer {
     /// the reap timer is armed only while a partial flow exists.
     pub fn reap_scans(&self) -> u64 {
         self.state.reap_scans.get()
+    }
+
+    /// Flows this node re-served to relay-tree children from its own
+    /// already-framed copy. Zero for leaf consumers and with the relay
+    /// tree off; a relay node counts one per child per update (plus one
+    /// per queued serve launched after a lane freed).
+    pub fn relay_reserves(&self) -> u64 {
+        self.state.relay_reserves.get()
+    }
+
+    /// Updates currently queued behind this node's busy relay lanes —
+    /// the subtree backpressure signal. Zero at quiescence: every queued
+    /// serve either launched or was collapsed by a newer version.
+    pub fn relay_queue_depth(&self) -> i64 {
+        self.state.relay_queue_depth.get()
     }
 
     /// Delivery errors the reactor task has observed so far.
@@ -391,6 +430,74 @@ struct CorruptBatch {
     latest: SimInstant,
 }
 
+/// Relay-tree re-serve state owned by the consumer's reactor task.
+///
+/// When the deployment runs with [`crate::ViperConfig::with_relay_tree`],
+/// interior consumers double as relays: a completed upstream flow is
+/// installed locally first, then its exact wire bytes are re-served to
+/// the node's children from the reassembled copy — the producer pays one
+/// flow per subtree instead of one per consumer. The upstream ACK is
+/// withheld until the whole subtree resolves, so one group ACK at the
+/// producer attests every member installed (the group-level watermark).
+struct RelayState {
+    /// Relaying is active (relay tree on *and* reliable delivery on).
+    enabled: bool,
+    /// Chunk size for re-serves, mirroring the producer's wire setup.
+    chunk_bytes: u64,
+    /// Upstream flows currently fanning out, by upstream flow id.
+    fans: HashMap<u64, Fan>,
+    /// Child flows this relay launched, by child flow id (fabric-unique,
+    /// so child flow ids double as reactor timer tokens — they can never
+    /// collide with [`REAP_TIMER`], flow ids start at 1).
+    child_flows: HashMap<u64, ChildServe>,
+    /// Per-child serve lanes: one flow in flight per child, newer
+    /// versions coalesce behind it.
+    lanes: HashMap<String, ChildLane>,
+}
+
+/// One upstream flow being re-served to this relay's children.
+struct Fan {
+    /// Who sent the upstream flow (the producer, or a parent relay).
+    parent: String,
+    tag: String,
+    link: LinkKind,
+    /// The exact wire bytes received — already framed, re-served as-is
+    /// (zero-copy: cloning shares the reassembled buffer).
+    payload: Payload,
+    /// Coalescing key, parsed from the delivery tag's version suffix.
+    version: u64,
+    /// Child slots not yet resolved (acked, escalated, or superseded).
+    pending: usize,
+    /// Watermark: the latest resolve instant across the subtree so far.
+    /// When `pending` hits zero this is the causal instant of the group
+    /// ACK — the producer's flush then implies every leaf installed.
+    acked_at: SimInstant,
+}
+
+/// One child flow launched by the relay, driven by the same
+/// [`FlowMachine`] the producer uses for its own sends.
+struct ChildServe {
+    /// Upstream flow id (key into [`RelayState::fans`]).
+    fan: u64,
+    child: String,
+    machine: FlowMachine,
+    num_chunks: u32,
+}
+
+/// A re-serve waiting for its child's lane to free up.
+struct QueuedServe {
+    fan: u64,
+    ready_at: SimInstant,
+}
+
+/// Per-child serve lane: one flow in flight, a version-coalescing queue
+/// behind it — the same collapse-to-latest backpressure the producer
+/// applies per consumer, now applied per subtree edge.
+struct ChildLane {
+    in_flight: Option<u64>,
+    queue: CoalesceQueue<QueuedServe>,
+}
+
 /// The consumer's reactor task. Owns everything the old listener thread
 /// owned — reassembly state, the apply pipeline's causal cursor, the
 /// update subscription — but is driven by events instead of a poll loop:
@@ -427,8 +534,13 @@ struct ConsumerTask {
     /// producer's [`Control::Round`] frames (which precede each round's
     /// chunks in fabric order). Echoed back in every feedback frame so the
     /// producer can drop feedback about superseded rounds. Entries are
-    /// pruned when the flow completes or is abandoned.
+    /// pruned when the flow completes or is abandoned (for a relayed
+    /// flow: when its fan resolves, so the group ACK is stamped with the
+    /// producer's *current* round).
     generations: HashMap<(String, u64), u64>,
+    /// Relay-tree re-serve state (inert unless the tree is enabled and
+    /// this node has children in the current topology).
+    relay: RelayState,
 }
 
 impl ConsumerTask {
@@ -623,16 +735,27 @@ impl ConsumerTask {
                 }
                 viper_net::FlowStatus::Passthrough(msg) => {
                     if msg.kind == MessageKind::Control {
-                        // The only sender→receiver control frame is `Round`:
-                        // the producer announcing a retransmission round's
-                        // generation ahead of its chunks. Everything else
-                        // (a misrouted ACK/NACK) is dropped undecoded.
-                        if let Some(Control::Round {
-                            flow_id,
-                            generation,
-                        }) = Control::decode(msg.payload.as_contiguous().unwrap_or(&[]))
-                        {
-                            self.generations.insert((msg.from, flow_id), generation);
+                        // Sender→receiver frames are `Round` announcements;
+                        // a relay additionally receives its children's
+                        // feedback (ACK/NACK/NeedFull on flows it launched)
+                        // and escalation `Miss` frames from child relays.
+                        // Anything else (a truly misrouted frame) drops.
+                        match Control::decode(msg.payload.as_contiguous().unwrap_or(&[])) {
+                            Some(Control::Round {
+                                flow_id,
+                                generation,
+                            }) => {
+                                self.generations.insert((msg.from, flow_id), generation);
+                            }
+                            Some(Control::Miss {
+                                flow_id, member, ..
+                            }) => {
+                                self.forward_miss(&msg.from, flow_id, &member, msg.arrived_at);
+                            }
+                            Some(control) => {
+                                self.on_child_feedback(ctx, &msg.from, control, msg.arrived_at);
+                            }
+                            None => {}
                         }
                     } else {
                         // Passthrough payloads are unframed, so this is a
@@ -656,7 +779,11 @@ impl ConsumerTask {
                         self.apply_payload(flow.link, &flow.tag, &flow.payload, flow.completed_at);
                     if self.reliable {
                         let generation = self.generation_of(&flow.from, flow.flow_id);
-                        let reply = if need_full {
+                        // Causal reply instant: the apply this feedback
+                        // attests has finished (or, for NeedFull, the flow
+                        // completed) — never the racy shared clock.
+                        let reply_at = self.apply_free.max(flow.completed_at);
+                        if need_full {
                             self.state.fulls_requested.inc();
                             telemetry.instant(
                                 "consumer",
@@ -664,25 +791,34 @@ impl ConsumerTask {
                                 &self.state.track,
                                 &[("flow_id", flow.flow_id.into())],
                             );
-                            Control::NeedFull {
+                            let reply = Control::NeedFull {
                                 flow_id: flow.flow_id,
                                 generation,
-                            }
+                            };
+                            let _ = self.endpoint.send_control_at(
+                                &flow.from, &flow.tag, &reply, flow.link, reply_at,
+                            );
+                            self.generations.remove(&(flow.from.clone(), flow.flow_id));
+                        } else if self.start_fan(ctx, &flow, reply_at) {
+                            // Relay duty: install done, the wire bytes are
+                            // now re-serving to this node's subtree. The
+                            // upstream ACK is withheld — it goes out as the
+                            // group ACK when the last slot resolves, and
+                            // the generation entry stays live so that ACK
+                            // carries the producer's current round.
                         } else {
-                            Control::Ack {
+                            let reply = Control::Ack {
                                 flow_id: flow.flow_id,
                                 generation,
-                            }
-                        };
-                        // Causal reply instant: the apply this feedback
-                        // attests has finished (or, for NeedFull, the flow
-                        // completed) — never the racy shared clock.
-                        let reply_at = self.apply_free.max(flow.completed_at);
-                        let _ = self
-                            .endpoint
-                            .send_control_at(&flow.from, &flow.tag, &reply, flow.link, reply_at);
+                            };
+                            let _ = self.endpoint.send_control_at(
+                                &flow.from, &flow.tag, &reply, flow.link, reply_at,
+                            );
+                            self.generations.remove(&(flow.from.clone(), flow.flow_id));
+                        }
+                    } else {
+                        self.generations.remove(&(flow.from.clone(), flow.flow_id));
                     }
-                    self.generations.remove(&(flow.from.clone(), flow.flow_id));
                 }
             }
         }
@@ -749,6 +885,454 @@ impl ConsumerTask {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Relay-tree re-serving
+    // -----------------------------------------------------------------
+
+    /// Begin re-serving a completed upstream flow to this node's relay
+    /// children. Returns `false` when the node has no relay duty for the
+    /// flow — relaying off, no children in the current topology — and
+    /// the caller should ACK upstream directly. Returns `true` when the
+    /// upstream ACK must be withheld for the fan's group ACK (including
+    /// the duplicate-retransmission case: the producer resent a flow
+    /// whose fan is still in progress).
+    fn start_fan(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        flow: &viper_net::AssembledFlow,
+        serve_at: SimInstant,
+    ) -> bool {
+        if !self.relay.enabled {
+            return false;
+        }
+        if self.relay.fans.contains_key(&flow.flow_id) {
+            // A blind retransmission of a flow we are already fanning
+            // out (our group ACK was slower than the producer's timer):
+            // the re-apply above was idempotent, the fan keeps running.
+            return true;
+        }
+        let children = self
+            .viper
+            .shared
+            .distribution
+            .children_of(self.endpoint.node());
+        if children.is_empty() {
+            return false;
+        }
+        // Coalescing key: the delivery tag's version suffix (the same
+        // field the consumer installs by). A tag that failed to parse
+        // was already counted malformed; fall back to the flow id so
+        // the serve still goes out.
+        let version = flow
+            .tag
+            .rsplit(':')
+            .next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(flow.flow_id);
+        self.relay.fans.insert(
+            flow.flow_id,
+            Fan {
+                parent: flow.from.clone(),
+                tag: flow.tag.clone(),
+                link: flow.link,
+                payload: flow.payload.clone(),
+                version,
+                pending: children.len(),
+                acked_at: serve_at,
+            },
+        );
+        self.viper.shared.config.telemetry.instant(
+            "relay",
+            "relay_serve",
+            &self.state.track,
+            &[
+                ("flow_id", flow.flow_id.into()),
+                ("children", children.len().into()),
+            ],
+        );
+        for child in children {
+            self.admit_child(ctx, flow.flow_id, child, serve_at);
+        }
+        // Every child may have resolved synchronously (all gone, or all
+        // superseded): complete the fan now rather than never.
+        self.finish_fan_if_done(flow.flow_id);
+        true
+    }
+
+    /// Hand fan `fan_id` to `child`'s serve lane: launch now if the lane
+    /// is free, else queue it (collapsing older queued versions).
+    fn admit_child(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        fan_id: u64,
+        child: String,
+        ready_at: SimInstant,
+    ) {
+        let busy = self
+            .relay
+            .lanes
+            .get(&child)
+            .and_then(|lane| lane.in_flight)
+            .is_some();
+        if !busy {
+            self.launch_child(ctx, fan_id, child, ready_at);
+            return;
+        }
+        let version = self.relay.fans[&fan_id].version;
+        let bound = self.viper.shared.config.coalesce_queue_depth;
+        let lane = self
+            .relay
+            .lanes
+            .entry(child.clone())
+            .or_insert_with(|| ChildLane {
+                in_flight: None,
+                queue: CoalesceQueue::new(bound),
+            });
+        let dropped = lane.queue.push(
+            version,
+            QueuedServe {
+                fan: fan_id,
+                ready_at,
+            },
+        );
+        self.publish_queue_depth();
+        for (_, stale) in dropped {
+            // A newer version collapsed this serve out of the lane (or
+            // the push itself was stale): the child gets the newer copy
+            // instead, so the older fan's slot resolves as superseded.
+            self.resolve_slot(stale.fan, ready_at);
+        }
+    }
+
+    /// Launch one child flow re-serving fan `fan_id`'s wire bytes.
+    fn launch_child(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        fan_id: u64,
+        child: String,
+        ready_at: SimInstant,
+    ) {
+        let retry = self.viper.shared.config.retry;
+        let Some(fan) = self.relay.fans.get(&fan_id) else {
+            return;
+        };
+        let opts = ChunkedSend::new(self.relay.chunk_bytes).at(ready_at);
+        match self
+            .endpoint
+            .send_chunked(&child, &fan.tag, fan.payload.clone(), fan.link, &opts)
+        {
+            Ok(report) => {
+                self.state.relay_reserves.inc();
+                let mut machine = FlowMachine::new(retry.max_retries);
+                machine.on_event(FlowEvent::Sent);
+                self.relay.child_flows.insert(
+                    report.flow_id,
+                    ChildServe {
+                        fan: fan_id,
+                        child: child.clone(),
+                        machine,
+                        num_chunks: report.num_chunks,
+                    },
+                );
+                let bound = self.viper.shared.config.coalesce_queue_depth;
+                self.relay
+                    .lanes
+                    .entry(child)
+                    .or_insert_with(|| ChildLane {
+                        in_flight: None,
+                        queue: CoalesceQueue::new(bound),
+                    })
+                    .in_flight = Some(report.flow_id);
+                ctx.arm_timer_at(report.flow_id, report.completed_at.add(retry.ack_timeout));
+            }
+            Err(_) => {
+                // The child deregistered mid-flight: resolve its slot
+                // silently and let anything queued behind it drain.
+                self.resolve_slot(fan_id, ready_at);
+                self.release_child_lane(ctx, &child, ready_at);
+            }
+        }
+    }
+
+    /// A child flow finished (acked, escalated, or the child vanished):
+    /// free its lane and launch the next queued serve, if any.
+    fn release_child_lane(&mut self, ctx: &mut TaskCtx<'_>, child: &str, at: SimInstant) {
+        let Some(lane) = self.relay.lanes.get_mut(child) else {
+            return;
+        };
+        lane.in_flight = None;
+        if let Some((_, next)) = lane.queue.pop() {
+            self.publish_queue_depth();
+            self.launch_child(ctx, next.fan, child.to_string(), next.ready_at.max(at));
+        }
+    }
+
+    /// One of fan `fan_id`'s child slots resolved at `at`: advance the
+    /// group watermark and send the group ACK if it was the last.
+    fn resolve_slot(&mut self, fan_id: u64, at: SimInstant) {
+        if let Some(fan) = self.relay.fans.get_mut(&fan_id) {
+            fan.pending -= 1;
+            fan.acked_at = fan.acked_at.max(at);
+        }
+        self.finish_fan_if_done(fan_id);
+    }
+
+    /// If fan `fan_id` has no outstanding slots, send its **group ACK**
+    /// upstream: one control frame at the subtree's watermark instant,
+    /// attesting every non-escalated member installed — the per-consumer
+    /// round-trips the tree exists to eliminate.
+    fn finish_fan_if_done(&mut self, fan_id: u64) {
+        let done = self
+            .relay
+            .fans
+            .get(&fan_id)
+            .is_some_and(|fan| fan.pending == 0);
+        if !done {
+            return;
+        }
+        let fan = self.relay.fans.remove(&fan_id).expect("checked above");
+        let generation = self.generation_of(&fan.parent, fan_id);
+        let ack = Control::Ack {
+            flow_id: fan_id,
+            generation,
+        };
+        let _ = self
+            .endpoint
+            .send_control_at(&fan.parent, &fan.tag, &ack, fan.link, fan.acked_at);
+        self.generations.remove(&(fan.parent.clone(), fan_id));
+        self.viper.shared.config.telemetry.instant(
+            "relay",
+            "group_ack",
+            &self.state.track,
+            &[("flow_id", fan_id.into())],
+        );
+    }
+
+    /// Feedback (ACK/NACK/NeedFull) from a child on a flow this relay
+    /// launched. Frames about unknown flows — or spoofing a different
+    /// sender — drop exactly like the producer's stale-feedback path.
+    fn on_child_feedback(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        from: &str,
+        control: Control,
+        at: SimInstant,
+    ) {
+        let flow_id = control.flow_id();
+        let event = match control {
+            Control::Ack { generation, .. } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::Ack,
+            },
+            Control::NeedFull { generation, .. } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::NeedFull,
+            },
+            Control::Nack {
+                generation,
+                missing,
+                ..
+            } => FlowEvent::Feedback {
+                generation,
+                kind: FeedbackKind::Nack { missing },
+            },
+            Control::Round { .. } | Control::Miss { .. } => return,
+        };
+        let Some(cf) = self.relay.child_flows.get_mut(&flow_id) else {
+            return;
+        };
+        if cf.child != from {
+            return;
+        }
+        let action = cf.machine.on_event(event);
+        self.child_action(ctx, flow_id, action, at);
+    }
+
+    /// Act on a child flow's state-machine verdict.
+    fn child_action(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        flow_id: u64,
+        action: FlowAction,
+        at: SimInstant,
+    ) {
+        let retry = self.viper.shared.config.retry;
+        match action {
+            FlowAction::None | FlowAction::DroppedStale => {}
+            FlowAction::Complete => {
+                ctx.cancel_timer(flow_id);
+                let cf = self
+                    .relay
+                    .child_flows
+                    .remove(&flow_id)
+                    .expect("action came from this flow");
+                self.release_child_lane(ctx, &cf.child, at);
+                self.resolve_slot(cf.fan, at);
+            }
+            FlowAction::NeedFull => {
+                // The child's delta base is missing or stale, and a relay
+                // cannot re-encode (it holds wire bytes, not a codec):
+                // degrade the member to a producer-direct full via `Miss`.
+                ctx.cancel_timer(flow_id);
+                let cf = self
+                    .relay
+                    .child_flows
+                    .remove(&flow_id)
+                    .expect("action came from this flow");
+                self.escalate_miss(cf.fan, &cf.child, at);
+                self.release_child_lane(ctx, &cf.child, at);
+                self.resolve_slot(cf.fan, at);
+            }
+            FlowAction::Exhausted { .. } => {
+                // The child stopped answering. Everything below it is
+                // stranded too: escalate the whole subtree so the
+                // producer serves those members directly (and, for a
+                // dead relay root, re-parents the topology).
+                ctx.cancel_timer(flow_id);
+                let cf = self
+                    .relay
+                    .child_flows
+                    .remove(&flow_id)
+                    .expect("action came from this flow");
+                self.escalate_miss(cf.fan, &cf.child, at);
+                for orphan in self.subtree_below(&cf.child) {
+                    self.escalate_miss(cf.fan, &orphan, at);
+                }
+                self.release_child_lane(ctx, &cf.child, at);
+                self.resolve_slot(cf.fan, at);
+            }
+            FlowAction::Retransmit {
+                generation,
+                missing,
+                attempt,
+            } => {
+                let cf = &self.relay.child_flows[&flow_id];
+                let (fan_id, child, num_chunks) = (cf.fan, cf.child.clone(), cf.num_chunks);
+                let Some(fan) = self.relay.fans.get(&fan_id) else {
+                    return;
+                };
+                let (tag, link, payload) = (fan.tag.clone(), fan.link, fan.payload.clone());
+                let missing: Vec<u32> = if missing.is_empty() {
+                    (0..num_chunks).collect()
+                } else {
+                    missing
+                };
+                // Subtree backpressure: a lane with queued updates backs
+                // off harder, like the producer's per-consumer lanes.
+                let backlog = self
+                    .relay
+                    .lanes
+                    .get(&child)
+                    .map_or(0, |lane| lane.queue.len());
+                let end = at.add(retry.backoff_with_pressure(attempt, backlog));
+                // Round before chunks, so the child stamps its further
+                // feedback with the new generation (fabric preserves
+                // per-sender order).
+                let round = Control::Round {
+                    flow_id,
+                    generation,
+                };
+                if self
+                    .endpoint
+                    .send_control_at(&child, &tag, &round, link, end)
+                    .is_err()
+                {
+                    self.drop_child_flow(ctx, flow_id, at);
+                    return;
+                }
+                match self.endpoint.retransmit_chunks_at(
+                    &child,
+                    &tag,
+                    &payload,
+                    link,
+                    flow_id,
+                    self.relay.chunk_bytes,
+                    &missing,
+                    end,
+                ) {
+                    Ok(lane_free) => {
+                        ctx.arm_timer_at(flow_id, lane_free.add(retry.ack_timeout));
+                    }
+                    Err(_) => self.drop_child_flow(ctx, flow_id, at),
+                }
+            }
+        }
+    }
+
+    /// The child vanished mid-retransmission: give its flow up silently
+    /// (a deregistered consumer is a shutdown race, not a delivery
+    /// failure — mirroring the producer's launch-failure path).
+    fn drop_child_flow(&mut self, ctx: &mut TaskCtx<'_>, flow_id: u64, at: SimInstant) {
+        ctx.cancel_timer(flow_id);
+        let Some(cf) = self.relay.child_flows.remove(&flow_id) else {
+            return;
+        };
+        self.release_child_lane(ctx, &cf.child, at);
+        self.resolve_slot(cf.fan, at);
+    }
+
+    /// Escalate `member` of fan `fan_id` to the producer: a `Miss` frame
+    /// travels up the tree (each relay remapping flow ids hop by hop via
+    /// [`ConsumerTask::forward_miss`]) until the producer degrades the
+    /// member to a direct full checkpoint.
+    fn escalate_miss(&mut self, fan_id: u64, member: &str, at: SimInstant) {
+        let generation = self
+            .relay
+            .fans
+            .get(&fan_id)
+            .map(|fan| self.generation_of(&fan.parent, fan_id))
+            .unwrap_or(0);
+        let Some(fan) = self.relay.fans.get(&fan_id) else {
+            return;
+        };
+        let miss = Control::Miss {
+            flow_id: fan_id,
+            generation,
+            member: member.to_string(),
+        };
+        let _ = self
+            .endpoint
+            .send_control_at(&fan.parent, &fan.tag, &miss, fan.link, at);
+        self.viper.shared.config.telemetry.instant(
+            "relay",
+            "miss_escalated",
+            &self.state.track,
+            &[("member", member.into())],
+        );
+    }
+
+    /// A child relay escalated a `Miss` for one of *its* subtree members:
+    /// remap the flow id one hop up (child flow → our upstream fan) and
+    /// forward. The child's slot is **not** resolved — the child still
+    /// group-acks the rest of its subtree on the same flow.
+    fn forward_miss(&mut self, from: &str, child_flow: u64, member: &str, at: SimInstant) {
+        let Some(cf) = self.relay.child_flows.get(&child_flow) else {
+            return;
+        };
+        if cf.child != from {
+            return;
+        }
+        let fan_id = cf.fan;
+        self.escalate_miss(fan_id, member, at);
+    }
+
+    /// Every node strictly below `node` in the current topology.
+    fn subtree_below(&self, node: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = self.viper.shared.distribution.children_of(node);
+        while let Some(n) = stack.pop() {
+            stack.extend(self.viper.shared.distribution.children_of(&n));
+            out.push(n);
+        }
+        out
+    }
+
+    /// Publish the total backlog across this relay's serve lanes.
+    fn publish_queue_depth(&self) {
+        let depth: usize = self.relay.lanes.values().map(|l| l.queue.len()).sum();
+        self.state.relay_queue_depth.set(depth as i64);
+    }
+
     /// Run update discovery: repository-staged updates (PFS route) are
     /// found either via the push notification (Viper) or by polling the
     /// metadata repository (the TensorFlow-Serving/Triton baseline).
@@ -803,10 +1387,20 @@ impl ReactorTask for ConsumerTask {
         self.drain(ctx);
     }
 
-    fn on_timer(&mut self, _token: u64, deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
+    fn on_timer(&mut self, token: u64, deadline: SimInstant, ctx: &mut TaskCtx<'_>) {
         // Pick up anything enqueued but not yet signaled first: chunks
         // already delivered must never be mistaken for losses.
         self.drain(ctx);
+        if token != REAP_TIMER {
+            // A relay child flow's ack timer (tokens are fabric flow ids,
+            // never 0). The drain above may already have resolved it —
+            // then the entry is gone and the timer was a leftover.
+            if let Some(cf) = self.relay.child_flows.get_mut(&token) {
+                let action = cf.machine.on_event(FlowEvent::AckTimeout);
+                self.child_action(ctx, token, action, deadline);
+            }
+            return;
+        }
         if self.assembler.in_progress() == 0 {
             self.update_reap_timer(ctx);
             return;

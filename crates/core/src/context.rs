@@ -1,6 +1,7 @@
 //! The shared deployment context: clock, fabric, metadata DB, pub/sub
 //! broker, and the (shared) PFS tier.
 
+use crate::distribute::Distribution;
 use crate::{Consumer, Producer, ViperConfig};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -19,6 +20,11 @@ pub(crate) struct Shared {
     pub pfs: StorageTier,
     /// Node names of attached consumers (direct-push destinations).
     pub consumers: RwLock<Vec<String>>,
+    /// Relay-tree distribution state (the deployment's current
+    /// [`viper_net::Topology`] over the attached consumers), consulted by
+    /// the producer's delivery reactor for grouping and by relay
+    /// consumers for their child lists.
+    pub distribution: Distribution,
     /// The delivery reactor: one scheduler thread driving every attached
     /// node's event-handling task (producer flow state machines, consumer
     /// reassembly/reaping), woken by the fabric on enqueue.
@@ -54,6 +60,10 @@ impl Viper {
         bus.set_telemetry(config.telemetry.clone());
         let reactor = Reactor::new(config.reactor_threads, config.telemetry.clone());
         fabric.set_waker(Some(reactor.waker()));
+        let distribution = Distribution::new(
+            config.relay_tree && config.reliable_delivery,
+            config.relay_fanout,
+        );
         Viper {
             shared: Arc::new(Shared {
                 config,
@@ -63,6 +73,7 @@ impl Viper {
                 bus,
                 pfs,
                 consumers: RwLock::new(Vec::new()),
+                distribution,
                 reactor,
             }),
         }

@@ -48,6 +48,7 @@ mod codec;
 mod config;
 mod consumer;
 mod context;
+mod distribute;
 mod error;
 mod producer;
 mod slot;

@@ -287,6 +287,20 @@ impl Producer {
         self.counters.stale_feedback.get()
     }
 
+    /// Group ACKs received from relay roots: one per (update, subtree)
+    /// with the relay tree on, each resolving every non-escalated member
+    /// of the root's subtree in a single round-trip.
+    pub fn group_acks(&self) -> u64 {
+        self.counters.group_acks.get()
+    }
+
+    /// Relay roots whose delivery died (retries exhausted or the send
+    /// failed outright), forcing an in-place re-parent of the topology
+    /// and direct fulls to the stranded subtree members.
+    pub fn reparent_events(&self) -> u64 {
+        self.counters.reparent_events.get()
+    }
+
     /// Updates dropped from a congested lane's coalescing queue because a
     /// newer version arrived before they could launch (summed across
     /// consumers; zero unless `ViperConfig::coalesce_updates` is on).

@@ -1,0 +1,393 @@
+//! Fleet-scale distribution: direct unicast vs the relay tree.
+//!
+//! The runtime (`viper` core) drives the relay tree over a real fabric,
+//! but it tops out at fleets of tens of consumers per test budget. This
+//! module replays the *shape* of distribution at paper-fleet scale
+//! (1k–100k consumers) on a closed-form timeline: a producer serializes
+//! sends onto its NIC, every relay node serializes re-serves to its
+//! children, and a full-model transfer costs `t_send` per hop (scaled by
+//! the receiver's link quality). Direct unicast therefore pays a makespan
+//! linear in the fleet size, while the bounded-fan-out tree pays
+//! `O(fanout · log_fanout n)` — the claim the ablation records.
+//!
+//! Fleet realism comes from two knobs swept by the CI fault matrix:
+//! membership churn (seeded joins and failures between update rounds,
+//! failures healed through [`Topology::reparent`] exactly like the
+//! runtime) and asymmetric straggler links (a seeded fraction of
+//! consumers whose inbound link is `straggler_slowdown`× slower). Every
+//! round asserts the delivery invariant the runtime's group ACK protects:
+//! each live member is reachable from exactly one root, exactly once.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use viper_net::Topology;
+
+/// Configuration of a fleet fan-out simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FanoutConfig {
+    /// Initial fleet size (must be >= 1).
+    pub consumers: usize,
+    /// Relay-tree fan-out bound (must be >= 1).
+    pub fanout: usize,
+    /// Seconds to ship one full model across one healthy hop.
+    pub t_send: f64,
+    /// Update rounds to simulate (each round delivers one model version).
+    pub rounds: u64,
+    /// Membership-churn events between consecutive rounds (alternating
+    /// seeded failures and joins; 0 = a static fleet).
+    pub churn_per_round: usize,
+    /// Fraction of members whose inbound link is degraded.
+    pub straggler_fraction: f64,
+    /// Slowdown multiplier for straggler links (1.0 = healthy).
+    pub straggler_slowdown: f64,
+    /// Seed for churn victim selection and straggler placement.
+    pub seed: u64,
+}
+
+/// One update round's measured outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FanoutRound {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Live members when this round's update shipped.
+    pub members: usize,
+    /// Relay-tree depth (levels) for this round.
+    pub depth: usize,
+    /// Straggler-linked members in this round's fleet.
+    pub stragglers: usize,
+    /// Makespan of direct unicast delivery (seconds).
+    pub direct_makespan: f64,
+    /// Makespan of relay-tree delivery (seconds).
+    pub tree_makespan: f64,
+    /// Relay failures healed by re-parenting before this round.
+    pub reparents: usize,
+    /// Members that joined before this round.
+    pub joins: usize,
+}
+
+/// Result of a fleet fan-out simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FanoutResult {
+    /// Per-round outcomes, in order.
+    pub rounds: Vec<FanoutRound>,
+    /// Total relay failures healed by re-parenting across the run.
+    pub reparent_events: usize,
+    /// Total members that joined across the run.
+    pub join_events: usize,
+    /// Rounds in which some live member was unreachable or reachable
+    /// more than once (must stay 0 — the exactly-once invariant).
+    pub delivery_violations: usize,
+}
+
+impl FanoutResult {
+    /// Worst-round tree makespan (seconds).
+    pub fn tree_makespan(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.tree_makespan)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst-round direct-unicast makespan (seconds).
+    pub fn direct_makespan(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.direct_makespan)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst-round direct/tree speedup.
+    pub fn speedup(&self) -> f64 {
+        self.direct_makespan() / self.tree_makespan().max(f64::MIN_POSITIVE)
+    }
+
+    /// Deepest tree observed across the run.
+    pub fn max_depth(&self) -> usize {
+        self.rounds.iter().map(|r| r.depth).max().unwrap_or(0)
+    }
+}
+
+/// SplitMix64 — the same deterministic stream family the fault plan
+/// draws from.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a member name, for seed-stable per-node draws that
+/// survive membership churn (index-based draws would reshuffle the
+/// straggler set every join).
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Per-member inbound-link slowdown under `cfg`.
+fn link_slowdown(cfg: &FanoutConfig, member: &str) -> f64 {
+    let mut state = cfg.seed ^ fnv1a(member);
+    let draw = mix(&mut state) as f64 / u64::MAX as f64;
+    if draw < cfg.straggler_fraction {
+        cfg.straggler_slowdown
+    } else {
+        1.0
+    }
+}
+
+/// Arrival instant of the update at every member: the producer
+/// serializes sends to the roots, and each relay serializes re-serves to
+/// its children in deterministic child order. Returns `(makespan,
+/// arrivals-in-BFS-order-count)` — the count doubles as the exactly-once
+/// coverage check.
+fn propagate(topo: &Topology, cfg: &FanoutConfig) -> (f64, usize) {
+    let mut makespan = 0.0f64;
+    let mut reached = 0usize;
+    let mut queue: VecDeque<(String, f64)> = VecDeque::new();
+    let mut clock = 0.0;
+    for root in topo.roots() {
+        clock += cfg.t_send * link_slowdown(cfg, root);
+        queue.push_back((root.to_string(), clock));
+    }
+    while let Some((node, at)) = queue.pop_front() {
+        makespan = makespan.max(at);
+        reached += 1;
+        let mut lane = at;
+        for child in topo.children_of(&node) {
+            lane += cfg.t_send * link_slowdown(cfg, child);
+            queue.push_back((child.to_string(), lane));
+        }
+    }
+    (makespan, reached)
+}
+
+/// Makespan of direct unicast: the producer serializes one full send per
+/// member onto its NIC, so the last member's arrival is the sum of every
+/// per-member transfer.
+fn direct_makespan(members: &[String], cfg: &FanoutConfig) -> f64 {
+    members
+        .iter()
+        .map(|m| cfg.t_send * link_slowdown(cfg, m))
+        .sum()
+}
+
+/// Run the fleet fan-out simulation.
+///
+/// Churn is applied *between* rounds: round 0 measures the pristine
+/// fleet; before each later round, `churn_per_round` seeded events fire,
+/// alternating member failure (healed via [`Topology::reparent`], like
+/// the runtime's relay-failure path) and member join (healed via a
+/// deterministic rebuild, like the runtime's membership refresh).
+pub fn simulate_fanout(cfg: &FanoutConfig) -> FanoutResult {
+    assert!(cfg.consumers >= 1, "need at least one consumer");
+    assert!(cfg.fanout >= 1, "fan-out bound must be at least 1");
+    assert!(cfg.t_send > 0.0, "per-hop send time must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.straggler_fraction),
+        "straggler fraction must be a probability"
+    );
+    assert!(
+        cfg.straggler_slowdown >= 1.0,
+        "a straggler link cannot be faster than healthy"
+    );
+
+    let mut members: Vec<String> = (0..cfg.consumers).map(|i| format!("c{i}")).collect();
+    let mut topo = Topology::build(&members, cfg.fanout).expect("fresh member list is valid");
+    let mut rng = cfg.seed;
+    let mut joined = 0usize;
+
+    let mut rounds = Vec::with_capacity(cfg.rounds as usize);
+    let mut reparent_events = 0usize;
+    let mut join_events = 0usize;
+    let mut delivery_violations = 0usize;
+
+    for round in 0..cfg.rounds {
+        let (mut reparents, mut joins) = (0usize, 0usize);
+        if round > 0 {
+            for k in 0..cfg.churn_per_round {
+                if k % 2 == 0 && members.len() > 1 {
+                    // Failure: a seeded victim drops out; the tree heals
+                    // in place, never losing or duplicating a subtree.
+                    let victim = members[mix(&mut rng) as usize % members.len()].clone();
+                    topo.reparent(&victim).expect("victim is a member");
+                    members.retain(|m| m != &victim);
+                    reparents += 1;
+                } else {
+                    // Join: membership changed, rebuild deterministically
+                    // (the runtime's refresh path).
+                    joined += 1;
+                    members.push(format!("j{joined}"));
+                    topo = Topology::build(&members, cfg.fanout).expect("rebuild is valid");
+                    joins += 1;
+                }
+            }
+        }
+        reparent_events += reparents;
+        join_events += joins;
+
+        let (tree, reached) = propagate(&topo, cfg);
+        if reached != members.len() {
+            delivery_violations += 1;
+        }
+        rounds.push(FanoutRound {
+            round,
+            members: members.len(),
+            depth: topo.depth(),
+            stragglers: members
+                .iter()
+                .filter(|m| link_slowdown(cfg, m) > 1.0)
+                .count(),
+            direct_makespan: direct_makespan(&members, cfg),
+            tree_makespan: tree,
+            reparents,
+            joins,
+        });
+    }
+
+    FanoutResult {
+        rounds,
+        reparent_events,
+        join_events,
+        delivery_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeds for the churn sweep (`VIPER_FAULT_SEEDS` in CI's fault
+    /// matrix, same contract as the runtime fault tests).
+    fn fault_seeds() -> Vec<u64> {
+        std::env::var("VIPER_FAULT_SEEDS")
+            .ok()
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<u64>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![7, 42])
+    }
+
+    fn fleet(consumers: usize, seed: u64) -> FanoutConfig {
+        FanoutConfig {
+            consumers,
+            fanout: 8,
+            t_send: 0.024,
+            rounds: 4,
+            churn_per_round: 0,
+            straggler_fraction: 0.0,
+            straggler_slowdown: 1.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn tree_makespan_is_sublinear_direct_is_linear() {
+        let small = simulate_fanout(&fleet(1_000, 7));
+        let large = simulate_fanout(&fleet(10_000, 7));
+        // Direct unicast scales with the fleet; the tree scales with
+        // its depth.
+        let direct_growth = large.direct_makespan() / small.direct_makespan();
+        let tree_growth = large.tree_makespan() / small.tree_makespan();
+        assert!(
+            (direct_growth - 10.0).abs() < 0.01,
+            "direct must be linear, grew {direct_growth:.2}x"
+        );
+        assert!(
+            tree_growth < 2.0,
+            "tree must be ~log, grew {tree_growth:.2}x"
+        );
+        assert!(small.tree_makespan() < small.direct_makespan() / 10.0);
+        assert!(large.speedup() > 100.0, "speedup {:.0}", large.speedup());
+        assert_eq!(large.max_depth(), 6, "10k @ fanout 8");
+        assert_eq!(small.delivery_violations, 0);
+        assert_eq!(large.delivery_violations, 0);
+    }
+
+    #[test]
+    fn churned_fleet_keeps_exactly_once_coverage() {
+        // Joins and failures between every round, swept across the fault
+        // seeds: the exactly-once invariant must hold in every round, and
+        // both churn paths (reparent heal, rebuild) must actually fire.
+        // VIPER_REACTOR_THREADS sweeps the runtime axis; the closed-form
+        // timeline must not depend on it, which re-running verifies.
+        let threads = std::env::var("VIPER_REACTOR_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1usize)
+            .max(1);
+        for seed in fault_seeds() {
+            let cfg = FanoutConfig {
+                rounds: 12,
+                churn_per_round: 5,
+                straggler_fraction: 0.1,
+                straggler_slowdown: 8.0,
+                ..fleet(1_000, seed)
+            };
+            let runs: Vec<FanoutResult> = (0..threads.clamp(2, 4))
+                .map(|_| simulate_fanout(&cfg))
+                .collect();
+            let r = &runs[0];
+            assert_eq!(r.delivery_violations, 0, "seed {seed}: coverage broken");
+            assert!(r.reparent_events > 0, "seed {seed}: failures never fired");
+            assert!(r.join_events > 0, "seed {seed}: joins never fired");
+            for round in &r.rounds {
+                assert!(
+                    round.tree_makespan < round.direct_makespan,
+                    "seed {seed} round {}: tree lost its advantage",
+                    round.round
+                );
+            }
+            for other in &runs[1..] {
+                assert_eq!(
+                    format!("{r:?}"),
+                    format!("{other:?}"),
+                    "seed {seed}: simulation must be deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stragglers_hurt_direct_delivery_more_than_the_tree() {
+        // Every straggler delays the serialized direct stream; in the
+        // tree only its own lane (and subtree) waits, so the tree's
+        // penalty is bounded by one root-to-leaf chain.
+        let clean = simulate_fanout(&fleet(1_000, 7));
+        let slow = simulate_fanout(&FanoutConfig {
+            straggler_fraction: 0.1,
+            straggler_slowdown: 8.0,
+            ..fleet(1_000, 7)
+        });
+        let direct_penalty = slow.direct_makespan() - clean.direct_makespan();
+        let tree_penalty = slow.tree_makespan() - clean.tree_makespan();
+        assert!(slow.rounds[0].stragglers > 0, "no straggler was placed");
+        assert!(direct_penalty > 0.0);
+        assert!(tree_penalty >= 0.0);
+        assert!(
+            direct_penalty > tree_penalty,
+            "direct {direct_penalty:.3}s vs tree {tree_penalty:.3}s"
+        );
+    }
+
+    #[test]
+    fn degenerate_fleets_are_valid() {
+        let solo = simulate_fanout(&fleet(1, 7));
+        assert_eq!(solo.delivery_violations, 0);
+        assert!((solo.tree_makespan() - solo.direct_makespan()).abs() < 1e-12);
+        // Fan-out 1 degenerates to a chain: tree == direct.
+        let chain = simulate_fanout(&FanoutConfig {
+            fanout: 1,
+            ..fleet(64, 7)
+        });
+        assert!((chain.tree_makespan() - chain.direct_makespan()).abs() < 1e-9);
+        assert_eq!(chain.max_depth(), 64);
+    }
+}

@@ -43,8 +43,10 @@
 mod engine;
 mod workflow;
 
+pub mod fanout;
 pub mod multi;
 
 pub use engine::{EventQueue, Scheduled};
+pub use fanout::{simulate_fanout, FanoutConfig, FanoutResult, FanoutRound};
 pub use multi::{simulate_multi, ConsumerSpec, MultiSimConfig, MultiSimResult};
 pub use workflow::{simulate, Discovery, ModelUpdate, SimConfig, SimResult};

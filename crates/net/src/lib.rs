@@ -34,6 +34,7 @@ mod chunk;
 mod fabric;
 mod fault;
 mod reactor;
+mod relay;
 mod reliability;
 mod wirebuf;
 
@@ -47,6 +48,7 @@ pub use reactor::{
     CrcPool, FeedbackKind, FlowAction, FlowEvent, FlowMachine, FlowPhase, Reactor, ReactorTask,
     TaskCtx,
 };
+pub use relay::{Topology, TopologyError};
 pub use reliability::{
     deterministic_jitter, CoalesceQueue, Control, FlowError, RetryPolicy, CONTROL_MAGIC,
 };

@@ -70,39 +70,71 @@ pub enum Control {
         /// is generation 0 and needs no announcement).
         generation: u64,
     },
+    /// Relay → sender: a member of the relay's subtree could not be served
+    /// from the relayed flow (its delta base was missing, or the relay
+    /// exhausted its retry budget toward it) and needs a direct full
+    /// checkpoint from the producer. `flow_id`/`generation` identify the
+    /// *upstream* flow the relay was re-serving, so the producer can map
+    /// the escalation back to the update it belongs to; intermediate
+    /// relays remap the ids hop by hop as they forward the frame up.
+    Miss {
+        /// The upstream flow the relay received and was re-serving.
+        flow_id: u64,
+        /// Retransmit-round generation of that upstream flow.
+        generation: u64,
+        /// The subtree member that needs a direct full send.
+        member: String,
+    },
 }
 
 impl Control {
     /// Serialize to a wire payload.
+    ///
+    /// Layout: magic `u32` LE, kind `u8`, flow id `u64` LE, generation
+    /// `u64` LE, count `u32` LE, then `count` trailing items — 4-byte
+    /// chunk indices for `Nack`, raw UTF-8 member-name bytes for `Miss`,
+    /// nothing for the other kinds (count must be 0).
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, flow_id, generation, missing): (u8, u64, u64, &[u32]) = match self {
+        let (kind, flow_id, generation, missing, member): (u8, u64, u64, &[u32], &[u8]) = match self
+        {
             Control::Nack {
                 flow_id,
                 generation,
                 missing,
-            } => (0, *flow_id, *generation, missing),
+            } => (0, *flow_id, *generation, missing, &[]),
             Control::Ack {
                 flow_id,
                 generation,
-            } => (1, *flow_id, *generation, &[]),
+            } => (1, *flow_id, *generation, &[], &[]),
             Control::NeedFull {
                 flow_id,
                 generation,
-            } => (2, *flow_id, *generation, &[]),
+            } => (2, *flow_id, *generation, &[], &[]),
             Control::Round {
                 flow_id,
                 generation,
-            } => (3, *flow_id, *generation, &[]),
+            } => (3, *flow_id, *generation, &[], &[]),
+            Control::Miss {
+                flow_id,
+                generation,
+                member,
+            } => (4, *flow_id, *generation, &[], member.as_bytes()),
         };
-        let mut buf = Vec::with_capacity(4 + 1 + 8 + 8 + 4 + 4 * missing.len());
+        let count = if kind == 4 {
+            member.len()
+        } else {
+            missing.len()
+        };
+        let mut buf = Vec::with_capacity(4 + 1 + 8 + 8 + 4 + 4 * missing.len() + member.len());
         buf.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
         buf.push(kind);
         buf.extend_from_slice(&flow_id.to_le_bytes());
         buf.extend_from_slice(&generation.to_le_bytes());
-        buf.extend_from_slice(&(missing.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(count as u32).to_le_bytes());
         for &index in missing {
             buf.extend_from_slice(&index.to_le_bytes());
         }
+        buf.extend_from_slice(member);
         buf
     }
 
@@ -118,18 +150,29 @@ impl Control {
         let flow_id = u64::from_le_bytes(payload[5..13].try_into().ok()?);
         let generation = u64::from_le_bytes(payload[13..21].try_into().ok()?);
         let count = u32::from_le_bytes(payload[21..25].try_into().ok()?) as usize;
-        if payload.len() != 25 + 4 * count {
+        // `Miss` carries `count` member-name bytes; every other kind
+        // carries `count` 4-byte chunk indices (0 outside `Nack`).
+        let expected = if kind == 4 {
+            25 + count
+        } else {
+            25 + 4 * count
+        };
+        if payload.len() != expected {
             return None;
         }
-        let missing = (0..count)
-            .map(|i| u32::from_le_bytes(payload[25 + 4 * i..29 + 4 * i].try_into().expect("4 B")))
-            .collect();
         match kind {
-            0 => Some(Control::Nack {
-                flow_id,
-                generation,
-                missing,
-            }),
+            0 => {
+                let missing = (0..count)
+                    .map(|i| {
+                        u32::from_le_bytes(payload[25 + 4 * i..29 + 4 * i].try_into().expect("4 B"))
+                    })
+                    .collect();
+                Some(Control::Nack {
+                    flow_id,
+                    generation,
+                    missing,
+                })
+            }
             1 if count == 0 => Some(Control::Ack {
                 flow_id,
                 generation,
@@ -142,6 +185,17 @@ impl Control {
                 flow_id,
                 generation,
             }),
+            4 => {
+                let member = std::str::from_utf8(&payload[25..25 + count]).ok()?;
+                if member.is_empty() {
+                    return None;
+                }
+                Some(Control::Miss {
+                    flow_id,
+                    generation,
+                    member: member.to_string(),
+                })
+            }
             _ => None,
         }
     }
@@ -152,7 +206,8 @@ impl Control {
             Control::Nack { flow_id, .. }
             | Control::Ack { flow_id, .. }
             | Control::NeedFull { flow_id, .. }
-            | Control::Round { flow_id, .. } => *flow_id,
+            | Control::Round { flow_id, .. }
+            | Control::Miss { flow_id, .. } => *flow_id,
         }
     }
 
@@ -162,7 +217,8 @@ impl Control {
             Control::Nack { generation, .. }
             | Control::Ack { generation, .. }
             | Control::NeedFull { generation, .. }
-            | Control::Round { generation, .. } => *generation,
+            | Control::Round { generation, .. }
+            | Control::Miss { generation, .. } => *generation,
         }
     }
 }
@@ -418,6 +474,11 @@ mod tests {
                 generation: u64::MAX,
                 missing: vec![],
             },
+            Control::Miss {
+                flow_id: 17,
+                generation: 1,
+                member: "leaf-α/7".into(),
+            },
         ] {
             assert_eq!(Control::decode(&control.encode()), Some(control));
         }
@@ -483,6 +544,26 @@ mod tests {
             padded.extend_from_slice(&0u32.to_le_bytes());
             assert_eq!(Control::decode(&padded), None);
         }
+        // A Miss frame must carry exactly `count` bytes of valid, non-empty
+        // UTF-8 member name.
+        let miss = Control::Miss {
+            flow_id: 3,
+            generation: 0,
+            member: "relay-1".into(),
+        };
+        let mut short = miss.encode();
+        short.pop();
+        assert_eq!(Control::decode(&short), None);
+        let mut bad_utf8 = miss.encode();
+        let end = bad_utf8.len() - 1;
+        bad_utf8[end] = 0xFF;
+        assert_eq!(Control::decode(&bad_utf8), None);
+        let empty = Control::Miss {
+            flow_id: 3,
+            generation: 0,
+            member: String::new(),
+        };
+        assert_eq!(Control::decode(&empty.encode()), None);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Relay-tree fan-out: cache-assisted multicast distribution.
+//!
+//! The producer sends each reliable flow once per subtree root; relay
+//! consumers install it and re-serve the exact wire bytes to their
+//! children, ACKing upstream only when the whole subtree resolved (the
+//! group ACK watermark). These tests drive the full stack — topology
+//! grouping, re-serving, coalescing lanes, `Miss` escalation, dead-root
+//! re-parenting — and hold the project's standing invariants: exactly-once
+//! installs at every leaf, byte-identical payloads under seeded faults,
+//! and a virtual timeline that telemetry cannot perturb.
+
+use std::time::Duration;
+use viper::{telemetry::Telemetry, Consumer, Viper, ViperConfig};
+use viper_formats::Checkpoint;
+use viper_hw::{CaptureMode, Route};
+use viper_net::{FaultPlan, LinkFaults, RetryPolicy};
+use viper_tensor::Tensor;
+
+const CHUNK_SMALL: u64 = 1024;
+
+/// Seeds for the fault sweep (`VIPER_FAULT_SEEDS` in CI's fault matrix).
+fn fault_seeds() -> Vec<u64> {
+    std::env::var("VIPER_FAULT_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![7, 42])
+}
+
+/// Reactor CRC-pool width (`VIPER_REACTOR_THREADS` in CI's reactor axis).
+fn reactor_threads() -> usize {
+    std::env::var("VIPER_REACTOR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Wall-clock-fast retries for the fault sweeps.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 16,
+        ack_timeout: Duration::from_millis(100),
+        nack_after: Duration::from_millis(2),
+        max_nacks: 24,
+        ..RetryPolicy::default()
+    }
+}
+
+/// A generous ack timeout for fault-free runs: unoptimized test builds
+/// can blow a tight wall-tuned deadline spuriously, and every blind
+/// resend it triggers is deterministic noise the assertions don't want.
+fn patient_retry() -> RetryPolicy {
+    RetryPolicy {
+        ack_timeout: Duration::from_secs(5),
+        ..RetryPolicy::default()
+    }
+}
+
+fn big_ckpt(iter: u64, elems: usize) -> Checkpoint {
+    Checkpoint::new(
+        "m",
+        iter,
+        vec![
+            (
+                "conv/kernel".into(),
+                Tensor::full(&[elems / 2], iter as f32),
+            ),
+            ("dense/bias".into(), Tensor::full(&[elems - elems / 2], 0.5)),
+        ],
+    )
+}
+
+fn relay_config(fanout: usize, retry: RetryPolicy) -> ViperConfig {
+    let mut config = ViperConfig::default()
+        .with_strategy(Route::GpuToGpu, CaptureMode::Sync)
+        .with_chunked(CHUNK_SMALL)
+        .with_relay_tree(fanout)
+        .with_reactor_threads(reactor_threads())
+        .with_retry(retry);
+    config.flush_to_pfs = false;
+    config
+}
+
+/// Attach `n` consumers named `c0..cn`, all serving model `m`.
+fn attach_fleet(viper: &Viper, n: usize) -> Vec<Consumer> {
+    (0..n)
+        .map(|i| viper.consumer(&format!("c{i}"), "m"))
+        .collect()
+}
+
+/// Wait until every consumer serves `iter`, panicking on timeout.
+fn converge(fleet: &[Consumer], iter: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for c in fleet {
+        loop {
+            if c.current_iteration() == Some(iter) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} never reached iteration {iter} (at {:?})",
+                c.node(),
+                c.current_iteration()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[test]
+fn fleet_converges_exactly_once_through_the_tree() {
+    // 7 consumers, fan-out 2: c0 is the root relay, c1/c2 are interior
+    // relays, c3..c6 are leaves. The producer should pay one flow per
+    // update; every other delivery is a relay re-serve, and the group
+    // ACK resolves the whole fleet in one round-trip.
+    let viper = Viper::new(relay_config(2, patient_retry()));
+    let producer = viper.producer("p");
+    let fleet = attach_fleet(&viper, 7);
+
+    let updates = 3u64;
+    for iter in 1..=updates {
+        let sent = big_ckpt(iter, 1_500);
+        producer.save_weights(&sent).unwrap();
+        converge(&fleet, iter);
+        for c in &fleet {
+            assert_eq!(
+                *c.current().unwrap(),
+                sent,
+                "{} iter {iter}: not byte-identical",
+                c.node()
+            );
+        }
+    }
+    for c in &fleet {
+        assert_eq!(
+            c.updates_applied(),
+            updates,
+            "{}: exactly-once install violated",
+            c.node()
+        );
+    }
+    // One producer flow and one group ACK per update; the other six
+    // members each ride a relay re-serve.
+    assert_eq!(producer.group_acks(), updates);
+    assert_eq!(producer.reparent_events(), 0);
+    let reserves: u64 = fleet.iter().map(|c| c.relay_reserves()).sum();
+    assert_eq!(reserves, updates * 6, "each non-root member re-served once");
+    // The root fans to two children; interior relays to two leaves each.
+    assert_eq!(fleet[0].relay_reserves(), updates * 2);
+    assert_eq!(fleet[3].relay_reserves(), 0, "leaves never re-serve");
+    // Lanes drained: no serve left queued anywhere at quiescence.
+    for c in &fleet {
+        assert_eq!(c.relay_queue_depth(), 0, "{}: backlog at rest", c.node());
+    }
+}
+
+#[test]
+fn seeded_fault_sweep_keeps_every_leaf_exactly_once() {
+    // The acceptance sweep: lossy, reordering, duplicating links under
+    // the relay tree. Every member must converge byte-identical with
+    // exactly one install per update, for every seed in the matrix.
+    for seed in fault_seeds() {
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(0.10)
+            .with_reorder(0.10)
+            .with_duplicate(0.10);
+        let viper = Viper::new(relay_config(2, fast_retry()).with_faults(plan));
+        let producer = viper.producer("p");
+        let fleet = attach_fleet(&viper, 7);
+
+        let updates = 5u64;
+        for iter in 1..=updates {
+            let sent = big_ckpt(iter, 1_500);
+            producer.save_weights(&sent).unwrap();
+            converge(&fleet, iter);
+            for c in &fleet {
+                assert_eq!(
+                    *c.current().unwrap(),
+                    sent,
+                    "seed {seed} {} iter {iter}: bytes differ",
+                    c.node()
+                );
+            }
+        }
+        for c in &fleet {
+            assert_eq!(
+                c.updates_applied(),
+                updates,
+                "seed {seed} {}: exactly-once install violated",
+                c.node()
+            );
+        }
+        assert!(
+            producer.group_acks() >= 1,
+            "seed {seed}: the tree never group-acked"
+        );
+        assert_eq!(producer.deliveries_exhausted(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn dead_relay_root_reparents_and_degrades_to_direct_delivery() {
+    // The root relay's inbound data link is dead (control frames are
+    // modeled out-of-band and never faulted, so only its chunks vanish).
+    // The producer must exhaust its budget, re-parent the topology, count
+    // the event, and deliver the stranded subtree members directly.
+    let seed = fault_seeds()[0];
+    let plan = FaultPlan::seeded(seed).for_node(
+        "c0",
+        LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::NONE
+        },
+    );
+    let retry = RetryPolicy {
+        max_retries: 2,
+        ack_timeout: Duration::from_millis(20),
+        nack_after: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    };
+    let viper = Viper::new(relay_config(2, retry).with_faults(plan));
+    let producer = viper.producer("p");
+    let fleet = attach_fleet(&viper, 5);
+
+    let sent = big_ckpt(1, 1_500);
+    producer.save_weights(&sent).unwrap();
+    // Every member except the unreachable root converges on the direct
+    // fulls launched by the re-parent fallback.
+    let survivors: Vec<&Consumer> = fleet.iter().filter(|c| c.node() != "c0").collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for c in &survivors {
+        while c.current_iteration() != Some(1) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} stranded by the dead root",
+                c.node()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(*c.current().unwrap(), sent, "{}: bytes differ", c.node());
+    }
+    assert!(
+        producer.reparent_events() >= 1,
+        "root failure did not re-parent the tree"
+    );
+    assert!(producer.deliveries_exhausted() >= 1);
+    for c in &survivors {
+        assert_eq!(c.updates_applied(), 1, "{}: duplicate install", c.node());
+    }
+
+    // The next save must route around the demoted root: a new root
+    // serves the fleet and the group path keeps working.
+    let sent = big_ckpt(2, 1_500);
+    producer.save_weights(&sent).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for c in &survivors {
+        while c.current_iteration() != Some(2) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} missed the post-reparent update",
+                c.node()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[test]
+fn relay_miss_degrades_a_stale_member_to_a_direct_full() {
+    // Delta transfer over the tree: one shared delta per group. A member
+    // that restarts (losing its base) answers `NeedFull` to its *relay*,
+    // which cannot re-encode — the `Miss` escalates hop by hop to the
+    // producer, which degrades exactly that member to a direct full.
+    let viper = Viper::new(relay_config(2, patient_retry()).with_delta());
+    let producer = viper.producer("p");
+    let mut fleet = attach_fleet(&viper, 7);
+
+    for iter in 1..=2u64 {
+        producer.save_weights(&big_ckpt(iter, 1_500)).unwrap();
+        converge(&fleet, iter);
+    }
+    assert!(
+        producer.delta_sends() >= 1,
+        "warm fleet never rode the delta path"
+    );
+
+    // c5 is a leaf (child of the interior relay c2 in the fan-out-2 heap
+    // over c0..c6). Restart it: same name, empty slot, no delta base.
+    fleet.remove(5);
+    let reborn = viper.consumer("c5", "m");
+
+    let sent = big_ckpt(3, 1_500);
+    producer.save_weights(&sent).unwrap();
+    converge(&fleet, 3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while reborn.current_iteration() != Some(3) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "restarted member never recovered via the Miss path"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(*reborn.current().unwrap(), sent);
+    assert_eq!(reborn.updates_applied(), 1, "fresh instance, one install");
+    assert!(
+        reborn.fulls_requested() >= 1,
+        "the stale member should have refused the group delta"
+    );
+    // The rest of the fleet still resolved through the group ACK.
+    assert_eq!(producer.reparent_events(), 0, "a Miss is not a failure");
+}
+
+#[test]
+fn relay_tree_makespan_is_bit_identical_with_telemetry_on() {
+    // The standing overhead contract, now with the tree on: tracing must
+    // not perturb the virtual timeline by a single nanosecond, even
+    // though the relay path emits its own serve/ack/miss instants.
+    let run = |telemetry: Telemetry| -> u64 {
+        let viper = Viper::new(relay_config(2, patient_retry()).with_telemetry(telemetry));
+        let producer = viper.producer("p");
+        let fleet = attach_fleet(&viper, 7);
+        let mut total = 0u64;
+        for iter in 1..=3u64 {
+            let receipt = producer.save_weights(&big_ckpt(iter, 1_500)).unwrap();
+            converge(&fleet, iter);
+            for c in &fleet {
+                let info = c.last_update().unwrap();
+                total =
+                    total.wrapping_add(info.swapped_at.since(receipt.started_at).as_nanos() as u64);
+            }
+        }
+        total
+    };
+    let disabled = run(Telemetry::disabled());
+    let enabled = run(Telemetry::enabled());
+    assert_eq!(
+        disabled, enabled,
+        "telemetry perturbed the relay tree's virtual timeline"
+    );
+}
