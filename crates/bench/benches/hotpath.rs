@@ -1,21 +1,33 @@
 //! Wall-clock microbench for the producer hot path: serialize + per-chunk
-//! CRC + chunk framing of a large checkpoint, before (byte-at-a-time CRC,
-//! copying frames) vs after (slice-by-8 CRC, zero-copy `WireBuf` frames).
+//! CRC + chunk framing of a large checkpoint, legacy (materialize the
+//! encoding, then a separate parallel CRC pass, then frame) vs fused (the
+//! `StreamingEncoder` single pass: tensor bytes land in an arena buffer
+//! while per-chunk CRCs accumulate over them, framing reuses the CRCs).
 //!
 //! Unlike the virtual-clock benches, this one measures *real* time with
-//! `std::time::Instant` — the zero-copy payload path is a wall-clock
-//! optimisation that leaves every modeled duration bit-identical. Results
-//! are written to `BENCH_hotpath.json` at the workspace root. Pass
+//! `std::time::Instant` — the fused encode is a wall-clock optimisation
+//! that leaves every modeled duration bit-identical. Results are written
+//! to `BENCH_hotpath.json` at the workspace root, with a PR-over-PR
+//! `history` array so the trajectory of this path survives re-runs. Pass
 //! `--test` (as `cargo bench --bench hotpath -- --test` does in CI) for a
-//! fast smoke run on a smaller checkpoint.
+//! fast smoke run on a smaller checkpoint, and `--enforce` to exit
+//! non-zero if the fused path regresses more than 10% behind the legacy
+//! path.
 
 use std::hint::black_box;
 use std::time::Instant;
-use viper_formats::{crc32, crc32_bytewise, Checkpoint, CheckpointFormat, Payload, ViperFormat};
+use viper_formats::{
+    crc32, crc32_bytewise, crc32_combine, Checkpoint, CheckpointFormat, EncodeArena, Payload,
+    StreamingEncoder, ViperFormat,
+};
 use viper_net::{chunk_sizes, ChunkHeader, WireBuf};
 use viper_tensor::Tensor;
 
 const CHUNK_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Label this era's history entry is recorded under (replaced in place on
+/// re-runs, so the array tracks eras, not invocations).
+const HISTORY_LABEL: &str = "pr9-fused-single-pass";
 
 fn sample(elems: usize) -> Checkpoint {
     Checkpoint::new(
@@ -45,34 +57,10 @@ fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// The pre-zero-copy path: byte-at-a-time CRC and an owned framed vector
-/// per chunk (header prepended by memcpy).
-fn copying_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
-    let payload = format.encode(ckpt);
-    let sizes = chunk_sizes(payload.len() as u64, CHUNK_BYTES);
-    let num_chunks = sizes.len() as u32;
-    let mut offset = 0u64;
-    let mut wire = 0usize;
-    for (i, &len) in sizes.iter().enumerate() {
-        let body = &payload[offset as usize..(offset + len) as usize];
-        let header = ChunkHeader {
-            flow_id: 1,
-            chunk_index: i as u32,
-            num_chunks,
-            offset,
-            total_bytes: payload.len() as u64,
-            crc32: crc32_bytewise(body),
-        };
-        wire += header.frame(body).len();
-        offset += len;
-    }
-    wire
-}
-
-/// The zero-copy path as the fabric runs it: per-chunk slice-by-8 CRCs
-/// computed in parallel, then `WireBuf` frames whose bodies are shared
-/// subslices of the single serialized buffer.
-fn zero_copy_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
+/// The legacy three-pass path: materialize the encoding (which itself
+/// re-reads the tensor bytes for the CRC footer), run a separate
+/// per-chunk CRC pass over the payload, then frame zero-copy subslices.
+fn legacy_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
     use rayon::prelude::*;
     let payload = Payload::from(format.encode(ckpt));
     let sizes = chunk_sizes(payload.len() as u64, CHUNK_BYTES);
@@ -107,8 +95,131 @@ fn zero_copy_path(format: &dyn CheckpointFormat, ckpt: &Checkpoint) -> usize {
     wire
 }
 
+/// The fused single pass as the producer now runs it: tensor bytes stream
+/// into a (recycled) arena buffer with per-chunk CRCs computed as they
+/// land; framing reuses those CRCs, reading no payload byte a second time.
+fn fused_path(ckpt: &Checkpoint, arena: &mut EncodeArena, capacity: usize) -> usize {
+    let mut enc = StreamingEncoder::from_arena(arena, capacity, CHUNK_BYTES);
+    ViperFormat.encode_into(ckpt, &mut enc);
+    let encoded = enc.finish_into(arena);
+    let payload = &encoded.payload;
+    let sizes = chunk_sizes(payload.len() as u64, CHUNK_BYTES);
+    let num_chunks = sizes.len() as u32;
+    let mut wire = 0usize;
+    let mut offset = 0u64;
+    for (i, &len) in sizes.iter().enumerate() {
+        let body = payload.slice(offset as usize..(offset + len) as usize);
+        let header = ChunkHeader {
+            flow_id: 1,
+            chunk_index: i as u32,
+            num_chunks,
+            offset,
+            total_bytes: payload.len() as u64,
+            crc32: encoded.chunk_crcs[i],
+        };
+        wire += WireBuf::framed(header.encode(), body).len();
+        offset += len;
+    }
+    wire
+}
+
+/// Extract the number after `"key":` (hand-rolled: no JSON dependency).
+fn find_num(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the string after `"key":` (no escapes expected in our output).
+fn find_str(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Split the top-level `{...}` objects out of a `history` array body.
+fn split_objects(body: &str) -> Vec<String> {
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        objs.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    objs
+}
+
+/// Prior `history` entries from an existing BENCH_hotpath.json, preserved
+/// verbatim minus any entry carrying the current era's label. When the
+/// file predates the history field, its headline numbers are converted
+/// into a seed entry so the trajectory starts at the previous era.
+fn prior_history(old: &str) -> Vec<String> {
+    if let Some(at) = old.find("\"history\":") {
+        let rest = &old[at..];
+        let open = match rest.find('[') {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut depth = 0usize;
+        let mut close = rest.len();
+        for (i, c) in rest[open..].char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        return split_objects(&rest[open + 1..close])
+            .into_iter()
+            .filter(|obj| find_str(obj, "label").as_deref() != Some(HISTORY_LABEL))
+            .collect();
+    }
+    // Pre-history file: seed the trajectory from its headline numbers
+    // (the slice-by-8 zero-copy era's before/after serialize+crc+frame).
+    match (find_num(old, "before_ms"), find_num(old, "after_ms")) {
+        (Some(before), Some(after)) => vec![format!(
+            concat!(
+                "{{ \"label\": \"pr5-slice8-zero-copy\", ",
+                "\"legacy_ms\": {:.3}, \"fused_ms\": {:.3}, ",
+                "\"speedup\": {:.2} }}"
+            ),
+            before,
+            after,
+            before / after
+        )],
+        _ => Vec::new(),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
+    let enforce = std::env::args().any(|a| a == "--enforce");
     // 24 MiB of f32 weights full-size; 3 MiB in smoke mode.
     let (elems, reps) = if smoke { (1 << 19, 3) } else { (6 << 20, 9) };
     let ckpt = sample(elems);
@@ -116,14 +227,79 @@ fn main() {
     let payload = format.encode(&ckpt);
     let bytes = payload.len();
     let gib = bytes as f64 / (1u64 << 30) as f64;
+    let mut arena = EncodeArena::new();
 
-    // Both paths must produce the same logical wire volume.
-    assert_eq!(copying_path(format, &ckpt), zero_copy_path(format, &ckpt));
+    // Identity first, outside the timed region: the fused pass must emit
+    // byte-identical wire bytes (and the same framed volume).
+    {
+        let mut enc = StreamingEncoder::new(CHUNK_BYTES);
+        ViperFormat.encode_into(&ckpt, &mut enc);
+        assert_eq!(enc.finish().payload.as_slice(), &payload[..]);
+    }
+    assert_eq!(
+        legacy_path(format, &ckpt),
+        fused_path(&ckpt, &mut arena, bytes)
+    );
 
-    let crc_before = time(reps, || crc32_bytewise(&payload));
-    let crc_after = time(reps, || crc32(&payload));
-    let before = time(reps, || copying_path(format, &ckpt));
-    let after = time(reps, || zero_copy_path(format, &ckpt));
+    let crc_bytewise = time(reps, || crc32_bytewise(&payload));
+    let crc_slice16 = time(reps, || crc32(&payload));
+    // Split-and-combine: per-block slice-by-16 CRCs merged algebraically —
+    // the path viper-net's chunk CRC merge and the CrcPool ride.
+    let crc_combine = time(reps, || {
+        const BLOCK: usize = 256 * 1024;
+        let mut acc = 0u32;
+        let mut off = 0usize;
+        while off < payload.len() {
+            let end = (off + BLOCK).min(payload.len());
+            acc = crc32_combine(acc, crc32(&payload[off..end]), (end - off) as u64);
+            off = end;
+        }
+        acc
+    });
+    let legacy = time(reps, || legacy_path(format, &ckpt));
+    let fused = time(reps, || fused_path(&ckpt, &mut arena, bytes));
+
+    let (slice16_gib_s, combine_gib_s) = (gib / crc_slice16, gib / crc_combine);
+    let (legacy_ms, fused_ms) = (legacy * 1e3, fused * 1e3);
+    let entry = format!(
+        concat!(
+            "{{ \"label\": \"{label}\", ",
+            "\"legacy_ms\": {lm:.3}, \"fused_ms\": {fm:.3}, ",
+            "\"speedup\": {sp:.2}, ",
+            "\"slice16_gib_s\": {s16:.3}, \"combine_gib_s\": {cmb:.3} }}"
+        ),
+        label = HISTORY_LABEL,
+        lm = legacy_ms,
+        fm = fused_ms,
+        sp = legacy / fused,
+        s16 = slice16_gib_s,
+        cmb = combine_gib_s,
+    );
+
+    // Cargo runs benches with the package dir as cwd; anchor the artifact
+    // at the workspace root, where CI (and readers) look for it.
+    let out = std::env::var("VIPER_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").into()
+    });
+    let old = std::fs::read_to_string(&out).unwrap_or_default();
+    let mut history = prior_history(&old);
+    // Render the PR-over-PR delta against the newest prior era before
+    // appending this one.
+    if let Some(prev) = history.last() {
+        if let (Some(label), Some(prev_ms)) = (find_str(prev, "label"), find_num(prev, "fused_ms"))
+        {
+            println!(
+                "history: {label} {prev_ms:.2} ms -> {HISTORY_LABEL} {fused_ms:.2} ms ({:.2}x)",
+                prev_ms / fused_ms
+            );
+        }
+    }
+    history.push(entry);
+    let history_json = history
+        .iter()
+        .map(|obj| format!("    {obj}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     let json = format!(
         concat!(
@@ -134,39 +310,43 @@ fn main() {
             "  \"smoke\": {smoke},\n",
             "  \"crc\": {{\n",
             "    \"bytewise_gib_s\": {crc_b:.3},\n",
-            "    \"slice8_gib_s\": {crc_a:.3},\n",
-            "    \"speedup\": {crc_s:.2}\n",
+            "    \"slice16_gib_s\": {crc_s16:.3},\n",
+            "    \"combine_gib_s\": {crc_c:.3},\n",
+            "    \"speedup\": {crc_sp:.2}\n",
             "  }},\n",
             "  \"serialize_crc_frame\": {{\n",
-            "    \"before_ms\": {hp_b:.3},\n",
-            "    \"after_ms\": {hp_a:.3},\n",
-            "    \"speedup\": {hp_s:.2}\n",
-            "  }}\n",
+            "    \"legacy_ms\": {lm:.3},\n",
+            "    \"fused_ms\": {fm:.3},\n",
+            "    \"speedup\": {sp:.2}\n",
+            "  }},\n",
+            "  \"history\": [\n{history}\n  ]\n",
             "}}\n"
         ),
         bytes = bytes,
         chunk = CHUNK_BYTES,
         reps = reps,
         smoke = smoke,
-        crc_b = gib / crc_before,
-        crc_a = gib / crc_after,
-        crc_s = crc_before / crc_after,
-        hp_b = before * 1e3,
-        hp_a = after * 1e3,
-        hp_s = before / after,
+        crc_b = gib / crc_bytewise,
+        crc_s16 = slice16_gib_s,
+        crc_c = combine_gib_s,
+        crc_sp = crc_bytewise / crc_slice16,
+        lm = legacy_ms,
+        fm = fused_ms,
+        sp = legacy / fused,
+        history = history_json,
     );
-    // Cargo runs benches with the package dir as cwd; anchor the artifact
-    // at the workspace root, where CI (and readers) look for it.
-    let out = std::env::var("VIPER_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").into()
-    });
     std::fs::write(&out, &json).expect("write BENCH_hotpath.json");
     println!("{json}");
     println!(
-        "hotpath: {:.2} GiB checkpoint  serialize+crc+frame {:.1} ms -> {:.1} ms  ({:.2}x)",
-        gib,
-        before * 1e3,
-        after * 1e3,
-        before / after
+        "hotpath: {:.2} GiB checkpoint  serialize+crc+frame {:.1} ms (legacy) -> {:.1} ms (fused)  ({:.2}x)",
+        gib, legacy_ms, fused_ms, legacy / fused
     );
+    // CI regression gate: the fused pass must never fall more than 10%
+    // behind the legacy three-pass path it replaced.
+    if enforce && fused_ms > legacy_ms * 1.10 {
+        eprintln!(
+            "REGRESSION: fused path {fused_ms:.2} ms is more than 10% behind legacy {legacy_ms:.2} ms"
+        );
+        std::process::exit(1);
+    }
 }

@@ -63,7 +63,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
-use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind};
+use viper_formats::{delta, wire, Checkpoint, Payload, PayloadKind, StreamingEncoder};
 use viper_hw::{stage_time, MachineProfile, Route, SimInstant, Tier};
 use viper_metastore::ModelRecord;
 use viper_net::{
@@ -157,6 +157,25 @@ pub(crate) struct WirePayload {
     /// The bytes handed to the fabric (framed when the codec is active,
     /// a zero-copy view of the raw full encoding otherwise).
     pub(crate) bytes: Payload,
+    /// Per-chunk CRCs of `bytes` under the update's chunk geometry,
+    /// computed in the same pass that serialized them. Handed to the
+    /// fabric so neither the initial send nor any retransmission round
+    /// re-reads the payload to checksum it.
+    pub(crate) crcs: Option<Arc<Vec<u32>>>,
+}
+
+/// A framed wire encoding plus its encode-time per-chunk CRCs.
+type FramedBytes = (Payload, Arc<Vec<u32>>);
+
+/// Envelope-frame `body` through the streaming encoder: the one
+/// unavoidable body copy under delta transfer doubles as the chunk CRC
+/// pass, so the bytes are read exactly once.
+fn frame_streaming(kind: PayloadKind, body: &[u8], chunk_bytes: u64) -> FramedBytes {
+    let mut enc = StreamingEncoder::new(chunk_bytes);
+    enc.put_bytes(&wire::envelope(kind));
+    enc.put_bytes(body);
+    let encoded = enc.finish();
+    (encoded.payload, encoded.chunk_crcs)
 }
 
 /// Per-model memo of encoded wire payloads for the codec's *current*
@@ -171,10 +190,11 @@ pub(crate) struct WirePayload {
 struct ModelWireCache {
     /// Iteration the cached encodings were produced for.
     target: u64,
-    full: Option<Payload>,
-    /// base iteration → framed delta; `None` caches a failed diff
-    /// (architecture changed), so it is not retried per consumer.
-    deltas: HashMap<u64, Option<Payload>>,
+    full: Option<FramedBytes>,
+    /// base iteration → framed delta (with its chunk CRCs); `None` caches
+    /// a failed diff (architecture changed), so it is not retried per
+    /// consumer.
+    deltas: HashMap<u64, Option<FramedBytes>>,
 }
 
 impl ModelWireCache {
@@ -327,8 +347,9 @@ impl PayloadCodec {
         model: &str,
         target: u64,
         payload: &Payload,
+        chunk_bytes: u64,
         counters: &DeliveryCounters,
-    ) -> Payload {
+    ) -> FramedBytes {
         let mut caches = self.wire_cache.lock();
         let entry = caches.entry(model.to_string()).or_default();
         entry.reset_to(target);
@@ -337,10 +358,11 @@ impl PayloadCodec {
             .get_or_insert_with(|| {
                 // The one remaining full-payload copy under delta transfer:
                 // prefixing the envelope header rewrites the body. Done at
-                // most once per update, and surfaced in the counters.
+                // most once per update, surfaced in the counters, and fused
+                // with the chunk CRC pass.
                 counters.bytes_copied.add(payload.len() as u64);
                 counters.payload_allocs.inc();
-                Payload::from(wire::frame(PayloadKind::Full, payload))
+                frame_streaming(PayloadKind::Full, payload.as_slice(), chunk_bytes)
             })
             .clone()
     }
@@ -354,8 +376,8 @@ impl PayloadCodec {
         model: &str,
         target: u64,
         base: u64,
-        make: impl FnOnce() -> Option<Payload>,
-    ) -> Option<Payload> {
+        make: impl FnOnce() -> Option<FramedBytes>,
+    ) -> Option<FramedBytes> {
         let mut caches = self.wire_cache.lock();
         let entry = caches.entry(model.to_string()).or_default();
         entry.reset_to(target);
@@ -364,7 +386,7 @@ impl PayloadCodec {
 
     /// The already-framed full for `model`'s update `target`, if one was
     /// memoized while encoding the fan-out.
-    pub(crate) fn cached_full(&self, model: &str, target: u64) -> Option<Payload> {
+    pub(crate) fn cached_full(&self, model: &str, target: u64) -> Option<FramedBytes> {
         self.wire_cache
             .lock()
             .get(model)
@@ -396,6 +418,8 @@ fn encode_for(
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
     payload: &Payload,
+    payload_crcs: &Arc<Vec<u32>>,
+    chunk_bytes: u64,
     route: Route,
     counters: &DeliveryCounters,
     frontier: &mut SimInstant,
@@ -405,6 +429,7 @@ fn encode_for(
         return WirePayload {
             kind: PayloadKind::Full,
             bytes: payload.clone(),
+            crcs: Some(Arc::clone(payload_crcs)),
         };
     }
     let shared = &viper.shared;
@@ -415,9 +440,16 @@ fn encode_for(
             .filter(|b| b.iteration < ckpt.iteration)
         {
             let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
+                // The delta streams straight into its framed wire form:
+                // envelope, diff payload, and chunk CRCs in one pass, with
+                // no intermediate encode buffer.
                 let framed = delta::diff(&base, ckpt).ok().map(|d| {
                     counters.payload_allocs.inc();
-                    Payload::from(wire::frame(PayloadKind::Delta, &d.encode()))
+                    let mut enc = StreamingEncoder::new(chunk_bytes);
+                    enc.put_bytes(&wire::envelope(PayloadKind::Delta));
+                    d.encode_into(&mut enc);
+                    let encoded = enc.finish();
+                    (encoded.payload, encoded.chunk_crcs)
                 });
                 if framed.is_some() {
                     // The diff is one read pass over the full model at the
@@ -443,7 +475,7 @@ fn encode_for(
                 }
                 framed
             });
-            if let Some(bytes) = encoded {
+            if let Some((bytes, crcs)) = encoded {
                 counters.delta_sends.inc();
                 let full_len = (payload.len() + wire::WIRE_HEADER_BYTES) as u64;
                 counters
@@ -452,14 +484,23 @@ fn encode_for(
                 return WirePayload {
                     kind: PayloadKind::Delta,
                     bytes,
+                    crcs: Some(crcs),
                 };
             }
         }
     }
     counters.delta_fallbacks.inc();
+    let (bytes, crcs) = codec.full_framed_cached(
+        &record.name,
+        record.iteration,
+        payload,
+        chunk_bytes,
+        counters,
+    );
     WirePayload {
         kind: PayloadKind::Full,
-        bytes: codec.full_framed_cached(&record.name, record.iteration, payload, counters),
+        bytes,
+        crcs: Some(crcs),
     }
 }
 
@@ -477,6 +518,8 @@ fn encode_group(
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
     payload: &Payload,
+    payload_crcs: &Arc<Vec<u32>>,
+    chunk_bytes: u64,
     route: Route,
     counters: &DeliveryCounters,
     frontier: &mut SimInstant,
@@ -486,6 +529,7 @@ fn encode_group(
         return WirePayload {
             kind: PayloadKind::Full,
             bytes: payload.clone(),
+            crcs: Some(Arc::clone(payload_crcs)),
         };
     }
     let shared = &viper.shared;
@@ -496,9 +540,15 @@ fn encode_group(
             .filter(|b| b.iteration < ckpt.iteration)
         {
             let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
+                // Same fused framing as the per-consumer path: diff bytes
+                // land framed with their chunk CRCs in one pass.
                 let framed = delta::diff(&base, ckpt).ok().map(|d| {
                     counters.payload_allocs.inc();
-                    Payload::from(wire::frame(PayloadKind::Delta, &d.encode()))
+                    let mut enc = StreamingEncoder::new(chunk_bytes);
+                    enc.put_bytes(&wire::envelope(PayloadKind::Delta));
+                    d.encode_into(&mut enc);
+                    let encoded = enc.finish();
+                    (encoded.payload, encoded.chunk_crcs)
                 });
                 if framed.is_some() {
                     let t0 = *frontier;
@@ -521,7 +571,7 @@ fn encode_group(
                 }
                 framed
             });
-            if let Some(bytes) = encoded {
+            if let Some((bytes, crcs)) = encoded {
                 counters.delta_sends.inc();
                 let full_len = (payload.len() + wire::WIRE_HEADER_BYTES) as u64;
                 counters
@@ -530,14 +580,23 @@ fn encode_group(
                 return WirePayload {
                     kind: PayloadKind::Delta,
                     bytes,
+                    crcs: Some(crcs),
                 };
             }
         }
     }
     counters.delta_fallbacks.inc();
+    let (bytes, crcs) = codec.full_framed_cached(
+        &record.name,
+        record.iteration,
+        payload,
+        chunk_bytes,
+        counters,
+    );
     WirePayload {
         kind: PayloadKind::Full,
-        bytes: codec.full_framed_cached(&record.name, record.iteration, payload, counters),
+        bytes,
+        crcs: Some(crcs),
     }
 }
 
@@ -585,8 +644,9 @@ pub(crate) struct DeliveryJob {
     /// The raw full encoding (for materializing a framed full on
     /// `NeedFull`, and for the deferred durable fallback under coalescing).
     pub(crate) payload: Payload,
-    /// Already-framed full from the codec's encode cache, if one was made.
-    pub(crate) framed_full: Option<Payload>,
+    /// Already-framed full (with chunk CRCs) from the codec's encode
+    /// cache, if one was made.
+    pub(crate) framed_full: Option<FramedBytes>,
     /// Metadata of the version being delivered (fallback relocation and
     /// notification need the full record, not just name/iteration).
     pub(crate) record: ModelRecord,
@@ -649,6 +709,7 @@ pub(crate) fn deliver(
     record: &ModelRecord,
     ckpt: Option<&Arc<Checkpoint>>,
     payload: &Payload,
+    payload_crcs: &Arc<Vec<u32>>,
     route: Route,
     pipeline_capture: bool,
     counters: &DeliveryCounters,
@@ -715,6 +776,8 @@ pub(crate) fn deliver(
                         record,
                         ckpt,
                         payload,
+                        payload_crcs,
+                        chunk_bytes,
                         route,
                         counters,
                         &mut frontier,
@@ -731,6 +794,8 @@ pub(crate) fn deliver(
                         record,
                         ckpt,
                         payload,
+                        payload_crcs,
+                        chunk_bytes,
                         route,
                         counters,
                         &mut frontier,
@@ -773,7 +838,10 @@ pub(crate) fn deliver(
                 }
                 // A deregistered consumer is not an error: it raced shutdown.
                 let delivered = if config.chunked_transfer {
-                    let mut opts = ChunkedSend::new(config.chunk_bytes);
+                    // The raw payload travels as-is, so its encode-time
+                    // chunk CRCs apply directly.
+                    let mut opts =
+                        ChunkedSend::new(config.chunk_bytes).with_crcs(Arc::clone(payload_crcs));
                     if inline_capture {
                         let (bw, fixed, once) =
                             chunk_capture_model(&config.profile, route, record.ntensors);
@@ -857,6 +925,9 @@ struct FlowSend {
     machine: FlowMachine,
     /// The wire bytes this flow carries (retransmission source).
     bytes: Payload,
+    /// Encode-time per-chunk CRCs of `bytes`: retransmission rounds reuse
+    /// them instead of re-checksumming retained chunks.
+    crcs: Option<Arc<Vec<u32>>>,
     num_chunks: u32,
     /// This flow is the full-checkpoint retry after a `NeedFull` reply — a
     /// full can't be rejected for a missing base, so a repeat `NeedFull`
@@ -875,7 +946,7 @@ struct UpdateState {
     link: LinkKind,
     chunk_bytes: u64,
     payload: Payload,
-    framed_full: Option<Payload>,
+    framed_full: Option<FramedBytes>,
     record: ModelRecord,
     track: String,
     /// Consumer slots not yet resolved (terminal flow or superseded in
@@ -901,12 +972,14 @@ struct UpdateState {
 impl UpdateState {
     /// Materialize the framed full encoding, at most once per update
     /// (mirrors [`PayloadCodec::full_framed_cached`], including counters).
-    fn full_framed(&mut self, counters: &DeliveryCounters) -> Payload {
+    fn full_framed(&mut self, counters: &DeliveryCounters) -> FramedBytes {
+        let payload = &self.payload;
+        let chunk_bytes = self.chunk_bytes;
         self.framed_full
             .get_or_insert_with(|| {
-                counters.bytes_copied.add(self.payload.len() as u64);
+                counters.bytes_copied.add(payload.len() as u64);
                 counters.payload_allocs.inc();
-                Payload::from(wire::frame(PayloadKind::Full, &self.payload))
+                frame_streaming(PayloadKind::Full, payload.as_slice(), chunk_bytes)
             })
             .clone()
     }
@@ -916,6 +989,7 @@ impl UpdateState {
 struct QueuedSend {
     seq: u64,
     bytes: Payload,
+    crcs: Option<Arc<Vec<u32>>>,
     kind: PayloadKind,
     /// The causal instant the payload became ready (the save frontier at
     /// admission): the launch starts no earlier, even if the lane frees
@@ -1044,6 +1118,7 @@ impl DeliveryTask {
         seq: u64,
         consumer: String,
         bytes: Payload,
+        crcs: Option<Arc<Vec<u32>>>,
         kind: PayloadKind,
         opts: &ChunkedSend,
         full_retry: bool,
@@ -1053,9 +1128,15 @@ impl DeliveryTask {
             .updates
             .get_mut(&seq)
             .expect("launch requires its update");
+        // Hand the encode-time chunk CRCs to the fabric so the send does
+        // not re-read the payload to checksum it.
+        let opts = match &crcs {
+            Some(c) => opts.clone().with_crcs(Arc::clone(c)),
+            None => opts.clone(),
+        };
         match self
             .endpoint
-            .send_chunked(&consumer, &update.tag, bytes.clone(), update.link, opts)
+            .send_chunked(&consumer, &update.tag, bytes.clone(), update.link, &opts)
         {
             Ok(report) => {
                 let mut machine = FlowMachine::new(max_retries);
@@ -1067,6 +1148,7 @@ impl DeliveryTask {
                         consumer,
                         machine,
                         bytes,
+                        crcs,
                         num_chunks: report.num_chunks,
                         full_retry,
                         kind,
@@ -1088,6 +1170,7 @@ impl DeliveryTask {
         seq: u64,
         consumer: String,
         bytes: Payload,
+        crcs: Option<Arc<Vec<u32>>>,
         kind: PayloadKind,
         capture: &mut Option<(f64, Duration, Duration)>,
         ready_at: SimInstant,
@@ -1105,7 +1188,7 @@ impl DeliveryTask {
             if let Some((bw, fixed, once)) = *capture {
                 opts = opts.with_capture(bw, fixed, once);
             }
-            if self.launch_flow(ctx, seq, consumer.clone(), bytes, kind, &opts, false) {
+            if self.launch_flow(ctx, seq, consumer.clone(), bytes, crcs, kind, &opts, false) {
                 // The snapshot happens once; further flows re-send the
                 // already captured chunks.
                 *capture = None;
@@ -1120,6 +1203,7 @@ impl DeliveryTask {
                 QueuedSend {
                     seq,
                     bytes,
+                    crcs,
                     kind,
                     ready_at,
                 },
@@ -1179,6 +1263,7 @@ impl DeliveryTask {
                 queued.seq,
                 consumer.to_string(),
                 queued.bytes,
+                queued.crcs,
                 queued.kind,
                 &opts,
                 false,
@@ -1239,7 +1324,7 @@ impl DeliveryTask {
             .collect();
         let chunk_bytes = update.chunk_bytes;
         let track = update.track.clone();
-        let full = update.full_framed(&self.counters);
+        let (full, full_crcs) = update.full_framed(&self.counters);
         for member in &stranded {
             update.escalated.insert(member.clone());
         }
@@ -1264,6 +1349,7 @@ impl DeliveryTask {
                 seq,
                 member,
                 full.clone(),
+                Some(Arc::clone(&full_crcs)),
                 PayloadKind::Full,
                 &ChunkedSend::new(chunk_bytes).at(at),
                 true,
@@ -1312,7 +1398,7 @@ impl DeliveryTask {
         }
         let chunk_bytes = update.chunk_bytes;
         let track = update.track.clone();
-        let full = update.full_framed(&self.counters);
+        let (full, full_crcs) = update.full_framed(&self.counters);
         let model = update.record.name.clone();
         update.remaining += 1;
         self.codec.forget(&member, &model);
@@ -1332,6 +1418,7 @@ impl DeliveryTask {
             seq,
             member,
             full,
+            Some(full_crcs),
             PayloadKind::Full,
             &ChunkedSend::new(chunk_bytes).at(at),
             true,
@@ -1502,7 +1589,7 @@ impl DeliveryTask {
                 // held by this update.
                 let chunk_bytes = update.chunk_bytes;
                 let track = update.track.clone();
-                let full = update.full_framed(&self.counters);
+                let (full, full_crcs) = update.full_framed(&self.counters);
                 self.codec.forget(&consumer, &model);
                 self.counters.delta_fallbacks.inc();
                 if telemetry.is_enabled() {
@@ -1522,6 +1609,7 @@ impl DeliveryTask {
                     seq,
                     consumer.clone(),
                     full,
+                    Some(full_crcs),
                     PayloadKind::Full,
                     &ChunkedSend::new(chunk_bytes).at(at),
                     true,
@@ -1595,6 +1683,7 @@ impl DeliveryTask {
                     flow_id,
                     update.chunk_bytes,
                     &missing,
+                    flow.crcs.as_deref().map(Vec::as_slice),
                     end,
                 ) {
                     Ok(lane_free) => {
@@ -1798,6 +1887,7 @@ impl ReactorTask for DeliveryTask {
                 seq,
                 consumer,
                 wire_payload.bytes,
+                wire_payload.crcs,
                 wire_payload.kind,
                 &mut capture,
                 job.frontier,
@@ -1876,7 +1966,7 @@ mod tests {
         codec.retain(&ckpt(2));
         // Memoize deltas of update 3 against both retained bases (and a
         // failed diff against base 1, which memoizes as None).
-        let body = Payload::from(vec![9u8; 8]);
+        let body = (Payload::from(vec![9u8; 8]), Arc::new(vec![0u32]));
         assert!(codec
             .delta_cached("m", 3, 1, || Some(body.clone()))
             .is_some());
@@ -1897,15 +1987,23 @@ mod tests {
         let codec = active_codec();
         let counters = DeliveryCounters::new(&Telemetry::disabled(), "p");
         let payload = Payload::from(vec![7u8; 16]);
-        let framed = codec.full_framed_cached("m", 1, &payload, &counters);
-        assert_eq!(codec.cached_full("m", 1).unwrap().len(), framed.len());
+        let (framed, crcs) = codec.full_framed_cached("m", 1, &payload, 8, &counters);
+        // The streamed framing is byte-identical to the legacy copy path,
+        // and its chunk CRCs match fresh CRCs over the framed slices.
+        let legacy = wire::frame(PayloadKind::Full, &payload);
+        assert_eq!(framed.as_slice(), &legacy[..]);
+        assert_eq!(crcs.len(), legacy.len().div_ceil(8));
+        for (i, chunk) in legacy.chunks(8).enumerate() {
+            assert_eq!(crcs[i], viper_formats::crc32(chunk));
+        }
+        assert_eq!(codec.cached_full("m", 1).unwrap().0.len(), framed.len());
         assert_eq!(counters.payload_allocs.get(), 1);
         // Same target: memoized, no second framing.
-        codec.full_framed_cached("m", 1, &payload, &counters);
+        codec.full_framed_cached("m", 1, &payload, 8, &counters);
         assert_eq!(counters.payload_allocs.get(), 1);
         // New target: the stale full is dropped, a fresh one is framed.
         assert!(codec.cached_full("m", 2).is_none());
-        codec.full_framed_cached("m", 2, &payload, &counters);
+        codec.full_framed_cached("m", 2, &payload, 8, &counters);
         assert_eq!(counters.payload_allocs.get(), 2);
         assert!(codec.cached_full("m", 1).is_none());
     }

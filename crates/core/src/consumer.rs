@@ -464,6 +464,10 @@ struct Fan {
     /// The exact wire bytes received — already framed, re-served as-is
     /// (zero-copy: cloning shares the reassembled buffer).
     payload: Payload,
+    /// Per-chunk CRCs of `payload` under this relay's chunk geometry,
+    /// computed once per fan: every child serve and retransmission round
+    /// reuses them instead of re-checksumming the shared bytes.
+    crcs: Arc<Vec<u32>>,
     /// Coalescing key, parsed from the delivery tag's version suffix.
     version: u64,
     /// Child slots not yet resolved (acked, escalated, or superseded).
@@ -936,6 +940,12 @@ impl ConsumerTask {
                 tag: flow.tag.clone(),
                 link: flow.link,
                 payload: flow.payload.clone(),
+                // One checksum pass over the shared bytes; every child
+                // serve (and retransmit round) below reuses it.
+                crcs: Arc::new(viper_net::payload_chunk_crcs(
+                    &flow.payload,
+                    self.relay.chunk_bytes,
+                )),
                 version,
                 pending: children.len(),
                 acked_at: serve_at,
@@ -1016,7 +1026,9 @@ impl ConsumerTask {
         let Some(fan) = self.relay.fans.get(&fan_id) else {
             return;
         };
-        let opts = ChunkedSend::new(self.relay.chunk_bytes).at(ready_at);
+        let opts = ChunkedSend::new(self.relay.chunk_bytes)
+            .at(ready_at)
+            .with_crcs(Arc::clone(&fan.crcs));
         match self
             .endpoint
             .send_chunked(&child, &fan.tag, fan.payload.clone(), fan.link, &opts)
@@ -1211,7 +1223,12 @@ impl ConsumerTask {
                 let Some(fan) = self.relay.fans.get(&fan_id) else {
                     return;
                 };
-                let (tag, link, payload) = (fan.tag.clone(), fan.link, fan.payload.clone());
+                let (tag, link, payload, crcs) = (
+                    fan.tag.clone(),
+                    fan.link,
+                    fan.payload.clone(),
+                    Arc::clone(&fan.crcs),
+                );
                 let missing: Vec<u32> = if missing.is_empty() {
                     (0..num_chunks).collect()
                 } else {
@@ -1248,6 +1265,7 @@ impl ConsumerTask {
                     flow_id,
                     self.relay.chunk_bytes,
                     &missing,
+                    Some(&crcs),
                     end,
                 ) {
                     Ok(lane_free) => {

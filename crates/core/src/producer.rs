@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use viper_formats::{Checkpoint, CheckpointFormat, Payload};
+use viper_formats::{Checkpoint, CheckpointFormat, EncodeArena, Payload, StreamingEncoder};
 use viper_hw::{
     apply_time, capture_time, pipeline_costs, stage_time, CaptureMode, Route, SimClock, SimInstant,
     StorageTier, Tier, TransferStrategy,
@@ -51,6 +51,9 @@ enum Job {
         /// (`None` when delta transfer is off — no need to clone it then).
         ckpt: Option<Arc<Checkpoint>>,
         payload: Payload,
+        /// Encode-time per-chunk CRCs of `payload` under the deployment's
+        /// chunk geometry (computed in the same pass that serialized it).
+        crcs: Arc<Vec<u32>>,
         route: Route,
         /// Causal frontier of the save that enqueued this job (capture
         /// finished). Under coalescing the worker charges staging from it
@@ -81,6 +84,10 @@ pub struct Producer {
     /// the previous stall ended — because the shared clock races ahead
     /// with concurrently resolving deliveries and consumer applies.
     save_frontier: Mutex<SimInstant>,
+    /// Reusable serialize buffers: once the staging tiers and in-flight
+    /// flows release a past payload's views, its allocation is recycled
+    /// for a future save instead of handed back to the allocator.
+    arena: Mutex<EncodeArena>,
     worker_tx: Option<Sender<Job>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -132,6 +139,7 @@ impl Producer {
                                 record,
                                 ckpt,
                                 payload,
+                                crcs,
                                 route,
                                 frontier,
                             } => {
@@ -184,6 +192,7 @@ impl Producer {
                                     &record,
                                     ckpt.as_ref(),
                                     &payload,
+                                    &crcs,
                                     route,
                                     false,
                                     &counters,
@@ -227,6 +236,7 @@ impl Producer {
             counters,
             codec,
             save_frontier,
+            arena: Mutex::new(EncodeArena::new()),
             worker_tx: Some(tx),
             worker: Some(worker),
         }
@@ -368,11 +378,29 @@ impl Producer {
         // 1. Serialize; let the Transfer Selector pick the route (the
         //    configured one, degraded down the tier hierarchy when the
         //    staging tier is under memory pressure — Fig. 7).
-        // The one serialize allocation per save: every downstream consumer
-        // of these bytes (staging tiers, chunk bodies, retransmit rounds,
-        // the PFS flush) shares zero-copy views of this buffer.
-        let payload = Payload::from(self.format.encode(ckpt));
-        self.counters.payload_allocs.inc();
+        // Fused single-pass encode: tensor bytes stream straight into a
+        // (possibly recycled) arena buffer while per-chunk CRCs accumulate
+        // over the same bytes, so the wire path never re-reads the payload
+        // to checksum it. Every downstream consumer (staging tiers, chunk
+        // bodies, retransmit rounds, the PFS flush) shares zero-copy views
+        // of this one buffer.
+        let chunk_geom = if shared.config.chunked_transfer {
+            shared.config.chunk_bytes
+        } else {
+            0
+        };
+        let encoded = {
+            let mut arena = self.arena.lock();
+            let hint = encoded_size_hint(ckpt);
+            let mut enc = StreamingEncoder::from_arena(&mut arena, hint, chunk_geom);
+            self.format.encode_into(ckpt, &mut enc);
+            enc.finish_into(&mut arena)
+        };
+        if !encoded.reused {
+            self.counters.payload_allocs.inc();
+        }
+        let payload = encoded.payload;
+        let crcs = encoded.chunk_crcs;
         let bytes = payload.len() as u64;
         let route = self.select_route(strategy.route, bytes);
         if telemetry.is_enabled() {
@@ -492,6 +520,7 @@ impl Producer {
                 record: record.clone(),
                 ckpt: ckpt_arc,
                 payload: payload.clone(),
+                crcs: Arc::clone(&crcs),
                 route,
                 frontier: save_done,
             });
@@ -503,6 +532,7 @@ impl Producer {
                 &record,
                 ckpt_arc.as_ref(),
                 &payload,
+                &crcs,
                 route,
                 pipelined_sync,
                 &self.counters,
@@ -625,6 +655,19 @@ impl Drop for Producer {
         self.flush_deliveries();
         self.viper.shared.reactor.deregister(&self.node);
     }
+}
+
+/// Capacity hint for a checkpoint's serialized form: tensor payload bytes
+/// plus a generous per-tensor/header allowance. Only a hint — a fresh
+/// buffer sized from it avoids mid-encode reallocation; a recycled arena
+/// buffer keeps whatever capacity it already grew to.
+fn encoded_size_hint(ckpt: &Checkpoint) -> usize {
+    let tensors: usize = ckpt
+        .tensors
+        .iter()
+        .map(|(name, t)| name.len() + 8 * t.dims().len() + t.byte_len() + 16)
+        .sum();
+    tensors + ckpt.model_name.len() + 64
 }
 
 pub(crate) fn charge(clock: &SimClock, dur: Duration) {

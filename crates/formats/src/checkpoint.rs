@@ -157,12 +157,16 @@ pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-pub(crate) fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * 4);
+/// Append `f32`s as little-endian bytes directly onto `out` — no
+/// intermediate `Vec<u8>`. This is the materializing twin of
+/// `StreamingEncoder::put_f32s`; both exist so the legacy encode path
+/// (kept as the byte-identity oracle) writes tensors without the
+/// `f32s_to_bytes` copy it used to make.
+pub(crate) fn put_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.reserve(data.len() * 4);
     for &x in data {
         out.extend_from_slice(&x.to_le_bytes());
     }
-    out
 }
 
 pub(crate) fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
@@ -219,7 +223,10 @@ mod tests {
     #[test]
     fn f32_bytes_roundtrip() {
         let v = vec![1.5f32, -2.25, 0.0, f32::MAX];
-        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&v)).unwrap(), v);
+        let mut bytes = Vec::new();
+        put_f32s(&mut bytes, &v);
+        assert_eq!(bytes.len(), v.len() * 4);
+        assert_eq!(bytes_to_f32s(&bytes).unwrap(), v);
         assert!(bytes_to_f32s(&[0, 1, 2]).is_err());
     }
 

@@ -1,16 +1,26 @@
 //! CRC32 (IEEE 802.3 polynomial), used for checkpoint integrity footers
 //! and per-chunk transport checksums.
 //!
-//! Two kernels compute the same function:
+//! Three kernels compute the same function:
 //!
-//! * [`crc32`] — slice-by-8: eight 256-entry tables consumed 8 input bytes
-//!   per iteration, cutting the table-lookup dependency chain roughly 8×
-//!   versus the bytewise loop. This is the hot-path kernel; per-chunk CRC
-//!   on a multi-GiB checkpoint is the dominant CPU cost of reliable
-//!   delivery.
+//! * [`crc32`] — slice-by-16: sixteen 256-entry tables consume 16 input
+//!   bytes per iteration, cutting the table-lookup dependency chain
+//!   roughly 16× versus the bytewise loop. This is the hot-path kernel;
+//!   per-chunk CRC on a multi-GiB checkpoint is the dominant CPU cost of
+//!   reliable delivery.
+//! * [`crc32_parallel`] — splits large inputs into blocks, checksums them
+//!   on the rayon pool, and merges the partial CRCs algebraically with
+//!   [`crc32_combine`] — no byte is read twice.
 //! * [`crc32_bytewise`] — the original byte-at-a-time reference, kept as
 //!   the equality oracle for tests and the before/after baseline for the
 //!   `hotpath` bench.
+//!
+//! [`Crc32`] is the streaming form of [`crc32`]: feed bytes in any split
+//! with [`Crc32::update`] and [`Crc32::finalize`] at the end. The fused
+//! encoder uses it to checksum serialized bytes in the same pass that
+//! produces them. [`crc32_combine`] stitches independently computed CRCs
+//! together (`crc(A ‖ B)` from `crc(A)`, `crc(B)`, `len(B)`), which both
+//! parallel block CRCs and the encoder's footer derivation ride on.
 
 const POLY: u32 = 0xEDB8_8320;
 
@@ -34,16 +44,16 @@ fn byte_table() -> [u32; 256] {
     t
 }
 
-/// Eight tables: `tables[0]` is the classic bytewise table; `tables[k][b]`
+/// Sixteen tables: `tables[0]` is the classic bytewise table; `tables[k][b]`
 /// advances the CRC of byte `b` through `k` additional zero bytes, letting
-/// the main loop fold 8 input bytes per iteration.
-fn tables() -> &'static [[u32; 256]; 8] {
+/// the main loop fold 16 input bytes per iteration.
+fn tables() -> &'static [[u32; 256]; 16] {
     use std::sync::OnceLock;
-    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    static TABLES: OnceLock<[[u32; 256]; 16]> = OnceLock::new();
     TABLES.get_or_init(|| {
-        let mut t = [[0u32; 256]; 8];
+        let mut t = [[0u32; 256]; 16];
         t[0] = byte_table();
-        for k in 1..8 {
+        for k in 1..16 {
             for b in 0..256 {
                 let prev = t[k - 1][b];
                 t[k][b] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
@@ -53,28 +63,41 @@ fn tables() -> &'static [[u32; 256]; 8] {
     })
 }
 
-/// CRC32 of a byte slice (slice-by-8 kernel).
-pub fn crc32(bytes: &[u8]) -> u32 {
+#[inline]
+fn update_raw(mut crc: u32, bytes: &[u8]) -> u32 {
     let t = tables();
-    let mut crc = 0xFFFF_FFFFu32;
-
-    let mut chunks = bytes.chunks_exact(8);
+    let mut chunks = bytes.chunks_exact(16);
     for c in &mut chunks {
-        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
-        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
-        crc = t[7][(lo & 0xFF) as usize]
-            ^ t[6][((lo >> 8) & 0xFF) as usize]
-            ^ t[5][((lo >> 16) & 0xFF) as usize]
-            ^ t[4][((lo >> 24) & 0xFF) as usize]
-            ^ t[3][(hi & 0xFF) as usize]
-            ^ t[2][((hi >> 8) & 0xFF) as usize]
-            ^ t[1][((hi >> 16) & 0xFF) as usize]
-            ^ t[0][((hi >> 24) & 0xFF) as usize];
+        let a = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let b = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        let d = u32::from_le_bytes([c[8], c[9], c[10], c[11]]);
+        let e = u32::from_le_bytes([c[12], c[13], c[14], c[15]]);
+        crc = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][((a >> 24) & 0xFF) as usize]
+            ^ t[11][(b & 0xFF) as usize]
+            ^ t[10][((b >> 8) & 0xFF) as usize]
+            ^ t[9][((b >> 16) & 0xFF) as usize]
+            ^ t[8][((b >> 24) & 0xFF) as usize]
+            ^ t[7][(d & 0xFF) as usize]
+            ^ t[6][((d >> 8) & 0xFF) as usize]
+            ^ t[5][((d >> 16) & 0xFF) as usize]
+            ^ t[4][((d >> 24) & 0xFF) as usize]
+            ^ t[3][(e & 0xFF) as usize]
+            ^ t[2][((e >> 8) & 0xFF) as usize]
+            ^ t[1][((e >> 16) & 0xFF) as usize]
+            ^ t[0][((e >> 24) & 0xFF) as usize];
     }
     for &b in chunks.remainder() {
         crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
+}
+
+/// CRC32 of a byte slice (slice-by-16 kernel).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !update_raw(0xFFFF_FFFF, bytes)
 }
 
 /// CRC32 of a byte slice, one byte per iteration. Reference implementation;
@@ -86,6 +109,180 @@ pub fn crc32_bytewise(bytes: &[u8]) -> u32 {
         crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// Streaming CRC32 state: equivalent to [`crc32`] over the concatenation of
+/// every slice passed to [`update`](Self::update), regardless of how the
+/// input is split. `Copy` so callers can snapshot mid-stream state (the
+/// fused encoder peeks at partial-chunk CRCs without consuming them).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state; `finalize` with no updates yields `crc32(b"")`.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes` (slice-by-16 kernel).
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.state = update_raw(self.state, bytes);
+    }
+
+    /// The CRC32 of everything absorbed so far. Non-consuming: the state
+    /// remains valid for further updates.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A GF(2) operator advancing a CRC across `len` bytes of zeros, the
+/// building block of [`crc32_combine`]. Precompute once per block length
+/// when folding many equally-sized partial CRCs: applying the operator is
+/// 32 conditional XORs, while building it is ~`log2(len)` 32×32 matrix
+/// squarings.
+#[derive(Clone, Debug)]
+pub struct CrcShift {
+    mat: [u32; 32],
+}
+
+/// `out[n] = mat * vec[n]` over GF(2): each matrix column is a u32 bit
+/// vector; multiplying by a vector XORs the columns selected by its bits.
+fn gf2_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(mat: &[u32; 32]) -> [u32; 32] {
+    let mut out = [0u32; 32];
+    for (o, &col) in out.iter_mut().zip(mat.iter()) {
+        *o = gf2_times(mat, col);
+    }
+    out
+}
+
+fn gf2_matrix_mult(a: &[u32; 32], b: &[u32; 32]) -> [u32; 32] {
+    let mut out = [0u32; 32];
+    for (o, &col) in out.iter_mut().zip(b.iter()) {
+        *o = gf2_times(a, col);
+    }
+    out
+}
+
+impl CrcShift {
+    /// Operator for `len` zero bytes (zlib's squaring construction: build
+    /// the one-byte operator, then square-and-multiply over the bits of
+    /// `len`).
+    pub fn new(len: u64) -> Self {
+        // One-zero-*bit* operator: row 0 is the polynomial, the rest shift.
+        let mut odd = [0u32; 32];
+        odd[0] = POLY;
+        let mut row = 1u32;
+        for col in odd.iter_mut().skip(1) {
+            *col = row;
+            row <<= 1;
+        }
+        // 1 bit -> 2 bits -> 4 bits -> 8 bits = one zero byte.
+        let even = gf2_matrix_square(&odd);
+        let odd = gf2_matrix_square(&even);
+        let byte_op = gf2_matrix_square(&odd);
+
+        // Identity, then multiply in byte_op^(2^k) for each set bit of len.
+        let mut mat = [0u32; 32];
+        for (n, col) in mat.iter_mut().enumerate() {
+            *col = 1u32 << n;
+        }
+        let mut op = byte_op;
+        let mut rem = len;
+        while rem != 0 {
+            if rem & 1 != 0 {
+                mat = gf2_matrix_mult(&op, &mat);
+            }
+            rem >>= 1;
+            if rem != 0 {
+                op = gf2_matrix_square(&op);
+            }
+        }
+        CrcShift { mat }
+    }
+
+    /// Advance `crc` across this operator's span of zero bytes.
+    pub fn apply(&self, crc: u32) -> u32 {
+        gf2_times(&self.mat, crc)
+    }
+}
+
+/// CRC32 of the concatenation `A ‖ B` given `crc_a = crc32(A)`,
+/// `crc_b = crc32(B)`, and `len_b = B.len()` — without touching any bytes.
+/// This is the zlib `crc32_combine` identity: shifting `crc_a` across
+/// `len_b` zero bytes and XOR-ing `crc_b` accounts for B's contribution
+/// exactly. With `crc_a = 0` (the CRC of the empty string) it degrades to
+/// a pure shift, which the fused encoder uses to *strip* a known prefix:
+/// `crc(B) = crc(A ‖ B) ^ crc32_combine(crc(A), 0, len(B))`.
+pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    CrcShift::new(len_b).apply(crc_a) ^ crc_b
+}
+
+/// Block size for [`crc32_parallel`]: large enough that per-block combine
+/// cost (a handful of matrix ops) is noise, small enough to load-balance.
+const PAR_BLOCK: usize = 1 << 20;
+
+/// Inputs below this run on the caller's thread; rayon dispatch overhead
+/// would dominate.
+const PAR_MIN: usize = 4 * PAR_BLOCK;
+
+/// CRC32 of a byte slice, block-parallel: splits into ~1 MiB blocks,
+/// checksums them concurrently on the rayon pool, then folds the partial
+/// CRCs with [`crc32_combine`]. Falls back to single-threaded [`crc32`]
+/// below 4 MiB. Always returns exactly `crc32(bytes)`.
+pub fn crc32_parallel(bytes: &[u8]) -> u32 {
+    use rayon::prelude::*;
+    if bytes.len() < PAR_MIN {
+        return crc32(bytes);
+    }
+    // The vendored rayon shim parallelizes `for_each` over a mutable
+    // target, so partial CRCs land positionally in a preallocated vec —
+    // the same pattern the chunk-CRC pool uses.
+    let nblocks = bytes.len().div_ceil(PAR_BLOCK);
+    let mut parts = vec![0u32; nblocks];
+    parts.par_iter_mut().enumerate().for_each(|(i, out)| {
+        let start = i * PAR_BLOCK;
+        let end = (start + PAR_BLOCK).min(bytes.len());
+        *out = crc32(&bytes[start..end]);
+    });
+    // All blocks but the last share a length, so build that shift operator
+    // once and reuse it across the fold.
+    let full = CrcShift::new(PAR_BLOCK as u64);
+    let mut acc = 0u32; // crc32 of the empty prefix
+    for (i, &crc) in parts.iter().enumerate() {
+        let len = if i + 1 == nblocks {
+            (bytes.len() - i * PAR_BLOCK) as u64
+        } else {
+            PAR_BLOCK as u64
+        };
+        acc = if len == PAR_BLOCK as u64 {
+            full.apply(acc) ^ crc
+        } else {
+            crc32_combine(acc, crc, len)
+        };
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -117,32 +314,35 @@ mod tests {
         assert_eq!(crc32(&data), crc32(&data));
     }
 
-    #[test]
-    fn slice_by_8_matches_bytewise_reference() {
-        // Deterministic pseudo-random fill; no RNG dependency needed.
-        let mut state = 0x1234_5678_9abc_def0u64;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 56) as u8
-        };
+    fn lcg_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
 
+    #[test]
+    fn slice_by_16_matches_bytewise_reference() {
         // Empty and tiny inputs.
         assert_eq!(crc32(b""), crc32_bytewise(b""));
         assert_eq!(crc32(b"x"), crc32_bytewise(b"x"));
 
-        // Every length around the 8-byte kernel boundary, so the remainder
-        // loop is exercised for all 8 residues.
-        for len in 0..64usize {
-            let data: Vec<u8> = (0..len).map(|_| next()).collect();
+        // Every length around the 16-byte kernel boundary, so the remainder
+        // loop is exercised for all 16 residues.
+        for len in 0..96usize {
+            let data = lcg_bytes(0x1234_5678_9abc_def0 + len as u64, len);
             assert_eq!(crc32(&data), crc32_bytewise(&data), "len {len}");
         }
 
-        // Unaligned starts: the kernel must not assume 8-byte alignment of
+        // Unaligned starts: the kernel must not assume 16-byte alignment of
         // the slice pointer.
-        let data: Vec<u8> = (0..1024).map(|_| next()).collect();
-        for skip in 0..8usize {
+        let data = lcg_bytes(7, 1024);
+        for skip in 0..16usize {
             assert_eq!(
                 crc32(&data[skip..]),
                 crc32_bytewise(&data[skip..]),
@@ -150,8 +350,93 @@ mod tests {
             );
         }
 
-        // Multi-MiB input with a non-multiple-of-8 tail.
-        let big: Vec<u8> = (0..3 * 1024 * 1024 + 5).map(|_| next()).collect();
+        // Multi-MiB input with a non-multiple-of-16 tail.
+        let big = lcg_bytes(99, 3 * 1024 * 1024 + 5);
         assert_eq!(crc32(&big), crc32_bytewise(&big));
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_for_any_split() {
+        let data = lcg_bytes(11, 4096 + 3);
+        let oneshot = crc32(&data);
+        for split in [0, 1, 7, 15, 16, 17, 100, 4095, 4096, data.len()] {
+            let mut s = Crc32::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), oneshot, "split {split}");
+        }
+        // Many tiny updates.
+        let mut s = Crc32::new();
+        for b in data.chunks(3) {
+            s.update(b);
+        }
+        assert_eq!(s.finalize(), oneshot);
+        // finalize is non-consuming / resumable.
+        let mut s = Crc32::new();
+        s.update(&data[..100]);
+        assert_eq!(s.finalize(), crc32(&data[..100]));
+        s.update(&data[100..]);
+        assert_eq!(s.finalize(), oneshot);
+    }
+
+    #[test]
+    fn combine_matches_sequential_known_splits() {
+        let data = lcg_bytes(21, 3 * 1024 * 1024 + 7);
+        let whole = crc32_bytewise(&data);
+        for split in [
+            0usize,
+            1,
+            15,
+            16,
+            4095,
+            4096,
+            1 << 20,
+            data.len() - 1,
+            data.len(),
+        ] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                whole,
+                "split {split}"
+            );
+        }
+        // Empty-empty edge.
+        assert_eq!(crc32_combine(crc32(b""), crc32(b""), 0), crc32(b""));
+    }
+
+    #[test]
+    fn combine_strips_known_prefix() {
+        // crc(B) = crc(AB) ^ shift(crc(A), len B) — the fused encoder's
+        // footer derivation.
+        let data = lcg_bytes(33, 70_000);
+        let (a, b) = data.split_at(12_345);
+        let whole = crc32(&data);
+        let stripped = whole ^ crc32_combine(crc32(a), 0, b.len() as u64);
+        assert_eq!(stripped, crc32(b));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Below, at, and above the parallel threshold; ragged tails.
+        for len in [
+            0usize,
+            1,
+            PAR_MIN - 1,
+            PAR_MIN,
+            PAR_MIN + 1,
+            6 * PAR_BLOCK + 12_345,
+        ] {
+            let data = lcg_bytes(55 + len as u64, len);
+            assert_eq!(crc32_parallel(&data), crc32(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn crc_shift_reuse_equals_fresh_combine() {
+        let shift = CrcShift::new(777);
+        for crc in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            assert_eq!(shift.apply(crc), crc32_combine(crc, 0, 777));
+        }
     }
 }

@@ -21,8 +21,8 @@
 //! crc32     : u32
 //! ```
 
-use crate::checkpoint::{bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader};
-use crate::{crc32, Checkpoint, FormatError};
+use crate::checkpoint::{bytes_to_f32s, put_f32s, put_string, put_u32, put_u64, Reader};
+use crate::{crc32, Checkpoint, FormatError, StreamingEncoder};
 use viper_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"VIPD";
@@ -74,7 +74,7 @@ impl DeltaCheckpoint {
             for &d in tensor.dims() {
                 put_u64(&mut out, d as u64);
             }
-            out.extend_from_slice(&f32s_to_bytes(tensor.as_slice()));
+            put_f32s(&mut out, tensor.as_slice());
         }
         put_u32(&mut out, self.unchanged.len() as u32);
         for name in &self.unchanged {
@@ -83,6 +83,35 @@ impl DeltaCheckpoint {
         let crc = crc32(&out);
         put_u32(&mut out, crc);
         out
+    }
+
+    /// Streaming twin of [`encode`](Self::encode): writes byte-identical
+    /// output into a [`StreamingEncoder`], checksumming each changed tensor
+    /// right after it lands and deriving the CRC footer algebraically — so
+    /// a delta framed behind a wire envelope is still encoded in one pass.
+    pub fn encode_into(&self, enc: &mut StreamingEncoder) {
+        let mark = enc.mark();
+        enc.put_bytes(MAGIC);
+        enc.put_u32(VERSION);
+        enc.put_string(&self.model_name);
+        enc.put_u64(self.base_iteration);
+        enc.put_u64(self.iteration);
+        enc.put_u32(self.changed.len() as u32);
+        for (name, tensor) in &self.changed {
+            enc.put_string(name);
+            enc.put_u32(tensor.dims().len() as u32);
+            for &d in tensor.dims() {
+                enc.put_u64(d as u64);
+            }
+            enc.put_f32s(tensor.as_slice());
+            enc.absorb();
+        }
+        enc.put_u32(self.unchanged.len() as u32);
+        for name in &self.unchanged {
+            enc.put_string(name);
+        }
+        let crc = enc.crc_since(mark);
+        enc.put_u32(crc);
     }
 
     /// Deserialize and verify a delta.
@@ -323,6 +352,21 @@ mod tests {
         let d = diff(&base(), &fine_tuned()).unwrap();
         let decoded = DeltaCheckpoint::decode(&d.encode()).unwrap();
         assert_eq!(decoded, d);
+    }
+
+    #[test]
+    fn streaming_encode_is_byte_identical() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let legacy = d.encode();
+        for chunk_bytes in [0u64, 16, 64, 1 << 20] {
+            let mut enc = StreamingEncoder::new(chunk_bytes);
+            d.encode_into(&mut enc);
+            assert_eq!(
+                enc.finish().payload.as_slice(),
+                &legacy[..],
+                "chunk_bytes {chunk_bytes}"
+            );
+        }
     }
 
     #[test]

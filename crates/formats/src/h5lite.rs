@@ -16,7 +16,7 @@
 //! footer          : u32 dataset count + crc32
 //! ```
 
-use crate::checkpoint::{bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader};
+use crate::checkpoint::{bytes_to_f32s, put_f32s, put_string, put_u32, put_u64, Reader};
 use crate::{crc32, Checkpoint, CheckpointFormat, FormatError};
 use viper_tensor::Tensor;
 
@@ -70,8 +70,11 @@ impl CheckpointFormat for H5Lite {
             );
             out.resize(header_start + OBJECT_HEADER_SIZE, 0);
 
-            // Chunked payload.
-            let payload = f32s_to_bytes(tensor.as_slice());
+            // Chunked payload. (H5Lite interleaves chunk headers with the
+            // data, so it materializes per tensor; it is the emulated
+            // *baseline*, not the hot path.)
+            let mut payload = Vec::with_capacity(tensor.as_slice().len() * 4);
+            put_f32s(&mut payload, tensor.as_slice());
             let nchunks = chunk_count(payload.len());
             put_u32(&mut out, nchunks as u32);
             for (ci, chunk) in payload.chunks(CHUNK_DATA.max(1)).enumerate() {

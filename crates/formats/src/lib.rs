@@ -22,6 +22,7 @@
 
 mod checkpoint;
 mod crc;
+mod encoder;
 mod h5lite;
 mod payload;
 mod viper_format;
@@ -31,8 +32,9 @@ pub mod partial;
 pub mod wire;
 
 pub use checkpoint::{Checkpoint, FormatError};
-pub use crc::{crc32, crc32_bytewise};
+pub use crc::{crc32, crc32_bytewise, crc32_combine, crc32_parallel, Crc32, CrcShift};
 pub use delta::DeltaCheckpoint;
+pub use encoder::{EncodeArena, EncodedPayload, StreamMark, StreamingEncoder};
 pub use h5lite::H5Lite;
 pub use partial::TensorEntry;
 pub use payload::Payload;
@@ -46,6 +48,15 @@ pub trait CheckpointFormat: Send + Sync {
 
     /// Serialize a checkpoint.
     fn encode(&self, ckpt: &Checkpoint) -> Vec<u8>;
+
+    /// Serialize a checkpoint into a [`StreamingEncoder`], producing bytes
+    /// identical to [`encode`](Self::encode) while the encoder checksums
+    /// them in the same pass. The default materializes through `encode`;
+    /// formats on the hot path override it with a true streaming writer.
+    fn encode_into(&self, ckpt: &Checkpoint, enc: &mut StreamingEncoder) {
+        enc.put_bytes(&self.encode(ckpt));
+        enc.absorb();
+    }
 
     /// Deserialize and verify a checkpoint.
     fn decode(&self, bytes: &[u8]) -> Result<Checkpoint, FormatError>;

@@ -89,6 +89,13 @@ impl Payload {
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.buf)
     }
+
+    /// The backing allocation. Crate-internal: the encode arena parks a
+    /// clone of this `Arc` so the buffer can be reclaimed for the next
+    /// save once every outstanding view drops.
+    pub(crate) fn backing(&self) -> &Arc<Vec<u8>> {
+        &self.buf
+    }
 }
 
 impl Deref for Payload {

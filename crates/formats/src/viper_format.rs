@@ -16,8 +16,8 @@
 //! crc32     : u32 over everything before the footer
 //! ```
 
-use crate::checkpoint::{bytes_to_f32s, f32s_to_bytes, put_string, put_u32, put_u64, Reader};
-use crate::{crc32, Checkpoint, CheckpointFormat, FormatError};
+use crate::checkpoint::{bytes_to_f32s, put_f32s, put_string, put_u32, put_u64, Reader};
+use crate::{crc32, Checkpoint, CheckpointFormat, FormatError, StreamingEncoder};
 use viper_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"VIPR";
@@ -46,11 +46,35 @@ impl CheckpointFormat for ViperFormat {
             for &d in tensor.dims() {
                 put_u64(&mut out, d as u64);
             }
-            out.extend_from_slice(&f32s_to_bytes(tensor.as_slice()));
+            put_f32s(&mut out, tensor.as_slice());
         }
         let crc = crc32(&out);
         put_u32(&mut out, crc);
         out
+    }
+
+    fn encode_into(&self, ckpt: &Checkpoint, enc: &mut StreamingEncoder) {
+        // Byte-identical to `encode`, but each tensor is checksummed right
+        // after it is written (one pass over the bytes), and the CRC footer
+        // is derived from the rolling chunk CRCs via combine — even when a
+        // wire envelope precedes the body in the same buffer.
+        let mark = enc.mark();
+        enc.put_bytes(MAGIC);
+        enc.put_u32(VERSION);
+        enc.put_string(&ckpt.model_name);
+        enc.put_u64(ckpt.iteration);
+        enc.put_u32(ckpt.tensors.len() as u32);
+        for (name, tensor) in &ckpt.tensors {
+            enc.put_string(name);
+            enc.put_u32(tensor.dims().len() as u32);
+            for &d in tensor.dims() {
+                enc.put_u64(d as u64);
+            }
+            enc.put_f32s(tensor.as_slice());
+            enc.absorb();
+        }
+        let crc = enc.crc_since(mark);
+        enc.put_u32(crc);
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Checkpoint, FormatError> {
@@ -144,6 +168,24 @@ mod tests {
         let ckpt = sample();
         let decoded = f.decode(&f.encode(&ckpt)).unwrap();
         assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn streaming_encode_is_byte_identical() {
+        let f = ViperFormat;
+        for ckpt in [sample(), Checkpoint::new("empty", 0, vec![])] {
+            let legacy = f.encode(&ckpt);
+            for chunk_bytes in [0u64, 16, 64, 1 << 20] {
+                let mut enc = StreamingEncoder::new(chunk_bytes);
+                f.encode_into(&ckpt, &mut enc);
+                let fused = enc.finish();
+                assert_eq!(
+                    fused.payload.as_slice(),
+                    &legacy[..],
+                    "chunk_bytes {chunk_bytes}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -56,11 +56,20 @@ impl PayloadKind {
     }
 }
 
+/// The raw envelope bytes for `kind`, for writers that stream the envelope
+/// and body into one buffer (the fused encoder) instead of copying through
+/// [`frame`].
+pub fn envelope(kind: PayloadKind) -> [u8; WIRE_HEADER_BYTES] {
+    let mut out = [0u8; WIRE_HEADER_BYTES];
+    out[..4].copy_from_slice(WIRE_MAGIC);
+    out[4] = kind.byte();
+    out
+}
+
 /// Prepend the payload-kind envelope to an encoded body.
 pub fn frame(kind: PayloadKind, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(WIRE_HEADER_BYTES + body.len());
-    out.extend_from_slice(WIRE_MAGIC);
-    out.push(kind.byte());
+    out.extend_from_slice(&envelope(kind));
     out.extend_from_slice(body);
     out
 }
@@ -92,6 +101,13 @@ mod tests {
             let (k, body) = unframe(&framed).unwrap();
             assert_eq!(k, kind);
             assert_eq!(body, b"body-bytes");
+        }
+    }
+
+    #[test]
+    fn envelope_matches_frame_prefix() {
+        for kind in [PayloadKind::Full, PayloadKind::Delta] {
+            assert_eq!(frame(kind, b"abc")[..WIRE_HEADER_BYTES], envelope(kind));
         }
     }
 

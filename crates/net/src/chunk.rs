@@ -159,6 +159,11 @@ pub struct ChunkedSend {
     /// clock's current time — lets concurrent actors model flows that start
     /// together and overlap on different links.
     pub submit_at: Option<SimInstant>,
+    /// Per-chunk CRC32s computed when the payload was encoded (the fused
+    /// encoder's single pass). Must match this send's chunk geometry
+    /// (`chunk_sizes(payload.len(), chunk_bytes)`); the fabric falls back
+    /// to computing CRCs itself when absent or mismatched.
+    pub crcs: Option<std::sync::Arc<Vec<u32>>>,
 }
 
 impl ChunkedSend {
@@ -170,7 +175,15 @@ impl ChunkedSend {
             capture_fixed: Duration::ZERO,
             capture_once: Duration::ZERO,
             submit_at: None,
+            crcs: None,
         }
+    }
+
+    /// Attach per-chunk CRCs precomputed at encode time, so the send path
+    /// never re-reads the payload bytes to checksum them.
+    pub fn with_crcs(mut self, crcs: std::sync::Arc<Vec<u32>>) -> Self {
+        self.crcs = Some(crcs);
+        self
     }
 
     /// Overlap the wire with an upstream capture pipeline: chunks become
@@ -606,7 +619,27 @@ pub fn chunk_body_crc(msg: &Message) -> Option<u32> {
         return None;
     }
     let (_, body) = ChunkHeader::decode_buf(&msg.payload)?;
-    Some(crc32(&body))
+    // Parallel with combine-merge above 4 MiB, plain slice-by-16 below —
+    // the CrcPool's batch offload and the assembler's inline verify both
+    // ride this.
+    Some(viper_formats::crc32_parallel(&body))
+}
+
+/// Per-chunk CRC32s for `payload` under the `chunk_sizes(len, chunk_bytes)`
+/// geometry, computed with the parallel kernel. Relay fan-out computes this
+/// once per installed payload and shares it across every child serve and
+/// retransmit round.
+pub fn payload_chunk_crcs(payload: &[u8], chunk_bytes: u64) -> Vec<u32> {
+    let sizes = chunk_sizes(payload.len() as u64, chunk_bytes);
+    let mut crcs = Vec::with_capacity(sizes.len());
+    let mut off = 0usize;
+    for &len in &sizes {
+        crcs.push(viper_formats::crc32_parallel(
+            &payload[off..off + len as usize],
+        ));
+        off += len as usize;
+    }
+    crcs
 }
 
 /// Split `bytes` into chunk sizes of at most `chunk_bytes` each (the last

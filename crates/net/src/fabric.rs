@@ -449,7 +449,20 @@ impl Fabric {
         let num_chunks = sizes.len() as u32;
         // Checksum chunk bodies before taking the lane lock: CRCs do not
         // depend on scheduling, and this is the CPU-heavy part of a send.
-        let crcs = chunk_crcs(&payload, &sizes);
+        // A fused encode already produced per-chunk CRCs in the same pass
+        // that serialized the bytes; when the caller hands those in (and
+        // the geometry matches), the send path reads zero payload bytes.
+        let crcs = match &opts.crcs {
+            Some(pre) if pre.len() == sizes.len() => {
+                debug_assert_eq!(
+                    **pre,
+                    chunk_crcs(&payload, &sizes),
+                    "precomputed chunk CRCs disagree with payload bytes"
+                );
+                std::sync::Arc::clone(pre)
+            }
+            _ => std::sync::Arc::new(chunk_crcs(&payload, &sizes)),
+        };
 
         // Schedule every chunk under the lane lock so concurrent flows on
         // the same lane serialize deterministically.
@@ -576,6 +589,7 @@ impl Fabric {
         flow_id: u64,
         chunk_bytes: u64,
         indices: &[u32],
+        crcs: Option<&[u32]>,
         at: Option<SimInstant>,
     ) -> Result<(Duration, SimInstant), NetError> {
         let tx = self
@@ -602,10 +616,28 @@ impl Fabric {
             };
             let offset: u64 = sizes[..index as usize].iter().sum();
             // Retransmissions reuse zero-copy subslices of the retained
-            // payload — no round re-frames the bytes.
+            // payload — no round re-frames the bytes — and with encode-time
+            // CRCs on hand they do not re-checksum them either.
             let body = payload.slice(offset as usize..(offset + len) as usize);
-            let header =
-                ChunkHeader::for_body(flow_id, index, num_chunks, offset, total_bytes, &body);
+            let crc = match crcs.and_then(|c| c.get(index as usize)) {
+                Some(&crc) => {
+                    debug_assert_eq!(
+                        crc,
+                        viper_formats::crc32(&body),
+                        "precomputed CRC disagrees with chunk {index} body"
+                    );
+                    crc
+                }
+                None => viper_formats::crc32(&body),
+            };
+            let header = ChunkHeader {
+                flow_id,
+                chunk_index: index,
+                num_chunks,
+                offset,
+                total_bytes,
+                crc32: crc,
+            };
             let frame_len = (ChunkHeader::WIRE_SIZE + body.len()) as u64;
             let wire_time = link.transfer_time(&self.inner.profile, frame_len);
             let sent_at = lane_free;
@@ -668,6 +700,11 @@ impl Fabric {
 fn chunk_crcs(payload: &Payload, sizes: &[u64]) -> Vec<u32> {
     /// Below this, thread spawn overhead beats the win from splitting.
     const PARALLEL_MIN_BYTES: usize = 4 << 20;
+    if sizes.len() == 1 {
+        // Single chunk: block-split within the chunk and merge the partial
+        // CRCs with crc32_combine — parallel without re-reading any byte.
+        return vec![viper_formats::crc32_parallel(&payload[..])];
+    }
     let offsets: Vec<u64> = sizes
         .iter()
         .scan(0u64, |acc, &len| {
@@ -681,7 +718,7 @@ fn chunk_crcs(payload: &Payload, sizes: &[u64]) -> Vec<u32> {
         viper_formats::crc32(&payload[at..at + len])
     };
     let mut crcs = vec![0u32; sizes.len()];
-    if payload.len() >= PARALLEL_MIN_BYTES && sizes.len() > 1 {
+    if payload.len() >= PARALLEL_MIN_BYTES {
         use rayon::prelude::*;
         crcs.par_iter_mut()
             .enumerate()
@@ -792,7 +829,9 @@ impl Endpoint {
     /// Retransmit the given chunk `indices` of a flow previously sent with
     /// [`Endpoint::send_chunked`] (same `flow_id`, payload, and
     /// `chunk_bytes`). Wire time is charged to the virtual clock and the
-    /// fault plan applies — a retransmission can be lost too.
+    /// fault plan applies — a retransmission can be lost too. `crcs`, when
+    /// given, are the flow's encode-time per-chunk CRCs (indexed by chunk
+    /// index) so the round does not re-checksum retained bytes.
     #[allow(clippy::too_many_arguments)]
     pub fn retransmit_chunks(
         &self,
@@ -803,6 +842,7 @@ impl Endpoint {
         flow_id: u64,
         chunk_bytes: u64,
         indices: &[u32],
+        crcs: Option<&[u32]>,
     ) -> Result<Duration, NetError> {
         self.fabric
             .retransmit_chunks_from(
@@ -814,6 +854,7 @@ impl Endpoint {
                 flow_id,
                 chunk_bytes,
                 indices,
+                crcs,
                 None,
             )
             .map(|(wire_total, _)| wire_total)
@@ -834,6 +875,7 @@ impl Endpoint {
         flow_id: u64,
         chunk_bytes: u64,
         indices: &[u32],
+        crcs: Option<&[u32]>,
         at: SimInstant,
     ) -> Result<SimInstant, NetError> {
         self.fabric
@@ -846,6 +888,7 @@ impl Endpoint {
                 flow_id,
                 chunk_bytes,
                 indices,
+                crcs,
                 Some(at),
             )
             .map(|(_, lane_free)| lane_free)
@@ -1263,6 +1306,7 @@ mod tests {
             report.flow_id,
             1000,
             &[0, 1],
+            None,
         )
         .unwrap();
         assert_eq!(*woken.lock(), vec!["b", "b", "b"]);
@@ -1375,6 +1419,7 @@ mod tests {
                 report.flow_id,
                 1000,
                 &[1, 3],
+                None,
             )
             .unwrap();
         assert!(wire > Duration::ZERO);

@@ -39,8 +39,8 @@ mod reliability;
 mod wirebuf;
 
 pub use chunk::{
-    chunk_body_crc, chunk_sizes, AssembledFlow, ChunkHeader, ChunkedSend, FlowAssembler,
-    FlowReport, FlowStatus, CHUNK_MAGIC,
+    chunk_body_crc, chunk_sizes, payload_chunk_crcs, AssembledFlow, ChunkHeader, ChunkedSend,
+    FlowAssembler, FlowReport, FlowStatus, CHUNK_MAGIC,
 };
 pub use fabric::{Endpoint, Fabric, LinkKind, Message, MessageKind, NetError, Waker};
 pub use fault::{FaultPlan, FaultRng, LinkFaults};

@@ -206,6 +206,7 @@ fn retransmits_outlive_the_producers_payload_reference() {
                 report.flow_id,
                 chunk_bytes,
                 &missing,
+                None,
             )
             .expect("retransmit");
     }

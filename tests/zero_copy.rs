@@ -59,6 +59,36 @@ fn steady_state_delivery_copies_zero_payload_bytes() {
     );
 }
 
+/// Arena amortization: once retention prunes an old version's staging
+/// copies (and its flows are terminal), the serialize buffer is recycled
+/// for a later save instead of reallocated. With `keep_versions = 1` the
+/// steady state is two buffers ping-ponging: only the first two saves
+/// allocate, every later save reuses a reclaimed arena slot.
+#[test]
+fn arena_recycles_serialize_buffers_once_versions_prune() {
+    let mut config = ViperConfig::default()
+        .with_strategy(Route::GpuToGpu, CaptureMode::Sync)
+        .with_reliable();
+    config.chunk_bytes = 64 * 1024 * 1024;
+    config.flush_to_pfs = false;
+    config.keep_versions = 1;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    for iter in 1..=4 {
+        producer.save_weights(&ckpt(iter, 50_000)).unwrap();
+    }
+    let model = consumer.load_weights(Duration::from_secs(30)).unwrap();
+    assert_eq!(model.iteration, 4);
+    assert_eq!(producer.bytes_copied(), 0);
+    assert_eq!(
+        producer.payload_allocs(),
+        2,
+        "saves 3 and 4 must recycle the buffers pruned after saves 1 and 2"
+    );
+}
+
 /// The same guarantee on the unreliable chunked path: multi-chunk flows
 /// frame zero-copy subslices on the producer side (producer counter stays
 /// zero); only the consumer's gather buffer copies, and it copies each
