@@ -17,8 +17,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 use viper_formats::{
-    crc32, crc32_bytewise, crc32_combine, Checkpoint, CheckpointFormat, EncodeArena, Payload,
-    StreamingEncoder, ViperFormat,
+    active_kernel, crc32, crc32_bytewise, crc32_combine, crc32_with, delta, wire, Checkpoint,
+    CheckpointFormat, Crc32Kernel, EncodeArena, Payload, PayloadKind, StreamingEncoder,
+    ViperFormat,
 };
 use viper_net::{chunk_sizes, ChunkHeader, WireBuf};
 use viper_tensor::Tensor;
@@ -27,7 +28,7 @@ const CHUNK_BYTES: u64 = 4 * 1024 * 1024;
 
 /// Label this era's history entry is recorded under (replaced in place on
 /// re-runs, so the array tracks eras, not invocations).
-const HISTORY_LABEL: &str = "pr9-fused-single-pass";
+const HISTORY_LABEL: &str = "pr10-hw-crc-streaming-diff";
 
 fn sample(elems: usize) -> Checkpoint {
     Checkpoint::new(
@@ -42,6 +43,57 @@ fn sample(elems: usize) -> Checkpoint {
             })
             .collect(),
     )
+}
+
+/// How many tensors the diff benchmark's fine-tuning-shaped checkpoint
+/// carries (1% of them change between iterations).
+const DIFF_TENSORS: usize = 200;
+
+/// Base/new pair for the streaming-diff benchmark: `DIFF_TENSORS` tensors
+/// totalling `elems` f32s, with 1% of the tensors changed in `new` — the
+/// fine-tuning shape where a delta is tiny but the compare is O(N).
+fn diff_pair(elems: usize) -> (Checkpoint, Checkpoint, usize) {
+    let per = elems / DIFF_TENSORS;
+    let tensors: Vec<(String, Tensor)> = (0..DIFF_TENSORS)
+        .map(|i| {
+            (
+                format!("block{:03}/kernel", i),
+                Tensor::full(&[per], i as f32 * 0.25),
+            )
+        })
+        .collect();
+    let base = Checkpoint::new("bench", 1, tensors);
+    let mut new = base.clone();
+    new.iteration = 2;
+    let changed = (DIFF_TENSORS / 100).max(1);
+    for (_, t) in new.tensors.iter_mut().take(changed) {
+        let mut data = t.as_slice().to_vec();
+        for x in data.iter_mut() {
+            *x += 1.0;
+        }
+        *t = Tensor::from_vec(data, t.dims()).unwrap();
+    }
+    (base, new, changed)
+}
+
+/// The materializing diff path: build a `DeltaCheckpoint` (cloning every
+/// changed tensor), then stream-encode it behind the VPWP envelope.
+fn full_diff_path(base: &Checkpoint, new: &Checkpoint) -> usize {
+    let d = delta::diff(base, new).unwrap();
+    let mut enc = StreamingEncoder::new(CHUNK_BYTES);
+    enc.put_bytes(&wire::envelope(PayloadKind::Delta));
+    d.encode_into(&mut enc);
+    enc.finish().payload.len()
+}
+
+/// The streaming diff path as the codec now runs it: block-wise byte
+/// compare flags changed tensors, `DiffSink` streams just those regions
+/// into the framed wire form — no intermediate `DeltaCheckpoint`.
+fn stream_diff_path(base: &Checkpoint, new: &Checkpoint) -> usize {
+    let mut enc = StreamingEncoder::new(CHUNK_BYTES);
+    enc.put_bytes(&wire::envelope(PayloadKind::Delta));
+    delta::diff_into(base, new, &mut enc).unwrap();
+    enc.finish().payload.len()
 }
 
 /// Median of `reps` timed runs of `f`, in seconds.
@@ -242,9 +294,19 @@ fn main() {
     );
 
     let crc_bytewise = time(reps, || crc32_bytewise(&payload));
-    let crc_slice16 = time(reps, || crc32(&payload));
-    // Split-and-combine: per-block slice-by-16 CRCs merged algebraically —
-    // the path viper-net's chunk CRC merge and the CrcPool ride.
+    // Pin the kernels explicitly: `crc32` itself now dispatches, so the
+    // table-kernel baseline must name slice-by-16 rather than trust the
+    // dispatcher (which would pick the hardware kernel where available).
+    let crc_slice16 = time(reps, || crc32_with(Crc32Kernel::Slice16, &payload));
+    let hw_available = Crc32Kernel::Clmul.available();
+    let crc_hw = if hw_available {
+        time(reps, || crc32_with(Crc32Kernel::Clmul, &payload))
+    } else {
+        crc_slice16
+    };
+    // Split-and-combine: per-block CRCs (under the dispatched kernel, as
+    // production runs it) merged algebraically — the path viper-net's
+    // chunk CRC merge and the CrcPool ride.
     let crc_combine = time(reps, || {
         const BLOCK: usize = 256 * 1024;
         let mut acc = 0u32;
@@ -259,14 +321,49 @@ fn main() {
     let legacy = time(reps, || legacy_path(format, &ckpt));
     let fused = time(reps, || fused_path(&ckpt, &mut arena, bytes));
 
+    // Streaming diff at 1% changed tensors: identity first, untimed.
+    let (diff_base, diff_new, diff_changed) = diff_pair(elems);
+    {
+        let mut full = StreamingEncoder::new(CHUNK_BYTES);
+        full.put_bytes(&wire::envelope(PayloadKind::Delta));
+        delta::diff(&diff_base, &diff_new)
+            .unwrap()
+            .encode_into(&mut full);
+        let mut stream = StreamingEncoder::new(CHUNK_BYTES);
+        stream.put_bytes(&wire::envelope(PayloadKind::Delta));
+        delta::diff_into(&diff_base, &diff_new, &mut stream).unwrap();
+        let (full, stream) = (full.finish(), stream.finish());
+        assert_eq!(
+            full.payload.as_slice(),
+            stream.payload.as_slice(),
+            "streaming diff wire bytes must match the materializing oracle"
+        );
+        assert_eq!(full.chunk_crcs, stream.chunk_crcs);
+    }
+    let diff_full = time(reps, || full_diff_path(&diff_base, &diff_new));
+    let diff_stream = time(reps, || stream_diff_path(&diff_base, &diff_new));
+    // Context row: what shipping this update costs with no delta base at
+    // all — the fused full-checkpoint encode the codec falls back to.
+    let full_update = time(reps, || {
+        let mut enc = StreamingEncoder::new(CHUNK_BYTES);
+        enc.put_bytes(&wire::envelope(PayloadKind::Full));
+        ViperFormat.encode_into(&diff_new, &mut enc);
+        enc.finish().payload.len()
+    });
+
     let (slice16_gib_s, combine_gib_s) = (gib / crc_slice16, gib / crc_combine);
+    let hw_gib_s = if hw_available { gib / crc_hw } else { 0.0 };
     let (legacy_ms, fused_ms) = (legacy * 1e3, fused * 1e3);
+    let (diff_full_ms, diff_stream_ms) = (diff_full * 1e3, diff_stream * 1e3);
     let entry = format!(
         concat!(
             "{{ \"label\": \"{label}\", ",
             "\"legacy_ms\": {lm:.3}, \"fused_ms\": {fm:.3}, ",
             "\"speedup\": {sp:.2}, ",
-            "\"slice16_gib_s\": {s16:.3}, \"combine_gib_s\": {cmb:.3} }}"
+            "\"slice16_gib_s\": {s16:.3}, \"combine_gib_s\": {cmb:.3}, ",
+            "\"hw_gib_s\": {hw:.3}, \"kernel\": \"{kernel}\", ",
+            "\"diff_full_ms\": {dfm:.3}, \"diff_stream_ms\": {dsm:.3}, ",
+            "\"diff_speedup\": {dsp:.2}, \"diff_vs_full_update\": {dusp:.2} }}"
         ),
         label = HISTORY_LABEL,
         lm = legacy_ms,
@@ -274,6 +371,12 @@ fn main() {
         sp = legacy / fused,
         s16 = slice16_gib_s,
         cmb = combine_gib_s,
+        hw = hw_gib_s,
+        kernel = active_kernel().label(),
+        dfm = diff_full_ms,
+        dsm = diff_stream_ms,
+        dsp = diff_full / diff_stream,
+        dusp = full_update / diff_stream,
     );
 
     // Cargo runs benches with the package dir as cwd; anchor the artifact
@@ -309,8 +412,12 @@ fn main() {
             "  \"reps\": {reps},\n",
             "  \"smoke\": {smoke},\n",
             "  \"crc\": {{\n",
+            "    \"kernel\": \"{kernel}\",\n",
+            "    \"hw_available\": {hw_avail},\n",
             "    \"bytewise_gib_s\": {crc_b:.3},\n",
             "    \"slice16_gib_s\": {crc_s16:.3},\n",
+            "    \"hw_gib_s\": {crc_hw:.3},\n",
+            "    \"hw_over_slice16\": {hw_sp:.2},\n",
             "    \"combine_gib_s\": {crc_c:.3},\n",
             "    \"speedup\": {crc_sp:.2}\n",
             "  }},\n",
@@ -319,6 +426,15 @@ fn main() {
             "    \"fused_ms\": {fm:.3},\n",
             "    \"speedup\": {sp:.2}\n",
             "  }},\n",
+            "  \"diff_stream\": {{\n",
+            "    \"tensors\": {dt},\n",
+            "    \"changed_tensors\": {dc},\n",
+            "    \"full_update_ms\": {dum:.3},\n",
+            "    \"full_ms\": {dfm:.3},\n",
+            "    \"stream_ms\": {dsm:.3},\n",
+            "    \"speedup\": {dsp:.2},\n",
+            "    \"speedup_vs_full_update\": {dusp:.2}\n",
+            "  }},\n",
             "  \"history\": [\n{history}\n  ]\n",
             "}}\n"
         ),
@@ -326,13 +442,28 @@ fn main() {
         chunk = CHUNK_BYTES,
         reps = reps,
         smoke = smoke,
+        kernel = active_kernel().label(),
+        hw_avail = hw_available,
         crc_b = gib / crc_bytewise,
         crc_s16 = slice16_gib_s,
+        crc_hw = hw_gib_s,
+        hw_sp = if hw_available {
+            crc_slice16 / crc_hw
+        } else {
+            1.0
+        },
         crc_c = combine_gib_s,
         crc_sp = crc_bytewise / crc_slice16,
         lm = legacy_ms,
         fm = fused_ms,
         sp = legacy / fused,
+        dt = DIFF_TENSORS,
+        dc = diff_changed,
+        dum = full_update * 1e3,
+        dfm = diff_full_ms,
+        dsm = diff_stream_ms,
+        dsp = diff_full / diff_stream,
+        dusp = full_update / diff_stream,
         history = history_json,
     );
     std::fs::write(&out, &json).expect("write BENCH_hotpath.json");
@@ -341,11 +472,27 @@ fn main() {
         "hotpath: {:.2} GiB checkpoint  serialize+crc+frame {:.1} ms (legacy) -> {:.1} ms (fused)  ({:.2}x)",
         gib, legacy_ms, fused_ms, legacy / fused
     );
-    // CI regression gate: the fused pass must never fall more than 10%
-    // behind the legacy three-pass path it replaced.
+    println!(
+        "crc kernel: {} (slice16 {:.2} GiB/s, hw {:.2} GiB/s)  diff 1%: {:.2} ms (full) -> {:.2} ms (stream)  ({:.2}x)",
+        active_kernel().label(),
+        slice16_gib_s,
+        hw_gib_s,
+        diff_full_ms,
+        diff_stream_ms,
+        diff_full / diff_stream
+    );
+    // CI regression gates: the fused pass must never fall more than 10%
+    // behind the legacy three-pass path it replaced, and the streaming
+    // diff must never fall behind the materializing diff it replaced.
     if enforce && fused_ms > legacy_ms * 1.10 {
         eprintln!(
             "REGRESSION: fused path {fused_ms:.2} ms is more than 10% behind legacy {legacy_ms:.2} ms"
+        );
+        std::process::exit(1);
+    }
+    if enforce && diff_stream_ms > diff_full_ms * 1.10 {
+        eprintln!(
+            "REGRESSION: streaming diff {diff_stream_ms:.2} ms is more than 10% behind materializing diff {diff_full_ms:.2} ms"
         );
         std::process::exit(1);
     }

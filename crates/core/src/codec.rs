@@ -9,14 +9,16 @@
 //! framed payload over the fabric — chunking, CRC, fault injection,
 //! NACK/retransmit, and the durable PFS fallback all compose with it. The
 //! reliable path is event-driven: the save thread submits one
-//! [`DeliveryJob`] to the reactor and blocks only on its reply, while the
-//! reactor's scheduler drives every flow's [`FlowMachine`] from feedback
-//! mail and virtual-clock ack timers.
+//! [`DeliveryJob`] to the reactor (blocking on its reply only in
+//! non-coalescing mode), while the reactor's scheduler drives every flow's
+//! [`FlowMachine`] from feedback mail and virtual-clock ack timers.
 //!
 //! ## Backpressure and coalescing
 //!
-//! With [`ViperConfig::coalesce_updates`] the save path no longer blocks
-//! for terminal delivery: the job reply is sent at *admission*, and the
+//! With [`ViperConfig::coalesce_updates`] the save path does not block at
+//! all: admission is unconditional (launch or queue) and its outcome
+//! carries nothing the submitter does not already know, so `save` returns
+//! the moment the job is posted — wait-free capture-to-return. The
 //! task may drive several updates concurrently. Each `(consumer, model)`
 //! pair is a **lane**: while a lane has a flow in flight, newer updates
 //! for it queue in a bounded [`CoalesceQueue`] that collapses to the
@@ -441,16 +443,23 @@ fn encode_for(
         {
             let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
                 // The delta streams straight into its framed wire form:
-                // envelope, diff payload, and chunk CRCs in one pass, with
-                // no intermediate encode buffer.
-                let framed = delta::diff(&base, ckpt).ok().map(|d| {
-                    counters.payload_allocs.inc();
+                // envelope, diff payload, and chunk CRCs in one pass. The
+                // diff itself is streaming too (`diff_into`): changed
+                // tensors encode directly off the compare pass, so no
+                // DeltaCheckpoint, tensor clone, or intermediate buffer
+                // ever materializes on the send path.
+                let framed = {
                     let mut enc = StreamingEncoder::new(chunk_bytes);
                     enc.put_bytes(&wire::envelope(PayloadKind::Delta));
-                    d.encode_into(&mut enc);
-                    let encoded = enc.finish();
-                    (encoded.payload, encoded.chunk_crcs)
-                });
+                    match delta::diff_into(&base, ckpt, &mut enc) {
+                        Ok(_) => {
+                            counters.payload_allocs.inc();
+                            let encoded = enc.finish();
+                            Some((encoded.payload, encoded.chunk_crcs))
+                        }
+                        Err(_) => None,
+                    }
+                };
                 if framed.is_some() {
                     // The diff is one read pass over the full model at the
                     // route's staging bandwidth, charged causally from the
@@ -540,16 +549,21 @@ fn encode_group(
             .filter(|b| b.iteration < ckpt.iteration)
         {
             let encoded = codec.delta_cached(&record.name, ckpt.iteration, base.iteration, || {
-                // Same fused framing as the per-consumer path: diff bytes
-                // land framed with their chunk CRCs in one pass.
-                let framed = delta::diff(&base, ckpt).ok().map(|d| {
-                    counters.payload_allocs.inc();
+                // Same fused framing as the per-consumer path: the
+                // streaming diff writes envelope, changed tensors, and
+                // chunk CRCs in one pass with no materialized delta.
+                let framed = {
                     let mut enc = StreamingEncoder::new(chunk_bytes);
                     enc.put_bytes(&wire::envelope(PayloadKind::Delta));
-                    d.encode_into(&mut enc);
-                    let encoded = enc.finish();
-                    (encoded.payload, encoded.chunk_crcs)
-                });
+                    match delta::diff_into(&base, ckpt, &mut enc) {
+                        Ok(_) => {
+                            counters.payload_allocs.inc();
+                            let encoded = enc.finish();
+                            Some((encoded.payload, encoded.chunk_crcs))
+                        }
+                        Err(_) => None,
+                    }
+                };
                 if framed.is_some() {
                     let t0 = *frontier;
                     *frontier = charge_at(
@@ -805,6 +819,8 @@ pub(crate) fn deliver(
                 }
             }
             if !job_consumers.is_empty() {
+                let admitted = job_consumers.len();
+                let coalesce = config.coalesce_updates;
                 let (reply_tx, reply_rx) = unbounded();
                 let capture = pipeline_capture
                     .then(|| chunk_capture_model(&config.profile, route, record.ntensors));
@@ -825,10 +841,23 @@ pub(crate) fn deliver(
                         reply: reply_tx,
                     }),
                 );
-                let done = reply_rx.recv().expect("delivery reactor replies");
-                sent = done.delivered;
-                fall_back = done.fall_back;
-                frontier = frontier.max(done.frontier);
+                if coalesce {
+                    // Wait-free save path: under coalescing every consumer
+                    // is admitted unconditionally (launched or queued) and
+                    // the admission reply carries nothing the submitter
+                    // does not already know, so blocking on it would only
+                    // add a reactor round-trip to capture-to-return
+                    // latency. Terminal outcomes surface through counters
+                    // and `flush_deliveries`, exactly as before.
+                    sent = admitted;
+                } else {
+                    // Blocking mode: the reply arrives once every flow is
+                    // terminal, preserving one fan-out at a time.
+                    let done = reply_rx.recv().expect("delivery reactor replies");
+                    sent = done.delivered;
+                    fall_back = done.fall_back;
+                    frontier = frontier.max(done.frontier);
+                }
             }
         } else {
             let mut inline_capture = pipeline_capture;
@@ -1849,7 +1878,9 @@ impl ReactorTask for DeliveryTask {
         let seq = self.next_seq;
         self.next_seq += 1;
         let admitted = job.consumers.len();
-        // Under coalescing the save path unblocks at admission; terminal
+        // Under coalescing the save path already returned at submit (it
+        // never waits on this channel — the receiver is gone by now, so
+        // the send is a best-effort no-op kept for symmetry); terminal
         // outcomes surface through counters and the deferred fallback.
         let reply = if self.coalesce {
             let _ = job.reply.send(DeliveryDone {

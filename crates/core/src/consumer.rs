@@ -64,8 +64,13 @@ struct ConsumerState {
     nacks_sent: Counter,
     /// Stale partial flows abandoned (buffer evicted) after the NACK budget.
     flows_abandoned: Counter,
-    /// Delta payloads reconstructed and installed via `delta::apply`.
+    /// Delta payloads reconstructed and installed via `delta::apply_owned`.
     deltas_applied: Counter,
+    /// Tensors *cloned* while reconstructing deltas. The owned apply moves
+    /// changed tensors out of the decoded delta, so only unchanged tensors
+    /// (cloned from the live base) count here — the borrowed apply used to
+    /// copy every tensor of every reconstruction.
+    apply_tensor_copies: Counter,
     /// `NeedFull` control replies sent (delta base missing or stale).
     fulls_requested: Counter,
     /// Payload bytes memcpy'd during flow reassembly. Zero for single-chunk
@@ -114,6 +119,7 @@ impl Consumer {
             nacks_sent: telemetry.counter(&format!("consumer.{node}.nacks_sent")),
             flows_abandoned: telemetry.counter(&format!("consumer.{node}.flows_abandoned")),
             deltas_applied: telemetry.counter(&format!("consumer.{node}.deltas_applied")),
+            apply_tensor_copies: telemetry.counter(&format!("consumer.{node}.apply_tensor_copies")),
             fulls_requested: telemetry.counter(&format!("consumer.{node}.fulls_requested")),
             bytes_copied: telemetry.counter(&format!("consumer.{node}.bytes_copied")),
             reap_scans: telemetry.counter(&format!("consumer.{node}.reap_scans")),
@@ -246,6 +252,15 @@ impl Consumer {
     /// Delta payloads reconstructed against the served base and installed.
     pub fn deltas_applied(&self) -> u64 {
         self.state.deltas_applied.get()
+    }
+
+    /// Tensors cloned across all delta reconstructions. Changed tensors
+    /// are moved out of the decoded delta (never cloned), so this counts
+    /// only unchanged tensors cloned from the base — strictly below
+    /// `deltas_applied * ntensors`, which is what the borrowed
+    /// `delta::apply` used to copy.
+    pub fn apply_tensor_copies(&self) -> u64 {
+        self.state.apply_tensor_copies.get()
     }
 
     /// `NeedFull` replies sent because a delta's base was missing or stale
@@ -634,10 +649,14 @@ impl ConsumerTask {
                 if base.iteration != d.base_iteration {
                     return true;
                 }
-                let Ok(ckpt) = delta::apply(&base, &d) else {
+                // The decoded delta is owned, so reconstruction *moves*
+                // changed tensors into the new checkpoint; only unchanged
+                // tensors are cloned from the base.
+                let Ok((ckpt, stats)) = delta::apply_owned(&base, d) else {
                     return true;
                 };
                 state.deltas_applied.inc();
+                state.apply_tensor_copies.add(stats.tensors_copied as u64);
                 ckpt
             }
         };

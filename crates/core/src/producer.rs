@@ -64,6 +64,11 @@ enum Job {
         record: ModelRecord,
         payload: Payload,
     },
+    /// Drain barrier: the worker replies once every job enqueued before it
+    /// has fully run (spans closed, deliveries submitted). Lets
+    /// `flush_deliveries` synchronize with the async-capture thread, not
+    /// just the reactor.
+    Barrier(Sender<()>),
 }
 
 /// A producer attached to a Viper deployment.
@@ -218,6 +223,12 @@ impl Producer {
                                     );
                                 }
                             }
+                            Job::Barrier(reply) => {
+                                // All jobs enqueued before the barrier have
+                                // run to completion on this thread (their
+                                // spans dropped at the end of their arm).
+                                let _ = reply.send(());
+                            }
                         }
                     }
                 })
@@ -291,6 +302,24 @@ impl Producer {
         self.counters.payload_allocs.get()
     }
 
+    /// How many saves reused a recycled arena buffer instead of
+    /// allocating.
+    pub fn arena_reclaimed(&self) -> u64 {
+        self.arena.lock().reclaimed()
+    }
+
+    /// How many arena reclaims released a high-water allocation after a
+    /// sustained run of saves that underused their buffers.
+    pub fn arena_decays(&self) -> u64 {
+        self.arena.lock().decays()
+    }
+
+    /// Total backing capacity currently parked in this producer's encode
+    /// arena — the memory the buffer-reuse path is holding onto.
+    pub fn arena_retained_capacity(&self) -> usize {
+        self.arena.lock().retained_capacity()
+    }
+
     /// Feedback frames dropped by the delivery reactor because they named
     /// an unknown/finished flow or a superseded retransmission generation.
     pub fn stale_feedback(&self) -> u64 {
@@ -323,10 +352,20 @@ impl Producer {
         self.counters.queue_depth.get()
     }
 
-    /// Block until every admitted delivery reached a terminal state
-    /// (ACKed, superseded, or degraded to the durable fallback). A no-op
-    /// without coalescing — the save path already blocks per update.
+    /// Block until all background work this producer started is finished:
+    /// the async-capture worker has run every queued job (staging spans
+    /// closed, deliveries submitted, PFS flushes written) and every
+    /// admitted delivery reached a terminal state (ACKed, superseded, or
+    /// degraded to the durable fallback).
     pub fn flush_deliveries(&self) {
+        // Worker first: its queue is the source of delivery submissions,
+        // so the reactor barrier below sees every job's flows.
+        if let Some(tx) = &self.worker_tx {
+            let (done_tx, done_rx) = unbounded();
+            if tx.send(Job::Barrier(done_tx)).is_ok() {
+                let _ = done_rx.recv();
+            }
+        }
         let (tx, rx) = unbounded();
         self.viper
             .shared

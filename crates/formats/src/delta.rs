@@ -22,6 +22,7 @@
 //! ```
 
 use crate::checkpoint::{bytes_to_f32s, put_f32s, put_string, put_u32, put_u64, Reader};
+use crate::encoder::StreamMark;
 use crate::{crc32, Checkpoint, FormatError, StreamingEncoder};
 use viper_tensor::Tensor;
 
@@ -227,6 +228,193 @@ pub fn diff(base: &Checkpoint, new: &Checkpoint) -> Result<DeltaCheckpoint, Form
     })
 }
 
+/// A streaming writer for the VIPD delta wire form: emits the exact bytes
+/// of [`DeltaCheckpoint::encode`] into a [`StreamingEncoder`] one changed
+/// tensor at a time, without ever materializing a `DeltaCheckpoint` or an
+/// intermediate byte buffer. The caller supplies the changed/unchanged
+/// counts up front (the wire layout stores them before the payloads), then
+/// feeds each changed tensor with [`changed`](Self::changed) and closes
+/// with [`finish`](Self::finish), which writes the unchanged-name trailer
+/// and derives the CRC footer from the encoder's running checksum.
+///
+/// [`diff_into`] drives this for the producer's send path; the type is
+/// public so other emitters (e.g. synthetic-delta generators in benches)
+/// can target the same wire form.
+pub struct DiffSink<'a> {
+    enc: &'a mut StreamingEncoder,
+    mark: StreamMark,
+    nchanged: u32,
+    emitted: u32,
+}
+
+impl<'a> DiffSink<'a> {
+    /// Open the delta stream: writes the VIPD header through the changed
+    /// count. `nchanged` changed tensors must follow.
+    pub fn begin(
+        enc: &'a mut StreamingEncoder,
+        model_name: &str,
+        base_iteration: u64,
+        iteration: u64,
+        nchanged: u32,
+    ) -> Self {
+        let mark = enc.mark();
+        enc.put_bytes(MAGIC);
+        enc.put_u32(VERSION);
+        enc.put_string(model_name);
+        enc.put_u64(base_iteration);
+        enc.put_u64(iteration);
+        enc.put_u32(nchanged);
+        DiffSink {
+            enc,
+            mark,
+            nchanged,
+            emitted: 0,
+        }
+    }
+
+    /// Emit one changed tensor (name, shape, payload), checksummed as it
+    /// lands.
+    pub fn changed(&mut self, name: &str, tensor: &Tensor) {
+        self.emitted += 1;
+        self.enc.put_string(name);
+        self.enc.put_u32(tensor.dims().len() as u32);
+        for &d in tensor.dims() {
+            self.enc.put_u64(d as u64);
+        }
+        self.enc.put_f32s(tensor.as_slice());
+        self.enc.absorb();
+    }
+
+    /// Close the stream: writes the unchanged-name trailer and the CRC
+    /// footer. Panics if the number of [`changed`](Self::changed) calls
+    /// does not match the `nchanged` promised to [`begin`](Self::begin) —
+    /// the count is already on the wire, so a mismatch is an encoding bug,
+    /// not a recoverable condition.
+    pub fn finish<'n>(self, unchanged: impl ExactSizeIterator<Item = &'n str>) {
+        assert_eq!(
+            self.emitted, self.nchanged,
+            "DiffSink: promised {} changed tensors, emitted {}",
+            self.nchanged, self.emitted
+        );
+        self.enc.put_u32(unchanged.len() as u32);
+        for name in unchanged {
+            self.enc.put_string(name);
+        }
+        let crc = self.enc.crc_since(self.mark);
+        self.enc.put_u32(crc);
+    }
+}
+
+/// What [`diff_into`] found, for telemetry and size accounting — the
+/// streaming path never materializes a [`DeltaCheckpoint`] to ask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Tensors whose payload changed (encoded into the stream).
+    pub nchanged: usize,
+    /// Tensors identical to the base (only their names are encoded).
+    pub nunchanged: usize,
+    /// Payload bytes carried by the changed tensors.
+    pub changed_bytes: u64,
+}
+
+/// Streaming twin of [`diff`] ∘ [`DeltaCheckpoint::encode_into`]: computes
+/// the delta from `base` to `new` and writes its wire form directly into
+/// `enc`, byte-identical to encoding the materialized delta, without
+/// cloning a single tensor or building an intermediate buffer.
+///
+/// The compare pass is still O(N) over both checkpoints — deciding that a
+/// tensor is unchanged requires reading it — but it runs as block-wise
+/// byte comparison ([`Tensor::as_bytes`], `memcmp`-class) instead of
+/// per-lane float compares, and everything after it is O(ε): only changed
+/// payloads are encoded, and the encoder checksums them in the same pass.
+/// On an ε-sized delta of an N-byte checkpoint the send path therefore
+/// does O(N) reads but O(ε) allocation and encode work.
+pub fn diff_into(
+    base: &Checkpoint,
+    new: &Checkpoint,
+    enc: &mut StreamingEncoder,
+) -> Result<DiffStats, FormatError> {
+    let flags = diff_flags(base, new)?;
+    let mut stats = DiffStats {
+        nchanged: 0,
+        nunchanged: 0,
+        changed_bytes: 0,
+    };
+    for (flag, (_, tensor)) in flags.iter().zip(&new.tensors) {
+        if *flag == 1 {
+            stats.nchanged += 1;
+            stats.changed_bytes += tensor.byte_len() as u64;
+        } else {
+            stats.nunchanged += 1;
+        }
+    }
+    let mut sink = DiffSink::begin(
+        enc,
+        &new.model_name,
+        base.iteration,
+        new.iteration,
+        stats.nchanged as u32,
+    );
+    for (flag, (name, tensor)) in flags.iter().zip(&new.tensors) {
+        if *flag == 1 {
+            sink.changed(name, tensor);
+        }
+    }
+    sink.finish(
+        flags
+            .iter()
+            .zip(&new.tensors)
+            .filter(|(f, _)| **f == 2)
+            .map(|(_, (name, _))| name.as_str())
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
+    Ok(stats)
+}
+
+/// Shared compare pass: per-tensor change flags for `new` against `base`
+/// (1 = changed, 2 = unchanged), or an error if the tensor sets differ.
+/// The comparison runs on raw byte views in parallel blocks — bit-pattern
+/// equality of f32 data *is* byte equality, so `memcmp`-class compares
+/// give the same answer as per-lane `to_bits` checks at a fraction of the
+/// cost, with the NaN/negative-zero semantics unchanged.
+fn diff_flags(base: &Checkpoint, new: &Checkpoint) -> Result<Vec<u8>, FormatError> {
+    if base.model_name != new.model_name {
+        return Err(FormatError::Corrupt(format!(
+            "cannot diff {} against {}",
+            new.model_name, base.model_name
+        )));
+    }
+    if base.ntensors() != new.ntensors() {
+        return Err(FormatError::Corrupt(format!(
+            "tensor count changed: {} -> {}",
+            base.ntensors(),
+            new.ntensors()
+        )));
+    }
+    let base_by_name: std::collections::HashMap<&str, &Tensor> =
+        base.tensors.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    let mut flags = vec![0u8; new.tensors.len()];
+    {
+        use rayon::prelude::*;
+        flags.par_iter_mut().enumerate().for_each(|(i, flag)| {
+            let (name, tensor) = &new.tensors[i];
+            *flag = match base_by_name.get(name.as_str()) {
+                None => 0,
+                Some(bt) if bt.dims() == tensor.dims() && bt.as_bytes() == tensor.as_bytes() => 2,
+                Some(_) => 1,
+            };
+        });
+    }
+    if let Some(pos) = flags.iter().position(|&f| f == 0) {
+        return Err(FormatError::Corrupt(format!(
+            "tensor {} absent from base",
+            new.tensors[pos].0
+        )));
+    }
+    Ok(flags)
+}
+
 /// Bitwise tensor equality. Reconstruction must be *byte*-identical, so the
 /// comparison is on f32 bit patterns, not `PartialEq`: `0.0 == -0.0` would
 /// hide a sign-bit change, and `NaN != NaN` would mark every NaN-bearing
@@ -275,6 +463,72 @@ pub fn apply(base: &Checkpoint, delta: &DeltaCheckpoint) -> Result<Checkpoint, F
         delta.model_name.clone(),
         delta.iteration,
         tensors,
+    ))
+}
+
+/// Allocation accounting from [`apply_owned`]: how many tensors were moved
+/// into the reconstruction (zero new allocations) versus copied out of the
+/// base. The borrowed [`apply`] copies *every* tensor
+/// (`moved + copied` of them); the drop to `copied` is the win this
+/// counter proves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Changed tensors moved out of the delta — allocation reused as-is.
+    pub tensors_moved: usize,
+    /// Unchanged tensors cloned from the base (the base stays live behind
+    /// an `Arc` on the consumer, so its allocations cannot be stolen).
+    pub tensors_copied: usize,
+}
+
+/// Reconstruct the new checkpoint from `base` and an *owned* `delta`.
+///
+/// The consumer decodes each delta from the wire and owns it, so the
+/// changed tensors' allocations can move straight into the reconstructed
+/// checkpoint instead of being cloned the way [`apply`] must — for a
+/// mostly-changed delta that eliminates nearly all reconstruction copies
+/// (and for the frozen-backbone case it costs nothing: unchanged tensors
+/// were never in the delta). Validation and ordering semantics are
+/// identical to [`apply`]; the extra [`ApplyStats`] reports the move/copy
+/// split.
+pub fn apply_owned(
+    base: &Checkpoint,
+    delta: DeltaCheckpoint,
+) -> Result<(Checkpoint, ApplyStats), FormatError> {
+    if base.model_name != delta.model_name {
+        return Err(FormatError::Corrupt(format!(
+            "delta for {} applied to {}",
+            delta.model_name, base.model_name
+        )));
+    }
+    if base.iteration != delta.base_iteration {
+        return Err(FormatError::Corrupt(format!(
+            "delta expects base iteration {}, got {}",
+            delta.base_iteration, base.iteration
+        )));
+    }
+    let mut changed: std::collections::HashMap<String, Tensor> =
+        delta.changed.into_iter().collect();
+    let unchanged: std::collections::HashSet<&str> =
+        delta.unchanged.iter().map(String::as_str).collect();
+    let mut stats = ApplyStats::default();
+    let mut tensors = Vec::with_capacity(changed.len() + unchanged.len());
+    // Preserve the base's tensor order (layer order matters to consumers).
+    for (name, base_tensor) in &base.tensors {
+        if let Some(t) = changed.remove(name.as_str()) {
+            stats.tensors_moved += 1;
+            tensors.push((name.clone(), t));
+        } else if unchanged.contains(name.as_str()) {
+            stats.tensors_copied += 1;
+            tensors.push((name.clone(), base_tensor.clone()));
+        } else {
+            return Err(FormatError::Corrupt(format!(
+                "tensor {name} mentioned by neither side of the delta"
+            )));
+        }
+    }
+    Ok((
+        Checkpoint::new(delta.model_name, delta.iteration, tensors),
+        stats,
     ))
 }
 
@@ -453,6 +707,102 @@ mod tests {
         // Reconstruction preserves the *base's* tensor order.
         let names: Vec<&str> = rebuilt.tensors.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["frozen/kernel", "head/kernel", "head/bias"]);
+    }
+
+    /// Streaming diff must equal envelope-free materialized encode for any
+    /// chunk geometry.
+    #[test]
+    fn diff_into_matches_materialized_encode() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let legacy = d.encode();
+        for chunk_bytes in [0u64, 16, 64, 1 << 20] {
+            let mut enc = StreamingEncoder::new(chunk_bytes);
+            let stats = diff_into(&base(), &fine_tuned(), &mut enc).unwrap();
+            assert_eq!(
+                enc.finish().payload.as_slice(),
+                &legacy[..],
+                "chunk_bytes {chunk_bytes}"
+            );
+            assert_eq!(stats.nchanged, d.changed.len());
+            assert_eq!(stats.nunchanged, d.unchanged.len());
+            assert_eq!(stats.changed_bytes, d.payload_bytes());
+        }
+    }
+
+    #[test]
+    fn diff_into_empty_delta_matches() {
+        let mut same = base();
+        same.iteration = 101;
+        let legacy = diff(&base(), &same).unwrap().encode();
+        let mut enc = StreamingEncoder::new(64);
+        let stats = diff_into(&base(), &same, &mut enc).unwrap();
+        assert_eq!(enc.finish().payload.as_slice(), &legacy[..]);
+        assert_eq!(stats.nchanged, 0);
+        assert_eq!(stats.changed_bytes, 0);
+    }
+
+    #[test]
+    fn diff_into_byte_compare_agrees_on_nan_and_sign_cases() {
+        // The memcmp-class compare must reproduce the bit-pattern
+        // semantics: -0.0 is a change, identical NaNs are not.
+        let mut new = base();
+        new.iteration = 101;
+        new.tensors[2].1 = Tensor::full(&[10], -0.0);
+        let mut enc = StreamingEncoder::new(0);
+        let stats = diff_into(&base(), &new, &mut enc).unwrap();
+        assert_eq!(stats.nchanged, 1);
+        assert_eq!(
+            enc.finish().payload.as_slice(),
+            &diff(&base(), &new).unwrap().encode()[..]
+        );
+
+        let mut old = base();
+        old.tensors[0].1 = Tensor::full(&[50], f32::NAN);
+        let mut same = old.clone();
+        same.iteration = 101;
+        let mut enc = StreamingEncoder::new(0);
+        assert_eq!(diff_into(&old, &same, &mut enc).unwrap().nchanged, 0);
+    }
+
+    #[test]
+    fn diff_into_rejects_what_diff_rejects() {
+        let mut renamed = fine_tuned();
+        renamed.model_name = "other".into();
+        let mut enc = StreamingEncoder::new(0);
+        assert!(diff_into(&base(), &renamed, &mut enc).is_err());
+        let mut swapped = fine_tuned();
+        swapped.tensors[0].0 = "unknown/kernel".into();
+        let mut enc = StreamingEncoder::new(0);
+        assert!(diff_into(&base(), &swapped, &mut enc).is_err());
+    }
+
+    #[test]
+    fn apply_owned_matches_apply_and_moves_changed() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let via_ref = apply(&base(), &d).unwrap();
+        let (via_owned, stats) = apply_owned(&base(), d).unwrap();
+        assert_eq!(via_owned, via_ref);
+        assert_eq!(via_owned, fine_tuned());
+        // 2 changed tensors moved, only the frozen backbone copied — the
+        // borrowed path would have copied all 3.
+        assert_eq!(
+            stats,
+            ApplyStats {
+                tensors_moved: 2,
+                tensors_copied: 1
+            }
+        );
+    }
+
+    #[test]
+    fn apply_owned_rejects_wrong_base() {
+        let d = diff(&base(), &fine_tuned()).unwrap();
+        let mut wrong = base();
+        wrong.iteration = 99;
+        assert!(apply_owned(&wrong, d.clone()).is_err());
+        let mut incomplete = d;
+        incomplete.unchanged.clear();
+        assert!(apply_owned(&base(), incomplete).is_err());
     }
 
     #[test]

@@ -59,15 +59,35 @@ pub struct EncodedPayload {
 /// are candidates for reuse; a buffer is only handed back to an encoder
 /// when the arena holds the *sole* reference to it (see module docs for
 /// the ownership rule).
+///
+/// Reuse picks the **largest** reclaimable slot — when checkpoints vary in
+/// size, a big save should find the big retired buffer, not whichever
+/// small one happened to park first. The flip side of keeping the largest
+/// allocation alive is that a workload which *shrinks* (delta saves after
+/// an initial full checkpoint) would pin the high-water allocation
+/// forever; the arena therefore decays: after [`DECAY_AFTER`] consecutive
+/// recycles that used less than half of the arena's high-water capacity,
+/// the next reclaim shrinks the buffer down to the caller's size hint.
+///
+/// [`DECAY_AFTER`]: EncodeArena::DECAY_AFTER
 #[derive(Debug, Default)]
 pub struct EncodeArena {
     slots: Vec<Arc<Vec<u8>>>,
     cap: usize,
     reclaimed: u64,
     misses: u64,
+    /// Consecutive recycles whose payload used less than half of the
+    /// arena's high-water capacity (the largest backing buffer it knows
+    /// of). Reset by any save big enough to justify that allocation.
+    underuse_streak: u32,
+    decays: u64,
 }
 
 impl EncodeArena {
+    /// Consecutive under-half-capacity saves after which the next reclaim
+    /// releases the excess high-water allocation.
+    pub const DECAY_AFTER: u32 = 8;
+
     /// Arena holding up to 4 retired buffers.
     pub fn new() -> Self {
         Self::with_slots(4)
@@ -80,18 +100,36 @@ impl EncodeArena {
             cap: cap.max(1),
             reclaimed: 0,
             misses: 0,
+            underuse_streak: 0,
+            decays: 0,
         }
     }
 
-    /// Take a reusable buffer if any parked slot is uniquely owned,
-    /// cleared and with at least `capacity` bytes reserved. `None` means
-    /// every parked buffer is still referenced elsewhere (or the arena is
-    /// empty) and the caller should allocate.
+    /// Take a reusable buffer, cleared and with at least `capacity` bytes
+    /// reserved. Among the uniquely owned parked slots the one with the
+    /// largest backing capacity wins, so the hottest (biggest) saves keep
+    /// hitting the arena. `None` means every parked buffer is still
+    /// referenced elsewhere (or the arena is empty) and the caller should
+    /// allocate.
     fn take(&mut self, capacity: usize) -> Option<Vec<u8>> {
-        let idx = self.slots.iter().position(|s| Arc::strong_count(s) == 1)?;
+        let idx = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| Arc::strong_count(s) == 1)
+            .max_by_key(|(_, s)| s.capacity())
+            .map(|(i, _)| i)?;
         let arc = self.slots.swap_remove(idx);
         let mut buf = Arc::try_unwrap(arc).ok()?;
         buf.clear();
+        if self.underuse_streak >= Self::DECAY_AFTER && buf.capacity() > capacity {
+            // Sustained underuse: the workload no longer needs the
+            // high-water allocation. Drop to the caller's hint and start
+            // a fresh streak against the smaller capacity.
+            buf.shrink_to(capacity);
+            self.underuse_streak = 0;
+            self.decays += 1;
+        }
         if buf.capacity() < capacity {
             buf.reserve(capacity - buf.capacity());
         }
@@ -100,12 +138,32 @@ impl EncodeArena {
     }
 
     /// Park the backing buffer of a finished payload for future reuse.
-    /// Oldest slots are evicted beyond the arena's capacity.
+    /// Oldest slots are evicted beyond the arena's capacity. Also scores
+    /// the save against the decay streak: a payload using less than half
+    /// of the arena's high-water capacity extends the streak, a save big
+    /// enough to justify the retained allocation resets it. (Scoring
+    /// against the high-water — not the payload's own backing — matters
+    /// when saves ping-pong between a large and a small buffer: the small
+    /// buffer's dense recycles say nothing about whether the large one is
+    /// still earning its keep.)
     pub fn recycle(&mut self, payload: &Payload) {
+        let backing = payload.backing();
+        let high_water = self
+            .slots
+            .iter()
+            .map(|s| s.capacity())
+            .max()
+            .unwrap_or(0)
+            .max(backing.capacity());
+        if (backing.len() as u128) * 2 < high_water as u128 {
+            self.underuse_streak = self.underuse_streak.saturating_add(1);
+        } else {
+            self.underuse_streak = 0;
+        }
         if self.slots.len() == self.cap {
             self.slots.remove(0);
         }
-        self.slots.push(Arc::clone(payload.backing()));
+        self.slots.push(Arc::clone(backing));
     }
 
     /// How many encodes reused a parked buffer.
@@ -116,6 +174,18 @@ impl EncodeArena {
     /// How many encodes had to allocate because no parked buffer was free.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// How many reclaims released a high-water allocation after a
+    /// sustained underuse streak.
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    /// Total bytes of backing capacity currently parked in the arena
+    /// (including buffers still referenced elsewhere).
+    pub fn retained_capacity(&self) -> usize {
+        self.slots.iter().map(|s| s.capacity()).sum()
     }
 }
 
@@ -509,6 +579,68 @@ mod tests {
         assert_eq!(arena.slots.len(), 1);
         // Two of the three encodes reclaimed the single parked buffer.
         assert_eq!(arena.reclaimed(), 2);
+    }
+
+    #[test]
+    fn arena_prefers_largest_reclaimable_slot() {
+        let mut arena = EncodeArena::with_slots(4);
+        // Park a small and a large retired buffer, both uniquely owned.
+        for n in [256usize, 8192, 512] {
+            let mut enc = StreamingEncoder::from_arena(&mut arena, n, 0);
+            enc.put_bytes(&filled(n));
+            let _ = enc.finish_into(&mut arena);
+        }
+        // All three parked; the NEXT take must pick the 8192-byte slot
+        // even though it is neither first nor last.
+        let big = arena.slots.iter().map(|s| s.capacity()).max().unwrap();
+        assert!(big >= 8192);
+        let buf = arena.take(64).expect("reclaimable slot");
+        assert_eq!(buf.capacity(), big, "largest slot wins");
+    }
+
+    #[test]
+    fn arena_decays_high_water_after_sustained_underuse() {
+        const BIG: usize = 1 << 16;
+        const SMALL: usize = 1 << 10;
+        let mut arena = EncodeArena::with_slots(1);
+        // One big save establishes the high-water allocation.
+        let mut enc = StreamingEncoder::from_arena(&mut arena, BIG, 0);
+        enc.put_bytes(&filled(BIG));
+        let _ = enc.finish_into(&mut arena);
+        let high_water = arena.retained_capacity();
+        assert!(high_water >= BIG);
+
+        // A long run of small saves, each reusing (and underusing) the
+        // big buffer. The streak builds at recycle; until it reaches
+        // DECAY_AFTER, reclaim keeps the full allocation.
+        for i in 0..EncodeArena::DECAY_AFTER {
+            let mut enc = StreamingEncoder::from_arena(&mut arena, SMALL, 0);
+            assert!(enc.reused(), "save {i} reuses the parked buffer");
+            enc.put_bytes(&filled(SMALL));
+            let _ = enc.finish_into(&mut arena);
+        }
+        assert_eq!(arena.decays(), 0, "no decay before the streak matures");
+        assert_eq!(arena.retained_capacity(), high_water);
+
+        // The streak is mature: the next reclaim releases the excess.
+        let mut enc = StreamingEncoder::from_arena(&mut arena, SMALL, 0);
+        assert!(enc.reused());
+        enc.put_bytes(&filled(SMALL));
+        let _ = enc.finish_into(&mut arena);
+        assert_eq!(arena.decays(), 1);
+        assert!(
+            arena.retained_capacity() < high_water / 2,
+            "high-water allocation released ({} -> {})",
+            high_water,
+            arena.retained_capacity()
+        );
+
+        // And a dense save resets the streak, so decay does not cascade.
+        let mut enc = StreamingEncoder::from_arena(&mut arena, SMALL, 0);
+        assert!(enc.reused());
+        enc.put_bytes(&filled(SMALL));
+        let _ = enc.finish_into(&mut arena);
+        assert_eq!(arena.decays(), 1, "dense recycle reset the streak");
     }
 
     #[test]

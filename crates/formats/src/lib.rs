@@ -32,7 +32,10 @@ pub mod partial;
 pub mod wire;
 
 pub use checkpoint::{Checkpoint, FormatError};
-pub use crc::{crc32, crc32_bytewise, crc32_combine, crc32_parallel, Crc32, CrcShift};
+pub use crc::{
+    active_kernel, crc32, crc32_bytewise, crc32_combine, crc32_parallel, crc32_with, Crc32,
+    Crc32Kernel, CrcShift,
+};
 pub use delta::DeltaCheckpoint;
 pub use encoder::{EncodeArena, EncodedPayload, StreamMark, StreamingEncoder};
 pub use h5lite::H5Lite;

@@ -57,19 +57,38 @@ fn split_sizes(bytes: u64, chunk_bytes: u64) -> Vec<u64> {
     sizes
 }
 
+/// The CRC kernels this host can run, so identity holds for every kernel
+/// × chunk-geometry combination — not just whichever kernel the
+/// dispatcher picked for this process.
+fn available_kernels() -> Vec<viper_formats::Crc32Kernel> {
+    use viper_formats::Crc32Kernel;
+    [
+        Crc32Kernel::Clmul,
+        Crc32Kernel::Slice16,
+        Crc32Kernel::Bytewise,
+    ]
+    .into_iter()
+    .filter(|k| k.available())
+    .collect()
+}
+
 /// Assert the fused output's bytes equal `legacy` and its chunk CRCs
-/// equal independent slice CRCs under the claimed geometry.
+/// equal independent slice CRCs under the claimed geometry — recomputed
+/// with every kernel available on this host.
 fn assert_fused_matches(legacy: &[u8], fused: &viper_formats::EncodedPayload, chunk_bytes: u64) {
     assert_eq!(fused.payload.as_slice(), legacy, "wire bytes differ");
     let sizes = split_sizes(legacy.len() as u64, chunk_bytes);
     assert_eq!(fused.chunk_crcs.len(), sizes.len(), "chunk count");
     let mut off = 0usize;
     for (i, (&crc, &len)) in fused.chunk_crcs.iter().zip(sizes.iter()).enumerate() {
-        assert_eq!(
-            crc,
-            viper_formats::crc32(&legacy[off..off + len as usize]),
-            "chunk {i} CRC"
-        );
+        for kernel in available_kernels() {
+            assert_eq!(
+                crc,
+                viper_formats::crc32_with(kernel, &legacy[off..off + len as usize]),
+                "chunk {i} CRC under kernel {}",
+                kernel.label()
+            );
+        }
         off += len as usize;
     }
 }
@@ -154,6 +173,41 @@ proptest! {
         // Compare via re-encode: derived PartialEq would call NaN != NaN a
         // mismatch, but byte identity is the actual contract.
         prop_assert_eq!(DeltaCheckpoint::decode(body).unwrap().encode(), legacy);
+    }
+
+    /// Streaming diff: `diff_into` (block compare + direct framed encode,
+    /// no intermediate DeltaCheckpoint) is byte-identical to the
+    /// materialize-then-encode oracle for arbitrary checkpoint pairs and
+    /// chunk geometries, chunk CRCs verified under every kernel.
+    #[test]
+    fn streaming_diff_matches_materialized_for_all_geometries(
+        pair in (arb_checkpoint(), 0usize..4),
+        chunk_bytes in prop_oneof![Just(0u64), 1u64..512, Just(1u64 << 20)],
+    ) {
+        let (base, rot) = pair;
+        let mut new = base.clone();
+        new.iteration = base.iteration + 1;
+        if !new.tensors.is_empty() {
+            let r = rot % new.tensors.len();
+            new.tensors.rotate_left(r);
+            for (i, (_, t)) in new.tensors.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    let mut data = t.as_slice().to_vec();
+                    if let Some(x) = data.first_mut() {
+                        *x = f32::from_bits(x.to_bits() ^ 1);
+                    }
+                    *t = Tensor::from_vec(data, t.dims()).unwrap();
+                }
+            }
+        }
+        let d = delta::diff(&base, &new).unwrap();
+        let legacy = wire::frame(PayloadKind::Delta, &d.encode());
+        let mut enc = StreamingEncoder::new(chunk_bytes);
+        enc.put_bytes(&wire::envelope(PayloadKind::Delta));
+        let stats = delta::diff_into(&base, &new, &mut enc).unwrap();
+        assert_fused_matches(&legacy, &enc.finish(), chunk_bytes);
+        prop_assert_eq!(stats.nchanged, d.changed.len());
+        prop_assert_eq!(stats.nunchanged, d.unchanged.len());
     }
 
     /// Satellite: parallel split-and-combine equals sequential CRC for

@@ -410,7 +410,9 @@ impl FlowAssembler {
     /// (from [`chunk_body_crc`], e.g. batch-verified on a worker pool).
     /// `None` computes the CRC inline; a precomputed value must come from
     /// [`chunk_body_crc`] on the same message or corruption detection is
-    /// undefined.
+    /// undefined. Either way the digest runs on the runtime-dispatched
+    /// kernel (`viper_formats::active_kernel`) — receive-side verify is
+    /// hardware-accelerated wherever encode is.
     pub fn accept_with_crc(&mut self, msg: Message, precomputed: Option<u32>) -> FlowStatus {
         if msg.kind != MessageKind::Chunk {
             return FlowStatus::Passthrough(msg);

@@ -696,7 +696,9 @@ impl Fabric {
 /// Per-chunk body CRC32s for a payload split into `sizes`. Large flows
 /// checksum their chunks in parallel on the rayon pool; results land
 /// positionally, so the output is deterministic regardless of worker
-/// interleaving.
+/// interleaving. Each worker runs the dispatched CRC kernel
+/// (`viper_formats::active_kernel`), so relay re-serve and receive-side
+/// verify ride the hardware path whenever the host proves it.
 fn chunk_crcs(payload: &Payload, sizes: &[u64]) -> Vec<u32> {
     /// Below this, thread spawn overhead beats the win from splitting.
     const PARALLEL_MIN_BYTES: usize = 4 << 20;

@@ -102,6 +102,22 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Borrow the data as the raw bytes of the `f32` slice (native memory
+    /// representation). Bit-pattern equality of two tensors is exactly
+    /// byte equality of these views, which lets the delta differ run
+    /// `memcmp`-class block compares instead of per-lane float compares.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: f32 has no padding or invalid bit patterns when viewed
+        // as bytes; length is len * size_of::<f32>() within one allocation.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.data.as_ptr() as *const u8,
+                self.data.len() * std::mem::size_of::<f32>(),
+            )
+        }
+    }
+
     /// Consume the tensor, returning its raw data.
     #[inline]
     pub fn into_vec(self) -> Vec<f32> {

@@ -3,8 +3,18 @@
 //! versions must be accounted exactly, and the new delivery metrics must be
 //! visible through the telemetry registry.
 
+use std::sync::Mutex;
 use std::time::Duration;
 use viper::{Viper, ViperConfig};
+
+/// These tests assert on *pacing* — whether the producer can outrun the
+/// straggler's repair-occupied lane — so each runs a full producer+reactor
+/// sim whose thread interleaving is the thing under test. Running them
+/// concurrently makes the sims steal each other's cycles and skews the
+/// very races being measured (on few-core hosts the straggler lane can
+/// then appear permanently free). Serialize them; poisoning is irrelevant
+/// because a panicking holder already failed its own test.
+static PACING: Mutex<()> = Mutex::new(());
 use viper_formats::Checkpoint;
 use viper_hw::{CaptureMode, Route};
 use viper_net::{FaultPlan, LinkFaults, RetryPolicy};
@@ -149,6 +159,7 @@ fn run_straggler(config: ViperConfig) -> RunStats {
 
 #[test]
 fn straggler_consumer_does_not_starve_healthy_consumers() {
+    let _seq = PACING.lock().unwrap_or_else(|e| e.into_inner());
     for seed in fault_seeds() {
         let stats = run_straggler(straggler_config(seed).with_coalescing());
         // The straggler's repair rounds occupy its lane long enough that at
@@ -163,6 +174,7 @@ fn straggler_consumer_does_not_starve_healthy_consumers() {
 
 #[test]
 fn coalescing_beats_blocking_delivery_on_healthy_convergence() {
+    let _seq = PACING.lock().unwrap_or_else(|e| e.into_inner());
     // Same seeded straggler link, coalescing on vs off. Without coalescing
     // every save blocks until the straggler's repair rounds finish, so the
     // healthy consumer's convergence inherits the full serialized repair
@@ -182,6 +194,7 @@ fn coalescing_beats_blocking_delivery_on_healthy_convergence() {
 
 #[test]
 fn delivery_metrics_are_visible_in_the_registry() {
+    let _seq = PACING.lock().unwrap_or_else(|e| e.into_inner());
     // Regression for the delivery-path metric sweep: `stale_feedback`,
     // `updates_superseded` (aggregate and per-consumer), and the
     // `queue_depth` gauge must all be registered in the shared metrics

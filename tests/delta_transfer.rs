@@ -137,6 +137,33 @@ fn warm_consumer_gets_delta_fresh_consumer_gets_full() {
 }
 
 #[test]
+fn delta_apply_moves_changed_tensors_instead_of_copying() {
+    // Install reuses the decoded delta's own allocations: changed tensors
+    // are *moved* out of the wire payload into the new checkpoint, and
+    // only the tensors inherited unchanged from the live base are cloned.
+    // The finetune shape has 3 tensors of which exactly 1 (the backbone)
+    // is unchanged, so each delta apply must clone exactly one tensor —
+    // not all three, as a full rebuild would.
+    let viper = Viper::new(delta_config(Route::GpuToGpu));
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    let applies = 5u64;
+    for iter in 1..=(1 + applies) {
+        let sent = finetune_ckpt(iter, 20_000);
+        producer.save_weights(&sent).unwrap();
+        let got = consumer.load_weights(Duration::from_secs(10)).unwrap();
+        assert_eq!(*got, sent, "iter {iter}: reconstruction differs");
+    }
+    assert_eq!(consumer.deltas_applied(), applies);
+    assert_eq!(
+        consumer.apply_tensor_copies(),
+        applies,
+        "each apply clones only the 1 unchanged backbone tensor (of 3)"
+    );
+}
+
+#[test]
 fn restarted_consumer_self_heals_via_need_full() {
     // The producer's acknowledged-base tracking outlives the consumer: if
     // the consumer restarts under the same node name with an empty slot,

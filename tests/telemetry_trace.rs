@@ -73,6 +73,10 @@ fn fault_free_chunk_wire_spans_sum_to_flow_makespan() {
 
     producer.save_weights(&ckpt(1)).unwrap();
     consumer.load_weights(Duration::from_secs(10)).unwrap();
+    // Async capture: the install that satisfies `load_weights` happens
+    // while the producer's worker thread is still inside its delivery
+    // spans. Drain it so the snapshot below sees every span closed.
+    producer.flush_deliveries();
 
     let events = telemetry.events();
     chrome::check_nesting(&events).expect("span nesting well-formed");

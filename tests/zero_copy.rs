@@ -89,6 +89,50 @@ fn arena_recycles_serialize_buffers_once_versions_prune() {
     );
 }
 
+/// High-water decay: a workload that shrinks (one huge save, then a long
+/// run of small ones) must not pin the huge serialize buffer forever. The
+/// arena notices the sustained underuse and releases the excess capacity,
+/// while the small saves keep reclaiming (no fresh allocations creep in).
+#[test]
+fn arena_releases_high_water_capacity_when_saves_shrink() {
+    let mut config = ViperConfig::default()
+        .with_strategy(Route::GpuToGpu, CaptureMode::Sync)
+        .with_reliable();
+    config.chunk_bytes = 64 * 1024 * 1024;
+    config.flush_to_pfs = false;
+    config.keep_versions = 1;
+    let viper = Viper::new(config);
+    let producer = viper.producer("p");
+    let consumer = viper.consumer("c", "m");
+
+    // Establish the high-water allocation (~2 MiB serialized).
+    producer.save_weights(&ckpt(1, 500_000)).unwrap();
+    // Long run of ~8 KiB saves. keep_versions = 1 prunes each previous
+    // version, so every save reclaims a parked buffer; after enough
+    // underused recycles the reclaim path shrinks it.
+    let small_saves = 24u64;
+    for iter in 2..=(1 + small_saves) {
+        producer.save_weights(&ckpt(iter, 2_000)).unwrap();
+    }
+    let model = consumer.load_weights(Duration::from_secs(30)).unwrap();
+    assert_eq!(model.iteration, 1 + small_saves);
+
+    assert!(
+        producer.arena_decays() >= 1,
+        "sustained small saves must trigger a high-water decay"
+    );
+    assert!(
+        producer.arena_retained_capacity() < 1_000_000,
+        "the ~2 MiB high-water buffer must be released (retained: {})",
+        producer.arena_retained_capacity()
+    );
+    assert!(
+        producer.arena_reclaimed() >= small_saves - 2,
+        "small saves keep reclaiming parked buffers (reclaimed: {})",
+        producer.arena_reclaimed()
+    );
+}
+
 /// The same guarantee on the unreliable chunked path: multi-chunk flows
 /// frame zero-copy subslices on the producer side (producer counter stays
 /// zero); only the consumer's gather buffer copies, and it copies each
